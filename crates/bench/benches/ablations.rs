@@ -1,0 +1,104 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//!
+//! 1. Algorithm 2's "remove only ε/(1+ε)·|S|" rule vs Algorithm 1's
+//!    "remove all below threshold" — the price of the size floor.
+//! 2. Algorithm 3's choose-side-by-sizes rule vs a max-degree-based rule
+//!    (the paper argues the size rule is faster because it computes only
+//!    one side's removal set — here the speedup shows up as fewer passes
+//!    doing wasted degree work).
+//! 3. Count-Sketch vs Count-Min as the degree oracle (§5.1 ablation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use dsg_core::directed::approx_densest_directed;
+use dsg_core::large::approx_densest_at_least_k;
+use dsg_core::undirected::approx_densest;
+use dsg_datasets::{flickr_standin, livejournal_standin, Scale};
+use dsg_graph::stream::MemoryStream;
+use dsg_sketch::{approx_densest_sketched, SketchKind, SketchParams};
+
+/// Ablation 1: all-below-threshold removal vs fixed-fraction removal.
+fn bench_removal_rule(c: &mut Criterion) {
+    let list = flickr_standin(Scale::Tiny);
+    let mut group = c.benchmark_group("ablation_removal_rule");
+    group.bench_function("algorithm1_remove_all", |b| {
+        b.iter(|| {
+            let mut s = MemoryStream::new(list.clone());
+            black_box(approx_densest(&mut s, 0.5))
+        });
+    });
+    group.bench_function("algorithm2_remove_fraction_k1", |b| {
+        b.iter(|| {
+            let mut s = MemoryStream::new(list.clone());
+            black_box(approx_densest_at_least_k(&mut s, 1, 0.5))
+        });
+    });
+    group.finish();
+}
+
+/// Ablation 2: the paper's §4.3 comparison — the sizes-based
+/// side-selection rule vs the naive max-degree rule (which must compute
+/// both candidate sets per pass) vs the in-memory decremental variant.
+fn bench_directed_side_rule(c: &mut Criterion) {
+    let list = livejournal_standin(Scale::Tiny);
+    let csr = dsg_graph::CsrDirected::from_edge_list(&list);
+    let mut group = c.benchmark_group("ablation_directed_side_rule");
+    group.sample_size(10);
+    group.bench_function("sizes_rule_stream", |b| {
+        b.iter(|| {
+            let mut s = MemoryStream::new(list.clone());
+            black_box(approx_densest_directed(&mut s, 1.0, 1.0))
+        });
+    });
+    group.bench_function("naive_maxdeg_rule_stream", |b| {
+        b.iter(|| {
+            let mut s = MemoryStream::new(list.clone());
+            black_box(dsg_core::directed::approx_densest_directed_naive(
+                &mut s, 1.0, 1.0,
+            ))
+        });
+    });
+    group.bench_function("sizes_rule_csr_decremental", |b| {
+        b.iter(|| {
+            black_box(dsg_core::directed::approx_densest_directed_csr(
+                &csr, 1.0, 1.0,
+            ))
+        });
+    });
+    group.finish();
+}
+
+/// Ablation 3: Count-Sketch vs Count-Min as the degree oracle.
+fn bench_sketch_kind(c: &mut Criterion) {
+    let list = flickr_standin(Scale::Tiny);
+    let b_width = list.num_nodes / 16;
+    let mut group = c.benchmark_group("ablation_sketch_kind");
+    for (name, kind) in [
+        ("count_sketch", SketchKind::CountSketch),
+        ("count_min", SketchKind::CountMin),
+        ("count_min_conservative", SketchKind::CountMinConservative),
+    ] {
+        let params = SketchParams {
+            t: 5,
+            b: b_width,
+            seed: 1,
+            kind,
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut s = MemoryStream::new(list.clone());
+                black_box(approx_densest_sketched(&mut s, 0.5, params))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_removal_rule,
+    bench_directed_side_rule,
+    bench_sketch_kind
+);
+criterion_main!(benches);

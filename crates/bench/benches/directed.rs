@@ -1,0 +1,57 @@
+//! Criterion benches for the directed algorithm — the kernels behind
+//! Table 3 and Figures 6.4–6.6.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use dsg_core::directed::{approx_densest_directed, sweep_c};
+use dsg_datasets::{livejournal_standin, twitter_standin, Scale};
+use dsg_graph::stream::MemoryStream;
+
+/// Figure 6.4 kernel: one directed run per ratio c on livejournal.
+fn bench_fixed_c(c: &mut Criterion) {
+    let list = livejournal_standin(Scale::Tiny);
+    let mut group = c.benchmark_group("fig64_fixed_c");
+    for ratio in [0.25, 1.0, 4.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(ratio), &ratio, |b, &ratio| {
+            b.iter(|| {
+                let mut s = MemoryStream::new(list.clone());
+                black_box(approx_densest_directed(&mut s, ratio, 1.0))
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Table 3 kernel: the δ-grid sweep at different resolutions.
+fn bench_sweep_resolution(c: &mut Criterion) {
+    let list = livejournal_standin(Scale::Tiny);
+    let mut group = c.benchmark_group("table3_delta_sweep");
+    group.sample_size(10);
+    for delta in [2.0, 10.0, 100.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(delta), &delta, |b, &delta| {
+            b.iter(|| {
+                let mut s = MemoryStream::new(list.clone());
+                black_box(sweep_c(&mut s, delta, 1.0))
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Figure 6.6 kernel: the full twitter sweep.
+fn bench_twitter_sweep(c: &mut Criterion) {
+    let list = twitter_standin(Scale::Tiny);
+    let mut group = c.benchmark_group("fig66_twitter_sweep");
+    group.sample_size(10);
+    group.bench_function("sweep_delta2_eps1", |b| {
+        b.iter(|| {
+            let mut s = MemoryStream::new(list.clone());
+            black_box(sweep_c(&mut s, 2.0, 1.0))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fixed_c, bench_sweep_resolution, bench_twitter_sweep);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion benches for the exact solver — the `ρ*` column of Table 2,
+//! and the reason the paper's streaming algorithm exists (exact methods
+//! do not scale).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use dsg_core::charikar::charikar_peel;
+use dsg_core::undirected::approx_densest_csr;
+use dsg_flow::{exact_densest, exact_densest_with, FlowBackend};
+use dsg_graph::gen;
+use dsg_graph::CsrUndirected;
+
+/// Exact flow-based optimum vs the two approximations, across graph
+/// sizes: the scaling argument of §1.2 in one chart.
+fn bench_exact_vs_approx(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_exact_vs_approx");
+    group.sample_size(10);
+    for n in [200u32, 400, 800] {
+        let pg = gen::planted_dense_subgraph(n, n as usize * 4, n / 20, 0.8, 7);
+        let csr = CsrUndirected::from_edge_list(&pg.graph);
+        group.bench_with_input(BenchmarkId::new("exact_flow", n), &csr, |b, csr| {
+            b.iter(|| black_box(exact_densest(csr)));
+        });
+        group.bench_with_input(BenchmarkId::new("charikar", n), &csr, |b, csr| {
+            b.iter(|| black_box(charikar_peel(csr)));
+        });
+        group.bench_with_input(BenchmarkId::new("algorithm1_eps0.5", n), &csr, |b, csr| {
+            b.iter(|| black_box(approx_densest_csr(csr, 0.5)));
+        });
+    }
+    group.finish();
+}
+
+/// Dinic vs push-relabel as the backend of Goldberg's binary search.
+fn bench_flow_backends(c: &mut Criterion) {
+    let pg = gen::planted_dense_subgraph(500, 2000, 25, 0.8, 3);
+    let csr = CsrUndirected::from_edge_list(&pg.graph);
+    let mut group = c.benchmark_group("flow_backend");
+    group.sample_size(10);
+    group.bench_function("dinic", |b| {
+        b.iter(|| black_box(exact_densest_with(&csr, FlowBackend::Dinic)));
+    });
+    group.bench_function("push_relabel", |b| {
+        b.iter(|| black_box(exact_densest_with(&csr, FlowBackend::PushRelabel)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact_vs_approx, bench_flow_backends);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Criterion benches for the sketching heuristic — the kernel behind
+//! Table 4.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use dsg_core::undirected::approx_densest;
+use dsg_datasets::{flickr_standin, Scale};
+use dsg_graph::stream::MemoryStream;
+use dsg_sketch::{approx_densest_sketched, CountMin, CountSketch, SketchParams};
+
+/// Table 4 kernel: sketched Algorithm 1 at the paper's three memory
+/// ratios, vs the exact-oracle run.
+fn bench_sketched_run(c: &mut Criterion) {
+    let list = flickr_standin(Scale::Tiny);
+    let n = list.num_nodes;
+    let mut group = c.benchmark_group("table4_sketched_run");
+    group.bench_function("exact_oracle", |b| {
+        b.iter(|| {
+            let mut s = MemoryStream::new(list.clone());
+            black_box(approx_densest(&mut s, 0.5))
+        });
+    });
+    for ratio in [0.16f64, 0.25] {
+        let b_width = ((ratio * n as f64) / 5.0) as u32;
+        group.bench_with_input(
+            BenchmarkId::new("count_sketch", format!("mem{ratio}")),
+            &b_width,
+            |b, &bw| {
+                b.iter(|| {
+                    let mut s = MemoryStream::new(list.clone());
+                    black_box(approx_densest_sketched(&mut s, 0.5, SketchParams::paper(bw, 1)))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Raw sketch update/estimate throughput (Count-Sketch vs Count-Min).
+fn bench_sketch_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sketch_ops");
+    group.bench_function("countsketch_update_1k", |b| {
+        let mut cs = CountSketch::new(5, 4096, 1);
+        b.iter(|| {
+            for i in 0..1000u32 {
+                cs.update(black_box(i * 7919), 1.0);
+            }
+        });
+    });
+    group.bench_function("countmin_update_1k", |b| {
+        let mut cm = CountMin::new(5, 4096, 1);
+        b.iter(|| {
+            for i in 0..1000u32 {
+                cm.update(black_box(i * 7919), 1.0);
+            }
+        });
+    });
+    group.bench_function("countsketch_estimate_1k", |b| {
+        let mut cs = CountSketch::new(5, 4096, 1);
+        for i in 0..10_000u32 {
+            cs.update(i, 1.0);
+        }
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..1000u32 {
+                acc += cs.estimate(black_box(i));
+            }
+            black_box(acc)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sketched_run, bench_sketch_ops);
+criterion_main!(benches);

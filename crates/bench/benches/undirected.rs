@@ -1,0 +1,60 @@
+//! Criterion benches for the undirected algorithms — the kernels behind
+//! Table 2 and Figures 6.1–6.3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use dsg_core::charikar::charikar_peel;
+use dsg_core::undirected::{approx_densest, approx_densest_csr};
+use dsg_datasets::{flickr_standin, im_standin, Scale};
+use dsg_graph::stream::MemoryStream;
+use dsg_graph::CsrUndirected;
+
+/// Figure 6.1 kernel: Algorithm 1 across the ε grid.
+fn bench_epsilon_sweep(c: &mut Criterion) {
+    let list = flickr_standin(Scale::Tiny);
+    let csr = CsrUndirected::from_edge_list(&list);
+    let mut group = c.benchmark_group("fig61_epsilon_sweep");
+    for eps in [0.0, 0.5, 1.0, 2.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(eps), &eps, |b, &eps| {
+            b.iter(|| black_box(approx_densest_csr(&csr, eps)));
+        });
+    }
+    group.finish();
+}
+
+/// Streaming vs in-memory implementations (identical output, different
+/// cost model) — the ablation behind the "practical considerations".
+fn bench_stream_vs_csr(c: &mut Criterion) {
+    let list = im_standin(Scale::Tiny);
+    let csr = CsrUndirected::from_edge_list(&list);
+    let mut group = c.benchmark_group("stream_vs_csr");
+    group.bench_function("csr_decremental", |b| {
+        b.iter(|| black_box(approx_densest_csr(&csr, 1.0)));
+    });
+    group.bench_function("stream_rescan", |b| {
+        b.iter(|| {
+            let mut s = MemoryStream::new(list.clone());
+            black_box(approx_densest(&mut s, 1.0))
+        });
+    });
+    group.finish();
+}
+
+/// Charikar's exact peeling baseline vs Algorithm 1 (ε = 0.5): the
+/// pass-count trade the paper is built on.
+fn bench_vs_charikar(c: &mut Criterion) {
+    let list = flickr_standin(Scale::Tiny);
+    let csr = CsrUndirected::from_edge_list(&list);
+    let mut group = c.benchmark_group("charikar_vs_algorithm1");
+    group.bench_function("charikar_peel", |b| {
+        b.iter(|| black_box(charikar_peel(&csr)));
+    });
+    group.bench_function("algorithm1_eps0.5", |b| {
+        b.iter(|| black_box(approx_densest_csr(&csr, 0.5)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_epsilon_sweep, bench_stream_vs_csr, bench_vs_charikar);
+criterion_main!(benches);

@@ -1,0 +1,165 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro <experiment> [--scale tiny|small|medium|large] [--csv]
+//!       [--data-dir <path>] [--out <file>]
+//!
+//! experiments:
+//!   table1   dataset parameters
+//!   table2   quality of approximation vs the exact optimum
+//!   fig61    ε vs approximation and passes
+//!   fig62    density vs passes
+//!   fig63    remaining nodes/edges vs passes
+//!   table3   directed ρ for δ × ε grid
+//!   fig64    directed density/passes vs c (livejournal)
+//!   fig65    |S|, |T|, |E(S,T)| per pass at best c
+//!   fig66    directed density/passes vs c (twitter)
+//!   table4   sketching quality and memory
+//!   fig67    MapReduce time per pass
+//!   lemma5   pass lower bound (union of regular graphs)
+//!   lemma6   pass lower bound (weighted power law)
+//!   all      everything above
+//! ```
+//!
+//! Default scale: `small` (≈20K-node stand-ins; `table2` always runs at
+//! the paper's graph sizes). `--data-dir` points at real SNAP `.txt`
+//! files to upgrade `table2` from stand-ins to the genuine datasets.
+
+use std::io::Write;
+use std::path::PathBuf;
+
+use dsg_bench::experiments as exp;
+use dsg_bench::table::Table;
+use dsg_datasets::Scale;
+
+struct Args {
+    experiment: String,
+    scale: Scale,
+    csv: bool,
+    data_dir: Option<PathBuf>,
+    out: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let experiment = args.next().ok_or_else(usage)?;
+    let mut scale = Scale::Small;
+    let mut csv = false;
+    let mut data_dir = None;
+    let mut out = None;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--scale" => {
+                let v = args.next().ok_or("missing value for --scale")?;
+                scale = Scale::parse(&v).ok_or(format!("unknown scale '{v}'"))?;
+            }
+            "--csv" => csv = true,
+            "--data-dir" => {
+                data_dir = Some(PathBuf::from(
+                    args.next().ok_or("missing value for --data-dir")?,
+                ));
+            }
+            "--out" => {
+                out = Some(PathBuf::from(args.next().ok_or("missing value for --out")?));
+            }
+            other => return Err(format!("unknown flag '{other}'\n{}", usage())),
+        }
+    }
+    Ok(Args {
+        experiment,
+        scale,
+        csv,
+        data_dir,
+        out,
+    })
+}
+
+fn usage() -> String {
+    "usage: repro <table1|table2|fig61|fig62|fig63|table3|fig64|fig65|fig66|table4|fig67|lemma5|lemma6|all> \
+     [--scale tiny|small|medium|large] [--csv] [--data-dir <path>] [--out <file>]"
+        .to_string()
+}
+
+fn run_experiment(name: &str, args: &Args) -> Result<Vec<Table>, String> {
+    let scale = args.scale;
+    let tables = match name {
+        "table1" => vec![exp::table1::to_table(&exp::table1::run(scale))],
+        "table2" => vec![exp::table2::to_table(&exp::table2::run(
+            None,
+            args.data_dir.as_deref(),
+        ))],
+        "fig61" => vec![exp::fig61::to_table(&exp::fig61::run(scale))],
+        "fig62" => vec![exp::fig62::to_table(&exp::fig62::run(scale))],
+        "fig63" => vec![exp::fig63::to_table(&exp::fig63::run(scale))],
+        "table3" => vec![exp::table3::to_table(&exp::table3::run(scale))],
+        "fig64" => vec![exp::fig64::to_table(&exp::fig64::run(scale))],
+        "fig65" => vec![exp::fig65::to_table(&exp::fig65::run(scale))],
+        "fig66" => vec![exp::fig66::to_table(&exp::fig66::run(scale))],
+        "table4" => {
+            // The sketch error scales with the absolute width b, so Table 4
+            // needs at least the medium stand-in to reproduce the paper's
+            // band (see the module docs).
+            let s = if matches!(scale, Scale::Tiny | Scale::Small) {
+                Scale::Medium
+            } else {
+                scale
+            };
+            vec![exp::table4::to_table(&exp::table4::run(s))]
+        }
+        "fig67" => vec![exp::fig67::to_table(&exp::fig67::run(scale))],
+        "lemma5" => vec![exp::lemmas::to_table(
+            "Lemma 5: passes on the union-of-regular-graphs instance (ε=0.5)",
+            "k",
+            &exp::lemmas::run_lemma5(&[3, 4, 5, 6, 7, 8]),
+        )],
+        "lemma6" => vec![exp::lemmas::to_table(
+            "Lemma 6: passes on the weighted power-law instance (ε=0.5)",
+            "n",
+            &exp::lemmas::run_lemma6(&[125, 250, 500, 1000, 2000]),
+        )],
+        "all" => {
+            let order = [
+                "table1", "table2", "fig61", "fig62", "fig63", "table3", "fig64", "fig65",
+                "fig66", "table4", "fig67", "lemma5", "lemma6",
+            ];
+            let mut all = Vec::new();
+            for e in order {
+                eprintln!("[repro] running {e} ...");
+                all.extend(run_experiment(e, args)?);
+            }
+            all
+        }
+        other => return Err(format!("unknown experiment '{other}'\n{}", usage())),
+    };
+    Ok(tables)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let tables = match run_experiment(&args.experiment, &args) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let mut rendered = String::new();
+    for t in &tables {
+        rendered.push_str(&if args.csv { t.render_csv() } else { t.render() });
+        rendered.push('\n');
+    }
+    match &args.out {
+        Some(path) => {
+            let mut f = std::fs::File::create(path).expect("cannot create output file");
+            f.write_all(rendered.as_bytes()).expect("write failed");
+            eprintln!("[repro] wrote {}", path.display());
+        }
+        None => print!("{rendered}"),
+    }
+}

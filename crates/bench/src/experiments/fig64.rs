@@ -1,0 +1,105 @@
+//! **Figure 6.4** — directed density and number of passes as a function
+//! of the assumed ratio `c` (δ = 2), for ε ∈ {0, 1}, on livejournal.
+//!
+//! Paper finding: the density curve over `c` is complex with an interior
+//! optimum (livejournal's best `c ≈ 0.436`, i.e. |S| and |T| not too
+//! skewed), and pass counts stay modest across the whole grid.
+
+use dsg_core::directed::sweep_c_csr;
+use dsg_datasets::{livejournal_standin, Scale};
+use dsg_graph::CsrDirected;
+
+use crate::table::{fmt_f, Table};
+
+/// One (ε, c) measurement.
+#[derive(Clone, Debug)]
+pub struct Point {
+    /// ε value.
+    pub epsilon: f64,
+    /// Ratio c.
+    pub c: f64,
+    /// Density at this c.
+    pub density: f64,
+    /// Passes at this c.
+    pub passes: u32,
+}
+
+/// Result: all grid points plus the best c per ε.
+#[derive(Clone, Debug)]
+pub struct Fig64 {
+    /// All measurements.
+    pub points: Vec<Point>,
+    /// `(ε, best c, best density)` per ε.
+    pub best: Vec<(f64, f64, f64)>,
+}
+
+/// ε values plotted in Figure 6.4.
+pub const EPSILONS: [f64; 2] = [0.0, 1.0];
+
+/// Runs the c sweep on the livejournal stand-in.
+pub fn run(scale: Scale) -> Fig64 {
+    let list = livejournal_standin(scale);
+    let csr = CsrDirected::from_edge_list(&list);
+    let mut points = Vec::new();
+    let mut best = Vec::new();
+    for &eps in &EPSILONS {
+        let sweep = sweep_c_csr(&csr, 2.0, eps);
+        for &(c, density, passes) in &sweep.per_c {
+            points.push(Point {
+                epsilon: eps,
+                c,
+                density,
+                passes,
+            });
+        }
+        best.push((eps, sweep.best.c, sweep.best.best_density));
+    }
+    Fig64 { points, best }
+}
+
+/// Renders the measurements as a table.
+pub fn to_table(r: &Fig64) -> Table {
+    let mut t = Table::new(
+        "Figure 6.4: livejournal stand-in — density and passes vs c (δ=2)",
+        &["ε", "c", "ρ", "passes"],
+    );
+    for p in &r.points {
+        t.push_row(vec![
+            fmt_f(p.epsilon, 0),
+            format!("{:.4e}", p.c),
+            fmt_f(p.density, 2),
+            p.passes.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interior_optimum_exists() {
+        let r = run(Scale::Tiny);
+        for &(eps, best_c, best_d) in &r.best {
+            let series: Vec<&Point> = r.points.iter().filter(|p| p.epsilon == eps).collect();
+            // Extreme ratios perform worse than the best.
+            let first = series.first().unwrap();
+            let last = series.last().unwrap();
+            assert!(best_d >= first.density && best_d >= last.density);
+            // The best c is interior, away from the 1/n and n endpoints.
+            assert!(
+                best_c > first.c && best_c < last.c,
+                "ε={eps}: best c {best_c} at a grid endpoint"
+            );
+        }
+    }
+
+    #[test]
+    fn pass_counts_modest() {
+        let r = run(Scale::Tiny);
+        for p in &r.points {
+            assert!(p.passes <= 60, "c={}: {} passes", p.c, p.passes);
+        }
+    }
+}

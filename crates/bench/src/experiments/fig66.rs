@@ -1,0 +1,116 @@
+//! **Figure 6.6** — directed density and passes vs `c` (ε = 1, δ = 2) on
+//! the twitter stand-in.
+//!
+//! Paper finding: unlike livejournal, the best `c` is *not* concentrated
+//! around 1 — the celebrity skew (~600 users followed by >30M) makes the
+//! optimal pair highly asymmetric, and many `c` values can safely be
+//! skipped.
+
+use dsg_core::directed::sweep_c_csr;
+use dsg_datasets::{twitter_standin, Scale};
+use dsg_graph::CsrDirected;
+
+use crate::table::{fmt_f, Table};
+
+/// One c-grid measurement.
+#[derive(Clone, Debug)]
+pub struct Point {
+    /// Ratio c.
+    pub c: f64,
+    /// Density at this c.
+    pub density: f64,
+    /// Passes at this c.
+    pub passes: u32,
+}
+
+/// Result of the twitter sweep.
+#[derive(Clone, Debug)]
+pub struct Fig66 {
+    /// All grid points.
+    pub points: Vec<Point>,
+    /// Best ratio.
+    pub best_c: f64,
+    /// Best density.
+    pub best_density: f64,
+    /// |S|/|T| of the best pair actually found.
+    pub best_pair_ratio: f64,
+}
+
+/// Runs the c sweep on the twitter stand-in (ε = 1, δ = 2).
+pub fn run(scale: Scale) -> Fig66 {
+    let list = twitter_standin(scale);
+    let csr = CsrDirected::from_edge_list(&list);
+    let sweep = sweep_c_csr(&csr, 2.0, 1.0);
+    let pair_ratio =
+        sweep.best.best_s.len() as f64 / sweep.best.best_t.len().max(1) as f64;
+    Fig66 {
+        points: sweep
+            .per_c
+            .iter()
+            .map(|&(c, density, passes)| Point { c, density, passes })
+            .collect(),
+        best_c: sweep.best.c,
+        best_density: sweep.best.best_density,
+        best_pair_ratio: pair_ratio,
+    }
+}
+
+/// Renders the sweep as a table.
+pub fn to_table(r: &Fig66) -> Table {
+    let mut t = Table::new(
+        format!(
+            "Figure 6.6: twitter stand-in — density and passes vs c (ε=1, δ=2); best c = {}",
+            fmt_f(r.best_c, 3)
+        ),
+        &["c", "ρ", "passes"],
+    );
+    for p in &r.points {
+        t.push_row(vec![
+            format!("{:.4e}", p.c),
+            fmt_f(p.density, 2),
+            p.passes.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn best_pair_is_asymmetric() {
+        let r = run(Scale::Tiny);
+        assert!(r.best_density > 0.0);
+        // The celebrity structure forces |S| ≫ |T|.
+        assert!(
+            r.best_pair_ratio > 5.0,
+            "expected a skewed pair, got |S|/|T| = {}",
+            r.best_pair_ratio
+        );
+    }
+
+    #[test]
+    fn density_far_from_best_at_tiny_c() {
+        let r = run(Scale::Tiny);
+        // c far below 1 forces |S| ≤ |T| pairs, which cannot capture the
+        // follower -> celebrity structure; density there is much lower.
+        let tiny_c = r.points.first().unwrap();
+        assert!(
+            tiny_c.density < 0.7 * r.best_density,
+            "tiny c density {} too close to best {}",
+            tiny_c.density,
+            r.best_density
+        );
+    }
+
+    #[test]
+    fn pass_counts_in_paper_range() {
+        // Paper observes 4-7 passes at ε=1 across the twitter grid; allow
+        // a wider band for the stand-in.
+        let r = run(Scale::Tiny);
+        for p in &r.points {
+            assert!(p.passes <= 30, "c={}: {} passes", p.c, p.passes);
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! **Table 4** — the sketching heuristic (§5.1): ratio of the density
+//! found with a Count-Sketch degree oracle to the exact-oracle density,
+//! for three sketch widths and ε ∈ {0, 0.5, 1, 1.5, 2, 2.5}, plus the
+//! memory ratio row.
+//!
+//! The paper used `t = 5` and `b ∈ {30000, 40000, 50000}` against
+//! flickr's 976K nodes (memory ratios 0.16/0.20/0.25). The stand-in keeps
+//! the *ratios* `5·b/n` identical so the trade-off reproduces at any
+//! scale.
+
+use dsg_core::undirected::approx_densest;
+use dsg_datasets::{flickr_standin, Scale};
+use dsg_graph::stream::MemoryStream;
+use dsg_sketch::{approx_densest_sketched, SketchParams};
+
+use crate::table::{fmt_f, Table};
+
+/// ε grid of Table 4.
+pub const EPSILONS: [f64; 6] = [0.0, 0.5, 1.0, 1.5, 2.0, 2.5];
+/// The paper's memory ratios `t·b/n` for the three sketch widths.
+pub const MEMORY_RATIOS: [f64; 3] = [0.16, 0.20, 0.25];
+/// Rows per sketch (paper: t = 5).
+pub const SKETCH_ROWS: usize = 5;
+
+/// One (ε, b) cell.
+#[derive(Clone, Debug)]
+pub struct Cell {
+    /// ε value.
+    pub epsilon: f64,
+    /// Sketch width b.
+    pub b: u32,
+    /// Sketched density / exact density.
+    pub ratio: f64,
+}
+
+/// The experiment result.
+#[derive(Clone, Debug)]
+pub struct Table4 {
+    /// All cells.
+    pub cells: Vec<Cell>,
+    /// The three sketch widths used.
+    pub bs: [u32; 3],
+    /// Memory ratio per width (`t·b/n`).
+    pub memory: [f64; 3],
+}
+
+/// Runs the sketch-quality grid on the flickr stand-in.
+pub fn run(scale: Scale) -> Table4 {
+    let list = flickr_standin(scale);
+    let n = list.num_nodes;
+    let bs: [u32; 3] = [
+        ((MEMORY_RATIOS[0] * n as f64) / SKETCH_ROWS as f64) as u32,
+        ((MEMORY_RATIOS[1] * n as f64) / SKETCH_ROWS as f64) as u32,
+        ((MEMORY_RATIOS[2] * n as f64) / SKETCH_ROWS as f64) as u32,
+    ];
+    let mut cells = Vec::new();
+    let mut memory = [0.0f64; 3];
+    for &eps in &EPSILONS {
+        let mut stream = MemoryStream::new(list.clone());
+        let exact = approx_densest(&mut stream, eps);
+        for (i, &b) in bs.iter().enumerate() {
+            let mut stream = MemoryStream::new(list.clone());
+            let sk = approx_densest_sketched(&mut stream, eps, SketchParams::paper(b, 0x5EED + i as u64));
+            memory[i] = sk.memory_ratio();
+            cells.push(Cell {
+                epsilon: eps,
+                b,
+                ratio: if exact.best_density > 0.0 {
+                    sk.run.best_density / exact.best_density
+                } else {
+                    0.0
+                },
+            });
+        }
+    }
+    Table4 { cells, bs, memory }
+}
+
+/// Renders the grid as a table with the memory row at the bottom.
+pub fn to_table(r: &Table4) -> Table {
+    let mut t = Table::new(
+        "Table 4: ratio of ρ with and without sketching (t=5)",
+        &[
+            "ε",
+            &format!("b={}", r.bs[0]),
+            &format!("b={}", r.bs[1]),
+            &format!("b={}", r.bs[2]),
+        ],
+    );
+    for &eps in &EPSILONS {
+        let row: Vec<String> = std::iter::once(fmt_f(eps, 1))
+            .chain(r.bs.iter().map(|&b| {
+                let c = r
+                    .cells
+                    .iter()
+                    .find(|c| c.epsilon == eps && c.b == b)
+                    .expect("cell computed");
+                fmt_f(c.ratio, 3)
+            }))
+            .collect();
+        t.push_row(row);
+    }
+    t.push_row(
+        std::iter::once("Memory".to_string())
+            .chain(r.memory.iter().map(|&m| fmt_f(m, 2)))
+            .collect(),
+    );
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_and_memory_match_paper_shape() {
+        let r = run(Scale::Tiny);
+        assert_eq!(r.cells.len(), EPSILONS.len() * 3);
+        // Memory ratios ≈ the paper's {0.16, 0.20, 0.25}.
+        for (m, target) in r.memory.iter().zip(&MEMORY_RATIOS) {
+            assert!((m - target).abs() < 0.02, "memory {m} vs {target}");
+        }
+        // Sketch accuracy depends on the *absolute* width b (error ≈
+        // ‖deg‖₂/√b), so at Scale::Tiny (b ≈ 64) the ratios sit lower
+        // than the paper's [0.7, 1.05]; the repro binary runs this
+        // experiment at Scale::Medium where the paper's band reproduces.
+        // Here we check the qualitative regime only.
+        for c in &r.cells {
+            assert!(
+                c.ratio > 0.2 && c.ratio < 1.5,
+                "ε={} b={}: ratio {}",
+                c.epsilon,
+                c.b,
+                c.ratio
+            );
+        }
+    }
+}

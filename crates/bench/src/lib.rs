@@ -1,0 +1,22 @@
+//! # dsg-bench — the reproduction harness
+//!
+//! One module per table/figure of the paper's evaluation (§6). Each
+//! experiment is a plain function returning structured rows, shared by:
+//!
+//! * the `repro` binary (`cargo run -p dsg-bench --bin repro -- <exp>`),
+//!   which prints paper-style tables (or CSV with `--csv`), and
+//! * the Criterion benches under `benches/`, which time the underlying
+//!   algorithm kernels.
+//!
+//! Absolute numbers differ from the paper (synthetic stand-in datasets at
+//! laptop scale; see DESIGN.md §4) but every *shape* is reproduced: who
+//! wins, the effect of ε on quality and passes, the unimodal density
+//! trajectories, the memory/quality trade-off of sketching, and the
+//! per-pass decay of MapReduce cost.
+
+#![warn(clippy::all)]
+
+pub mod experiments;
+pub mod table;
+
+pub use dsg_datasets::Scale;

@@ -1,0 +1,105 @@
+//! Minimal fixed-width table / CSV rendering for the repro binary.
+
+/// A rendered table: a title, column headers, and string rows.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Table caption (e.g. `"Table 2: quality of approximation"`).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Row cells (each row must have `headers.len()` cells).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given title and headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let joined: Vec<String> = cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect();
+            format!("| {} |", joined.join(" | "))
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&format!("|-{}-|\n", sep.join("-|-")));
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as CSV (headers + rows).
+    pub fn render_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with `digits` decimals, trimming to a compact cell.
+pub fn fmt_f(x: f64, digits: usize) -> String {
+    format!("{x:.digits$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.push_row(vec!["a".into(), "1".into()]);
+        t.push_row(vec!["long-name".into(), "22.5".into()]);
+        let s = t.render();
+        assert!(s.contains("## demo"));
+        // Columns are right-aligned to max(header, cell) width.
+        assert!(s.contains("| long-name |  22.5 |"));
+        assert!(s.contains("|         a |     1 |"));
+    }
+
+    #[test]
+    fn renders_csv() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.render_csv(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn fmt_float() {
+        assert_eq!(fmt_f(12.3456, 2), "12.35");
+        assert_eq!(fmt_f(1.0, 3), "1.000");
+    }
+}

@@ -1,0 +1,209 @@
+//! d-core decomposition (Definition 8 of the paper).
+//!
+//! The *d-core* `C_d(G)` is the largest induced subgraph with all degrees
+//! ≥ d; the *core number* of a node is the largest `d` whose core contains
+//! it. The analysis of Algorithm 2 (Theorem 9) reasons about cores, and
+//! the classical facts `C_{d+1} ⊆ C_d` and `ρ*(G) ≥ d_max/2` make cores a
+//! powerful test oracle for the densest-subgraph algorithms.
+//!
+//! Implemented with the Batagelj–Zaveršnik bucket algorithm in O(m + n)
+//! (unweighted graphs).
+
+use dsg_graph::{CsrUndirected, NodeSet};
+
+/// Core numbers of every node of an unweighted undirected graph.
+#[derive(Clone, Debug)]
+pub struct CoreDecomposition {
+    /// `core[u]` = core number of node `u`.
+    pub core: Vec<u32>,
+    /// The maximum core number (degeneracy of the graph).
+    pub degeneracy: u32,
+}
+
+impl CoreDecomposition {
+    /// Computes the core decomposition. Panics on weighted graphs (cores
+    /// are a combinatorial notion on unweighted degrees).
+    pub fn compute(g: &CsrUndirected) -> Self {
+        assert!(
+            !g.is_weighted(),
+            "core decomposition is defined for unweighted graphs"
+        );
+        let n = g.num_nodes();
+        if n == 0 {
+            return CoreDecomposition {
+                core: Vec::new(),
+                degeneracy: 0,
+            };
+        }
+        // Degrees ignoring self-loops.
+        let mut deg: Vec<usize> = (0..n as u32)
+            .map(|u| g.neighbors(u).iter().filter(|&&v| v != u).count())
+            .collect();
+        let max_deg = deg.iter().copied().max().unwrap_or(0);
+
+        // Counting sort of nodes by degree.
+        let mut bin = vec![0usize; max_deg + 2];
+        for &d in &deg {
+            bin[d] += 1;
+        }
+        let mut start = 0usize;
+        for b in bin.iter_mut() {
+            let count = *b;
+            *b = start;
+            start += count;
+        }
+        let mut pos = vec![0usize; n]; // position of node in `vert`
+        let mut vert = vec![0u32; n]; // nodes sorted by current degree
+        for u in 0..n {
+            pos[u] = bin[deg[u]];
+            vert[pos[u]] = u as u32;
+            bin[deg[u]] += 1;
+        }
+        // Restore bin starts.
+        for d in (1..bin.len()).rev() {
+            bin[d] = bin[d - 1];
+        }
+        bin[0] = 0;
+
+        let mut core: Vec<u32> = deg.iter().map(|&d| d as u32).collect();
+        for i in 0..n {
+            let u = vert[i];
+            core[u as usize] = deg[u as usize] as u32;
+            for &v in g.neighbors(u) {
+                let v = v as usize;
+                if v != u as usize && deg[v] > deg[u as usize] {
+                    // Move v one bucket down: swap with the first node of
+                    // its current bucket.
+                    let dv = deg[v];
+                    let pv = pos[v];
+                    let pw = bin[dv];
+                    let w = vert[pw];
+                    if v as u32 != w {
+                        vert.swap(pv, pw);
+                        pos[v] = pw;
+                        pos[w as usize] = pv;
+                    }
+                    bin[dv] += 1;
+                    deg[v] -= 1;
+                }
+            }
+        }
+        let degeneracy = core.iter().copied().max().unwrap_or(0);
+        CoreDecomposition { core, degeneracy }
+    }
+
+    /// The node set of the d-core `C_d(G)`.
+    pub fn core_set(&self, d: u32) -> NodeSet {
+        NodeSet::from_iter(
+            self.core.len(),
+            self.core
+                .iter()
+                .enumerate()
+                .filter(|&(_, &c)| c >= d)
+                .map(|(u, _)| u as u32),
+        )
+    }
+
+    /// Lower bound on `ρ*(G)`: the degeneracy-core has min degree ≥
+    /// degeneracy, so its density is at least `degeneracy / 2`.
+    pub fn density_lower_bound(&self) -> f64 {
+        self.degeneracy as f64 / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsg_graph::gen;
+    use dsg_graph::EdgeList;
+
+    #[test]
+    fn clique_core_numbers() {
+        let g = CsrUndirected::from_edge_list(&gen::clique(6));
+        let d = CoreDecomposition::compute(&g);
+        assert_eq!(d.degeneracy, 5);
+        assert!(d.core.iter().all(|&c| c == 5));
+    }
+
+    #[test]
+    fn clique_with_pendant() {
+        let mut list = gen::clique(5);
+        list.num_nodes = 6;
+        list.push(0, 5);
+        let g = CsrUndirected::from_edge_list(&list);
+        let d = CoreDecomposition::compute(&g);
+        assert_eq!(d.degeneracy, 4);
+        assert_eq!(d.core[5], 1);
+        assert_eq!(d.core[0], 4);
+        assert_eq!(d.core_set(4).to_vec(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(d.core_set(1).len(), 6);
+    }
+
+    #[test]
+    fn tree_has_degeneracy_one() {
+        let g = CsrUndirected::from_edge_list(&gen::star(20));
+        let d = CoreDecomposition::compute(&g);
+        assert_eq!(d.degeneracy, 1);
+    }
+
+    #[test]
+    fn cycle_has_degeneracy_two() {
+        let g = CsrUndirected::from_edge_list(&gen::cycle(9));
+        let d = CoreDecomposition::compute(&g);
+        assert_eq!(d.degeneracy, 2);
+        assert!(d.core.iter().all(|&c| c == 2));
+    }
+
+    #[test]
+    fn cores_are_nested() {
+        let list = gen::planted_dense_subgraph(200, 600, 20, 0.8, 7).graph;
+        let g = CsrUndirected::from_edge_list(&list);
+        let d = CoreDecomposition::compute(&g);
+        for k in 0..d.degeneracy {
+            let a = d.core_set(k + 1);
+            let b = d.core_set(k);
+            assert!(a.is_subset_of(&b), "C_{} ⊄ C_{}", k + 1, k);
+        }
+    }
+
+    #[test]
+    fn core_set_has_min_degree_d() {
+        let list = gen::gnp(150, 0.06, 3);
+        let g = CsrUndirected::from_edge_list(&list);
+        let d = CoreDecomposition::compute(&g);
+        let k = d.degeneracy;
+        let core = d.core_set(k);
+        assert!(!core.is_empty());
+        for u in core.iter() {
+            let induced = g
+                .neighbors(u)
+                .iter()
+                .filter(|&&v| v != u && core.contains(v))
+                .count();
+            assert!(induced >= k as usize, "node {u} has induced degree {induced} < {k}");
+        }
+    }
+
+    #[test]
+    fn density_lower_bound_is_valid() {
+        for seed in 0..5 {
+            let list = gen::gnp(14, 0.4, seed);
+            let g = CsrUndirected::from_edge_list(&list);
+            let d = CoreDecomposition::compute(&g);
+            let (_, opt) = dsg_flow::brute_force_densest(&g);
+            assert!(
+                d.density_lower_bound() <= opt + 1e-9,
+                "seed {seed}: bound {} vs optimum {opt}",
+                d.density_lower_bound()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrUndirected::from_edge_list(&EdgeList::new_undirected(0));
+        let d = CoreDecomposition::compute(&g);
+        assert_eq!(d.degeneracy, 0);
+        assert!(d.core.is_empty());
+    }
+}

@@ -1,0 +1,97 @@
+//! Degree oracles — the abstraction behind §5.1 of the paper.
+//!
+//! Per pass, the streaming algorithm only needs each live node's induced
+//! degree. The exact oracle keeps `n` counters (`O(n)` words — matching
+//! the space bound of Lemma 7 up to the liveness bits); the Count-Sketch
+//! oracle in the `dsg-sketch` crate keeps `t·b ≪ n` counters at the price
+//! of probabilistic estimates. Algorithm 1 is generic over this trait, so
+//! both run through identical control flow — exactly the comparison of
+//! Table 4.
+
+/// A per-pass degree accumulator.
+///
+/// Protocol per pass: [`DegreeOracle::reset`], then one
+/// [`DegreeOracle::record`] call per live edge, then any number of
+/// [`DegreeOracle::degree`] queries.
+pub trait DegreeOracle {
+    /// Clears all counters for a new pass.
+    fn reset(&mut self);
+
+    /// Records a live edge `(u, v)` of weight `w`, incrementing the degree
+    /// of both endpoints.
+    fn record(&mut self, u: u32, v: u32, w: f64);
+
+    /// Returns the (possibly estimated) accumulated degree of `u`.
+    fn degree(&self, u: u32) -> f64;
+
+    /// Number of machine words of counter state (used for the memory row
+    /// of Table 4).
+    fn memory_words(&self) -> usize;
+}
+
+/// The exact oracle: one `f64` counter per node.
+#[derive(Clone, Debug)]
+pub struct ExactDegreeOracle {
+    degrees: Vec<f64>,
+}
+
+impl ExactDegreeOracle {
+    /// Creates an oracle for a graph with `num_nodes` nodes.
+    pub fn new(num_nodes: u32) -> Self {
+        ExactDegreeOracle {
+            degrees: vec![0.0; num_nodes as usize],
+        }
+    }
+
+    /// Read-only view of the degree vector.
+    pub fn degrees(&self) -> &[f64] {
+        &self.degrees
+    }
+}
+
+impl DegreeOracle for ExactDegreeOracle {
+    fn reset(&mut self) {
+        self.degrees.fill(0.0);
+    }
+
+    #[inline]
+    fn record(&mut self, u: u32, v: u32, w: f64) {
+        self.degrees[u as usize] += w;
+        self.degrees[v as usize] += w;
+    }
+
+    #[inline]
+    fn degree(&self, u: u32) -> f64 {
+        self.degrees[u as usize]
+    }
+
+    fn memory_words(&self) -> usize {
+        self.degrees.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_oracle_accumulates() {
+        let mut o = ExactDegreeOracle::new(4);
+        o.record(0, 1, 1.0);
+        o.record(0, 2, 2.0);
+        assert_eq!(o.degree(0), 3.0);
+        assert_eq!(o.degree(1), 1.0);
+        assert_eq!(o.degree(2), 2.0);
+        assert_eq!(o.degree(3), 0.0);
+        assert_eq!(o.memory_words(), 4);
+    }
+
+    #[test]
+    fn exact_oracle_reset() {
+        let mut o = ExactDegreeOracle::new(2);
+        o.record(0, 1, 5.0);
+        o.reset();
+        assert_eq!(o.degree(0), 0.0);
+        assert_eq!(o.degree(1), 0.0);
+    }
+}

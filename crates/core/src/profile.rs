@@ -1,0 +1,127 @@
+//! Density profiles along a peeling order.
+//!
+//! Charikar's analysis shows *some* prefix of the min-degree peeling
+//! order is a 2-approximation; the full density-vs-prefix curve (the
+//! "peeling profile") is a compact summary of a graph's density
+//! landscape — where the dense cores sit and how sharply density decays.
+//! Useful for picking ε and `min_density` thresholds, and for the
+//! community-structure diagnostics the paper's applications (community
+//! mining, spam detection) care about.
+
+use dsg_graph::CsrUndirected;
+
+use crate::charikar::charikar_peel;
+
+/// The density profile of a graph along Charikar's peeling order.
+#[derive(Clone, Debug)]
+pub struct PeelingProfile {
+    /// `densities[i]` = density of the graph after peeling `i` nodes
+    /// (index 0 is the full graph; length `n`, the last entry being a
+    /// single node with density 0).
+    pub densities: Vec<f64>,
+    /// Prefix index attaining the maximum density.
+    pub best_prefix: usize,
+    /// The maximum density (Charikar's 2-approximation value).
+    pub best_density: f64,
+}
+
+/// Computes the density of every suffix of the peeling order in one
+/// O(m + n) sweep (on top of the peel itself).
+pub fn peeling_profile(g: &CsrUndirected) -> PeelingProfile {
+    let n = g.num_nodes();
+    if n == 0 {
+        return PeelingProfile {
+            densities: Vec::new(),
+            best_prefix: 0,
+            best_density: 0.0,
+        };
+    }
+    let peel = charikar_peel(g);
+    // Replay the peeling, tracking the remaining edge weight.
+    let mut alive = vec![true; n];
+    let mut remaining_w = 0.0f64;
+    for u in 0..n as u32 {
+        for (v, w) in g.neighbors_weighted(u) {
+            if v != u {
+                remaining_w += w;
+            }
+        }
+    }
+    remaining_w /= 2.0;
+
+    let mut densities = Vec::with_capacity(n);
+    let mut best_prefix = 0usize;
+    let mut best_density = remaining_w / n as f64;
+    for (i, &u) in peel.peel_order.iter().enumerate() {
+        let remaining_nodes = n - i;
+        let d = remaining_w / remaining_nodes as f64;
+        densities.push(d);
+        if d > best_density {
+            best_density = d;
+            best_prefix = i;
+        }
+        // Peel u.
+        alive[u as usize] = false;
+        for (v, w) in g.neighbors_weighted(u) {
+            if v != u as u32 && alive[v as usize] {
+                remaining_w -= w;
+            }
+        }
+    }
+    PeelingProfile {
+        densities,
+        best_prefix,
+        best_density,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsg_graph::gen;
+
+    #[test]
+    fn profile_of_clique_decreases() {
+        let g = CsrUndirected::from_edge_list(&gen::clique(8));
+        let p = peeling_profile(&g);
+        assert_eq!(p.densities.len(), 8);
+        // Full clique is the best prefix.
+        assert_eq!(p.best_prefix, 0);
+        assert!((p.best_density - 3.5).abs() < 1e-12);
+        // Densities of K8, K7, K6, ... strictly decrease.
+        for w in p.densities.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn profile_peak_matches_charikar() {
+        let pg = gen::planted_dense_subgraph(300, 900, 20, 0.8, 5);
+        let g = CsrUndirected::from_edge_list(&pg.graph);
+        let p = peeling_profile(&g);
+        let peel = charikar_peel(&g);
+        assert!((p.best_density - peel.best_density).abs() < 1e-9);
+        // The peak density appears in the profile at the best prefix.
+        assert!((p.densities[p.best_prefix] - p.best_density).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profile_rises_to_planted_core() {
+        // Sparse background peels away first, so density rises before
+        // the peak — the unimodal shape of Figure 6.2.
+        let pg = gen::planted_clique(400, 800, 15, 9);
+        let g = CsrUndirected::from_edge_list(&pg.graph);
+        let p = peeling_profile(&g);
+        assert!(p.best_prefix > 0, "background must peel before the core");
+        assert!(p.densities[0] < p.best_density);
+        assert!((p.best_density - 7.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_graph_profile() {
+        let g = CsrUndirected::from_edge_list(&dsg_graph::EdgeList::new_undirected(0));
+        let p = peeling_profile(&g);
+        assert!(p.densities.is_empty());
+        assert_eq!(p.best_density, 0.0);
+    }
+}

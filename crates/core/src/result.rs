@@ -1,0 +1,130 @@
+//! Result and per-pass trace types shared by all algorithms.
+//!
+//! Every run records a [`PassStats`] per pass; the experiment harness uses
+//! these traces to regenerate the paper's Figures 6.2 (density vs. pass),
+//! 6.3 (remaining nodes/edges vs. pass), and 6.5 (directed |S|, |T|,
+//! |E(S,T)| vs. pass).
+
+use dsg_graph::NodeSet;
+
+/// Statistics captured at one pass of an undirected run, *before* the
+/// pass's removals are applied.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PassStats {
+    /// 1-based pass index.
+    pub pass: u32,
+    /// `|S|` at the start of the pass.
+    pub nodes: usize,
+    /// `w(E(S))` at the start of the pass (edge count if unweighted).
+    pub edge_weight: f64,
+    /// `ρ(S)` at the start of the pass.
+    pub density: f64,
+    /// Removal threshold used this pass (`2(1+ε)ρ(S)`).
+    pub threshold: f64,
+    /// Number of nodes removed by this pass.
+    pub removed: usize,
+}
+
+/// The outcome of an undirected run (Algorithms 1 and 2, and the sketched
+/// variant).
+#[derive(Clone, Debug)]
+pub struct UndirectedRun {
+    /// The best (densest) intermediate subgraph `S̃`.
+    pub best_set: NodeSet,
+    /// `ρ(S̃)`.
+    pub best_density: f64,
+    /// Pass at which the best set was observed (1-based; pass 1 is the
+    /// full node set).
+    pub best_pass: u32,
+    /// Number of passes over the edge stream.
+    pub passes: u32,
+    /// Per-pass trace.
+    pub trace: Vec<PassStats>,
+}
+
+impl UndirectedRun {
+    /// Densities per pass, normalized by the best density — the series of
+    /// Figure 6.2.
+    pub fn relative_density_series(&self) -> Vec<f64> {
+        if self.best_density <= 0.0 {
+            return self.trace.iter().map(|_| 0.0).collect();
+        }
+        self.trace
+            .iter()
+            .map(|p| p.density / self.best_density)
+            .collect()
+    }
+}
+
+/// Statistics captured at one pass of a directed run (Algorithm 3),
+/// *before* the pass's removals.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DirectedPassStats {
+    /// 1-based pass index.
+    pub pass: u32,
+    /// `|S|` at the start of the pass.
+    pub s_size: usize,
+    /// `|T|` at the start of the pass.
+    pub t_size: usize,
+    /// `|E(S, T)|` at the start of the pass.
+    pub edges: usize,
+    /// `ρ(S, T)` at the start of the pass.
+    pub density: f64,
+    /// `true` if this pass removed from `S`, `false` if from `T`.
+    pub removed_from_s: bool,
+    /// Number of nodes removed by this pass.
+    pub removed: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_series_normalizes() {
+        let run = UndirectedRun {
+            best_set: NodeSet::empty(4),
+            best_density: 2.0,
+            best_pass: 2,
+            passes: 2,
+            trace: vec![
+                PassStats {
+                    pass: 1,
+                    nodes: 4,
+                    edge_weight: 4.0,
+                    density: 1.0,
+                    threshold: 2.0,
+                    removed: 2,
+                },
+                PassStats {
+                    pass: 2,
+                    nodes: 2,
+                    edge_weight: 4.0,
+                    density: 2.0,
+                    threshold: 4.0,
+                    removed: 2,
+                },
+            ],
+        };
+        assert_eq!(run.relative_density_series(), vec![0.5, 1.0]);
+    }
+
+    #[test]
+    fn relative_series_zero_density() {
+        let run = UndirectedRun {
+            best_set: NodeSet::empty(1),
+            best_density: 0.0,
+            best_pass: 1,
+            passes: 1,
+            trace: vec![PassStats {
+                pass: 1,
+                nodes: 1,
+                edge_weight: 0.0,
+                density: 0.0,
+                threshold: 0.0,
+                removed: 1,
+            }],
+        };
+        assert_eq!(run.relative_density_series(), vec![0.0]);
+    }
+}

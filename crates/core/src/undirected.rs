@@ -1,0 +1,440 @@
+//! **Algorithm 1** — the `(2+2ε)`-approximation for undirected graphs.
+//!
+//! ```text
+//! S̃, S ← V
+//! while S ≠ ∅:
+//!     A(S) ← { i ∈ S : deg_S(i) ≤ 2(1+ε)·ρ(S) }
+//!     S ← S \ A(S)
+//!     if ρ(S) > ρ(S̃): S̃ ← S
+//! return S̃
+//! ```
+//!
+//! Guarantees (Lemmas 3 and 4 of the paper): `ρ(S̃) ≥ ρ*(G)/(2+2ε)` and at
+//! most `O(log_{1+ε} n)` iterations, each of which is a single pass over
+//! the edge stream using `O(n)` memory (the liveness bits plus the degree
+//! counters of the [`DegreeOracle`]).
+//!
+//! Two implementations:
+//! * [`approx_densest`] / [`approx_densest_with_oracle`] — the streaming
+//!   form: one pass per iteration recomputes live degrees from scratch.
+//! * [`approx_densest_csr`] — the in-memory form: degrees are maintained
+//!   decrementally while peeling, which is asymptotically cheaper
+//!   (`O(m + n)` total) and produces the **identical** sequence of sets.
+//!
+//! Note on `ε = 0`: the paper remarks termination is not guaranteed; with
+//! our (paper-faithful) non-strict `≤` comparison the minimum-degree node
+//! always satisfies `deg ≤ 2ρ(S)`, so at least one node is removed per
+//! pass and `ε = 0` terminates (in up to `n` passes) with Charikar-quality
+//! output. The sketched oracle can over-estimate every degree; the
+//! implementation then falls back to removing the minimum-estimate node to
+//! preserve termination.
+
+use dsg_graph::stream::EdgeStream;
+use dsg_graph::{density, CsrUndirected, NodeSet};
+
+use crate::oracle::{DegreeOracle, ExactDegreeOracle};
+use crate::result::{PassStats, UndirectedRun};
+
+/// Runs Algorithm 1 over an edge stream with exact degree counters.
+///
+/// `epsilon ≥ 0`; larger values reduce passes at the cost of the
+/// `(2+2ε)` approximation factor.
+///
+/// ```
+/// use dsg_graph::gen;
+/// use dsg_graph::stream::MemoryStream;
+/// use dsg_core::undirected::approx_densest;
+///
+/// // K8 (density 3.5) plus a long path.
+/// let mut g = gen::clique(8);
+/// g.disjoint_union(&gen::path(100));
+/// let mut stream = MemoryStream::new(g);
+/// let run = approx_densest(&mut stream, 0.5);
+/// assert_eq!(run.best_set.len(), 8);
+/// assert!((run.best_density - 3.5).abs() < 1e-9);
+/// ```
+pub fn approx_densest<S: EdgeStream + ?Sized>(stream: &mut S, epsilon: f64) -> UndirectedRun {
+    let mut oracle = ExactDegreeOracle::new(stream.num_nodes());
+    approx_densest_with_oracle(stream, epsilon, &mut oracle)
+}
+
+/// Runs Algorithm 1 over an edge stream with a caller-supplied degree
+/// oracle (exact or sketched — §5.1 of the paper).
+///
+/// The density `ρ(S)` is always computed from the *exact* live edge count
+/// (a single counter); only the per-node degrees go through the oracle.
+pub fn approx_densest_with_oracle<S, O>(stream: &mut S, epsilon: f64, oracle: &mut O) -> UndirectedRun
+where
+    S: EdgeStream + ?Sized,
+    O: DegreeOracle + ?Sized,
+{
+    assert!(epsilon >= 0.0, "epsilon must be non-negative");
+    let n = stream.num_nodes();
+    let mut alive = NodeSet::full(n as usize);
+    let mut best_set = alive.clone();
+    let mut best_density = 0.0f64;
+    let mut best_pass = 0u32;
+    let mut trace = Vec::new();
+    let mut pass = 0u32;
+    let mut removal_buf: Vec<u32> = Vec::new();
+
+    while !alive.is_empty() {
+        pass += 1;
+        // One streaming pass: live-edge weight (exact) + live degrees.
+        oracle.reset();
+        let mut total_w = 0.0f64;
+        {
+            let alive_ref = &alive;
+            let oracle_ref = &mut *oracle;
+            let total_ref = &mut total_w;
+            stream.for_each_edge(&mut |u, v, w| {
+                if u != v && alive_ref.contains(u) && alive_ref.contains(v) {
+                    oracle_ref.record(u, v, w);
+                    *total_ref += w;
+                }
+            });
+        }
+        let rho = density::undirected(total_w, alive.len());
+        if rho > best_density || pass == 1 {
+            best_density = rho;
+            best_set = alive.clone();
+            best_pass = pass;
+        }
+        let threshold = density::undirected_threshold(rho, epsilon);
+
+        removal_buf.clear();
+        for u in alive.iter() {
+            if oracle.degree(u) <= threshold {
+                removal_buf.push(u);
+            }
+        }
+        if removal_buf.is_empty() {
+            // Only reachable with biased (over-estimating, e.g. Count-Min)
+            // sketched degrees. Force geometric progress with Algorithm
+            // 2's rule: evict the ε/(1+ε)·|S| smallest-estimate nodes
+            // (at least one), which preserves the O(log_{1+ε} n) pass
+            // bound no matter how biased the oracle is.
+            let mut by_estimate: Vec<(f64, u32)> =
+                alive.iter().map(|u| (oracle.degree(u), u)).collect();
+            by_estimate.sort_by(|a, b| {
+                a.0.partial_cmp(&b.0)
+                    .expect("degree estimates are never NaN")
+                    .then(a.1.cmp(&b.1))
+            });
+            let target = ((epsilon / (1.0 + epsilon)) * alive.len() as f64).ceil() as usize;
+            let target = target.clamp(1, alive.len());
+            removal_buf.extend(by_estimate[..target].iter().map(|&(_, u)| u));
+        }
+        trace.push(PassStats {
+            pass,
+            nodes: alive.len(),
+            edge_weight: total_w,
+            density: rho,
+            threshold,
+            removed: removal_buf.len(),
+        });
+        for &u in &removal_buf {
+            alive.remove(u);
+        }
+    }
+
+    UndirectedRun {
+        best_set,
+        best_density,
+        best_pass,
+        passes: pass,
+        trace,
+    }
+}
+
+/// Runs Algorithm 1 on an in-memory CSR graph with decremental degree
+/// maintenance.
+///
+/// Produces exactly the same sequence of sets (hence the same result and
+/// trace) as [`approx_densest`] on a stream of the same graph, but in
+/// `O(m + n)` total work instead of one full edge scan per pass.
+pub fn approx_densest_csr(g: &CsrUndirected, epsilon: f64) -> UndirectedRun {
+    assert!(epsilon >= 0.0, "epsilon must be non-negative");
+    let n = g.num_nodes();
+    let mut alive = NodeSet::full(n);
+    let mut deg: Vec<f64> = (0..n as u32).map(|u| g.weighted_degree(u)).collect();
+    // Self-loops are excluded from the induced-degree semantics of the
+    // streaming variant; subtract them up front.
+    let mut total_w = 0.0f64;
+    for u in 0..n as u32 {
+        for (v, w) in g.neighbors_weighted(u) {
+            if v == u {
+                deg[u as usize] -= w;
+            } else {
+                total_w += w;
+            }
+        }
+    }
+    total_w /= 2.0;
+
+    let mut best_set = alive.clone();
+    let mut best_density = 0.0f64;
+    let mut best_pass = 0u32;
+    let mut trace = Vec::new();
+    let mut pass = 0u32;
+    let mut in_removal = vec![false; n];
+    let mut removal_buf: Vec<u32> = Vec::new();
+
+    while !alive.is_empty() {
+        pass += 1;
+        let mut rho = density::undirected(total_w, alive.len());
+        let mut threshold = density::undirected_threshold(rho, epsilon);
+
+        removal_buf.clear();
+        for u in alive.iter() {
+            if deg[u as usize] <= threshold {
+                removal_buf.push(u);
+                in_removal[u as usize] = true;
+            }
+        }
+        if removal_buf.is_empty() {
+            // Only reachable through floating-point drift of the
+            // decrementally maintained degrees (weighted graphs): rebuild
+            // the exact state — which is what the streaming variant holds
+            // every pass — and retry.
+            total_w = 0.0;
+            for u in alive.iter() {
+                let mut d = 0.0;
+                for (v, w) in g.neighbors_weighted(u) {
+                    if v != u && alive.contains(v) {
+                        d += w;
+                        total_w += w;
+                    }
+                }
+                deg[u as usize] = d;
+            }
+            total_w /= 2.0;
+            rho = density::undirected(total_w, alive.len());
+            threshold = density::undirected_threshold(rho, epsilon);
+            for u in alive.iter() {
+                if deg[u as usize] <= threshold {
+                    removal_buf.push(u);
+                    in_removal[u as usize] = true;
+                }
+            }
+        }
+        assert!(!removal_buf.is_empty(), "exact degrees always remove ≥ 1 node");
+        if rho > best_density || pass == 1 {
+            best_density = rho;
+            best_set = alive.clone();
+            best_pass = pass;
+        }
+        trace.push(PassStats {
+            pass,
+            nodes: alive.len(),
+            edge_weight: total_w,
+            density: rho,
+            threshold,
+            removed: removal_buf.len(),
+        });
+
+        // Decrement neighbor degrees and the live edge weight.
+        for &u in &removal_buf {
+            for (v, w) in g.neighbors_weighted(u) {
+                if v != u && alive.contains(v) {
+                    if in_removal[v as usize] {
+                        // Intra-batch edge: visited from both sides.
+                        total_w -= w * 0.5;
+                    } else {
+                        total_w -= w;
+                        deg[v as usize] -= w;
+                    }
+                }
+            }
+        }
+        for &u in &removal_buf {
+            alive.remove(u);
+            deg[u as usize] = 0.0;
+            in_removal[u as usize] = false;
+        }
+        // Guard against floating-point drift on weighted graphs.
+        if total_w < 0.0 {
+            total_w = 0.0;
+        }
+    }
+
+    UndirectedRun {
+        best_set,
+        best_density,
+        best_pass,
+        passes: pass,
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsg_graph::gen;
+    use dsg_graph::stream::MemoryStream;
+    use dsg_graph::EdgeList;
+
+    fn run_stream(list: &EdgeList, eps: f64) -> UndirectedRun {
+        let mut s = MemoryStream::new(list.clone());
+        approx_densest(&mut s, eps)
+    }
+
+    #[test]
+    fn clique_found_immediately() {
+        let run = run_stream(&gen::clique(10), 0.5);
+        assert!((run.best_density - 4.5).abs() < 1e-12);
+        assert_eq!(run.best_set.len(), 10);
+        assert_eq!(run.best_pass, 1);
+    }
+
+    #[test]
+    fn planted_clique_within_guarantee() {
+        let pg = gen::planted_clique(300, 600, 20, 5);
+        for eps in [0.0, 0.1, 0.5, 1.0, 2.0] {
+            let run = run_stream(&pg.graph, eps);
+            let bound = pg.planted_density / (2.0 + 2.0 * eps);
+            assert!(
+                run.best_density + 1e-9 >= bound,
+                "eps {eps}: density {} below bound {bound}",
+                run.best_density
+            );
+        }
+    }
+
+    #[test]
+    fn pass_bound_holds() {
+        // Lemma 4: at most ceil(log_{1+eps} n) + 1 passes.
+        let pg = gen::planted_dense_subgraph(500, 2000, 25, 0.7, 9);
+        for eps in [0.5, 1.0, 2.0] {
+            let run = run_stream(&pg.graph, eps);
+            let bound = ((500.0f64).ln() / (1.0 + eps).ln()).ceil() as u32 + 2;
+            assert!(
+                run.passes <= bound,
+                "eps {eps}: {} passes > bound {bound}",
+                run.passes
+            );
+        }
+    }
+
+    #[test]
+    fn stream_and_csr_agree_exactly() {
+        for seed in 0..5 {
+            let list = gen::gnp(120, 0.08, seed);
+            let csr = CsrUndirected::from_edge_list(&list);
+            for eps in [0.0, 0.3, 1.0] {
+                let a = run_stream(&list, eps);
+                let b = approx_densest_csr(&csr, eps);
+                assert_eq!(a.passes, b.passes, "seed {seed} eps {eps}");
+                assert_eq!(a.best_set.to_vec(), b.best_set.to_vec());
+                assert!((a.best_density - b.best_density).abs() < 1e-9);
+                assert_eq!(a.trace.len(), b.trace.len());
+                for (x, y) in a.trace.iter().zip(&b.trace) {
+                    assert_eq!(x.nodes, y.nodes);
+                    assert_eq!(x.removed, y.removed);
+                    assert!((x.density - y.density).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_stream_and_csr_agree() {
+        let list = gen::weighted_powerlaw(60, 0.5, 500.0);
+        let csr = CsrUndirected::from_edge_list(&list);
+        let a = run_stream(&list, 1.0);
+        let b = approx_densest_csr(&csr, 1.0);
+        assert_eq!(a.passes, b.passes);
+        assert!((a.best_density - b.best_density).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_and_trivial_graphs() {
+        let run = run_stream(&EdgeList::new_undirected(0), 0.5);
+        assert_eq!(run.best_density, 0.0);
+        assert_eq!(run.passes, 0);
+
+        // Isolated nodes: density 0, one pass removes everything.
+        let run = run_stream(&EdgeList::new_undirected(7), 0.5);
+        assert_eq!(run.best_density, 0.0);
+        assert_eq!(run.passes, 1);
+        assert_eq!(run.trace[0].removed, 7);
+    }
+
+    #[test]
+    fn single_edge() {
+        let mut g = EdgeList::new_undirected(2);
+        g.push(0, 1);
+        let run = run_stream(&g, 0.5);
+        assert!((run.best_density - 0.5).abs() < 1e-12);
+        assert_eq!(run.best_set.len(), 2);
+    }
+
+    #[test]
+    fn self_loops_are_ignored() {
+        // The run on a graph with a self-loop must be identical to the run
+        // on the same graph without it.
+        let mut with_loop = EdgeList::new_undirected(3);
+        with_loop.push(0, 0);
+        with_loop.push(0, 1);
+        let mut without_loop = EdgeList::new_undirected(3);
+        without_loop.push(0, 1);
+        let a = run_stream(&with_loop, 0.5);
+        let b = run_stream(&without_loop, 0.5);
+        assert_eq!(a.passes, b.passes);
+        assert!((a.best_density - b.best_density).abs() < 1e-12);
+        assert_eq!(a.best_set.to_vec(), b.best_set.to_vec());
+        // The self-loop contributes nothing to ρ(V) = 1/3.
+        assert!((a.trace[0].density - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn epsilon_zero_terminates_on_regular_graph() {
+        // On a regular graph every node's degree equals 2ρ, so the first
+        // pass removes everything; best set is the full graph.
+        let run = run_stream(&gen::circulant(50, 6), 0.0);
+        assert_eq!(run.passes, 1);
+        assert!((run.best_density - 3.0).abs() < 1e-12);
+        assert_eq!(run.best_set.len(), 50);
+    }
+
+    #[test]
+    fn larger_epsilon_fewer_passes() {
+        let pg = gen::planted_dense_subgraph(2000, 10_000, 50, 0.5, 13);
+        let p0 = run_stream(&pg.graph, 0.1).passes;
+        let p2 = run_stream(&pg.graph, 2.0).passes;
+        assert!(p2 < p0, "eps 2.0 gave {p2} passes vs {p0} for eps 0.1");
+    }
+
+    #[test]
+    fn trace_is_monotone_in_nodes() {
+        let pg = gen::planted_dense_subgraph(400, 1500, 20, 0.8, 3);
+        let run = run_stream(&pg.graph, 0.5);
+        for w in run.trace.windows(2) {
+            assert!(w[1].nodes < w[0].nodes, "node count must strictly shrink");
+            assert_eq!(w[1].nodes, w[0].nodes - w[0].removed);
+        }
+        // Total removals equal n.
+        let total: usize = run.trace.iter().map(|p| p.removed).sum();
+        assert_eq!(total, 400);
+    }
+
+    #[test]
+    fn best_pass_recorded() {
+        // Two cliques joined by nothing: the bigger clique only becomes the
+        // current set after sparse nodes are gone; best_pass tracks that.
+        let mut g = gen::clique(12);
+        g.disjoint_union(&gen::path(100));
+        let run = run_stream(&g, 0.5);
+        assert!((run.best_density - 5.5).abs() < 1e-9);
+        assert!(run.best_pass >= 1);
+        assert_eq!(run.best_set.len(), 12);
+    }
+
+    #[test]
+    fn stream_pass_count_matches_reported() {
+        let pg = gen::planted_dense_subgraph(300, 900, 15, 0.9, 1);
+        let mut s = MemoryStream::new(pg.graph);
+        let run = approx_densest(&mut s, 1.0);
+        assert_eq!(s.passes(), run.passes as u64);
+    }
+}

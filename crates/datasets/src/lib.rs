@@ -1,0 +1,27 @@
+//! # dsg-datasets — evaluation graphs for the reproduction
+//!
+//! The paper evaluates on four proprietary/huge social networks (Table 1:
+//! flickr, im, livejournal, twitter) and seven public SNAP graphs
+//! (Table 2). Neither is available in this offline environment, so this
+//! crate provides:
+//!
+//! * [`standins`] — parameterized synthetic stand-ins with the same
+//!   *shape* (power-law degree skew, planted dense cores, directed
+//!   celebrity skew for twitter) at laptop scale. Every generator accepts
+//!   a [`Scale`] so experiments can be sized to the machine.
+//! * [`snap`] — stand-ins for the seven SNAP graphs of Table 2 (matched
+//!   node/edge counts, planted communities calibrated to produce a
+//!   comparable ρ*), plus a loader that transparently substitutes the
+//!   *real* SNAP file when one is present on disk, so the experiment
+//!   harness upgrades itself when data is available.
+//!
+//! See DESIGN.md §4 for the substitution rationale.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod snap;
+pub mod standins;
+
+pub use snap::{load_or_synthesize, table2_graphs, Table2Graph};
+pub use standins::{flickr_standin, im_standin, livejournal_standin, twitter_standin, Scale};

@@ -1,0 +1,156 @@
+//! Stand-ins for the seven SNAP graphs of Table 2.
+//!
+//! Table 2 measures `ρ*(G)/ρ̃(G)` — exact optimum over Algorithm 1's
+//! output — on seven moderately sized public graphs. Offline, we
+//! synthesize graphs with the same node/edge counts and a planted
+//! community calibrated so the exact optimum lands in the same range as
+//! the paper reports; when the *real* SNAP edge list is present on disk
+//! (e.g. downloaded from snap.stanford.edu), [`load_or_synthesize`] parses
+//! it instead, so the harness reproduces the genuine Table 2 when data is
+//! available.
+
+use std::path::Path;
+
+use dsg_graph::gen;
+use dsg_graph::io::read_text;
+use dsg_graph::{EdgeList, GraphKind};
+
+/// Descriptor of one Table 2 row.
+#[derive(Clone, Copy, Debug)]
+pub struct Table2Graph {
+    /// SNAP dataset name.
+    pub name: &'static str,
+    /// Node count of the real dataset.
+    pub nodes: u32,
+    /// Edge count of the real dataset.
+    pub edges: usize,
+    /// The exact optimum the paper reports (`ρ*(G)` column).
+    pub paper_rho_star: f64,
+}
+
+/// The seven graphs of Table 2 with the paper's reported parameters.
+pub const TABLE2: [Table2Graph; 7] = [
+    Table2Graph { name: "as20000102", nodes: 6_474, edges: 13_233, paper_rho_star: 9.29 },
+    Table2Graph { name: "ca-AstroPh", nodes: 18_772, edges: 396_160, paper_rho_star: 32.12 },
+    Table2Graph { name: "ca-CondMat", nodes: 23_133, edges: 186_936, paper_rho_star: 13.47 },
+    Table2Graph { name: "ca-GrQc", nodes: 5_242, edges: 28_980, paper_rho_star: 22.39 },
+    Table2Graph { name: "ca-HepPh", nodes: 12_008, edges: 237_010, paper_rho_star: 119.00 },
+    Table2Graph { name: "ca-HepTh", nodes: 9_877, edges: 51_971, paper_rho_star: 15.50 },
+    Table2Graph { name: "email-Enron", nodes: 36_692, edges: 367_662, paper_rho_star: 37.34 },
+];
+
+/// Synthesizes a stand-in for one Table 2 graph: a `G(n, m)` background
+/// with a planted near-clique calibrated so `ρ*` is close to the paper's
+/// value (`ρ* ≈ p·(k-1)/2` for a planted `G(k, p)`, so `k ≈ 2ρ*/p + 1`).
+pub fn synthesize(desc: &Table2Graph, seed: u64) -> EdgeList {
+    let p = 0.85;
+    let k = ((2.0 * desc.paper_rho_star / p) + 1.0).round() as u32;
+    let planted_edges = (p * (k as f64) * (k as f64 - 1.0) / 2.0) as usize;
+    let background = desc.edges.saturating_sub(planted_edges);
+    gen::planted_dense_subgraph(desc.nodes, background, k, p, seed).graph
+}
+
+/// Loads the real SNAP edge list for `desc.name` from `data_dir` if a file
+/// `<data_dir>/<name>.txt` exists; otherwise synthesizes the stand-in.
+///
+/// Returns the graph and `true` when real data was used. SNAP files list
+/// each undirected edge in both orientations with `#` comment headers;
+/// canonicalization dedups them.
+pub fn load_or_synthesize(desc: &Table2Graph, data_dir: Option<&Path>, seed: u64) -> (EdgeList, bool) {
+    if let Some(dir) = data_dir {
+        let path = dir.join(format!("{}.txt", desc.name));
+        if path.exists() {
+            if let Ok(mut g) = read_text(&path, GraphKind::Undirected) {
+                g.canonicalize();
+                return (g, true);
+            }
+        }
+    }
+    (synthesize(desc, seed), false)
+}
+
+/// All seven Table 2 graphs (synthesized, or loaded from `data_dir` when
+/// files are available). Returns `(descriptor, graph, is_real_data)`.
+pub fn table2_graphs(data_dir: Option<&Path>) -> Vec<(Table2Graph, EdgeList, bool)> {
+    TABLE2
+        .iter()
+        .enumerate()
+        .map(|(i, desc)| {
+            let (g, real) = load_or_synthesize(desc, data_dir, 0x7AB1E2 + i as u64);
+            (*desc, g, real)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthesized_matches_paper_scale() {
+        for desc in &TABLE2 {
+            let g = synthesize(desc, 1);
+            g.validate().unwrap();
+            assert_eq!(g.num_nodes, desc.nodes);
+            // Canonicalization removes a few collisions; stay within 5%.
+            let m = g.num_edges() as f64;
+            assert!(
+                (m - desc.edges as f64).abs() < 0.05 * desc.edges as f64 + 50.0,
+                "{}: {m} edges vs target {}",
+                desc.name,
+                desc.edges
+            );
+        }
+    }
+
+    #[test]
+    fn planted_density_tracks_paper_rho() {
+        use dsg_core::charikar_peel;
+        use dsg_graph::CsrUndirected;
+        // Charikar's 2-approx on the stand-in must reach at least half the
+        // calibrated ρ*, confirming the planted core exists at the right
+        // density scale.
+        let desc = &TABLE2[0]; // as20000102, ρ* ≈ 9.29
+        let g = synthesize(desc, 2);
+        let csr = CsrUndirected::from_edge_list(&g);
+        let peel = charikar_peel(&csr);
+        assert!(
+            peel.best_density >= desc.paper_rho_star * 0.5,
+            "peel density {} vs paper ρ* {}",
+            peel.best_density,
+            desc.paper_rho_star
+        );
+        // And the stand-in shouldn't wildly exceed the target either.
+        assert!(peel.best_density <= desc.paper_rho_star * 2.0);
+    }
+
+    #[test]
+    fn loader_falls_back_to_synthetic() {
+        let (g, real) = load_or_synthesize(&TABLE2[3], Some(Path::new("/nonexistent")), 3);
+        assert!(!real);
+        assert_eq!(g.num_nodes, TABLE2[3].nodes);
+    }
+
+    #[test]
+    fn loader_prefers_real_file() {
+        let dir = std::env::temp_dir().join("dsg_snap_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("ca-GrQc.txt"),
+            "# fake tiny file\n0 1\n1 0\n1 2\n",
+        )
+        .unwrap();
+        let (g, real) = load_or_synthesize(&TABLE2[3], Some(&dir), 3);
+        assert!(real);
+        assert_eq!(g.num_edges(), 2); // deduped orientations
+    }
+
+    #[test]
+    fn all_seven_present() {
+        let gs = table2_graphs(None);
+        assert_eq!(gs.len(), 7);
+        let names: Vec<&str> = gs.iter().map(|(d, _, _)| d.name).collect();
+        assert!(names.contains(&"email-Enron"));
+        assert!(gs.iter().all(|(_, _, real)| !real));
+    }
+}

@@ -1,0 +1,269 @@
+//! Dinic's maximum-flow algorithm over `f64` capacities.
+//!
+//! Dinic runs in `O(V²E)` in general and much faster on the shallow,
+//! unit-ish networks produced by Goldberg's densest-subgraph reduction.
+//! Floating-point capacities require an explicit tolerance: residual
+//! capacities below [`Dinic::EPS`] are treated as saturated, which is safe
+//! for the reduction because the binary search in
+//! [`crate::goldberg`] only needs cut values to precision `1/n²` scaled by
+//! the edge weights.
+
+/// A directed edge in the residual network.
+#[derive(Clone, Debug)]
+struct FlowEdge {
+    to: u32,
+    /// Remaining capacity.
+    cap: f64,
+    /// Index of the reverse edge in `graph[to]`.
+    rev: u32,
+}
+
+/// The result of a minimum-cut query: reachable side and cut value.
+#[derive(Clone, Debug)]
+pub struct MinCut {
+    /// Nodes reachable from the source in the final residual network
+    /// (the source side of a minimum cut), as a boolean per node.
+    pub source_side: Vec<bool>,
+    /// The max-flow value (= min-cut capacity).
+    pub value: f64,
+}
+
+/// Dinic's max-flow solver. Build with [`Dinic::new`], add edges with
+/// [`Dinic::add_edge`], then call [`Dinic::max_flow`].
+pub struct Dinic {
+    graph: Vec<Vec<FlowEdge>>,
+    level: Vec<i32>,
+    iter: Vec<usize>,
+}
+
+impl Dinic {
+    /// Residual capacities below this threshold count as zero.
+    pub const EPS: f64 = 1e-9;
+
+    /// Creates a solver over `n` nodes (ids `0..n`).
+    pub fn new(n: usize) -> Self {
+        Dinic {
+            graph: vec![Vec::new(); n],
+            level: vec![0; n],
+            iter: vec![0; n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// Adds a directed edge `from -> to` with capacity `cap` (and a
+    /// zero-capacity reverse edge).
+    pub fn add_edge(&mut self, from: u32, to: u32, cap: f64) {
+        assert!(cap >= 0.0, "negative capacity {cap}");
+        assert_ne!(from, to, "self-loop edges are not allowed in the flow network");
+        let from_idx = self.graph[to as usize].len() as u32;
+        let to_idx = self.graph[from as usize].len() as u32;
+        self.graph[from as usize].push(FlowEdge {
+            to,
+            cap,
+            rev: from_idx,
+        });
+        self.graph[to as usize].push(FlowEdge {
+            to: from,
+            cap: 0.0,
+            rev: to_idx,
+        });
+    }
+
+    /// Adds an undirected edge: capacity `cap` in both directions.
+    pub fn add_bidirectional_edge(&mut self, a: u32, b: u32, cap: f64) {
+        assert!(cap >= 0.0);
+        assert_ne!(a, b);
+        let a_idx = self.graph[b as usize].len() as u32;
+        let b_idx = self.graph[a as usize].len() as u32;
+        self.graph[a as usize].push(FlowEdge {
+            to: b,
+            cap,
+            rev: a_idx,
+        });
+        self.graph[b as usize].push(FlowEdge {
+            to: a,
+            cap,
+            rev: b_idx,
+        });
+    }
+
+    /// BFS phase: builds the level graph. Returns `true` if `t` is
+    /// reachable.
+    fn bfs(&mut self, s: u32, t: u32) -> bool {
+        self.level.fill(-1);
+        let mut queue = std::collections::VecDeque::new();
+        self.level[s as usize] = 0;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            for e in &self.graph[u as usize] {
+                if e.cap > Self::EPS && self.level[e.to as usize] < 0 {
+                    self.level[e.to as usize] = self.level[u as usize] + 1;
+                    queue.push_back(e.to);
+                }
+            }
+        }
+        self.level[t as usize] >= 0
+    }
+
+    /// DFS phase: sends blocking flow along the level graph.
+    fn dfs(&mut self, u: u32, t: u32, pushed: f64) -> f64 {
+        if u == t {
+            return pushed;
+        }
+        while self.iter[u as usize] < self.graph[u as usize].len() {
+            let i = self.iter[u as usize];
+            let (to, cap, rev) = {
+                let e = &self.graph[u as usize][i];
+                (e.to, e.cap, e.rev)
+            };
+            if cap > Self::EPS && self.level[to as usize] == self.level[u as usize] + 1 {
+                let d = self.dfs(to, t, pushed.min(cap));
+                if d > Self::EPS {
+                    self.graph[u as usize][i].cap -= d;
+                    self.graph[to as usize][rev as usize].cap += d;
+                    return d;
+                }
+            }
+            self.iter[u as usize] += 1;
+        }
+        0.0
+    }
+
+    /// Computes the maximum `s`-`t` flow, mutating the internal residual
+    /// network. Call once per instance.
+    pub fn max_flow(&mut self, s: u32, t: u32) -> f64 {
+        assert_ne!(s, t);
+        let mut flow = 0.0;
+        while self.bfs(s, t) {
+            self.iter.fill(0);
+            loop {
+                let f = self.dfs(s, t, f64::INFINITY);
+                if f <= Self::EPS {
+                    break;
+                }
+                flow += f;
+            }
+        }
+        flow
+    }
+
+    /// Computes max-flow and returns the source side of a minimum cut.
+    pub fn min_cut(&mut self, s: u32, t: u32) -> MinCut {
+        let value = self.max_flow(s, t);
+        // Nodes reachable in the residual network form the source side.
+        let mut source_side = vec![false; self.graph.len()];
+        let mut stack = vec![s];
+        source_side[s as usize] = true;
+        while let Some(u) = stack.pop() {
+            for e in &self.graph[u as usize] {
+                if e.cap > Self::EPS && !source_side[e.to as usize] {
+                    source_side[e.to as usize] = true;
+                    stack.push(e.to);
+                }
+            }
+        }
+        MinCut { source_side, value }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_edge() {
+        let mut d = Dinic::new(2);
+        d.add_edge(0, 1, 3.5);
+        assert!((d.max_flow(0, 1) - 3.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn series_bottleneck() {
+        let mut d = Dinic::new(3);
+        d.add_edge(0, 1, 5.0);
+        d.add_edge(1, 2, 2.0);
+        assert!((d.max_flow(0, 2) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_paths_sum() {
+        let mut d = Dinic::new(4);
+        d.add_edge(0, 1, 1.0);
+        d.add_edge(1, 3, 1.0);
+        d.add_edge(0, 2, 2.0);
+        d.add_edge(2, 3, 2.0);
+        assert!((d.max_flow(0, 3) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn classic_textbook_network() {
+        // CLRS figure: max flow 23.
+        let mut d = Dinic::new(6);
+        let (s, v1, v2, v3, v4, t) = (0u32, 1u32, 2u32, 3u32, 4u32, 5u32);
+        d.add_edge(s, v1, 16.0);
+        d.add_edge(s, v2, 13.0);
+        d.add_edge(v1, v3, 12.0);
+        d.add_edge(v2, v1, 4.0);
+        d.add_edge(v2, v4, 14.0);
+        d.add_edge(v3, v2, 9.0);
+        d.add_edge(v3, t, 20.0);
+        d.add_edge(v4, v3, 7.0);
+        d.add_edge(v4, t, 4.0);
+        assert!((d.max_flow(s, t) - 23.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn requires_augmenting_via_reverse_edge() {
+        // The classic case where flow must be rerouted through a residual
+        // (reverse) edge.
+        let mut d = Dinic::new(4);
+        d.add_edge(0, 1, 1.0);
+        d.add_edge(0, 2, 1.0);
+        d.add_edge(1, 2, 1.0);
+        d.add_edge(1, 3, 1.0);
+        d.add_edge(2, 3, 1.0);
+        assert!((d.max_flow(0, 3) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_cut_separates() {
+        let mut d = Dinic::new(4);
+        d.add_edge(0, 1, 10.0);
+        d.add_edge(1, 2, 1.0); // bottleneck
+        d.add_edge(2, 3, 10.0);
+        let cut = d.min_cut(0, 3);
+        assert!((cut.value - 1.0).abs() < 1e-9);
+        assert_eq!(cut.source_side, vec![true, true, false, false]);
+    }
+
+    #[test]
+    fn disconnected_target_zero_flow() {
+        let mut d = Dinic::new(3);
+        d.add_edge(0, 1, 4.0);
+        let cut = d.min_cut(0, 2);
+        assert_eq!(cut.value, 0.0);
+        assert!(cut.source_side[0] && cut.source_side[1]);
+        assert!(!cut.source_side[2]);
+    }
+
+    #[test]
+    fn bidirectional_edges() {
+        let mut d = Dinic::new(3);
+        d.add_bidirectional_edge(0, 1, 2.0);
+        d.add_bidirectional_edge(1, 2, 2.0);
+        assert!((d.max_flow(0, 2) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fractional_capacities() {
+        let mut d = Dinic::new(3);
+        d.add_edge(0, 1, 0.25);
+        d.add_edge(0, 2, 0.5);
+        d.add_edge(1, 2, 1.0);
+        assert!((d.max_flow(0, 2) - 0.75).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,29 @@
+//! # dsg-flow — exact densest subgraph via maximum flow
+//!
+//! The paper measures the quality of its streaming algorithm against the
+//! exact optimum `ρ*(G)`, which it obtains from Charikar's LP (§6.2). The
+//! LP value equals the value of Goldberg's classic max-flow formulation
+//! (Goldberg 1984, referenced as [22] in the paper), so this crate solves
+//! the same problem without an external LP solver:
+//!
+//! * [`dinic`] — a self-contained Dinic's max-flow solver over `f64`
+//!   capacities.
+//! * [`goldberg`] — the binary-search-over-densities reduction that yields
+//!   the exact maximum-density subgraph of an undirected (optionally
+//!   weighted) graph.
+//! * [`brute`] — exhaustive-search oracles for tiny graphs (≤ ~22 nodes
+//!   undirected, ≤ ~12 directed), used to validate both the flow solver
+//!   and the approximation algorithms in tests.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod brute;
+pub mod dinic;
+pub mod goldberg;
+pub mod push_relabel;
+
+pub use brute::{brute_force_densest, brute_force_densest_directed};
+pub use dinic::{Dinic, MinCut};
+pub use goldberg::{exact_densest, exact_densest_with, ExactDensest, FlowBackend};
+pub use push_relabel::PushRelabel;

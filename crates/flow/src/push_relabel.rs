@@ -1,0 +1,305 @@
+//! Highest-label push–relabel maximum flow (Goldberg–Tarjan 1988), with
+//! the gap heuristic.
+//!
+//! A second, independent max-flow implementation. Two reasons to have it:
+//! the paper's exact baseline is literally "parametric flow" [29] — whose
+//! standard realization is push–relabel — and an independent solver gives
+//! the test suite a cross-check oracle for [`crate::dinic`] (two solvers
+//! agreeing on thousands of random networks is a far stronger guarantee
+//! than either alone).
+
+/// An edge of the residual network.
+#[derive(Clone, Debug)]
+struct PrEdge {
+    to: u32,
+    cap: f64,
+    rev: u32,
+}
+
+/// Highest-label push–relabel solver.
+pub struct PushRelabel {
+    graph: Vec<Vec<PrEdge>>,
+    excess: Vec<f64>,
+    height: Vec<u32>,
+    /// `count[h]` = number of nodes at height `h` (gap heuristic).
+    count: Vec<u32>,
+    /// Buckets of active nodes by height.
+    active: Vec<Vec<u32>>,
+    highest: usize,
+}
+
+impl PushRelabel {
+    /// Capacities below this threshold count as zero.
+    pub const EPS: f64 = 1e-9;
+
+    /// Creates a solver over `n` nodes.
+    pub fn new(n: usize) -> Self {
+        PushRelabel {
+            graph: vec![Vec::new(); n],
+            excess: vec![0.0; n],
+            height: vec![0; n],
+            count: vec![0; 2 * n + 1],
+            active: vec![Vec::new(); 2 * n + 1],
+            highest: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// Adds a directed edge `from -> to` with capacity `cap`.
+    pub fn add_edge(&mut self, from: u32, to: u32, cap: f64) {
+        assert!(cap >= 0.0, "negative capacity {cap}");
+        assert_ne!(from, to, "self-loops are not allowed");
+        let from_idx = self.graph[to as usize].len() as u32;
+        let to_idx = self.graph[from as usize].len() as u32;
+        self.graph[from as usize].push(PrEdge { to, cap, rev: from_idx });
+        self.graph[to as usize].push(PrEdge {
+            to: from,
+            cap: 0.0,
+            rev: to_idx,
+        });
+    }
+
+    fn push(&mut self, u: u32, i: usize) {
+        let (to, cap, rev) = {
+            let e = &self.graph[u as usize][i];
+            (e.to, e.cap, e.rev)
+        };
+        let delta = self.excess[u as usize].min(cap);
+        if delta <= Self::EPS {
+            return;
+        }
+        self.graph[u as usize][i].cap -= delta;
+        self.graph[to as usize][rev as usize].cap += delta;
+        self.excess[u as usize] -= delta;
+        let was_inactive = self.excess[to as usize] <= Self::EPS;
+        self.excess[to as usize] += delta;
+        if was_inactive && self.excess[to as usize] > Self::EPS {
+            let h = self.height[to as usize] as usize;
+            self.active[h].push(to);
+        }
+    }
+
+    fn relabel(&mut self, u: u32, s: u32, t: u32) {
+        let n = self.graph.len() as u32;
+        let old = self.height[u as usize];
+        let mut min_h = 2 * n;
+        for e in &self.graph[u as usize] {
+            if e.cap > Self::EPS {
+                min_h = min_h.min(self.height[e.to as usize] + 1);
+            }
+        }
+        self.count[old as usize] -= 1;
+        // Gap heuristic: if no node remains at `old`, every node above
+        // `old` (except s, t) can never route to t — lift them past n.
+        if self.count[old as usize] == 0 && old < n {
+            for v in 0..self.graph.len() as u32 {
+                if v != s && v != t && self.height[v as usize] > old && self.height[v as usize] <= n
+                {
+                    let h = self.height[v as usize];
+                    self.count[h as usize] -= 1;
+                    self.height[v as usize] = n + 1;
+                    self.count[(n + 1) as usize] += 1;
+                }
+            }
+        }
+        let new_h = min_h.min(2 * n);
+        self.height[u as usize] = new_h;
+        self.count[new_h as usize] += 1;
+        if self.excess[u as usize] > Self::EPS {
+            self.active[new_h as usize].push(u);
+            self.highest = self.highest.max(new_h as usize);
+        }
+    }
+
+    /// Computes the maximum `s`-`t` flow. Call once per instance.
+    pub fn max_flow(&mut self, s: u32, t: u32) -> f64 {
+        assert_ne!(s, t);
+        let n = self.graph.len() as u32;
+        // Initialize: s at height n, saturate its out-edges.
+        self.height[s as usize] = n;
+        self.count[0] = n - 1;
+        self.count[n as usize] += 1;
+        self.excess[s as usize] = f64::INFINITY;
+        for i in 0..self.graph[s as usize].len() {
+            self.push(s, i);
+        }
+        self.excess[s as usize] = 0.0;
+        self.highest = self.active.len() - 1;
+
+        loop {
+            // Find the highest active node (skip s, t, and stale entries).
+            while self.highest > 0 && self.active[self.highest].is_empty() {
+                self.highest -= 1;
+            }
+            let u = loop {
+                match self.active[self.highest].pop() {
+                    None => break None,
+                    Some(u) => {
+                        if u != s
+                            && u != t
+                            && self.excess[u as usize] > Self::EPS
+                            && self.height[u as usize] as usize == self.highest
+                        {
+                            break Some(u);
+                        }
+                    }
+                }
+            };
+            let Some(u) = u else {
+                if self.highest == 0 {
+                    break;
+                }
+                continue;
+            };
+            // Discharge u.
+            while self.excess[u as usize] > Self::EPS {
+                let uh = self.height[u as usize];
+                let mut pushed = false;
+                for i in 0..self.graph[u as usize].len() {
+                    let (to, cap) = {
+                        let e = &self.graph[u as usize][i];
+                        (e.to, e.cap)
+                    };
+                    if cap > Self::EPS && uh == self.height[to as usize] + 1 {
+                        self.push(u, i);
+                        pushed = true;
+                        if self.excess[u as usize] <= Self::EPS {
+                            break;
+                        }
+                    }
+                }
+                if !pushed {
+                    self.relabel(u, s, t);
+                    break;
+                }
+            }
+        }
+        self.excess[t as usize]
+    }
+
+    /// Computes max-flow and returns the **source side** of a minimum cut
+    /// (nodes from which `t` is unreachable in the residual network are
+    /// identified by residual reachability from `s`).
+    pub fn min_cut(&mut self, s: u32, t: u32) -> (Vec<bool>, f64) {
+        let value = self.max_flow(s, t);
+        let mut source_side = vec![false; self.graph.len()];
+        let mut stack = vec![s];
+        source_side[s as usize] = true;
+        while let Some(u) = stack.pop() {
+            for e in &self.graph[u as usize] {
+                if e.cap > Self::EPS && !source_side[e.to as usize] {
+                    source_side[e.to as usize] = true;
+                    stack.push(e.to);
+                }
+            }
+        }
+        (source_side, value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dinic::Dinic;
+    use dsg_graph::SplitMix64;
+
+    #[test]
+    fn single_edge() {
+        let mut pr = PushRelabel::new(2);
+        pr.add_edge(0, 1, 2.5);
+        assert!((pr.max_flow(0, 1) - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn classic_textbook_network() {
+        let mut pr = PushRelabel::new(6);
+        let (s, v1, v2, v3, v4, t) = (0u32, 1, 2, 3, 4, 5);
+        pr.add_edge(s, v1, 16.0);
+        pr.add_edge(s, v2, 13.0);
+        pr.add_edge(v1, v3, 12.0);
+        pr.add_edge(v2, v1, 4.0);
+        pr.add_edge(v2, v4, 14.0);
+        pr.add_edge(v3, v2, 9.0);
+        pr.add_edge(v3, t, 20.0);
+        pr.add_edge(v4, v3, 7.0);
+        pr.add_edge(v4, t, 4.0);
+        assert!((pr.max_flow(s, t) - 23.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disconnected_target() {
+        let mut pr = PushRelabel::new(3);
+        pr.add_edge(0, 1, 5.0);
+        assert_eq!(pr.max_flow(0, 2), 0.0);
+    }
+
+    #[test]
+    fn min_cut_separates() {
+        let mut pr = PushRelabel::new(4);
+        pr.add_edge(0, 1, 10.0);
+        pr.add_edge(1, 2, 1.0);
+        pr.add_edge(2, 3, 10.0);
+        let (side, value) = pr.min_cut(0, 3);
+        assert!((value - 1.0).abs() < 1e-9);
+        assert_eq!(side, vec![true, true, false, false]);
+    }
+
+    #[test]
+    fn agrees_with_dinic_on_random_networks() {
+        let mut rng = SplitMix64::new(0xF10E);
+        for trial in 0..60 {
+            let n = 4 + (trial % 12) as usize;
+            let m = n * 3;
+            let mut edges = Vec::new();
+            for _ in 0..m {
+                let u = rng.range_u32(n as u32);
+                let v = rng.range_u32(n as u32);
+                if u != v {
+                    edges.push((u, v, (rng.next_f64() * 10.0).round()));
+                }
+            }
+            let s = 0u32;
+            let t = (n - 1) as u32;
+            let mut dinic = Dinic::new(n);
+            let mut pr = PushRelabel::new(n);
+            for &(u, v, c) in &edges {
+                dinic.add_edge(u, v, c);
+                pr.add_edge(u, v, c);
+            }
+            let fd = dinic.max_flow(s, t);
+            let fp = pr.max_flow(s, t);
+            assert!(
+                (fd - fp).abs() < 1e-6,
+                "trial {trial}: dinic {fd} vs push-relabel {fp} on {edges:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn min_cut_agrees_with_dinic_value() {
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..20 {
+            let n = 8;
+            let mut dinic = Dinic::new(n);
+            let mut pr = PushRelabel::new(n);
+            for _ in 0..20 {
+                let u = rng.range_u32(n as u32);
+                let v = rng.range_u32(n as u32);
+                if u != v {
+                    let c = (rng.next_f64() * 5.0).round();
+                    dinic.add_edge(u, v, c);
+                    pr.add_edge(u, v, c);
+                }
+            }
+            let dc = dinic.min_cut(0, 7);
+            let (side, value) = pr.min_cut(0, 7);
+            assert!((dc.value - value).abs() < 1e-6);
+            assert!(side[0]);
+            assert!(!side[7]);
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! The density notions of the paper (Definitions 1 and 2).
+//!
+//! * Undirected: `ρ(S) = w(E(S)) / |S|` — induced edge weight over node
+//!   count. Note this is **not** the edge-to-possible-edge ratio; the
+//!   densest subgraph under this measure can be found in polynomial time.
+//! * Directed (Kannan–Vinay): `ρ(S, T) = |E(S,T)| / sqrt(|S|·|T|)` for two
+//!   not necessarily disjoint subsets.
+
+/// Undirected density `ρ(S) = edge_weight / |S|`. Returns 0 for `|S| = 0`.
+#[inline]
+pub fn undirected(edge_weight: f64, set_size: usize) -> f64 {
+    if set_size == 0 {
+        0.0
+    } else {
+        edge_weight / set_size as f64
+    }
+}
+
+/// Directed density `ρ(S,T) = edges / sqrt(|S|·|T|)`. Returns 0 if either
+/// side is empty.
+#[inline]
+pub fn directed(edges: f64, s_size: usize, t_size: usize) -> f64 {
+    if s_size == 0 || t_size == 0 {
+        0.0
+    } else {
+        edges / ((s_size as f64) * (t_size as f64)).sqrt()
+    }
+}
+
+/// The (2+2ε) removal threshold of Algorithm 1: nodes with induced degree
+/// `≤ 2(1+ε)·ρ(S)` are removed each pass.
+#[inline]
+pub fn undirected_threshold(rho: f64, epsilon: f64) -> f64 {
+    2.0 * (1.0 + epsilon) * rho
+}
+
+/// The removal threshold of Algorithm 3 for the side of size `side_size`:
+/// nodes with degree into the other side `≤ (1+ε)·E/|side|` are removed.
+#[inline]
+pub fn directed_threshold(edges: f64, side_size: usize, epsilon: f64) -> f64 {
+    if side_size == 0 {
+        0.0
+    } else {
+        (1.0 + epsilon) * edges / side_size as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn undirected_density_values() {
+        assert_eq!(undirected(0.0, 0), 0.0);
+        assert_eq!(undirected(10.0, 5), 2.0);
+        // Complete graph on k nodes: ρ = (k-1)/2.
+        let k = 7usize;
+        let m = (k * (k - 1) / 2) as f64;
+        assert!((undirected(m, k) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn directed_density_values() {
+        assert_eq!(directed(5.0, 0, 3), 0.0);
+        assert_eq!(directed(5.0, 3, 0), 0.0);
+        // Complete bipartite |S|=a, |T|=b: ρ = ab/sqrt(ab) = sqrt(ab).
+        assert!((directed(12.0, 3, 4) - (12.0f64).sqrt()).abs() < 1e-12);
+        // Single node with a self-loop viewed as S=T={v}: ρ = 1.
+        assert!((directed(1.0, 1, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn thresholds() {
+        assert!((undirected_threshold(3.0, 0.0) - 6.0).abs() < 1e-12);
+        assert!((undirected_threshold(3.0, 0.5) - 9.0).abs() < 1e-12);
+        assert!((directed_threshold(10.0, 5, 0.0) - 2.0).abs() < 1e-12);
+        assert!((directed_threshold(10.0, 5, 1.0) - 4.0).abs() < 1e-12);
+        assert_eq!(directed_threshold(10.0, 0, 1.0), 0.0);
+    }
+}

@@ -1,0 +1,360 @@
+//! Mutable edge-list representation used by builders, generators, and I/O.
+
+use crate::{GraphError, NodeId, Result};
+
+/// Whether an [`EdgeList`] represents an undirected or a directed graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GraphKind {
+    /// Edges `(u, v)` are unordered pairs; each pair is stored once.
+    Undirected,
+    /// Edges `(u, v)` are ordered arcs from `u` to `v`.
+    Directed,
+}
+
+/// A graph as a flat list of (optionally weighted) edges.
+///
+/// This is the interchange format of the repository: generators produce it,
+/// I/O reads and writes it, CSR snapshots and edge streams are built from
+/// it. Node ids are dense in `0..num_nodes`.
+#[derive(Clone, Debug)]
+pub struct EdgeList {
+    /// Number of nodes; all edge endpoints are `< num_nodes`.
+    pub num_nodes: u32,
+    /// The edges. For [`GraphKind::Undirected`] each unordered pair appears
+    /// once (in either orientation).
+    pub edges: Vec<(NodeId, NodeId)>,
+    /// Optional per-edge weights, parallel to `edges`. `None` means every
+    /// edge has weight 1.
+    pub weights: Option<Vec<f64>>,
+    /// Directedness.
+    pub kind: GraphKind,
+}
+
+impl EdgeList {
+    /// Creates an empty undirected graph on `num_nodes` nodes.
+    pub fn new_undirected(num_nodes: u32) -> Self {
+        EdgeList {
+            num_nodes,
+            edges: Vec::new(),
+            weights: None,
+            kind: GraphKind::Undirected,
+        }
+    }
+
+    /// Creates an empty directed graph on `num_nodes` nodes.
+    pub fn new_directed(num_nodes: u32) -> Self {
+        EdgeList {
+            num_nodes,
+            edges: Vec::new(),
+            weights: None,
+            kind: GraphKind::Directed,
+        }
+    }
+
+    /// Number of edges (arcs for directed graphs).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// `true` if the graph carries per-edge weights.
+    #[inline]
+    pub fn is_weighted(&self) -> bool {
+        self.weights.is_some()
+    }
+
+    /// Appends an unweighted edge. Panics if the list is weighted (mixing
+    /// weighted and unweighted pushes would silently misalign the arrays).
+    pub fn push(&mut self, u: NodeId, v: NodeId) {
+        assert!(
+            self.weights.is_none(),
+            "push() on a weighted EdgeList; use push_weighted()"
+        );
+        self.edges.push((u, v));
+    }
+
+    /// Appends a weighted edge, promoting the list to weighted on first use
+    /// (existing edges get weight 1).
+    pub fn push_weighted(&mut self, u: NodeId, v: NodeId, w: f64) {
+        let weights = self
+            .weights
+            .get_or_insert_with(|| vec![1.0; self.edges.len()]);
+        weights.push(w);
+        self.edges.push((u, v));
+    }
+
+    /// Weight of edge index `idx` (1 for unweighted lists).
+    #[inline]
+    pub fn weight(&self, idx: usize) -> f64 {
+        self.weights.as_ref().map_or(1.0, |w| w[idx])
+    }
+
+    /// Total edge weight (`num_edges` when unweighted).
+    pub fn total_weight(&self) -> f64 {
+        match &self.weights {
+            Some(w) => w.iter().sum(),
+            None => self.edges.len() as f64,
+        }
+    }
+
+    /// Iterates `(u, v, w)` triples.
+    pub fn iter_weighted(&self) -> impl Iterator<Item = (NodeId, NodeId, f64)> + '_ {
+        self.edges
+            .iter()
+            .enumerate()
+            .map(move |(i, &(u, v))| (u, v, self.weight(i)))
+    }
+
+    /// Checks that every endpoint is `< num_nodes`.
+    pub fn validate(&self) -> Result<()> {
+        for &(u, v) in &self.edges {
+            if u >= self.num_nodes {
+                return Err(GraphError::NodeOutOfRange {
+                    node: u as u64,
+                    num_nodes: self.num_nodes as u64,
+                });
+            }
+            if v >= self.num_nodes {
+                return Err(GraphError::NodeOutOfRange {
+                    node: v as u64,
+                    num_nodes: self.num_nodes as u64,
+                });
+            }
+        }
+        if let Some(w) = &self.weights {
+            if w.len() != self.edges.len() {
+                return Err(GraphError::Format(format!(
+                    "weights length {} != edges length {}",
+                    w.len(),
+                    self.edges.len()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Canonicalizes the list: drops self-loops, orients undirected edges as
+    /// `(min, max)`, sorts, and merges duplicates (summing weights for
+    /// weighted lists, dropping duplicates for unweighted ones).
+    ///
+    /// The densest-subgraph density `ρ(S) = |E(S)|/|S|` is defined on simple
+    /// graphs; generators call this to guarantee simplicity.
+    pub fn canonicalize(&mut self) {
+        let weighted = self.weights.is_some();
+        let mut triples: Vec<(NodeId, NodeId, f64)> = self
+            .iter_weighted()
+            .filter(|&(u, v, _)| u != v)
+            .map(|(u, v, w)| {
+                if self.kind == GraphKind::Undirected && u > v {
+                    (v, u, w)
+                } else {
+                    (u, v, w)
+                }
+            })
+            .collect();
+        triples.sort_unstable_by_key(|&(u, v, _)| (u, v));
+
+        let mut edges = Vec::with_capacity(triples.len());
+        let mut weights: Vec<f64> = Vec::with_capacity(if weighted { triples.len() } else { 0 });
+        for (u, v, w) in triples {
+            if edges.last() == Some(&(u, v)) {
+                if weighted {
+                    // Merge parallel weighted edges by summing.
+                    if let Some(last) = weights.last_mut() {
+                        *last += w;
+                    }
+                }
+                // Unweighted duplicates are simply dropped.
+            } else {
+                edges.push((u, v));
+                if weighted {
+                    weights.push(w);
+                }
+            }
+        }
+        self.edges = edges;
+        self.weights = if weighted { Some(weights) } else { None };
+    }
+
+    /// Degree of every node. For directed graphs this is the out-degree; see
+    /// [`EdgeList::degrees_in`] for in-degrees.
+    pub fn degrees_out(&self) -> Vec<f64> {
+        let mut deg = vec![0.0; self.num_nodes as usize];
+        for (u, v, w) in self.iter_weighted() {
+            match self.kind {
+                GraphKind::Undirected => {
+                    deg[u as usize] += w;
+                    deg[v as usize] += w;
+                }
+                GraphKind::Directed => {
+                    deg[u as usize] += w;
+                    let _ = v;
+                }
+            }
+        }
+        deg
+    }
+
+    /// In-degree of every node (equals [`EdgeList::degrees_out`] for
+    /// undirected graphs).
+    pub fn degrees_in(&self) -> Vec<f64> {
+        match self.kind {
+            GraphKind::Undirected => self.degrees_out(),
+            GraphKind::Directed => {
+                let mut deg = vec![0.0; self.num_nodes as usize];
+                for (_, v, w) in self.iter_weighted() {
+                    deg[v as usize] += w;
+                }
+                deg
+            }
+        }
+    }
+
+    /// Relabels nodes with a permutation `perm` (node `i` becomes
+    /// `perm[i]`). Useful for randomizing generator artifacts.
+    pub fn relabel(&mut self, perm: &[u32]) {
+        assert_eq!(perm.len(), self.num_nodes as usize, "permutation size mismatch");
+        for (u, v) in &mut self.edges {
+            *u = perm[*u as usize];
+            *v = perm[*v as usize];
+        }
+    }
+
+    /// Merges `other` into `self`, offsetting `other`'s node ids by
+    /// `self.num_nodes`. Both lists must have the same [`GraphKind`].
+    /// Produces the disjoint union of the two graphs.
+    pub fn disjoint_union(&mut self, other: &EdgeList) {
+        assert_eq!(self.kind, other.kind, "cannot union directed with undirected");
+        let offset = self.num_nodes;
+        if self.weights.is_some() || other.weights.is_some() {
+            let w0 = self
+                .weights
+                .get_or_insert_with(|| vec![1.0; self.edges.len()]);
+            match &other.weights {
+                Some(w1) => w0.extend_from_slice(w1),
+                None => w0.extend(std::iter::repeat_n(1.0, other.edges.len())),
+            }
+        }
+        self.edges
+            .extend(other.edges.iter().map(|&(u, v)| (u + offset, v + offset)));
+        self.num_nodes += other.num_nodes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_counts() {
+        let mut g = EdgeList::new_undirected(4);
+        g.push(0, 1);
+        g.push(1, 2);
+        assert_eq!(g.num_edges(), 2);
+        assert!(!g.is_weighted());
+        assert_eq!(g.total_weight(), 2.0);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn weighted_promotion_backfills_ones() {
+        let mut g = EdgeList::new_undirected(3);
+        g.push(0, 1);
+        g.push_weighted(1, 2, 2.5);
+        assert!(g.is_weighted());
+        assert_eq!(g.weight(0), 1.0);
+        assert_eq!(g.weight(1), 2.5);
+        assert!((g.total_weight() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range() {
+        let mut g = EdgeList::new_undirected(2);
+        g.push(0, 5);
+        assert!(matches!(
+            g.validate(),
+            Err(GraphError::NodeOutOfRange { node: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn canonicalize_undirected() {
+        let mut g = EdgeList::new_undirected(4);
+        g.push(1, 0);
+        g.push(0, 1); // duplicate in other orientation
+        g.push(2, 2); // self loop
+        g.push(3, 2);
+        g.canonicalize();
+        assert_eq!(g.edges, vec![(0, 1), (2, 3)]);
+    }
+
+    #[test]
+    fn canonicalize_directed_keeps_orientation() {
+        let mut g = EdgeList::new_directed(3);
+        g.push(1, 0);
+        g.push(0, 1);
+        g.push(0, 1);
+        g.canonicalize();
+        assert_eq!(g.edges, vec![(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn canonicalize_merges_weights() {
+        let mut g = EdgeList::new_undirected(3);
+        g.push_weighted(0, 1, 1.0);
+        g.push_weighted(1, 0, 2.0);
+        g.canonicalize();
+        assert_eq!(g.edges, vec![(0, 1)]);
+        assert_eq!(g.weights.as_ref().unwrap(), &vec![3.0]);
+    }
+
+    #[test]
+    fn degrees_undirected() {
+        let mut g = EdgeList::new_undirected(4);
+        g.push(0, 1);
+        g.push(0, 2);
+        g.push(0, 3);
+        let d = g.degrees_out();
+        assert_eq!(d, vec![3.0, 1.0, 1.0, 1.0]);
+        assert_eq!(g.degrees_in(), d);
+    }
+
+    #[test]
+    fn degrees_directed() {
+        let mut g = EdgeList::new_directed(3);
+        g.push(0, 1);
+        g.push(0, 2);
+        g.push(1, 2);
+        assert_eq!(g.degrees_out(), vec![2.0, 1.0, 0.0]);
+        assert_eq!(g.degrees_in(), vec![0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn disjoint_union_offsets() {
+        let mut a = EdgeList::new_undirected(2);
+        a.push(0, 1);
+        let mut b = EdgeList::new_undirected(3);
+        b.push(0, 2);
+        a.disjoint_union(&b);
+        assert_eq!(a.num_nodes, 5);
+        assert_eq!(a.edges, vec![(0, 1), (2, 4)]);
+    }
+
+    #[test]
+    fn disjoint_union_mixed_weights() {
+        let mut a = EdgeList::new_undirected(2);
+        a.push(0, 1);
+        let mut b = EdgeList::new_undirected(2);
+        b.push_weighted(0, 1, 4.0);
+        a.disjoint_union(&b);
+        assert_eq!(a.weights.as_ref().unwrap(), &vec![1.0, 4.0]);
+    }
+
+    #[test]
+    fn relabel_applies_permutation() {
+        let mut g = EdgeList::new_undirected(3);
+        g.push(0, 1);
+        g.relabel(&[2, 0, 1]);
+        assert_eq!(g.edges, vec![(2, 0)]);
+    }
+}

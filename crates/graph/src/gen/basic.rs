@@ -1,0 +1,145 @@
+//! Deterministic building-block graphs with analytically known densest
+//! subgraphs — the fixtures most unit tests are written against.
+
+use crate::edgelist::EdgeList;
+
+/// Complete graph `K_n`. Densest subgraph: the whole graph, with density
+/// `(n-1)/2`.
+pub fn clique(n: u32) -> EdgeList {
+    let mut g = EdgeList::new_undirected(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            g.push(u, v);
+        }
+    }
+    g
+}
+
+/// Star `K_{1,n-1}` centered at node 0. Density of any subset containing
+/// the center and `k` leaves is `k/(k+1) < 1`; maximum density approaches 1.
+pub fn star(n: u32) -> EdgeList {
+    assert!(n >= 1, "star needs at least one node");
+    let mut g = EdgeList::new_undirected(n);
+    for v in 1..n {
+        g.push(0, v);
+    }
+    g
+}
+
+/// Cycle `C_n` (density of the whole graph = 1, and no subgraph is denser).
+pub fn cycle(n: u32) -> EdgeList {
+    assert!(n >= 3, "cycle needs at least three nodes");
+    let mut g = EdgeList::new_undirected(n);
+    for u in 0..n {
+        g.push(u, (u + 1) % n);
+    }
+    g
+}
+
+/// Path `P_n` (density `(n-1)/n < 1`).
+pub fn path(n: u32) -> EdgeList {
+    let mut g = EdgeList::new_undirected(n);
+    for u in 0..n.saturating_sub(1) {
+        g.push(u, u + 1);
+    }
+    g
+}
+
+/// Circulant graph: node `u` is adjacent to `u ± 1, …, u ± k/2 (mod n)`,
+/// producing a `k`-regular graph (`k` must be even and `< n`). Density of
+/// the whole graph is `k/2`; regularity makes it the densest subgraph.
+///
+/// Used to build the regular layers of the paper's Lemma 5 instance.
+pub fn circulant(n: u32, k: u32) -> EdgeList {
+    assert!(k.is_multiple_of(2), "circulant degree must be even (got {k})");
+    assert!(k < n, "circulant degree {k} must be < n = {n}");
+    let mut g = EdgeList::new_undirected(n);
+    for u in 0..n {
+        for d in 1..=(k / 2) {
+            let v = (u + d) % n;
+            g.push(u, v);
+        }
+    }
+    g
+}
+
+/// Complete bipartite graph `K_{a,b}` with left nodes `0..a` and right
+/// nodes `a..a+b`. Undirected density of the whole graph: `ab/(a+b)`.
+pub fn complete_bipartite(a: u32, b: u32) -> EdgeList {
+    let mut g = EdgeList::new_undirected(a + b);
+    for u in 0..a {
+        for v in a..(a + b) {
+            g.push(u, v);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CsrUndirected;
+    use crate::NodeSet;
+
+    #[test]
+    fn clique_counts() {
+        let g = clique(6);
+        assert_eq!(g.num_edges(), 15);
+        let csr = CsrUndirected::from_edge_list(&g);
+        assert!((csr.density() - 2.5).abs() < 1e-12);
+        for u in 0..6 {
+            assert_eq!(csr.degree(u), 5);
+        }
+    }
+
+    #[test]
+    fn star_counts() {
+        let g = star(10);
+        assert_eq!(g.num_edges(), 9);
+        let csr = CsrUndirected::from_edge_list(&g);
+        assert_eq!(csr.degree(0), 9);
+        assert_eq!(csr.degree(5), 1);
+    }
+
+    #[test]
+    fn cycle_is_2_regular() {
+        let g = cycle(7);
+        let csr = CsrUndirected::from_edge_list(&g);
+        for u in 0..7 {
+            assert_eq!(csr.degree(u), 2);
+        }
+        assert!((csr.density() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn path_counts() {
+        assert_eq!(path(1).num_edges(), 0);
+        assert_eq!(path(5).num_edges(), 4);
+    }
+
+    #[test]
+    fn circulant_is_k_regular() {
+        for (n, k) in [(10u32, 4u32), (9, 2), (16, 6)] {
+            let g = circulant(n, k);
+            let csr = CsrUndirected::from_edge_list(&g);
+            for u in 0..n {
+                assert_eq!(csr.degree(u), k as usize, "node {u} in C({n},{k})");
+            }
+            assert_eq!(g.num_edges(), (n * k / 2) as usize);
+            // Simple graph: canonicalization must not remove anything.
+            let mut h = g.clone();
+            h.canonicalize();
+            assert_eq!(h.num_edges(), g.num_edges());
+        }
+    }
+
+    #[test]
+    fn complete_bipartite_counts() {
+        let g = complete_bipartite(3, 4);
+        assert_eq!(g.num_nodes, 7);
+        assert_eq!(g.num_edges(), 12);
+        let csr = CsrUndirected::from_edge_list(&g);
+        let left = NodeSet::from_iter(7, 0..3u32);
+        assert_eq!(csr.induced_edge_count(&left), 0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Directed random graph generators: directed Erdős–Rényi, planted dense
+//! `(S, T)` pairs for the directed densest-subgraph experiments, and the
+//! skewed "celebrity" model mimicking Twitter's follower graph (the paper
+//! notes ~600 users followed by >30M others and attributes the shape of
+//! Figure 6.6 to that skew).
+
+use crate::bitset::NodeSet;
+use crate::edgelist::EdgeList;
+use crate::rng::SplitMix64;
+
+/// Directed `G(n, p)`: every ordered pair `(u, v)`, `u ≠ v`, is an arc with
+/// probability `p`.
+pub fn directed_gnp(n: u32, p: f64, seed: u64) -> EdgeList {
+    assert!((0.0..=1.0).contains(&p));
+    let mut rng = SplitMix64::new(seed);
+    let mut g = EdgeList::new_directed(n);
+    if p == 0.0 || n < 2 {
+        return g;
+    }
+    let total = n as u64 * (n as u64 - 1);
+    if p >= 1.0 {
+        for u in 0..n {
+            for v in 0..n {
+                if u != v {
+                    g.push(u, v);
+                }
+            }
+        }
+        return g;
+    }
+    let log_q = (1.0 - p).ln();
+    let mut idx = 0u64;
+    loop {
+        let r = rng.next_f64();
+        let skip = ((1.0 - r).ln() / log_q).floor() as u64;
+        idx = idx.saturating_add(skip);
+        if idx >= total {
+            break;
+        }
+        // Ordered pair index -> (u, v) skipping the diagonal.
+        let u = (idx / (n as u64 - 1)) as u32;
+        let mut v = (idx % (n as u64 - 1)) as u32;
+        if v >= u {
+            v += 1;
+        }
+        g.push(u, v);
+        idx += 1;
+    }
+    g
+}
+
+/// A directed graph with a planted dense `(S*, T*)` pair: background
+/// directed `G(n, p_bg)` plus arcs from a random `S*` (size `s`) to a
+/// random `T*` (size `t`) with probability `p_in`.
+///
+/// Returns `(graph, S*, T*)`. The planted pair certifies a directed
+/// density lower bound of about `p_in · sqrt(s · t)`.
+pub fn directed_planted(
+    n: u32,
+    p_bg: f64,
+    s: u32,
+    t: u32,
+    p_in: f64,
+    seed: u64,
+) -> (EdgeList, NodeSet, NodeSet) {
+    assert!(s <= n && t <= n);
+    let mut rng = SplitMix64::new(seed);
+    let mut g = directed_gnp(n, p_bg, rng.next_u64());
+    let mut ids: Vec<u32> = (0..n).collect();
+    rng.shuffle(&mut ids);
+    // S* and T* may overlap in the paper's definition; we keep them
+    // disjoint for a clean certificate.
+    let s_nodes = &ids[0..s as usize];
+    let t_nodes = &ids[s as usize..(s + t).min(n) as usize];
+    for &u in s_nodes {
+        for &v in t_nodes {
+            if rng.bernoulli(p_in) {
+                g.push(u, v);
+            }
+        }
+    }
+    g.canonicalize();
+    (
+        g,
+        NodeSet::from_iter(n as usize, s_nodes.iter().copied()),
+        NodeSet::from_iter(n as usize, t_nodes.iter().copied()),
+    )
+}
+
+/// The "celebrity" model: `celebs` nodes each followed by a
+/// `follow_fraction` of the remaining population, plus a sparse directed
+/// background. The optimal directed pair is highly asymmetric
+/// (`S` = many followers, `T` = few celebrities), so the best `c = |S|/|T|`
+/// is far from 1 — reproducing the qualitative shape of Figure 6.6.
+pub fn skewed_celebrity(
+    n: u32,
+    celebs: u32,
+    follow_fraction: f64,
+    background_arcs: usize,
+    seed: u64,
+) -> EdgeList {
+    assert!(celebs < n);
+    let mut rng = SplitMix64::new(seed);
+    let mut g = EdgeList::new_directed(n);
+    // Celebrities occupy ids 0..celebs; everyone else follows each with
+    // probability follow_fraction.
+    for u in celebs..n {
+        for c in 0..celebs {
+            if rng.bernoulli(follow_fraction) {
+                g.push(u, c);
+            }
+        }
+    }
+    // Sparse random background among everyone.
+    for _ in 0..background_arcs {
+        let u = rng.range_u32(n);
+        let v = rng.range_u32(n);
+        if u != v {
+            g.push(u, v);
+        }
+    }
+    g.canonicalize();
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CsrDirected;
+
+    #[test]
+    fn directed_gnp_counts() {
+        let n = 300u32;
+        let p = 0.02;
+        let g = directed_gnp(n, p, 3);
+        g.validate().unwrap();
+        let expected = n as f64 * (n as f64 - 1.0) * p;
+        let got = g.num_edges() as f64;
+        assert!((got - expected).abs() < 5.0 * expected.sqrt() + 10.0);
+        // No self loops.
+        assert!(g.edges.iter().all(|&(u, v)| u != v));
+    }
+
+    #[test]
+    fn directed_gnp_extremes() {
+        assert_eq!(directed_gnp(10, 0.0, 1).num_edges(), 0);
+        assert_eq!(directed_gnp(10, 1.0, 1).num_edges(), 90);
+    }
+
+    #[test]
+    fn planted_pair_is_dense() {
+        let (g, s, t) = directed_planted(400, 0.005, 25, 15, 0.8, 7);
+        let csr = CsrDirected::from_edge_list(&g);
+        let d = csr.density_of(&s, &t);
+        let bound = 0.6 * ((25.0f64 * 15.0).sqrt() * 0.8);
+        assert!(d > bound, "planted density {d} too low");
+        assert_eq!(s.intersection_len(&t), 0);
+    }
+
+    #[test]
+    fn celebrity_in_degrees_are_skewed() {
+        let g = skewed_celebrity(2000, 5, 0.5, 1000, 13);
+        let din = g.degrees_in();
+        let celeb_min = (0..5).map(|i| din[i]).fold(f64::INFINITY, f64::min);
+        let rest_max = (5..2000).map(|i| din[i]).fold(0.0, f64::max);
+        assert!(
+            celeb_min > 5.0 * rest_max.max(1.0),
+            "celeb min {celeb_min} vs rest max {rest_max}"
+        );
+    }
+}

@@ -1,0 +1,208 @@
+//! The adversarial instances behind the paper's lower bounds (§4.1.1).
+//!
+//! * [`regular_union`] — Lemma 5: the disjoint union `G_1 ∪ … ∪ G_k` where
+//!   `G_i` is a `2^{i-1}`-regular graph on `2^{2k+1-i}` nodes (so every
+//!   layer has exactly `2^{2k-1}` edges). Algorithm 1 peels only
+//!   `O(log k)` layers per pass, forcing `Ω(log n / log log n)` passes.
+//! * [`weighted_powerlaw`] — Lemma 6: a weighted graph whose degree
+//!   sequence follows a power law with exponent `α ∈ (0, 1)`; each pass of
+//!   Algorithm 1 removes only a constant fraction of nodes, forcing
+//!   `Ω(log n)` passes. (See also
+//!   [`super::preferential::weighted_preferential_attachment`], the
+//!   process the lemma's proof sketches.)
+//! * [`disjointness_gadget`] — Lemma 7: the reduction from `q`-party
+//!   set-disjointness. `n` disjoint gadgets of `q` nodes each; in a NO
+//!   instance every gadget is a star (max density `1 - 1/q`), in a YES
+//!   instance one gadget is a `q`-clique (density `(q-1)/2`). Any
+//!   streaming algorithm distinguishing the two with approximation better
+//!   than the gap certifies the communication bound.
+
+use crate::bitset::NodeSet;
+use crate::edgelist::EdgeList;
+use crate::rng::SplitMix64;
+
+use super::basic::circulant;
+
+/// Lemma 5 instance: union of `k` regular layers.
+///
+/// Layer `i ∈ {1..k}` is a `2^{i-1}`-regular circulant on `2^{2k+1-i}`
+/// nodes. Total nodes: `Σ_i 2^{2k+1-i} = 2^{2k+1} - 2^{k+1} + …` ≈
+/// `2^{2k}`; keep `k ≤ 10` (k = 10 → ~1M nodes, 5M edges).
+///
+/// Degree-1 layers need even node counts (perfect matchings), which the
+/// power-of-two sizes guarantee.
+pub fn regular_union(k: u32) -> EdgeList {
+    assert!((1..=12).contains(&k), "k must be in 1..=12 (graph has ~4^k nodes)");
+    let mut g = EdgeList::new_undirected(0);
+    for i in 1..=k {
+        let degree = 1u32 << (i - 1);
+        let nodes = 1u64 << (2 * k + 1 - i);
+        assert!(nodes <= u32::MAX as u64, "layer too large");
+        let nodes = nodes as u32;
+        let layer = if degree == 1 {
+            // Perfect matching: 2j — 2j+1.
+            let mut m = EdgeList::new_undirected(nodes);
+            for j in 0..(nodes / 2) {
+                m.push(2 * j, 2 * j + 1);
+            }
+            m
+        } else {
+            circulant(nodes, degree)
+        };
+        g.disjoint_union(&layer);
+    }
+    g
+}
+
+/// Lemma 6 instance: a weighted complete graph on `n` nodes whose weighted
+/// degree sequence follows `deg(i) ∝ (i+1)^{-alpha}` with `alpha ∈ (0,1)`.
+///
+/// Edge `(i, j)` gets weight `d_i · d_j / Σ d` (Chung–Lu style), which
+/// yields weighted degrees ≈ `d_i`. `n(n-1)/2` edges — keep `n ≤ a few
+/// thousand`.
+pub fn weighted_powerlaw(n: u32, alpha: f64, total_weight: f64) -> EdgeList {
+    assert!((0.0..1.0).contains(&alpha), "alpha must be in (0,1)");
+    assert!(n >= 2);
+    let d: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(-alpha)).collect();
+    let sum: f64 = d.iter().sum();
+    let sum_sq: f64 = d.iter().map(|x| x * x).sum();
+    // Σ_{i<j} d_i d_j = (sum² - Σ d_i²) / 2; scale so the total is exact.
+    let scale = total_weight / ((sum * sum - sum_sq) / 2.0);
+    let mut g = EdgeList::new_undirected(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let w = scale * d[i as usize] * d[j as usize];
+            g.push_weighted(i, j, w);
+        }
+    }
+    g
+}
+
+/// Lemma 7 gadget: `groups` disjoint gadgets of `q ≥ 2` nodes each.
+///
+/// * `yes_instance = false` (a NO set-disjointness instance): every gadget
+///   is a star — maximum density `(q-1)/q = 1 - 1/q < 1`.
+/// * `yes_instance = true`: one uniformly chosen gadget is a `q`-clique —
+///   maximum density `(q-1)/2`.
+///
+/// Returns the graph and, for YES instances, the node set of the planted
+/// clique.
+pub fn disjointness_gadget(
+    groups: u32,
+    q: u32,
+    yes_instance: bool,
+    seed: u64,
+) -> (EdgeList, Option<NodeSet>) {
+    assert!(q >= 2, "gadgets need at least 2 nodes");
+    assert!(groups >= 1);
+    let n = groups as u64 * q as u64;
+    assert!(n <= u32::MAX as u64);
+    let n = n as u32;
+    let mut rng = SplitMix64::new(seed);
+    let special = if yes_instance {
+        Some(rng.range_u32(groups))
+    } else {
+        None
+    };
+    let mut g = EdgeList::new_undirected(n);
+    let mut planted = None;
+    for group in 0..groups {
+        let base = group * q;
+        if Some(group) == special {
+            for a in 0..q {
+                for b in (a + 1)..q {
+                    g.push(base + a, base + b);
+                }
+            }
+            planted = Some(NodeSet::from_iter(n as usize, base..base + q));
+        } else {
+            for leaf in 1..q {
+                g.push(base, base + leaf);
+            }
+        }
+    }
+    (g, planted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CsrUndirected;
+
+    #[test]
+    fn regular_union_layer_structure() {
+        let k = 4u32;
+        let g = regular_union(k);
+        // Total nodes: sum over i of 2^{2k+1-i}.
+        let expected_nodes: u64 = (1..=k).map(|i| 1u64 << (2 * k + 1 - i)).sum();
+        assert_eq!(g.num_nodes as u64, expected_nodes);
+        // Every layer contributes exactly 2^{2k-1} edges.
+        let expected_edges = (k as u64) * (1u64 << (2 * k - 1));
+        assert_eq!(g.num_edges() as u64, expected_edges);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn regular_union_degrees() {
+        let k = 3u32;
+        let g = regular_union(k);
+        let deg = g.degrees_out();
+        // First layer: 2^{2k+1-1} = 2^6 = 64 nodes of degree 1.
+        let ones = deg.iter().filter(|&&d| d == 1.0).count();
+        assert_eq!(ones, 64);
+        // Last layer: 2^{k+1} = 16 nodes of degree 2^{k-1} = 4.
+        let top = deg.iter().filter(|&&d| d == 4.0).count();
+        assert_eq!(top, 16);
+    }
+
+    #[test]
+    fn regular_union_densest_is_top_layer() {
+        // The densest layer is G_k with density 2^{k-2}.
+        let k = 4u32;
+        let g = regular_union(k);
+        let csr = CsrUndirected::from_edge_list(&g);
+        // The last 2^{k+1} = 32 nodes form the top layer.
+        let n = g.num_nodes;
+        let top = NodeSet::from_iter(n as usize, (n - 32)..n);
+        let d = csr.density_of(&top);
+        assert!((d - 4.0).abs() < 1e-9, "top layer density {d}");
+        assert!(d > csr.density());
+    }
+
+    #[test]
+    fn weighted_powerlaw_degree_law() {
+        let n = 200u32;
+        let alpha = 0.5;
+        let g = weighted_powerlaw(n, alpha, 1000.0);
+        assert!((g.total_weight() - 1000.0).abs() < 1e-6);
+        let deg = g.degrees_out();
+        // deg(i)/deg(j) ≈ ((i+1)/(j+1))^{-alpha}.
+        let ratio = deg[0] / deg[99];
+        let expected = (100.0f64).powf(alpha);
+        assert!(
+            (ratio / expected - 1.0).abs() < 0.15,
+            "ratio {ratio} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn disjointness_no_instance_is_sparse() {
+        let (g, planted) = disjointness_gadget(50, 8, false, 3);
+        assert!(planted.is_none());
+        assert_eq!(g.num_edges(), 50 * 7);
+        let csr = CsrUndirected::from_edge_list(&g);
+        // Max density of a star forest is < 1.
+        assert!(csr.density() < 1.0);
+    }
+
+    #[test]
+    fn disjointness_yes_instance_has_clique() {
+        let (g, planted) = disjointness_gadget(50, 8, true, 3);
+        let planted = planted.unwrap();
+        assert_eq!(planted.len(), 8);
+        let csr = CsrUndirected::from_edge_list(&g);
+        let d = csr.density_of(&planted);
+        assert!((d - 3.5).abs() < 1e-9, "clique density {d}");
+        assert_eq!(g.num_edges(), 49 * 7 + 28);
+    }
+}

@@ -1,0 +1,37 @@
+//! Synthetic graph generators.
+//!
+//! Three families:
+//!
+//! * **Deterministic building blocks** ([`basic`]) — cliques, stars,
+//!   cycles, circulant regular graphs, complete bipartite graphs. Used as
+//!   test fixtures with analytically known densest subgraphs.
+//! * **Random models** ([`random`], [`planted`], [`preferential`],
+//!   [`rmat`], [`directed`]) — Erdős–Rényi, Chung–Lu power-law, planted
+//!   dense subgraphs, preferential attachment, RMAT, and skewed directed
+//!   graphs. These are the stand-ins for the paper's proprietary social
+//!   networks (see DESIGN.md §4).
+//! * **Adversarial instances** ([`lowerbound`]) — the constructions behind
+//!   the paper's Lemma 5 (union of regular graphs forcing
+//!   `Ω(log n / log log n)` passes), Lemma 6 (weighted power-law forcing
+//!   `Ω(log n)` passes), and Lemma 7 (set-disjointness gadget behind the
+//!   space lower bound).
+//!
+//! All generators take an explicit `u64` seed and are fully deterministic.
+
+pub mod basic;
+pub mod directed;
+pub mod lowerbound;
+pub mod planted;
+pub mod preferential;
+pub mod random;
+pub mod rmat;
+pub mod structured;
+
+pub use basic::{circulant, clique, complete_bipartite, cycle, path, star};
+pub use directed::{directed_gnp, directed_planted, skewed_celebrity};
+pub use lowerbound::{disjointness_gadget, regular_union, weighted_powerlaw};
+pub use planted::{planted_clique, planted_dense_subgraph, powerlaw_with_communities, PlantedGraph};
+pub use preferential::{preferential_attachment, weighted_preferential_attachment};
+pub use random::{chung_lu, chung_lu_powerlaw, gnm, gnp, powerlaw_degree_sequence, random_regular};
+pub use rmat::{rmat, RmatParams};
+pub use structured::{grid, watts_strogatz};

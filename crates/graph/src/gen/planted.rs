@@ -1,0 +1,162 @@
+//! Planted dense subgraph generators.
+//!
+//! The quality experiments (Table 2, Figure 6.1) need graphs whose densest
+//! subgraph is *known* or at least tightly lower-bounded. Planting a dense
+//! community inside a sparse background gives exactly that: the planted set
+//! certifies a density lower bound, and for strong plantings it is the
+//! optimum.
+
+use crate::bitset::NodeSet;
+use crate::edgelist::EdgeList;
+use crate::rng::SplitMix64;
+
+use super::random::{chung_lu, gnm, powerlaw_degree_sequence};
+
+/// A generated graph together with the planted dense node set.
+#[derive(Clone, Debug)]
+pub struct PlantedGraph {
+    /// The full graph (background + planted community, shuffled labels).
+    pub graph: EdgeList,
+    /// The nodes of the planted community.
+    pub planted: NodeSet,
+    /// Density of the planted community (edges inside / size) — a lower
+    /// bound for `ρ*(G)`.
+    pub planted_density: f64,
+}
+
+/// Plants a `G(k, p_in)` community inside a `G(n, m)` background.
+///
+/// Nodes are relabeled with a random permutation so that algorithms cannot
+/// exploit id locality.
+pub fn planted_dense_subgraph(
+    n: u32,
+    background_edges: usize,
+    k: u32,
+    p_in: f64,
+    seed: u64,
+) -> PlantedGraph {
+    assert!(k <= n, "planted size k = {k} exceeds n = {n}");
+    let mut rng = SplitMix64::new(seed);
+    let mut g = gnm(n, background_edges, rng.next_u64());
+
+    // Plant: dense G(k, p_in) on nodes 0..k (before shuffling).
+    let dense = super::random::gnp(k, p_in, rng.next_u64());
+    let planted_edge_count = dense.num_edges();
+    for &(u, v) in &dense.edges {
+        g.push(u, v);
+    }
+
+    // Shuffle node labels.
+    let mut perm: Vec<u32> = (0..n).collect();
+    rng.shuffle(&mut perm);
+    g.relabel(&perm);
+    g.canonicalize();
+
+    let planted = NodeSet::from_iter(n as usize, (0..k).map(|i| perm[i as usize]));
+    // Density from the planted edges alone (background edges inside the
+    // community only add to it, so this remains a valid lower bound).
+    let planted_density = planted_edge_count as f64 / k as f64;
+    PlantedGraph {
+        graph: g,
+        planted,
+        planted_density,
+    }
+}
+
+/// Plants a clique of size `k` inside a `G(n, m)` background. The planted
+/// density is exactly `(k-1)/2` from the clique edges.
+pub fn planted_clique(n: u32, background_edges: usize, k: u32, seed: u64) -> PlantedGraph {
+    planted_dense_subgraph(n, background_edges, k, 1.0, seed)
+}
+
+/// A power-law (Chung–Lu) background with several planted communities —
+/// the stand-in shape for the paper's social-network datasets.
+///
+/// Returns the graph and the list of planted communities (each a
+/// `NodeSet`), sorted by decreasing planted density.
+pub fn powerlaw_with_communities(
+    n: u32,
+    alpha: f64,
+    avg_degree: f64,
+    max_degree: f64,
+    communities: &[(u32, f64)],
+    seed: u64,
+) -> (EdgeList, Vec<(NodeSet, f64)>) {
+    let mut rng = SplitMix64::new(seed);
+    let w = powerlaw_degree_sequence(n, alpha, avg_degree, max_degree);
+    let mut g = chung_lu(&w, rng.next_u64());
+
+    // Choose disjoint random node sets for the communities.
+    let total: u32 = communities.iter().map(|&(k, _)| k).sum();
+    assert!(total <= n, "communities exceed n");
+    let mut ids: Vec<u32> = (0..n).collect();
+    rng.shuffle(&mut ids);
+    let mut cursor = 0usize;
+    let mut planted = Vec::new();
+    for &(k, p_in) in communities {
+        let members = &ids[cursor..cursor + k as usize];
+        cursor += k as usize;
+        let dense = super::random::gnp(k, p_in, rng.next_u64());
+        for &(a, b) in &dense.edges {
+            g.push(members[a as usize], members[b as usize]);
+        }
+        let set = NodeSet::from_iter(n as usize, members.iter().copied());
+        planted.push((set, dense.num_edges() as f64 / k as f64));
+    }
+    g.canonicalize();
+    planted.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("densities are finite"));
+    (g, planted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CsrUndirected;
+
+    #[test]
+    fn planted_set_is_dense() {
+        let pg = planted_dense_subgraph(500, 1000, 30, 0.8, 42);
+        assert_eq!(pg.planted.len(), 30);
+        let csr = CsrUndirected::from_edge_list(&pg.graph);
+        let actual = csr.density_of(&pg.planted);
+        // Actual density ≥ planted density (background can only add edges).
+        assert!(
+            actual + 1e-9 >= pg.planted_density,
+            "actual {actual} < planted bound {}",
+            pg.planted_density
+        );
+        // And clearly denser than the background average.
+        assert!(actual > 2.0 * csr.density());
+    }
+
+    #[test]
+    fn planted_clique_density() {
+        let pg = planted_clique(200, 400, 20, 7);
+        // Clique contributes exactly (k choose 2)/k = (k-1)/2.
+        assert!((pg.planted_density - 9.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn planted_is_deterministic() {
+        let a = planted_dense_subgraph(100, 200, 10, 0.9, 3);
+        let b = planted_dense_subgraph(100, 200, 10, 0.9, 3);
+        assert_eq!(a.graph.edges, b.graph.edges);
+        assert_eq!(a.planted.to_vec(), b.planted.to_vec());
+    }
+
+    #[test]
+    fn communities_are_disjoint_and_dense() {
+        let (g, comms) =
+            powerlaw_with_communities(1000, 2.5, 6.0, 80.0, &[(40, 0.7), (25, 0.9)], 11);
+        g.validate().unwrap();
+        assert_eq!(comms.len(), 2);
+        assert_eq!(comms[0].0.intersection_len(&comms[1].0), 0);
+        let csr = CsrUndirected::from_edge_list(&g);
+        for (set, bound) in &comms {
+            let d = csr.density_of(set);
+            assert!(d + 1e-9 >= *bound, "community density {d} below bound {bound}");
+        }
+        // Sorted by decreasing density.
+        assert!(comms[0].1 >= comms[1].1);
+    }
+}

@@ -1,0 +1,155 @@
+//! Preferential-attachment generators.
+//!
+//! Two flavors:
+//! * [`preferential_attachment`] — the standard Barabási–Albert process
+//!   (each arriving node attaches to `m` existing nodes chosen with
+//!   probability proportional to degree), a classic social-network model.
+//! * [`weighted_preferential_attachment`] — the *deterministic weighted*
+//!   variant from the proof of the paper's Lemma 6: each arriving node `u`
+//!   connects to **every** existing node `v` with edge weight proportional
+//!   to the current (weighted) degree of `v`. The resulting weighted degree
+//!   sequence follows a power law with exponent `< 1`, which forces
+//!   Algorithm 1 into `Ω(log n)` passes.
+
+use crate::edgelist::EdgeList;
+use crate::rng::SplitMix64;
+
+/// Barabási–Albert preferential attachment: starts from a clique on
+/// `m + 1` nodes; every subsequent node attaches to `m` distinct existing
+/// nodes, sampled proportionally to degree.
+pub fn preferential_attachment(n: u32, m: u32, seed: u64) -> EdgeList {
+    assert!(m >= 1, "m must be at least 1");
+    assert!(n > m, "need n > m");
+    let mut rng = SplitMix64::new(seed);
+    let mut g = EdgeList::new_undirected(n);
+    // Repeated-endpoint list: sampling an element uniformly is sampling a
+    // node proportionally to its degree.
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * (n as usize) * (m as usize));
+    for u in 0..=m {
+        for v in (u + 1)..=m {
+            g.push(u, v);
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    let mut targets = Vec::with_capacity(m as usize);
+    for u in (m + 1)..n {
+        targets.clear();
+        // Sample m distinct targets by degree; retry duplicates.
+        let mut guard = 0;
+        while targets.len() < m as usize {
+            let t = *rng.choose(&endpoints);
+            if !targets.contains(&t) {
+                targets.push(t);
+            }
+            guard += 1;
+            assert!(guard < 10_000, "preferential attachment sampling stuck");
+        }
+        for &t in &targets {
+            g.push(u, t);
+            endpoints.push(u);
+            endpoints.push(t);
+        }
+    }
+    g
+}
+
+/// Deterministic weighted preferential attachment (Lemma 6 instance).
+///
+/// Node 0 starts with a self-weight of 1 (conceptually). When node `u ≥ 1`
+/// arrives, it adds an edge to every existing node `v < u` with weight
+/// `deg(v) / Σ_w deg(w)` scaled by `total_new_weight` — i.e. each arrival
+/// distributes `total_new_weight` of edge mass proportionally to current
+/// weighted degrees. The weighted degree sequence then follows a power law
+/// with exponent `α < 1` as required by the lemma's proof.
+///
+/// The graph is complete, so it has `n(n-1)/2` weighted edges: keep `n`
+/// modest (≤ a few thousand).
+pub fn weighted_preferential_attachment(n: u32, total_new_weight: f64) -> EdgeList {
+    assert!(n >= 2, "need at least two nodes");
+    let mut g = EdgeList::new_undirected(n);
+    let mut degree = vec![0.0f64; n as usize];
+    // Seed: the first pair gets weight `total_new_weight`.
+    g.push_weighted(0, 1, total_new_weight);
+    degree[0] = total_new_weight;
+    degree[1] = total_new_weight;
+    let mut total: f64 = 2.0 * total_new_weight;
+    for u in 2..n {
+        let mut added = 0.0;
+        for v in 0..u {
+            let w = total_new_weight * degree[v as usize] / total;
+            g.push_weighted(u, v, w);
+            degree[v as usize] += w;
+            added += w;
+        }
+        degree[u as usize] = added;
+        total += 2.0 * added;
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ba_edge_count() {
+        let n = 500u32;
+        let m = 3u32;
+        let g = preferential_attachment(n, m, 5);
+        g.validate().unwrap();
+        // clique(m+1) + m per remaining node.
+        let expected = (m * (m + 1) / 2 + (n - m - 1) * m) as usize;
+        assert_eq!(g.num_edges(), expected);
+        // Simple graph.
+        let mut h = g.clone();
+        h.canonicalize();
+        assert_eq!(h.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn ba_has_hubs() {
+        let g = preferential_attachment(2000, 2, 9);
+        let deg = g.degrees_out();
+        let max = deg.iter().cloned().fold(0.0, f64::max);
+        let mean = deg.iter().sum::<f64>() / deg.len() as f64;
+        assert!(
+            max > 8.0 * mean,
+            "expected a hub: max {max} vs mean {mean}"
+        );
+    }
+
+    #[test]
+    fn weighted_pa_is_complete() {
+        let n = 50u32;
+        let g = weighted_preferential_attachment(n, 1.0);
+        assert_eq!(g.num_edges(), (n as usize * (n as usize - 1)) / 2);
+        assert!(g.is_weighted());
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn weighted_pa_degrees_follow_power_law() {
+        let n = 400u32;
+        let g = weighted_preferential_attachment(n, 1.0);
+        let deg = g.degrees_in();
+        // Early nodes accumulate much more weight than late nodes — the
+        // hallmark of the power-law sequence in Lemma 6's proof.
+        assert!(deg[0] > deg[(n - 1) as usize] * 5.0);
+        // Degrees are non-increasing in arrival order (approximately: node
+        // 0 and 1 are symmetric by construction).
+        assert!((deg[0] - deg[1]).abs() / deg[0] < 0.05);
+        let mid = deg[(n / 2) as usize];
+        assert!(deg[0] > mid && mid > deg[(n - 1) as usize]);
+    }
+
+    #[test]
+    fn weighted_pa_rich_get_richer_invariant() {
+        // Total degree doubles exactly with the distributed weight.
+        let g = weighted_preferential_attachment(20, 2.0);
+        let total_deg: f64 = g.degrees_out().iter().sum();
+        // Each of the 19 arrivals distributed weight 2.0 (counted twice in
+        // the degree sum).
+        assert!((total_deg - 2.0 * 2.0 * 19.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,316 @@
+//! Random graph models: Erdős–Rényi (`G(n,p)`, `G(n,m)`) and the Chung–Lu
+//! model with power-law expected degrees.
+//!
+//! Chung–Lu is the workhorse behind the paper-dataset stand-ins: social
+//! networks have heavy-tailed degree sequences, and §6.3 of the paper
+//! explicitly attributes the small observed pass counts to that heavy tail.
+
+use crate::edgelist::EdgeList;
+use crate::rng::SplitMix64;
+use rustc_hash::FxHashSet;
+
+/// Erdős–Rényi `G(n, p)`: each of the `n(n-2)/2` pairs is an edge
+/// independently with probability `p`.
+///
+/// Uses geometric skipping, so the cost is proportional to the number of
+/// generated edges rather than to `n²`.
+pub fn gnp(n: u32, p: f64, seed: u64) -> EdgeList {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1]");
+    let mut g = EdgeList::new_undirected(n);
+    if p == 0.0 || n < 2 {
+        return g;
+    }
+    let mut rng = SplitMix64::new(seed);
+    if p >= 1.0 {
+        return super::basic::clique(n);
+    }
+    // Geometric skipping over the lexicographic pair order (Batagelj–Brandes).
+    let log_q = (1.0 - p).ln();
+    let total_pairs = (n as u64) * (n as u64 - 1) / 2;
+    let mut idx: u64 = 0;
+    loop {
+        let r = rng.next_f64();
+        // Number of skipped pairs ~ Geometric(p).
+        let skip = ((1.0 - r).ln() / log_q).floor() as u64;
+        idx = idx.saturating_add(skip);
+        if idx >= total_pairs {
+            break;
+        }
+        let (u, v) = pair_from_index(idx, n);
+        g.push(u, v);
+        idx += 1;
+    }
+    g
+}
+
+/// Maps a lexicographic pair index to `(u, v)` with `u < v < n`.
+fn pair_from_index(idx: u64, n: u32) -> (u32, u32) {
+    // Find u such that the pairs starting with u cover idx.
+    // Pairs with first element u: (n-1-u), cumulative: u*n - u(u+1)/2.
+    let nf = n as f64;
+    // Initial guess from the quadratic formula, then fix up.
+    let mut u = ((2.0 * nf - 1.0 - ((2.0 * nf - 1.0).powi(2) - 8.0 * idx as f64).sqrt()) / 2.0)
+        .floor()
+        .max(0.0) as u64;
+    let cum = |u: u64| u * n as u64 - u * (u + 1) / 2;
+    while cum(u + 1) <= idx {
+        u += 1;
+    }
+    while cum(u) > idx {
+        u -= 1;
+    }
+    let v = u + 1 + (idx - cum(u));
+    (u as u32, v as u32)
+}
+
+/// Erdős–Rényi `G(n, m)`: exactly `m` distinct edges chosen uniformly among
+/// all pairs. Panics if `m` exceeds the number of pairs.
+pub fn gnm(n: u32, m: usize, seed: u64) -> EdgeList {
+    let total_pairs = (n as u64) * (n as u64 - 1) / 2;
+    assert!(
+        m as u64 <= total_pairs,
+        "m = {m} exceeds the {total_pairs} available pairs"
+    );
+    let mut rng = SplitMix64::new(seed);
+    let mut g = EdgeList::new_undirected(n);
+    // For sparse requests, rejection sampling over pair indices is fast;
+    // Floyd's algorithm guarantees termination regardless of density.
+    let idxs = rng.sample_distinct(total_pairs, m as u64);
+    for idx in idxs {
+        let (u, v) = pair_from_index(idx, n);
+        g.push(u, v);
+    }
+    g
+}
+
+/// A power-law degree sequence: `deg(i) ∝ (i+1)^{-1/(alpha-1)}`, scaled so
+/// the mean is `avg_degree`, clamped to `[1, max_degree]`.
+///
+/// `alpha` is the exponent of the degree *distribution* `P(d) ∝ d^{-alpha}`;
+/// social networks typically have `alpha ∈ [2, 3]`.
+pub fn powerlaw_degree_sequence(n: u32, alpha: f64, avg_degree: f64, max_degree: f64) -> Vec<f64> {
+    assert!(alpha > 1.0, "alpha must exceed 1");
+    let gamma = 1.0 / (alpha - 1.0);
+    let mut w: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(-gamma)).collect();
+    let sum: f64 = w.iter().sum();
+    let scale = avg_degree * n as f64 / sum;
+    for x in &mut w {
+        *x = (*x * scale).clamp(1.0, max_degree);
+    }
+    w
+}
+
+/// Chung–Lu random graph: pair `(u, v)` is an edge with probability
+/// `min(1, w_u w_v / W)` where `W = Σ w`. The expected degree of `u` is
+/// ≈ `w_u` when no product exceeds `W`.
+///
+/// Implemented with the Miller–Hagberg efficient sampler: nodes sorted by
+/// weight descending, geometric skipping within each row, O(n + m) time.
+pub fn chung_lu(weights: &[f64], seed: u64) -> EdgeList {
+    let n = weights.len() as u32;
+    let mut order: Vec<u32> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        weights[b as usize]
+            .partial_cmp(&weights[a as usize])
+            .expect("weights must not be NaN")
+    });
+    let sorted: Vec<f64> = order.iter().map(|&i| weights[i as usize]).collect();
+    let total: f64 = sorted.iter().sum();
+    let mut rng = SplitMix64::new(seed);
+    let mut g = EdgeList::new_undirected(n);
+    if n < 2 || total <= 0.0 {
+        return g;
+    }
+    for i in 0..(n as usize - 1) {
+        let wi = sorted[i];
+        if wi <= 0.0 {
+            break;
+        }
+        let mut j = i + 1;
+        // Probability cap for this row.
+        let mut p = (wi * sorted[j] / total).min(1.0);
+        while j < n as usize && p > 0.0 {
+            if p < 1.0 {
+                // Skip ~ Geometric(p).
+                let r = rng.next_f64();
+                let skip = ((1.0 - r).ln() / (1.0 - p).ln()).floor() as usize;
+                j += skip;
+            }
+            if j >= n as usize {
+                break;
+            }
+            let q = (wi * sorted[j] / total).min(1.0);
+            // Accept with probability q/p (q <= p since sorted descending).
+            if rng.next_f64() < q / p {
+                g.push(order[i], order[j]);
+            }
+            p = q;
+            j += 1;
+        }
+    }
+    g
+}
+
+/// Convenience: Chung–Lu graph with a power-law degree sequence.
+pub fn chung_lu_powerlaw(n: u32, alpha: f64, avg_degree: f64, max_degree: f64, seed: u64) -> EdgeList {
+    let w = powerlaw_degree_sequence(n, alpha, avg_degree, max_degree);
+    chung_lu(&w, seed)
+}
+
+/// Random `k`-regular-ish graph via a permutation-based pairing model:
+/// repeatedly matches random stubs, discarding self-loops and duplicates
+/// (so degrees can fall slightly below `k`). `n * k` must be even.
+pub fn random_regular(n: u32, k: u32, seed: u64) -> EdgeList {
+    assert!((n as u64 * k as u64).is_multiple_of(2), "n*k must be even");
+    assert!(k < n, "k must be < n");
+    let mut rng = SplitMix64::new(seed);
+    let mut stubs: Vec<u32> = (0..n).flat_map(|u| std::iter::repeat_n(u, k as usize)).collect();
+    let mut g = EdgeList::new_undirected(n);
+    let mut seen: FxHashSet<(u32, u32)> = FxHashSet::default();
+    // A few rounds of shuffling and pairing; leftovers are dropped.
+    for _ in 0..3 {
+        rng.shuffle(&mut stubs);
+        let mut leftover = Vec::new();
+        for pair in stubs.chunks(2) {
+            if pair.len() < 2 {
+                leftover.extend_from_slice(pair);
+                continue;
+            }
+            let (a, b) = (pair[0].min(pair[1]), pair[0].max(pair[1]));
+            if a == b || seen.contains(&(a, b)) {
+                leftover.extend_from_slice(pair);
+            } else {
+                seen.insert((a, b));
+                g.push(a, b);
+            }
+        }
+        stubs = leftover;
+        if stubs.len() < 2 {
+            break;
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_index_bijection() {
+        let n = 37u32;
+        let mut idx = 0u64;
+        for u in 0..n {
+            for v in (u + 1)..n {
+                assert_eq!(pair_from_index(idx, n), (u, v), "idx {idx}");
+                idx += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn gnp_edge_count_concentrates() {
+        let n = 400u32;
+        let p = 0.05;
+        let g = gnp(n, p, 99);
+        let expected = (n as f64) * (n as f64 - 1.0) / 2.0 * p;
+        let got = g.num_edges() as f64;
+        assert!(
+            (got - expected).abs() < 5.0 * expected.sqrt() + 10.0,
+            "expected ≈{expected}, got {got}"
+        );
+        // No duplicates or self loops.
+        let mut h = g.clone();
+        h.canonicalize();
+        assert_eq!(h.num_edges(), g.num_edges());
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(gnp(10, 0.0, 1).num_edges(), 0);
+        assert_eq!(gnp(10, 1.0, 1).num_edges(), 45);
+        assert_eq!(gnp(1, 0.5, 1).num_edges(), 0);
+    }
+
+    #[test]
+    fn gnp_deterministic() {
+        let a = gnp(100, 0.1, 7);
+        let b = gnp(100, 0.1, 7);
+        assert_eq!(a.edges, b.edges);
+        let c = gnp(100, 0.1, 8);
+        assert_ne!(a.edges, c.edges);
+    }
+
+    #[test]
+    fn gnm_exact_count_distinct() {
+        let g = gnm(50, 300, 5);
+        assert_eq!(g.num_edges(), 300);
+        let mut h = g.clone();
+        h.canonicalize();
+        assert_eq!(h.num_edges(), 300, "gnm must produce distinct edges");
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn gnm_full() {
+        let g = gnm(10, 45, 3);
+        assert_eq!(g.num_edges(), 45);
+        let mut h = g;
+        h.canonicalize();
+        assert_eq!(h.num_edges(), 45);
+    }
+
+    #[test]
+    fn powerlaw_sequence_properties() {
+        let w = powerlaw_degree_sequence(1000, 2.5, 8.0, 200.0);
+        assert_eq!(w.len(), 1000);
+        assert!(w.iter().all(|&x| (1.0..=200.0).contains(&x)));
+        // Monotone non-increasing.
+        assert!(w.windows(2).all(|p| p[0] >= p[1]));
+        // Skewed: top node much larger than median.
+        assert!(w[0] > 4.0 * w[500]);
+    }
+
+    #[test]
+    fn chung_lu_mean_degree() {
+        let n = 2000u32;
+        let w = powerlaw_degree_sequence(n, 2.3, 10.0, 100.0);
+        let g = chung_lu(&w, 11);
+        g.validate().unwrap();
+        let target: f64 = w.iter().sum::<f64>() / 2.0;
+        let got = g.num_edges() as f64;
+        // Within 15% of the expected edge mass (clamping shifts it a bit).
+        assert!(
+            (got - target).abs() < 0.15 * target,
+            "expected ≈{target}, got {got}"
+        );
+        // Simple graph.
+        let mut h = g.clone();
+        h.canonicalize();
+        assert_eq!(h.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn chung_lu_degrees_track_weights() {
+        let n = 3000u32;
+        let w = powerlaw_degree_sequence(n, 2.5, 12.0, 300.0);
+        let g = chung_lu(&w, 21);
+        let deg = g.degrees_out();
+        // The heaviest node should get a much larger degree than average.
+        assert!(deg[0] > 3.0 * 12.0, "hub degree {}", deg[0]);
+    }
+
+    #[test]
+    fn random_regular_close_to_regular() {
+        let g = random_regular(100, 6, 17);
+        g.validate().unwrap();
+        let deg = g.degrees_out();
+        let exact = deg.iter().filter(|&&d| d == 6.0).count();
+        assert!(exact > 80, "only {exact} of 100 nodes reached degree 6");
+        assert!(deg.iter().all(|&d| d <= 6.0));
+        let mut h = g.clone();
+        h.canonicalize();
+        assert_eq!(h.num_edges(), g.num_edges());
+    }
+}

@@ -1,0 +1,141 @@
+//! R-MAT recursive matrix generator (Chakrabarti, Zhan, Faloutsos; SDM
+//! 2004) — produces graphs with the skewed, community-rich structure of
+//! real web and social graphs, and is the standard synthetic stand-in for
+//! them (Graph500 uses it). We use it for the larger dataset stand-ins.
+
+use crate::edgelist::{EdgeList, GraphKind};
+use crate::rng::SplitMix64;
+
+/// Quadrant probabilities of the R-MAT recursion. Must sum to 1.
+#[derive(Clone, Copy, Debug)]
+pub struct RmatParams {
+    /// Top-left (both endpoints in the low half) — controls skew.
+    pub a: f64,
+    /// Top-right.
+    pub b: f64,
+    /// Bottom-left.
+    pub c: f64,
+    /// Bottom-right.
+    pub d: f64,
+}
+
+impl RmatParams {
+    /// The Graph500 parameterization (a=0.57, b=0.19, c=0.19, d=0.05) —
+    /// heavily skewed, like real social graphs.
+    pub fn graph500() -> Self {
+        RmatParams {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            d: 0.05,
+        }
+    }
+
+    /// A milder skew for moderate-tail graphs.
+    pub fn mild() -> Self {
+        RmatParams {
+            a: 0.45,
+            b: 0.22,
+            c: 0.22,
+            d: 0.11,
+        }
+    }
+}
+
+/// Generates an R-MAT graph with `2^scale` nodes and `num_edges` sampled
+/// edges (before simplification). `kind` selects directed or undirected
+/// output; undirected graphs are canonicalized (duplicates and self-loops
+/// removed), so the final edge count is slightly below `num_edges`.
+pub fn rmat(scale: u32, num_edges: usize, params: RmatParams, kind: GraphKind, seed: u64) -> EdgeList {
+    assert!((1..=30).contains(&scale), "scale out of range");
+    let sum = params.a + params.b + params.c + params.d;
+    assert!((sum - 1.0).abs() < 1e-9, "R-MAT params must sum to 1 (got {sum})");
+    let n = 1u32 << scale;
+    let mut rng = SplitMix64::new(seed);
+    let mut g = match kind {
+        GraphKind::Undirected => EdgeList::new_undirected(n),
+        GraphKind::Directed => EdgeList::new_directed(n),
+    };
+    g.edges.reserve(num_edges);
+    // Add a little per-level noise to the quadrant probabilities so the
+    // degree distribution is smoother (standard practice).
+    for _ in 0..num_edges {
+        let mut u = 0u32;
+        let mut v = 0u32;
+        for _ in 0..scale {
+            u <<= 1;
+            v <<= 1;
+            let r = rng.next_f64();
+            // Perturb each quadrant by up to ±10%.
+            let noise = 0.9 + 0.2 * rng.next_f64();
+            let a = params.a * noise;
+            let ab = a + params.b;
+            let abc = ab + params.c;
+            let total = abc + params.d;
+            let r = r * total;
+            if r < a {
+                // (0,0)
+            } else if r < ab {
+                v |= 1;
+            } else if r < abc {
+                u |= 1;
+            } else {
+                u |= 1;
+                v |= 1;
+            }
+        }
+        g.edges.push((u, v));
+    }
+    g.canonicalize();
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmat_basic_shape() {
+        let g = rmat(10, 8000, RmatParams::graph500(), GraphKind::Undirected, 5);
+        g.validate().unwrap();
+        assert_eq!(g.num_nodes, 1024);
+        // Simplification removes some duplicates but most edges survive.
+        assert!(g.num_edges() > 4000, "got {}", g.num_edges());
+        assert!(g.num_edges() <= 8000);
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        let g = rmat(12, 40_000, RmatParams::graph500(), GraphKind::Undirected, 5);
+        let deg = g.degrees_out();
+        let max = deg.iter().cloned().fold(0.0, f64::max);
+        let mean = deg.iter().sum::<f64>() / deg.len() as f64;
+        assert!(max > 10.0 * mean, "max {max} mean {mean}");
+    }
+
+    #[test]
+    fn rmat_directed() {
+        let g = rmat(8, 2000, RmatParams::mild(), GraphKind::Directed, 5);
+        assert_eq!(g.kind, GraphKind::Directed);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn rmat_deterministic() {
+        let a = rmat(8, 1000, RmatParams::mild(), GraphKind::Undirected, 42);
+        let b = rmat(8, 1000, RmatParams::mild(), GraphKind::Undirected, 42);
+        assert_eq!(a.edges, b.edges);
+    }
+
+    #[test]
+    #[should_panic(expected = "must sum to 1")]
+    fn rmat_rejects_bad_params() {
+        let p = RmatParams {
+            a: 0.5,
+            b: 0.5,
+            c: 0.5,
+            d: 0.5,
+        };
+        rmat(4, 10, p, GraphKind::Undirected, 1);
+    }
+}

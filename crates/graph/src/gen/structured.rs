@@ -1,0 +1,120 @@
+//! Structured graph models: small-world rewiring and lattices.
+//!
+//! Not evaluated in the paper, but standard fixtures for exercising the
+//! algorithms on low-skew graphs — the regime where Algorithm 1's pass
+//! bound is tight and the heavy-tail speedups of §6.3 *don't* apply.
+
+use crate::edgelist::EdgeList;
+use crate::rng::SplitMix64;
+
+use super::basic::circulant;
+
+/// Watts–Strogatz small-world graph: a `k`-regular ring lattice with each
+/// edge rewired independently with probability `beta` (`k` even).
+///
+/// `beta = 0` is the circulant lattice; `beta = 1` approaches `G(n, m)`.
+pub fn watts_strogatz(n: u32, k: u32, beta: f64, seed: u64) -> EdgeList {
+    assert!((0.0..=1.0).contains(&beta));
+    assert!(k < n, "degree must be below n");
+    let mut rng = SplitMix64::new(seed);
+    let base = circulant(n, k);
+    let mut g = EdgeList::new_undirected(n);
+    for &(u, v) in &base.edges {
+        if rng.bernoulli(beta) {
+            // Rewire: keep u, pick a fresh target (avoiding the self loop;
+            // duplicate edges are cleaned by canonicalize below).
+            let mut w = rng.range_u32(n);
+            let mut guard = 0;
+            while w == u {
+                w = rng.range_u32(n);
+                guard += 1;
+                assert!(guard < 1000, "rewire loop stuck");
+            }
+            g.push(u, w);
+        } else {
+            g.push(u, v);
+        }
+    }
+    g.canonicalize();
+    g
+}
+
+/// 2-D grid graph on `rows × cols` nodes with 4-neighbor connectivity.
+/// Node `(r, c)` has id `r·cols + c`. Density approaches 2 from below as
+/// the grid grows; no subgraph is much denser — a worst case for "find a
+/// dense core" heuristics.
+pub fn grid(rows: u32, cols: u32) -> EdgeList {
+    let n = rows
+        .checked_mul(cols)
+        .expect("grid dimensions overflow u32");
+    let mut g = EdgeList::new_undirected(n);
+    for r in 0..rows {
+        for c in 0..cols {
+            let id = r * cols + c;
+            if c + 1 < cols {
+                g.push(id, id + 1);
+            }
+            if r + 1 < rows {
+                g.push(id, id + cols);
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CsrUndirected;
+
+    #[test]
+    fn ws_beta_zero_is_lattice() {
+        let g = watts_strogatz(30, 4, 0.0, 1);
+        let mut lattice = circulant(30, 4);
+        lattice.canonicalize(); // same canonical orientation as the WS output
+        assert_eq!(g.edges, lattice.edges);
+    }
+
+    #[test]
+    fn ws_rewiring_keeps_edge_count_close() {
+        let g = watts_strogatz(500, 6, 0.3, 7);
+        g.validate().unwrap();
+        // Rewiring can create duplicates that canonicalize removes; the
+        // count stays within a few percent.
+        let target = 500 * 3;
+        assert!(
+            g.num_edges() as i64 >= target as i64 - 60,
+            "{} edges",
+            g.num_edges()
+        );
+        assert!(g.num_edges() <= target);
+    }
+
+    #[test]
+    fn ws_deterministic() {
+        let a = watts_strogatz(100, 4, 0.2, 9);
+        let b = watts_strogatz(100, 4, 0.2, 9);
+        assert_eq!(a.edges, b.edges);
+    }
+
+    #[test]
+    fn grid_counts() {
+        let g = grid(4, 5);
+        assert_eq!(g.num_nodes, 20);
+        // Horizontal: 4*(5-1)=16, vertical: (4-1)*5=15.
+        assert_eq!(g.num_edges(), 31);
+        g.validate().unwrap();
+        let csr = CsrUndirected::from_edge_list(&g);
+        // Corner degree 2, interior degree 4.
+        assert_eq!(csr.degree(0), 2);
+        assert_eq!(csr.degree(6), 4);
+    }
+
+    #[test]
+    fn grid_density_below_two() {
+        let g = grid(20, 20);
+        let csr = CsrUndirected::from_edge_list(&g);
+        assert!(csr.density() < 2.0);
+        assert!(csr.density() > 1.5);
+    }
+}

@@ -1,0 +1,291 @@
+//! Graph serialization: SNAP-style text edge lists and a compact binary
+//! format.
+//!
+//! The text format is line-oriented `u v [w]` with `#` comments — the same
+//! shape as the SNAP datasets the paper evaluates on (Table 2), so real
+//! downloads drop in unchanged. The binary format is a fixed 16-byte header
+//! followed by fixed-width little-endian records; it exists so that the
+//! out-of-core streaming experiments are not bottlenecked on integer
+//! parsing.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use crate::edgelist::{EdgeList, GraphKind};
+use crate::stream::BINARY_MAGIC;
+use crate::{GraphError, Result};
+
+/// Writes `list` as a text edge list with a SNAP-style header comment.
+pub fn write_text<P: AsRef<Path>>(path: P, list: &EdgeList) -> Result<()> {
+    let file = File::create(path)?;
+    let mut w = BufWriter::new(file);
+    let kind = match list.kind {
+        GraphKind::Undirected => "undirected",
+        GraphKind::Directed => "directed",
+    };
+    writeln!(
+        w,
+        "# {kind} graph: Nodes: {} Edges: {}",
+        list.num_nodes,
+        list.num_edges()
+    )?;
+    match &list.weights {
+        None => {
+            for &(u, v) in &list.edges {
+                writeln!(w, "{u}\t{v}")?;
+            }
+        }
+        Some(ws) => {
+            for (&(u, v), &wt) in list.edges.iter().zip(ws) {
+                writeln!(w, "{u}\t{v}\t{wt}")?;
+            }
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a text edge list. Node ids may be arbitrary (non-dense) `u32`
+/// values; `num_nodes` is set to `max id + 1`. Self-loops and duplicates
+/// are kept — call [`EdgeList::canonicalize`] to simplify.
+pub fn read_text<P: AsRef<Path>>(path: P, kind: GraphKind) -> Result<EdgeList> {
+    let file = File::open(path)?;
+    let reader = BufReader::new(file);
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut weights: Vec<f64> = Vec::new();
+    let mut any_weight = false;
+    let mut max_id: u32 = 0;
+    for (idx, line) in reader.lines().enumerate() {
+        let line_no = idx as u64 + 1;
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let u: u32 = it
+            .next()
+            .unwrap()
+            .parse()
+            .map_err(|e| GraphError::Parse {
+                line: line_no,
+                msg: format!("bad source id: {e}"),
+            })?;
+        let v: u32 = it
+            .next()
+            .ok_or_else(|| GraphError::Parse {
+                line: line_no,
+                msg: "missing target id".to_string(),
+            })?
+            .parse()
+            .map_err(|e| GraphError::Parse {
+                line: line_no,
+                msg: format!("bad target id: {e}"),
+            })?;
+        let w: f64 = match it.next() {
+            None => 1.0,
+            Some(tok) => {
+                any_weight = true;
+                tok.parse().map_err(|e| GraphError::Parse {
+                    line: line_no,
+                    msg: format!("bad weight: {e}"),
+                })?
+            }
+        };
+        max_id = max_id.max(u).max(v);
+        edges.push((u, v));
+        weights.push(w);
+    }
+    let num_nodes = if edges.is_empty() { 0 } else { max_id + 1 };
+    Ok(EdgeList {
+        num_nodes,
+        edges,
+        weights: if any_weight { Some(weights) } else { None },
+        kind,
+    })
+}
+
+/// Writes `list` in the compact binary format readable by
+/// [`crate::stream::BinaryFileStream`] and [`read_binary`].
+pub fn write_binary<P: AsRef<Path>>(path: P, list: &EdgeList) -> Result<()> {
+    let m = list.num_edges();
+    assert!(m <= u32::MAX as usize, "binary format caps edges at u32::MAX");
+    let file = File::create(path)?;
+    let mut w = BufWriter::with_capacity(1 << 20, file);
+    let weighted = list.is_weighted();
+    let mut flags = 0u32;
+    if weighted {
+        flags |= 1;
+    }
+    if list.kind == GraphKind::Directed {
+        flags |= 2;
+    }
+    w.write_all(&BINARY_MAGIC.to_le_bytes())?;
+    w.write_all(&flags.to_le_bytes())?;
+    w.write_all(&list.num_nodes.to_le_bytes())?;
+    w.write_all(&(m as u32).to_le_bytes())?;
+    for (i, &(u, v)) in list.edges.iter().enumerate() {
+        w.write_all(&u.to_le_bytes())?;
+        w.write_all(&v.to_le_bytes())?;
+        if weighted {
+            w.write_all(&list.weight(i).to_le_bytes())?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a binary edge file fully into memory.
+pub fn read_binary<P: AsRef<Path>>(path: P) -> Result<EdgeList> {
+    use std::io::Read;
+    let mut file = File::open(path)?;
+    let mut buf = Vec::new();
+    file.read_to_end(&mut buf)?;
+    if buf.len() < 16 {
+        return Err(GraphError::Format("binary edge file shorter than header".into()));
+    }
+    let magic = u32::from_le_bytes(buf[0..4].try_into().unwrap());
+    if magic != BINARY_MAGIC {
+        return Err(GraphError::Format(format!("bad magic 0x{magic:08x}")));
+    }
+    let flags = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+    let weighted = flags & 1 != 0;
+    let kind = if flags & 2 != 0 {
+        GraphKind::Directed
+    } else {
+        GraphKind::Undirected
+    };
+    let num_nodes = u32::from_le_bytes(buf[8..12].try_into().unwrap());
+    let num_edges = u32::from_le_bytes(buf[12..16].try_into().unwrap()) as usize;
+    let record = if weighted { 16 } else { 8 };
+    if buf.len() != 16 + num_edges * record {
+        return Err(GraphError::Format(format!(
+            "binary edge file length {} != expected {}",
+            buf.len(),
+            16 + num_edges * record
+        )));
+    }
+    let mut edges = Vec::with_capacity(num_edges);
+    let mut weights = if weighted {
+        Vec::with_capacity(num_edges)
+    } else {
+        Vec::new()
+    };
+    let mut off = 16;
+    for _ in 0..num_edges {
+        let u = u32::from_le_bytes(buf[off..off + 4].try_into().unwrap());
+        let v = u32::from_le_bytes(buf[off + 4..off + 8].try_into().unwrap());
+        edges.push((u, v));
+        if weighted {
+            let w = f64::from_le_bytes(buf[off + 8..off + 16].try_into().unwrap());
+            weights.push(w);
+        }
+        off += record;
+    }
+    Ok(EdgeList {
+        num_nodes,
+        edges,
+        weights: if weighted { Some(weights) } else { None },
+        kind,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::{BinaryFileStream, EdgeStream};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("dsg_graph_io_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn sample() -> EdgeList {
+        let mut g = EdgeList::new_undirected(5);
+        g.push(0, 1);
+        g.push(1, 2);
+        g.push(3, 4);
+        g
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let path = tmp("t1.txt");
+        let g = sample();
+        write_text(&path, &g).unwrap();
+        let h = read_text(&path, GraphKind::Undirected).unwrap();
+        assert_eq!(h.num_nodes, 5);
+        assert_eq!(h.edges, g.edges);
+        assert!(!h.is_weighted());
+    }
+
+    #[test]
+    fn text_round_trip_weighted() {
+        let path = tmp("t2.txt");
+        let mut g = EdgeList::new_directed(3);
+        g.push_weighted(0, 1, 2.25);
+        g.push_weighted(2, 0, 0.5);
+        write_text(&path, &g).unwrap();
+        let h = read_text(&path, GraphKind::Directed).unwrap();
+        assert_eq!(h.edges, g.edges);
+        assert_eq!(h.weights, g.weights);
+        assert_eq!(h.kind, GraphKind::Directed);
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let path = tmp("b1.bin");
+        let g = sample();
+        write_binary(&path, &g).unwrap();
+        let h = read_binary(&path).unwrap();
+        assert_eq!(h.num_nodes, g.num_nodes);
+        assert_eq!(h.edges, g.edges);
+        assert_eq!(h.kind, GraphKind::Undirected);
+    }
+
+    #[test]
+    fn binary_round_trip_weighted_directed() {
+        let path = tmp("b2.bin");
+        let mut g = EdgeList::new_directed(4);
+        g.push_weighted(0, 3, 1.5);
+        g.push_weighted(3, 2, 2.5);
+        write_binary(&path, &g).unwrap();
+        let h = read_binary(&path).unwrap();
+        assert_eq!(h.edges, g.edges);
+        assert_eq!(h.weights, g.weights);
+        assert_eq!(h.kind, GraphKind::Directed);
+    }
+
+    #[test]
+    fn binary_stream_matches_file() {
+        let path = tmp("b3.bin");
+        let g = sample();
+        write_binary(&path, &g).unwrap();
+        let mut s = BinaryFileStream::open(&path).unwrap();
+        assert_eq!(s.num_nodes(), 5);
+        assert_eq!(s.num_edges(), 3);
+        let mut seen = Vec::new();
+        s.for_each_edge(&mut |u, v, w| seen.push((u, v, w)));
+        assert_eq!(seen, vec![(0, 1, 1.0), (1, 2, 1.0), (3, 4, 1.0)]);
+    }
+
+    #[test]
+    fn binary_rejects_truncated() {
+        let path = tmp("b4.bin");
+        let g = sample();
+        write_binary(&path, &g).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 4]).unwrap();
+        assert!(read_binary(&path).is_err());
+        assert!(BinaryFileStream::open(&path).is_err());
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let path = tmp("b5.bin");
+        std::fs::write(&path, [0u8; 32]).unwrap();
+        assert!(read_binary(&path).is_err());
+    }
+}

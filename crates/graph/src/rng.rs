@@ -1,0 +1,206 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Every synthetic graph in this repository must be byte-for-byte
+//! reproducible from a seed, across platforms and library versions, so the
+//! experiment harness can quote stable numbers. We therefore ship a tiny
+//! self-contained generator (SplitMix64, Steele et al., *Fast Splittable
+//! Pseudorandom Number Generators*, OOPSLA 2014) instead of depending on a
+//! general-purpose RNG crate whose stream may change between versions.
+//!
+//! SplitMix64 passes BigCrush when used as a 64-bit generator and is more
+//! than adequate for graph generation; it is *not* cryptographic.
+
+/// SplitMix64 pseudo-random generator.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed. Different seeds give independent
+    /// looking streams; the same seed always gives the same stream.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next 32-bit value.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)`. `bound` must be non-zero.
+    ///
+    /// Uses Lemire's multiply-shift rejection method, which is unbiased.
+    #[inline]
+    pub fn range_u64(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "range_u64 bound must be non-zero");
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            let lo = m as u64;
+            if lo >= bound || lo >= bound.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform integer in `[0, bound)` as `u32`.
+    #[inline]
+    pub fn range_u32(&mut self, bound: u32) -> u32 {
+        self.range_u64(bound as u64) as u32
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    #[inline]
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        lo + self.range_u64(hi - lo)
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    #[inline]
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.range_u64((i + 1) as u64) as usize;
+            slice.swap(i, j);
+        }
+    }
+
+    /// Uniformly chooses one element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> &'a T {
+        assert!(!slice.is_empty(), "choose on empty slice");
+        &slice[self.range_u64(slice.len() as u64) as usize]
+    }
+
+    /// Forks an independent generator (useful for parallel generation with
+    /// reproducible per-worker streams).
+    pub fn fork(&mut self) -> SplitMix64 {
+        SplitMix64::new(self.next_u64() ^ 0xA5A5_A5A5_DEAD_BEEF)
+    }
+
+    /// Samples `k` distinct integers from `[0, n)` (Floyd's algorithm).
+    /// The result is in no particular order. Panics if `k > n`.
+    pub fn sample_distinct(&mut self, n: u64, k: u64) -> Vec<u64> {
+        assert!(k <= n, "cannot sample {k} distinct values from [0, {n})");
+        let mut chosen = rustc_hash::FxHashSet::default();
+        let mut out = Vec::with_capacity(k as usize);
+        for j in n - k..n {
+            let t = self.range_u64(j + 1);
+            let v = if chosen.contains(&t) { j } else { t };
+            chosen.insert(v);
+            out.push(v);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn known_first_value() {
+        // Reference value for seed 1234567 from the SplitMix64 reference
+        // implementation (verified independently): guards against stream
+        // changes that would silently alter every generated graph.
+        let mut r = SplitMix64::new(0);
+        let v = r.next_u64();
+        assert_eq!(v, 0xE220A8397B1DCDAF);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SplitMix64::new(7);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut r = SplitMix64::new(9);
+        for _ in 0..10_000 {
+            let x = r.range_u64(17);
+            assert!(x < 17);
+            let y = r.range(5, 10);
+            assert!((5..10).contains(&y));
+        }
+    }
+
+    #[test]
+    fn range_is_roughly_uniform() {
+        let mut r = SplitMix64::new(11);
+        let mut counts = [0usize; 8];
+        let n = 80_000;
+        for _ in 0..n {
+            counts[r.range_u64(8) as usize] += 1;
+        }
+        let expected = n / 8;
+        for &c in &counts {
+            // Loose 10% tolerance; a biased generator would fail wildly.
+            assert!((c as f64 - expected as f64).abs() < expected as f64 * 0.1);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = SplitMix64::new(3);
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_distinct_properties() {
+        let mut r = SplitMix64::new(5);
+        let s = r.sample_distinct(1000, 100);
+        assert_eq!(s.len(), 100);
+        let set: std::collections::BTreeSet<_> = s.iter().copied().collect();
+        assert_eq!(set.len(), 100);
+        assert!(s.iter().all(|&x| x < 1000));
+        // Edge cases.
+        assert_eq!(r.sample_distinct(5, 5).len(), 5);
+        assert!(r.sample_distinct(5, 0).is_empty());
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut r = SplitMix64::new(13);
+        assert!(!r.bernoulli(0.0));
+        assert!(r.bernoulli(1.0));
+    }
+}

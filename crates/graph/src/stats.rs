@@ -1,0 +1,204 @@
+//! Descriptive graph statistics used by the experiment harness and tests:
+//! degree distributions, connected components, and summary rows in the
+//! style of the paper's Table 1.
+
+use crate::csr::CsrUndirected;
+use crate::edgelist::{EdgeList, GraphKind};
+
+/// Summary of a degree distribution.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DegreeStats {
+    /// Smallest degree.
+    pub min: f64,
+    /// Largest degree.
+    pub max: f64,
+    /// Mean degree.
+    pub mean: f64,
+    /// Median degree.
+    pub median: f64,
+}
+
+/// Computes [`DegreeStats`] from a degree vector. Returns `None` when the
+/// vector is empty.
+pub fn degree_stats(degrees: &[f64]) -> Option<DegreeStats> {
+    if degrees.is_empty() {
+        return None;
+    }
+    let mut sorted = degrees.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("degrees must not be NaN"));
+    let n = sorted.len();
+    let median = if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    };
+    Some(DegreeStats {
+        min: sorted[0],
+        max: sorted[n - 1],
+        mean: sorted.iter().sum::<f64>() / n as f64,
+        median,
+    })
+}
+
+/// Degree histogram: `hist[d]` = number of nodes with (integer) degree `d`.
+/// Weighted degrees are rounded down.
+pub fn degree_histogram(degrees: &[f64]) -> Vec<usize> {
+    let max = degrees.iter().fold(0.0f64, |a, &b| a.max(b)) as usize;
+    let mut hist = vec![0usize; max + 1];
+    for &d in degrees {
+        hist[d as usize] += 1;
+    }
+    hist
+}
+
+/// Connected components of an undirected graph. Returns `(components,
+/// component_id_per_node)` where components are sorted by decreasing size.
+pub fn connected_components(g: &CsrUndirected) -> (Vec<Vec<u32>>, Vec<u32>) {
+    let n = g.num_nodes();
+    let mut comp = vec![u32::MAX; n];
+    let mut components: Vec<Vec<u32>> = Vec::new();
+    let mut stack = Vec::new();
+    for start in 0..n as u32 {
+        if comp[start as usize] != u32::MAX {
+            continue;
+        }
+        let id = components.len() as u32;
+        let mut members = vec![start];
+        comp[start as usize] = id;
+        stack.push(start);
+        while let Some(u) = stack.pop() {
+            for &v in g.neighbors(u) {
+                if comp[v as usize] == u32::MAX {
+                    comp[v as usize] = id;
+                    members.push(v);
+                    stack.push(v);
+                }
+            }
+        }
+        components.push(members);
+    }
+    // Sort components by decreasing size and remap ids accordingly.
+    let mut order: Vec<usize> = (0..components.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(components[i].len()));
+    let mut remap = vec![0u32; components.len()];
+    for (new_id, &old_id) in order.iter().enumerate() {
+        remap[old_id] = new_id as u32;
+    }
+    for c in comp.iter_mut() {
+        *c = remap[*c as usize];
+    }
+    let mut sorted_components: Vec<Vec<u32>> = order.into_iter().map(|i| std::mem::take(&mut components[i])).collect();
+    for c in &mut sorted_components {
+        c.sort_unstable();
+    }
+    (sorted_components, comp)
+}
+
+/// One row of a Table 1-style dataset summary.
+#[derive(Clone, Debug)]
+pub struct GraphSummary {
+    /// Dataset name.
+    pub name: String,
+    /// `"undirected"` or `"directed"`.
+    pub kind: &'static str,
+    /// Node count.
+    pub num_nodes: u32,
+    /// Edge count.
+    pub num_edges: usize,
+    /// Mean degree (out-degree for directed graphs).
+    pub mean_degree: f64,
+    /// Maximum degree (out-degree for directed graphs).
+    pub max_degree: f64,
+}
+
+/// Builds a [`GraphSummary`] for an edge list.
+pub fn summarize(name: &str, list: &EdgeList) -> GraphSummary {
+    let degrees = list.degrees_out();
+    let stats = degree_stats(&degrees).unwrap_or(DegreeStats {
+        min: 0.0,
+        max: 0.0,
+        mean: 0.0,
+        median: 0.0,
+    });
+    GraphSummary {
+        name: name.to_string(),
+        kind: match list.kind {
+            GraphKind::Undirected => "undirected",
+            GraphKind::Directed => "directed",
+        },
+        num_nodes: list.num_nodes,
+        num_edges: list.num_edges(),
+        mean_degree: stats.mean,
+        max_degree: stats.max,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edgelist::EdgeList;
+
+    #[test]
+    fn degree_stats_basic() {
+        let s = degree_stats(&[1.0, 5.0, 3.0, 2.0]).unwrap();
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert!((s.mean - 2.75).abs() < 1e-12);
+        assert!((s.median - 2.5).abs() < 1e-12);
+        assert!(degree_stats(&[]).is_none());
+    }
+
+    #[test]
+    fn histogram() {
+        let h = degree_histogram(&[0.0, 1.0, 1.0, 3.0]);
+        assert_eq!(h, vec![1, 2, 0, 1]);
+    }
+
+    #[test]
+    fn components_two_triangles() {
+        let mut g = EdgeList::new_undirected(7);
+        g.push(0, 1);
+        g.push(1, 2);
+        g.push(0, 2);
+        g.push(3, 4);
+        g.push(4, 5);
+        g.push(3, 5);
+        // node 6 isolated
+        let csr = CsrUndirected::from_edge_list(&g);
+        let (comps, ids) = connected_components(&csr);
+        assert_eq!(comps.len(), 3);
+        assert_eq!(comps[0].len(), 3);
+        assert_eq!(comps[1].len(), 3);
+        assert_eq!(comps[2], vec![6]);
+        assert_eq!(ids[0], ids[1]);
+        assert_eq!(ids[0], ids[2]);
+        assert_ne!(ids[0], ids[3]);
+        assert_ne!(ids[3], ids[6]);
+    }
+
+    #[test]
+    fn components_sorted_by_size() {
+        let mut g = EdgeList::new_undirected(6);
+        g.push(0, 1); // pair
+        g.push(2, 3);
+        g.push(3, 4);
+        g.push(2, 4);
+        g.push(4, 5); // quad is biggest
+        let csr = CsrUndirected::from_edge_list(&g);
+        let (comps, _) = connected_components(&csr);
+        assert_eq!(comps[0].len(), 4);
+        assert_eq!(comps[1].len(), 2);
+    }
+
+    #[test]
+    fn summary_row() {
+        let mut g = EdgeList::new_undirected(3);
+        g.push(0, 1);
+        g.push(0, 2);
+        let s = summarize("demo", &g);
+        assert_eq!(s.num_nodes, 3);
+        assert_eq!(s.num_edges, 2);
+        assert_eq!(s.max_degree, 2.0);
+        assert_eq!(s.kind, "undirected");
+    }
+}

@@ -1,0 +1,374 @@
+//! The multi-pass semi-streaming model.
+//!
+//! In the semi-streaming model ([18] in the paper) the node set is known in
+//! advance and fits in RAM, while the edges can only be read sequentially,
+//! one pass at a time. An [`EdgeStream`] encapsulates exactly that: the
+//! algorithm calls [`EdgeStream::for_each_edge`] once per pass and the
+//! stream hands every edge to the callback in storage order. The stream
+//! counts passes so experiments can report the paper's headline metric.
+//!
+//! Implementations:
+//! * [`MemoryStream`] — edges held in RAM (fast experiments).
+//! * [`TextFileStream`] — re-reads a SNAP-style text edge list from disk on
+//!   every pass (true out-of-core streaming).
+//! * [`BinaryFileStream`] — re-reads the compact binary format of
+//!   [`crate::io`].
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, Read};
+use std::path::{Path, PathBuf};
+
+use crate::edgelist::EdgeList;
+use crate::{GraphError, Result};
+
+/// A multi-pass stream of (optionally weighted) edges.
+///
+/// For undirected graphs an edge `(u, v, w)` is an unordered pair reported
+/// once in arbitrary orientation; for directed graphs it is the arc
+/// `u -> v`. Whether the stream is to be interpreted as directed is up to
+/// the consuming algorithm (matching the paper, where the input format is
+/// the same and only the algorithm differs).
+pub trait EdgeStream {
+    /// Number of nodes `n`; node ids in the stream are `< n`.
+    fn num_nodes(&self) -> u32;
+
+    /// Makes one full pass over the edges, invoking `f(u, v, w)` per edge.
+    fn for_each_edge(&mut self, f: &mut dyn FnMut(u32, u32, f64));
+
+    /// Number of passes made so far.
+    fn passes(&self) -> u64;
+}
+
+/// In-memory edge stream over an [`EdgeList`].
+#[derive(Clone, Debug)]
+pub struct MemoryStream {
+    list: EdgeList,
+    passes: u64,
+}
+
+impl MemoryStream {
+    /// Wraps an edge list. The list is moved; clone it if still needed.
+    pub fn new(list: EdgeList) -> Self {
+        MemoryStream { list, passes: 0 }
+    }
+
+    /// Read-only access to the underlying list.
+    pub fn edge_list(&self) -> &EdgeList {
+        &self.list
+    }
+
+    /// Consumes the stream, returning the underlying list.
+    pub fn into_edge_list(self) -> EdgeList {
+        self.list
+    }
+}
+
+impl EdgeStream for MemoryStream {
+    fn num_nodes(&self) -> u32 {
+        self.list.num_nodes
+    }
+
+    fn for_each_edge(&mut self, f: &mut dyn FnMut(u32, u32, f64)) {
+        self.passes += 1;
+        match &self.list.weights {
+            None => {
+                for &(u, v) in &self.list.edges {
+                    f(u, v, 1.0);
+                }
+            }
+            Some(ws) => {
+                for (&(u, v), &w) in self.list.edges.iter().zip(ws) {
+                    f(u, v, w);
+                }
+            }
+        }
+    }
+
+    fn passes(&self) -> u64 {
+        self.passes
+    }
+}
+
+/// Streams a SNAP-style whitespace-separated text edge list from disk,
+/// re-opening the file on every pass.
+///
+/// Lines starting with `#` are comments; each data line is `u v` or
+/// `u v w`. Malformed lines abort the pass with a panic carrying the line
+/// number — a streaming pass has no way to return mid-iteration errors, so
+/// the file is validated once at construction instead.
+pub struct TextFileStream {
+    path: PathBuf,
+    num_nodes: u32,
+    passes: u64,
+}
+
+impl TextFileStream {
+    /// Opens (and fully validates) the file. `num_nodes` must upper-bound
+    /// every node id in the file.
+    pub fn open<P: AsRef<Path>>(path: P, num_nodes: u32) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        // Validation pass: parse every line once so later passes cannot fail.
+        let file = File::open(&path)?;
+        let reader = BufReader::new(file);
+        let mut line_no = 0u64;
+        for line in reader.lines() {
+            line_no += 1;
+            let line = line?;
+            if let Some((u, v, _)) = parse_edge_line(&line, line_no)? {
+                if u >= num_nodes || v >= num_nodes {
+                    return Err(GraphError::NodeOutOfRange {
+                        node: u.max(v) as u64,
+                        num_nodes: num_nodes as u64,
+                    });
+                }
+            }
+        }
+        Ok(TextFileStream {
+            path,
+            num_nodes,
+            passes: 0,
+        })
+    }
+}
+
+/// Parses one line of a text edge list. Returns `None` for blank/comment
+/// lines, `Some((u, v, w))` otherwise.
+fn parse_edge_line(line: &str, line_no: u64) -> Result<Option<(u32, u32, f64)>> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let mut it = line.split_whitespace();
+    let parse_u32 = |tok: Option<&str>, what: &str| -> Result<u32> {
+        tok.ok_or_else(|| GraphError::Parse {
+            line: line_no,
+            msg: format!("missing {what}"),
+        })?
+        .parse::<u32>()
+        .map_err(|e| GraphError::Parse {
+            line: line_no,
+            msg: format!("bad {what}: {e}"),
+        })
+    };
+    let u = parse_u32(it.next(), "source id")?;
+    let v = parse_u32(it.next(), "target id")?;
+    let w = match it.next() {
+        None => 1.0,
+        Some(tok) => tok.parse::<f64>().map_err(|e| GraphError::Parse {
+            line: line_no,
+            msg: format!("bad weight: {e}"),
+        })?,
+    };
+    if it.next().is_some() {
+        return Err(GraphError::Parse {
+            line: line_no,
+            msg: "trailing tokens".to_string(),
+        });
+    }
+    Ok(Some((u, v, w)))
+}
+
+impl EdgeStream for TextFileStream {
+    fn num_nodes(&self) -> u32 {
+        self.num_nodes
+    }
+
+    fn for_each_edge(&mut self, f: &mut dyn FnMut(u32, u32, f64)) {
+        self.passes += 1;
+        let file = File::open(&self.path).expect("edge file disappeared between passes");
+        let reader = BufReader::new(file);
+        let mut line_no = 0u64;
+        for line in reader.lines() {
+            line_no += 1;
+            let line = line.expect("i/o error mid-pass");
+            if let Some((u, v, w)) =
+                parse_edge_line(&line, line_no).expect("file validated at open; parse cannot fail")
+            {
+                f(u, v, w);
+            }
+        }
+    }
+
+    fn passes(&self) -> u64 {
+        self.passes
+    }
+}
+
+/// Streams the compact binary edge format of [`crate::io::write_binary`].
+///
+/// Layout: 16-byte header (`magic, flags, num_nodes, num_edges`) followed
+/// by `num_edges` records of `u: u32, v: u32` (+ `w: f64` when weighted),
+/// all little-endian.
+pub struct BinaryFileStream {
+    path: PathBuf,
+    num_nodes: u32,
+    num_edges: u64,
+    weighted: bool,
+    passes: u64,
+}
+
+/// Magic number of the binary edge format (`"DSG1"`).
+pub const BINARY_MAGIC: u32 = 0x4453_4731;
+
+impl BinaryFileStream {
+    /// Opens a binary edge file, validating the header and length.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = File::open(&path)?;
+        let mut header = [0u8; 16];
+        file.read_exact(&mut header)
+            .map_err(|_| GraphError::Format("binary edge file shorter than header".into()))?;
+        let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
+        if magic != BINARY_MAGIC {
+            return Err(GraphError::Format(format!(
+                "bad magic 0x{magic:08x} (expected 0x{BINARY_MAGIC:08x})"
+            )));
+        }
+        let flags = u32::from_le_bytes(header[4..8].try_into().unwrap());
+        let weighted = flags & 1 != 0;
+        let num_nodes = u32::from_le_bytes(header[8..12].try_into().unwrap());
+        let num_edges_lo = u32::from_le_bytes(header[12..16].try_into().unwrap());
+        let num_edges = num_edges_lo as u64;
+        let record = if weighted { 16 } else { 8 };
+        let expected = 16 + num_edges * record;
+        let actual = file.metadata()?.len();
+        if actual != expected {
+            return Err(GraphError::Format(format!(
+                "binary edge file length {actual} != expected {expected}"
+            )));
+        }
+        Ok(BinaryFileStream {
+            path,
+            num_nodes,
+            num_edges,
+            weighted,
+            passes: 0,
+        })
+    }
+
+    /// Number of edges recorded in the header.
+    pub fn num_edges(&self) -> u64 {
+        self.num_edges
+    }
+
+    /// Whether records carry weights.
+    pub fn is_weighted(&self) -> bool {
+        self.weighted
+    }
+}
+
+impl EdgeStream for BinaryFileStream {
+    fn num_nodes(&self) -> u32 {
+        self.num_nodes
+    }
+
+    fn for_each_edge(&mut self, f: &mut dyn FnMut(u32, u32, f64)) {
+        self.passes += 1;
+        let file = File::open(&self.path).expect("edge file disappeared between passes");
+        let mut reader = BufReader::with_capacity(1 << 20, file);
+        let mut header = [0u8; 16];
+        reader.read_exact(&mut header).expect("header validated at open");
+        if self.weighted {
+            let mut rec = [0u8; 16];
+            for _ in 0..self.num_edges {
+                reader.read_exact(&mut rec).expect("length validated at open");
+                let u = u32::from_le_bytes(rec[0..4].try_into().unwrap());
+                let v = u32::from_le_bytes(rec[4..8].try_into().unwrap());
+                let w = f64::from_le_bytes(rec[8..16].try_into().unwrap());
+                f(u, v, w);
+            }
+        } else {
+            let mut rec = [0u8; 8];
+            for _ in 0..self.num_edges {
+                reader.read_exact(&mut rec).expect("length validated at open");
+                let u = u32::from_le_bytes(rec[0..4].try_into().unwrap());
+                let v = u32::from_le_bytes(rec[4..8].try_into().unwrap());
+                f(u, v, 1.0);
+            }
+        }
+    }
+
+    fn passes(&self) -> u64 {
+        self.passes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edgelist::EdgeList;
+
+    fn collect(stream: &mut dyn EdgeStream) -> Vec<(u32, u32, f64)> {
+        let mut out = Vec::new();
+        stream.for_each_edge(&mut |u, v, w| out.push((u, v, w)));
+        out
+    }
+
+    #[test]
+    fn memory_stream_counts_passes() {
+        let mut list = EdgeList::new_undirected(3);
+        list.push(0, 1);
+        list.push(1, 2);
+        let mut s = MemoryStream::new(list);
+        assert_eq!(s.passes(), 0);
+        let edges = collect(&mut s);
+        assert_eq!(edges, vec![(0, 1, 1.0), (1, 2, 1.0)]);
+        assert_eq!(s.passes(), 1);
+        collect(&mut s);
+        assert_eq!(s.passes(), 2);
+    }
+
+    #[test]
+    fn memory_stream_weighted() {
+        let mut list = EdgeList::new_undirected(2);
+        list.push_weighted(0, 1, 2.5);
+        let mut s = MemoryStream::new(list);
+        assert_eq!(collect(&mut s), vec![(0, 1, 2.5)]);
+    }
+
+    #[test]
+    fn parse_edge_line_variants() {
+        assert_eq!(parse_edge_line("", 1).unwrap(), None);
+        assert_eq!(parse_edge_line("# comment", 1).unwrap(), None);
+        assert_eq!(parse_edge_line("3 4", 1).unwrap(), Some((3, 4, 1.0)));
+        assert_eq!(parse_edge_line("3\t4\t2.5", 1).unwrap(), Some((3, 4, 2.5)));
+        assert!(parse_edge_line("3", 1).is_err());
+        assert!(parse_edge_line("a b", 1).is_err());
+        assert!(parse_edge_line("1 2 3 4", 1).is_err());
+    }
+
+    #[test]
+    fn text_file_stream_round_trip() {
+        let dir = std::env::temp_dir().join("dsg_graph_test_text");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("edges.txt");
+        std::fs::write(&path, "# header\n0 1\n1 2 3.5\n\n2 0\n").unwrap();
+        let mut s = TextFileStream::open(&path, 3).unwrap();
+        let edges = collect(&mut s);
+        assert_eq!(edges, vec![(0, 1, 1.0), (1, 2, 3.5), (2, 0, 1.0)]);
+        // Second pass sees the same data.
+        assert_eq!(collect(&mut s), edges);
+        assert_eq!(s.passes(), 2);
+    }
+
+    #[test]
+    fn text_file_stream_rejects_out_of_range() {
+        let dir = std::env::temp_dir().join("dsg_graph_test_text2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("edges.txt");
+        std::fs::write(&path, "0 7\n").unwrap();
+        assert!(TextFileStream::open(&path, 3).is_err());
+    }
+
+    #[test]
+    fn text_file_stream_rejects_garbage() {
+        let dir = std::env::temp_dir().join("dsg_graph_test_text3");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("edges.txt");
+        std::fs::write(&path, "0 1\nnot an edge\n").unwrap();
+        assert!(matches!(
+            TextFileStream::open(&path, 3),
+            Err(GraphError::Parse { line: 2, .. })
+        ));
+    }
+}

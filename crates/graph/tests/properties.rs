@@ -1,0 +1,150 @@
+//! Property-based tests for the graph substrate: I/O round-trips, CSR
+//! consistency, canonicalization, and stream equivalence.
+
+use proptest::prelude::*;
+
+use dsg_graph::edgelist::{EdgeList, GraphKind};
+use dsg_graph::io::{read_binary, read_text, write_binary, write_text};
+use dsg_graph::stream::{EdgeStream, MemoryStream};
+use dsg_graph::{CsrDirected, CsrUndirected, NodeSet};
+
+fn arb_edge_list(directed: bool) -> impl Strategy<Value = EdgeList> {
+    (2u32..40).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n, 0..n), 0..150).prop_map(move |pairs| {
+            let mut g = if directed {
+                EdgeList::new_directed(n)
+            } else {
+                EdgeList::new_undirected(n)
+            };
+            for (u, v) in pairs {
+                g.push(u, v);
+            }
+            g
+        })
+    })
+}
+
+fn arb_weighted_list() -> impl Strategy<Value = EdgeList> {
+    (2u32..30).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n, 0.01f64..100.0), 0..100).prop_map(move |triples| {
+            let mut g = EdgeList::new_undirected(n);
+            for (u, v, w) in triples {
+                g.push_weighted(u, v, w);
+            }
+            g
+        })
+    })
+}
+
+fn tmp_path(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("dsg_graph_proptests");
+    std::fs::create_dir_all(&dir).unwrap();
+    // Thread id keeps parallel proptest cases from clobbering each other.
+    dir.join(format!("{tag}_{:?}.tmp", std::thread::current().id()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Text I/O round-trips edges (and weights) exactly.
+    #[test]
+    fn text_io_round_trip(list in arb_edge_list(false)) {
+        let path = tmp_path("text");
+        write_text(&path, &list).unwrap();
+        let back = read_text(&path, GraphKind::Undirected).unwrap();
+        prop_assert_eq!(&back.edges, &list.edges);
+        prop_assert_eq!(back.weights, list.weights);
+    }
+
+    /// Binary I/O round-trips exactly, including directedness and weights.
+    #[test]
+    fn binary_io_round_trip(list in arb_weighted_list()) {
+        let path = tmp_path("bin");
+        write_binary(&path, &list).unwrap();
+        let back = read_binary(&path).unwrap();
+        prop_assert_eq!(back.num_nodes, list.num_nodes);
+        prop_assert_eq!(&back.edges, &list.edges);
+        prop_assert_eq!(back.weights, list.weights);
+        prop_assert_eq!(back.kind, list.kind);
+    }
+
+    /// Canonicalization is idempotent and never grows the edge set.
+    #[test]
+    fn canonicalize_idempotent(list in arb_edge_list(false)) {
+        let mut once = list.clone();
+        once.canonicalize();
+        prop_assert!(once.num_edges() <= list.num_edges());
+        // Sorted, deduped, self-loop free, (min, max)-oriented.
+        for w in once.edges.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        for &(u, v) in &once.edges {
+            prop_assert!(u < v);
+        }
+        let mut twice = once.clone();
+        twice.canonicalize();
+        prop_assert_eq!(once.edges, twice.edges);
+    }
+
+    /// CSR degrees sum to twice the edge count, and per-node degrees
+    /// match the edge list.
+    #[test]
+    fn csr_degree_consistency(list in arb_edge_list(false)) {
+        let mut canon = list.clone();
+        canon.canonicalize();
+        let csr = CsrUndirected::from_edge_list(&canon);
+        let total: usize = (0..csr.num_nodes() as u32).map(|u| csr.degree(u)).sum();
+        prop_assert_eq!(total, 2 * canon.num_edges());
+        let expected = canon.degrees_out();
+        for u in 0..csr.num_nodes() as u32 {
+            prop_assert_eq!(csr.degree(u) as f64, expected[u as usize]);
+        }
+        // Induced edge count over the full set equals total edges.
+        let full = NodeSet::full(csr.num_nodes());
+        prop_assert_eq!(csr.induced_edge_count(&full), canon.num_edges());
+    }
+
+    /// Directed CSR: out/in adjacency agree with each other and the list.
+    #[test]
+    fn csr_directed_consistency(list in arb_edge_list(true)) {
+        let csr = CsrDirected::from_edge_list(&list);
+        let out_total: usize = (0..csr.num_nodes() as u32).map(|u| csr.out_degree(u)).sum();
+        let in_total: usize = (0..csr.num_nodes() as u32).map(|v| csr.in_degree(v)).sum();
+        prop_assert_eq!(out_total, list.num_edges());
+        prop_assert_eq!(in_total, list.num_edges());
+        // Every arc is visible from both sides.
+        for &(u, v) in &list.edges {
+            prop_assert!(csr.out_neighbors(u).contains(&v));
+            prop_assert!(csr.in_neighbors(v).contains(&u));
+        }
+    }
+
+    /// A memory stream delivers exactly the edge list, every pass.
+    #[test]
+    fn stream_is_faithful(list in arb_weighted_list()) {
+        let expected: Vec<(u32, u32, f64)> = list.iter_weighted().collect();
+        let mut stream = MemoryStream::new(list);
+        for pass in 1..=3u64 {
+            let mut got = Vec::new();
+            stream.for_each_edge(&mut |u, v, w| got.push((u, v, w)));
+            prop_assert_eq!(&got, &expected);
+            prop_assert_eq!(stream.passes(), pass);
+        }
+    }
+
+    /// Weighted totals are preserved by canonicalization (weights of
+    /// merged duplicates are summed; self-loop weight is dropped).
+    #[test]
+    fn canonicalize_preserves_weight_mass(list in arb_weighted_list()) {
+        let loop_weight: f64 = list
+            .iter_weighted()
+            .filter(|&(u, v, _)| u == v)
+            .map(|(_, _, w)| w)
+            .sum();
+        let before = list.total_weight();
+        let mut canon = list;
+        canon.canonicalize();
+        let after = canon.total_weight();
+        prop_assert!((before - loop_weight - after).abs() < 1e-6 * before.max(1.0));
+    }
+}

@@ -1,0 +1,532 @@
+//! A typed, thread-pool MapReduce engine.
+//!
+//! One [`run_round`] call = one MapReduce round: every input split is
+//! mapped in parallel, key/value pairs are hash-partitioned into
+//! `num_reducers` shuffle buckets, each bucket is sorted by key (as a real
+//! shuffle would) and reduced in parallel. Outputs come back as one
+//! `Vec` per reducer, which can feed the next round as input splits —
+//! exactly the chained-round structure of the paper's §5.2 dataflow.
+//!
+//! Determinism: partitioning uses a fixed hash (FxHash), buckets are
+//! sorted by key before reduction, and values within a key preserve
+//! `(split index, emission order)` — so every run of a round produces
+//! identical output regardless of thread scheduling.
+
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use rustc_hash::FxHasher;
+
+/// Shuffle bucket: per-reducer vectors of tagged key/value pairs.
+type Buckets<K, V> = Vec<Vec<(K, (u64, V))>>;
+
+/// Worker-pool and shuffle configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct MapReduceConfig {
+    /// Number of worker threads executing map and reduce tasks.
+    pub num_workers: usize,
+    /// Number of reduce partitions (the paper used 2000 on Hadoop).
+    pub num_reducers: usize,
+    /// Run map-side combiners where a job supports them (Hadoop's
+    /// standard shuffle-volume optimization; the degree job of §5.2 is
+    /// combinable because degree counting is an associative sum).
+    pub combine: bool,
+}
+
+impl Default for MapReduceConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4);
+        MapReduceConfig {
+            num_workers: workers,
+            num_reducers: workers * 4,
+            combine: true,
+        }
+    }
+}
+
+/// Accounting for one MapReduce round.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RoundStats {
+    /// Records consumed by mappers.
+    pub map_input_records: u64,
+    /// Key/value pairs emitted by mappers (= records shuffled).
+    pub shuffle_records: u64,
+    /// Distinct keys seen by reducers.
+    pub reduce_groups: u64,
+    /// Records emitted by reducers.
+    pub reduce_output_records: u64,
+    /// Wall-clock time of the round.
+    pub wall_time: Duration,
+}
+
+impl RoundStats {
+    /// Merges another round's counters into this one (summing times).
+    pub fn absorb(&mut self, other: &RoundStats) {
+        self.map_input_records += other.map_input_records;
+        self.shuffle_records += other.shuffle_records;
+        self.reduce_groups += other.reduce_groups;
+        self.reduce_output_records += other.reduce_output_records;
+        self.wall_time += other.wall_time;
+    }
+}
+
+fn partition_of<K: Hash>(key: &K, num_reducers: usize) -> usize {
+    let mut h = FxHasher::default();
+    key.hash(&mut h);
+    (h.finish() % num_reducers as u64) as usize
+}
+
+/// Executes one MapReduce round.
+///
+/// * `inputs` — input splits; each split is mapped as a unit by one task.
+/// * `mapper` — called per record with an `emit(key, value)` closure.
+/// * `reducer` — called once per distinct key with all its values (in
+///   deterministic order); appends output records to `out`.
+///
+/// Returns the per-reducer output partitions and the round statistics.
+pub fn run_round<I, K, V, O, M, R>(
+    config: &MapReduceConfig,
+    inputs: &[Vec<I>],
+    mapper: M,
+    reducer: R,
+) -> (Vec<Vec<O>>, RoundStats)
+where
+    I: Sync,
+    K: Hash + Ord + Clone + Send + Sync,
+    V: Clone + Send + Sync,
+    O: Send,
+    M: Fn(&I, &mut dyn FnMut(K, V)) + Sync,
+    R: Fn(&K, &mut dyn Iterator<Item = V>, &mut Vec<O>) + Sync,
+{
+    let start = Instant::now();
+    let num_reducers = config.num_reducers.max(1);
+    let num_workers = config.num_workers.max(1);
+
+    // ---- Map phase -------------------------------------------------
+    // Each worker claims splits via an atomic cursor and emits into its
+    // own `num_reducers` buckets; tagging with (split, seq) keeps value
+    // order deterministic after the merge.
+    let cursor = AtomicUsize::new(0);
+    let map_input: u64 = inputs.iter().map(|s| s.len() as u64).sum();
+    let mut worker_buckets: Vec<Buckets<K, V>> = Vec::with_capacity(num_workers);
+
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(num_workers);
+        for _ in 0..num_workers {
+            let cursor = &cursor;
+            let mapper = &mapper;
+            handles.push(scope.spawn(move |_| {
+                let mut buckets: Buckets<K, V> = (0..num_reducers).map(|_| Vec::new()).collect();
+                loop {
+                    let split_idx = cursor.fetch_add(1, Ordering::Relaxed);
+                    if split_idx >= inputs.len() {
+                        break;
+                    }
+                    let mut seq = 0u64;
+                    let split_tag = (split_idx as u64) << 32;
+                    for record in &inputs[split_idx] {
+                        mapper(record, &mut |k: K, v: V| {
+                            let p = partition_of(&k, num_reducers);
+                            buckets[p].push((k, (split_tag | seq, v)));
+                            seq += 1;
+                        });
+                    }
+                }
+                buckets
+            }));
+        }
+        for h in handles {
+            worker_buckets.push(h.join().expect("map worker panicked"));
+        }
+    })
+    .expect("map scope panicked");
+
+    // ---- Shuffle ----------------------------------------------------
+    let mut shuffle: Vec<Vec<(K, (u64, V))>> = (0..num_reducers).map(|_| Vec::new()).collect();
+    let mut shuffle_records = 0u64;
+    for worker in worker_buckets {
+        for (p, mut bucket) in worker.into_iter().enumerate() {
+            shuffle_records += bucket.len() as u64;
+            shuffle[p].append(&mut bucket);
+        }
+    }
+
+    // ---- Reduce phase ----------------------------------------------
+    let reduce_cursor = AtomicUsize::new(0);
+    let shuffle_ref: Vec<_> = shuffle.into_iter().collect();
+    let mut partitions_out: Vec<(usize, Vec<O>, u64)> = Vec::with_capacity(num_reducers);
+
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(num_workers);
+        for _ in 0..num_workers {
+            let reduce_cursor = &reduce_cursor;
+            let reducer = &reducer;
+            let shuffle_ref = &shuffle_ref;
+            handles.push(scope.spawn(move |_| {
+                let mut mine: Vec<(usize, Vec<O>, u64)> = Vec::new();
+                loop {
+                    let p = reduce_cursor.fetch_add(1, Ordering::Relaxed);
+                    if p >= shuffle_ref.len() {
+                        break;
+                    }
+                    // Sort by (key, emission tag) — deterministic grouping.
+                    let mut bucket: Vec<&(K, (u64, V))> = shuffle_ref[p].iter().collect();
+                    bucket.sort_by(|a, b| a.0.cmp(&b.0).then(a.1 .0.cmp(&b.1 .0)));
+                    let mut out = Vec::new();
+                    let mut groups = 0u64;
+                    let mut i = 0usize;
+                    while i < bucket.len() {
+                        let key = &bucket[i].0;
+                        let mut j = i;
+                        while j < bucket.len() && bucket[j].0 == *key {
+                            j += 1;
+                        }
+                        groups += 1;
+                        let mut it = bucket[i..j].iter().map(|kv| kv.1 .1.clone());
+                        reducer(key, &mut it, &mut out);
+                        i = j;
+                    }
+                    mine.push((p, out, groups));
+                }
+                mine
+            }));
+        }
+        for h in handles {
+            partitions_out.append(&mut h.join().expect("reduce worker panicked"));
+        }
+    })
+    .expect("reduce scope panicked");
+
+    partitions_out.sort_by_key(|&(p, _, _)| p);
+    let reduce_groups: u64 = partitions_out.iter().map(|&(_, _, g)| g).sum();
+    let outputs: Vec<Vec<O>> = partitions_out.into_iter().map(|(_, o, _)| o).collect();
+    let reduce_output_records: u64 = outputs.iter().map(|o| o.len() as u64).sum();
+
+    let stats = RoundStats {
+        map_input_records: map_input,
+        shuffle_records,
+        reduce_groups,
+        reduce_output_records,
+        wall_time: start.elapsed(),
+    };
+    (outputs, stats)
+}
+
+/// Executes one MapReduce round with a **map-side combiner**.
+///
+/// `merge` folds two values of the same key into one; it must be
+/// associative and commutative (like Hadoop combiners, it may be applied
+/// any number of times in any grouping — degree sums qualify). Each
+/// worker keeps one combined value per key per partition, so the shuffle
+/// carries `O(workers × distinct keys)` records instead of one per
+/// emission.
+pub fn run_round_combined<I, K, V, O, M, R, C>(
+    config: &MapReduceConfig,
+    inputs: &[Vec<I>],
+    mapper: M,
+    merge: C,
+    reducer: R,
+) -> (Vec<Vec<O>>, RoundStats)
+where
+    I: Sync,
+    K: Hash + Ord + Clone + Send + Sync,
+    V: Clone + Send + Sync,
+    O: Send,
+    M: Fn(&I, &mut dyn FnMut(K, V)) + Sync,
+    R: Fn(&K, &mut dyn Iterator<Item = V>, &mut Vec<O>) + Sync,
+    C: Fn(V, V) -> V + Sync,
+{
+    let start = Instant::now();
+    let num_reducers = config.num_reducers.max(1);
+    let num_workers = config.num_workers.max(1);
+
+    // ---- Map + combine phase ----------------------------------------
+    let cursor = AtomicUsize::new(0);
+    let map_input: u64 = inputs.iter().map(|s| s.len() as u64).sum();
+    type Combined<K, V> = rustc_hash::FxHashMap<K, (u64, V)>;
+    let mut worker_buckets: Vec<Vec<Combined<K, V>>> = Vec::with_capacity(num_workers);
+
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(num_workers);
+        for _ in 0..num_workers {
+            let cursor = &cursor;
+            let mapper = &mapper;
+            let merge = &merge;
+            handles.push(scope.spawn(move |_| {
+                let mut buckets: Vec<Combined<K, V>> =
+                    (0..num_reducers).map(|_| Combined::default()).collect();
+                loop {
+                    let split_idx = cursor.fetch_add(1, Ordering::Relaxed);
+                    if split_idx >= inputs.len() {
+                        break;
+                    }
+                    let mut seq = 0u64;
+                    let split_tag = (split_idx as u64) << 32;
+                    for record in &inputs[split_idx] {
+                        mapper(record, &mut |k: K, v: V| {
+                            let p = partition_of(&k, num_reducers);
+                            let tag = split_tag | seq;
+                            seq += 1;
+                            match buckets[p].entry(k) {
+                                std::collections::hash_map::Entry::Occupied(mut e) => {
+                                    let (old_tag, old_v) = e.get().clone();
+                                    *e.get_mut() = (old_tag.min(tag), merge(old_v, v));
+                                }
+                                std::collections::hash_map::Entry::Vacant(e) => {
+                                    e.insert((tag, v));
+                                }
+                            }
+                        });
+                    }
+                }
+                buckets
+            }));
+        }
+        for h in handles {
+            worker_buckets.push(h.join().expect("map worker panicked"));
+        }
+    })
+    .expect("map scope panicked");
+
+    // ---- Shuffle (combined records) ----------------------------------
+    let mut shuffle: Vec<Vec<(K, (u64, V))>> = (0..num_reducers).map(|_| Vec::new()).collect();
+    let mut shuffle_records = 0u64;
+    for worker in worker_buckets {
+        for (p, bucket) in worker.into_iter().enumerate() {
+            shuffle_records += bucket.len() as u64;
+            shuffle[p].extend(bucket);
+        }
+    }
+
+    // ---- Reduce phase (same as the uncombined round) -----------------
+    let reduce_cursor = AtomicUsize::new(0);
+    let shuffle_ref: Vec<_> = shuffle.into_iter().collect();
+    let mut partitions_out: Vec<(usize, Vec<O>, u64)> = Vec::with_capacity(num_reducers);
+
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(num_workers);
+        for _ in 0..num_workers {
+            let reduce_cursor = &reduce_cursor;
+            let reducer = &reducer;
+            let shuffle_ref = &shuffle_ref;
+            handles.push(scope.spawn(move |_| {
+                let mut mine: Vec<(usize, Vec<O>, u64)> = Vec::new();
+                loop {
+                    let p = reduce_cursor.fetch_add(1, Ordering::Relaxed);
+                    if p >= shuffle_ref.len() {
+                        break;
+                    }
+                    let mut bucket: Vec<&(K, (u64, V))> = shuffle_ref[p].iter().collect();
+                    bucket.sort_by(|a, b| a.0.cmp(&b.0).then(a.1 .0.cmp(&b.1 .0)));
+                    let mut out = Vec::new();
+                    let mut groups = 0u64;
+                    let mut i = 0usize;
+                    while i < bucket.len() {
+                        let key = &bucket[i].0;
+                        let mut j = i;
+                        while j < bucket.len() && bucket[j].0 == *key {
+                            j += 1;
+                        }
+                        groups += 1;
+                        let mut it = bucket[i..j].iter().map(|kv| kv.1 .1.clone());
+                        reducer(key, &mut it, &mut out);
+                        i = j;
+                    }
+                    mine.push((p, out, groups));
+                }
+                mine
+            }));
+        }
+        for h in handles {
+            partitions_out.append(&mut h.join().expect("reduce worker panicked"));
+        }
+    })
+    .expect("reduce scope panicked");
+
+    partitions_out.sort_by_key(|&(p, _, _)| p);
+    let reduce_groups: u64 = partitions_out.iter().map(|&(_, _, g)| g).sum();
+    let outputs: Vec<Vec<O>> = partitions_out.into_iter().map(|(_, o, _)| o).collect();
+    let reduce_output_records: u64 = outputs.iter().map(|o| o.len() as u64).sum();
+
+    let stats = RoundStats {
+        map_input_records: map_input,
+        shuffle_records,
+        reduce_groups,
+        reduce_output_records,
+        wall_time: start.elapsed(),
+    };
+    (outputs, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> MapReduceConfig {
+        MapReduceConfig {
+            num_workers: 4,
+            num_reducers: 7,
+            combine: true,
+        }
+    }
+
+    #[test]
+    fn word_count() {
+        let inputs: Vec<Vec<&str>> = vec![
+            vec!["a b a", "c"],
+            vec!["b b", "a c c c"],
+        ];
+        let (outs, stats) = run_round(
+            &config(),
+            &inputs,
+            |line: &&str, emit: &mut dyn FnMut(String, u64)| {
+                for w in line.split_whitespace() {
+                    emit(w.to_string(), 1);
+                }
+            },
+            |k: &String, vs: &mut dyn Iterator<Item = u64>, out: &mut Vec<(String, u64)>| {
+                out.push((k.clone(), vs.sum()));
+            },
+        );
+        let mut all: Vec<(String, u64)> = outs.into_iter().flatten().collect();
+        all.sort();
+        assert_eq!(
+            all,
+            vec![
+                ("a".to_string(), 3),
+                ("b".to_string(), 3),
+                ("c".to_string(), 4)
+            ]
+        );
+        assert_eq!(stats.map_input_records, 4);
+        assert_eq!(stats.shuffle_records, 10);
+        assert_eq!(stats.reduce_groups, 3);
+        assert_eq!(stats.reduce_output_records, 3);
+    }
+
+    #[test]
+    fn deterministic_across_runs_and_worker_counts() {
+        let inputs: Vec<Vec<u32>> = (0..10).map(|i| (i * 100..(i + 1) * 100).collect()).collect();
+        let run = |workers: usize| {
+            let cfg = MapReduceConfig {
+                num_workers: workers,
+                num_reducers: 5,
+                combine: true,
+            };
+            let (outs, _) = run_round(
+                &cfg,
+                &inputs,
+                |x: &u32, emit: &mut dyn FnMut(u32, u32)| emit(x % 13, *x),
+                |k: &u32, vs: &mut dyn Iterator<Item = u32>, out: &mut Vec<(u32, u64)>| {
+                    out.push((*k, vs.map(|v| v as u64).sum()));
+                },
+            );
+            outs
+        };
+        let a = run(1);
+        let b = run(8);
+        assert_eq!(a, b, "output must not depend on worker count");
+    }
+
+    #[test]
+    fn values_arrive_in_emission_order() {
+        // A single key receives values from several splits; order must be
+        // (split, seq).
+        let inputs: Vec<Vec<u32>> = vec![vec![1, 2], vec![3, 4]];
+        let (outs, _) = run_round(
+            &MapReduceConfig {
+                num_workers: 3,
+                num_reducers: 2,
+                combine: true,
+            },
+            &inputs,
+            |x: &u32, emit: &mut dyn FnMut(u8, u32)| emit(0u8, *x),
+            |_k: &u8, vs: &mut dyn Iterator<Item = u32>, out: &mut Vec<Vec<u32>>| {
+                out.push(vs.collect());
+            },
+        );
+        let seqs: Vec<Vec<u32>> = outs.into_iter().flatten().collect();
+        assert_eq!(seqs, vec![vec![1, 2, 3, 4]]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let inputs: Vec<Vec<u32>> = vec![];
+        let (outs, stats) = run_round(
+            &config(),
+            &inputs,
+            |_: &u32, _: &mut dyn FnMut(u32, u32)| {},
+            |_: &u32, _: &mut dyn Iterator<Item = u32>, _: &mut Vec<u32>| {},
+        );
+        assert_eq!(outs.len(), 7);
+        assert!(outs.iter().all(|o| o.is_empty()));
+        assert_eq!(stats.shuffle_records, 0);
+    }
+
+    #[test]
+    fn combined_word_count_matches_uncombined() {
+        let inputs: Vec<Vec<&str>> = vec![vec!["a b a", "c"], vec!["b b", "a c c c"]];
+        let mapper = |line: &&str, emit: &mut dyn FnMut(String, u64)| {
+            for w in line.split_whitespace() {
+                emit(w.to_string(), 1);
+            }
+        };
+        let reducer =
+            |k: &String, vs: &mut dyn Iterator<Item = u64>, out: &mut Vec<(String, u64)>| {
+                out.push((k.clone(), vs.sum()));
+            };
+        let (plain, plain_stats) = run_round(&config(), &inputs, mapper, reducer);
+        let (combined, combined_stats) =
+            run_round_combined(&config(), &inputs, mapper, |a, b| a + b, reducer);
+        let mut a: Vec<_> = plain.into_iter().flatten().collect();
+        let mut b: Vec<_> = combined.into_iter().flatten().collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        // Combiner shrinks the shuffle: 10 raw emissions vs ≤ workers×keys.
+        assert!(combined_stats.shuffle_records < plain_stats.shuffle_records);
+    }
+
+    #[test]
+    fn combined_is_deterministic_across_worker_counts() {
+        let inputs: Vec<Vec<u32>> = (0..8).map(|i| (i * 50..(i + 1) * 50).collect()).collect();
+        let run = |workers: usize| {
+            let cfg = MapReduceConfig {
+                num_workers: workers,
+                num_reducers: 4,
+                combine: true,
+            };
+            let (outs, _) = run_round_combined(
+                &cfg,
+                &inputs,
+                |x: &u32, emit: &mut dyn FnMut(u32, u64)| emit(x % 7, *x as u64),
+                |a, b| a + b,
+                |k: &u32, vs: &mut dyn Iterator<Item = u64>, out: &mut Vec<(u32, u64)>| {
+                    out.push((*k, vs.sum()));
+                },
+            );
+            let mut flat: Vec<_> = outs.into_iter().flatten().collect();
+            flat.sort();
+            flat
+        };
+        assert_eq!(run(1), run(8));
+    }
+
+    #[test]
+    fn stats_absorb() {
+        let mut a = RoundStats {
+            map_input_records: 1,
+            shuffle_records: 2,
+            reduce_groups: 3,
+            reduce_output_records: 4,
+            wall_time: Duration::from_millis(5),
+        };
+        a.absorb(&a.clone());
+        assert_eq!(a.map_input_records, 2);
+        assert_eq!(a.shuffle_records, 4);
+        assert_eq!(a.wall_time, Duration::from_millis(10));
+    }
+}

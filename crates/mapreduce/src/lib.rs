@@ -1,0 +1,29 @@
+//! # dsg-mapreduce — a MapReduce simulator and the MapReduce realization
+//! of the densest-subgraph algorithms (§5.2 of the paper)
+//!
+//! The paper ran its algorithms on Hadoop with 2000 mappers/reducers over
+//! graphs of up to 6.1B edges (Figure 6.7). That substrate is simulated
+//! here by a faithful thread-pool MapReduce engine:
+//!
+//! * [`engine`] — typed `map -> shuffle -> reduce` rounds over partitioned
+//!   input, executed by a configurable worker pool (crossbeam scoped
+//!   threads), with per-round accounting of records, bytes-ish volume, and
+//!   wall-clock time.
+//! * [`densest`] — the paper's §5.2 dataflow: per-pass (1) a degree /
+//!   density job, and (2) the two-round node-removal job (mark with `$`
+//!   tombstones, pivot on each endpoint), looped until the node set
+//!   drains. Undirected (Algorithm 1) and directed (Algorithm 3) drivers.
+//!
+//! The engine preserves the *logical* dataflow — what is keyed, what is
+//! shuffled, how many rounds — so per-pass cost scales with surviving
+//! edges exactly as in Figure 6.7; only absolute wall-clock differs from
+//! Hadoop.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod densest;
+pub mod engine;
+
+pub use densest::{mr_densest_directed, mr_densest_undirected, MrDirectedResult, MrPassReport, MrUndirectedResult};
+pub use engine::{MapReduceConfig, RoundStats};

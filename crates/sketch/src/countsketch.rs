@@ -1,0 +1,178 @@
+//! The Count-Sketch of Charikar, Chen, and Farach-Colton (TCS 2004).
+//!
+//! `t` rows of `b` counters. Item `x` with update `Δ` adds `g_i(x)·Δ` to
+//! counter `c_{i, h_i(x)}` in every row; the estimate for `x` is the
+//! median over rows of `c_{i, h_i(x)}·g_i(x)`. The estimate is unbiased
+//! per row, and the median over `t = O(log 1/δ)` rows is within
+//! `±O(‖f‖₂ / sqrt(b))` with probability `1-δ` — high-frequency items
+//! (high-degree nodes, here) are therefore estimated with small *relative*
+//! error, which is exactly what §5.1 needs.
+
+use crate::hashing::{draw_rows, median, HashRow};
+
+/// A Count-Sketch over `u32` keys with `f64` updates.
+///
+/// ```
+/// use dsg_sketch::CountSketch;
+///
+/// let mut cs = CountSketch::new(5, 1024, 42);
+/// for _ in 0..100 { cs.update(7, 1.0); }
+/// let est = cs.estimate(7);
+/// assert!((est - 100.0).abs() < 10.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CountSketch {
+    rows: Vec<HashRow>,
+    counters: Vec<f64>,
+    buckets: u32,
+}
+
+impl CountSketch {
+    /// Creates a sketch with `t` rows of `b` buckets, seeded
+    /// deterministically.
+    pub fn new(t: usize, b: u32, seed: u64) -> Self {
+        assert!(t >= 1, "need at least one row");
+        CountSketch {
+            rows: draw_rows(t, b, seed),
+            counters: vec![0.0; t * b as usize],
+            buckets: b,
+        }
+    }
+
+    /// Number of rows `t`.
+    pub fn rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Buckets per row `b`.
+    pub fn buckets(&self) -> u32 {
+        self.buckets
+    }
+
+    /// Total counter words (`t·b`) — the memory footprint of Table 4.
+    pub fn memory_words(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Adds `delta` to the frequency of `x`.
+    #[inline]
+    pub fn update(&mut self, x: u32, delta: f64) {
+        for (i, row) in self.rows.iter().enumerate() {
+            let idx = i * self.buckets as usize + row.bucket(x) as usize;
+            self.counters[idx] += row.sign(x) * delta;
+        }
+    }
+
+    /// Median estimate of the frequency of `x`.
+    pub fn estimate(&self, x: u32) -> f64 {
+        let mut est: Vec<f64> = self
+            .rows
+            .iter()
+            .enumerate()
+            .map(|(i, row)| {
+                let idx = i * self.buckets as usize + row.bucket(x) as usize;
+                self.counters[idx] * row.sign(x)
+            })
+            .collect();
+        median(&mut est)
+    }
+
+    /// Zeroes all counters, keeping the hash functions.
+    pub fn clear(&mut self) {
+        self.counters.fill(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsg_graph::SplitMix64;
+
+    #[test]
+    fn exact_when_no_collisions() {
+        // Few items, many buckets: estimates are exact.
+        let mut cs = CountSketch::new(5, 4096, 1);
+        cs.update(10, 3.0);
+        cs.update(20, 5.0);
+        cs.update(10, 2.0);
+        assert_eq!(cs.estimate(10), 5.0);
+        assert_eq!(cs.estimate(20), 5.0);
+        assert_eq!(cs.estimate(999), 0.0);
+    }
+
+    #[test]
+    fn clear_resets_counters_not_hashes() {
+        let mut cs = CountSketch::new(3, 64, 2);
+        cs.update(7, 4.0);
+        cs.clear();
+        assert_eq!(cs.estimate(7), 0.0);
+        cs.update(7, 4.0);
+        assert_eq!(cs.estimate(7), 4.0);
+    }
+
+    #[test]
+    fn heavy_hitters_have_small_relative_error() {
+        // 10k light items (freq 1) + 20 heavy items (freq 1000);
+        // b = 2048 buckets: ‖light‖₂ = 100, error ≈ 100/sqrt(2048) ≈ 2.2.
+        let mut cs = CountSketch::new(5, 2048, 3);
+        let mut rng = SplitMix64::new(11);
+        for _ in 0..10_000 {
+            cs.update(rng.next_u32() % 1_000_000 + 1_000, 1.0);
+        }
+        for h in 0..20u32 {
+            cs.update(h, 1000.0);
+        }
+        for h in 0..20u32 {
+            let est = cs.estimate(h);
+            assert!(
+                (est - 1000.0).abs() < 100.0,
+                "heavy item {h} estimated {est}"
+            );
+        }
+    }
+
+    #[test]
+    fn negative_updates_supported() {
+        let mut cs = CountSketch::new(5, 1024, 4);
+        cs.update(42, 10.0);
+        cs.update(42, -4.0);
+        assert!((cs.estimate(42) - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let cs = CountSketch::new(5, 30_000, 0);
+        assert_eq!(cs.memory_words(), 150_000);
+        assert_eq!(cs.rows(), 5);
+        assert_eq!(cs.buckets(), 30_000);
+    }
+
+    #[test]
+    fn average_error_shrinks_with_buckets() {
+        // Mean absolute error over light items should drop roughly like
+        // 1/sqrt(b).
+        let mut rng = SplitMix64::new(5);
+        let items: Vec<u32> = (0..4000).map(|_| rng.next_u32() % 100_000).collect();
+        let mut err = Vec::new();
+        for &b in &[256u32, 4096] {
+            let mut cs = CountSketch::new(5, b, 9);
+            for &x in &items {
+                cs.update(x, 1.0);
+            }
+            let mean_abs: f64 = items
+                .iter()
+                .take(500)
+                .map(|&x| {
+                    let truth = items.iter().filter(|&&y| y == x).count() as f64;
+                    (cs.estimate(x) - truth).abs()
+                })
+                .sum::<f64>()
+                / 500.0;
+            err.push(mean_abs);
+        }
+        assert!(
+            err[1] < err[0] * 0.5,
+            "error did not shrink with buckets: {err:?}"
+        );
+    }
+}

@@ -1,0 +1,144 @@
+//! Pairwise-independent hash families for the sketches.
+//!
+//! Multiply-shift hashing (Dietzfelbinger et al.): with a random odd
+//! 64-bit multiplier `a` and random `b`, `h(x) = (a·x + b) >> s` is
+//! universal on 32-bit keys. Bucket mapping uses Lemire's multiply-shift
+//! reduction instead of `%` (no modulo bias, no division).
+
+use dsg_graph::SplitMix64;
+
+/// One hash row: a bucket hash `h : u32 -> [0, buckets)` and a sign hash
+/// `g : u32 -> {+1, -1}`.
+#[derive(Clone, Debug)]
+pub struct HashRow {
+    mul_h: u64,
+    add_h: u64,
+    mul_g: u64,
+    add_g: u64,
+    buckets: u32,
+}
+
+impl HashRow {
+    /// Draws a fresh row from the RNG.
+    pub fn new(buckets: u32, rng: &mut SplitMix64) -> Self {
+        assert!(buckets > 0, "need at least one bucket");
+        HashRow {
+            mul_h: rng.next_u64() | 1,
+            add_h: rng.next_u64(),
+            mul_g: rng.next_u64() | 1,
+            add_g: rng.next_u64(),
+            buckets,
+        }
+    }
+
+    /// Bucket index of `x`, in `[0, buckets)`.
+    #[inline]
+    pub fn bucket(&self, x: u32) -> u32 {
+        let hashed = self.mul_h.wrapping_mul(x as u64).wrapping_add(self.add_h) >> 32;
+        // Lemire reduction: maps uniform 32-bit to [0, buckets) unbiasedly
+        // enough for sketching.
+        ((hashed * self.buckets as u64) >> 32) as u32
+    }
+
+    /// Sign of `x`: `+1.0` or `-1.0`.
+    #[inline]
+    pub fn sign(&self, x: u32) -> f64 {
+        let hashed = self.mul_g.wrapping_mul(x as u64).wrapping_add(self.add_g);
+        if hashed >> 63 == 0 {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+}
+
+/// Draws `t` independent hash rows.
+pub fn draw_rows(t: usize, buckets: u32, seed: u64) -> Vec<HashRow> {
+    let mut rng = SplitMix64::new(seed);
+    (0..t).map(|_| HashRow::new(buckets, &mut rng)).collect()
+}
+
+/// Median of a small mutable slice (used over the `t` row estimates).
+pub fn median(values: &mut [f64]) -> f64 {
+    assert!(!values.is_empty(), "median of empty slice");
+    values.sort_by(|a, b| a.partial_cmp(b).expect("estimates are never NaN"));
+    let n = values.len();
+    if n % 2 == 1 {
+        values[n / 2]
+    } else {
+        0.5 * (values[n / 2 - 1] + values[n / 2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_in_range() {
+        let rows = draw_rows(5, 97, 42);
+        for row in &rows {
+            for x in 0..10_000u32 {
+                assert!(row.bucket(x) < 97);
+            }
+        }
+    }
+
+    #[test]
+    fn buckets_roughly_uniform() {
+        let mut rng = SplitMix64::new(7);
+        let row = HashRow::new(16, &mut rng);
+        let mut counts = [0usize; 16];
+        let n = 64_000u32;
+        for x in 0..n {
+            counts[row.bucket(x) as usize] += 1;
+        }
+        let expected = n as f64 / 16.0;
+        for &c in &counts {
+            assert!(
+                (c as f64 - expected).abs() < 0.15 * expected,
+                "bucket skew: {c} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn signs_balanced() {
+        let mut rng = SplitMix64::new(9);
+        let row = HashRow::new(8, &mut rng);
+        let pos = (0..100_000u32).filter(|&x| row.sign(x) > 0.0).count();
+        assert!(
+            (pos as f64 - 50_000.0).abs() < 2_000.0,
+            "sign imbalance: {pos}"
+        );
+    }
+
+    #[test]
+    fn rows_are_independent_looking() {
+        let rows = draw_rows(2, 1024, 3);
+        // The two rows should disagree on bucket assignments frequently.
+        let agree = (0..10_000u32)
+            .filter(|&x| rows[0].bucket(x) == rows[1].bucket(x))
+            .count();
+        assert!(agree < 200, "rows agree {agree} times out of 10000");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = draw_rows(3, 64, 5);
+        let b = draw_rows(3, 64, 5);
+        for (x, y) in a.iter().zip(&b) {
+            for k in 0..1000u32 {
+                assert_eq!(x.bucket(k), y.bucket(k));
+                assert_eq!(x.sign(k), y.sign(k));
+            }
+        }
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&mut [4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&mut [7.0]), 7.0);
+    }
+}

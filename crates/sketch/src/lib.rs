@@ -1,0 +1,30 @@
+//! # dsg-sketch — frequency sketches as degree oracles (§5.1 of the paper)
+//!
+//! Lemma 7 shows any constant-factor streaming approximation needs
+//! `Ω(n/p)` bits, but §5.1 observes that the algorithm only consults
+//! degrees of *surviving* nodes, and surviving nodes have *high* degrees —
+//! exactly the elements a Count-Sketch (Charikar, Chen, Farach-Colton;
+//! TCS 2004) estimates well. Replacing the `n`-word exact degree vector
+//! with a `t×b` sketch (`t·b ≪ n`) keeps high-degree estimates accurate
+//! while mis-estimating only low-degree nodes, whose premature survival
+//! barely perturbs the density (Table 4 of the paper).
+//!
+//! * [`CountSketch`] — the signed median-estimate sketch used by the paper.
+//! * [`CountMin`] — the one-sided (over-estimating) alternative, included
+//!   as an ablation.
+//! * [`SketchDegreeOracle`] — adapts either sketch to
+//!   [`dsg_core::oracle::DegreeOracle`], so Algorithm 1 runs unchanged.
+//! * [`approx_densest_sketched`] — the full §5.1 pipeline: Algorithm 1
+//!   with sketched degrees and exact edge counting.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod countmin;
+pub mod countsketch;
+pub mod hashing;
+pub mod oracle;
+
+pub use countmin::CountMin;
+pub use countsketch::CountSketch;
+pub use oracle::{approx_densest_sketched, SketchDegreeOracle, SketchKind, SketchParams};

@@ -1,0 +1,245 @@
+//! The sketched degree oracle and the full §5.1 pipeline.
+//!
+//! [`SketchDegreeOracle`] implements [`dsg_core::oracle::DegreeOracle`]
+//! over either sketch, so Algorithm 1's control flow is byte-identical to
+//! the exact run — only the degree lookups differ, exactly as in the
+//! paper's experiment (Table 4). The live-edge count (hence `ρ(S)`) stays
+//! exact: it is a single counter, costing O(1) memory.
+
+use dsg_core::oracle::DegreeOracle;
+use dsg_core::result::UndirectedRun;
+use dsg_core::undirected::approx_densest_with_oracle;
+use dsg_graph::stream::EdgeStream;
+
+use crate::countmin::CountMin;
+use crate::countsketch::CountSketch;
+
+/// Which sketch backs the oracle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SketchKind {
+    /// Count-Sketch (the paper's choice): symmetric ± noise.
+    CountSketch,
+    /// Count-Min: one-sided over-estimates (ablation).
+    CountMin,
+    /// Count-Min with conservative updates: smaller one-sided error at
+    /// the same memory (second ablation).
+    CountMinConservative,
+}
+
+/// Sketch configuration: `t` rows × `b` buckets (the paper uses `t = 5`,
+/// `b ∈ {30000, 40000, 50000}` for flickr's 976K nodes).
+#[derive(Clone, Copy, Debug)]
+pub struct SketchParams {
+    /// Number of hash rows `t`.
+    pub t: usize,
+    /// Buckets per row `b`.
+    pub b: u32,
+    /// Seed for the hash functions.
+    pub seed: u64,
+    /// Sketch flavor.
+    pub kind: SketchKind,
+}
+
+impl SketchParams {
+    /// The paper's configuration: Count-Sketch with `t = 5`.
+    pub fn paper(b: u32, seed: u64) -> Self {
+        SketchParams {
+            t: 5,
+            b,
+            seed,
+            kind: SketchKind::CountSketch,
+        }
+    }
+}
+
+/// A [`DegreeOracle`] backed by a frequency sketch.
+///
+/// The hash functions are **redrawn on every pass** (deterministically
+/// from the base seed). This matters: with frozen hash functions the
+/// noise on each node's estimate is the same every pass, so the nodes
+/// whose noise pushed them above the removal threshold survive *forever*
+/// and the algorithm degenerates to one-removal-per-pass. Fresh
+/// randomness per pass makes the per-pass errors independent, restoring
+/// geometric shrinkage (each pass removes roughly the same fraction an
+/// exact oracle would, in expectation).
+pub struct SketchDegreeOracle {
+    params: SketchParams,
+    pass: u64,
+    inner: SketchImpl,
+}
+
+enum SketchImpl {
+    Cs(CountSketch),
+    Cm(CountMin),
+}
+
+fn build_inner(params: &SketchParams, pass: u64) -> SketchImpl {
+    // Mix the pass index into the seed (SplitMix64 increment constant).
+    let seed = params.seed.wrapping_add(pass.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    match params.kind {
+        SketchKind::CountSketch => SketchImpl::Cs(CountSketch::new(params.t, params.b, seed)),
+        SketchKind::CountMin => SketchImpl::Cm(CountMin::new(params.t, params.b, seed)),
+        SketchKind::CountMinConservative => {
+            SketchImpl::Cm(CountMin::new_conservative(params.t, params.b, seed))
+        }
+    }
+}
+
+impl SketchDegreeOracle {
+    /// Builds the oracle from parameters.
+    pub fn new(params: SketchParams) -> Self {
+        SketchDegreeOracle {
+            inner: build_inner(&params, 0),
+            params,
+            pass: 0,
+        }
+    }
+}
+
+impl DegreeOracle for SketchDegreeOracle {
+    fn reset(&mut self) {
+        self.pass += 1;
+        self.inner = build_inner(&self.params, self.pass);
+    }
+
+    #[inline]
+    fn record(&mut self, u: u32, v: u32, w: f64) {
+        match &mut self.inner {
+            SketchImpl::Cs(s) => {
+                s.update(u, w);
+                s.update(v, w);
+            }
+            SketchImpl::Cm(s) => {
+                s.update(u, w);
+                s.update(v, w);
+            }
+        }
+    }
+
+    #[inline]
+    fn degree(&self, u: u32) -> f64 {
+        match &self.inner {
+            SketchImpl::Cs(s) => s.estimate(u),
+            SketchImpl::Cm(s) => s.estimate(u),
+        }
+    }
+
+    fn memory_words(&self) -> usize {
+        match &self.inner {
+            SketchImpl::Cs(s) => s.memory_words(),
+            SketchImpl::Cm(s) => s.memory_words(),
+        }
+    }
+}
+
+/// The result of a sketched run plus its memory accounting.
+#[derive(Clone, Debug)]
+pub struct SketchedRun {
+    /// The Algorithm 1 result under sketched degrees.
+    pub run: UndirectedRun,
+    /// Counter words used by the sketch (`t·b`).
+    pub sketch_words: usize,
+    /// Counter words an exact run would use (`n`).
+    pub exact_words: usize,
+}
+
+impl SketchedRun {
+    /// The memory row of Table 4: sketch words / exact words.
+    pub fn memory_ratio(&self) -> f64 {
+        self.sketch_words as f64 / self.exact_words as f64
+    }
+}
+
+/// Runs Algorithm 1 with sketched degree estimates (§5.1).
+pub fn approx_densest_sketched<S: EdgeStream + ?Sized>(
+    stream: &mut S,
+    epsilon: f64,
+    params: SketchParams,
+) -> SketchedRun {
+    let n = stream.num_nodes();
+    let mut oracle = SketchDegreeOracle::new(params);
+    let run = approx_densest_with_oracle(stream, epsilon, &mut oracle);
+    SketchedRun {
+        run,
+        sketch_words: oracle.memory_words(),
+        exact_words: n as usize,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsg_core::undirected::approx_densest;
+    use dsg_graph::gen;
+    use dsg_graph::stream::MemoryStream;
+
+    #[test]
+    fn generous_sketch_matches_exact_run() {
+        // With b ≫ n the sketch is collision-free, so the sketched run is
+        // identical to the exact run.
+        let pg = gen::planted_clique(300, 700, 15, 3);
+        let mut s1 = MemoryStream::new(pg.graph.clone());
+        let exact = approx_densest(&mut s1, 0.5);
+        let mut s2 = MemoryStream::new(pg.graph.clone());
+        let sk = approx_densest_sketched(&mut s2, 0.5, SketchParams::paper(8192, 1));
+        assert_eq!(exact.passes, sk.run.passes);
+        assert!((exact.best_density - sk.run.best_density).abs() < 1e-9);
+        assert_eq!(exact.best_set.to_vec(), sk.run.best_set.to_vec());
+    }
+
+    #[test]
+    fn tight_sketch_stays_near_exact_density() {
+        // b ≈ n/6, like the paper's 30000/976K ≈ 3% ... 16% regime.
+        let pg = gen::planted_dense_subgraph(3000, 12_000, 60, 0.5, 7);
+        let mut s1 = MemoryStream::new(pg.graph.clone());
+        let exact = approx_densest(&mut s1, 0.5);
+        let mut s2 = MemoryStream::new(pg.graph.clone());
+        let sk = approx_densest_sketched(&mut s2, 0.5, SketchParams::paper(512, 5));
+        let ratio = sk.run.best_density / exact.best_density;
+        // Table 4 observes ratios in [0.7, 1.05]; allow a wide but
+        // meaningful band.
+        assert!(
+            (0.5..=1.5).contains(&ratio),
+            "sketched/exact density ratio {ratio}"
+        );
+        assert!(sk.memory_ratio() < 1.0, "sketch must save memory");
+    }
+
+    #[test]
+    fn memory_ratio_matches_parameters() {
+        let g = gen::gnp(10_000, 0.001, 2);
+        let mut s = MemoryStream::new(g);
+        let sk = approx_densest_sketched(&mut s, 1.0, SketchParams::paper(500, 3));
+        assert_eq!(sk.sketch_words, 2500);
+        assert_eq!(sk.exact_words, 10_000);
+        assert!((sk.memory_ratio() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn countmin_variant_runs_and_terminates() {
+        let pg = gen::planted_clique(500, 1500, 20, 9);
+        let mut s = MemoryStream::new(pg.graph);
+        let params = SketchParams {
+            t: 5,
+            b: 256,
+            seed: 3,
+            kind: SketchKind::CountMin,
+        };
+        let sk = approx_densest_sketched(&mut s, 0.5, params);
+        // Over-estimating degrees can stall the threshold rule; the
+        // min-estimate fallback must still terminate the run.
+        assert!(sk.run.passes > 0);
+        assert!(sk.run.best_density > 0.0);
+    }
+
+    #[test]
+    fn sketched_run_is_deterministic() {
+        let pg = gen::planted_clique(400, 900, 15, 4);
+        let mut s1 = MemoryStream::new(pg.graph.clone());
+        let a = approx_densest_sketched(&mut s1, 1.0, SketchParams::paper(300, 8));
+        let mut s2 = MemoryStream::new(pg.graph);
+        let b = approx_densest_sketched(&mut s2, 1.0, SketchParams::paper(300, 8));
+        assert_eq!(a.run.passes, b.run.passes);
+        assert_eq!(a.run.best_set.to_vec(), b.run.best_set.to_vec());
+    }
+}

@@ -1,0 +1,125 @@
+//! Algorithm shootout: every densest-subgraph method in the repository on
+//! one graph, with quality, passes, and wall-clock side by side.
+//!
+//! ```text
+//! cargo run --release --example algorithm_shootout
+//! ```
+//!
+//! This is the repository's summary in one screen: the exact solvers set
+//! the bar, Charikar's peeling matches it closely but needs Θ(n) peels,
+//! and Algorithm 1 gets within a few percent in a handful of passes.
+
+use std::time::Instant;
+
+use densest_subgraph::core::charikar::charikar_peel;
+use densest_subgraph::core::profile::peeling_profile;
+use densest_subgraph::core::undirected::{approx_densest, approx_densest_csr};
+use densest_subgraph::flow::{exact_densest_with, FlowBackend};
+use densest_subgraph::graph::gen;
+use densest_subgraph::graph::stream::MemoryStream;
+use densest_subgraph::graph::CsrUndirected;
+use densest_subgraph::sketch::{approx_densest_sketched, SketchParams};
+
+fn main() {
+    let (list, _) = gen::powerlaw_with_communities(
+        15_000,
+        2.3,
+        10.0,
+        1_500.0,
+        &[(100, 0.7), (200, 0.3)],
+        77,
+    );
+    let csr = CsrUndirected::from_edge_list(&list);
+    println!(
+        "graph: {} nodes, {} edges\n",
+        list.num_nodes,
+        list.num_edges()
+    );
+    println!(
+        "{:<34} {:>9} {:>7} {:>10}",
+        "method", "density", "passes", "time"
+    );
+
+    let t = Instant::now();
+    let exact = exact_densest_with(&csr, FlowBackend::Dinic);
+    let exact_time = t.elapsed();
+    println!(
+        "{:<34} {:>9.3} {:>7} {:>9.0?}",
+        format!("exact (Goldberg + Dinic, {} flows)", exact.flow_calls),
+        exact.density,
+        "-",
+        exact_time
+    );
+
+    let t = Instant::now();
+    let pr = exact_densest_with(&csr, FlowBackend::PushRelabel);
+    println!(
+        "{:<34} {:>9.3} {:>7} {:>9.0?}",
+        "exact (Goldberg + push-relabel)",
+        pr.density,
+        "-",
+        t.elapsed()
+    );
+
+    let t = Instant::now();
+    let peel = charikar_peel(&csr);
+    println!(
+        "{:<34} {:>9.3} {:>7} {:>9.0?}",
+        "Charikar greedy peel",
+        peel.best_density,
+        format!("{}*", csr.num_nodes()),
+        t.elapsed()
+    );
+
+    for eps in [0.1, 0.5, 1.0, 2.0] {
+        let t = Instant::now();
+        let run = approx_densest_csr(&csr, eps);
+        println!(
+            "{:<34} {:>9.3} {:>7} {:>9.0?}",
+            format!("Algorithm 1 (ε = {eps}, in-memory)"),
+            run.best_density,
+            run.passes,
+            t.elapsed()
+        );
+    }
+
+    let t = Instant::now();
+    let mut stream = MemoryStream::new(list.clone());
+    let run = approx_densest(&mut stream, 0.5);
+    println!(
+        "{:<34} {:>9.3} {:>7} {:>9.0?}",
+        "Algorithm 1 (ε = 0.5, streaming)",
+        run.best_density,
+        run.passes,
+        t.elapsed()
+    );
+
+    let t = Instant::now();
+    let mut stream = MemoryStream::new(list.clone());
+    let sk = approx_densest_sketched(&mut stream, 0.5, SketchParams::paper(list.num_nodes / 20, 5));
+    println!(
+        "{:<34} {:>9.3} {:>7} {:>9.0?}",
+        format!(
+            "Algorithm 1 + Count-Sketch ({:.0}%)",
+            100.0 * sk.memory_ratio()
+        ),
+        sk.run.best_density,
+        sk.run.passes,
+        t.elapsed()
+    );
+
+    // The density landscape behind all of this.
+    let profile = peeling_profile(&csr);
+    println!(
+        "\npeeling profile: density peaks at {:.3} after peeling {} of {} nodes",
+        profile.best_density,
+        profile.best_prefix,
+        csr.num_nodes()
+    );
+    println!("(* Charikar peels one node per step — Θ(n) passes in a streaming model)");
+
+    // Sanity: everything agrees within the proven factors.
+    assert!((exact.density - pr.density).abs() < 1e-6);
+    assert!(peel.best_density * 2.0 + 1e-9 >= exact.density);
+    assert!(run.best_density * 3.0 + 1e-9 >= exact.density);
+}

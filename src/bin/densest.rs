@@ -1,0 +1,236 @@
+//! `densest` — a command-line densest-subgraph tool over edge-list files.
+//!
+//! ```text
+//! densest <algorithm> <edge-file> [options]
+//!
+//! algorithms:
+//!   approx     Algorithm 1  — undirected (2+2ε)-approximation  [default]
+//!   atleast-k  Algorithm 2  — at least k nodes, (3+3ε)-approximation
+//!   directed   Algorithm 3  — directed density with a c-sweep
+//!   charikar   exact greedy peeling (2-approximation, in-memory)
+//!   exact      Goldberg max-flow optimum (in-memory)
+//!   enumerate  node-disjoint dense communities
+//!
+//! options:
+//!   --epsilon <f>     approximation parameter ε (default 0.5)
+//!   --k <n>           size floor for atleast-k (default 10)
+//!   --delta <f>       c-grid resolution for directed (default 2)
+//!   --sketch <b>      use a Count-Sketch degree oracle with width b (t=5)
+//!   --binary          input is the dsg binary edge format
+//!   --directed-input  parse the file as directed (for `directed`)
+//!   --quiet           print only the summary line
+//! ```
+//!
+//! The input is a whitespace-separated `u v [w]` edge list with `#`
+//! comments (SNAP format), or the compact binary format with `--binary`.
+
+use std::process::exit;
+
+use densest_subgraph::core as dsg_core;
+use densest_subgraph::graph::io::{read_binary, read_text};
+use densest_subgraph::graph::stream::MemoryStream;
+use densest_subgraph::graph::{CsrDirected, CsrUndirected, EdgeList, GraphKind, NodeSet};
+use densest_subgraph::sketch::{approx_densest_sketched, SketchParams};
+
+struct Options {
+    algorithm: String,
+    path: String,
+    epsilon: f64,
+    k: usize,
+    delta: f64,
+    sketch_b: Option<u32>,
+    binary: bool,
+    directed_input: bool,
+    quiet: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: densest <approx|atleast-k|directed|charikar|exact|enumerate> <edge-file> \
+         [--epsilon f] [--k n] [--delta f] [--sketch b] [--binary] [--directed-input] [--quiet]"
+    );
+    exit(2);
+}
+
+fn parse_options() -> Options {
+    let mut args = std::env::args().skip(1);
+    let algorithm = args.next().unwrap_or_else(|| usage());
+    let path = args.next().unwrap_or_else(|| usage());
+    let mut o = Options {
+        algorithm,
+        path,
+        epsilon: 0.5,
+        k: 10,
+        delta: 2.0,
+        sketch_b: None,
+        binary: false,
+        directed_input: false,
+        quiet: false,
+    };
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--epsilon" => o.epsilon = value("--epsilon").parse().expect("bad --epsilon"),
+            "--k" => o.k = value("--k").parse().expect("bad --k"),
+            "--delta" => o.delta = value("--delta").parse().expect("bad --delta"),
+            "--sketch" => o.sketch_b = Some(value("--sketch").parse().expect("bad --sketch")),
+            "--binary" => o.binary = true,
+            "--directed-input" => o.directed_input = true,
+            "--quiet" => o.quiet = true,
+            _ => usage(),
+        }
+    }
+    o
+}
+
+fn load(o: &Options) -> EdgeList {
+    let kind = if o.directed_input || o.algorithm == "directed" {
+        GraphKind::Directed
+    } else {
+        GraphKind::Undirected
+    };
+    let mut list = if o.binary {
+        read_binary(&o.path).unwrap_or_else(|e| {
+            eprintln!("cannot read {}: {e}", o.path);
+            exit(1);
+        })
+    } else {
+        read_text(&o.path, kind).unwrap_or_else(|e| {
+            eprintln!("cannot read {}: {e}", o.path);
+            exit(1);
+        })
+    };
+    list.kind = kind;
+    list.canonicalize();
+    list
+}
+
+fn print_set(nodes: &NodeSet, quiet: bool) {
+    if quiet {
+        return;
+    }
+    let v = nodes.to_vec();
+    let shown: Vec<String> = v.iter().take(50).map(|u| u.to_string()).collect();
+    let ellipsis = if v.len() > 50 { ", …" } else { "" };
+    println!("nodes: [{}{}]", shown.join(", "), ellipsis);
+}
+
+fn main() {
+    let o = parse_options();
+    let list = load(&o);
+    if !o.quiet {
+        eprintln!(
+            "loaded {}: {} nodes, {} edges",
+            o.path,
+            list.num_nodes,
+            list.num_edges()
+        );
+    }
+
+    match o.algorithm.as_str() {
+        "approx" => {
+            let run = if let Some(b) = o.sketch_b {
+                let mut stream = MemoryStream::new(list);
+                let sk = approx_densest_sketched(&mut stream, o.epsilon, SketchParams::paper(b, 0));
+                if !o.quiet {
+                    eprintln!(
+                        "sketch: {} words vs {} exact ({:.0}%)",
+                        sk.sketch_words,
+                        sk.exact_words,
+                        100.0 * sk.memory_ratio()
+                    );
+                }
+                sk.run
+            } else {
+                let csr = CsrUndirected::from_edge_list(&list);
+                dsg_core::undirected::approx_densest_csr(&csr, o.epsilon)
+            };
+            println!(
+                "density {:.6} on {} nodes ({} passes, ε = {})",
+                run.best_density,
+                run.best_set.len(),
+                run.passes,
+                o.epsilon
+            );
+            print_set(&run.best_set, o.quiet);
+        }
+        "atleast-k" => {
+            let mut stream = MemoryStream::new(list);
+            let run = dsg_core::large::approx_densest_at_least_k(&mut stream, o.k, o.epsilon.max(1e-6));
+            println!(
+                "density {:.6} on {} nodes (k = {}, {} passes)",
+                run.best_density,
+                run.best_set.len(),
+                o.k,
+                run.passes
+            );
+            print_set(&run.best_set, o.quiet);
+        }
+        "directed" => {
+            let csr = CsrDirected::from_edge_list(&list);
+            let sweep = dsg_core::directed::sweep_c_csr(&csr, o.delta, o.epsilon);
+            println!(
+                "density {:.6} with |S| = {}, |T| = {} (best c = {:.4}, δ = {})",
+                sweep.best.best_density,
+                sweep.best.best_s.len(),
+                sweep.best.best_t.len(),
+                sweep.best.c,
+                o.delta
+            );
+            if !o.quiet {
+                println!("S:");
+                print_set(&sweep.best.best_s, false);
+                println!("T:");
+                print_set(&sweep.best.best_t, false);
+            }
+        }
+        "charikar" => {
+            let csr = CsrUndirected::from_edge_list(&list);
+            let r = dsg_core::charikar::charikar_peel(&csr);
+            println!(
+                "density {:.6} on {} nodes (exact greedy 2-approximation)",
+                r.best_density,
+                r.best_set.len()
+            );
+            print_set(&r.best_set, o.quiet);
+        }
+        "exact" => {
+            let csr = CsrUndirected::from_edge_list(&list);
+            let r = densest_subgraph::flow::exact_densest(&csr);
+            println!(
+                "optimum density {:.6} on {} nodes ({} max-flow calls)",
+                r.density,
+                r.set.len(),
+                r.flow_calls
+            );
+            print_set(&r.set, o.quiet);
+        }
+        "enumerate" => {
+            let csr = CsrUndirected::from_edge_list(&list);
+            let comms = dsg_core::enumerate::enumerate_dense_subgraphs(
+                &csr,
+                dsg_core::enumerate::EnumerateOptions {
+                    epsilon: o.epsilon,
+                    min_density: 1.0,
+                    max_communities: 32,
+                },
+            );
+            println!("{} node-disjoint dense communities:", comms.len());
+            for c in &comms {
+                println!(
+                    "  round {}: density {:.4} on {} nodes",
+                    c.round,
+                    c.density,
+                    c.nodes.len()
+                );
+                print_set(&c.nodes, o.quiet);
+            }
+        }
+        _ => usage(),
+    }
+}

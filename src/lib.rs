@@ -1,0 +1,45 @@
+//! # densest-subgraph
+//!
+//! A comprehensive Rust reproduction of *"Densest Subgraph in Streaming
+//! and MapReduce"* (Bahmani, Kumar, Vassilvitskii; PVLDB 5(5), 2012).
+//!
+//! This umbrella crate re-exports the workspace members:
+//!
+//! * [`graph`] — graph substrate: CSR snapshots, node sets, multi-pass
+//!   edge streams, generators (including the paper's lower-bound
+//!   instances), and I/O.
+//! * [`core`] — the paper's algorithms: Algorithm 1 (undirected),
+//!   Algorithm 2 (size-constrained), Algorithm 3 (directed), plus
+//!   Charikar's greedy peeling baseline and core decomposition.
+//! * [`flow`] — exact densest subgraph via Goldberg's max-flow reduction
+//!   (used in place of the paper's LP solver to measure approximation
+//!   quality).
+//! * [`sketch`] — Count-Sketch / Count-Min degree oracles and the
+//!   sketched streaming variant of §5.1.
+//! * [`mapreduce`] — a thread-pool MapReduce simulator and the MapReduce
+//!   realization of §5.2.
+//! * [`datasets`] — synthetic stand-ins for the paper's evaluation
+//!   datasets.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use densest_subgraph::graph::gen;
+//! use densest_subgraph::graph::stream::MemoryStream;
+//! use densest_subgraph::core::undirected::approx_densest;
+//!
+//! // A 30-clique planted in a sparse background.
+//! let planted = gen::planted_clique(500, 1000, 30, 42);
+//! let mut stream = MemoryStream::new(planted.graph.clone());
+//! let run = approx_densest(&mut stream, 0.5);
+//! // Guarantee: within (2 + 2ε) of optimal. The planted clique has
+//! // density (30-1)/2 = 14.5, so the result must be ≥ 14.5 / 3.
+//! assert!(run.best_density >= 14.5 / 3.0);
+//! ```
+
+pub use dsg_core as core;
+pub use dsg_datasets as datasets;
+pub use dsg_flow as flow;
+pub use dsg_graph as graph;
+pub use dsg_mapreduce as mapreduce;
+pub use dsg_sketch as sketch;

@@ -1,0 +1,116 @@
+//! End-to-end tests of the `densest` command-line binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn densest_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_densest")
+}
+
+fn write_fixture(name: &str, content: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("dsg_cli_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, content).unwrap();
+    path
+}
+
+/// A K5 (density 2.0) with a pendant path.
+fn clique_fixture() -> PathBuf {
+    let mut s = String::from("# K5 plus path\n");
+    for u in 0..5u32 {
+        for v in (u + 1)..5 {
+            s.push_str(&format!("{u} {v}\n"));
+        }
+    }
+    s.push_str("4 5\n5 6\n6 7\n");
+    write_fixture("clique.txt", &s)
+}
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(densest_bin())
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn approx_finds_the_clique() {
+    let path = clique_fixture();
+    let (stdout, _, ok) = run(&["approx", path.to_str().unwrap(), "--epsilon", "0.1"]);
+    assert!(ok);
+    assert!(stdout.contains("density 2.000000 on 5 nodes"), "{stdout}");
+    assert!(stdout.contains("nodes: [0, 1, 2, 3, 4]"), "{stdout}");
+}
+
+#[test]
+fn exact_matches_approx_here() {
+    let path = clique_fixture();
+    let (stdout, _, ok) = run(&["exact", path.to_str().unwrap(), "--quiet"]);
+    assert!(ok);
+    assert!(stdout.contains("optimum density 2.000000 on 5 nodes"), "{stdout}");
+}
+
+#[test]
+fn charikar_and_atleast_k() {
+    let path = clique_fixture();
+    let (stdout, _, ok) = run(&["charikar", path.to_str().unwrap(), "--quiet"]);
+    assert!(ok);
+    assert!(stdout.contains("density 2.000000"), "{stdout}");
+
+    let (stdout, _, ok) = run(&["atleast-k", path.to_str().unwrap(), "--k", "7", "--quiet"]);
+    assert!(ok, "{stdout}");
+    // A floor of 7 forces a larger, sparser set.
+    assert!(stdout.contains("(k = 7"), "{stdout}");
+}
+
+#[test]
+fn directed_mode() {
+    // All arcs from {0,1,2} to {3}: optimum ρ = 3/sqrt(3) ≈ 1.73; the
+    // sweep guarantees a δ(2+2ε) factor, and here it lands on the pair
+    // S = V (the idle node 3 costs a sqrt factor), T = {3} with ρ = 1.5.
+    let path = write_fixture("directed.txt", "0 3\n1 3\n2 3\n");
+    let (stdout, _, ok) = run(&["directed", path.to_str().unwrap(), "--quiet"]);
+    assert!(ok, "{stdout}");
+    let density: f64 = stdout
+        .split("density ")
+        .nth(1)
+        .and_then(|s| s.split_whitespace().next())
+        .and_then(|s| s.parse().ok())
+        .expect("density in output");
+    assert!(density >= 1.732 / (2.0 * 3.0), "{stdout}");
+    assert!(density <= 1.7321, "{stdout}");
+    assert!(stdout.contains("|T| = 1"), "{stdout}");
+}
+
+#[test]
+fn enumerate_mode() {
+    let path = clique_fixture();
+    let (stdout, _, ok) = run(&["enumerate", path.to_str().unwrap(), "--epsilon", "0.1", "--quiet"]);
+    assert!(ok);
+    assert!(stdout.contains("dense communities"), "{stdout}");
+    assert!(stdout.contains("density 2.0000 on 5 nodes"), "{stdout}");
+}
+
+#[test]
+fn rejects_bad_usage() {
+    let (_, stderr, ok) = run(&["bogus-algorithm", "/nonexistent"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage") || stderr.contains("cannot read"), "{stderr}");
+
+    let (_, stderr, ok) = run(&[]);
+    assert!(!ok);
+    assert!(stderr.contains("usage"), "{stderr}");
+}
+
+#[test]
+fn missing_file_is_a_clean_error() {
+    let (_, stderr, ok) = run(&["approx", "/definitely/not/here.txt"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot read"), "{stderr}");
+}

@@ -1,0 +1,164 @@
+//! Property-based tests (proptest) on the core invariants, across
+//! randomly generated graphs and parameters.
+
+use proptest::prelude::*;
+
+use densest_subgraph::core::charikar::charikar_peel;
+use densest_subgraph::core::cores::CoreDecomposition;
+use densest_subgraph::core::directed::approx_densest_directed;
+use densest_subgraph::core::undirected::{approx_densest, approx_densest_csr};
+use densest_subgraph::flow::{brute_force_densest, exact_densest};
+use densest_subgraph::graph::stream::{EdgeStream, MemoryStream};
+use densest_subgraph::graph::{CsrDirected, CsrUndirected, EdgeList, NodeSet};
+
+/// Strategy: a random simple undirected graph with up to `max_n` nodes.
+fn arb_graph(max_n: u32) -> impl Strategy<Value = EdgeList> {
+    (2..=max_n).prop_flat_map(|n| {
+        let max_edges = (n * (n - 1) / 2) as usize;
+        proptest::collection::vec((0..n, 0..n), 0..=max_edges.min(120)).prop_map(move |pairs| {
+            let mut g = EdgeList::new_undirected(n);
+            for (u, v) in pairs {
+                if u != v {
+                    g.push(u, v);
+                }
+            }
+            g.canonicalize();
+            g
+        })
+    })
+}
+
+/// Strategy: a random simple directed graph.
+fn arb_digraph(max_n: u32) -> impl Strategy<Value = EdgeList> {
+    (2..=max_n).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n), 0..=100).prop_map(move |pairs| {
+            let mut g = EdgeList::new_directed(n);
+            for (u, v) in pairs {
+                if u != v {
+                    g.push(u, v);
+                }
+            }
+            g.canonicalize();
+            g
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Lemma 3: Algorithm 1 is a (2+2ε)-approximation, verified against
+    /// exhaustive search on small random graphs.
+    #[test]
+    fn algorithm1_guarantee(list in arb_graph(12), eps in 0.0f64..2.5) {
+        let csr = CsrUndirected::from_edge_list(&list);
+        let (_, opt) = brute_force_densest(&csr);
+        let run = approx_densest_csr(&csr, eps);
+        prop_assert!(run.best_density + 1e-9 >= opt / (2.0 + 2.0 * eps));
+        prop_assert!(run.best_density <= opt + 1e-9);
+        // The returned set's density matches the reported value.
+        let recomputed = csr.density_of(&run.best_set);
+        prop_assert!((recomputed - run.best_density).abs() < 1e-9);
+    }
+
+    /// Lemma 4: pass count is at most log_{1+ε} n plus slack.
+    #[test]
+    fn algorithm1_pass_bound(list in arb_graph(40), eps in 0.1f64..2.5) {
+        let n = list.num_nodes as f64;
+        let csr = CsrUndirected::from_edge_list(&list);
+        let run = approx_densest_csr(&csr, eps);
+        let bound = (n.ln() / (1.0 + eps).ln()).ceil() as u32 + 2;
+        prop_assert!(run.passes <= bound, "{} passes > {}", run.passes, bound);
+    }
+
+    /// Streaming and CSR paths produce identical runs.
+    #[test]
+    fn stream_equals_csr(list in arb_graph(30), eps in 0.0f64..2.0) {
+        let csr = CsrUndirected::from_edge_list(&list);
+        let a = approx_densest_csr(&csr, eps);
+        let mut stream = MemoryStream::new(list);
+        let b = approx_densest(&mut stream, eps);
+        prop_assert_eq!(a.passes, b.passes);
+        prop_assert_eq!(a.best_set.to_vec(), b.best_set.to_vec());
+        prop_assert!((a.best_density - b.best_density).abs() < 1e-9);
+        prop_assert_eq!(stream.passes(), b.passes as u64);
+    }
+
+    /// Goldberg's flow solver equals exhaustive search.
+    #[test]
+    fn flow_exact_equals_brute(list in arb_graph(11)) {
+        let csr = CsrUndirected::from_edge_list(&list);
+        let (_, brute) = brute_force_densest(&csr);
+        let flow = exact_densest(&csr);
+        prop_assert!((flow.density - brute).abs() < 1e-9,
+            "flow {} vs brute {}", flow.density, brute);
+        // The returned certificate really has that density.
+        if !flow.set.is_empty() {
+            prop_assert!((csr.density_of(&flow.set) - flow.density).abs() < 1e-9);
+        }
+    }
+
+    /// Charikar's peeling is a 2-approximation and peels a permutation.
+    #[test]
+    fn charikar_invariants(list in arb_graph(12)) {
+        let csr = CsrUndirected::from_edge_list(&list);
+        let (_, opt) = brute_force_densest(&csr);
+        let r = charikar_peel(&csr);
+        prop_assert!(r.best_density * 2.0 + 1e-9 >= opt);
+        let mut order = r.peel_order.clone();
+        order.sort_unstable();
+        prop_assert_eq!(order, (0..list.num_nodes).collect::<Vec<_>>());
+    }
+
+    /// Core decomposition: cores nest, and every node of the d-core has
+    /// induced degree ≥ d.
+    #[test]
+    fn core_decomposition_invariants(list in arb_graph(25)) {
+        let csr = CsrUndirected::from_edge_list(&list);
+        let d = CoreDecomposition::compute(&csr);
+        for k in 1..=d.degeneracy {
+            let upper = d.core_set(k);
+            let lower = d.core_set(k - 1);
+            prop_assert!(upper.is_subset_of(&lower));
+        }
+        let top = d.core_set(d.degeneracy);
+        for u in top.iter() {
+            let induced = csr.neighbors(u).iter().filter(|&&v| v != u && top.contains(v)).count();
+            prop_assert!(induced >= d.degeneracy as usize);
+        }
+        // Degeneracy/2 lower-bounds the maximum density.
+        if csr.num_edges() > 0 && csr.num_nodes() <= 12 {
+            let (_, opt) = brute_force_densest(&csr);
+            prop_assert!(d.density_lower_bound() <= opt + 1e-9);
+        }
+    }
+
+    /// Directed runs: the reported density matches the reported pair, and
+    /// the pass bound holds.
+    #[test]
+    fn directed_invariants(list in arb_digraph(15), c in 0.1f64..10.0, eps in 0.0f64..2.0) {
+        let csr = CsrDirected::from_edge_list(&list);
+        let mut stream = MemoryStream::new(list.clone());
+        let run = approx_densest_directed(&mut stream, c, eps);
+        let recomputed = csr.density_of(&run.best_s, &run.best_t);
+        prop_assert!((recomputed - run.best_density).abs() < 1e-9);
+        // Passes ≤ both sides shrinking one at a time.
+        prop_assert!(run.passes <= 2 * list.num_nodes + 2);
+    }
+
+    /// NodeSet algebra is consistent with a reference BTreeSet model.
+    #[test]
+    fn nodeset_model(ops in proptest::collection::vec((0u32..64, any::<bool>()), 0..200)) {
+        let mut set = NodeSet::empty(64);
+        let mut model = std::collections::BTreeSet::new();
+        for (x, insert) in ops {
+            if insert {
+                prop_assert_eq!(set.insert(x), model.insert(x));
+            } else {
+                prop_assert_eq!(set.remove(x), model.remove(&x));
+            }
+            prop_assert_eq!(set.len(), model.len());
+        }
+        prop_assert_eq!(set.to_vec(), model.into_iter().collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,101 @@
+//! Integration tests for the §5.1 sketching heuristic and the §4.1.1
+//! lower-bound constructions.
+
+use densest_subgraph::core::undirected::{approx_densest, approx_densest_csr};
+use densest_subgraph::graph::gen;
+use densest_subgraph::graph::stream::MemoryStream;
+use densest_subgraph::graph::CsrUndirected;
+use densest_subgraph::sketch::{approx_densest_sketched, SketchKind, SketchParams};
+
+#[test]
+fn sketch_quality_improves_with_width() {
+    // Wider sketches should (on average) land closer to the exact run.
+    let pg = gen::planted_dense_subgraph(8_000, 32_000, 120, 0.6, 5);
+    let mut stream = MemoryStream::new(pg.graph.clone());
+    let exact = approx_densest(&mut stream, 0.5).best_density;
+
+    let ratio_at = |b: u32| {
+        let mut s = MemoryStream::new(pg.graph.clone());
+        let sk = approx_densest_sketched(&mut s, 0.5, SketchParams::paper(b, 3));
+        sk.run.best_density / exact
+    };
+    let narrow = ratio_at(64);
+    let wide = ratio_at(4096);
+    assert!(
+        wide > narrow - 0.05,
+        "wider sketch should not be worse: narrow {narrow}, wide {wide}"
+    );
+    assert!(wide > 0.9, "wide sketch ratio {wide} should be near 1");
+}
+
+#[test]
+fn sketch_pass_count_stays_logarithmic() {
+    // The per-pass rehashing fix keeps pass counts near the exact run's
+    // (the failure mode without it is Θ(n) passes).
+    let pg = gen::planted_dense_subgraph(20_000, 80_000, 100, 0.5, 9);
+    let mut s1 = MemoryStream::new(pg.graph.clone());
+    let exact_passes = approx_densest(&mut s1, 0.5).passes;
+    let mut s2 = MemoryStream::new(pg.graph.clone());
+    let sk = approx_densest_sketched(&mut s2, 0.5, SketchParams::paper(400, 7));
+    assert!(
+        sk.run.passes <= exact_passes * 4 + 8,
+        "sketched run used {} passes vs exact {}",
+        sk.run.passes,
+        exact_passes
+    );
+}
+
+#[test]
+fn countmin_oracle_also_terminates_quickly() {
+    let pg = gen::planted_dense_subgraph(5_000, 20_000, 60, 0.6, 2);
+    let params = SketchParams {
+        t: 5,
+        b: 300,
+        seed: 1,
+        kind: SketchKind::CountMin,
+    };
+    let mut s = MemoryStream::new(pg.graph.clone());
+    let sk = approx_densest_sketched(&mut s, 0.5, params);
+    assert!(sk.run.passes < 100, "{} passes", sk.run.passes);
+    assert!(sk.run.best_density > 0.0);
+}
+
+#[test]
+fn lemma5_instance_needs_more_passes_than_social_graph_of_same_size() {
+    // The adversarial union-of-regular-graphs instance at k=8 (130K
+    // nodes) vs a heavy-tailed graph of the same size: the social graph
+    // peels in dramatically fewer passes *relative to its worst case*,
+    // while the lower-bound instance tracks k/log k growth.
+    let lb = gen::regular_union(8);
+    let lb_csr = CsrUndirected::from_edge_list(&lb);
+    let lb_passes = approx_densest_csr(&lb_csr, 0.5).passes;
+
+    let k6 = gen::regular_union(6);
+    let k6_passes = approx_densest_csr(&CsrUndirected::from_edge_list(&k6), 0.5).passes;
+    assert!(
+        lb_passes >= k6_passes,
+        "pass count must not shrink with k: k=8 {} vs k=6 {}",
+        lb_passes,
+        k6_passes
+    );
+}
+
+#[test]
+fn disjointness_gadget_separates_yes_from_no() {
+    // The Lemma 7 reduction: YES instances have density (q-1)/2, NO
+    // instances < 1, and Algorithm 1 distinguishes them easily (the space
+    // bound says it cannot be done in o(n) memory — we use Θ(n)).
+    let q = 10u32;
+    let (yes, planted) = gen::disjointness_gadget(200, q, true, 3);
+    let (no, _) = gen::disjointness_gadget(200, q, false, 3);
+    let yes_run = approx_densest_csr(&CsrUndirected::from_edge_list(&yes), 0.5);
+    let no_run = approx_densest_csr(&CsrUndirected::from_edge_list(&no), 0.5);
+    // (q-1)/2 = 4.5 vs < 1: even a (2+2ε) approximation separates them.
+    assert!(yes_run.best_density >= 4.5 / 3.0);
+    assert!(no_run.best_density < 1.0);
+    assert!(yes_run.best_density > 2.0 * no_run.best_density);
+    // The planted clique is the densest set; the algorithm's best set
+    // should be exactly it.
+    let planted = planted.unwrap();
+    assert_eq!(yes_run.best_set.intersection_len(&planted), q as usize);
+}
