@@ -53,5 +53,10 @@ fn bench_twitter_sweep(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fixed_c, bench_sweep_resolution, bench_twitter_sweep);
+criterion_group!(
+    benches,
+    bench_fixed_c,
+    bench_sweep_resolution,
+    bench_twitter_sweep
+);
 criterion_main!(benches);

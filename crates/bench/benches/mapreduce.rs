@@ -55,7 +55,12 @@ fn bench_worker_scaling(c: &mut Criterion) {
             &config,
             |b, config| {
                 b.iter(|| {
-                    black_box(mr_densest_undirected(config, list.num_nodes, splits.clone(), 1.0))
+                    black_box(mr_densest_undirected(
+                        config,
+                        list.num_nodes,
+                        splits.clone(),
+                        1.0,
+                    ))
                 });
             },
         );
@@ -90,5 +95,10 @@ fn bench_combiner(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_mr_driver, bench_worker_scaling, bench_combiner);
+criterion_group!(
+    benches,
+    bench_mr_driver,
+    bench_worker_scaling,
+    bench_combiner
+);
 criterion_main!(benches);

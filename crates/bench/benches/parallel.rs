@@ -1,0 +1,82 @@
+//! Benches for the parallel peeling kernel — serial decremental CSR vs
+//! the chunked multi-threaded CSR backend, across ε and thread counts.
+//!
+//! Speedups are hardware-dependent: on a single-core host the parallel
+//! backend only adds scoped-thread coordination overhead. The bench
+//! exists to make that trade-off measurable, and to keep the parity
+//! property (parallel output == serial output) exercised under timing
+//! pressure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use dsg_core::directed::{approx_densest_directed_csr, approx_densest_directed_csr_parallel};
+use dsg_core::undirected::{approx_densest_csr, approx_densest_csr_parallel};
+use dsg_datasets::{flickr_standin, livejournal_standin, Scale};
+use dsg_graph::{CsrDirected, CsrUndirected};
+
+/// Algorithm 1: serial vs parallel across the thread grid at ε = 0.5.
+fn bench_undirected_threads(c: &mut Criterion) {
+    let csr = CsrUndirected::from_edge_list(&flickr_standin(Scale::Tiny));
+    let mut group = c.benchmark_group("parallel_undirected_threads");
+    group.bench_function("serial", |b| {
+        b.iter(|| black_box(approx_densest_csr(&csr, 0.5)));
+    });
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| black_box(approx_densest_csr_parallel(&csr, 0.5, threads)));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Algorithm 1: the ε grid at a fixed thread count (more passes at small
+/// ε means more chunked recomputation rounds).
+fn bench_undirected_epsilons(c: &mut Criterion) {
+    let csr = CsrUndirected::from_edge_list(&flickr_standin(Scale::Tiny));
+    let mut group = c.benchmark_group("parallel_undirected_epsilon");
+    for eps in [0.25, 0.5, 1.0, 2.0] {
+        group.bench_with_input(BenchmarkId::new("serial", eps), &eps, |b, &eps| {
+            b.iter(|| black_box(approx_densest_csr(&csr, eps)));
+        });
+        group.bench_with_input(BenchmarkId::new("threads4", eps), &eps, |b, &eps| {
+            b.iter(|| black_box(approx_densest_csr_parallel(&csr, eps, 4)));
+        });
+    }
+    group.finish();
+}
+
+/// Algorithm 3 at c = 1: serial vs parallel frontier application.
+fn bench_directed_threads(c: &mut Criterion) {
+    let csr = CsrDirected::from_edge_list(&livejournal_standin(Scale::Tiny));
+    let mut group = c.benchmark_group("parallel_directed_threads");
+    group.bench_function("serial", |b| {
+        b.iter(|| black_box(approx_densest_directed_csr(&csr, 1.0, 0.5)));
+    });
+    for threads in [2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    black_box(approx_densest_directed_csr_parallel(
+                        &csr, 1.0, 0.5, threads,
+                    ))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_undirected_threads,
+    bench_undirected_epsilons,
+    bench_directed_threads
+);
+criterion_main!(benches);

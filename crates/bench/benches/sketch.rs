@@ -29,7 +29,11 @@ fn bench_sketched_run(c: &mut Criterion) {
             |b, &bw| {
                 b.iter(|| {
                     let mut s = MemoryStream::new(list.clone());
-                    black_box(approx_densest_sketched(&mut s, 0.5, SketchParams::paper(bw, 1)))
+                    black_box(approx_densest_sketched(
+                        &mut s,
+                        0.5,
+                        SketchParams::paper(bw, 1),
+                    ))
                 });
             },
         );

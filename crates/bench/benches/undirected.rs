@@ -56,5 +56,10 @@ fn bench_vs_charikar(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_epsilon_sweep, bench_stream_vs_csr, bench_vs_charikar);
+criterion_group!(
+    benches,
+    bench_epsilon_sweep,
+    bench_stream_vs_csr,
+    bench_vs_charikar
+);
 criterion_main!(benches);

@@ -16,6 +16,7 @@
 //!   fig66    directed density/passes vs c (twitter)
 //!   table4   sketching quality and memory
 //!   fig67    MapReduce time per pass
+//!   scaling  serial vs parallel peeling-kernel pass time
 //!   lemma5   pass lower bound (union of regular graphs)
 //!   lemma6   pass lower bound (weighted power law)
 //!   all      everything above
@@ -75,7 +76,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: repro <table1|table2|fig61|fig62|fig63|table3|fig64|fig65|fig66|table4|fig67|lemma5|lemma6|all> \
+    "usage: repro <table1|table2|fig61|fig62|fig63|table3|fig64|fig65|fig66|table4|fig67|scaling|lemma5|lemma6|all> \
      [--scale tiny|small|medium|large] [--csv] [--data-dir <path>] [--out <file>]"
         .to_string()
 }
@@ -107,6 +108,7 @@ fn run_experiment(name: &str, args: &Args) -> Result<Vec<Table>, String> {
             vec![exp::table4::to_table(&exp::table4::run(s))]
         }
         "fig67" => vec![exp::fig67::to_table(&exp::fig67::run(scale))],
+        "scaling" => vec![exp::scaling::to_table(&exp::scaling::run(scale))],
         "lemma5" => vec![exp::lemmas::to_table(
             "Lemma 5: passes on the union-of-regular-graphs instance (ε=0.5)",
             "k",
@@ -119,8 +121,8 @@ fn run_experiment(name: &str, args: &Args) -> Result<Vec<Table>, String> {
         )],
         "all" => {
             let order = [
-                "table1", "table2", "fig61", "fig62", "fig63", "table3", "fig64", "fig65",
-                "fig66", "table4", "fig67", "lemma5", "lemma6",
+                "table1", "table2", "fig61", "fig62", "fig63", "table3", "fig64", "fig65", "fig66",
+                "table4", "fig67", "scaling", "lemma5", "lemma6",
             ];
             let mut all = Vec::new();
             for e in order {

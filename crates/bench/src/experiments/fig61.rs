@@ -41,7 +41,11 @@ pub fn run(scale: Scale) -> Vec<Point> {
                 graph: name,
                 epsilon: eps,
                 density: r.best_density,
-                relative_density: if base > 0.0 { r.best_density / base } else { 0.0 },
+                relative_density: if base > 0.0 {
+                    r.best_density / base
+                } else {
+                    0.0
+                },
                 passes: r.passes,
             });
         }

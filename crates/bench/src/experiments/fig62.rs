@@ -73,11 +73,7 @@ mod tests {
         let traces = run(Scale::Tiny);
         assert_eq!(traces.len(), 6);
         for tr in &traces {
-            let max = tr
-                .relative_density
-                .iter()
-                .cloned()
-                .fold(0.0f64, f64::max);
+            let max = tr.relative_density.iter().cloned().fold(0.0f64, f64::max);
             assert!(
                 (max - 1.0).abs() < 1e-9,
                 "{} ε={}: max relative density {max}",

@@ -41,8 +41,7 @@ pub fn run(scale: Scale) -> Fig66 {
     let list = twitter_standin(scale);
     let csr = CsrDirected::from_edge_list(&list);
     let sweep = sweep_c_csr(&csr, 2.0, 1.0);
-    let pair_ratio =
-        sweep.best.best_s.len() as f64 / sweep.best.best_t.len().max(1) as f64;
+    let pair_ratio = sweep.best.best_s.len() as f64 / sweep.best.best_t.len().max(1) as f64;
     Fig66 {
         points: sweep
             .per_c

@@ -32,8 +32,7 @@ pub fn run(scale: Scale) -> Vec<Series> {
     let list = im_standin(scale);
     let splits = 16usize;
     let chunk = (list.edges.len() / splits).max(1);
-    let edge_splits: Vec<Vec<(u32, u32)>> =
-        list.edges.chunks(chunk).map(|c| c.to_vec()).collect();
+    let edge_splits: Vec<Vec<(u32, u32)>> = list.edges.chunks(chunk).map(|c| c.to_vec()).collect();
     let config = MapReduceConfig::default();
     EPSILONS
         .iter()

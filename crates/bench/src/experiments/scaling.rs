@@ -1,0 +1,158 @@
+//! **Scaling ablation** — serial vs parallel peeling-kernel pass time
+//! across the ε grid and thread counts.
+//!
+//! The `(1+ε)`-threshold pass is a bulk, order-independent operation —
+//! the property that maps Algorithm 1 to MapReduce in §5.2 maps it
+//! equally well to shared-memory threads. This experiment measures the
+//! in-memory CSR backends of the unified kernel: the serial decremental
+//! store against the chunked parallel store at several thread counts,
+//! for both the undirected (Algorithm 1, flickr stand-in) and directed
+//! (Algorithm 3 at `c = 1`, livejournal stand-in) kernels.
+//!
+//! The parallel backend is deterministic, so every row also verifies
+//! parity: the parallel run's pass count, best density, and best set must
+//! match the serial run exactly. Speedups depend on the host: on a
+//! single-core machine the parallel backend only adds coordination
+//! overhead, which this table makes visible rather than hiding.
+
+use std::time::Instant;
+
+use dsg_core::directed::{approx_densest_directed_csr, approx_densest_directed_csr_parallel};
+use dsg_core::undirected::{approx_densest_csr, approx_densest_csr_parallel};
+use dsg_datasets::{flickr_standin, livejournal_standin, Scale};
+use dsg_graph::{CsrDirected, CsrUndirected};
+
+use crate::table::{fmt_f, Table};
+
+/// The ε grid of the ablation (a subset of Figure 6.1's grid).
+pub const EPSILONS: [f64; 4] = [0.25, 0.5, 1.0, 2.0];
+
+/// Thread counts measured against the serial baseline.
+pub const THREADS: [usize; 3] = [2, 4, 8];
+
+/// One (kernel, ε, threads) measurement.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Which kernel ran (`"undirected"` or `"directed"`).
+    pub kernel: &'static str,
+    /// ε value.
+    pub epsilon: f64,
+    /// Worker threads of the parallel run.
+    pub threads: usize,
+    /// Number of passes (identical for both backends).
+    pub passes: u32,
+    /// Serial wall-clock time in milliseconds.
+    pub serial_ms: f64,
+    /// Parallel wall-clock time in milliseconds.
+    pub parallel_ms: f64,
+    /// `serial_ms / parallel_ms` (> 1 means the parallel backend wins).
+    pub speedup: f64,
+    /// Whether the parallel run matched the serial run exactly.
+    pub parity: bool,
+}
+
+fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t = Instant::now();
+    let out = f();
+    (out, t.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Runs the ablation at the given scale.
+pub fn run(scale: Scale) -> Vec<Row> {
+    let mut rows = Vec::new();
+
+    let und = CsrUndirected::from_edge_list(&flickr_standin(scale));
+    for &eps in &EPSILONS {
+        let (serial, serial_ms) = time_ms(|| approx_densest_csr(&und, eps));
+        for &threads in &THREADS {
+            let (par, parallel_ms) = time_ms(|| approx_densest_csr_parallel(&und, eps, threads));
+            rows.push(Row {
+                kernel: "undirected",
+                epsilon: eps,
+                threads,
+                passes: serial.passes,
+                serial_ms,
+                parallel_ms,
+                speedup: serial_ms / parallel_ms.max(1e-9),
+                parity: serial.passes == par.passes
+                    && serial.best_density.to_bits() == par.best_density.to_bits()
+                    && serial.best_set == par.best_set,
+            });
+        }
+    }
+
+    let dir = CsrDirected::from_edge_list(&livejournal_standin(scale));
+    for &eps in &EPSILONS {
+        let (serial, serial_ms) = time_ms(|| approx_densest_directed_csr(&dir, 1.0, eps));
+        for &threads in &THREADS {
+            let (par, parallel_ms) =
+                time_ms(|| approx_densest_directed_csr_parallel(&dir, 1.0, eps, threads));
+            rows.push(Row {
+                kernel: "directed",
+                epsilon: eps,
+                threads,
+                passes: serial.passes,
+                serial_ms,
+                parallel_ms,
+                speedup: serial_ms / parallel_ms.max(1e-9),
+                parity: serial.passes == par.passes
+                    && serial.best_density.to_bits() == par.best_density.to_bits()
+                    && serial.best_s == par.best_s
+                    && serial.best_t == par.best_t,
+            });
+        }
+    }
+    rows
+}
+
+/// Renders the rows as a table.
+pub fn to_table(rows: &[Row]) -> Table {
+    let mut t = Table::new(
+        "Scaling ablation: serial vs parallel kernel pass time",
+        &[
+            "kernel",
+            "ε",
+            "threads",
+            "passes",
+            "serial ms",
+            "parallel ms",
+            "speedup",
+            "parity",
+        ],
+    );
+    for r in rows {
+        t.push_row(vec![
+            r.kernel.to_string(),
+            fmt_f(r.epsilon, 2),
+            r.threads.to_string(),
+            r.passes.to_string(),
+            fmt_f(r.serial_ms, 2),
+            fmt_f(r.parallel_ms, 2),
+            fmt_f(r.speedup, 2),
+            if r.parity { "ok" } else { "MISMATCH" }.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_cover_grid_and_hold_parity() {
+        let rows = run(Scale::Tiny);
+        assert_eq!(rows.len(), 2 * EPSILONS.len() * THREADS.len());
+        for r in &rows {
+            assert!(
+                r.parity,
+                "{} ε={} t={}: parallel diverged",
+                r.kernel, r.epsilon, r.threads
+            );
+            assert!(r.passes > 0);
+            assert!(r.serial_ms >= 0.0 && r.parallel_ms >= 0.0);
+        }
+        let t = to_table(&rows);
+        assert_eq!(t.rows.len(), rows.len());
+    }
+}

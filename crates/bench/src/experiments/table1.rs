@@ -29,7 +29,12 @@ pub struct Row {
 
 /// Runs the experiment at the given scale.
 pub fn run(scale: Scale) -> Vec<Row> {
-    let data: [(&'static str, dsg_graph::EdgeList, &'static str, &'static str); 4] = [
+    let data: [(
+        &'static str,
+        dsg_graph::EdgeList,
+        &'static str,
+        &'static str,
+    ); 4] = [
         ("flickr", flickr_standin(scale), "976K", "7.6M"),
         ("im", im_standin(scale), "645M", "6.1B"),
         ("livejournal", livejournal_standin(scale), "4.84M", "68.9M"),
@@ -55,7 +60,15 @@ pub fn run(scale: Scale) -> Vec<Row> {
 pub fn to_table(rows: &[Row]) -> Table {
     let mut t = Table::new(
         "Table 1: graphs used in the experiments (stand-in vs paper)",
-        &["G", "type", "|V|", "|E|", "mean deg", "paper |V|", "paper |E|"],
+        &[
+            "G",
+            "type",
+            "|V|",
+            "|E|",
+            "mean deg",
+            "paper |V|",
+            "paper |E|",
+        ],
     );
     for r in rows {
         t.push_row(vec![

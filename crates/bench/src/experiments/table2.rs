@@ -78,7 +78,15 @@ pub fn to_table(rows: &[Row]) -> Table {
     let mut t = Table::new(
         "Table 2: empirical approximation ρ*/ρ̃ (paper worst case: 2(1+ε))",
         &[
-            "G", "|V|", "|E|", "ρ*(G)", "ε=0.001", "ε=0.1", "ε=1", "data", "paper ρ*",
+            "G",
+            "|V|",
+            "|E|",
+            "ρ*(G)",
+            "ε=0.001",
+            "ε=0.1",
+            "ε=1",
+            "data",
+            "paper ρ*",
         ],
     );
     for r in rows {

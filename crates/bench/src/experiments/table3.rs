@@ -96,8 +96,16 @@ mod tests {
             assert!(d(2.0) > 0.0);
         }
         // Coarser δ costs fewer total passes.
-        let p2: u64 = cells.iter().filter(|c| c.delta == 2.0).map(|c| c.total_passes).sum();
-        let p100: u64 = cells.iter().filter(|c| c.delta == 100.0).map(|c| c.total_passes).sum();
+        let p2: u64 = cells
+            .iter()
+            .filter(|c| c.delta == 2.0)
+            .map(|c| c.total_passes)
+            .sum();
+        let p100: u64 = cells
+            .iter()
+            .filter(|c| c.delta == 100.0)
+            .map(|c| c.total_passes)
+            .sum();
         assert!(p100 < p2);
         let t = to_table(&cells);
         assert_eq!(t.rows.len(), 3);

@@ -60,7 +60,11 @@ pub fn run(scale: Scale) -> Table4 {
         let exact = approx_densest(&mut stream, eps);
         for (i, &b) in bs.iter().enumerate() {
             let mut stream = MemoryStream::new(list.clone());
-            let sk = approx_densest_sketched(&mut stream, eps, SketchParams::paper(b, 0x5EED + i as u64));
+            let sk = approx_densest_sketched(
+                &mut stream,
+                eps,
+                SketchParams::paper(b, 0x5EED + i as u64),
+            );
             memory[i] = sk.memory_ratio();
             cells.push(Cell {
                 epsilon: eps,

@@ -6,11 +6,18 @@
 //! the streaming model this would need `Θ(n)` passes — the motivation for
 //! the paper — but in memory it runs in `O(m + n)` with a bucket queue
 //! (unweighted) or `O((m + n) log n)` with a lazy binary heap (weighted).
-
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+//!
+//! In kernel terms this is the limit case of the peeling family: the
+//! [`MinNodePolicy`](crate::kernel::MinNodePolicy) (one node per pass)
+//! over a priority-structure
+//! [`DegreeStore`](crate::kernel::DegreeStore) —
+//! [`BucketQueueStore`](crate::kernel::BucketQueueStore) or
+//! [`LazyHeapStore`](crate::kernel::LazyHeapStore) — whose
+//! `extract_min` keeps the whole peel at bucket-queue/heap cost.
 
 use dsg_graph::{CsrUndirected, NodeSet};
+
+use crate::kernel::{BucketQueueStore, LazyHeapStore, MinNodePolicy, PeelingKernel};
 
 /// Result of the greedy peeling.
 #[derive(Clone, Debug)]
@@ -25,8 +32,8 @@ pub struct CharikarResult {
 }
 
 /// Runs Charikar's greedy peeling. Dispatches to the O(m + n) bucket-queue
-/// implementation for unweighted graphs and a lazy-heap implementation for
-/// weighted ones.
+/// backend for unweighted graphs and a lazy-heap backend for weighted
+/// ones.
 ///
 /// ```
 /// use dsg_graph::{gen, CsrUndirected};
@@ -38,180 +45,21 @@ pub struct CharikarResult {
 /// assert_eq!(r.peel_order.len(), 6);
 /// ```
 pub fn charikar_peel(g: &CsrUndirected) -> CharikarResult {
-    if g.is_weighted() {
-        charikar_weighted(g)
+    // One node leaves per pass, so the per-pass trace is O(n) records of
+    // no analytical value — leave it off to keep the peel O(m + n).
+    let kernel = PeelingKernel::without_trace();
+    let mut policy = MinNodePolicy;
+    let run = if g.is_weighted() {
+        let mut store = LazyHeapStore::new(g);
+        kernel.run(&mut store, &mut policy)
     } else {
-        charikar_unweighted(g)
-    }
-}
-
-/// Bucket-queue peeling for unweighted graphs, O(m + n).
-fn charikar_unweighted(g: &CsrUndirected) -> CharikarResult {
-    let n = g.num_nodes();
-    if n == 0 {
-        return CharikarResult {
-            best_set: NodeSet::empty(0),
-            best_density: 0.0,
-            peel_order: Vec::new(),
-        };
-    }
-    // Degrees excluding self-loops (they do not contribute to induced
-    // simple-graph density).
-    let mut deg: Vec<usize> = (0..n as u32)
-        .map(|u| g.neighbors(u).iter().filter(|&&v| v != u).count())
-        .collect();
-    let max_deg = deg.iter().copied().max().unwrap_or(0);
-
-    // buckets[d] = nodes with current degree d (lazily cleaned).
-    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); max_deg + 1];
-    for (u, &d) in deg.iter().enumerate() {
-        buckets[d].push(u as u32);
-    }
-    let mut alive = vec![true; n];
-    let mut edges: usize = (deg.iter().sum::<usize>()) / 2;
-    let mut remaining = n;
-
-    let mut peel_order = Vec::with_capacity(n);
-    let mut best_density = edges as f64 / n as f64;
-    let mut best_prefix = 0usize; // number of peeled nodes at the best point
-
-    let mut cursor = 0usize; // lowest possibly-non-empty bucket
-    while remaining > 0 {
-        // Find the minimum-degree live node (lazy deletion: entries whose
-        // recorded degree no longer matches are stale).
-        let u = loop {
-            while cursor < buckets.len() && buckets[cursor].is_empty() {
-                cursor += 1;
-            }
-            debug_assert!(cursor < buckets.len(), "no live node found");
-            let cand = buckets[cursor].pop().expect("bucket non-empty");
-            if alive[cand as usize] && deg[cand as usize] == cursor {
-                break cand;
-            }
-        };
-        // Peel u.
-        alive[u as usize] = false;
-        edges -= deg[u as usize];
-        remaining -= 1;
-        peel_order.push(u);
-        for &v in g.neighbors(u) {
-            if v != u && alive[v as usize] {
-                let d = deg[v as usize] - 1;
-                deg[v as usize] = d;
-                buckets[d].push(v);
-                // A neighbor's degree dropped below the cursor.
-                if d < cursor {
-                    cursor = d;
-                }
-            }
-        }
-        if remaining > 0 {
-            let density = edges as f64 / remaining as f64;
-            if density > best_density {
-                best_density = density;
-                best_prefix = peel_order.len();
-            }
-        }
-    }
-
-    let mut best_set = NodeSet::full(n);
-    for &u in &peel_order[..best_prefix] {
-        best_set.remove(u);
-    }
+        let mut store = BucketQueueStore::new(g);
+        kernel.run(&mut store, &mut policy)
+    };
     CharikarResult {
-        best_set,
-        best_density,
-        peel_order,
-    }
-}
-
-/// Lazy-heap peeling for weighted graphs, O((m + n) log n).
-fn charikar_weighted(g: &CsrUndirected) -> CharikarResult {
-    let n = g.num_nodes();
-    if n == 0 {
-        return CharikarResult {
-            best_set: NodeSet::empty(0),
-            best_density: 0.0,
-            peel_order: Vec::new(),
-        };
-    }
-    let mut deg: Vec<f64> = vec![0.0; n];
-    let mut total_w = 0.0f64;
-    for u in 0..n as u32 {
-        for (v, w) in g.neighbors_weighted(u) {
-            if v != u {
-                deg[u as usize] += w;
-                total_w += w;
-            }
-        }
-    }
-    total_w /= 2.0;
-
-    // Min-heap of (degree, version, node); entries whose version is stale
-    // (the node's degree changed since the entry was pushed) are skipped.
-    let mut version = vec![0u32; n];
-    let mut heap: BinaryHeap<Reverse<(OrderedF64, u32, u32)>> = (0..n as u32)
-        .map(|u| Reverse((OrderedF64(deg[u as usize]), 0, u)))
-        .collect();
-    let mut alive = vec![true; n];
-    let mut remaining = n;
-    let mut peel_order = Vec::with_capacity(n);
-    let mut best_density = total_w / n as f64;
-    let mut best_prefix = 0usize;
-
-    while remaining > 0 {
-        let u = loop {
-            let Reverse((_, ver, cand)) = heap.pop().expect("heap non-empty");
-            if alive[cand as usize] && ver == version[cand as usize] {
-                break cand;
-            }
-        };
-        alive[u as usize] = false;
-        total_w -= deg[u as usize];
-        remaining -= 1;
-        peel_order.push(u);
-        for (v, w) in g.neighbors_weighted(u) {
-            if v != u && alive[v as usize] {
-                deg[v as usize] -= w;
-                version[v as usize] += 1;
-                heap.push(Reverse((OrderedF64(deg[v as usize]), version[v as usize], v)));
-            }
-        }
-        if remaining > 0 {
-            let density = total_w / remaining as f64;
-            if density > best_density {
-                best_density = density;
-                best_prefix = peel_order.len();
-            }
-        }
-    }
-
-    let mut best_set = NodeSet::full(n);
-    for &u in &peel_order[..best_prefix] {
-        best_set.remove(u);
-    }
-    CharikarResult {
-        best_set,
-        best_density,
-        peel_order,
-    }
-}
-
-/// Total-order wrapper for f64 heap keys (degrees are never NaN).
-#[derive(Clone, Copy, PartialEq)]
-struct OrderedF64(f64);
-
-impl Eq for OrderedF64 {}
-
-impl PartialOrd for OrderedF64 {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for OrderedF64 {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).expect("degree keys must not be NaN")
+        best_set: run.best_sides.into_iter().next().expect("one side"),
+        best_density: run.best_density,
+        peel_order: run.removal_log.iter().map(|&(_, u)| u).collect(),
     }
 }
 
@@ -256,7 +104,10 @@ mod tests {
                 "seed {seed}: greedy {} vs optimum {opt}",
                 r.best_density
             );
-            assert!(r.best_density <= opt + 1e-9, "greedy can never beat optimum");
+            assert!(
+                r.best_density <= opt + 1e-9,
+                "greedy can never beat optimum"
+            );
         }
     }
 

@@ -180,7 +180,10 @@ mod tests {
                 .iter()
                 .filter(|&&v| v != u && core.contains(v))
                 .count();
-            assert!(induced >= k as usize, "node {u} has induced degree {induced} < {k}");
+            assert!(
+                induced >= k as usize,
+                "node {u} has induced degree {induced} < {k}"
+            );
         }
     }
 

@@ -13,10 +13,21 @@
 //! In practice `c` is swept over powers of a resolution `δ > 1`
 //! ([`sweep_c`]); the paper notes this costs at most an extra factor `δ`
 //! in the approximation.
+//!
+//! All variants run through the shared [peeling kernel](crate::kernel) as
+//! two-sided states: the
+//! [`DirectedSizesPolicy`](crate::kernel::DirectedSizesPolicy) (or the
+//! naive [`DirectedNaivePolicy`](crate::kernel::DirectedNaivePolicy)
+//! ablation) over a streaming, decremental-CSR, or parallel-CSR
+//! [`DegreeStore`](crate::kernel::DegreeStore).
 
 use dsg_graph::stream::EdgeStream;
-use dsg_graph::{density, NodeSet};
+use dsg_graph::NodeSet;
 
+use crate::kernel::{
+    CsrDirectedStore, DirectedNaivePolicy, DirectedSizesPolicy, KernelRun,
+    ParallelCsrDirectedStore, PeelingKernel, StreamingDirectedStore,
+};
 use crate::result::DirectedPassStats;
 
 /// The outcome of one directed run at a fixed ratio `c`.
@@ -36,6 +47,33 @@ pub struct DirectedRun {
     pub trace: Vec<DirectedPassStats>,
 }
 
+impl DirectedRun {
+    fn from_kernel(run: KernelRun, c: f64) -> Self {
+        let trace = run
+            .trace
+            .iter()
+            .map(|r| DirectedPassStats {
+                pass: r.pass,
+                s_size: r.side_sizes[0],
+                t_size: r.side_sizes[1],
+                edges: r.total_weight as usize,
+                density: r.density,
+                removed_from_s: r.side == 0,
+                removed: r.removed,
+            })
+            .collect();
+        let mut sides = run.best_sides.into_iter();
+        DirectedRun {
+            best_s: sides.next().expect("side S"),
+            best_t: sides.next().expect("side T"),
+            best_density: run.best_density,
+            passes: run.passes,
+            c,
+            trace,
+        }
+    }
+}
+
 /// Runs Algorithm 3 at a fixed ratio `c` over a directed edge stream
 /// (`(u, v, w)` is the arc `u -> v`; `w` generalizes edge multiplicity and
 /// is 1 for the paper's unweighted setting).
@@ -44,99 +82,9 @@ pub fn approx_densest_directed<S: EdgeStream + ?Sized>(
     c: f64,
     epsilon: f64,
 ) -> DirectedRun {
-    assert!(c > 0.0, "ratio c must be positive");
-    assert!(epsilon >= 0.0, "epsilon must be non-negative");
-    let n = stream.num_nodes() as usize;
-    let mut s_set = NodeSet::full(n);
-    let mut t_set = NodeSet::full(n);
-    let mut out_deg = vec![0.0f64; n];
-    let mut in_deg = vec![0.0f64; n];
-
-    let mut best_s = s_set.clone();
-    let mut best_t = t_set.clone();
-    let mut best_density = 0.0f64;
-    let mut trace = Vec::new();
-    let mut pass = 0u32;
-    let mut removal_buf: Vec<u32> = Vec::new();
-
-    while !s_set.is_empty() && !t_set.is_empty() {
-        pass += 1;
-        out_deg.fill(0.0);
-        in_deg.fill(0.0);
-        let mut edges = 0.0f64;
-        {
-            let (s_ref, t_ref) = (&s_set, &t_set);
-            let (out_ref, in_ref, e_ref) = (&mut out_deg, &mut in_deg, &mut edges);
-            stream.for_each_edge(&mut |u, v, w| {
-                if s_ref.contains(u) && t_ref.contains(v) {
-                    out_ref[u as usize] += w;
-                    in_ref[v as usize] += w;
-                    *e_ref += w;
-                }
-            });
-        }
-        let rho = density::directed(edges, s_set.len(), t_set.len());
-        if rho > best_density || pass == 1 {
-            best_density = rho;
-            best_s = s_set.clone();
-            best_t = t_set.clone();
-        }
-
-        let from_s = s_set.len() as f64 / t_set.len() as f64 >= c;
-        removal_buf.clear();
-        if from_s {
-            let threshold = density::directed_threshold(edges, s_set.len(), epsilon);
-            for u in s_set.iter() {
-                if out_deg[u as usize] <= threshold {
-                    removal_buf.push(u);
-                }
-            }
-            trace.push(DirectedPassStats {
-                pass,
-                s_size: s_set.len(),
-                t_size: t_set.len(),
-                edges: edges as usize,
-                density: rho,
-                removed_from_s: true,
-                removed: removal_buf.len(),
-            });
-            for &u in &removal_buf {
-                s_set.remove(u);
-            }
-        } else {
-            let threshold = density::directed_threshold(edges, t_set.len(), epsilon);
-            for v in t_set.iter() {
-                if in_deg[v as usize] <= threshold {
-                    removal_buf.push(v);
-                }
-            }
-            trace.push(DirectedPassStats {
-                pass,
-                s_size: s_set.len(),
-                t_size: t_set.len(),
-                edges: edges as usize,
-                density: rho,
-                removed_from_s: false,
-                removed: removal_buf.len(),
-            });
-            for &v in &removal_buf {
-                t_set.remove(v);
-            }
-        }
-        debug_assert!(
-            !removal_buf.is_empty(),
-            "the average-degree argument guarantees progress"
-        );
-    }
-
-    DirectedRun {
-        best_s,
-        best_t,
-        best_density,
-        passes: pass,
-        c,
-        trace,
-    }
+    let mut policy = DirectedSizesPolicy::new(c, epsilon);
+    let mut store = StreamingDirectedStore::new(stream);
+    DirectedRun::from_kernel(PeelingKernel::new().run(&mut store, &mut policy), c)
 }
 
 /// The *naive* side-selection variant that §4.3 describes and rejects:
@@ -153,103 +101,9 @@ pub fn approx_densest_directed_naive<S: EdgeStream + ?Sized>(
     c: f64,
     epsilon: f64,
 ) -> DirectedRun {
-    assert!(c > 0.0, "ratio c must be positive");
-    assert!(epsilon >= 0.0, "epsilon must be non-negative");
-    let n = stream.num_nodes() as usize;
-    let mut s_set = NodeSet::full(n);
-    let mut t_set = NodeSet::full(n);
-    let mut out_deg = vec![0.0f64; n];
-    let mut in_deg = vec![0.0f64; n];
-
-    let mut best_s = s_set.clone();
-    let mut best_t = t_set.clone();
-    let mut best_density = 0.0f64;
-    let mut trace = Vec::new();
-    let mut pass = 0u32;
-
-    while !s_set.is_empty() && !t_set.is_empty() {
-        pass += 1;
-        out_deg.fill(0.0);
-        in_deg.fill(0.0);
-        let mut edges = 0.0f64;
-        {
-            let (s_ref, t_ref) = (&s_set, &t_set);
-            let (out_ref, in_ref, e_ref) = (&mut out_deg, &mut in_deg, &mut edges);
-            stream.for_each_edge(&mut |u, v, w| {
-                if s_ref.contains(u) && t_ref.contains(v) {
-                    out_ref[u as usize] += w;
-                    in_ref[v as usize] += w;
-                    *e_ref += w;
-                }
-            });
-        }
-        let rho = density::directed(edges, s_set.len(), t_set.len());
-        if rho > best_density || pass == 1 {
-            best_density = rho;
-            best_s = s_set.clone();
-            best_t = t_set.clone();
-        }
-
-        // Both candidate sets — the cost the size-based rule avoids.
-        let s_threshold = density::directed_threshold(edges, s_set.len(), epsilon);
-        let t_threshold = density::directed_threshold(edges, t_set.len(), epsilon);
-        let a_set: Vec<u32> = s_set
-            .iter()
-            .filter(|&u| out_deg[u as usize] <= s_threshold)
-            .collect();
-        let b_set: Vec<u32> = t_set
-            .iter()
-            .filter(|&v| in_deg[v as usize] <= t_threshold)
-            .collect();
-        let max_out_a = a_set
-            .iter()
-            .map(|&u| out_deg[u as usize])
-            .fold(0.0f64, f64::max);
-        let max_in_b = b_set
-            .iter()
-            .map(|&v| in_deg[v as usize])
-            .fold(0.0f64, f64::max);
-
-        // E(S, j*) / E(i*, T) ≥ c -> remove A(S); cross-multiplied to
-        // avoid dividing by a zero max out-degree.
-        let remove_a = max_in_b >= c * max_out_a;
-        if remove_a {
-            trace.push(DirectedPassStats {
-                pass,
-                s_size: s_set.len(),
-                t_size: t_set.len(),
-                edges: edges as usize,
-                density: rho,
-                removed_from_s: true,
-                removed: a_set.len(),
-            });
-            for &u in &a_set {
-                s_set.remove(u);
-            }
-        } else {
-            trace.push(DirectedPassStats {
-                pass,
-                s_size: s_set.len(),
-                t_size: t_set.len(),
-                edges: edges as usize,
-                density: rho,
-                removed_from_s: false,
-                removed: b_set.len(),
-            });
-            for &v in &b_set {
-                t_set.remove(v);
-            }
-        }
-    }
-
-    DirectedRun {
-        best_s,
-        best_t,
-        best_density,
-        passes: pass,
-        c,
-        trace,
-    }
+    let mut policy = DirectedNaivePolicy::new(c, epsilon);
+    let mut store = StreamingDirectedStore::new(stream);
+    DirectedRun::from_kernel(PeelingKernel::new().run(&mut store, &mut policy), c)
 }
 
 /// In-memory Algorithm 3 over a directed CSR snapshot with decremental
@@ -261,109 +115,32 @@ pub fn approx_densest_directed_csr(
     c: f64,
     epsilon: f64,
 ) -> DirectedRun {
-    assert!(c > 0.0, "ratio c must be positive");
-    assert!(epsilon >= 0.0, "epsilon must be non-negative");
-    let n = g.num_nodes();
-    let mut s_set = NodeSet::full(n);
-    let mut t_set = NodeSet::full(n);
-    // Degrees w.r.t. the current opposite side.
-    let mut out_deg: Vec<f64> = (0..n as u32).map(|u| g.out_degree(u) as f64).collect();
-    let mut in_deg: Vec<f64> = (0..n as u32).map(|v| g.in_degree(v) as f64).collect();
-    let mut edges = g.num_edges() as f64;
+    let mut policy = DirectedSizesPolicy::new(c, epsilon);
+    let mut store = CsrDirectedStore::new(g);
+    DirectedRun::from_kernel(PeelingKernel::new().run(&mut store, &mut policy), c)
+}
 
-    let mut best_s = s_set.clone();
-    let mut best_t = t_set.clone();
-    let mut best_density = 0.0f64;
-    let mut trace = Vec::new();
-    let mut pass = 0u32;
-    let mut removal_buf: Vec<u32> = Vec::new();
-
-    while !s_set.is_empty() && !t_set.is_empty() {
-        pass += 1;
-        let rho = density::directed(edges, s_set.len(), t_set.len());
-        if rho > best_density || pass == 1 {
-            best_density = rho;
-            best_s = s_set.clone();
-            best_t = t_set.clone();
-        }
-
-        let from_s = s_set.len() as f64 / t_set.len() as f64 >= c;
-        removal_buf.clear();
-        if from_s {
-            let threshold = density::directed_threshold(edges, s_set.len(), epsilon);
-            for u in s_set.iter() {
-                if out_deg[u as usize] <= threshold {
-                    removal_buf.push(u);
-                }
-            }
-            trace.push(DirectedPassStats {
-                pass,
-                s_size: s_set.len(),
-                t_size: t_set.len(),
-                edges: edges as usize,
-                density: rho,
-                removed_from_s: true,
-                removed: removal_buf.len(),
-            });
-            for &u in &removal_buf {
-                s_set.remove(u);
-                for &v in g.out_neighbors(u) {
-                    if t_set.contains(v) {
-                        edges -= 1.0;
-                        in_deg[v as usize] -= 1.0;
-                    }
-                }
-                out_deg[u as usize] = 0.0;
-            }
-        } else {
-            let threshold = density::directed_threshold(edges, t_set.len(), epsilon);
-            for v in t_set.iter() {
-                if in_deg[v as usize] <= threshold {
-                    removal_buf.push(v);
-                }
-            }
-            trace.push(DirectedPassStats {
-                pass,
-                s_size: s_set.len(),
-                t_size: t_set.len(),
-                edges: edges as usize,
-                density: rho,
-                removed_from_s: false,
-                removed: removal_buf.len(),
-            });
-            for &v in &removal_buf {
-                t_set.remove(v);
-                for &u in g.in_neighbors(v) {
-                    if s_set.contains(u) {
-                        edges -= 1.0;
-                        out_deg[u as usize] -= 1.0;
-                    }
-                }
-                in_deg[v as usize] = 0.0;
-            }
-        }
-        debug_assert!(!removal_buf.is_empty(), "average-degree argument guarantees progress");
-    }
-
-    DirectedRun {
-        best_s,
-        best_t,
-        best_density,
-        passes: pass,
-        c,
-        trace,
-    }
+/// Multi-threaded in-memory Algorithm 3 with `threads` workers per pass.
+///
+/// Directed graphs are unweighted, so every degree counter is
+/// integer-valued and the parallel run is bit-identical to
+/// [`approx_densest_directed_csr`] at every thread count.
+pub fn approx_densest_directed_csr_parallel(
+    g: &dsg_graph::CsrDirected,
+    c: f64,
+    epsilon: f64,
+    threads: usize,
+) -> DirectedRun {
+    let mut policy = DirectedSizesPolicy::new(c, epsilon);
+    let mut store = ParallelCsrDirectedStore::new(g, threads);
+    DirectedRun::from_kernel(PeelingKernel::new().run(&mut store, &mut policy), c)
 }
 
 /// Two-level sweep (extension beyond the paper): a coarse δ grid followed
 /// by a fine re-sweep of the interval `[best_c/δ, best_c·δ]` at resolution
 /// `δ^(1/4)`. The paper bounds the grid cost at a factor δ; refining
 /// around the winner recovers most of that factor for 8 extra runs.
-pub fn sweep_c_refined_csr(
-    g: &dsg_graph::CsrDirected,
-    delta: f64,
-    epsilon: f64,
-) -> SweepResult {
+pub fn sweep_c_refined_csr(g: &dsg_graph::CsrDirected, delta: f64, epsilon: f64) -> SweepResult {
     let coarse = sweep_c_csr(g, delta, epsilon);
     let fine_step = delta.powf(0.25);
     let center = coarse.best.c;
@@ -386,27 +163,22 @@ pub fn sweep_c_refined_csr(
 
 /// CSR version of [`sweep_c`].
 pub fn sweep_c_csr(g: &dsg_graph::CsrDirected, delta: f64, epsilon: f64) -> SweepResult {
-    assert!(delta > 1.0, "resolution delta must exceed 1");
-    let n = (g.num_nodes().max(2)) as f64;
-    let levels = (n.ln() / delta.ln()).ceil() as i32;
-    let mut best: Option<DirectedRun> = None;
-    let mut per_c = Vec::with_capacity((2 * levels + 1) as usize);
-    for i in -levels..=levels {
-        let c = delta.powi(i);
-        let run = approx_densest_directed_csr(g, c, epsilon);
-        per_c.push((c, run.best_density, run.passes));
-        let replace = match &best {
-            None => true,
-            Some(b) => run.best_density > b.best_density,
-        };
-        if replace {
-            best = Some(run);
-        }
-    }
-    SweepResult {
-        best: best.expect("at least one ratio is always tried"),
-        per_c,
-    }
+    sweep_grid(g.num_nodes(), delta, |c| {
+        approx_densest_directed_csr(g, c, epsilon)
+    })
+}
+
+/// Multi-threaded CSR sweep: every per-`c` run uses the parallel backend.
+/// Bit-identical to [`sweep_c_csr`] at every thread count.
+pub fn sweep_c_csr_parallel(
+    g: &dsg_graph::CsrDirected,
+    delta: f64,
+    epsilon: f64,
+    threads: usize,
+) -> SweepResult {
+    sweep_grid(g.num_nodes(), delta, |c| {
+        approx_densest_directed_csr_parallel(g, c, epsilon, threads)
+    })
 }
 
 /// The outcome of a sweep over `c`.
@@ -419,18 +191,21 @@ pub struct SweepResult {
     pub per_c: Vec<(f64, f64, u32)>,
 }
 
-/// Sweeps `c` over powers of `delta` covering `[1/n, n]` and returns the
-/// best run (§4.3: "choose a resolution δ > 1 and try c at different
-/// powers of δ"; the approximation degrades by at most a factor `δ`).
-pub fn sweep_c<S: EdgeStream + ?Sized>(stream: &mut S, delta: f64, epsilon: f64) -> SweepResult {
+/// Shared δ-grid driver: tries `c = δ^i` for `i ∈ [-levels, levels]`
+/// covering `[1/n, n]` and keeps the densest run.
+fn sweep_grid(
+    num_nodes: usize,
+    delta: f64,
+    mut run_at: impl FnMut(f64) -> DirectedRun,
+) -> SweepResult {
     assert!(delta > 1.0, "resolution delta must exceed 1");
-    let n = stream.num_nodes().max(2) as f64;
+    let n = num_nodes.max(2) as f64;
     let levels = (n.ln() / delta.ln()).ceil() as i32;
     let mut best: Option<DirectedRun> = None;
     let mut per_c = Vec::with_capacity((2 * levels + 1) as usize);
     for i in -levels..=levels {
         let c = delta.powi(i);
-        let run = approx_densest_directed(stream, c, epsilon);
+        let run = run_at(c);
         per_c.push((c, run.best_density, run.passes));
         let replace = match &best {
             None => true,
@@ -444,6 +219,16 @@ pub fn sweep_c<S: EdgeStream + ?Sized>(stream: &mut S, delta: f64, epsilon: f64)
         best: best.expect("at least one ratio is always tried"),
         per_c,
     }
+}
+
+/// Sweeps `c` over powers of `delta` covering `[1/n, n]` and returns the
+/// best run (§4.3: "choose a resolution δ > 1 and try c at different
+/// powers of δ"; the approximation degrades by at most a factor `δ`).
+pub fn sweep_c<S: EdgeStream + ?Sized>(stream: &mut S, delta: f64, epsilon: f64) -> SweepResult {
+    let num_nodes = stream.num_nodes() as usize;
+    sweep_grid(num_nodes, delta, |c| {
+        approx_densest_directed(stream, c, epsilon)
+    })
 }
 
 #[cfg(test)]
@@ -563,7 +348,10 @@ mod tests {
         let r = run(&g, 1.0, 0.5);
         let from_s: usize = r.trace.iter().filter(|p| p.removed_from_s).count();
         let from_t = r.trace.len() - from_s;
-        assert!(from_s > 0 && from_t > 0, "both sides must shrink (S:{from_s} T:{from_t})");
+        assert!(
+            from_s > 0 && from_t > 0,
+            "both sides must shrink (S:{from_s} T:{from_t})"
+        );
     }
 
     #[test]
@@ -616,6 +404,26 @@ mod tests {
     }
 
     #[test]
+    fn parallel_csr_is_bit_identical() {
+        use dsg_graph::CsrDirected;
+        for seed in 0..3 {
+            let list = gen::directed_gnp(160, 0.03, seed);
+            let csr = CsrDirected::from_edge_list(&list);
+            for (c, eps) in [(1.0, 0.0), (0.5, 0.5), (4.0, 1.5)] {
+                let serial = approx_densest_directed_csr(&csr, c, eps);
+                for threads in [1, 2, 4, 6] {
+                    let par = approx_densest_directed_csr_parallel(&csr, c, eps, threads);
+                    assert_eq!(serial.passes, par.passes, "seed {seed} c {c} t {threads}");
+                    assert_eq!(serial.best_density.to_bits(), par.best_density.to_bits());
+                    assert_eq!(serial.best_s.to_vec(), par.best_s.to_vec());
+                    assert_eq!(serial.best_t.to_vec(), par.best_t.to_vec());
+                    assert_eq!(serial.trace, par.trace);
+                }
+            }
+        }
+    }
+
+    #[test]
     fn refined_sweep_never_worse_than_coarse() {
         use dsg_graph::CsrDirected;
         for seed in 0..4 {
@@ -645,6 +453,22 @@ mod tests {
             assert!((x.1 - y.1).abs() < 1e-9);
             assert_eq!(x.2, y.2);
         }
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_sweep() {
+        use dsg_graph::CsrDirected;
+        let list = gen::directed_gnp(90, 0.05, 4);
+        let csr = CsrDirected::from_edge_list(&list);
+        let a = sweep_c_csr(&csr, 2.0, 0.5);
+        let b = sweep_c_csr_parallel(&csr, 2.0, 0.5, 4);
+        assert_eq!(a.per_c.len(), b.per_c.len());
+        for (x, y) in a.per_c.iter().zip(&b.per_c) {
+            assert_eq!(x.0.to_bits(), y.0.to_bits());
+            assert_eq!(x.1.to_bits(), y.1.to_bits());
+            assert_eq!(x.2, y.2);
+        }
+        assert_eq!(a.best.best_s.to_vec(), b.best.best_s.to_vec());
     }
 
     #[test]

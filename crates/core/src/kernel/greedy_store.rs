@@ -1,0 +1,198 @@
+//! Priority-structure stores for one-node-per-pass (Charikar) peeling:
+//! a bucket queue for unweighted graphs (`O(m + n)` total) and a lazy
+//! binary heap for weighted ones (`O((m + n) log n)`).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use dsg_graph::CsrUndirected;
+
+use super::{DegreeStore, KernelState};
+
+/// Unweighted bucket-queue backend. [`DegreeStore::extract_min`] pops the
+/// minimum-degree live node with lazy deletion of stale entries.
+pub struct BucketQueueStore<'g> {
+    g: &'g CsrUndirected,
+    /// Integer degrees excluding self-loops (the bucket keys).
+    deg: Vec<usize>,
+    /// `buckets[d]` = nodes with current degree `d` (lazily cleaned).
+    buckets: Vec<Vec<u32>>,
+    /// Lowest possibly-non-empty bucket.
+    cursor: usize,
+}
+
+impl<'g> BucketQueueStore<'g> {
+    /// Builds the bucket queue; `g` must be unweighted.
+    pub fn new(g: &'g CsrUndirected) -> Self {
+        assert!(
+            !g.is_weighted(),
+            "BucketQueueStore requires an unweighted graph"
+        );
+        let n = g.num_nodes();
+        // Degrees excluding self-loops (they do not contribute to induced
+        // simple-graph density).
+        let deg: Vec<usize> = (0..n as u32)
+            .map(|u| g.neighbors(u).iter().filter(|&&v| v != u).count())
+            .collect();
+        let max_deg = deg.iter().copied().max().unwrap_or(0);
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); max_deg + 1];
+        for (u, &d) in deg.iter().enumerate() {
+            buckets[d].push(u as u32);
+        }
+        BucketQueueStore {
+            g,
+            deg,
+            buckets,
+            cursor: 0,
+        }
+    }
+}
+
+impl DegreeStore for BucketQueueStore<'_> {
+    fn init(&mut self) -> KernelState {
+        let n = self.g.num_nodes();
+        let mut state = KernelState::full(n, 1);
+        for u in 0..n {
+            state.sides[0].deg[u] = self.deg[u] as f64;
+        }
+        state.total_weight = (self.deg.iter().sum::<usize>() / 2) as f64;
+        state
+    }
+
+    fn begin_pass(&mut self, _state: &mut KernelState) {}
+
+    fn extract_min(&mut self, state: &KernelState, side: usize) -> Option<u32> {
+        let alive = &state.sides[side].alive;
+        if alive.is_empty() {
+            return None;
+        }
+        loop {
+            while self.cursor < self.buckets.len() && self.buckets[self.cursor].is_empty() {
+                self.cursor += 1;
+            }
+            debug_assert!(self.cursor < self.buckets.len(), "no live node found");
+            let cand = self.buckets[self.cursor].pop().expect("bucket non-empty");
+            if alive.contains(cand) && self.deg[cand as usize] == self.cursor {
+                return Some(cand);
+            }
+        }
+    }
+
+    fn apply_removals(&mut self, state: &mut KernelState, side: usize, removed: &[u32]) {
+        let side = &mut state.sides[side];
+        for &u in removed {
+            side.alive.remove(u);
+            state.total_weight -= self.deg[u as usize] as f64;
+            for &v in self.g.neighbors(u) {
+                if v != u && side.alive.contains(v) {
+                    let d = self.deg[v as usize] - 1;
+                    self.deg[v as usize] = d;
+                    side.deg[v as usize] = d as f64;
+                    self.buckets[d].push(v);
+                    // A neighbor's degree dropped below the cursor.
+                    if d < self.cursor {
+                        self.cursor = d;
+                    }
+                }
+            }
+            side.deg[u as usize] = 0.0;
+        }
+    }
+}
+
+/// Weighted lazy-heap backend: entries whose version is stale (the node's
+/// degree changed since the entry was pushed) are skipped on pop.
+pub struct LazyHeapStore<'g> {
+    g: &'g CsrUndirected,
+    version: Vec<u32>,
+    heap: BinaryHeap<Reverse<(OrderedF64, u32, u32)>>,
+}
+
+impl<'g> LazyHeapStore<'g> {
+    /// Builds the lazy heap over `g`'s self-loop-free weighted degrees.
+    pub fn new(g: &'g CsrUndirected) -> Self {
+        LazyHeapStore {
+            g,
+            version: vec![0u32; g.num_nodes()],
+            heap: BinaryHeap::new(),
+        }
+    }
+}
+
+impl DegreeStore for LazyHeapStore<'_> {
+    fn init(&mut self) -> KernelState {
+        let n = self.g.num_nodes();
+        let mut state = KernelState::full(n, 1);
+        let side = &mut state.sides[0];
+        let mut total_w = 0.0f64;
+        for u in 0..n as u32 {
+            for (v, w) in self.g.neighbors_weighted(u) {
+                if v != u {
+                    side.deg[u as usize] += w;
+                    total_w += w;
+                }
+            }
+        }
+        state.total_weight = total_w / 2.0;
+        self.version.fill(0);
+        self.heap = (0..n as u32)
+            .map(|u| Reverse((OrderedF64(side.deg[u as usize]), 0, u)))
+            .collect();
+        state
+    }
+
+    fn begin_pass(&mut self, _state: &mut KernelState) {}
+
+    fn extract_min(&mut self, state: &KernelState, side: usize) -> Option<u32> {
+        let alive = &state.sides[side].alive;
+        if alive.is_empty() {
+            return None;
+        }
+        loop {
+            let Reverse((_, ver, cand)) = self.heap.pop().expect("heap non-empty");
+            if alive.contains(cand) && ver == self.version[cand as usize] {
+                return Some(cand);
+            }
+        }
+    }
+
+    fn apply_removals(&mut self, state: &mut KernelState, side: usize, removed: &[u32]) {
+        let side = &mut state.sides[side];
+        for &u in removed {
+            side.alive.remove(u);
+            state.total_weight -= side.deg[u as usize];
+            for (v, w) in self.g.neighbors_weighted(u) {
+                if v != u && side.alive.contains(v) {
+                    side.deg[v as usize] -= w;
+                    self.version[v as usize] += 1;
+                    self.heap.push(Reverse((
+                        OrderedF64(side.deg[v as usize]),
+                        self.version[v as usize],
+                        v,
+                    )));
+                }
+            }
+            side.deg[u as usize] = 0.0;
+        }
+    }
+}
+
+/// Total-order wrapper for f64 heap keys (degrees are never NaN).
+#[derive(Clone, Copy, PartialEq)]
+struct OrderedF64(f64);
+
+impl Eq for OrderedF64 {}
+
+impl PartialOrd for OrderedF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderedF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .partial_cmp(&other.0)
+            .expect("degree keys must not be NaN")
+    }
+}

@@ -1,0 +1,362 @@
+//! Multi-threaded CSR degree stores.
+//!
+//! The `(1+ε)`-threshold pass is a bulk, order-independent operation —
+//! the property that maps Algorithm 1 to MapReduce in §5.2 maps it
+//! equally well to chunked shared-memory threads:
+//!
+//! * **Degree recomputation** (pull): nodes are partitioned into a fixed
+//!   chunk grid; each chunk's live degrees are recomputed by one thread
+//!   scanning its own adjacency, with a per-chunk partial sum of the
+//!   live edge weight. Per-node sums are sequential and the partials are
+//!   reduced in chunk order, so results do not depend on the thread
+//!   count.
+//! * **Removal-frontier application** (push): for unweighted graphs the
+//!   removed nodes are partitioned into chunks; each thread walks its
+//!   chunk's adjacency, decrementing neighbor degrees through
+//!   [`dsg_graph::atomic::AtomicF64`] counters and clearing frontier
+//!   liveness bits through an [`dsg_graph::atomic::AtomicSetView`].
+//!   Degree values are integer-valued `f64`s, for which atomic adds are
+//!   exact in any order — passes are bit-identical to the serial
+//!   decremental backend.
+//!
+//! Weighted graphs take the pull path every pass (float addition is not
+//! order-independent, so pushing concurrent updates would make results
+//! depend on scheduling); unweighted graphs pull once at the start and
+//! push thereafter, which keeps total work at `O(m + n·passes)` like the
+//! serial backend.
+//!
+//! Per-pass buffer reuse: chunk partials, frontier flags, and the degree
+//! and liveness views are all allocated once — a pass allocates nothing.
+
+use dsg_graph::atomic::{f64_slice_as_atomic, AtomicSetView};
+use dsg_graph::{CsrDirected, CsrUndirected, NodeSet};
+
+use super::{DegreeStore, KernelState, SideState};
+
+/// Nodes per chunk of the fixed recomputation grid. Results are summed
+/// per chunk and reduced in chunk order, so this constant (not the
+/// thread count) defines the floating-point association.
+const NODE_CHUNK: usize = 2048;
+
+/// Removed nodes per chunk of the frontier-application grid.
+const FRONTIER_CHUNK: usize = 256;
+
+/// Splits `items` indivisible work units into at most `threads`
+/// contiguous runs of whole chunks, returning the run boundaries in
+/// units of chunks.
+fn chunk_runs(num_chunks: usize, threads: usize) -> Vec<(usize, usize)> {
+    let threads = threads.max(1);
+    let per_thread = num_chunks.div_ceil(threads).max(1);
+    let mut runs = Vec::new();
+    let mut start = 0;
+    while start < num_chunks {
+        let end = (start + per_thread).min(num_chunks);
+        runs.push((start, end));
+        start = end;
+    }
+    runs
+}
+
+/// Shared frontier fan-out: partitions `frontier` into
+/// [`FRONTIER_CHUNK`]-sized chunks, drains each through `drain_chunk`
+/// (on scoped threads when it pays), and writes each chunk's partial
+/// into its fixed `partials` slot — the chunk grid, not the thread
+/// count, defines the reduction order.
+fn fan_out_frontier(
+    threads: usize,
+    frontier: &[u32],
+    partials: &mut [f64],
+    drain_chunk: &(impl Fn(&[u32]) -> f64 + Sync),
+) {
+    let num_chunks = partials.len();
+    if threads == 1 || num_chunks == 1 {
+        for (chunk, slot) in frontier.chunks(FRONTIER_CHUNK).zip(partials.iter_mut()) {
+            *slot = drain_chunk(chunk);
+        }
+        return;
+    }
+    let runs = chunk_runs(num_chunks, threads);
+    std::thread::scope(|scope| {
+        let mut part_rest = partials;
+        for &(start, end) in &runs {
+            let lo = start * FRONTIER_CHUNK;
+            let hi = (end * FRONTIER_CHUNK).min(frontier.len());
+            let mine = &frontier[lo..hi];
+            let (part_mine, rest) = part_rest.split_at_mut(end - start);
+            part_rest = rest;
+            scope.spawn(move || {
+                for (chunk, slot) in mine.chunks(FRONTIER_CHUNK).zip(part_mine.iter_mut()) {
+                    *slot = drain_chunk(chunk);
+                }
+            });
+        }
+    });
+}
+
+/// Undirected parallel CSR backend. Deterministic: identical output for
+/// every thread count, and bit-identical to [`super::CsrUndirectedStore`]
+/// on unweighted graphs.
+pub struct ParallelCsrUndirectedStore<'g> {
+    g: &'g CsrUndirected,
+    threads: usize,
+    /// Per-chunk partial sums (recomputation: degree sums; application:
+    /// removed edge weight), reduced serially in chunk order.
+    partials: Vec<f64>,
+    in_removal: Vec<bool>,
+    /// `true` while the degree view is current (maintained by the push
+    /// path); `false` forces a pull recomputation at the next pass.
+    fresh: bool,
+}
+
+impl<'g> ParallelCsrUndirectedStore<'g> {
+    /// Wraps a CSR snapshot; `threads ≥ 1` worker threads per pass.
+    pub fn new(g: &'g CsrUndirected, threads: usize) -> Self {
+        ParallelCsrUndirectedStore {
+            g,
+            threads: threads.max(1),
+            partials: Vec::new(),
+            in_removal: vec![false; g.num_nodes()],
+            fresh: false,
+        }
+    }
+
+    /// Pull path: recompute all live degrees and the live edge weight
+    /// over the fixed chunk grid.
+    fn recompute(&mut self, alive: &NodeSet, deg: &mut [f64]) -> f64 {
+        let g = self.g;
+        let n = deg.len();
+        let num_chunks = n.div_ceil(NODE_CHUNK).max(1);
+        self.partials.clear();
+        self.partials.resize(num_chunks, 0.0);
+
+        let fill_chunk = |chunk_idx: usize, deg_chunk: &mut [f64]| -> f64 {
+            let base = chunk_idx * NODE_CHUNK;
+            let mut sum = 0.0f64;
+            for (off, slot) in deg_chunk.iter_mut().enumerate() {
+                let u = (base + off) as u32;
+                if alive.contains(u) {
+                    let mut d = 0.0;
+                    for (v, w) in g.neighbors_weighted(u) {
+                        if v != u && alive.contains(v) {
+                            d += w;
+                        }
+                    }
+                    *slot = d;
+                    sum += d;
+                } else {
+                    *slot = 0.0;
+                }
+            }
+            sum
+        };
+
+        if self.threads == 1 || num_chunks == 1 {
+            for (chunk_idx, (deg_chunk, slot)) in deg
+                .chunks_mut(NODE_CHUNK)
+                .zip(self.partials.iter_mut())
+                .enumerate()
+            {
+                *slot = fill_chunk(chunk_idx, deg_chunk);
+            }
+        } else {
+            let runs = chunk_runs(num_chunks, self.threads);
+            std::thread::scope(|scope| {
+                let mut deg_rest = deg;
+                let mut part_rest = self.partials.as_mut_slice();
+                for &(start, end) in &runs {
+                    let chunks = end - start;
+                    let nodes = (chunks * NODE_CHUNK).min(deg_rest.len());
+                    let (deg_mine, r1) = deg_rest.split_at_mut(nodes);
+                    deg_rest = r1;
+                    let (part_mine, r2) = part_rest.split_at_mut(chunks);
+                    part_rest = r2;
+                    let fill_chunk = &fill_chunk;
+                    scope.spawn(move || {
+                        for (i, (deg_chunk, slot)) in deg_mine
+                            .chunks_mut(NODE_CHUNK)
+                            .zip(part_mine.iter_mut())
+                            .enumerate()
+                        {
+                            *slot = fill_chunk(start + i, deg_chunk);
+                        }
+                    });
+                }
+            });
+        }
+        // Reduce in chunk order: independent of the thread count.
+        self.partials.iter().sum::<f64>() / 2.0
+    }
+
+    /// Push path (unweighted only): apply the removal frontier with
+    /// atomic degree decrements; returns the removed live edge weight.
+    fn push_frontier(&mut self, alive: &mut NodeSet, deg: &mut [f64], removed: &[u32]) -> f64 {
+        let g = self.g;
+        let num_chunks = removed.len().div_ceil(FRONTIER_CHUNK).max(1);
+        self.partials.clear();
+        self.partials.resize(num_chunks, 0.0);
+
+        {
+            let deg_atomic = f64_slice_as_atomic(deg);
+            let alive_atomic = AtomicSetView::new(alive);
+            let in_removal = &self.in_removal;
+
+            let drain_chunk = |frontier: &[u32]| -> f64 {
+                let mut delta = 0.0f64;
+                for &u in frontier {
+                    for &v in g.neighbors(u) {
+                        if v == u {
+                            continue;
+                        }
+                        if in_removal[v as usize] {
+                            // Intra-frontier edge: visited from both
+                            // sides, half weight each visit.
+                            delta += 0.5;
+                        } else if alive_atomic.contains(v) {
+                            deg_atomic[v as usize].fetch_sub(1.0);
+                            delta += 1.0;
+                        }
+                    }
+                    alive_atomic.remove(u);
+                    deg_atomic[u as usize].store(0.0);
+                }
+                delta
+            };
+
+            fan_out_frontier(self.threads, removed, &mut self.partials, &drain_chunk);
+        }
+        alive.recount();
+        // Chunk-order reduction; every term is a multiple of 0.5, so the
+        // sum is exact.
+        self.partials.iter().sum::<f64>()
+    }
+}
+
+impl DegreeStore for ParallelCsrUndirectedStore<'_> {
+    fn init(&mut self) -> KernelState {
+        self.fresh = false;
+        KernelState::full(self.g.num_nodes(), 1)
+    }
+
+    fn begin_pass(&mut self, state: &mut KernelState) {
+        if self.fresh {
+            return;
+        }
+        let SideState { alive, deg } = &mut state.sides[0];
+        state.total_weight = self.recompute(alive, deg);
+        self.fresh = true;
+    }
+
+    fn rebuild(&mut self, state: &mut KernelState) -> bool {
+        // The weighted pull path recomputes exactly every pass, so a
+        // rebuild request can only follow estimator-free drift of the
+        // unweighted push path — which is exact. Recompute anyway to
+        // mirror the serial store's contract.
+        self.fresh = false;
+        self.begin_pass(state);
+        true
+    }
+
+    fn apply_removals(&mut self, state: &mut KernelState, side: usize, removed: &[u32]) {
+        let side = &mut state.sides[side];
+        if self.g.is_weighted() {
+            // Pull next pass: float pushes are order-dependent.
+            for &u in removed {
+                side.alive.remove(u);
+            }
+            self.fresh = false;
+            return;
+        }
+        for &u in removed {
+            self.in_removal[u as usize] = true;
+        }
+        let delta = self.push_frontier(&mut side.alive, &mut side.deg, removed);
+        state.total_weight -= delta;
+        for &u in removed {
+            self.in_removal[u as usize] = false;
+        }
+    }
+}
+
+/// Directed parallel CSR backend (unweighted by construction). Push-only:
+/// degrees start from the CSR degree arrays and every pass applies its
+/// frontier with atomic integer decrements — bit-identical to
+/// [`super::CsrDirectedStore`] at every thread count.
+pub struct ParallelCsrDirectedStore<'g> {
+    g: &'g CsrDirected,
+    threads: usize,
+    partials: Vec<f64>,
+}
+
+impl<'g> ParallelCsrDirectedStore<'g> {
+    /// Wraps a directed CSR snapshot; `threads ≥ 1`.
+    pub fn new(g: &'g CsrDirected, threads: usize) -> Self {
+        ParallelCsrDirectedStore {
+            g,
+            threads: threads.max(1),
+            partials: Vec::new(),
+        }
+    }
+}
+
+impl DegreeStore for ParallelCsrDirectedStore<'_> {
+    fn init(&mut self) -> KernelState {
+        let n = self.g.num_nodes();
+        let mut state = KernelState::full(n, 2);
+        for u in 0..n as u32 {
+            state.sides[0].deg[u as usize] = self.g.out_degree(u) as f64;
+            state.sides[1].deg[u as usize] = self.g.in_degree(u) as f64;
+        }
+        state.total_weight = self.g.num_edges() as f64;
+        state
+    }
+
+    fn begin_pass(&mut self, _state: &mut KernelState) {}
+
+    fn apply_removals(&mut self, state: &mut KernelState, side: usize, removed: &[u32]) {
+        let g = self.g;
+        let from_s = side == 0;
+        let (s_side, rest) = state.sides.split_first_mut().expect("two sides");
+        let t_side = &mut rest[0];
+        // The removal side loses nodes; the opposite side loses degree.
+        let (this_side, other_side) = if from_s {
+            (s_side, t_side)
+        } else {
+            (t_side, s_side)
+        };
+
+        let num_chunks = removed.len().div_ceil(FRONTIER_CHUNK).max(1);
+        self.partials.clear();
+        self.partials.resize(num_chunks, 0.0);
+        {
+            let this_alive = AtomicSetView::new(&mut this_side.alive);
+            let this_deg = f64_slice_as_atomic(&mut this_side.deg);
+            let other_alive = &other_side.alive;
+            let other_deg = f64_slice_as_atomic(&mut other_side.deg);
+
+            let drain_chunk = |frontier: &[u32]| -> f64 {
+                let mut delta = 0.0f64;
+                for &u in frontier {
+                    let neighbors = if from_s {
+                        g.out_neighbors(u)
+                    } else {
+                        g.in_neighbors(u)
+                    };
+                    for &v in neighbors {
+                        if other_alive.contains(v) {
+                            other_deg[v as usize].fetch_sub(1.0);
+                            delta += 1.0;
+                        }
+                    }
+                    this_alive.remove(u);
+                    this_deg[u as usize].store(0.0);
+                }
+                delta
+            };
+
+            fan_out_frontier(self.threads, removed, &mut self.partials, &drain_chunk);
+        }
+        this_side.alive.recount();
+        // Arc counts are integers: the chunk-order reduction is exact.
+        state.total_weight -= self.partials.iter().sum::<f64>();
+    }
+}

@@ -1,0 +1,108 @@
+//! Streaming degree stores: one pass over the edge stream per kernel
+//! pass, `O(n)` memory — the paper's semi-streaming cost model.
+
+use dsg_graph::stream::EdgeStream;
+
+use crate::oracle::DegreeOracle;
+
+use super::{DegreeStore, KernelState};
+
+/// Undirected streaming backend: each pass recomputes the live degrees
+/// through a [`DegreeOracle`] (exact or sketched — §5.1) and the live
+/// edge weight exactly (a single counter).
+pub struct StreamingUndirectedStore<'a, S: EdgeStream + ?Sized, O: DegreeOracle + ?Sized> {
+    stream: &'a mut S,
+    oracle: &'a mut O,
+}
+
+impl<'a, S: EdgeStream + ?Sized, O: DegreeOracle + ?Sized> StreamingUndirectedStore<'a, S, O> {
+    /// Wraps a stream and a degree oracle.
+    pub fn new(stream: &'a mut S, oracle: &'a mut O) -> Self {
+        StreamingUndirectedStore { stream, oracle }
+    }
+}
+
+impl<S: EdgeStream + ?Sized, O: DegreeOracle + ?Sized> DegreeStore
+    for StreamingUndirectedStore<'_, S, O>
+{
+    fn init(&mut self) -> KernelState {
+        KernelState::full(self.stream.num_nodes() as usize, 1)
+    }
+
+    fn begin_pass(&mut self, state: &mut KernelState) {
+        self.oracle.reset();
+        let side = &mut state.sides[0];
+        let alive = &side.alive;
+        let mut total_w = 0.0f64;
+        {
+            let oracle = &mut *self.oracle;
+            let total = &mut total_w;
+            self.stream.for_each_edge(&mut |u, v, w| {
+                if u != v && alive.contains(u) && alive.contains(v) {
+                    oracle.record(u, v, w);
+                    *total += w;
+                }
+            });
+        }
+        // Materialize the oracle's view for the policy. Dead entries are
+        // left stale; policies only read live nodes.
+        for u in side.alive.iter() {
+            side.deg[u as usize] = self.oracle.degree(u);
+        }
+        state.total_weight = total_w;
+    }
+
+    fn apply_removals(&mut self, state: &mut KernelState, side: usize, removed: &[u32]) {
+        let alive = &mut state.sides[side].alive;
+        for &u in removed {
+            alive.remove(u);
+        }
+    }
+}
+
+/// Directed streaming backend: each pass recomputes out-degrees of `S`
+/// into `T`, in-degrees of `T` from `S`, and the live arc count.
+pub struct StreamingDirectedStore<'a, S: EdgeStream + ?Sized> {
+    stream: &'a mut S,
+}
+
+impl<'a, S: EdgeStream + ?Sized> StreamingDirectedStore<'a, S> {
+    /// Wraps a directed edge stream (`(u, v, w)` is the arc `u -> v`).
+    pub fn new(stream: &'a mut S) -> Self {
+        StreamingDirectedStore { stream }
+    }
+}
+
+impl<S: EdgeStream + ?Sized> DegreeStore for StreamingDirectedStore<'_, S> {
+    fn init(&mut self) -> KernelState {
+        KernelState::full(self.stream.num_nodes() as usize, 2)
+    }
+
+    fn begin_pass(&mut self, state: &mut KernelState) {
+        let (s_side, rest) = state.sides.split_first_mut().expect("two sides");
+        let t_side = &mut rest[0];
+        s_side.deg.fill(0.0);
+        t_side.deg.fill(0.0);
+        let (s_alive, t_alive) = (&s_side.alive, &t_side.alive);
+        let (out_deg, in_deg) = (&mut s_side.deg, &mut t_side.deg);
+        let mut edges = 0.0f64;
+        {
+            let e = &mut edges;
+            self.stream.for_each_edge(&mut |u, v, w| {
+                if s_alive.contains(u) && t_alive.contains(v) {
+                    out_deg[u as usize] += w;
+                    in_deg[v as usize] += w;
+                    *e += w;
+                }
+            });
+        }
+        state.total_weight = edges;
+    }
+
+    fn apply_removals(&mut self, state: &mut KernelState, side: usize, removed: &[u32]) {
+        let alive = &mut state.sides[side].alive;
+        for &u in removed {
+            alive.remove(u);
+        }
+    }
+}

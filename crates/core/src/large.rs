@@ -8,12 +8,24 @@
 //! — and a `(2+2ε)`-approximation when the optimal set is larger than `k`
 //! (Lemma 10). Terminates in `O(log_{1+ε} n/k)` passes (Lemma 11): once
 //! `|S| < k` no further set can qualify, so the run stops early.
+//!
+//! In kernel terms this is Algorithm 1 with the
+//! [`KFloorPolicy`](crate::kernel::KFloorPolicy) removal rule in place of
+//! the plain threshold; the degree-store backends are shared unchanged.
 
 use dsg_graph::stream::EdgeStream;
-use dsg_graph::{density, NodeSet};
+use dsg_graph::CsrUndirected;
 
-use crate::oracle::{DegreeOracle, ExactDegreeOracle};
-use crate::result::{PassStats, UndirectedRun};
+use crate::kernel::{
+    CsrUndirectedStore, KFloorPolicy, ParallelCsrUndirectedStore, PeelingKernel,
+    StreamingUndirectedStore,
+};
+use crate::oracle::ExactDegreeOracle;
+use crate::result::UndirectedRun;
+
+fn check_k(k: usize, n: usize) {
+    assert!(k >= 1 && k <= n, "k must be in 1..=n (k={k}, n={n})");
+}
 
 /// Runs Algorithm 2 over an edge stream.
 ///
@@ -26,183 +38,37 @@ pub fn approx_densest_at_least_k<S: EdgeStream + ?Sized>(
     k: usize,
     epsilon: f64,
 ) -> UndirectedRun {
-    assert!(epsilon > 0.0, "Algorithm 2 requires epsilon > 0");
     let n = stream.num_nodes();
-    assert!(k >= 1 && k <= n as usize, "k must be in 1..=n (k={k}, n={n})");
-
+    let mut policy = KFloorPolicy::new(k, epsilon);
+    check_k(k, n as usize);
     let mut oracle = ExactDegreeOracle::new(n);
-    let mut alive = NodeSet::full(n as usize);
-    let mut best_set = alive.clone();
-    let mut best_density = 0.0f64;
-    let mut best_pass = 0u32;
-    let mut trace = Vec::new();
-    let mut pass = 0u32;
-
-    // Scratch: (degree, node) pairs of below-threshold nodes.
-    let mut candidates: Vec<(f64, u32)> = Vec::new();
-
-    while alive.len() >= k {
-        pass += 1;
-        oracle.reset();
-        let mut total_w = 0.0f64;
-        {
-            let alive_ref = &alive;
-            let oracle_ref = &mut oracle;
-            let total_ref = &mut total_w;
-            stream.for_each_edge(&mut |u, v, w| {
-                if u != v && alive_ref.contains(u) && alive_ref.contains(v) {
-                    oracle_ref.record(u, v, w);
-                    *total_ref += w;
-                }
-            });
-        }
-        let rho = density::undirected(total_w, alive.len());
-        if rho > best_density || pass == 1 {
-            best_density = rho;
-            best_set = alive.clone();
-            best_pass = pass;
-        }
-        let threshold = density::undirected_threshold(rho, epsilon);
-
-        // A~(S): all nodes at or below the threshold.
-        candidates.clear();
-        for u in alive.iter() {
-            let d = oracle.degree(u);
-            if d <= threshold {
-                candidates.push((d, u));
-            }
-        }
-        // |A(S)| = ε/(1+ε)·|S|, rounded up so progress is guaranteed.
-        let target = ((epsilon / (1.0 + epsilon)) * alive.len() as f64).ceil() as usize;
-        let target = target.clamp(1, candidates.len().max(1));
-        // Take the `target` smallest-degree members of A~ (ties by id for
-        // determinism). Lemma 4's counting argument guarantees
-        // |A~| > ε/(1+ε)·|S|, so `target ≤ |A~|` with exact degrees.
-        candidates.sort_by(|a, b| {
-            a.0.partial_cmp(&b.0)
-                .expect("degrees are never NaN")
-                .then(a.1.cmp(&b.1))
-        });
-        let removed = target.min(candidates.len());
-        trace.push(PassStats {
-            pass,
-            nodes: alive.len(),
-            edge_weight: total_w,
-            density: rho,
-            threshold,
-            removed,
-        });
-        for &(_, u) in &candidates[..removed] {
-            alive.remove(u);
-        }
-    }
-
-    UndirectedRun {
-        best_set,
-        best_density,
-        best_pass,
-        passes: pass,
-        trace,
-    }
+    let mut store = StreamingUndirectedStore::new(stream, &mut oracle);
+    UndirectedRun::from_kernel(PeelingKernel::new().run(&mut store, &mut policy))
 }
 
 /// In-memory Algorithm 2 over a CSR snapshot with decremental degree
 /// maintenance — same sequence of sets as [`approx_densest_at_least_k`]
 /// on a stream of the same graph.
-pub fn approx_densest_at_least_k_csr(
-    g: &dsg_graph::CsrUndirected,
+pub fn approx_densest_at_least_k_csr(g: &CsrUndirected, k: usize, epsilon: f64) -> UndirectedRun {
+    let mut policy = KFloorPolicy::new(k, epsilon);
+    check_k(k, g.num_nodes());
+    let mut store = CsrUndirectedStore::new(g);
+    UndirectedRun::from_kernel(PeelingKernel::new().run(&mut store, &mut policy))
+}
+
+/// Multi-threaded in-memory Algorithm 2 with `threads` workers per pass —
+/// deterministic at every thread count and bit-identical to
+/// [`approx_densest_at_least_k_csr`] on unweighted graphs.
+pub fn approx_densest_at_least_k_csr_parallel(
+    g: &CsrUndirected,
     k: usize,
     epsilon: f64,
+    threads: usize,
 ) -> UndirectedRun {
-    assert!(epsilon > 0.0, "Algorithm 2 requires epsilon > 0");
-    let n = g.num_nodes();
-    assert!(k >= 1 && k <= n, "k must be in 1..=n (k={k}, n={n})");
-
-    let mut alive = NodeSet::full(n);
-    let mut deg: Vec<f64> = vec![0.0; n];
-    let mut total_w = 0.0f64;
-    for u in 0..n as u32 {
-        for (v, w) in g.neighbors_weighted(u) {
-            if v != u {
-                deg[u as usize] += w;
-                total_w += w;
-            }
-        }
-    }
-    total_w /= 2.0;
-
-    let mut best_set = alive.clone();
-    let mut best_density = 0.0f64;
-    let mut best_pass = 0u32;
-    let mut trace = Vec::new();
-    let mut pass = 0u32;
-    let mut candidates: Vec<(f64, u32)> = Vec::new();
-    let mut in_removal = vec![false; n];
-
-    while alive.len() >= k {
-        pass += 1;
-        let rho = density::undirected(total_w, alive.len());
-        if rho > best_density || pass == 1 {
-            best_density = rho;
-            best_set = alive.clone();
-            best_pass = pass;
-        }
-        let threshold = density::undirected_threshold(rho, epsilon);
-
-        candidates.clear();
-        for u in alive.iter() {
-            if deg[u as usize] <= threshold {
-                candidates.push((deg[u as usize], u));
-            }
-        }
-        let target = ((epsilon / (1.0 + epsilon)) * alive.len() as f64).ceil() as usize;
-        let target = target.clamp(1, candidates.len().max(1));
-        candidates.sort_by(|a, b| {
-            a.0.partial_cmp(&b.0)
-                .expect("degrees are never NaN")
-                .then(a.1.cmp(&b.1))
-        });
-        let removed = target.min(candidates.len());
-        trace.push(PassStats {
-            pass,
-            nodes: alive.len(),
-            edge_weight: total_w,
-            density: rho,
-            threshold,
-            removed,
-        });
-        for &(_, u) in &candidates[..removed] {
-            in_removal[u as usize] = true;
-        }
-        for &(_, u) in &candidates[..removed] {
-            for (v, w) in g.neighbors_weighted(u) {
-                if v != u && alive.contains(v) {
-                    if in_removal[v as usize] {
-                        total_w -= w * 0.5;
-                    } else {
-                        total_w -= w;
-                        deg[v as usize] -= w;
-                    }
-                }
-            }
-        }
-        for &(_, u) in &candidates[..removed] {
-            alive.remove(u);
-            deg[u as usize] = 0.0;
-            in_removal[u as usize] = false;
-        }
-        if total_w < 0.0 {
-            total_w = 0.0;
-        }
-    }
-
-    UndirectedRun {
-        best_set,
-        best_density,
-        best_pass,
-        passes: pass,
-        trace,
-    }
+    let mut policy = KFloorPolicy::new(k, epsilon);
+    check_k(k, g.num_nodes());
+    let mut store = ParallelCsrUndirectedStore::new(g, threads);
+    UndirectedRun::from_kernel(PeelingKernel::new().run(&mut store, &mut policy))
 }
 
 #[cfg(test)]
@@ -210,7 +76,7 @@ mod tests {
     use super::*;
     use dsg_graph::gen;
     use dsg_graph::stream::MemoryStream;
-    use dsg_graph::EdgeList;
+    use dsg_graph::{EdgeList, NodeSet};
 
     fn run(list: &EdgeList, k: usize, eps: f64) -> UndirectedRun {
         let mut s = MemoryStream::new(list.clone());
@@ -329,6 +195,25 @@ mod tests {
                 for (x, y) in a.trace.iter().zip(&b.trace) {
                     assert_eq!(x.nodes, y.nodes);
                     assert_eq!(x.removed, y.removed);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_csr_matches_serial_exactly() {
+        use dsg_graph::CsrUndirected;
+        for seed in 0..3 {
+            let list = gen::gnp(130, 0.07, seed);
+            let csr = CsrUndirected::from_edge_list(&list);
+            for (k, eps) in [(1usize, 0.5), (25, 0.3), (90, 1.2)] {
+                let serial = approx_densest_at_least_k_csr(&csr, k, eps);
+                for threads in [1, 2, 5] {
+                    let par = approx_densest_at_least_k_csr_parallel(&csr, k, eps, threads);
+                    assert_eq!(serial.passes, par.passes, "seed {seed} k {k} t {threads}");
+                    assert_eq!(serial.best_set.to_vec(), par.best_set.to_vec());
+                    assert_eq!(serial.best_density.to_bits(), par.best_density.to_bits());
+                    assert_eq!(serial.trace, par.trace);
                 }
             }
         }

@@ -63,7 +63,7 @@ pub fn peeling_profile(g: &CsrUndirected) -> PeelingProfile {
         // Peel u.
         alive[u as usize] = false;
         for (v, w) in g.neighbors_weighted(u) {
-            if v != u as u32 && alive[v as usize] {
+            if v != u && alive[v as usize] {
                 remaining_w -= w;
             }
         }

@@ -43,6 +43,29 @@ pub struct UndirectedRun {
 }
 
 impl UndirectedRun {
+    /// Assembles the public run shape from a kernel run over a one-sided
+    /// (undirected) state.
+    pub(crate) fn from_kernel(run: crate::kernel::KernelRun) -> Self {
+        UndirectedRun {
+            best_density: run.best_density,
+            best_pass: run.best_pass,
+            passes: run.passes,
+            trace: run
+                .trace
+                .iter()
+                .map(|r| PassStats {
+                    pass: r.pass,
+                    nodes: r.side_sizes[0],
+                    edge_weight: r.total_weight,
+                    density: r.density,
+                    threshold: r.threshold,
+                    removed: r.removed,
+                })
+                .collect(),
+            best_set: run.best_sides.into_iter().next().expect("one side"),
+        }
+    }
+
     /// Densities per pass, normalized by the best density — the series of
     /// Figure 6.2.
     pub fn relative_density_series(&self) -> Vec<f64> {

@@ -14,12 +14,20 @@
 //! the edge stream using `O(n)` memory (the liveness bits plus the degree
 //! counters of the [`DegreeOracle`]).
 //!
-//! Two implementations:
+//! All variants are instantiations of the shared
+//! [peeling kernel](crate::kernel) with the
+//! [`ThresholdPolicy`](crate::kernel::ThresholdPolicy) removal rule; they
+//! differ only in the [`DegreeStore`](crate::kernel::DegreeStore) backend:
+//!
 //! * [`approx_densest`] / [`approx_densest_with_oracle`] — the streaming
 //!   form: one pass per iteration recomputes live degrees from scratch.
 //! * [`approx_densest_csr`] — the in-memory form: degrees are maintained
 //!   decrementally while peeling, which is asymptotically cheaper
 //!   (`O(m + n)` total) and produces the **identical** sequence of sets.
+//! * [`approx_densest_csr_parallel`] — the multi-threaded in-memory form:
+//!   chunked degree recomputation and removal-frontier application,
+//!   deterministic at every thread count and bit-identical to the serial
+//!   backends on unweighted graphs.
 //!
 //! Note on `ε = 0`: the paper remarks termination is not guaranteed; with
 //! our (paper-faithful) non-strict `≤` comparison the minimum-degree node
@@ -30,10 +38,14 @@
 //! preserve termination.
 
 use dsg_graph::stream::EdgeStream;
-use dsg_graph::{density, CsrUndirected, NodeSet};
+use dsg_graph::CsrUndirected;
 
+use crate::kernel::{
+    CsrUndirectedStore, ParallelCsrUndirectedStore, PeelingKernel, StreamingUndirectedStore,
+    ThresholdPolicy,
+};
 use crate::oracle::{DegreeOracle, ExactDegreeOracle};
-use crate::result::{PassStats, UndirectedRun};
+use crate::result::UndirectedRun;
 
 /// Runs Algorithm 1 over an edge stream with exact degree counters.
 ///
@@ -63,88 +75,18 @@ pub fn approx_densest<S: EdgeStream + ?Sized>(stream: &mut S, epsilon: f64) -> U
 ///
 /// The density `ρ(S)` is always computed from the *exact* live edge count
 /// (a single counter); only the per-node degrees go through the oracle.
-pub fn approx_densest_with_oracle<S, O>(stream: &mut S, epsilon: f64, oracle: &mut O) -> UndirectedRun
+pub fn approx_densest_with_oracle<S, O>(
+    stream: &mut S,
+    epsilon: f64,
+    oracle: &mut O,
+) -> UndirectedRun
 where
     S: EdgeStream + ?Sized,
     O: DegreeOracle + ?Sized,
 {
-    assert!(epsilon >= 0.0, "epsilon must be non-negative");
-    let n = stream.num_nodes();
-    let mut alive = NodeSet::full(n as usize);
-    let mut best_set = alive.clone();
-    let mut best_density = 0.0f64;
-    let mut best_pass = 0u32;
-    let mut trace = Vec::new();
-    let mut pass = 0u32;
-    let mut removal_buf: Vec<u32> = Vec::new();
-
-    while !alive.is_empty() {
-        pass += 1;
-        // One streaming pass: live-edge weight (exact) + live degrees.
-        oracle.reset();
-        let mut total_w = 0.0f64;
-        {
-            let alive_ref = &alive;
-            let oracle_ref = &mut *oracle;
-            let total_ref = &mut total_w;
-            stream.for_each_edge(&mut |u, v, w| {
-                if u != v && alive_ref.contains(u) && alive_ref.contains(v) {
-                    oracle_ref.record(u, v, w);
-                    *total_ref += w;
-                }
-            });
-        }
-        let rho = density::undirected(total_w, alive.len());
-        if rho > best_density || pass == 1 {
-            best_density = rho;
-            best_set = alive.clone();
-            best_pass = pass;
-        }
-        let threshold = density::undirected_threshold(rho, epsilon);
-
-        removal_buf.clear();
-        for u in alive.iter() {
-            if oracle.degree(u) <= threshold {
-                removal_buf.push(u);
-            }
-        }
-        if removal_buf.is_empty() {
-            // Only reachable with biased (over-estimating, e.g. Count-Min)
-            // sketched degrees. Force geometric progress with Algorithm
-            // 2's rule: evict the ε/(1+ε)·|S| smallest-estimate nodes
-            // (at least one), which preserves the O(log_{1+ε} n) pass
-            // bound no matter how biased the oracle is.
-            let mut by_estimate: Vec<(f64, u32)> =
-                alive.iter().map(|u| (oracle.degree(u), u)).collect();
-            by_estimate.sort_by(|a, b| {
-                a.0.partial_cmp(&b.0)
-                    .expect("degree estimates are never NaN")
-                    .then(a.1.cmp(&b.1))
-            });
-            let target = ((epsilon / (1.0 + epsilon)) * alive.len() as f64).ceil() as usize;
-            let target = target.clamp(1, alive.len());
-            removal_buf.extend(by_estimate[..target].iter().map(|&(_, u)| u));
-        }
-        trace.push(PassStats {
-            pass,
-            nodes: alive.len(),
-            edge_weight: total_w,
-            density: rho,
-            threshold,
-            removed: removal_buf.len(),
-        });
-        for &u in &removal_buf {
-            alive.remove(u);
-        }
-    }
-
-    UndirectedRun {
-        best_set,
-        best_density,
-        best_pass,
-        passes: pass,
-        trace,
-    }
+    let mut store = StreamingUndirectedStore::new(stream, oracle);
+    let mut policy = ThresholdPolicy::new(epsilon);
+    UndirectedRun::from_kernel(PeelingKernel::new().run(&mut store, &mut policy))
 }
 
 /// Runs Algorithm 1 on an in-memory CSR graph with decremental degree
@@ -154,117 +96,26 @@ where
 /// trace) as [`approx_densest`] on a stream of the same graph, but in
 /// `O(m + n)` total work instead of one full edge scan per pass.
 pub fn approx_densest_csr(g: &CsrUndirected, epsilon: f64) -> UndirectedRun {
-    assert!(epsilon >= 0.0, "epsilon must be non-negative");
-    let n = g.num_nodes();
-    let mut alive = NodeSet::full(n);
-    let mut deg: Vec<f64> = (0..n as u32).map(|u| g.weighted_degree(u)).collect();
-    // Self-loops are excluded from the induced-degree semantics of the
-    // streaming variant; subtract them up front.
-    let mut total_w = 0.0f64;
-    for u in 0..n as u32 {
-        for (v, w) in g.neighbors_weighted(u) {
-            if v == u {
-                deg[u as usize] -= w;
-            } else {
-                total_w += w;
-            }
-        }
-    }
-    total_w /= 2.0;
+    let mut store = CsrUndirectedStore::new(g);
+    let mut policy = ThresholdPolicy::new(epsilon);
+    UndirectedRun::from_kernel(PeelingKernel::new().run(&mut store, &mut policy))
+}
 
-    let mut best_set = alive.clone();
-    let mut best_density = 0.0f64;
-    let mut best_pass = 0u32;
-    let mut trace = Vec::new();
-    let mut pass = 0u32;
-    let mut in_removal = vec![false; n];
-    let mut removal_buf: Vec<u32> = Vec::new();
-
-    while !alive.is_empty() {
-        pass += 1;
-        let mut rho = density::undirected(total_w, alive.len());
-        let mut threshold = density::undirected_threshold(rho, epsilon);
-
-        removal_buf.clear();
-        for u in alive.iter() {
-            if deg[u as usize] <= threshold {
-                removal_buf.push(u);
-                in_removal[u as usize] = true;
-            }
-        }
-        if removal_buf.is_empty() {
-            // Only reachable through floating-point drift of the
-            // decrementally maintained degrees (weighted graphs): rebuild
-            // the exact state — which is what the streaming variant holds
-            // every pass — and retry.
-            total_w = 0.0;
-            for u in alive.iter() {
-                let mut d = 0.0;
-                for (v, w) in g.neighbors_weighted(u) {
-                    if v != u && alive.contains(v) {
-                        d += w;
-                        total_w += w;
-                    }
-                }
-                deg[u as usize] = d;
-            }
-            total_w /= 2.0;
-            rho = density::undirected(total_w, alive.len());
-            threshold = density::undirected_threshold(rho, epsilon);
-            for u in alive.iter() {
-                if deg[u as usize] <= threshold {
-                    removal_buf.push(u);
-                    in_removal[u as usize] = true;
-                }
-            }
-        }
-        assert!(!removal_buf.is_empty(), "exact degrees always remove ≥ 1 node");
-        if rho > best_density || pass == 1 {
-            best_density = rho;
-            best_set = alive.clone();
-            best_pass = pass;
-        }
-        trace.push(PassStats {
-            pass,
-            nodes: alive.len(),
-            edge_weight: total_w,
-            density: rho,
-            threshold,
-            removed: removal_buf.len(),
-        });
-
-        // Decrement neighbor degrees and the live edge weight.
-        for &u in &removal_buf {
-            for (v, w) in g.neighbors_weighted(u) {
-                if v != u && alive.contains(v) {
-                    if in_removal[v as usize] {
-                        // Intra-batch edge: visited from both sides.
-                        total_w -= w * 0.5;
-                    } else {
-                        total_w -= w;
-                        deg[v as usize] -= w;
-                    }
-                }
-            }
-        }
-        for &u in &removal_buf {
-            alive.remove(u);
-            deg[u as usize] = 0.0;
-            in_removal[u as usize] = false;
-        }
-        // Guard against floating-point drift on weighted graphs.
-        if total_w < 0.0 {
-            total_w = 0.0;
-        }
-    }
-
-    UndirectedRun {
-        best_set,
-        best_density,
-        best_pass,
-        passes: pass,
-        trace,
-    }
+/// Runs Algorithm 1 on an in-memory CSR graph with `threads` worker
+/// threads per pass.
+///
+/// Deterministic: the run is identical at every thread count, and
+/// bit-identical to [`approx_densest_csr`] on unweighted graphs (on
+/// weighted graphs degrees are recomputed per pass instead of maintained
+/// decrementally, so traces agree only up to floating-point rounding).
+pub fn approx_densest_csr_parallel(
+    g: &CsrUndirected,
+    epsilon: f64,
+    threads: usize,
+) -> UndirectedRun {
+    let mut store = ParallelCsrUndirectedStore::new(g, threads);
+    let mut policy = ThresholdPolicy::new(epsilon);
+    UndirectedRun::from_kernel(PeelingKernel::new().run(&mut store, &mut policy))
 }
 
 #[cfg(test)]
@@ -335,6 +186,46 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn parallel_csr_is_bit_identical_on_unweighted() {
+        for seed in 0..3 {
+            let list = gen::gnp(150, 0.07, seed);
+            let csr = CsrUndirected::from_edge_list(&list);
+            for eps in [0.0, 0.5, 1.5] {
+                let serial = approx_densest_csr(&csr, eps);
+                for threads in [1, 2, 4, 7] {
+                    let par = approx_densest_csr_parallel(&csr, eps, threads);
+                    assert_eq!(
+                        serial.passes, par.passes,
+                        "seed {seed} eps {eps} t {threads}"
+                    );
+                    assert_eq!(serial.best_pass, par.best_pass);
+                    assert_eq!(serial.best_set.to_vec(), par.best_set.to_vec());
+                    assert_eq!(serial.best_density.to_bits(), par.best_density.to_bits());
+                    assert_eq!(serial.trace, par.trace);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_csr_weighted_matches_within_rounding() {
+        let list = gen::weighted_powerlaw(80, 0.5, 700.0);
+        let csr = CsrUndirected::from_edge_list(&list);
+        let serial = approx_densest_csr(&csr, 0.8);
+        for threads in [1, 3, 5] {
+            let par = approx_densest_csr_parallel(&csr, 0.8, threads);
+            assert_eq!(serial.passes, par.passes, "threads {threads}");
+            assert_eq!(serial.best_set.to_vec(), par.best_set.to_vec());
+            assert!((serial.best_density - par.best_density).abs() < 1e-9);
+        }
+        // Thread-count invariance is exact even for weighted graphs.
+        let a = approx_densest_csr_parallel(&csr, 0.8, 2);
+        let b = approx_densest_csr_parallel(&csr, 0.8, 6);
+        assert_eq!(a.best_density.to_bits(), b.best_density.to_bits());
+        assert_eq!(a.trace, b.trace);
     }
 
     #[test]

@@ -1,0 +1,200 @@
+//! A tiny, dependency-free stand-in for the [criterion](https://crates.io/crates/criterion)
+//! benchmarking harness.
+//!
+//! The build environment for this workspace has no network access, so the
+//! real criterion crate cannot be fetched. This shim implements the exact
+//! API subset the `dsg-bench` bench targets use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `sample_size`, and the `criterion_group!`/`criterion_main!` macros — with
+//! a simple wall-clock measurement loop: a warm-up iteration, then batches
+//! timed until a per-benchmark budget is spent, reporting mean/min per
+//! iteration. Swap the manifest entry back to the real crate for HTML
+//! reports and statistical rigor.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export so benches can `use criterion::black_box` like the real crate.
+pub use std::hint::black_box;
+
+/// Measurement configuration and sink (the shim has no global state).
+pub struct Criterion {
+    /// Wall-clock budget per benchmark.
+    measure_for: Duration,
+    /// Maximum timed iterations per benchmark.
+    max_iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Budgets are intentionally small: these benches run on CI and on
+        // laptops as a smoke-and-trend check, not a rigorous measurement.
+        Criterion {
+            measure_for: Duration::from_millis(300),
+            max_iters: 50,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("group {name}");
+        BenchmarkGroup { c: self, name }
+    }
+
+    fn run_one(&self, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+            measure_for: self.measure_for,
+            max_iters: self.max_iters,
+            min: Duration::MAX,
+        };
+        f(&mut b);
+        if b.iters == 0 {
+            eprintln!("  {label:<40} (no iterations)");
+            return;
+        }
+        let mean = b.total / b.iters as u32;
+        eprintln!(
+            "  {label:<40} mean {:>12?}  min {:>12?}  ({} iters)",
+            mean, b.min, b.iters
+        );
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample settings.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's iteration budget is
+    /// time-based, so the requested sample count is ignored.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; adjusts the per-benchmark budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.c.measure_for = d;
+        self
+    }
+
+    /// Runs one benchmark closure.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        self.c.run_one(&label, &mut f);
+        self
+    }
+
+    /// Runs one benchmark closure parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        self.c.run_one(&label, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op beyond the real crate's API shape).
+    pub fn finish(self) {}
+}
+
+/// Times the closure handed to [`Bencher::iter`].
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+    measure_for: Duration,
+    max_iters: u64,
+    min: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly — one warm-up call, then timed iterations until
+    /// the time budget or the iteration cap is reached.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up, untimed
+        let budget_start = Instant::now();
+        while self.iters < self.max_iters && budget_start.elapsed() < self.measure_for {
+            let t = Instant::now();
+            black_box(f());
+            let dt = t.elapsed();
+            self.total += dt;
+            self.min = self.min.min(dt);
+            self.iters += 1;
+        }
+    }
+}
+
+/// A benchmark label, optionally `function/parameter` shaped.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), parameter))
+    }
+
+    /// Identifier carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Conversion into the label string used by the shim's reporter.
+pub trait IntoBenchmarkId {
+    /// The rendered label.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.0
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Declares a bench group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

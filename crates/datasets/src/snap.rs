@@ -30,13 +30,48 @@ pub struct Table2Graph {
 
 /// The seven graphs of Table 2 with the paper's reported parameters.
 pub const TABLE2: [Table2Graph; 7] = [
-    Table2Graph { name: "as20000102", nodes: 6_474, edges: 13_233, paper_rho_star: 9.29 },
-    Table2Graph { name: "ca-AstroPh", nodes: 18_772, edges: 396_160, paper_rho_star: 32.12 },
-    Table2Graph { name: "ca-CondMat", nodes: 23_133, edges: 186_936, paper_rho_star: 13.47 },
-    Table2Graph { name: "ca-GrQc", nodes: 5_242, edges: 28_980, paper_rho_star: 22.39 },
-    Table2Graph { name: "ca-HepPh", nodes: 12_008, edges: 237_010, paper_rho_star: 119.00 },
-    Table2Graph { name: "ca-HepTh", nodes: 9_877, edges: 51_971, paper_rho_star: 15.50 },
-    Table2Graph { name: "email-Enron", nodes: 36_692, edges: 367_662, paper_rho_star: 37.34 },
+    Table2Graph {
+        name: "as20000102",
+        nodes: 6_474,
+        edges: 13_233,
+        paper_rho_star: 9.29,
+    },
+    Table2Graph {
+        name: "ca-AstroPh",
+        nodes: 18_772,
+        edges: 396_160,
+        paper_rho_star: 32.12,
+    },
+    Table2Graph {
+        name: "ca-CondMat",
+        nodes: 23_133,
+        edges: 186_936,
+        paper_rho_star: 13.47,
+    },
+    Table2Graph {
+        name: "ca-GrQc",
+        nodes: 5_242,
+        edges: 28_980,
+        paper_rho_star: 22.39,
+    },
+    Table2Graph {
+        name: "ca-HepPh",
+        nodes: 12_008,
+        edges: 237_010,
+        paper_rho_star: 119.00,
+    },
+    Table2Graph {
+        name: "ca-HepTh",
+        nodes: 9_877,
+        edges: 51_971,
+        paper_rho_star: 15.50,
+    },
+    Table2Graph {
+        name: "email-Enron",
+        nodes: 36_692,
+        edges: 367_662,
+        paper_rho_star: 37.34,
+    },
 ];
 
 /// Synthesizes a stand-in for one Table 2 graph: a `G(n, m)` background
@@ -56,7 +91,11 @@ pub fn synthesize(desc: &Table2Graph, seed: u64) -> EdgeList {
 /// Returns the graph and `true` when real data was used. SNAP files list
 /// each undirected edge in both orientations with `#` comment headers;
 /// canonicalization dedups them.
-pub fn load_or_synthesize(desc: &Table2Graph, data_dir: Option<&Path>, seed: u64) -> (EdgeList, bool) {
+pub fn load_or_synthesize(
+    desc: &Table2Graph,
+    data_dir: Option<&Path>,
+    seed: u64,
+) -> (EdgeList, bool) {
     if let Some(dir) = data_dir {
         let path = dir.join(format!("{}.txt", desc.name));
         if path.exists() {
@@ -135,11 +174,7 @@ mod tests {
     fn loader_prefers_real_file() {
         let dir = std::env::temp_dir().join("dsg_snap_test");
         std::fs::create_dir_all(&dir).unwrap();
-        std::fs::write(
-            dir.join("ca-GrQc.txt"),
-            "# fake tiny file\n0 1\n1 0\n1 2\n",
-        )
-        .unwrap();
+        std::fs::write(dir.join("ca-GrQc.txt"), "# fake tiny file\n0 1\n1 0\n1 2\n").unwrap();
         let (g, real) = load_or_synthesize(&TABLE2[3], Some(&dir), 3);
         assert!(real);
         assert_eq!(g.num_edges(), 2); // deduped orientations

@@ -153,7 +153,11 @@ mod tests {
         g.validate().unwrap();
         assert_eq!(g.kind, GraphKind::Undirected);
         let s = stats::summarize("flickr", &g);
-        assert!(s.mean_degree > 8.0 && s.mean_degree < 25.0, "mean {}", s.mean_degree);
+        assert!(
+            s.mean_degree > 8.0 && s.mean_degree < 25.0,
+            "mean {}",
+            s.mean_degree
+        );
         // Heavy tail.
         assert!(s.max_degree > 5.0 * s.mean_degree);
     }

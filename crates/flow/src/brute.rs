@@ -62,7 +62,10 @@ fn mask_to_set(mask: u32, n: usize) -> NodeSet {
 /// Returns `(S, T, density)`. Panics above 12 nodes (4^12 ≈ 16M pairs).
 pub fn brute_force_densest_directed(g: &CsrDirected) -> (NodeSet, NodeSet, f64) {
     let n = g.num_nodes();
-    assert!(n <= 12, "directed brute force limited to 12 nodes (got {n})");
+    assert!(
+        n <= 12,
+        "directed brute force limited to 12 nodes (got {n})"
+    );
     if n == 0 {
         return (NodeSet::empty(0), NodeSet::empty(0), 0.0);
     }

@@ -58,7 +58,10 @@ impl Dinic {
     /// zero-capacity reverse edge).
     pub fn add_edge(&mut self, from: u32, to: u32, cap: f64) {
         assert!(cap >= 0.0, "negative capacity {cap}");
-        assert_ne!(from, to, "self-loop edges are not allowed in the flow network");
+        assert_ne!(
+            from, to,
+            "self-loop edges are not allowed in the flow network"
+        );
         let from_idx = self.graph[to as usize].len() as u32;
         let to_idx = self.graph[from as usize].len() as u32;
         self.graph[from as usize].push(FlowEdge {

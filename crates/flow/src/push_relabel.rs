@@ -55,7 +55,11 @@ impl PushRelabel {
         assert_ne!(from, to, "self-loops are not allowed");
         let from_idx = self.graph[to as usize].len() as u32;
         let to_idx = self.graph[from as usize].len() as u32;
-        self.graph[from as usize].push(PrEdge { to, cap, rev: from_idx });
+        self.graph[from as usize].push(PrEdge {
+            to,
+            cap,
+            rev: from_idx,
+        });
         self.graph[to as usize].push(PrEdge {
             to: from,
             cap: 0.0,

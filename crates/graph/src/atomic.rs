@@ -1,0 +1,210 @@
+//! Atomic views over degree vectors and node sets — the shared-memory
+//! primitives behind the parallel peeling backend in `dsg-core`.
+//!
+//! The parallel `(1+ε)`-threshold pass is a bulk, order-independent
+//! operation (that is the whole point of Algorithm 1), so worker threads
+//! only ever need two concurrent operations:
+//!
+//! * decrementing a neighbor's degree counter when a frontier node is
+//!   removed ([`AtomicF64`]), and
+//! * clearing liveness bits of the removal frontier ([`AtomicSetView`]).
+//!
+//! Both views alias memory that the rest of the pass owns exclusively
+//! (`Vec<f64>` degrees, [`NodeSet`] words), so no data is copied in or
+//! out: a `&mut` borrow is temporarily reinterpreted as a shared atomic
+//! slice for the duration of the scoped-thread region.
+//!
+//! Determinism note: all degree values in the unweighted algorithms are
+//! integer-valued `f64`s, for which atomic add/sub is exact regardless of
+//! the order threads apply them — parallel passes produce bit-identical
+//! results to serial ones. Weighted degrees are not order-independent
+//! under `+`, so the weighted parallel path recomputes degrees
+//! chunk-by-chunk (each node summed sequentially by one thread) instead
+//! of pushing concurrent updates.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::bitset::NodeSet;
+
+/// An `f64` counter supporting lock-free add/sub via compare-and-swap on
+/// the underlying bits.
+#[repr(transparent)]
+pub struct AtomicF64(AtomicU64);
+
+impl AtomicF64 {
+    /// Creates a counter holding `value`.
+    pub fn new(value: f64) -> Self {
+        AtomicF64(AtomicU64::new(value.to_bits()))
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn load(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    /// Overwrites the value.
+    #[inline]
+    pub fn store(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed)
+    }
+
+    /// Atomically adds `delta` (CAS loop); returns the previous value.
+    #[inline]
+    pub fn fetch_add(&self, delta: f64) -> f64 {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return f64::from_bits(cur),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Atomically subtracts `delta`; returns the previous value.
+    #[inline]
+    pub fn fetch_sub(&self, delta: f64) -> f64 {
+        self.fetch_add(-delta)
+    }
+}
+
+/// Reinterprets an exclusively borrowed `f64` slice as a shared slice of
+/// atomic counters for the duration of the borrow.
+pub fn f64_slice_as_atomic(slice: &mut [f64]) -> &[AtomicF64] {
+    // Safety: `AtomicF64` is `repr(transparent)` over `AtomicU64`, which
+    // has the same size and bit validity as `u64`/`f64`. The exclusive
+    // borrow guarantees no non-atomic access can race with the atomic
+    // view. `AtomicU64` additionally requires 8-byte alignment, which
+    // `f64` already has on every 64-bit target this workspace supports.
+    assert!(std::mem::align_of::<f64>() >= std::mem::align_of::<AtomicF64>());
+    unsafe { &*(slice as *mut [f64] as *const [AtomicF64]) }
+}
+
+/// A shared, thread-safe view of a [`NodeSet`] supporting concurrent
+/// membership tests and removals.
+///
+/// The view does not maintain the set's cached cardinality; call
+/// [`NodeSet::recount`] after the parallel region.
+pub struct AtomicSetView<'a> {
+    words: &'a [AtomicU64],
+    capacity: usize,
+}
+
+impl<'a> AtomicSetView<'a> {
+    /// Wraps an exclusively borrowed set.
+    pub fn new(set: &'a mut NodeSet) -> Self {
+        let capacity = set.capacity();
+        let words = set.words_mut();
+        // Safety: same layout/alignment argument as [`f64_slice_as_atomic`].
+        let words = unsafe { &*(words as *mut [u64] as *const [AtomicU64]) };
+        AtomicSetView { words, capacity }
+    }
+
+    /// Membership test (racy with concurrent removals of the same id —
+    /// callers partition the frontier so each id is cleared exactly once).
+    #[inline]
+    pub fn contains(&self, i: u32) -> bool {
+        let i = i as usize;
+        debug_assert!(i < self.capacity);
+        (self.words[i / 64].load(Ordering::Relaxed) >> (i % 64)) & 1 == 1
+    }
+
+    /// Clears bit `i`.
+    #[inline]
+    pub fn remove(&self, i: u32) {
+        let i = i as usize;
+        debug_assert!(i < self.capacity);
+        self.words[i / 64].fetch_and(!(1u64 << (i % 64)), Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atomic_f64_add_sub() {
+        let a = AtomicF64::new(3.0);
+        assert_eq!(a.fetch_add(2.0), 3.0);
+        assert_eq!(a.load(), 5.0);
+        a.fetch_sub(1.0);
+        assert_eq!(a.load(), 4.0);
+        a.store(0.5);
+        assert_eq!(a.load(), 0.5);
+    }
+
+    #[test]
+    fn atomic_view_over_slice() {
+        let mut v = vec![1.0f64, 2.0, 3.0];
+        {
+            let view = f64_slice_as_atomic(&mut v);
+            view[1].fetch_sub(1.0);
+            view[2].fetch_add(4.0);
+        }
+        assert_eq!(v, vec![1.0, 1.0, 7.0]);
+    }
+
+    #[test]
+    fn concurrent_integer_adds_are_exact() {
+        let mut v = vec![0.0f64];
+        {
+            let view = f64_slice_as_atomic(&mut v);
+            std::thread::scope(|scope| {
+                for _ in 0..4 {
+                    let view = &*view;
+                    scope.spawn(move || {
+                        for _ in 0..1000 {
+                            view[0].fetch_add(1.0);
+                        }
+                    });
+                }
+            });
+        }
+        assert_eq!(v[0], 4000.0);
+    }
+
+    #[test]
+    fn atomic_set_view_remove() {
+        let mut s = NodeSet::full(130);
+        {
+            let view = AtomicSetView::new(&mut s);
+            assert!(view.contains(0));
+            view.remove(0);
+            view.remove(64);
+            view.remove(129);
+            assert!(!view.contains(64));
+        }
+        s.recount();
+        assert_eq!(s.len(), 127);
+        assert!(!s.contains(0));
+        assert!(!s.contains(64));
+        assert!(!s.contains(129));
+        assert!(s.contains(1));
+    }
+
+    #[test]
+    fn parallel_frontier_clear() {
+        let mut s = NodeSet::full(1000);
+        let frontier: Vec<u32> = (0..1000).step_by(3).collect();
+        let expected = 1000 - frontier.len();
+        {
+            let view = AtomicSetView::new(&mut s);
+            std::thread::scope(|scope| {
+                for chunk in frontier.chunks(64) {
+                    let view = &view;
+                    scope.spawn(move || {
+                        for &u in chunk {
+                            view.remove(u);
+                        }
+                    });
+                }
+            });
+        }
+        s.recount();
+        assert_eq!(s.len(), expected);
+    }
+}

@@ -73,7 +73,11 @@ impl NodeSet {
     #[inline]
     pub fn contains(&self, i: u32) -> bool {
         let i = i as usize;
-        debug_assert!(i < self.capacity, "id {i} out of capacity {}", self.capacity);
+        debug_assert!(
+            i < self.capacity,
+            "id {i} out of capacity {}",
+            self.capacity
+        );
         (self.words[i / 64] >> (i % 64)) & 1 == 1
     }
 
@@ -81,7 +85,11 @@ impl NodeSet {
     #[inline]
     pub fn insert(&mut self, i: u32) -> bool {
         let idx = i as usize;
-        assert!(idx < self.capacity, "id {idx} out of capacity {}", self.capacity);
+        assert!(
+            idx < self.capacity,
+            "id {idx} out of capacity {}",
+            self.capacity
+        );
         let w = &mut self.words[idx / 64];
         let mask = 1u64 << (idx % 64);
         if *w & mask == 0 {
@@ -97,7 +105,11 @@ impl NodeSet {
     #[inline]
     pub fn remove(&mut self, i: u32) -> bool {
         let idx = i as usize;
-        assert!(idx < self.capacity, "id {idx} out of capacity {}", self.capacity);
+        assert!(
+            idx < self.capacity,
+            "id {idx} out of capacity {}",
+            self.capacity
+        );
         let w = &mut self.words[idx / 64];
         let mask = 1u64 << (idx % 64);
         if *w & mask != 0 {
@@ -175,7 +187,23 @@ impl NodeSet {
     /// `true` if every id of `self` is contained in `other`.
     pub fn is_subset_of(&self, other: &NodeSet) -> bool {
         assert_eq!(self.capacity, other.capacity, "capacity mismatch");
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Recomputes the cached cardinality from the bit words.
+    ///
+    /// Required after bulk mutation through an
+    /// [`crate::atomic::AtomicSetView`], which flips bits without updating
+    /// the cached length.
+    pub fn recount(&mut self) {
+        self.len = self.words.iter().map(|w| w.count_ones() as usize).sum();
+    }
+
+    pub(crate) fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
     }
 }
 

@@ -306,11 +306,21 @@ impl CsrDirected {
         // Iterate from the smaller side for speed.
         if s.len() <= t.len() {
             s.iter()
-                .map(|u| self.out_neighbors(u).iter().filter(|&&v| t.contains(v)).count())
+                .map(|u| {
+                    self.out_neighbors(u)
+                        .iter()
+                        .filter(|&&v| t.contains(v))
+                        .count()
+                })
                 .sum()
         } else {
             t.iter()
-                .map(|v| self.in_neighbors(v).iter().filter(|&&u| s.contains(u)).count())
+                .map(|v| {
+                    self.in_neighbors(v)
+                        .iter()
+                        .filter(|&&u| s.contains(u))
+                        .count()
+                })
                 .sum()
         }
     }

@@ -213,7 +213,11 @@ impl EdgeList {
     /// Relabels nodes with a permutation `perm` (node `i` becomes
     /// `perm[i]`). Useful for randomizing generator artifacts.
     pub fn relabel(&mut self, perm: &[u32]) {
-        assert_eq!(perm.len(), self.num_nodes as usize, "permutation size mismatch");
+        assert_eq!(
+            perm.len(),
+            self.num_nodes as usize,
+            "permutation size mismatch"
+        );
         for (u, v) in &mut self.edges {
             *u = perm[*u as usize];
             *v = perm[*v as usize];
@@ -224,7 +228,10 @@ impl EdgeList {
     /// `self.num_nodes`. Both lists must have the same [`GraphKind`].
     /// Produces the disjoint union of the two graphs.
     pub fn disjoint_union(&mut self, other: &EdgeList) {
-        assert_eq!(self.kind, other.kind, "cannot union directed with undirected");
+        assert_eq!(
+            self.kind, other.kind,
+            "cannot union directed with undirected"
+        );
         let offset = self.num_nodes;
         if self.weights.is_some() || other.weights.is_some() {
             let w0 = self

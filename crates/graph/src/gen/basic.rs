@@ -51,7 +51,10 @@ pub fn path(n: u32) -> EdgeList {
 ///
 /// Used to build the regular layers of the paper's Lemma 5 instance.
 pub fn circulant(n: u32, k: u32) -> EdgeList {
-    assert!(k.is_multiple_of(2), "circulant degree must be even (got {k})");
+    assert!(
+        k.is_multiple_of(2),
+        "circulant degree must be even (got {k})"
+    );
     assert!(k < n, "circulant degree {k} must be < n = {n}");
     let mut g = EdgeList::new_undirected(n);
     for u in 0..n {

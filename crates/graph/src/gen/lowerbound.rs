@@ -32,7 +32,10 @@ use super::basic::circulant;
 /// Degree-1 layers need even node counts (perfect matchings), which the
 /// power-of-two sizes guarantee.
 pub fn regular_union(k: u32) -> EdgeList {
-    assert!((1..=12).contains(&k), "k must be in 1..=12 (graph has ~4^k nodes)");
+    assert!(
+        (1..=12).contains(&k),
+        "k must be in 1..=12 (graph has ~4^k nodes)"
+    );
     let mut g = EdgeList::new_undirected(0);
     for i in 1..=k {
         let degree = 1u32 << (i - 1);

@@ -30,7 +30,9 @@ pub mod structured;
 pub use basic::{circulant, clique, complete_bipartite, cycle, path, star};
 pub use directed::{directed_gnp, directed_planted, skewed_celebrity};
 pub use lowerbound::{disjointness_gadget, regular_union, weighted_powerlaw};
-pub use planted::{planted_clique, planted_dense_subgraph, powerlaw_with_communities, PlantedGraph};
+pub use planted::{
+    planted_clique, planted_dense_subgraph, powerlaw_with_communities, PlantedGraph,
+};
 pub use preferential::{preferential_attachment, weighted_preferential_attachment};
 pub use random::{chung_lu, chung_lu_powerlaw, gnm, gnp, powerlaw_degree_sequence, random_regular};
 pub use rmat::{rmat, RmatParams};

@@ -154,7 +154,10 @@ mod tests {
         let csr = CsrUndirected::from_edge_list(&g);
         for (set, bound) in &comms {
             let d = csr.density_of(set);
-            assert!(d + 1e-9 >= *bound, "community density {d} below bound {bound}");
+            assert!(
+                d + 1e-9 >= *bound,
+                "community density {d} below bound {bound}"
+            );
         }
         // Sorted by decreasing density.
         assert!(comms[0].1 >= comms[1].1);

@@ -113,10 +113,7 @@ mod tests {
         let deg = g.degrees_out();
         let max = deg.iter().cloned().fold(0.0, f64::max);
         let mean = deg.iter().sum::<f64>() / deg.len() as f64;
-        assert!(
-            max > 8.0 * mean,
-            "expected a hub: max {max} vs mean {mean}"
-        );
+        assert!(max > 8.0 * mean, "expected a hub: max {max} vs mean {mean}");
     }
 
     #[test]

@@ -152,7 +152,13 @@ pub fn chung_lu(weights: &[f64], seed: u64) -> EdgeList {
 }
 
 /// Convenience: Chung–Lu graph with a power-law degree sequence.
-pub fn chung_lu_powerlaw(n: u32, alpha: f64, avg_degree: f64, max_degree: f64, seed: u64) -> EdgeList {
+pub fn chung_lu_powerlaw(
+    n: u32,
+    alpha: f64,
+    avg_degree: f64,
+    max_degree: f64,
+    seed: u64,
+) -> EdgeList {
     let w = powerlaw_degree_sequence(n, alpha, avg_degree, max_degree);
     chung_lu(&w, seed)
 }
@@ -164,7 +170,9 @@ pub fn random_regular(n: u32, k: u32, seed: u64) -> EdgeList {
     assert!((n as u64 * k as u64).is_multiple_of(2), "n*k must be even");
     assert!(k < n, "k must be < n");
     let mut rng = SplitMix64::new(seed);
-    let mut stubs: Vec<u32> = (0..n).flat_map(|u| std::iter::repeat_n(u, k as usize)).collect();
+    let mut stubs: Vec<u32> = (0..n)
+        .flat_map(|u| std::iter::repeat_n(u, k as usize))
+        .collect();
     let mut g = EdgeList::new_undirected(n);
     let mut seen: FxHashSet<(u32, u32)> = FxHashSet::default();
     // A few rounds of shuffling and pairing; leftovers are dropped.

@@ -46,10 +46,19 @@ impl RmatParams {
 /// edges (before simplification). `kind` selects directed or undirected
 /// output; undirected graphs are canonicalized (duplicates and self-loops
 /// removed), so the final edge count is slightly below `num_edges`.
-pub fn rmat(scale: u32, num_edges: usize, params: RmatParams, kind: GraphKind, seed: u64) -> EdgeList {
+pub fn rmat(
+    scale: u32,
+    num_edges: usize,
+    params: RmatParams,
+    kind: GraphKind,
+    seed: u64,
+) -> EdgeList {
     assert!((1..=30).contains(&scale), "scale out of range");
     let sum = params.a + params.b + params.c + params.d;
-    assert!((sum - 1.0).abs() < 1e-9, "R-MAT params must sum to 1 (got {sum})");
+    assert!(
+        (sum - 1.0).abs() < 1e-9,
+        "R-MAT params must sum to 1 (got {sum})"
+    );
     let n = 1u32 << scale;
     let mut rng = SplitMix64::new(seed);
     let mut g = match kind {

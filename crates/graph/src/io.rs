@@ -64,14 +64,10 @@ pub fn read_text<P: AsRef<Path>>(path: P, kind: GraphKind) -> Result<EdgeList> {
             continue;
         }
         let mut it = t.split_whitespace();
-        let u: u32 = it
-            .next()
-            .unwrap()
-            .parse()
-            .map_err(|e| GraphError::Parse {
-                line: line_no,
-                msg: format!("bad source id: {e}"),
-            })?;
+        let u: u32 = it.next().unwrap().parse().map_err(|e| GraphError::Parse {
+            line: line_no,
+            msg: format!("bad source id: {e}"),
+        })?;
         let v: u32 = it
             .next()
             .ok_or_else(|| GraphError::Parse {
@@ -110,7 +106,10 @@ pub fn read_text<P: AsRef<Path>>(path: P, kind: GraphKind) -> Result<EdgeList> {
 /// [`crate::stream::BinaryFileStream`] and [`read_binary`].
 pub fn write_binary<P: AsRef<Path>>(path: P, list: &EdgeList) -> Result<()> {
     let m = list.num_edges();
-    assert!(m <= u32::MAX as usize, "binary format caps edges at u32::MAX");
+    assert!(
+        m <= u32::MAX as usize,
+        "binary format caps edges at u32::MAX"
+    );
     let file = File::create(path)?;
     let mut w = BufWriter::with_capacity(1 << 20, file);
     let weighted = list.is_weighted();
@@ -143,7 +142,9 @@ pub fn read_binary<P: AsRef<Path>>(path: P) -> Result<EdgeList> {
     let mut buf = Vec::new();
     file.read_to_end(&mut buf)?;
     if buf.len() < 16 {
-        return Err(GraphError::Format("binary edge file shorter than header".into()));
+        return Err(GraphError::Format(
+            "binary edge file shorter than header".into(),
+        ));
     }
     let magic = u32::from_le_bytes(buf[0..4].try_into().unwrap());
     if magic != BINARY_MAGIC {

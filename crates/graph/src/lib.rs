@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod atomic;
 pub mod bitset;
 pub mod csr;
 pub mod density;

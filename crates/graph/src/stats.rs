@@ -87,7 +87,10 @@ pub fn connected_components(g: &CsrUndirected) -> (Vec<Vec<u32>>, Vec<u32>) {
     for c in comp.iter_mut() {
         *c = remap[*c as usize];
     }
-    let mut sorted_components: Vec<Vec<u32>> = order.into_iter().map(|i| std::mem::take(&mut components[i])).collect();
+    let mut sorted_components: Vec<Vec<u32>> = order
+        .into_iter()
+        .map(|i| std::mem::take(&mut components[i]))
+        .collect();
     for c in &mut sorted_components {
         c.sort_unstable();
     }

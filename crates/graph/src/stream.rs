@@ -267,11 +267,15 @@ impl EdgeStream for BinaryFileStream {
         let file = File::open(&self.path).expect("edge file disappeared between passes");
         let mut reader = BufReader::with_capacity(1 << 20, file);
         let mut header = [0u8; 16];
-        reader.read_exact(&mut header).expect("header validated at open");
+        reader
+            .read_exact(&mut header)
+            .expect("header validated at open");
         if self.weighted {
             let mut rec = [0u8; 16];
             for _ in 0..self.num_edges {
-                reader.read_exact(&mut rec).expect("length validated at open");
+                reader
+                    .read_exact(&mut rec)
+                    .expect("length validated at open");
                 let u = u32::from_le_bytes(rec[0..4].try_into().unwrap());
                 let v = u32::from_le_bytes(rec[4..8].try_into().unwrap());
                 let w = f64::from_le_bytes(rec[8..16].try_into().unwrap());
@@ -280,7 +284,9 @@ impl EdgeStream for BinaryFileStream {
         } else {
             let mut rec = [0u8; 8];
             for _ in 0..self.num_edges {
-                reader.read_exact(&mut rec).expect("length validated at open");
+                reader
+                    .read_exact(&mut rec)
+                    .expect("length validated at open");
                 let u = u32::from_le_bytes(rec[0..4].try_into().unwrap());
                 let v = u32::from_le_bytes(rec[4..8].try_into().unwrap());
                 f(u, v, 1.0);

@@ -78,7 +78,10 @@ struct MarkAgg {
 
 impl MarkAgg {
     const NODE: MarkAgg = MarkAgg { node: true, deg: 0 };
-    const INC: MarkAgg = MarkAgg { node: false, deg: 1 };
+    const INC: MarkAgg = MarkAgg {
+        node: false,
+        deg: 1,
+    };
 
     fn merge(a: MarkAgg, b: MarkAgg) -> MarkAgg {
         MarkAgg {
@@ -103,7 +106,13 @@ fn run_mark_round(
         MarkRec::HalfEdge(u) => emit(u, MarkAgg::INC),
     };
     let reducer = move |&u: &u32, vs: &mut dyn Iterator<Item = MarkAgg>, out: &mut Vec<MarkOut>| {
-        let agg = vs.fold(MarkAgg { node: false, deg: 0 }, MarkAgg::merge);
+        let agg = vs.fold(
+            MarkAgg {
+                node: false,
+                deg: 0,
+            },
+            MarkAgg::merge,
+        );
         // Edges of already-removed endpoints cannot appear (they were
         // purged in the previous pass), so every increment belongs to a
         // live node.
@@ -151,7 +160,8 @@ pub fn mr_densest_undirected(
 ) -> MrUndirectedResult {
     assert!(epsilon >= 0.0);
     // Node file: initially every node, split evenly.
-    let mut node_splits: Vec<Vec<u32>> = split_evenly((0..num_nodes).collect(), config.num_reducers);
+    let mut node_splits: Vec<Vec<u32>> =
+        split_evenly((0..num_nodes).collect(), config.num_reducers);
     let mut edge_splits: Vec<Vec<(u32, u32)>> = edge_splits
         .into_iter()
         .map(|s| s.into_iter().filter(|&(u, v)| u != v).collect())
@@ -172,10 +182,8 @@ pub fn mr_densest_undirected(
         let rho = density::undirected(live_edges as f64, live_nodes as usize);
         if rho > best_density || pass == 1 {
             best_density = rho;
-            best_set = NodeSet::from_iter(
-                num_nodes as usize,
-                node_splits.iter().flatten().copied(),
-            );
+            best_set =
+                NodeSet::from_iter(num_nodes as usize, node_splits.iter().flatten().copied());
         }
         let threshold = density::undirected_threshold(rho, epsilon);
 
@@ -353,7 +361,8 @@ pub fn mr_densest_directed(
         let from_s = s_count as f64 / t_count as f64 >= c;
         let side = if from_s { Side::Out } else { Side::In };
         let side_count = if from_s { s_count } else { t_count };
-        let threshold = density::directed_threshold(live_edges as f64, side_count as usize, epsilon);
+        let threshold =
+            density::directed_threshold(live_edges as f64, side_count as usize, epsilon);
 
         // ---- Round 1: degree & mark on the chosen side -------------
         // The key carries the side so out- and in-degree streams cannot
@@ -381,7 +390,13 @@ pub fn mr_densest_directed(
         let reducer = |&(u, _): &(u32, Side),
                        vs: &mut dyn Iterator<Item = MarkAgg>,
                        out: &mut Vec<MarkOut>| {
-            let agg = vs.fold(MarkAgg { node: false, deg: 0 }, MarkAgg::merge);
+            let agg = vs.fold(
+                MarkAgg {
+                    node: false,
+                    deg: 0,
+                },
+                MarkAgg::merge,
+            );
             if agg.node {
                 if (agg.deg as f64) <= threshold {
                     out.push(MarkOut::Removed(u));

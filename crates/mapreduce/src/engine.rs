@@ -113,12 +113,12 @@ where
     let map_input: u64 = inputs.iter().map(|s| s.len() as u64).sum();
     let mut worker_buckets: Vec<Buckets<K, V>> = Vec::with_capacity(num_workers);
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(num_workers);
         for _ in 0..num_workers {
             let cursor = &cursor;
             let mapper = &mapper;
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut buckets: Buckets<K, V> = (0..num_reducers).map(|_| Vec::new()).collect();
                 loop {
                     let split_idx = cursor.fetch_add(1, Ordering::Relaxed);
@@ -141,8 +141,7 @@ where
         for h in handles {
             worker_buckets.push(h.join().expect("map worker panicked"));
         }
-    })
-    .expect("map scope panicked");
+    });
 
     // ---- Shuffle ----------------------------------------------------
     let mut shuffle: Vec<Vec<(K, (u64, V))>> = (0..num_reducers).map(|_| Vec::new()).collect();
@@ -159,13 +158,13 @@ where
     let shuffle_ref: Vec<_> = shuffle.into_iter().collect();
     let mut partitions_out: Vec<(usize, Vec<O>, u64)> = Vec::with_capacity(num_reducers);
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(num_workers);
         for _ in 0..num_workers {
             let reduce_cursor = &reduce_cursor;
             let reducer = &reducer;
             let shuffle_ref = &shuffle_ref;
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut mine: Vec<(usize, Vec<O>, u64)> = Vec::new();
                 loop {
                     let p = reduce_cursor.fetch_add(1, Ordering::Relaxed);
@@ -197,8 +196,7 @@ where
         for h in handles {
             partitions_out.append(&mut h.join().expect("reduce worker panicked"));
         }
-    })
-    .expect("reduce scope panicked");
+    });
 
     partitions_out.sort_by_key(|&(p, _, _)| p);
     let reduce_groups: u64 = partitions_out.iter().map(|&(_, _, g)| g).sum();
@@ -249,13 +247,13 @@ where
     type Combined<K, V> = rustc_hash::FxHashMap<K, (u64, V)>;
     let mut worker_buckets: Vec<Vec<Combined<K, V>>> = Vec::with_capacity(num_workers);
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(num_workers);
         for _ in 0..num_workers {
             let cursor = &cursor;
             let mapper = &mapper;
             let merge = &merge;
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut buckets: Vec<Combined<K, V>> =
                     (0..num_reducers).map(|_| Combined::default()).collect();
                 loop {
@@ -288,8 +286,7 @@ where
         for h in handles {
             worker_buckets.push(h.join().expect("map worker panicked"));
         }
-    })
-    .expect("map scope panicked");
+    });
 
     // ---- Shuffle (combined records) ----------------------------------
     let mut shuffle: Vec<Vec<(K, (u64, V))>> = (0..num_reducers).map(|_| Vec::new()).collect();
@@ -306,13 +303,13 @@ where
     let shuffle_ref: Vec<_> = shuffle.into_iter().collect();
     let mut partitions_out: Vec<(usize, Vec<O>, u64)> = Vec::with_capacity(num_reducers);
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(num_workers);
         for _ in 0..num_workers {
             let reduce_cursor = &reduce_cursor;
             let reducer = &reducer;
             let shuffle_ref = &shuffle_ref;
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut mine: Vec<(usize, Vec<O>, u64)> = Vec::new();
                 loop {
                     let p = reduce_cursor.fetch_add(1, Ordering::Relaxed);
@@ -343,8 +340,7 @@ where
         for h in handles {
             partitions_out.append(&mut h.join().expect("reduce worker panicked"));
         }
-    })
-    .expect("reduce scope panicked");
+    });
 
     partitions_out.sort_by_key(|&(p, _, _)| p);
     let reduce_groups: u64 = partitions_out.iter().map(|&(_, _, g)| g).sum();
@@ -375,10 +371,7 @@ mod tests {
 
     #[test]
     fn word_count() {
-        let inputs: Vec<Vec<&str>> = vec![
-            vec!["a b a", "c"],
-            vec!["b b", "a c c c"],
-        ];
+        let inputs: Vec<Vec<&str>> = vec![vec!["a b a", "c"], vec!["b b", "a c c c"]];
         let (outs, stats) = run_round(
             &config(),
             &inputs,
@@ -409,7 +402,9 @@ mod tests {
 
     #[test]
     fn deterministic_across_runs_and_worker_counts() {
-        let inputs: Vec<Vec<u32>> = (0..10).map(|i| (i * 100..(i + 1) * 100).collect()).collect();
+        let inputs: Vec<Vec<u32>> = (0..10)
+            .map(|i| (i * 100..(i + 1) * 100).collect())
+            .collect();
         let run = |workers: usize| {
             let cfg = MapReduceConfig {
                 num_workers: workers,

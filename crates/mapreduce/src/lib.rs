@@ -6,7 +6,7 @@
 //! here by a faithful thread-pool MapReduce engine:
 //!
 //! * [`engine`] — typed `map -> shuffle -> reduce` rounds over partitioned
-//!   input, executed by a configurable worker pool (crossbeam scoped
+//!   input, executed by a configurable worker pool (std scoped
 //!   threads), with per-round accounting of records, bytes-ish volume, and
 //!   wall-clock time.
 //! * [`densest`] — the paper's §5.2 dataflow: per-pass (1) a degree /
@@ -25,5 +25,7 @@
 pub mod densest;
 pub mod engine;
 
-pub use densest::{mr_densest_directed, mr_densest_undirected, MrDirectedResult, MrPassReport, MrUndirectedResult};
+pub use densest::{
+    mr_densest_directed, mr_densest_undirected, MrDirectedResult, MrPassReport, MrUndirectedResult,
+};
 pub use engine::{MapReduceConfig, RoundStats};

@@ -1,0 +1,116 @@
+//! Vendored implementation of the Fx hash function, API- and
+//! algorithm-compatible with the `rustc-hash` crate (version 1.x), which
+//! cannot be fetched in this workspace's offline build environment.
+//!
+//! Fx is the non-cryptographic, non-randomized multiply-xor hash used by
+//! the Rust compiler. Determinism matters here: the graph generators and
+//! the MapReduce partitioner hash with Fx so that generated graphs and
+//! shard assignments are identical across runs and platforms.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` keyed by the Fx hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// A `HashSet` keyed by the Fx hasher.
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// The Fx streaming hasher: per input word, `hash = (hash.rotl(5) ^ word) * SEED`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while bytes.len() >= 8 {
+            self.add_to_hash(u64::from_ne_bytes(bytes[..8].try_into().unwrap()));
+            bytes = &bytes[8..];
+        }
+        if bytes.len() >= 4 {
+            self.add_to_hash(u64::from(u32::from_ne_bytes(
+                bytes[..4].try_into().unwrap(),
+            )));
+            bytes = &bytes[4..];
+        }
+        if bytes.len() >= 2 {
+            self.add_to_hash(u64::from(u16::from_ne_bytes(
+                bytes[..2].try_into().unwrap(),
+            )));
+            bytes = &bytes[2..];
+        }
+        if let Some(&b) = bytes.first() {
+            self.add_to_hash(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    #[test]
+    fn deterministic_across_hashers() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        (42u32, 7u32).hash(&mut a);
+        (42u32, 7u32).hash(&mut b);
+        assert_eq!(a.finish(), b.finish());
+        let mut c = FxHasher::default();
+        (7u32, 42u32).hash(&mut c);
+        assert_ne!(a.finish(), c.finish());
+    }
+
+    #[test]
+    fn set_and_map_work() {
+        let mut s: FxHashSet<(u32, u32)> = FxHashSet::default();
+        assert!(s.insert((1, 2)));
+        assert!(!s.insert((1, 2)));
+        let mut m: FxHashMap<u32, u64> = FxHashMap::default();
+        m.insert(3, 9);
+        assert_eq!(m.get(&3), Some(&9));
+    }
+}

@@ -75,7 +75,9 @@ enum SketchImpl {
 
 fn build_inner(params: &SketchParams, pass: u64) -> SketchImpl {
     // Mix the pass index into the seed (SplitMix64 increment constant).
-    let seed = params.seed.wrapping_add(pass.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let seed = params
+        .seed
+        .wrapping_add(pass.wrapping_mul(0x9E37_79B9_7F4A_7C15));
     match params.kind {
         SketchKind::CountSketch => SketchImpl::Cs(CountSketch::new(params.t, params.b, seed)),
         SketchKind::CountMin => SketchImpl::Cm(CountMin::new(params.t, params.b, seed)),

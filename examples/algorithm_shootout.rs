@@ -21,14 +21,8 @@ use densest_subgraph::graph::CsrUndirected;
 use densest_subgraph::sketch::{approx_densest_sketched, SketchParams};
 
 fn main() {
-    let (list, _) = gen::powerlaw_with_communities(
-        15_000,
-        2.3,
-        10.0,
-        1_500.0,
-        &[(100, 0.7), (200, 0.3)],
-        77,
-    );
+    let (list, _) =
+        gen::powerlaw_with_communities(15_000, 2.3, 10.0, 1_500.0, &[(100, 0.7), (200, 0.3)], 77);
     let csr = CsrUndirected::from_edge_list(&list);
     println!(
         "graph: {} nodes, {} edges\n",
@@ -96,7 +90,11 @@ fn main() {
 
     let t = Instant::now();
     let mut stream = MemoryStream::new(list.clone());
-    let sk = approx_densest_sketched(&mut stream, 0.5, SketchParams::paper(list.num_nodes / 20, 5));
+    let sk = approx_densest_sketched(
+        &mut stream,
+        0.5,
+        SketchParams::paper(list.num_nodes / 20, 5),
+    );
     println!(
         "{:<34} {:>9.3} {:>7} {:>9.0?}",
         format!(

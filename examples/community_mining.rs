@@ -19,14 +19,8 @@ fn main() {
     // A power-law social graph with three planted communities of
     // decreasing density.
     let n = 4000;
-    let (list, planted) = gen::powerlaw_with_communities(
-        n,
-        2.3,
-        8.0,
-        250.0,
-        &[(60, 0.8), (90, 0.5), (120, 0.3)],
-        7,
-    );
+    let (list, planted) =
+        gen::powerlaw_with_communities(n, 2.3, 8.0, 250.0, &[(60, 0.8), (90, 0.5), (120, 0.3)], 7);
     println!(
         "graph: {} nodes, {} edges, {} planted communities",
         list.num_nodes,
@@ -34,7 +28,12 @@ fn main() {
         planted.len()
     );
     for (i, (set, density)) in planted.iter().enumerate() {
-        println!("  planted {}: {} nodes, density ≥ {:.1}", i + 1, set.len(), density);
+        println!(
+            "  planted {}: {} nodes, density ≥ {:.1}",
+            i + 1,
+            set.len(),
+            density
+        );
     }
 
     let csr = CsrUndirected::from_edge_list(&list);
@@ -47,7 +46,10 @@ fn main() {
         },
     );
 
-    println!("\nextracted {} node-disjoint communities:", communities.len());
+    println!(
+        "\nextracted {} node-disjoint communities:",
+        communities.len()
+    );
     for c in &communities {
         // How well does each extracted community line up with a planted one?
         let best_overlap = planted
@@ -70,7 +72,10 @@ fn main() {
     // Communities are node-disjoint by construction.
     for i in 0..communities.len() {
         for j in (i + 1)..communities.len() {
-            assert_eq!(communities[i].nodes.intersection_len(&communities[j].nodes), 0);
+            assert_eq!(
+                communities[i].nodes.intersection_len(&communities[j].nodes),
+                0
+            );
         }
     }
     println!("all extracted communities are node-disjoint ✓");

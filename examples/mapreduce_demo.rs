@@ -14,14 +14,7 @@ use densest_subgraph::mapreduce::{mr_densest_undirected, MapReduceConfig};
 
 fn main() {
     // An "im-like" heavy-tailed graph with a dense core.
-    let (list, _) = gen::powerlaw_with_communities(
-        30_000,
-        2.0,
-        12.0,
-        2_000.0,
-        &[(150, 0.5)],
-        3,
-    );
+    let (list, _) = gen::powerlaw_with_communities(30_000, 2.0, 12.0, 2_000.0, &[(150, 0.5)], 3);
     println!(
         "graph: {} nodes, {} edges",
         list.num_nodes,

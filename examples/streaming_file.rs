@@ -10,9 +10,9 @@
 //! both text and binary formats, and streams from both.
 
 use densest_subgraph::core::undirected::approx_densest;
+use densest_subgraph::graph::gen;
 use densest_subgraph::graph::io::{write_binary, write_text};
 use densest_subgraph::graph::stream::{BinaryFileStream, EdgeStream, TextFileStream};
-use densest_subgraph::graph::gen;
 use densest_subgraph::sketch::{approx_densest_sketched, SketchParams};
 
 fn main() {
@@ -25,7 +25,12 @@ fn main() {
                 densest_subgraph::graph::GraphKind::Undirected,
             )
             .expect("cannot read edge list");
-            println!("loaded {}: {} nodes, {} edges", p, list.num_nodes, list.num_edges());
+            println!(
+                "loaded {}: {} nodes, {} edges",
+                p,
+                list.num_nodes,
+                list.num_edges()
+            );
             (std::path::PathBuf::from(p), None, list.num_nodes)
         }
         None => {

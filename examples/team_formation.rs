@@ -18,14 +18,8 @@ use densest_subgraph::graph::stream::MemoryStream;
 fn main() {
     // Collaboration network: 1500 people; a tight 18-person core team
     // plus a looser 60-person department.
-    let (network, communities) = gen::powerlaw_with_communities(
-        1500,
-        2.4,
-        6.0,
-        120.0,
-        &[(18, 0.9), (60, 0.35)],
-        2024,
-    );
+    let (network, communities) =
+        gen::powerlaw_with_communities(1500, 2.4, 6.0, 120.0, &[(18, 0.9), (60, 0.35)], 2024);
     println!(
         "collaboration network: {} people, {} edges",
         network.num_nodes,
@@ -61,6 +55,8 @@ fn main() {
         assert!(team.best_set.len() >= k, "size floor violated");
     }
 
-    println!("\nnote: density necessarily drops as the size floor grows — \
-              ρ*_{{≥k}} is non-increasing in k.");
+    println!(
+        "\nnote: density necessarily drops as the size floor grows — \
+              ρ*_{{≥k}} is non-increasing in k."
+    );
 }

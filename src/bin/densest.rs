@@ -15,16 +15,26 @@
 //!   --epsilon <f>     approximation parameter ε (default 0.5)
 //!   --k <n>           size floor for atleast-k (default 10)
 //!   --delta <f>       c-grid resolution for directed (default 2)
+//!   --threads <n>     worker threads for the parallel peeling backend
+//!                     (approx, atleast-k, directed; default 1 = serial)
 //!   --sketch <b>      use a Count-Sketch degree oracle with width b (t=5)
 //!   --binary          input is the dsg binary edge format
 //!   --directed-input  parse the file as directed (for `directed`)
+//!   --json            print a one-line machine-readable JSON summary
 //!   --quiet           print only the summary line
 //! ```
 //!
 //! The input is a whitespace-separated `u v [w]` edge list with `#`
 //! comments (SNAP format), or the compact binary format with `--binary`.
+//! `--threads` selects the parallel CSR backend for `approx`,
+//! `atleast-k`, and `directed`; it is deterministic at every thread
+//! count and bit-identical to the serial backend on unweighted graphs
+//! (weighted graphs match within floating-point rounding). The flag has
+//! no effect on `charikar`, `exact`, `enumerate`, or sketched runs — a
+//! warning is printed if it is passed there.
 
 use std::process::exit;
+use std::time::Instant;
 
 use densest_subgraph::core as dsg_core;
 use densest_subgraph::graph::io::{read_binary, read_text};
@@ -38,23 +48,39 @@ struct Options {
     epsilon: f64,
     k: usize,
     delta: f64,
+    threads: usize,
     sketch_b: Option<u32>,
     binary: bool,
     directed_input: bool,
+    json: bool,
     quiet: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: densest <approx|atleast-k|directed|charikar|exact|enumerate> <edge-file> \
-         [--epsilon f] [--k n] [--delta f] [--sketch b] [--binary] [--directed-input] [--quiet]"
+         [--epsilon f] [--k n] [--delta f] [--threads n] [--sketch b] [--binary] \
+         [--directed-input] [--json] [--quiet]"
     );
     exit(2);
 }
 
+const ALGORITHMS: [&str; 6] = [
+    "approx",
+    "atleast-k",
+    "directed",
+    "charikar",
+    "exact",
+    "enumerate",
+];
+
 fn parse_options() -> Options {
     let mut args = std::env::args().skip(1);
     let algorithm = args.next().unwrap_or_else(|| usage());
+    if !ALGORITHMS.contains(&algorithm.as_str()) {
+        eprintln!("unknown algorithm '{algorithm}'");
+        usage();
+    }
     let path = args.next().unwrap_or_else(|| usage());
     let mut o = Options {
         algorithm,
@@ -62,9 +88,11 @@ fn parse_options() -> Options {
         epsilon: 0.5,
         k: 10,
         delta: 2.0,
+        threads: 1,
         sketch_b: None,
         binary: false,
         directed_input: false,
+        json: false,
         quiet: false,
     };
     while let Some(flag) = args.next() {
@@ -78,11 +106,22 @@ fn parse_options() -> Options {
             "--epsilon" => o.epsilon = value("--epsilon").parse().expect("bad --epsilon"),
             "--k" => o.k = value("--k").parse().expect("bad --k"),
             "--delta" => o.delta = value("--delta").parse().expect("bad --delta"),
+            "--threads" => {
+                o.threads = value("--threads").parse().expect("bad --threads");
+                if o.threads == 0 {
+                    eprintln!("--threads must be at least 1");
+                    exit(2);
+                }
+            }
             "--sketch" => o.sketch_b = Some(value("--sketch").parse().expect("bad --sketch")),
             "--binary" => o.binary = true,
             "--directed-input" => o.directed_input = true,
+            "--json" => o.json = true,
             "--quiet" => o.quiet = true,
-            _ => usage(),
+            other => {
+                eprintln!("unknown flag '{other}'");
+                usage();
+            }
         }
     }
     o
@@ -120,15 +159,87 @@ fn print_set(nodes: &NodeSet, quiet: bool) {
     println!("nodes: [{}{}]", shown.join(", "), ellipsis);
 }
 
+/// Assembles the `--json` one-line summary. Keys/values are emitted in
+/// insertion order; only JSON-safe primitives are used.
+struct JsonSummary {
+    fields: Vec<(String, String)>,
+}
+
+impl JsonSummary {
+    fn new(o: &Options, list: &EdgeList) -> Self {
+        let mut s = JsonSummary { fields: Vec::new() };
+        s.str_field("algorithm", &o.algorithm);
+        s.str_field("file", &o.path);
+        s.num_field("graph_nodes", list.num_nodes as f64);
+        s.num_field("graph_edges", list.num_edges() as f64);
+        s
+    }
+
+    fn str_field(&mut self, key: &str, value: &str) {
+        let mut escaped = String::with_capacity(value.len());
+        for c in value.chars() {
+            match c {
+                '"' => escaped.push_str("\\\""),
+                '\\' => escaped.push_str("\\\\"),
+                '\n' => escaped.push_str("\\n"),
+                '\r' => escaped.push_str("\\r"),
+                '\t' => escaped.push_str("\\t"),
+                c if (c as u32) < 0x20 => escaped.push_str(&format!("\\u{:04x}", c as u32)),
+                c => escaped.push(c),
+            }
+        }
+        self.fields
+            .push((key.to_string(), format!("\"{escaped}\"")));
+    }
+
+    fn num_field(&mut self, key: &str, value: f64) {
+        let rendered = if value == value.trunc() && value.abs() < 1e15 {
+            format!("{value:.0}")
+        } else {
+            format!("{value}")
+        };
+        self.fields.push((key.to_string(), rendered));
+    }
+
+    fn print(&self) {
+        let body: Vec<String> = self
+            .fields
+            .iter()
+            .map(|(k, v)| format!("\"{k}\":{v}"))
+            .collect();
+        println!("{{{}}}", body.join(","));
+    }
+}
+
 fn main() {
     let o = parse_options();
     let list = load(&o);
-    if !o.quiet {
+    if !o.quiet && !o.json {
         eprintln!(
             "loaded {}: {} nodes, {} edges",
             o.path,
             list.num_nodes,
             list.num_edges()
+        );
+    }
+    let mut json = JsonSummary::new(&o, &list);
+    let quiet = o.quiet || o.json;
+    let started = Instant::now();
+
+    // The parallel peeling backend serves atleast-k, directed, and
+    // approx without the streaming sketch oracle; warn instead of
+    // silently ignoring the flag elsewhere.
+    let threads_used = matches!(o.algorithm.as_str(), "atleast-k" | "directed")
+        || (o.algorithm == "approx" && o.sketch_b.is_none());
+    if o.threads > 1 && !threads_used {
+        eprintln!(
+            "warning: --threads has no effect for '{}'{} (serial run)",
+            o.algorithm,
+            if o.algorithm == "approx" {
+                " with --sketch"
+            } else {
+                ""
+            }
         );
     }
 
@@ -137,7 +248,7 @@ fn main() {
             let run = if let Some(b) = o.sketch_b {
                 let mut stream = MemoryStream::new(list);
                 let sk = approx_densest_sketched(&mut stream, o.epsilon, SketchParams::paper(b, 0));
-                if !o.quiet {
+                if !quiet {
                     eprintln!(
                         "sketch: {} words vs {} exact ({:.0}%)",
                         sk.sketch_words,
@@ -145,11 +256,26 @@ fn main() {
                         100.0 * sk.memory_ratio()
                     );
                 }
+                json.num_field("sketch_words", sk.sketch_words as f64);
                 sk.run
             } else {
                 let csr = CsrUndirected::from_edge_list(&list);
-                dsg_core::undirected::approx_densest_csr(&csr, o.epsilon)
+                if o.threads > 1 {
+                    dsg_core::undirected::approx_densest_csr_parallel(&csr, o.epsilon, o.threads)
+                } else {
+                    dsg_core::undirected::approx_densest_csr(&csr, o.epsilon)
+                }
             };
+            json.num_field("density", run.best_density);
+            json.num_field("nodes", run.best_set.len() as f64);
+            json.num_field("passes", run.passes as f64);
+            json.num_field("epsilon", o.epsilon);
+            json.num_field("threads", o.threads as f64);
+            if o.json {
+                json.num_field("elapsed_ms", started.elapsed().as_secs_f64() * 1e3);
+                json.print();
+                return;
+            }
             println!(
                 "density {:.6} on {} nodes ({} passes, ε = {})",
                 run.best_density,
@@ -160,8 +286,27 @@ fn main() {
             print_set(&run.best_set, o.quiet);
         }
         "atleast-k" => {
-            let mut stream = MemoryStream::new(list);
-            let run = dsg_core::large::approx_densest_at_least_k(&mut stream, o.k, o.epsilon.max(1e-6));
+            let epsilon = o.epsilon.max(1e-6);
+            let run = if o.threads > 1 {
+                let csr = CsrUndirected::from_edge_list(&list);
+                dsg_core::large::approx_densest_at_least_k_csr_parallel(
+                    &csr, o.k, epsilon, o.threads,
+                )
+            } else {
+                let mut stream = MemoryStream::new(list);
+                dsg_core::large::approx_densest_at_least_k(&mut stream, o.k, epsilon)
+            };
+            json.num_field("density", run.best_density);
+            json.num_field("nodes", run.best_set.len() as f64);
+            json.num_field("passes", run.passes as f64);
+            json.num_field("k", o.k as f64);
+            json.num_field("epsilon", epsilon);
+            json.num_field("threads", o.threads as f64);
+            if o.json {
+                json.num_field("elapsed_ms", started.elapsed().as_secs_f64() * 1e3);
+                json.print();
+                return;
+            }
             println!(
                 "density {:.6} on {} nodes (k = {}, {} passes)",
                 run.best_density,
@@ -173,7 +318,23 @@ fn main() {
         }
         "directed" => {
             let csr = CsrDirected::from_edge_list(&list);
-            let sweep = dsg_core::directed::sweep_c_csr(&csr, o.delta, o.epsilon);
+            let sweep = if o.threads > 1 {
+                dsg_core::directed::sweep_c_csr_parallel(&csr, o.delta, o.epsilon, o.threads)
+            } else {
+                dsg_core::directed::sweep_c_csr(&csr, o.delta, o.epsilon)
+            };
+            json.num_field("density", sweep.best.best_density);
+            json.num_field("s_nodes", sweep.best.best_s.len() as f64);
+            json.num_field("t_nodes", sweep.best.best_t.len() as f64);
+            json.num_field("best_c", sweep.best.c);
+            json.num_field("delta", o.delta);
+            json.num_field("epsilon", o.epsilon);
+            json.num_field("threads", o.threads as f64);
+            if o.json {
+                json.num_field("elapsed_ms", started.elapsed().as_secs_f64() * 1e3);
+                json.print();
+                return;
+            }
             println!(
                 "density {:.6} with |S| = {}, |T| = {} (best c = {:.4}, δ = {})",
                 sweep.best.best_density,
@@ -192,6 +353,13 @@ fn main() {
         "charikar" => {
             let csr = CsrUndirected::from_edge_list(&list);
             let r = dsg_core::charikar::charikar_peel(&csr);
+            json.num_field("density", r.best_density);
+            json.num_field("nodes", r.best_set.len() as f64);
+            if o.json {
+                json.num_field("elapsed_ms", started.elapsed().as_secs_f64() * 1e3);
+                json.print();
+                return;
+            }
             println!(
                 "density {:.6} on {} nodes (exact greedy 2-approximation)",
                 r.best_density,
@@ -202,6 +370,14 @@ fn main() {
         "exact" => {
             let csr = CsrUndirected::from_edge_list(&list);
             let r = densest_subgraph::flow::exact_densest(&csr);
+            json.num_field("density", r.density);
+            json.num_field("nodes", r.set.len() as f64);
+            json.num_field("flow_calls", r.flow_calls as f64);
+            if o.json {
+                json.num_field("elapsed_ms", started.elapsed().as_secs_f64() * 1e3);
+                json.print();
+                return;
+            }
             println!(
                 "optimum density {:.6} on {} nodes ({} max-flow calls)",
                 r.density,
@@ -220,6 +396,13 @@ fn main() {
                     max_communities: 32,
                 },
             );
+            json.num_field("communities", comms.len() as f64);
+            json.num_field("top_density", comms.first().map_or(0.0, |c| c.density));
+            if o.json {
+                json.num_field("elapsed_ms", started.elapsed().as_secs_f64() * 1e3);
+                json.print();
+                return;
+            }
             println!("{} node-disjoint dense communities:", comms.len());
             for c in &comms {
                 println!(
@@ -231,6 +414,6 @@ fn main() {
                 print_set(&c.nodes, o.quiet);
             }
         }
-        _ => usage(),
+        _ => unreachable!("algorithm validated against ALGORITHMS in parse_options"),
     }
 }

@@ -14,14 +14,32 @@ fn families(seed: u64) -> Vec<(&'static str, EdgeList)> {
     vec![
         ("gnp_sparse", gen::gnp(300, 0.02, seed)),
         ("gnp_dense", gen::gnp(120, 0.2, seed)),
-        ("planted_clique", gen::planted_clique(400, 900, 18, seed).graph),
+        (
+            "planted_clique",
+            gen::planted_clique(400, 900, 18, seed).graph,
+        ),
         (
             "planted_community",
             gen::planted_dense_subgraph(500, 1500, 30, 0.5, seed).graph,
         ),
-        ("powerlaw", gen::chung_lu_powerlaw(600, 2.3, 8.0, 120.0, seed)),
-        ("pref_attachment", gen::preferential_attachment(500, 3, seed)),
-        ("rmat", gen::rmat(9, 4000, gen::RmatParams::graph500(), densest_subgraph::graph::GraphKind::Undirected, seed)),
+        (
+            "powerlaw",
+            gen::chung_lu_powerlaw(600, 2.3, 8.0, 120.0, seed),
+        ),
+        (
+            "pref_attachment",
+            gen::preferential_attachment(500, 3, seed),
+        ),
+        (
+            "rmat",
+            gen::rmat(
+                9,
+                4000,
+                gen::RmatParams::graph500(),
+                densest_subgraph::graph::GraphKind::Undirected,
+                seed,
+            ),
+        ),
         ("regular_union", gen::regular_union(4)),
         ("clique", gen::clique(40)),
         ("star", gen::star(100)),

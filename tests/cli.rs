@@ -53,7 +53,10 @@ fn exact_matches_approx_here() {
     let path = clique_fixture();
     let (stdout, _, ok) = run(&["exact", path.to_str().unwrap(), "--quiet"]);
     assert!(ok);
-    assert!(stdout.contains("optimum density 2.000000 on 5 nodes"), "{stdout}");
+    assert!(
+        stdout.contains("optimum density 2.000000 on 5 nodes"),
+        "{stdout}"
+    );
 }
 
 #[test]
@@ -91,7 +94,13 @@ fn directed_mode() {
 #[test]
 fn enumerate_mode() {
     let path = clique_fixture();
-    let (stdout, _, ok) = run(&["enumerate", path.to_str().unwrap(), "--epsilon", "0.1", "--quiet"]);
+    let (stdout, _, ok) = run(&[
+        "enumerate",
+        path.to_str().unwrap(),
+        "--epsilon",
+        "0.1",
+        "--quiet",
+    ]);
     assert!(ok);
     assert!(stdout.contains("dense communities"), "{stdout}");
     assert!(stdout.contains("density 2.0000 on 5 nodes"), "{stdout}");
@@ -101,7 +110,10 @@ fn enumerate_mode() {
 fn rejects_bad_usage() {
     let (_, stderr, ok) = run(&["bogus-algorithm", "/nonexistent"]);
     assert!(!ok);
-    assert!(stderr.contains("usage") || stderr.contains("cannot read"), "{stderr}");
+    assert!(
+        stderr.contains("usage") || stderr.contains("cannot read"),
+        "{stderr}"
+    );
 
     let (_, stderr, ok) = run(&[]);
     assert!(!ok);
@@ -113,4 +125,80 @@ fn missing_file_is_a_clean_error() {
     let (_, stderr, ok) = run(&["approx", "/definitely/not/here.txt"]);
     assert!(!ok);
     assert!(stderr.contains("cannot read"), "{stderr}");
+}
+
+#[test]
+fn unknown_flag_is_named_in_the_error() {
+    let path = clique_fixture();
+    let (_, stderr, ok) = run(&["approx", path.to_str().unwrap(), "--frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown flag '--frobnicate'"), "{stderr}");
+    assert!(stderr.contains("usage"), "{stderr}");
+}
+
+#[test]
+fn threads_flag_matches_serial_output() {
+    let path = clique_fixture();
+    let (serial, _, ok1) = run(&[
+        "approx",
+        path.to_str().unwrap(),
+        "--epsilon",
+        "0.1",
+        "--quiet",
+    ]);
+    let (par, _, ok2) = run(&[
+        "approx",
+        path.to_str().unwrap(),
+        "--epsilon",
+        "0.1",
+        "--threads",
+        "4",
+        "--quiet",
+    ]);
+    assert!(ok1 && ok2);
+    assert_eq!(serial, par, "parallel backend must match serial output");
+    assert!(serial.contains("density 2.000000 on 5 nodes"), "{serial}");
+}
+
+#[test]
+fn zero_threads_rejected() {
+    let path = clique_fixture();
+    let (_, stderr, ok) = run(&["approx", path.to_str().unwrap(), "--threads", "0"]);
+    assert!(!ok);
+    assert!(stderr.contains("--threads must be at least 1"), "{stderr}");
+}
+
+#[test]
+fn json_summary_is_one_parseable_line() {
+    let path = clique_fixture();
+    let (stdout, _, ok) = run(&[
+        "approx",
+        path.to_str().unwrap(),
+        "--epsilon",
+        "0.1",
+        "--threads",
+        "2",
+        "--json",
+    ]);
+    assert!(ok);
+    assert_eq!(stdout.trim().lines().count(), 1, "{stdout}");
+    let line = stdout.trim();
+    assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+    assert!(line.contains("\"algorithm\":\"approx\""), "{line}");
+    assert!(line.contains("\"density\":2"), "{line}");
+    assert!(line.contains("\"nodes\":5"), "{line}");
+    assert!(line.contains("\"threads\":2"), "{line}");
+    assert!(line.contains("\"elapsed_ms\":"), "{line}");
+}
+
+#[test]
+fn json_summary_for_directed() {
+    let path = write_fixture("directed_json.txt", "0 3\n1 3\n2 3\n");
+    let (stdout, _, ok) = run(&["directed", path.to_str().unwrap(), "--json"]);
+    assert!(ok, "{stdout}");
+    let line = stdout.trim();
+    assert_eq!(line.lines().count(), 1, "{line}");
+    assert!(line.contains("\"algorithm\":\"directed\""), "{line}");
+    assert!(line.contains("\"t_nodes\":1"), "{line}");
+    assert!(line.contains("\"best_c\":"), "{line}");
 }

@@ -54,9 +54,19 @@ fn all_undirected_substrates_agree() {
 
     let reference = a.best_set.to_vec();
     for (name, set, density, passes) in [
-        ("memory-stream", b.best_set.to_vec(), b.best_density, b.passes),
+        (
+            "memory-stream",
+            b.best_set.to_vec(),
+            b.best_density,
+            b.passes,
+        ),
         ("text-stream", c.best_set.to_vec(), c.best_density, c.passes),
-        ("binary-stream", d.best_set.to_vec(), d.best_density, d.passes),
+        (
+            "binary-stream",
+            d.best_set.to_vec(),
+            d.best_density,
+            d.passes,
+        ),
         ("mapreduce", e.best_set.to_vec(), e.best_density, e.passes),
     ] {
         assert_eq!(set, reference, "{name} found a different set");
