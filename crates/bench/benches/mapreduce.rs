@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use dsg_datasets::{im_standin, Scale};
-use dsg_mapreduce::{mr_densest_undirected, MapReduceConfig};
+use dsg_mapreduce::{mr_densest_undirected, MapReduceConfig, ShuffleBackend};
 
 fn edge_splits(list: &dsg_graph::EdgeList, parts: usize) -> Vec<Vec<(u32, u32)>> {
     let chunk = (list.edges.len() / parts).max(1);
@@ -20,6 +20,7 @@ fn bench_mr_driver(c: &mut Criterion) {
         num_workers: 4,
         num_reducers: 16,
         combine: true,
+        shuffle: ShuffleBackend::InMemory,
     };
     let mut group = c.benchmark_group("fig67_mapreduce_driver");
     group.sample_size(10);
@@ -49,6 +50,7 @@ fn bench_worker_scaling(c: &mut Criterion) {
             num_workers: workers,
             num_reducers: 32,
             combine: true,
+            shuffle: ShuffleBackend::InMemory,
         };
         group.bench_with_input(
             BenchmarkId::from_parameter(workers),
@@ -80,6 +82,7 @@ fn bench_combiner(c: &mut Criterion) {
             num_workers: 4,
             num_reducers: 16,
             combine,
+            shuffle: ShuffleBackend::InMemory,
         };
         group.bench_function(name, |b| {
             b.iter(|| {

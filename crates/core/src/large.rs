@@ -46,6 +46,22 @@ pub fn approx_densest_at_least_k<S: EdgeStream + ?Sized>(
     UndirectedRun::from_kernel(PeelingKernel::new().run(&mut store, &mut policy))
 }
 
+/// Fallible form of [`approx_densest_at_least_k`] for file-backed
+/// streams: if a pass failed (I/O error, file modified between passes —
+/// [`EdgeStream::take_error`]) the computed run is invalid and the
+/// stream's error is returned instead. Never fails on `MemoryStream`.
+pub fn try_approx_densest_at_least_k<S: EdgeStream + ?Sized>(
+    stream: &mut S,
+    k: usize,
+    epsilon: f64,
+) -> dsg_graph::Result<UndirectedRun> {
+    let run = approx_densest_at_least_k(stream, k, epsilon);
+    match stream.take_error() {
+        Some(e) => Err(e),
+        None => Ok(run),
+    }
+}
+
 /// In-memory Algorithm 2 over a CSR snapshot with decremental degree
 /// maintenance — same sequence of sets as [`approx_densest_at_least_k`]
 /// on a stream of the same graph.

@@ -99,6 +99,18 @@ pub struct DirectedPassStats {
     pub removed: usize,
 }
 
+/// Peak resident bytes of a semi-streaming run over `n` nodes: the
+/// liveness bitset, the `f64` degree view, the degree-oracle counters
+/// (`oracle_words` = `n` for the exact oracle, `t·b` for a sketch), and
+/// the `(side, node)` removal log from which the best set is rebuilt.
+///
+/// This — not the edge count — is what the out-of-core path holds in
+/// memory; the `densest --stream` CLI and the `repro outofcore`
+/// experiment both report it from this one definition.
+pub fn streaming_state_bytes(n: u64, oracle_words: u64) -> u64 {
+    n.div_ceil(64) * 8 + 8 * n + 8 * oracle_words + 8 * n
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -70,6 +70,41 @@ pub fn approx_densest<S: EdgeStream + ?Sized>(stream: &mut S, epsilon: f64) -> U
     approx_densest_with_oracle(stream, epsilon, &mut oracle)
 }
 
+/// Fallible form of [`approx_densest`] for file-backed streams.
+///
+/// A `TextFileStream`/`BinaryFileStream` whose file fails mid-run (I/O
+/// error, or the file was modified between passes) aborts the failing
+/// pass and parks the error on the stream
+/// ([`EdgeStream::take_error`]); the run that was computed across it is
+/// garbage. This wrapper checks the stream after the run and returns the
+/// error instead of the invalid result. On always-valid streams
+/// (`MemoryStream`) it never fails.
+pub fn try_approx_densest<S: EdgeStream + ?Sized>(
+    stream: &mut S,
+    epsilon: f64,
+) -> dsg_graph::Result<UndirectedRun> {
+    let mut oracle = ExactDegreeOracle::new(stream.num_nodes());
+    try_approx_densest_with_oracle(stream, epsilon, &mut oracle)
+}
+
+/// Fallible form of [`approx_densest_with_oracle`] — see
+/// [`try_approx_densest`].
+pub fn try_approx_densest_with_oracle<S, O>(
+    stream: &mut S,
+    epsilon: f64,
+    oracle: &mut O,
+) -> dsg_graph::Result<UndirectedRun>
+where
+    S: EdgeStream + ?Sized,
+    O: DegreeOracle + ?Sized,
+{
+    let run = approx_densest_with_oracle(stream, epsilon, oracle);
+    match stream.take_error() {
+        Some(e) => Err(e),
+        None => Ok(run),
+    }
+}
+
 /// Runs Algorithm 1 over an edge stream with a caller-supplied degree
 /// oracle (exact or sketched — §5.1 of the paper).
 ///

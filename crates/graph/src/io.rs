@@ -3,17 +3,27 @@
 //!
 //! The text format is line-oriented `u v [w]` with `#` comments — the same
 //! shape as the SNAP datasets the paper evaluates on (Table 2), so real
-//! downloads drop in unchanged. The binary format is a fixed 16-byte header
-//! followed by fixed-width little-endian records; it exists so that the
-//! out-of-core streaming experiments are not bottlenecked on integer
-//! parsing.
+//! downloads drop in unchanged. Text parsing is shared with
+//! [`crate::stream::TextFileStream`] (one line grammar, one
+//! implementation: [`crate::stream::parse_edge_line`]), so a file loads
+//! in memory if and only if it also streams.
+//!
+//! The binary format is a fixed 16-byte header followed by fixed-width
+//! little-endian records; it exists so that the out-of-core streaming
+//! experiments are not bottlenecked on integer parsing. All binary reads
+//! go through [`BinaryEdgeReader`], which works record-by-record through
+//! a fixed-size buffer — memory stays O(1) in the file size, which is the
+//! point of the out-of-core path.
+//!
+//! Nothing in this module panics on user input: malformed files, header
+//! limits, and out-of-range node ids all surface as [`GraphError`]s.
 
 use std::fs::File;
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
 use crate::edgelist::{EdgeList, GraphKind};
-use crate::stream::BINARY_MAGIC;
+use crate::stream::{parse_edge_line, BINARY_MAGIC};
 use crate::{GraphError, Result};
 
 /// Writes `list` as a text edge list with a SNAP-style header comment.
@@ -49,6 +59,10 @@ pub fn write_text<P: AsRef<Path>>(path: P, list: &EdgeList) -> Result<()> {
 /// Reads a text edge list. Node ids may be arbitrary (non-dense) `u32`
 /// values; `num_nodes` is set to `max id + 1`. Self-loops and duplicates
 /// are kept — call [`EdgeList::canonicalize`] to simplify.
+///
+/// Uses the same line grammar as [`crate::stream::TextFileStream`]
+/// (shared [`parse_edge_line`]): `u v [w]`, `#` comments, and **no**
+/// trailing tokens — a file loads here if and only if it streams.
 pub fn read_text<P: AsRef<Path>>(path: P, kind: GraphKind) -> Result<EdgeList> {
     let file = File::open(path)?;
     let reader = BufReader::new(file);
@@ -57,41 +71,25 @@ pub fn read_text<P: AsRef<Path>>(path: P, kind: GraphKind) -> Result<EdgeList> {
     let mut any_weight = false;
     let mut max_id: u32 = 0;
     for (idx, line) in reader.lines().enumerate() {
-        let line_no = idx as u64 + 1;
         let line = line?;
-        let t = line.trim();
-        if t.is_empty() || t.starts_with('#') {
-            continue;
-        }
-        let mut it = t.split_whitespace();
-        let u: u32 = it.next().unwrap().parse().map_err(|e| GraphError::Parse {
-            line: line_no,
-            msg: format!("bad source id: {e}"),
-        })?;
-        let v: u32 = it
-            .next()
-            .ok_or_else(|| GraphError::Parse {
-                line: line_no,
-                msg: "missing target id".to_string(),
-            })?
-            .parse()
-            .map_err(|e| GraphError::Parse {
-                line: line_no,
-                msg: format!("bad target id: {e}"),
-            })?;
-        let w: f64 = match it.next() {
-            None => 1.0,
-            Some(tok) => {
+        if let Some((u, v, w)) = parse_edge_line(&line, idx as u64 + 1)? {
+            max_id = max_id.max(u).max(v);
+            edges.push((u, v));
+            if let Some(w) = w {
                 any_weight = true;
-                tok.parse().map_err(|e| GraphError::Parse {
-                    line: line_no,
-                    msg: format!("bad weight: {e}"),
-                })?
+                weights.push(w);
+            } else {
+                weights.push(1.0);
             }
-        };
-        max_id = max_id.max(u).max(v);
-        edges.push((u, v));
-        weights.push(w);
+        }
+    }
+    if !edges.is_empty() && max_id == u32::MAX {
+        // `max id + 1` must still fit the u32 node-count space.
+        return Err(GraphError::TooLarge {
+            what: "node id",
+            value: max_id as u64,
+            max: u32::MAX as u64 - 1,
+        });
     }
     let num_nodes = if edges.is_empty() { 0 } else { max_id + 1 };
     Ok(EdgeList {
@@ -104,14 +102,20 @@ pub fn read_text<P: AsRef<Path>>(path: P, kind: GraphKind) -> Result<EdgeList> {
 
 /// Writes `list` in the compact binary format readable by
 /// [`crate::stream::BinaryFileStream`] and [`read_binary`].
+///
+/// The format stores the edge count as a `u32`; lists with more than
+/// `u32::MAX` edges are rejected with [`GraphError::TooLarge`].
 pub fn write_binary<P: AsRef<Path>>(path: P, list: &EdgeList) -> Result<()> {
     let m = list.num_edges();
-    assert!(
-        m <= u32::MAX as usize,
-        "binary format caps edges at u32::MAX"
-    );
+    if m > u32::MAX as usize {
+        return Err(GraphError::TooLarge {
+            what: "edge count",
+            value: m as u64,
+            max: u32::MAX as u64,
+        });
+    }
     let file = File::create(path)?;
-    let mut w = BufWriter::with_capacity(1 << 20, file);
+    let mut w = BufWriter::with_capacity(BINARY_READ_BUFFER, file);
     let weighted = list.is_weighted();
     let mut flags = 0u32;
     if weighted {
@@ -135,60 +139,146 @@ pub fn write_binary<P: AsRef<Path>>(path: P, list: &EdgeList) -> Result<()> {
     Ok(())
 }
 
-/// Reads a binary edge file fully into memory.
+/// Fixed read-buffer size of [`BinaryEdgeReader`] (64 KiB). Binary files
+/// of any size are read through a buffer of exactly this many bytes.
+pub const BINARY_READ_BUFFER: usize = 64 * 1024;
+
+/// A validating, chunked reader over the compact binary edge format.
+///
+/// Opens the file, checks the header (magic, length vs. record count)
+/// and then yields edges one [`BinaryEdgeReader::next_edge`] at a time
+/// through a fixed [`BINARY_READ_BUFFER`]-byte buffer — never the whole
+/// file. Node ids are bounds-checked against the header's node count, so
+/// a corrupt or adversarial file surfaces a [`GraphError`] instead of an
+/// out-of-bounds panic later in CSR construction or a peeling kernel.
+pub struct BinaryEdgeReader {
+    reader: BufReader<File>,
+    num_nodes: u32,
+    num_edges: u64,
+    read: u64,
+    weighted: bool,
+    kind: GraphKind,
+}
+
+impl BinaryEdgeReader {
+    /// Opens a binary edge file and validates its header and length.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Self> {
+        let file = File::open(&path)?;
+        let mut reader = BufReader::with_capacity(BINARY_READ_BUFFER, file);
+        let mut header = [0u8; 16];
+        reader
+            .read_exact(&mut header)
+            .map_err(|_| GraphError::Format("binary edge file shorter than header".into()))?;
+        let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
+        if magic != BINARY_MAGIC {
+            return Err(GraphError::Format(format!(
+                "bad magic 0x{magic:08x} (expected 0x{BINARY_MAGIC:08x})"
+            )));
+        }
+        let flags = u32::from_le_bytes(header[4..8].try_into().unwrap());
+        let weighted = flags & 1 != 0;
+        let kind = if flags & 2 != 0 {
+            GraphKind::Directed
+        } else {
+            GraphKind::Undirected
+        };
+        let num_nodes = u32::from_le_bytes(header[8..12].try_into().unwrap());
+        let num_edges = u32::from_le_bytes(header[12..16].try_into().unwrap()) as u64;
+        let record: u64 = if weighted { 16 } else { 8 };
+        let expected = 16 + num_edges * record;
+        let actual = reader.get_ref().metadata()?.len();
+        if actual != expected {
+            return Err(GraphError::Format(format!(
+                "binary edge file length {actual} != expected {expected}"
+            )));
+        }
+        Ok(BinaryEdgeReader {
+            reader,
+            num_nodes,
+            num_edges,
+            read: 0,
+            weighted,
+            kind,
+        })
+    }
+
+    /// Node count from the header.
+    pub fn num_nodes(&self) -> u32 {
+        self.num_nodes
+    }
+
+    /// Edge count from the header.
+    pub fn num_edges(&self) -> u64 {
+        self.num_edges
+    }
+
+    /// Whether records carry weights.
+    pub fn is_weighted(&self) -> bool {
+        self.weighted
+    }
+
+    /// Directedness recorded in the header flags.
+    pub fn kind(&self) -> GraphKind {
+        self.kind
+    }
+
+    /// Reads the next edge, or `Ok(None)` after the last record.
+    ///
+    /// Errors on short reads (the file shrank after [`open`](Self::open))
+    /// and on node ids `>= num_nodes`.
+    pub fn next_edge(&mut self) -> Result<Option<(u32, u32, f64)>> {
+        if self.read == self.num_edges {
+            return Ok(None);
+        }
+        let len = if self.weighted { 16 } else { 8 };
+        let mut rec = [0u8; 16];
+        self.reader.read_exact(&mut rec[..len]).map_err(|e| {
+            GraphError::Format(format!(
+                "binary edge file truncated at record {}: {e}",
+                self.read
+            ))
+        })?;
+        let u = u32::from_le_bytes(rec[0..4].try_into().unwrap());
+        let v = u32::from_le_bytes(rec[4..8].try_into().unwrap());
+        let w = if self.weighted {
+            f64::from_le_bytes(rec[8..16].try_into().unwrap())
+        } else {
+            1.0
+        };
+        if u >= self.num_nodes || v >= self.num_nodes {
+            return Err(GraphError::NodeOutOfRange {
+                node: u.max(v) as u64,
+                num_nodes: self.num_nodes as u64,
+            });
+        }
+        self.read += 1;
+        Ok(Some((u, v, w)))
+    }
+}
+
+/// Reads a binary edge file into memory through the chunked
+/// [`BinaryEdgeReader`] (fixed-size read buffer; only the edge list
+/// itself is materialized, never a second whole-file byte copy).
 pub fn read_binary<P: AsRef<Path>>(path: P) -> Result<EdgeList> {
-    use std::io::Read;
-    let mut file = File::open(path)?;
-    let mut buf = Vec::new();
-    file.read_to_end(&mut buf)?;
-    if buf.len() < 16 {
-        return Err(GraphError::Format(
-            "binary edge file shorter than header".into(),
-        ));
-    }
-    let magic = u32::from_le_bytes(buf[0..4].try_into().unwrap());
-    if magic != BINARY_MAGIC {
-        return Err(GraphError::Format(format!("bad magic 0x{magic:08x}")));
-    }
-    let flags = u32::from_le_bytes(buf[4..8].try_into().unwrap());
-    let weighted = flags & 1 != 0;
-    let kind = if flags & 2 != 0 {
-        GraphKind::Directed
-    } else {
-        GraphKind::Undirected
-    };
-    let num_nodes = u32::from_le_bytes(buf[8..12].try_into().unwrap());
-    let num_edges = u32::from_le_bytes(buf[12..16].try_into().unwrap()) as usize;
-    let record = if weighted { 16 } else { 8 };
-    if buf.len() != 16 + num_edges * record {
-        return Err(GraphError::Format(format!(
-            "binary edge file length {} != expected {}",
-            buf.len(),
-            16 + num_edges * record
-        )));
-    }
-    let mut edges = Vec::with_capacity(num_edges);
+    let mut r = BinaryEdgeReader::open(path)?;
+    let weighted = r.is_weighted();
+    let mut edges = Vec::with_capacity(r.num_edges() as usize);
     let mut weights = if weighted {
-        Vec::with_capacity(num_edges)
+        Vec::with_capacity(r.num_edges() as usize)
     } else {
         Vec::new()
     };
-    let mut off = 16;
-    for _ in 0..num_edges {
-        let u = u32::from_le_bytes(buf[off..off + 4].try_into().unwrap());
-        let v = u32::from_le_bytes(buf[off + 4..off + 8].try_into().unwrap());
+    while let Some((u, v, w)) = r.next_edge()? {
         edges.push((u, v));
         if weighted {
-            let w = f64::from_le_bytes(buf[off + 8..off + 16].try_into().unwrap());
             weights.push(w);
         }
-        off += record;
     }
     Ok(EdgeList {
-        num_nodes,
+        num_nodes: r.num_nodes(),
         edges,
         weights: if weighted { Some(weights) } else { None },
-        kind,
+        kind: r.kind(),
     })
 }
 
@@ -233,6 +323,24 @@ mod tests {
         assert_eq!(h.edges, g.edges);
         assert_eq!(h.weights, g.weights);
         assert_eq!(h.kind, GraphKind::Directed);
+    }
+
+    #[test]
+    fn text_rejects_trailing_tokens_like_the_stream() {
+        // read_text and TextFileStream share one parser; a line with a
+        // fourth token fails identically in both.
+        let path = tmp("t3.txt");
+        std::fs::write(&path, "0 1\n1 2 0.5 extra\n").unwrap();
+        let loaded = read_text(&path, GraphKind::Undirected);
+        assert!(
+            matches!(loaded, Err(GraphError::Parse { line: 2, .. })),
+            "{loaded:?}"
+        );
+        let streamed = crate::stream::TextFileStream::open(&path, 3);
+        assert!(matches!(
+            streamed.err(),
+            Some(GraphError::Parse { line: 2, .. })
+        ));
     }
 
     #[test]
@@ -288,5 +396,38 @@ mod tests {
         let path = tmp("b5.bin");
         std::fs::write(&path, [0u8; 32]).unwrap();
         assert!(read_binary(&path).is_err());
+    }
+
+    #[test]
+    fn binary_rejects_out_of_range_ids() {
+        // Header says 2 nodes but a record names node 9: a typed error,
+        // not a later index panic in CSR construction.
+        let path = tmp("b6.bin");
+        let mut g = EdgeList::new_undirected(10);
+        g.push(0, 9);
+        write_binary(&path, &g).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[8..12].copy_from_slice(&2u32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_binary(&path),
+            Err(GraphError::NodeOutOfRange { node: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn chunked_reader_reports_header_fields() {
+        let path = tmp("b7.bin");
+        let mut g = EdgeList::new_directed(6);
+        g.push_weighted(1, 2, 0.25);
+        write_binary(&path, &g).unwrap();
+        let mut r = BinaryEdgeReader::open(&path).unwrap();
+        assert_eq!(r.num_nodes(), 6);
+        assert_eq!(r.num_edges(), 1);
+        assert!(r.is_weighted());
+        assert_eq!(r.kind(), GraphKind::Directed);
+        assert_eq!(r.next_edge().unwrap(), Some((1, 2, 0.25)));
+        assert_eq!(r.next_edge().unwrap(), None);
+        assert_eq!(r.next_edge().unwrap(), None);
     }
 }

@@ -63,6 +63,16 @@ pub enum GraphError {
     },
     /// A binary edge file had an invalid header or truncated body.
     Format(String),
+    /// A graph exceeded a hard limit of a serialization format (e.g. the
+    /// binary format's `u32` edge count).
+    TooLarge {
+        /// What overflowed (e.g. `"edge count"`).
+        what: &'static str,
+        /// The offending value.
+        value: u64,
+        /// The format's maximum.
+        max: u64,
+    },
 }
 
 impl std::fmt::Display for GraphError {
@@ -74,6 +84,9 @@ impl std::fmt::Display for GraphError {
             GraphError::Io(e) => write!(f, "i/o error: {e}"),
             GraphError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
             GraphError::Format(msg) => write!(f, "format error: {msg}"),
+            GraphError::TooLarge { what, value, max } => {
+                write!(f, "{what} {value} exceeds the format limit of {max}")
+            }
         }
     }
 }

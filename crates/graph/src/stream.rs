@@ -12,13 +12,26 @@
 //! * [`TextFileStream`] — re-reads a SNAP-style text edge list from disk on
 //!   every pass (true out-of-core streaming).
 //! * [`BinaryFileStream`] — re-reads the compact binary format of
-//!   [`crate::io`].
+//!   [`crate::io`] through the chunked [`crate::io::BinaryEdgeReader`].
+//!
+//! ## Failure model of the file streams
+//!
+//! A file stream validates its file when opened, but the file lives
+//! outside the process: it can be truncated, rewritten, or deleted
+//! between (or during) passes. Such drift is detected — by re-parsing,
+//! id bounds checks, and an edge-count + content checksum comparison at
+//! pass end — and surfaces through [`EdgeStream::take_error`] instead of
+//! an unwinding panic. A failed pass is **not** counted in
+//! [`EdgeStream::passes`], and once a pass has failed the stream feeds no
+//! further edges until the error is taken; any results computed across a
+//! failed pass must be discarded (see `dsg-core`'s `try_` entry points).
 
 use std::fs::File;
-use std::io::{BufRead, BufReader, Read};
+use std::io::{BufRead, BufReader};
 use std::path::{Path, PathBuf};
 
 use crate::edgelist::EdgeList;
+use crate::io::BinaryEdgeReader;
 use crate::{GraphError, Result};
 
 /// A multi-pass stream of (optionally weighted) edges.
@@ -35,8 +48,21 @@ pub trait EdgeStream {
     /// Makes one full pass over the edges, invoking `f(u, v, w)` per edge.
     fn for_each_edge(&mut self, f: &mut dyn FnMut(u32, u32, f64));
 
-    /// Number of passes made so far.
+    /// Number of *successful* passes made so far (failed passes of file
+    /// streams are excluded).
     fn passes(&self) -> u64;
+
+    /// Takes the stream's deferred error, if the last pass failed.
+    ///
+    /// File streams cannot return mid-iteration errors from
+    /// [`EdgeStream::for_each_edge`], so an I/O failure or a file
+    /// modified between passes parks the error here: the failed pass
+    /// delivers a truncated (possibly empty) edge sequence, is not
+    /// counted in [`EdgeStream::passes`], and the stream stays inert
+    /// until the error is taken. Always-valid streams return `None`.
+    fn take_error(&mut self) -> Option<GraphError> {
+        None
+    }
 }
 
 /// In-memory edge stream over an [`EdgeList`].
@@ -89,51 +115,15 @@ impl EdgeStream for MemoryStream {
     }
 }
 
-/// Streams a SNAP-style whitespace-separated text edge list from disk,
-/// re-opening the file on every pass.
+/// Parses one line of a text edge list: `u v [w]`, `#` comments, no
+/// trailing tokens. Returns `None` for blank/comment lines, otherwise
+/// `Some((u, v, w))` where `w` is `None` when the line had no weight
+/// column.
 ///
-/// Lines starting with `#` are comments; each data line is `u v` or
-/// `u v w`. Malformed lines abort the pass with a panic carrying the line
-/// number — a streaming pass has no way to return mid-iteration errors, so
-/// the file is validated once at construction instead.
-pub struct TextFileStream {
-    path: PathBuf,
-    num_nodes: u32,
-    passes: u64,
-}
-
-impl TextFileStream {
-    /// Opens (and fully validates) the file. `num_nodes` must upper-bound
-    /// every node id in the file.
-    pub fn open<P: AsRef<Path>>(path: P, num_nodes: u32) -> Result<Self> {
-        let path = path.as_ref().to_path_buf();
-        // Validation pass: parse every line once so later passes cannot fail.
-        let file = File::open(&path)?;
-        let reader = BufReader::new(file);
-        let mut line_no = 0u64;
-        for line in reader.lines() {
-            line_no += 1;
-            let line = line?;
-            if let Some((u, v, _)) = parse_edge_line(&line, line_no)? {
-                if u >= num_nodes || v >= num_nodes {
-                    return Err(GraphError::NodeOutOfRange {
-                        node: u.max(v) as u64,
-                        num_nodes: num_nodes as u64,
-                    });
-                }
-            }
-        }
-        Ok(TextFileStream {
-            path,
-            num_nodes,
-            passes: 0,
-        })
-    }
-}
-
-/// Parses one line of a text edge list. Returns `None` for blank/comment
-/// lines, `Some((u, v, w))` otherwise.
-fn parse_edge_line(line: &str, line_no: u64) -> Result<Option<(u32, u32, f64)>> {
+/// This is the **only** text-edge grammar in the crate: both
+/// [`crate::io::read_text`] and [`TextFileStream`] parse through it, so
+/// a file loads in memory if and only if it also streams.
+pub fn parse_edge_line(line: &str, line_no: u64) -> Result<Option<(u32, u32, Option<f64>)>> {
     let line = line.trim();
     if line.is_empty() || line.starts_with('#') {
         return Ok(None);
@@ -153,11 +143,11 @@ fn parse_edge_line(line: &str, line_no: u64) -> Result<Option<(u32, u32, f64)>> 
     let u = parse_u32(it.next(), "source id")?;
     let v = parse_u32(it.next(), "target id")?;
     let w = match it.next() {
-        None => 1.0,
-        Some(tok) => tok.parse::<f64>().map_err(|e| GraphError::Parse {
+        None => None,
+        Some(tok) => Some(tok.parse::<f64>().map_err(|e| GraphError::Parse {
             line: line_no,
             msg: format!("bad weight: {e}"),
-        })?,
+        })?),
     };
     if it.next().is_some() {
         return Err(GraphError::Parse {
@@ -168,29 +158,207 @@ fn parse_edge_line(line: &str, line_no: u64) -> Result<Option<(u32, u32, f64)>> 
     Ok(Some((u, v, w)))
 }
 
+/// FNV-1a content fingerprint over the parsed edge records of one pass,
+/// used to detect files rewritten between passes even when the edge
+/// count is unchanged.
+struct EdgeChecksum(u64);
+
+impl EdgeChecksum {
+    fn new() -> Self {
+        EdgeChecksum(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn record(&mut self, u: u32, v: u32, w: f64) {
+        for b in u
+            .to_le_bytes()
+            .into_iter()
+            .chain(v.to_le_bytes())
+            .chain(w.to_bits().to_le_bytes())
+        {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+fn drift_error(path: &Path, detail: impl std::fmt::Display) -> GraphError {
+    GraphError::Format(format!(
+        "edge file {} changed while streaming: {detail} (the pass was aborted and not counted; \
+         results computed from it are invalid)",
+        path.display()
+    ))
+}
+
+/// Streams a SNAP-style whitespace-separated text edge list from disk,
+/// re-opening the file on every pass.
+///
+/// Lines starting with `#` are comments; each data line is `u v` or
+/// `u v w` (the grammar of [`parse_edge_line`], shared with
+/// [`crate::io::read_text`]). The file is fully validated at
+/// construction; a file modified afterwards (TOCTOU drift) is detected
+/// mid- or end-of-pass and surfaces through [`EdgeStream::take_error`] —
+/// see the [module docs](self) for the failure model.
+pub struct TextFileStream {
+    path: PathBuf,
+    num_nodes: u32,
+    num_edges: u64,
+    checksum: u64,
+    passes: u64,
+    error: Option<GraphError>,
+}
+
+/// What one validation scan of a text edge file found.
+struct TextScan {
+    max_id: u32,
+    num_edges: u64,
+    checksum: u64,
+}
+
+fn scan_text(path: &Path) -> Result<TextScan> {
+    let file = File::open(path)?;
+    let reader = BufReader::new(file);
+    let mut line_no = 0u64;
+    let mut scan = TextScan {
+        max_id: 0,
+        num_edges: 0,
+        checksum: 0,
+    };
+    let mut checksum = EdgeChecksum::new();
+    for line in reader.lines() {
+        line_no += 1;
+        let line = line?;
+        if let Some((u, v, w)) = parse_edge_line(&line, line_no)? {
+            scan.max_id = scan.max_id.max(u).max(v);
+            scan.num_edges += 1;
+            checksum.record(u, v, w.unwrap_or(1.0));
+        }
+    }
+    scan.checksum = checksum.finish();
+    Ok(scan)
+}
+
+impl TextFileStream {
+    /// Opens (and fully validates) the file. `num_nodes` must upper-bound
+    /// every node id in the file.
+    pub fn open<P: AsRef<Path>>(path: P, num_nodes: u32) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let scan = scan_text(&path)?;
+        if scan.num_edges > 0 && scan.max_id >= num_nodes {
+            return Err(GraphError::NodeOutOfRange {
+                node: scan.max_id as u64,
+                num_nodes: num_nodes as u64,
+            });
+        }
+        Ok(TextFileStream {
+            path,
+            num_nodes,
+            num_edges: scan.num_edges,
+            checksum: scan.checksum,
+            passes: 0,
+            error: None,
+        })
+    }
+
+    /// Opens (and fully validates) the file, inferring the node count as
+    /// `max id + 1` from the validation scan — the out-of-core CLI path,
+    /// which must never materialize the edge list.
+    pub fn open_auto<P: AsRef<Path>>(path: P) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let scan = scan_text(&path)?;
+        if scan.num_edges > 0 && scan.max_id == u32::MAX {
+            // `max_id + 1` would overflow the u32 node-count space.
+            return Err(GraphError::TooLarge {
+                what: "node id",
+                value: scan.max_id as u64,
+                max: u32::MAX as u64 - 1,
+            });
+        }
+        Ok(TextFileStream {
+            path,
+            num_nodes: if scan.num_edges == 0 {
+                0
+            } else {
+                scan.max_id + 1
+            },
+            num_edges: scan.num_edges,
+            checksum: scan.checksum,
+            passes: 0,
+            error: None,
+        })
+    }
+
+    /// Number of edges counted by the validation scan.
+    pub fn num_edges(&self) -> u64 {
+        self.num_edges
+    }
+
+    fn pass_once(&self, f: &mut dyn FnMut(u32, u32, f64)) -> Result<()> {
+        let file = File::open(&self.path)
+            .map_err(|e| drift_error(&self.path, format_args!("cannot reopen: {e}")))?;
+        let reader = BufReader::new(file);
+        let mut line_no = 0u64;
+        let mut seen = 0u64;
+        let mut checksum = EdgeChecksum::new();
+        for line in reader.lines() {
+            line_no += 1;
+            let line =
+                line.map_err(|e| drift_error(&self.path, format_args!("i/o error mid-pass: {e}")))?;
+            if let Some((u, v, w)) = parse_edge_line(&line, line_no)
+                .map_err(|e| drift_error(&self.path, format_args!("no longer parses ({e})")))?
+            {
+                if u >= self.num_nodes || v >= self.num_nodes {
+                    return Err(drift_error(
+                        &self.path,
+                        format_args!(
+                            "node id {} out of range (num_nodes = {})",
+                            u.max(v),
+                            self.num_nodes
+                        ),
+                    ));
+                }
+                let w = w.unwrap_or(1.0);
+                seen += 1;
+                checksum.record(u, v, w);
+                f(u, v, w);
+            }
+        }
+        if seen != self.num_edges {
+            return Err(drift_error(
+                &self.path,
+                format_args!("edge count drifted from {} to {seen}", self.num_edges),
+            ));
+        }
+        if checksum.finish() != self.checksum {
+            return Err(drift_error(&self.path, "edge content drifted"));
+        }
+        Ok(())
+    }
+}
+
 impl EdgeStream for TextFileStream {
     fn num_nodes(&self) -> u32 {
         self.num_nodes
     }
 
     fn for_each_edge(&mut self, f: &mut dyn FnMut(u32, u32, f64)) {
-        self.passes += 1;
-        let file = File::open(&self.path).expect("edge file disappeared between passes");
-        let reader = BufReader::new(file);
-        let mut line_no = 0u64;
-        for line in reader.lines() {
-            line_no += 1;
-            let line = line.expect("i/o error mid-pass");
-            if let Some((u, v, w)) =
-                parse_edge_line(&line, line_no).expect("file validated at open; parse cannot fail")
-            {
-                f(u, v, w);
-            }
+        if self.error.is_some() {
+            return;
+        }
+        match self.pass_once(f) {
+            Ok(()) => self.passes += 1,
+            Err(e) => self.error = Some(e),
         }
     }
 
     fn passes(&self) -> u64 {
         self.passes
+    }
+
+    fn take_error(&mut self) -> Option<GraphError> {
+        self.error.take()
     }
 }
 
@@ -198,51 +366,46 @@ impl EdgeStream for TextFileStream {
 ///
 /// Layout: 16-byte header (`magic, flags, num_nodes, num_edges`) followed
 /// by `num_edges` records of `u: u32, v: u32` (+ `w: f64` when weighted),
-/// all little-endian.
+/// all little-endian. Every pass re-reads the file through the chunked
+/// [`BinaryEdgeReader`] (fixed-size read buffer). Files truncated,
+/// rewritten, or deleted after `open` surface through
+/// [`EdgeStream::take_error`] — see the [module docs](self).
 pub struct BinaryFileStream {
     path: PathBuf,
     num_nodes: u32,
     num_edges: u64,
     weighted: bool,
+    /// Content fingerprint of the validation scan at open; every pass
+    /// must reproduce it.
+    checksum: u64,
     passes: u64,
+    error: Option<GraphError>,
 }
 
 /// Magic number of the binary edge format (`"DSG1"`).
 pub const BINARY_MAGIC: u32 = 0x4453_4731;
 
 impl BinaryFileStream {
-    /// Opens a binary edge file, validating the header and length.
+    /// Opens a binary edge file and fully validates it: header, length,
+    /// node-id bounds of every record, and a content fingerprint that
+    /// every later pass is checked against (so a file rewritten even
+    /// before the first pass completes is caught). A corrupt file fails
+    /// here with a typed error rather than being misreported as drift.
     pub fn open<P: AsRef<Path>>(path: P) -> Result<Self> {
         let path = path.as_ref().to_path_buf();
-        let mut file = File::open(&path)?;
-        let mut header = [0u8; 16];
-        file.read_exact(&mut header)
-            .map_err(|_| GraphError::Format("binary edge file shorter than header".into()))?;
-        let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
-        if magic != BINARY_MAGIC {
-            return Err(GraphError::Format(format!(
-                "bad magic 0x{magic:08x} (expected 0x{BINARY_MAGIC:08x})"
-            )));
-        }
-        let flags = u32::from_le_bytes(header[4..8].try_into().unwrap());
-        let weighted = flags & 1 != 0;
-        let num_nodes = u32::from_le_bytes(header[8..12].try_into().unwrap());
-        let num_edges_lo = u32::from_le_bytes(header[12..16].try_into().unwrap());
-        let num_edges = num_edges_lo as u64;
-        let record = if weighted { 16 } else { 8 };
-        let expected = 16 + num_edges * record;
-        let actual = file.metadata()?.len();
-        if actual != expected {
-            return Err(GraphError::Format(format!(
-                "binary edge file length {actual} != expected {expected}"
-            )));
+        let mut reader = BinaryEdgeReader::open(&path)?;
+        let mut checksum = EdgeChecksum::new();
+        while let Some((u, v, w)) = reader.next_edge()? {
+            checksum.record(u, v, w);
         }
         Ok(BinaryFileStream {
             path,
-            num_nodes,
-            num_edges,
-            weighted,
+            num_nodes: reader.num_nodes(),
+            num_edges: reader.num_edges(),
+            weighted: reader.is_weighted(),
+            checksum: checksum.finish(),
             passes: 0,
+            error: None,
         })
     }
 
@@ -255,6 +418,32 @@ impl BinaryFileStream {
     pub fn is_weighted(&self) -> bool {
         self.weighted
     }
+
+    fn pass_once(&mut self, f: &mut dyn FnMut(u32, u32, f64)) -> Result<()> {
+        let mut reader = BinaryEdgeReader::open(&self.path)
+            .map_err(|e| drift_error(&self.path, format_args!("cannot reopen: {e}")))?;
+        if reader.num_nodes() != self.num_nodes
+            || reader.num_edges() != self.num_edges
+            || reader.is_weighted() != self.weighted
+        {
+            return Err(drift_error(&self.path, "header drifted"));
+        }
+        let mut checksum = EdgeChecksum::new();
+        loop {
+            match reader.next_edge() {
+                Ok(Some((u, v, w))) => {
+                    checksum.record(u, v, w);
+                    f(u, v, w);
+                }
+                Ok(None) => break,
+                Err(e) => return Err(drift_error(&self.path, e)),
+            }
+        }
+        if checksum.finish() != self.checksum {
+            return Err(drift_error(&self.path, "edge content drifted"));
+        }
+        Ok(())
+    }
 }
 
 impl EdgeStream for BinaryFileStream {
@@ -263,39 +452,21 @@ impl EdgeStream for BinaryFileStream {
     }
 
     fn for_each_edge(&mut self, f: &mut dyn FnMut(u32, u32, f64)) {
-        self.passes += 1;
-        let file = File::open(&self.path).expect("edge file disappeared between passes");
-        let mut reader = BufReader::with_capacity(1 << 20, file);
-        let mut header = [0u8; 16];
-        reader
-            .read_exact(&mut header)
-            .expect("header validated at open");
-        if self.weighted {
-            let mut rec = [0u8; 16];
-            for _ in 0..self.num_edges {
-                reader
-                    .read_exact(&mut rec)
-                    .expect("length validated at open");
-                let u = u32::from_le_bytes(rec[0..4].try_into().unwrap());
-                let v = u32::from_le_bytes(rec[4..8].try_into().unwrap());
-                let w = f64::from_le_bytes(rec[8..16].try_into().unwrap());
-                f(u, v, w);
-            }
-        } else {
-            let mut rec = [0u8; 8];
-            for _ in 0..self.num_edges {
-                reader
-                    .read_exact(&mut rec)
-                    .expect("length validated at open");
-                let u = u32::from_le_bytes(rec[0..4].try_into().unwrap());
-                let v = u32::from_le_bytes(rec[4..8].try_into().unwrap());
-                f(u, v, 1.0);
-            }
+        if self.error.is_some() {
+            return;
+        }
+        match self.pass_once(f) {
+            Ok(()) => self.passes += 1,
+            Err(e) => self.error = Some(e),
         }
     }
 
     fn passes(&self) -> u64 {
         self.passes
+    }
+
+    fn take_error(&mut self) -> Option<GraphError> {
+        self.error.take()
     }
 }
 
@@ -303,11 +474,18 @@ impl EdgeStream for BinaryFileStream {
 mod tests {
     use super::*;
     use crate::edgelist::EdgeList;
+    use crate::io::write_binary;
 
     fn collect(stream: &mut dyn EdgeStream) -> Vec<(u32, u32, f64)> {
         let mut out = Vec::new();
         stream.for_each_edge(&mut |u, v, w| out.push((u, v, w)));
         out
+    }
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("dsg_graph_test_{tag}"));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
     }
 
     #[test]
@@ -322,6 +500,7 @@ mod tests {
         assert_eq!(s.passes(), 1);
         collect(&mut s);
         assert_eq!(s.passes(), 2);
+        assert!(s.take_error().is_none());
     }
 
     #[test]
@@ -336,8 +515,11 @@ mod tests {
     fn parse_edge_line_variants() {
         assert_eq!(parse_edge_line("", 1).unwrap(), None);
         assert_eq!(parse_edge_line("# comment", 1).unwrap(), None);
-        assert_eq!(parse_edge_line("3 4", 1).unwrap(), Some((3, 4, 1.0)));
-        assert_eq!(parse_edge_line("3\t4\t2.5", 1).unwrap(), Some((3, 4, 2.5)));
+        assert_eq!(parse_edge_line("3 4", 1).unwrap(), Some((3, 4, None)));
+        assert_eq!(
+            parse_edge_line("3\t4\t2.5", 1).unwrap(),
+            Some((3, 4, Some(2.5)))
+        );
         assert!(parse_edge_line("3", 1).is_err());
         assert!(parse_edge_line("a b", 1).is_err());
         assert!(parse_edge_line("1 2 3 4", 1).is_err());
@@ -345,36 +527,183 @@ mod tests {
 
     #[test]
     fn text_file_stream_round_trip() {
-        let dir = std::env::temp_dir().join("dsg_graph_test_text");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("edges.txt");
+        let path = tmp_dir("text").join("edges.txt");
         std::fs::write(&path, "# header\n0 1\n1 2 3.5\n\n2 0\n").unwrap();
         let mut s = TextFileStream::open(&path, 3).unwrap();
+        assert_eq!(s.num_edges(), 3);
         let edges = collect(&mut s);
         assert_eq!(edges, vec![(0, 1, 1.0), (1, 2, 3.5), (2, 0, 1.0)]);
         // Second pass sees the same data.
         assert_eq!(collect(&mut s), edges);
         assert_eq!(s.passes(), 2);
+        assert!(s.take_error().is_none());
+    }
+
+    #[test]
+    fn text_file_stream_open_auto_infers_node_count() {
+        let path = tmp_dir("text_auto").join("edges.txt");
+        std::fs::write(&path, "0 1\n5 2\n").unwrap();
+        let s = TextFileStream::open_auto(&path).unwrap();
+        assert_eq!(s.num_nodes(), 6);
+        assert_eq!(s.num_edges(), 2);
+
+        let empty = tmp_dir("text_auto").join("empty.txt");
+        std::fs::write(&empty, "# nothing\n").unwrap();
+        assert_eq!(TextFileStream::open_auto(&empty).unwrap().num_nodes(), 0);
+
+        // `u32::MAX` as a node id would overflow `max id + 1`: a typed
+        // error, not an overflow panic (or a wrapped num_nodes of 0).
+        let huge = tmp_dir("text_auto").join("huge.txt");
+        std::fs::write(&huge, format!("0 {}\n", u32::MAX)).unwrap();
+        assert!(matches!(
+            TextFileStream::open_auto(&huge),
+            Err(GraphError::TooLarge { .. })
+        ));
     }
 
     #[test]
     fn text_file_stream_rejects_out_of_range() {
-        let dir = std::env::temp_dir().join("dsg_graph_test_text2");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("edges.txt");
+        let path = tmp_dir("text2").join("edges.txt");
         std::fs::write(&path, "0 7\n").unwrap();
         assert!(TextFileStream::open(&path, 3).is_err());
     }
 
     #[test]
     fn text_file_stream_rejects_garbage() {
-        let dir = std::env::temp_dir().join("dsg_graph_test_text3");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("edges.txt");
+        let path = tmp_dir("text3").join("edges.txt");
         std::fs::write(&path, "0 1\nnot an edge\n").unwrap();
         assert!(matches!(
             TextFileStream::open(&path, 3),
             Err(GraphError::Parse { line: 2, .. })
         ));
+    }
+
+    #[test]
+    fn text_file_stream_detects_drift_between_passes() {
+        let path = tmp_dir("text_drift").join("edges.txt");
+        std::fs::write(&path, "0 1\n1 2\n").unwrap();
+        let mut s = TextFileStream::open(&path, 3).unwrap();
+        assert_eq!(collect(&mut s).len(), 2);
+        assert_eq!(s.passes(), 1);
+
+        // Same edge count, different content: caught by the checksum.
+        std::fs::write(&path, "0 1\n0 2\n").unwrap();
+        collect(&mut s);
+        assert_eq!(s.passes(), 1, "aborted pass must not be counted");
+        let err = s.take_error().expect("drift must surface an error");
+        assert!(err.to_string().contains("changed while streaming"), "{err}");
+
+        // After taking the error the stream recovers against the new file
+        // state only if it still matches the validated shape — here it
+        // does not (checksum differs), so the next pass errors again.
+        collect(&mut s);
+        assert_eq!(s.passes(), 1);
+        assert!(s.take_error().is_some());
+    }
+
+    #[test]
+    fn text_file_stream_detects_deletion_and_garbage_mid_run() {
+        let path = tmp_dir("text_drift2").join("edges.txt");
+        std::fs::write(&path, "0 1\n").unwrap();
+        let mut s = TextFileStream::open(&path, 2).unwrap();
+        std::fs::write(&path, "junk line\n").unwrap();
+        collect(&mut s);
+        assert_eq!(s.passes(), 0);
+        assert!(s.take_error().unwrap().to_string().contains("parses"));
+
+        std::fs::remove_file(&path).unwrap();
+        collect(&mut s);
+        assert!(s
+            .take_error()
+            .unwrap()
+            .to_string()
+            .contains("cannot reopen"));
+    }
+
+    #[test]
+    fn text_file_stream_detects_out_of_range_drift() {
+        // A rewritten file whose ids exceed the validated bound must not
+        // reach the callback with an out-of-range id (downstream degree
+        // arrays are sized to num_nodes).
+        let path = tmp_dir("text_drift3").join("edges.txt");
+        std::fs::write(&path, "0 1\n").unwrap();
+        let mut s = TextFileStream::open(&path, 2).unwrap();
+        std::fs::write(&path, "0 9\n").unwrap();
+        let mut max_seen = 0u32;
+        s.for_each_edge(&mut |u, v, _| max_seen = max_seen.max(u).max(v));
+        assert!(max_seen < 2, "out-of-range id leaked to the callback");
+        assert!(s.take_error().is_some());
+    }
+
+    #[test]
+    fn binary_file_stream_checksums_at_open() {
+        // The baseline fingerprint comes from the validation scan at
+        // open, so a rewrite landing before the first pass completes is
+        // already drift — no one-pass blind window.
+        let dir = tmp_dir("bin_open");
+        let path = dir.join("edges.bin");
+        let mut g = EdgeList::new_undirected(4);
+        g.push(0, 1);
+        g.push(2, 3);
+        write_binary(&path, &g).unwrap();
+        let mut s = BinaryFileStream::open(&path).unwrap();
+        let mut h = EdgeList::new_undirected(4);
+        h.push(0, 1);
+        h.push(1, 3);
+        write_binary(&path, &h).unwrap();
+        collect(&mut s);
+        assert_eq!(s.passes(), 0, "first pass saw rewritten content");
+        assert!(s.take_error().is_some());
+    }
+
+    #[test]
+    fn binary_file_stream_rejects_corrupt_ids_at_open() {
+        // A file whose records were always out of range fails open with
+        // a typed error — it is corruption, not drift.
+        let dir = tmp_dir("bin_corrupt");
+        let path = dir.join("edges.bin");
+        let mut g = EdgeList::new_undirected(10);
+        g.push(0, 9);
+        write_binary(&path, &g).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[8..12].copy_from_slice(&2u32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            BinaryFileStream::open(&path),
+            Err(GraphError::NodeOutOfRange { node: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn binary_file_stream_detects_drift() {
+        let dir = tmp_dir("bin_drift");
+        let path = dir.join("edges.bin");
+        let mut g = EdgeList::new_undirected(4);
+        g.push(0, 1);
+        g.push(2, 3);
+        write_binary(&path, &g).unwrap();
+        let mut s = BinaryFileStream::open(&path).unwrap();
+        assert_eq!(collect(&mut s).len(), 2);
+        assert_eq!(s.passes(), 1);
+
+        // Rewrite with the same record count but different content.
+        let mut h = EdgeList::new_undirected(4);
+        h.push(0, 1);
+        h.push(1, 3);
+        write_binary(&path, &h).unwrap();
+        collect(&mut s);
+        assert_eq!(s.passes(), 1);
+        assert!(s.take_error().is_some());
+
+        // Truncation is caught by the reopen length check.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 8]).unwrap();
+        collect(&mut s);
+        assert_eq!(s.passes(), 1);
+        assert!(s
+            .take_error()
+            .unwrap()
+            .to_string()
+            .contains("changed while streaming"));
     }
 }

@@ -5,7 +5,7 @@ use proptest::prelude::*;
 
 use dsg_graph::edgelist::{EdgeList, GraphKind};
 use dsg_graph::io::{read_binary, read_text, write_binary, write_text};
-use dsg_graph::stream::{EdgeStream, MemoryStream};
+use dsg_graph::stream::{BinaryFileStream, EdgeStream, MemoryStream, TextFileStream};
 use dsg_graph::{CsrDirected, CsrUndirected, NodeSet};
 
 fn arb_edge_list(directed: bool) -> impl Strategy<Value = EdgeList> {
@@ -129,6 +129,73 @@ proptest! {
             stream.for_each_edge(&mut |u, v, w| got.push((u, v, w)));
             prop_assert_eq!(&got, &expected);
             prop_assert_eq!(stream.passes(), pass);
+        }
+    }
+
+    /// The full out-of-core format chain round-trips:
+    /// `EdgeList -> text -> EdgeList -> binary -> EdgeList` preserves
+    /// edges, weights, and directedness exactly.
+    #[test]
+    fn text_binary_chain_round_trip(list in arb_weighted_list()) {
+        let text = tmp_path("chain_text");
+        write_text(&text, &list).unwrap();
+        let from_text = read_text(&text, list.kind).unwrap();
+        prop_assert_eq!(&from_text.edges, &list.edges);
+        prop_assert_eq!(&from_text.weights, &list.weights);
+
+        let bin = tmp_path("chain_bin");
+        write_binary(&bin, &from_text).unwrap();
+        let from_bin = read_binary(&bin).unwrap();
+        prop_assert_eq!(&from_bin.edges, &list.edges);
+        prop_assert_eq!(&from_bin.weights, &list.weights);
+        prop_assert_eq!(from_bin.kind, list.kind);
+        prop_assert_eq!(from_bin.num_nodes, from_text.num_nodes);
+    }
+
+    /// The file streams deliver exactly the same edge sequence as the
+    /// memory stream over the same list, for both on-disk formats, on
+    /// every pass.
+    #[test]
+    fn file_streams_match_memory_stream(list in arb_weighted_list()) {
+        let expected: Vec<(u32, u32, f64)> = list.iter_weighted().collect();
+        let n = list.num_nodes;
+
+        let text = tmp_path("stream_text");
+        write_text(&text, &list).unwrap();
+        let mut ts = TextFileStream::open(&text, n).unwrap();
+        prop_assert_eq!(ts.num_edges(), expected.len() as u64);
+        for pass in 1..=2u64 {
+            let mut got = Vec::new();
+            ts.for_each_edge(&mut |u, v, w| got.push((u, v, w)));
+            prop_assert_eq!(&got, &expected);
+            prop_assert_eq!(ts.passes(), pass);
+        }
+        prop_assert!(ts.take_error().is_none());
+
+        let bin = tmp_path("stream_bin");
+        write_binary(&bin, &list).unwrap();
+        let mut bs = BinaryFileStream::open(&bin).unwrap();
+        prop_assert_eq!(bs.num_nodes(), n);
+        for pass in 1..=2u64 {
+            let mut got = Vec::new();
+            bs.for_each_edge(&mut |u, v, w| got.push((u, v, w)));
+            prop_assert_eq!(&got, &expected);
+            prop_assert_eq!(bs.passes(), pass);
+        }
+        prop_assert!(bs.take_error().is_none());
+    }
+
+    /// `TextFileStream::open_auto` infers the tightest node bound that
+    /// still streams the file (max id + 1).
+    #[test]
+    fn open_auto_infers_tight_bound(list in arb_edge_list(false)) {
+        let path = tmp_path("auto");
+        write_text(&path, &list).unwrap();
+        let s = TextFileStream::open_auto(&path).unwrap();
+        let max_id = list.edges.iter().map(|&(u, v)| u.max(v)).max();
+        match max_id {
+            Some(mx) => prop_assert_eq!(s.num_nodes(), mx + 1),
+            None => prop_assert_eq!(s.num_nodes(), 0),
         }
     }
 

@@ -7,8 +7,11 @@
 //!
 //! * [`engine`] — typed `map -> shuffle -> reduce` rounds over partitioned
 //!   input, executed by a configurable worker pool (std scoped
-//!   threads), with per-round accounting of records, bytes-ish volume, and
-//!   wall-clock time.
+//!   threads), with per-round accounting of records, encoded shuffle
+//!   bytes, spilled bytes/runs, and wall-clock time. The shuffle can run
+//!   fully in RAM or spill sorted runs to disk above a byte budget
+//!   ([`engine::ShuffleBackend`]) with bit-identical output — the
+//!   Hadoop-style external shuffle that makes out-of-core rounds real.
 //! * [`densest`] — the paper's §5.2 dataflow: per-pass (1) a degree /
 //!   density job, and (2) the two-round node-removal job (mark with `$`
 //!   tombstones, pivot on each endpoint), looped until the node set
@@ -28,4 +31,4 @@ pub mod engine;
 pub use densest::{
     mr_densest_directed, mr_densest_undirected, MrDirectedResult, MrPassReport, MrUndirectedResult,
 };
-pub use engine::{MapReduceConfig, RoundStats};
+pub use engine::{MapReduceConfig, RoundStats, ShuffleBackend, Spillable};

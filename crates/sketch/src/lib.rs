@@ -27,4 +27,7 @@ pub mod oracle;
 
 pub use countmin::CountMin;
 pub use countsketch::CountSketch;
-pub use oracle::{approx_densest_sketched, SketchDegreeOracle, SketchKind, SketchParams};
+pub use oracle::{
+    approx_densest_sketched, try_approx_densest_sketched, SketchDegreeOracle, SketchKind,
+    SketchParams,
+};

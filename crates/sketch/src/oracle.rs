@@ -168,6 +168,22 @@ pub fn approx_densest_sketched<S: EdgeStream + ?Sized>(
     }
 }
 
+/// Fallible form of [`approx_densest_sketched`] for file-backed streams:
+/// if a pass failed (I/O error, file modified between passes — see
+/// `EdgeStream::take_error`) the computed run is invalid and the stream's
+/// error is returned instead. Never fails on `MemoryStream`.
+pub fn try_approx_densest_sketched<S: EdgeStream + ?Sized>(
+    stream: &mut S,
+    epsilon: f64,
+    params: SketchParams,
+) -> dsg_graph::Result<SketchedRun> {
+    let run = approx_densest_sketched(stream, epsilon, params);
+    match stream.take_error() {
+        Some(e) => Err(e),
+        None => Ok(run),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -9,11 +9,11 @@
 //! Without an argument, generates a graph, writes it to a temp file in
 //! both text and binary formats, and streams from both.
 
-use densest_subgraph::core::undirected::approx_densest;
+use densest_subgraph::core::undirected::try_approx_densest;
 use densest_subgraph::graph::gen;
 use densest_subgraph::graph::io::{write_binary, write_text};
 use densest_subgraph::graph::stream::{BinaryFileStream, EdgeStream, TextFileStream};
-use densest_subgraph::sketch::{approx_densest_sketched, SketchParams};
+use densest_subgraph::sketch::{try_approx_densest_sketched, SketchParams};
 
 fn main() {
     let arg = std::env::args().nth(1);
@@ -54,9 +54,11 @@ fn main() {
     };
 
     // --- Stream from the text file with exact O(n) degree counters. ---
+    // The try_ entry points surface I/O trouble (or a file modified
+    // between passes) as a clean error instead of computing on garbage.
     let mut stream = TextFileStream::open(&text_path, num_nodes).expect("open text stream");
     let t0 = std::time::Instant::now();
-    let run = approx_densest(&mut stream, 0.5);
+    let run = try_approx_densest(&mut stream, 0.5).expect("stream failed mid-run");
     println!(
         "\n[text + exact degrees]   density {:.3} on {} nodes, {} file passes, {:.2?}",
         run.best_density,
@@ -69,7 +71,8 @@ fn main() {
     let b = num_nodes / 50; // t·b/n = 5·(n/50)/n = 10%
     let mut stream = TextFileStream::open(&text_path, num_nodes).expect("open text stream");
     let t0 = std::time::Instant::now();
-    let sk = approx_densest_sketched(&mut stream, 0.5, SketchParams::paper(b, 7));
+    let sk = try_approx_densest_sketched(&mut stream, 0.5, SketchParams::paper(b, 7))
+        .expect("stream failed mid-run");
     println!(
         "[text + Count-Sketch 10%] density {:.3} on {} nodes, {} file passes, {:.2?}",
         sk.run.best_density,
@@ -88,7 +91,7 @@ fn main() {
     if let Some(bin) = bin_path {
         let mut stream = BinaryFileStream::open(&bin).expect("open binary stream");
         let t0 = std::time::Instant::now();
-        let run_bin = approx_densest(&mut stream, 0.5);
+        let run_bin = try_approx_densest(&mut stream, 0.5).expect("stream failed mid-run");
         println!(
             "[binary + exact degrees]  density {:.3}, {} file passes, {:.2?}",
             run_bin.best_density,

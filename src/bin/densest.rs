@@ -18,6 +18,9 @@
 //!   --threads <n>     worker threads for the parallel peeling backend
 //!                     (approx, atleast-k, directed; default 1 = serial)
 //!   --sketch <b>      use a Count-Sketch degree oracle with width b (t=5)
+//!   --stream          out-of-core mode (approx, atleast-k): run directly
+//!                     over the file, one re-read per pass, O(n) memory —
+//!                     the edge list is never materialized
 //!   --binary          input is the dsg binary edge format
 //!   --directed-input  parse the file as directed (for `directed`)
 //!   --json            print a one-line machine-readable JSON summary
@@ -30,17 +33,30 @@
 //! `atleast-k`, and `directed`; it is deterministic at every thread
 //! count and bit-identical to the serial backend on unweighted graphs
 //! (weighted graphs match within floating-point rounding). The flag has
-//! no effect on `charikar`, `exact`, `enumerate`, or sketched runs — a
-//! warning is printed if it is passed there.
+//! no effect on `charikar`, `exact`, `enumerate`, sketched, or
+//! `--stream` runs — a warning is printed if it is passed there.
+//!
+//! `--stream` is the paper's semi-streaming model end to end: the file
+//! is validated once at open (a scan that also finds `n`), then each
+//! peeling pass re-reads it through a fixed-size buffer. Only O(n) state
+//! (liveness bits, degree counters, removal log) is ever held, so graphs
+//! far larger than RAM work; the summary reports the pass count and an
+//! estimate of that state's size. Results are identical to the
+//! in-memory run on the same file, except that `--stream` skips
+//! canonicalization: duplicate edges count twice and the input is taken
+//! exactly as written (generated/canonical files are unaffected).
 
 use std::process::exit;
 use std::time::Instant;
 
 use densest_subgraph::core as dsg_core;
+use densest_subgraph::core::result::streaming_state_bytes;
 use densest_subgraph::graph::io::{read_binary, read_text};
-use densest_subgraph::graph::stream::MemoryStream;
+use densest_subgraph::graph::stream::{BinaryFileStream, EdgeStream, MemoryStream, TextFileStream};
 use densest_subgraph::graph::{CsrDirected, CsrUndirected, EdgeList, GraphKind, NodeSet};
-use densest_subgraph::sketch::{approx_densest_sketched, SketchParams};
+use densest_subgraph::sketch::{
+    approx_densest_sketched, try_approx_densest_sketched, SketchParams,
+};
 
 struct Options {
     algorithm: String,
@@ -50,6 +66,7 @@ struct Options {
     delta: f64,
     threads: usize,
     sketch_b: Option<u32>,
+    stream: bool,
     binary: bool,
     directed_input: bool,
     json: bool,
@@ -59,7 +76,7 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: densest <approx|atleast-k|directed|charikar|exact|enumerate> <edge-file> \
-         [--epsilon f] [--k n] [--delta f] [--threads n] [--sketch b] [--binary] \
+         [--epsilon f] [--k n] [--delta f] [--threads n] [--sketch b] [--stream] [--binary] \
          [--directed-input] [--json] [--quiet]"
     );
     exit(2);
@@ -73,6 +90,15 @@ const ALGORITHMS: [&str; 6] = [
     "exact",
     "enumerate",
 ];
+
+/// Parses a flag value, naming the flag in the error. Never panics on
+/// user input — asserts deep inside the kernels are not an error path.
+fn parse_value<T: std::str::FromStr>(name: &str, raw: &str) -> T {
+    raw.parse().unwrap_or_else(|_| {
+        eprintln!("invalid value '{raw}' for {name}");
+        exit(2);
+    })
+}
 
 fn parse_options() -> Options {
     let mut args = std::env::args().skip(1);
@@ -90,6 +116,7 @@ fn parse_options() -> Options {
         delta: 2.0,
         threads: 1,
         sketch_b: None,
+        stream: false,
         binary: false,
         directed_input: false,
         json: false,
@@ -103,17 +130,45 @@ fn parse_options() -> Options {
             })
         };
         match flag.as_str() {
-            "--epsilon" => o.epsilon = value("--epsilon").parse().expect("bad --epsilon"),
-            "--k" => o.k = value("--k").parse().expect("bad --k"),
-            "--delta" => o.delta = value("--delta").parse().expect("bad --delta"),
+            "--epsilon" => {
+                o.epsilon = parse_value("--epsilon", &value("--epsilon"));
+                // NaN/inf parse as f64 but poison every threshold
+                // comparison downstream; reject them here by name.
+                if !o.epsilon.is_finite() || o.epsilon < 0.0 {
+                    eprintln!("--epsilon must be a finite number >= 0 (got {})", o.epsilon);
+                    exit(2);
+                }
+            }
+            "--k" => {
+                o.k = parse_value("--k", &value("--k"));
+                if o.k == 0 {
+                    eprintln!("--k must be at least 1");
+                    exit(2);
+                }
+            }
+            "--delta" => {
+                o.delta = parse_value("--delta", &value("--delta"));
+                if !o.delta.is_finite() || o.delta <= 0.0 {
+                    eprintln!("--delta must be a finite number > 0 (got {})", o.delta);
+                    exit(2);
+                }
+            }
             "--threads" => {
-                o.threads = value("--threads").parse().expect("bad --threads");
+                o.threads = parse_value("--threads", &value("--threads"));
                 if o.threads == 0 {
                     eprintln!("--threads must be at least 1");
                     exit(2);
                 }
             }
-            "--sketch" => o.sketch_b = Some(value("--sketch").parse().expect("bad --sketch")),
+            "--sketch" => {
+                let b: u32 = parse_value("--sketch", &value("--sketch"));
+                if b == 0 {
+                    eprintln!("--sketch width must be at least 1");
+                    exit(2);
+                }
+                o.sketch_b = Some(b);
+            }
+            "--stream" => o.stream = true,
             "--binary" => o.binary = true,
             "--directed-input" => o.directed_input = true,
             "--json" => o.json = true,
@@ -123,6 +178,14 @@ fn parse_options() -> Options {
                 usage();
             }
         }
+    }
+    if o.stream && !matches!(o.algorithm.as_str(), "approx" | "atleast-k") {
+        eprintln!(
+            "--stream supports only 'approx' and 'atleast-k' (got '{}'; the other algorithms \
+             need the whole graph in memory)",
+            o.algorithm
+        );
+        exit(2);
     }
     o
 }
@@ -166,12 +229,12 @@ struct JsonSummary {
 }
 
 impl JsonSummary {
-    fn new(o: &Options, list: &EdgeList) -> Self {
+    fn new(o: &Options, num_nodes: u64, num_edges: u64) -> Self {
         let mut s = JsonSummary { fields: Vec::new() };
         s.str_field("algorithm", &o.algorithm);
         s.str_field("file", &o.path);
-        s.num_field("graph_nodes", list.num_nodes as f64);
-        s.num_field("graph_edges", list.num_edges() as f64);
+        s.num_field("graph_nodes", num_nodes as f64);
+        s.num_field("graph_edges", num_edges as f64);
         s
     }
 
@@ -211,8 +274,137 @@ impl JsonSummary {
     }
 }
 
+/// Opens the out-of-core stream for `--stream` (text via a validating
+/// scan that also infers `n`, binary via the header) and returns it with
+/// its edge count. The edge list is never materialized.
+fn open_file_stream(o: &Options) -> (Box<dyn EdgeStream>, u64) {
+    if o.binary {
+        let s = BinaryFileStream::open(&o.path).unwrap_or_else(|e| {
+            eprintln!("cannot read {}: {e}", o.path);
+            exit(1);
+        });
+        let m = s.num_edges();
+        (Box::new(s), m)
+    } else {
+        let s = TextFileStream::open_auto(&o.path).unwrap_or_else(|e| {
+            eprintln!("cannot read {}: {e}", o.path);
+            exit(1);
+        });
+        let m = s.num_edges();
+        (Box::new(s), m)
+    }
+}
+
+/// The `--stream` execution path: `approx`/`atleast-k` straight over the
+/// file, one re-read per pass, without ever building an `EdgeList` or
+/// CSR. Stream errors (I/O failure, file modified between passes) exit
+/// with a clear message instead of a panic.
+fn run_streamed(o: &Options) {
+    let (mut stream, num_edges) = open_file_stream(o);
+    let n = stream.num_nodes() as u64;
+    if !o.quiet && !o.json {
+        eprintln!(
+            "streaming {}: {} nodes, {} edges (out-of-core; edge list not materialized)",
+            o.path, n, num_edges
+        );
+    }
+    if o.threads > 1 {
+        eprintln!("warning: --threads has no effect with --stream (semi-streaming is serial)");
+    }
+    let mut json = JsonSummary::new(o, n, num_edges);
+    let quiet = o.quiet || o.json;
+    let started = Instant::now();
+    let fail = |e: densest_subgraph::graph::GraphError| -> ! {
+        eprintln!("streaming {} failed: {e}", o.path);
+        exit(1);
+    };
+
+    let (run, oracle_words) = match o.algorithm.as_str() {
+        "approx" => {
+            if let Some(b) = o.sketch_b {
+                let sk =
+                    try_approx_densest_sketched(&mut *stream, o.epsilon, SketchParams::paper(b, 0))
+                        .unwrap_or_else(|e| fail(e));
+                if !quiet {
+                    eprintln!(
+                        "sketch: {} words vs {} exact ({:.0}%)",
+                        sk.sketch_words,
+                        sk.exact_words,
+                        100.0 * sk.memory_ratio()
+                    );
+                }
+                json.num_field("sketch_words", sk.sketch_words as f64);
+                let words = sk.sketch_words as u64;
+                (sk.run, words)
+            } else {
+                let run = dsg_core::undirected::try_approx_densest(&mut *stream, o.epsilon)
+                    .unwrap_or_else(|e| fail(e));
+                (run, n)
+            }
+        }
+        "atleast-k" => {
+            if o.k as u64 > n {
+                eprintln!("--k {} exceeds the graph's {} nodes", o.k, n);
+                exit(2);
+            }
+            let epsilon = o.epsilon.max(1e-6);
+            let run = dsg_core::large::try_approx_densest_at_least_k(&mut *stream, o.k, epsilon)
+                .unwrap_or_else(|e| fail(e));
+            (run, n)
+        }
+        other => unreachable!("--stream validated in parse_options (got '{other}')"),
+    };
+
+    json.num_field("density", run.best_density);
+    json.num_field("nodes", run.best_set.len() as f64);
+    json.num_field("passes", run.passes as f64);
+    if o.algorithm == "atleast-k" {
+        json.num_field("k", o.k as f64);
+        json.num_field("epsilon", o.epsilon.max(1e-6));
+    } else {
+        json.num_field("epsilon", o.epsilon);
+    }
+    json.num_field("threads", 1.0);
+    json.num_field("stream", 1.0);
+    json.num_field("state_bytes", streaming_state_bytes(n, oracle_words) as f64);
+    if o.json {
+        json.num_field("elapsed_ms", started.elapsed().as_secs_f64() * 1e3);
+        json.print();
+        return;
+    }
+    match o.algorithm.as_str() {
+        "atleast-k" => println!(
+            "density {:.6} on {} nodes (k = {}, {} passes)",
+            run.best_density,
+            run.best_set.len(),
+            o.k,
+            run.passes
+        ),
+        _ => println!(
+            "density {:.6} on {} nodes ({} passes, ε = {})",
+            run.best_density,
+            run.best_set.len(),
+            run.passes,
+            o.epsilon
+        ),
+    }
+    print_set(&run.best_set, o.quiet);
+    if !o.quiet {
+        eprintln!(
+            "peak streaming state ≈ {} bytes for {} nodes (edge file re-read {} times)",
+            streaming_state_bytes(n, oracle_words),
+            n,
+            run.passes
+        );
+    }
+}
+
 fn main() {
     let o = parse_options();
+    if o.stream {
+        run_streamed(&o);
+        return;
+    }
     let list = load(&o);
     if !o.quiet && !o.json {
         eprintln!(
@@ -222,7 +414,7 @@ fn main() {
             list.num_edges()
         );
     }
-    let mut json = JsonSummary::new(&o, &list);
+    let mut json = JsonSummary::new(&o, list.num_nodes as u64, list.num_edges() as u64);
     let quiet = o.quiet || o.json;
     let started = Instant::now();
 
@@ -286,6 +478,10 @@ fn main() {
             print_set(&run.best_set, o.quiet);
         }
         "atleast-k" => {
+            if o.k > list.num_nodes as usize {
+                eprintln!("--k {} exceeds the graph's {} nodes", o.k, list.num_nodes);
+                exit(2);
+            }
             let epsilon = o.epsilon.max(1e-6);
             let run = if o.threads > 1 {
                 let csr = CsrUndirected::from_edge_list(&list);

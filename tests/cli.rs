@@ -169,6 +169,138 @@ fn zero_threads_rejected() {
 }
 
 #[test]
+fn non_finite_epsilon_rejected_by_name() {
+    let path = clique_fixture();
+    for bad in ["nan", "NaN", "inf", "-inf", "-0.5"] {
+        let (_, stderr, ok) = run(&["approx", path.to_str().unwrap(), "--epsilon", bad]);
+        assert!(!ok, "--epsilon {bad} must be rejected");
+        assert!(
+            stderr.contains("--epsilon must be a finite number >= 0"),
+            "--epsilon {bad}: {stderr}"
+        );
+    }
+    // Unparseable values name the flag too (no panic backtrace).
+    let (_, stderr, ok) = run(&["approx", path.to_str().unwrap(), "--epsilon", "zero"]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("invalid value 'zero' for --epsilon"),
+        "{stderr}"
+    );
+    assert!(!stderr.contains("panicked"), "{stderr}");
+}
+
+#[test]
+fn zero_k_and_bad_delta_rejected_by_name() {
+    let path = clique_fixture();
+    let (_, stderr, ok) = run(&["atleast-k", path.to_str().unwrap(), "--k", "0"]);
+    assert!(!ok);
+    assert!(stderr.contains("--k must be at least 1"), "{stderr}");
+
+    // Oversized k: clean named error in both modes, never a kernel panic.
+    for extra in [&[][..], &["--stream"][..]] {
+        let mut args = vec!["atleast-k", path.to_str().unwrap(), "--k", "1000"];
+        args.extend_from_slice(extra);
+        let (_, stderr, ok) = run(&args);
+        assert!(!ok, "oversized --k must be rejected ({extra:?})");
+        assert!(stderr.contains("--k 1000 exceeds"), "{stderr}");
+        assert!(!stderr.contains("panicked"), "{stderr}");
+    }
+
+    let (_, stderr, ok) = run(&["directed", path.to_str().unwrap(), "--delta", "inf"]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("--delta must be a finite number > 0"),
+        "{stderr}"
+    );
+}
+
+/// Extracts the value of a `"key":value` field from a one-line JSON
+/// summary, as raw text (so comparisons are byte-exact).
+fn json_field<'a>(line: &'a str, key: &str) -> &'a str {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat).unwrap_or_else(|| panic!("{key} in {line}")) + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap();
+    &rest[..end]
+}
+
+#[test]
+fn stream_mode_matches_in_memory_byte_for_byte() {
+    let path = clique_fixture();
+    let p = path.to_str().unwrap();
+    let (mem, _, ok1) = run(&["approx", p, "--epsilon", "0.1", "--json"]);
+    let (streamed, _, ok2) = run(&["approx", p, "--epsilon", "0.1", "--stream", "--json"]);
+    assert!(ok1 && ok2, "{mem}{streamed}");
+    for key in ["graph_nodes", "graph_edges", "density", "nodes", "passes"] {
+        assert_eq!(
+            json_field(mem.trim(), key),
+            json_field(streamed.trim(), key),
+            "field {key}: {mem} vs {streamed}"
+        );
+    }
+    assert_eq!(json_field(streamed.trim(), "stream"), "1");
+    assert!(streamed.contains("\"state_bytes\":"), "{streamed}");
+
+    // The printed node set (non-JSON output) is identical as well.
+    let (mem_set, _, _) = run(&["approx", p, "--epsilon", "0.1"]);
+    let (stream_set, _, _) = run(&["approx", p, "--epsilon", "0.1", "--stream"]);
+    let nodes_line = |s: &str| {
+        s.lines()
+            .find(|l| l.starts_with("nodes:"))
+            .map(String::from)
+            .unwrap_or_else(|| panic!("no nodes line in {s}"))
+    };
+    assert_eq!(nodes_line(&mem_set), nodes_line(&stream_set));
+    assert!(
+        mem_set.lines().next() == stream_set.lines().next(),
+        "{mem_set} vs {stream_set}"
+    );
+}
+
+#[test]
+fn stream_mode_atleast_k_binary_matches_in_memory() {
+    // Build a binary fixture with the CLI-independent writer.
+    let text = clique_fixture();
+    let list = densest_subgraph::graph::io::read_text(
+        &text,
+        densest_subgraph::graph::GraphKind::Undirected,
+    )
+    .unwrap();
+    let bin = text.with_extension("bin");
+    densest_subgraph::graph::io::write_binary(&bin, &list).unwrap();
+    let b = bin.to_str().unwrap();
+
+    let (mem, _, ok1) = run(&["atleast-k", b, "--binary", "--k", "6", "--json"]);
+    let (streamed, _, ok2) = run(&["atleast-k", b, "--binary", "--k", "6", "--stream", "--json"]);
+    assert!(ok1 && ok2, "{mem}{streamed}");
+    for key in ["density", "nodes", "passes", "k"] {
+        assert_eq!(
+            json_field(mem.trim(), key),
+            json_field(streamed.trim(), key),
+            "field {key}: {mem} vs {streamed}"
+        );
+    }
+}
+
+#[test]
+fn stream_mode_rejected_for_in_memory_algorithms() {
+    let path = clique_fixture();
+    for alg in ["charikar", "exact", "enumerate", "directed"] {
+        let (_, stderr, ok) = run(&[alg, path.to_str().unwrap(), "--stream"]);
+        assert!(!ok, "{alg} --stream must be rejected");
+        assert!(stderr.contains("--stream supports only"), "{alg}: {stderr}");
+    }
+}
+
+#[test]
+fn stream_mode_missing_file_is_a_clean_error() {
+    let (_, stderr, ok) = run(&["approx", "/definitely/not/here.txt", "--stream"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot read"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+}
+
+#[test]
 fn json_summary_is_one_parseable_line() {
     let path = clique_fixture();
     let (stdout, _, ok) = run(&[

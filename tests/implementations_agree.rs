@@ -9,7 +9,9 @@ use densest_subgraph::graph::gen;
 use densest_subgraph::graph::io::{write_binary, write_text};
 use densest_subgraph::graph::stream::{BinaryFileStream, MemoryStream, TextFileStream};
 use densest_subgraph::graph::CsrUndirected;
-use densest_subgraph::mapreduce::{mr_densest_directed, mr_densest_undirected, MapReduceConfig};
+use densest_subgraph::mapreduce::{
+    mr_densest_directed, mr_densest_undirected, MapReduceConfig, ShuffleBackend,
+};
 
 fn tmp_dir() -> std::path::PathBuf {
     let dir = std::env::temp_dir().join("dsg_integration_agree");
@@ -49,6 +51,7 @@ fn all_undirected_substrates_agree() {
         num_workers: 3,
         num_reducers: 5,
         combine: true,
+        shuffle: ShuffleBackend::InMemory,
     };
     let e = mr_densest_undirected(&config, list.num_nodes, splits, eps);
 
@@ -90,6 +93,7 @@ fn directed_substrates_agree() {
             num_workers: 2,
             num_reducers: 7,
             combine: true,
+            shuffle: ShuffleBackend::InMemory,
         };
         let b = mr_densest_directed(&config, g.num_nodes, splits, c_ratio, eps);
 
@@ -111,6 +115,7 @@ fn trace_matches_across_substrates() {
         num_workers: 4,
         num_reducers: 4,
         combine: true,
+        shuffle: ShuffleBackend::InMemory,
     };
     let mr = mr_densest_undirected(&config, list.num_nodes, splits, 1.0);
     assert_eq!(a.trace.len(), mr.reports.len());
