@@ -18,6 +18,7 @@
 //!   fig67    MapReduce time per pass
 //!   scaling  serial vs parallel peeling-kernel pass time
 //!   outofcore  streamed + spill-to-disk shuffle vs in-memory parity
+//!   planner  engine backend choice per resource policy, cost, parity
 //!   lemma5   pass lower bound (union of regular graphs)
 //!   lemma6   pass lower bound (weighted power law)
 //!   all      everything above
@@ -77,7 +78,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: repro <table1|table2|fig61|fig62|fig63|table3|fig64|fig65|fig66|table4|fig67|scaling|outofcore|lemma5|lemma6|all> \
+    "usage: repro <table1|table2|fig61|fig62|fig63|table3|fig64|fig65|fig66|table4|fig67|scaling|outofcore|planner|lemma5|lemma6|all> \
      [--scale tiny|small|medium|large] [--csv] [--data-dir <path>] [--out <file>]"
         .to_string()
 }
@@ -111,6 +112,7 @@ fn run_experiment(name: &str, args: &Args) -> Result<Vec<Table>, String> {
         "fig67" => vec![exp::fig67::to_table(&exp::fig67::run(scale))],
         "scaling" => vec![exp::scaling::to_table(&exp::scaling::run(scale))],
         "outofcore" => vec![exp::outofcore::to_table(&exp::outofcore::run(scale))],
+        "planner" => vec![exp::planner::to_table(&exp::planner::run(scale))],
         "lemma5" => vec![exp::lemmas::to_table(
             "Lemma 5: passes on the union-of-regular-graphs instance (ε=0.5)",
             "k",
@@ -136,6 +138,7 @@ fn run_experiment(name: &str, args: &Args) -> Result<Vec<Table>, String> {
                 "fig67",
                 "scaling",
                 "outofcore",
+                "planner",
                 "lemma5",
                 "lemma6",
             ];

@@ -13,6 +13,7 @@ pub mod fig66;
 pub mod fig67;
 pub mod lemmas;
 pub mod outofcore;
+pub mod planner;
 pub mod scaling;
 pub mod table1;
 pub mod table2;

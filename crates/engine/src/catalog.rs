@@ -1,0 +1,455 @@
+//! The graph catalog: load and fingerprint each graph **once**, serve
+//! many queries from it.
+//!
+//! Every one-shot CLI invocation used to re-read and re-canonicalize the
+//! edge file; the catalog is what makes the long-running serve mode
+//! amortize that. An entry caches the canonicalized [`EdgeList`] plus
+//! lazily-built CSR snapshots (undirected and directed), keyed by
+//! `(path, format, orientation)` — the same file parsed as directed and
+//! as undirected canonicalizes differently, so the orientations are
+//! distinct entries. A cheap `(file length, mtime)` check revalidates
+//! entries on every hit; a changed file is transparently reloaded and
+//! re-fingerprinted.
+//!
+//! [`GraphCatalog::stat`] answers the planner's question — how big is
+//! this graph? — *without* materializing: the binary header or a text
+//! validation scan (O(1) memory), cached per path.
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufRead, BufReader, Read};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, OnceLock};
+use std::time::SystemTime;
+
+use dsg_graph::io::{read_binary, read_text, BinaryEdgeReader};
+use dsg_graph::stream::parse_edge_line;
+use dsg_graph::{CsrDirected, CsrUndirected, EdgeList, GraphKind, Result as GraphResult};
+
+use crate::planner::GraphMeta;
+
+/// A loaded, canonicalized graph with lazily-built CSR snapshots.
+pub struct CatalogEntry {
+    /// The canonicalized edge list (exactly what the one-shot CLI built).
+    pub list: EdgeList,
+    /// FNV-1a fingerprint of the raw file bytes at load time (0 for
+    /// memory-sourced entries).
+    pub fingerprint: u64,
+    /// Size/weightedness metadata of the loaded graph.
+    pub meta: GraphMeta,
+    csr_undirected: OnceLock<Arc<CsrUndirected>>,
+    csr_directed: OnceLock<Arc<CsrDirected>>,
+}
+
+impl CatalogEntry {
+    /// Wraps an already-canonicalized list (memory sources, tests).
+    pub fn from_list(list: EdgeList, file_bytes: u64, fingerprint: u64) -> Self {
+        let meta = GraphMeta {
+            nodes: list.num_nodes as u64,
+            edges: list.num_edges() as u64,
+            weighted: list.is_weighted(),
+            file_bytes,
+        };
+        CatalogEntry {
+            list,
+            fingerprint,
+            meta,
+            csr_undirected: OnceLock::new(),
+            csr_directed: OnceLock::new(),
+        }
+    }
+
+    /// The undirected CSR snapshot, built on first use and cached.
+    pub fn csr_undirected(&self) -> Arc<CsrUndirected> {
+        self.csr_undirected
+            .get_or_init(|| Arc::new(CsrUndirected::from_edge_list(&self.list)))
+            .clone()
+    }
+
+    /// The directed CSR snapshot, built on first use and cached.
+    pub fn csr_directed(&self) -> Arc<CsrDirected> {
+        self.csr_directed
+            .get_or_init(|| Arc::new(CsrDirected::from_edge_list(&self.list)))
+            .clone()
+    }
+}
+
+/// Cache key: one entry per `(path, format, orientation)`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct Key {
+    path: PathBuf,
+    binary: bool,
+    kind: GraphKind,
+}
+
+/// `(len, mtime)` snapshot used to revalidate cached entries cheaply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct FileStamp {
+    len: u64,
+    mtime: Option<SystemTime>,
+}
+
+fn stamp(path: &Path) -> GraphResult<FileStamp> {
+    let md = std::fs::metadata(path).map_err(dsg_graph::GraphError::Io)?;
+    Ok(FileStamp {
+        len: md.len(),
+        mtime: md.modified().ok(),
+    })
+}
+
+/// FNV-1a over the raw file bytes.
+fn fingerprint_file(path: &Path) -> GraphResult<u64> {
+    let mut f = File::open(path).map_err(dsg_graph::GraphError::Io)?;
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut buf = [0u8; 64 * 1024];
+    loop {
+        let n = f.read(&mut buf).map_err(dsg_graph::GraphError::Io)?;
+        if n == 0 {
+            break;
+        }
+        for &b in &buf[..n] {
+            hash = (hash ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    Ok(hash)
+}
+
+/// Load/hit counters, surfaced by the serve mode's `stats` op and
+/// asserted by the catalog tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CatalogStats {
+    /// Number of times a file was actually read and canonicalized.
+    pub loads: u64,
+    /// Number of queries answered from a cached entry.
+    pub hits: u64,
+    /// Number of meta-only stat scans performed.
+    pub stat_scans: u64,
+    /// Number of entries evicted to respect [`GraphCatalog::max_entries`].
+    pub evictions: u64,
+}
+
+/// Default bound on cached graphs (see [`GraphCatalog::set_max_entries`]).
+pub const DEFAULT_MAX_ENTRIES: usize = 32;
+
+/// A cached entry plus its revalidation stamp and LRU clock reading.
+struct Cached {
+    entry: Arc<CatalogEntry>,
+    stamp: FileStamp,
+    last_used: u64,
+}
+
+/// The catalog itself. Not thread-safe by design — the engine owns one
+/// and the serve loop is sequential; wrap in a mutex to share.
+pub struct GraphCatalog {
+    entries: HashMap<Key, Cached>,
+    meta_cache: HashMap<Key, (GraphMeta, FileStamp)>,
+    stats: CatalogStats,
+    clock: u64,
+    max_entries: usize,
+}
+
+impl Default for GraphCatalog {
+    fn default() -> Self {
+        GraphCatalog {
+            entries: HashMap::new(),
+            meta_cache: HashMap::new(),
+            stats: CatalogStats::default(),
+            clock: 0,
+            max_entries: DEFAULT_MAX_ENTRIES,
+        }
+    }
+}
+
+impl GraphCatalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bounds the number of cached graphs: loading beyond the bound
+    /// evicts the least-recently-used entry, so a long-running server
+    /// queried over many distinct files cannot grow without limit
+    /// (evicted graphs transparently reload on their next query). The
+    /// bound is clamped to at least 1; the default is
+    /// [`DEFAULT_MAX_ENTRIES`].
+    pub fn set_max_entries(&mut self, max_entries: usize) {
+        self.max_entries = max_entries.max(1);
+        while self.entries.len() > self.max_entries {
+            self.evict_lru();
+        }
+    }
+
+    fn evict_lru(&mut self) {
+        if let Some(key) = self
+            .entries
+            .iter()
+            .min_by_key(|(_, c)| c.last_used)
+            .map(|(k, _)| k.clone())
+        {
+            self.entries.remove(&key);
+            self.stats.evictions += 1;
+        }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> CatalogStats {
+        self.stats
+    }
+
+    /// Number of distinct graphs currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no graph is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drops every cached entry (counters are kept).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.meta_cache.clear();
+    }
+
+    /// Returns the cached graph for `(path, binary, kind)`, loading,
+    /// canonicalizing, and fingerprinting it on first use — exactly the
+    /// sequence the one-shot CLI performed, so results are identical.
+    /// The second return is `true` on a cache hit.
+    pub fn get_or_load(
+        &mut self,
+        path: &Path,
+        binary: bool,
+        kind: GraphKind,
+    ) -> GraphResult<(Arc<CatalogEntry>, bool)> {
+        let key = Key {
+            path: path.to_path_buf(),
+            binary,
+            kind,
+        };
+        let current = stamp(path)?;
+        self.clock += 1;
+        if let Some(cached) = self.entries.get_mut(&key) {
+            if cached.stamp == current {
+                cached.last_used = self.clock;
+                self.stats.hits += 1;
+                return Ok((cached.entry.clone(), true));
+            }
+        }
+        let mut list = if binary {
+            read_binary(path)?
+        } else {
+            read_text(path, kind)?
+        };
+        list.kind = kind;
+        list.canonicalize();
+        let fingerprint = fingerprint_file(path)?;
+        let entry = Arc::new(CatalogEntry::from_list(list, current.len, fingerprint));
+        self.stats.loads += 1;
+        // Replacing a stale entry never needs an eviction; a genuinely
+        // new key beyond the bound pushes out the least-recently-used.
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.max_entries {
+            self.evict_lru();
+        }
+        self.entries.insert(
+            key,
+            Cached {
+                entry: entry.clone(),
+                stamp: current,
+                last_used: self.clock,
+            },
+        );
+        Ok((entry, false))
+    }
+
+    /// Size metadata for planning, **without** materializing the graph:
+    /// binary header, or a text validation scan with O(1) memory. Cached
+    /// per `(path, format, orientation)` and revalidated by file stamp.
+    ///
+    /// The counts always describe the file **as stored** — never the
+    /// canonicalized in-memory entry — so a plan is a pure function of
+    /// the file's content and the policy, independent of what the
+    /// catalog happens to hold. (A loaded entry's canonicalized edge
+    /// count can be smaller; consulting it here would make the same
+    /// query plan differently hot vs cold, and serve-mode results could
+    /// then diverge from one-shot runs.)
+    pub fn stat(&mut self, path: &Path, binary: bool) -> GraphResult<GraphMeta> {
+        // Node/edge counts and weightedness do not depend on how the
+        // edges will be oriented, so there is no orientation parameter:
+        // a directed query after an undirected one (or vice versa) is
+        // served from the same cached scan.
+        let key = Key {
+            path: path.to_path_buf(),
+            binary,
+            kind: GraphKind::Undirected,
+        };
+        let current = stamp(path)?;
+        if let Some((meta, cached)) = self.meta_cache.get(&key) {
+            if *cached == current {
+                return Ok(*meta);
+            }
+        }
+        self.stats.stat_scans += 1;
+        let meta = if binary {
+            let r = BinaryEdgeReader::open(path)?;
+            GraphMeta {
+                nodes: r.num_nodes() as u64,
+                edges: r.num_edges(),
+                weighted: r.is_weighted(),
+                file_bytes: current.len,
+            }
+        } else {
+            scan_text_meta(path, current.len)?
+        };
+        // The meta cache holds a few fixed-size words per key; bound it
+        // all the same so a server stat-ing endless distinct paths
+        // cannot grow without limit.
+        if self.meta_cache.len() >= 4 * self.max_entries {
+            self.meta_cache.clear();
+        }
+        self.meta_cache.insert(key, (meta, current));
+        Ok(meta)
+    }
+}
+
+/// One O(1)-memory pass over a text edge list: node count (`max id + 1`,
+/// the same rule as `read_text`/`open_auto`), edge count, weightedness.
+fn scan_text_meta(path: &Path, file_bytes: u64) -> GraphResult<GraphMeta> {
+    let reader = BufReader::new(File::open(path).map_err(dsg_graph::GraphError::Io)?);
+    let mut max_id = 0u32;
+    let mut edges = 0u64;
+    let mut weighted = false;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line.map_err(dsg_graph::GraphError::Io)?;
+        if let Some((u, v, w)) = parse_edge_line(&line, idx as u64 + 1)? {
+            max_id = max_id.max(u).max(v);
+            edges += 1;
+            weighted |= w.is_some();
+        }
+    }
+    Ok(GraphMeta {
+        nodes: if edges == 0 { 0 } else { max_id as u64 + 1 },
+        edges,
+        weighted,
+        file_bytes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture(name: &str, content: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("dsg_engine_catalog_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, content).unwrap();
+        path
+    }
+
+    #[test]
+    fn loads_once_and_serves_hits() {
+        let path = fixture("hits.txt", "0 1\n1 2\n2 0\n");
+        let mut cat = GraphCatalog::new();
+        let (a, hit_a) = cat
+            .get_or_load(&path, false, GraphKind::Undirected)
+            .unwrap();
+        let (b, hit_b) = cat
+            .get_or_load(&path, false, GraphKind::Undirected)
+            .unwrap();
+        assert!(!hit_a && hit_b);
+        assert_eq!(cat.stats().loads, 1);
+        assert_eq!(cat.stats().hits, 1);
+        assert_eq!(a.fingerprint, b.fingerprint);
+        assert!(Arc::ptr_eq(&a, &b));
+        // The CSR is built once and shared.
+        assert!(Arc::ptr_eq(&a.csr_undirected(), &b.csr_undirected()));
+    }
+
+    #[test]
+    fn orientations_are_distinct_entries() {
+        let path = fixture("orient.txt", "0 1\n1 0\n");
+        let mut cat = GraphCatalog::new();
+        let (und, _) = cat
+            .get_or_load(&path, false, GraphKind::Undirected)
+            .unwrap();
+        let (dir, _) = cat.get_or_load(&path, false, GraphKind::Directed).unwrap();
+        assert_eq!(cat.stats().loads, 2);
+        // Canonicalization dedupes the undirected pair but keeps both arcs.
+        assert_eq!(und.list.num_edges(), 1);
+        assert_eq!(dir.list.num_edges(), 2);
+    }
+
+    #[test]
+    fn changed_file_is_reloaded() {
+        let path = fixture("reload.txt", "0 1\n");
+        let mut cat = GraphCatalog::new();
+        let (a, _) = cat
+            .get_or_load(&path, false, GraphKind::Undirected)
+            .unwrap();
+        // Rewrite with different content (and different length, so the
+        // stamp check cannot miss it even at mtime granularity).
+        std::fs::write(&path, "0 1\n1 2\n").unwrap();
+        let (b, hit) = cat
+            .get_or_load(&path, false, GraphKind::Undirected)
+            .unwrap();
+        assert!(!hit);
+        assert_eq!(cat.stats().loads, 2);
+        assert_ne!(a.fingerprint, b.fingerprint);
+        assert_eq!(b.list.num_edges(), 2);
+    }
+
+    #[test]
+    fn stat_is_identical_hot_and_cold() {
+        // A duplicate pair: 2 edges as stored, 1 after canonicalization.
+        // Planning must see the stored counts whether or not the graph
+        // is loaded, or hot serve plans would diverge from cold one-shot
+        // plans.
+        let path = fixture("hotcold.txt", "0 1\n1 0\n");
+        let mut cat = GraphCatalog::new();
+        let cold = cat.stat(&path, false).unwrap();
+        assert_eq!(cold.edges, 2);
+        let (entry, _) = cat
+            .get_or_load(&path, false, GraphKind::Undirected)
+            .unwrap();
+        assert_eq!(entry.list.num_edges(), 1, "canonicalization dedupes");
+        let hot = cat.stat(&path, false).unwrap();
+        assert_eq!(cold, hot, "stat must not depend on catalog state");
+    }
+
+    #[test]
+    fn lru_eviction_bounds_the_catalog() {
+        let mut cat = GraphCatalog::new();
+        cat.set_max_entries(2);
+        let a = fixture("lru_a.txt", "0 1\n");
+        let b = fixture("lru_b.txt", "0 1\n1 2\n");
+        let c = fixture("lru_c.txt", "0 1\n1 2\n2 3\n");
+        cat.get_or_load(&a, false, GraphKind::Undirected).unwrap();
+        cat.get_or_load(&b, false, GraphKind::Undirected).unwrap();
+        // Touch `a` so `b` is the least recently used, then overflow.
+        cat.get_or_load(&a, false, GraphKind::Undirected).unwrap();
+        cat.get_or_load(&c, false, GraphKind::Undirected).unwrap();
+        assert_eq!(cat.len(), 2);
+        assert_eq!(cat.stats().evictions, 1);
+        // `a` survived (recently used), `b` was evicted and reloads.
+        cat.get_or_load(&a, false, GraphKind::Undirected).unwrap();
+        assert_eq!(cat.stats().loads, 3, "a still cached");
+        cat.get_or_load(&b, false, GraphKind::Undirected).unwrap();
+        assert_eq!(cat.stats().loads, 4, "b had to reload");
+    }
+
+    #[test]
+    fn stat_matches_loaded_meta_without_loading() {
+        let path = fixture("stat.txt", "# comment\n0 1\n1 2 2.5\n");
+        let mut cat = GraphCatalog::new();
+        let meta = cat.stat(&path, false).unwrap();
+        assert_eq!(meta.nodes, 3);
+        assert_eq!(meta.edges, 2);
+        assert!(meta.weighted);
+        assert_eq!(cat.stats().loads, 0);
+        assert_eq!(cat.stats().stat_scans, 1);
+        // A second stat is served from the cache.
+        cat.stat(&path, false).unwrap();
+        assert_eq!(cat.stats().stat_scans, 1);
+    }
+}

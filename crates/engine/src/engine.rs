@@ -1,0 +1,358 @@
+//! [`Engine`] — plan then execute, against a catalog-cached graph.
+//!
+//! `Engine::execute` is the one entry point behind which every
+//! algorithm × backend combination lives. Execution dispatches on the
+//! planned [`Backend`] and calls **exactly** the public API the
+//! pre-engine CLI called for that combination, so results (density,
+//! node set, passes) are byte-identical to direct API calls — the
+//! parity suite in `tests/engine.rs` asserts it for every algorithm.
+
+use std::time::Instant;
+
+use dsg_core::enumerate::EnumerateOptions;
+use dsg_core::result::streaming_state_bytes;
+use dsg_graph::stream::{BinaryFileStream, EdgeStream, MemoryStream, TextFileStream};
+use dsg_graph::{EdgeList, GraphKind};
+use dsg_mapreduce::{mr_densest_undirected, MapReduceConfig, MrUndirectedResult};
+use dsg_sketch::{approx_densest_sketched, try_approx_densest_sketched, SketchParams};
+
+use crate::catalog::{CatalogEntry, GraphCatalog};
+use crate::error::{EngineError, Result};
+use crate::planner::{self, Backend, GraphMeta, Plan};
+use crate::query::{Algorithm, Query, ResourcePolicy, Source};
+use crate::report::{Outcome, Report, ShuffleStats};
+
+/// The query engine: a [`GraphCatalog`] plus the plan → execute
+/// pipeline. Create one and feed it queries; repeated queries over the
+/// same file hit the catalog instead of reloading.
+#[derive(Default)]
+pub struct Engine {
+    catalog: GraphCatalog,
+}
+
+impl Engine {
+    /// An engine with an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Read access to the catalog (load/hit counters, size).
+    pub fn catalog(&self) -> &GraphCatalog {
+        &self.catalog
+    }
+
+    /// Mutable access to the catalog (eviction, pre-warming).
+    pub fn catalog_mut(&mut self) -> &mut GraphCatalog {
+        &mut self.catalog
+    }
+
+    /// Size metadata of a source, without materializing file sources.
+    /// (Counts are orientation-independent, so no algorithm is needed.)
+    pub fn stat(&mut self, source: &Source) -> Result<GraphMeta> {
+        match source {
+            Source::File { path, binary, .. } => Ok(self.catalog.stat(path, *binary)?),
+            Source::Memory { list, .. } => Ok(GraphMeta {
+                nodes: list.num_nodes as u64,
+                edges: list.num_edges() as u64,
+                weighted: list.is_weighted(),
+                file_bytes: 0,
+            }),
+        }
+    }
+
+    /// Plans `query` over `source` under `policy` without executing.
+    pub fn plan(
+        &mut self,
+        source: &Source,
+        query: &Query,
+        policy: &ResourcePolicy,
+    ) -> Result<Plan> {
+        let meta = self.stat(source)?;
+        planner::plan(query, &meta, policy)
+    }
+
+    /// Plans and executes `query`, returning the unified [`Report`].
+    ///
+    /// Cost model: planning a cold **text** file costs one extra O(1)-
+    /// memory validation scan before execution (binary files read only
+    /// the header), and the first materialized load also fingerprints
+    /// the file's bytes. Both are per-file one-offs — the scan result
+    /// is cached by `(length, mtime)` stamp and the load by the
+    /// catalog — so the long-running serve mode amortizes them to zero;
+    /// a one-shot CLI run pays one extra sequential read in exchange
+    /// for a budget-aware plan.
+    pub fn execute(
+        &mut self,
+        source: &Source,
+        query: &Query,
+        policy: &ResourcePolicy,
+    ) -> Result<Report> {
+        let started = Instant::now();
+        let meta = self.stat(source)?;
+        let plan = planner::plan(query, &meta, policy)?;
+        let kind = source.kind_for(&query.algorithm);
+
+        let mut exec = Execution::default();
+        let outcome = match plan.backend {
+            Backend::Streamed | Backend::Sketched { streamed: true, .. } => {
+                self.run_streamed(source, query, &plan, &mut exec)?
+            }
+            _ => self.run_materialized(source, query, &plan, kind, &mut exec)?,
+        };
+
+        let threads = match plan.backend {
+            Backend::Streamed | Backend::Sketched { streamed: true, .. } => 1,
+            Backend::ParallelCsr { threads } => threads,
+            Backend::MapReduce { workers, .. } => workers,
+            Backend::InMemorySerial
+            | Backend::Sketched {
+                streamed: false, ..
+            } => policy.threads,
+        };
+        Ok(Report {
+            query: *query,
+            source_label: source.label(),
+            graph_nodes: exec.graph_nodes,
+            graph_edges: exec.graph_edges,
+            plan,
+            outcome,
+            threads,
+            sketch_words: exec.sketch_words,
+            state_bytes: exec.state_bytes,
+            shuffle: exec.shuffle,
+            cache_hit: exec.cache_hit,
+            elapsed_ms: started.elapsed().as_secs_f64() * 1e3,
+        })
+    }
+
+    /// Out-of-core path: run straight over the source's edge stream,
+    /// never materializing the edge list.
+    fn run_streamed(
+        &mut self,
+        source: &Source,
+        query: &Query,
+        plan: &Plan,
+        exec: &mut Execution,
+    ) -> Result<Outcome> {
+        let (mut stream, num_edges): (Box<dyn EdgeStream>, u64) = match source {
+            Source::File { path, binary, .. } => {
+                if *binary {
+                    let s = BinaryFileStream::open(path)?;
+                    let m = s.num_edges();
+                    (Box::new(s), m)
+                } else {
+                    let s = TextFileStream::open_auto(path)?;
+                    let m = s.num_edges();
+                    (Box::new(s), m)
+                }
+            }
+            Source::Memory { list, .. } => {
+                let m = list.num_edges() as u64;
+                (Box::new(MemoryStream::new(list.clone())), m)
+            }
+        };
+        let n = stream.num_nodes() as u64;
+        exec.graph_nodes = n;
+        exec.graph_edges = num_edges;
+        let fail = EngineError::StreamFailed;
+
+        match (query.algorithm, plan.backend) {
+            (
+                Algorithm::Approx { epsilon, .. },
+                Backend::Sketched {
+                    width,
+                    streamed: true,
+                },
+            ) => {
+                let sk = try_approx_densest_sketched(
+                    &mut *stream,
+                    epsilon,
+                    SketchParams::paper(width, 0),
+                )
+                .map_err(fail)?;
+                exec.sketch_words = Some((sk.sketch_words as u64, sk.exact_words as u64));
+                exec.state_bytes = Some(streaming_state_bytes(n, sk.sketch_words as u64));
+                Ok(Outcome::Run(sk.run))
+            }
+            (Algorithm::Approx { epsilon, .. }, _) => {
+                let run = dsg_core::undirected::try_approx_densest(&mut *stream, epsilon)
+                    .map_err(fail)?;
+                exec.state_bytes = Some(streaming_state_bytes(n, n));
+                Ok(Outcome::Run(run))
+            }
+            (Algorithm::AtLeastK { k, epsilon }, _) => {
+                let epsilon = epsilon.max(1e-6);
+                let run = dsg_core::large::try_approx_densest_at_least_k(&mut *stream, k, epsilon)
+                    .map_err(fail)?;
+                exec.state_bytes = Some(streaming_state_bytes(n, n));
+                Ok(Outcome::Run(run))
+            }
+            (alg, backend) => Err(EngineError::Unsupported(format!(
+                "planner bug: {backend:?} cannot run '{}'",
+                alg.name()
+            ))),
+        }
+    }
+
+    /// Materialized path: fetch the graph through the catalog (one load,
+    /// many hits) and dispatch on the planned backend.
+    fn run_materialized(
+        &mut self,
+        source: &Source,
+        query: &Query,
+        plan: &Plan,
+        kind: GraphKind,
+        exec: &mut Execution,
+    ) -> Result<Outcome> {
+        // Memory sources bypass the catalog: the caller already holds the
+        // list, caching it would only duplicate it.
+        let owned = match source {
+            Source::File { path, binary, .. } => {
+                let (entry, hit) = self.catalog.get_or_load(path, *binary, kind)?;
+                exec.cache_hit = Some(hit);
+                entry
+            }
+            Source::Memory { list, .. } => {
+                let mut list = list.clone();
+                list.kind = kind;
+                list.canonicalize();
+                std::sync::Arc::new(CatalogEntry::from_list(list, 0, 0))
+            }
+        };
+        let entry: &CatalogEntry = &owned;
+        let list = &entry.list;
+        exec.graph_nodes = list.num_nodes as u64;
+        exec.graph_edges = list.num_edges() as u64;
+
+        match (query.algorithm, plan.backend) {
+            (Algorithm::Approx { epsilon, .. }, Backend::InMemorySerial) => Ok(Outcome::Run(
+                dsg_core::undirected::approx_densest_csr(&entry.csr_undirected(), epsilon),
+            )),
+            (Algorithm::Approx { epsilon, .. }, Backend::ParallelCsr { threads }) => Ok(
+                Outcome::Run(dsg_core::undirected::approx_densest_csr_parallel(
+                    &entry.csr_undirected(),
+                    epsilon,
+                    threads,
+                )),
+            ),
+            (
+                Algorithm::Approx { epsilon, .. },
+                Backend::Sketched {
+                    width,
+                    streamed: false,
+                },
+            ) => {
+                let mut stream = MemoryStream::new(list.clone());
+                let sk =
+                    approx_densest_sketched(&mut stream, epsilon, SketchParams::paper(width, 0));
+                exec.sketch_words = Some((sk.sketch_words as u64, sk.exact_words as u64));
+                Ok(Outcome::Run(sk.run))
+            }
+            (Algorithm::Approx { epsilon, .. }, Backend::MapReduce { workers, shuffle }) => {
+                let config = MapReduceConfig {
+                    num_workers: workers,
+                    num_reducers: workers * 4,
+                    combine: true,
+                    shuffle: shuffle.to_backend(),
+                };
+                let splits = mr_edge_splits(list, workers);
+                let result = mr_densest_undirected(&config, list.num_nodes, splits, epsilon);
+                exec.shuffle = Some(shuffle_stats(&result));
+                Ok(Outcome::MapReduce(result))
+            }
+            (Algorithm::AtLeastK { k, epsilon }, Backend::InMemorySerial) => {
+                let mut stream = MemoryStream::new(list.clone());
+                Ok(Outcome::Run(dsg_core::large::approx_densest_at_least_k(
+                    &mut stream,
+                    k,
+                    epsilon.max(1e-6),
+                )))
+            }
+            (Algorithm::AtLeastK { k, epsilon }, Backend::ParallelCsr { threads }) => Ok(
+                Outcome::Run(dsg_core::large::approx_densest_at_least_k_csr_parallel(
+                    &entry.csr_undirected(),
+                    k,
+                    epsilon.max(1e-6),
+                    threads,
+                )),
+            ),
+            (Algorithm::Directed { delta, epsilon }, Backend::InMemorySerial) => {
+                Ok(Outcome::Sweep(dsg_core::directed::sweep_c_csr(
+                    &entry.csr_directed(),
+                    delta,
+                    epsilon,
+                )))
+            }
+            (Algorithm::Directed { delta, epsilon }, Backend::ParallelCsr { threads }) => {
+                Ok(Outcome::Sweep(dsg_core::directed::sweep_c_csr_parallel(
+                    &entry.csr_directed(),
+                    delta,
+                    epsilon,
+                    threads,
+                )))
+            }
+            (Algorithm::Charikar, _) => Ok(Outcome::Charikar(dsg_core::charikar::charikar_peel(
+                &entry.csr_undirected(),
+            ))),
+            (Algorithm::Exact { flow }, _) => Ok(Outcome::Exact(dsg_flow::exact_densest_with(
+                &entry.csr_undirected(),
+                flow,
+            ))),
+            (
+                Algorithm::Enumerate {
+                    epsilon,
+                    min_density,
+                    max_communities,
+                },
+                _,
+            ) => Ok(Outcome::Communities(
+                dsg_core::enumerate::enumerate_dense_subgraphs(
+                    &entry.csr_undirected(),
+                    EnumerateOptions {
+                        epsilon,
+                        min_density,
+                        max_communities,
+                    },
+                ),
+            )),
+            (alg, backend) => Err(EngineError::Unsupported(format!(
+                "planner bug: {backend:?} cannot run '{}'",
+                alg.name()
+            ))),
+        }
+    }
+}
+
+/// Per-execution accounting threaded through the dispatch helpers.
+#[derive(Default)]
+struct Execution {
+    graph_nodes: u64,
+    graph_edges: u64,
+    sketch_words: Option<(u64, u64)>,
+    state_bytes: Option<u64>,
+    shuffle: Option<ShuffleStats>,
+    cache_hit: Option<bool>,
+}
+
+/// Splits a canonical edge list into `parts` contiguous chunks — the
+/// deterministic partitioning the MapReduce backend feeds the driver.
+/// Public so parity tests construct the identical direct call.
+pub fn mr_edge_splits(list: &EdgeList, parts: usize) -> Vec<Vec<(u32, u32)>> {
+    let parts = parts.max(1);
+    if list.edges.is_empty() {
+        return vec![Vec::new()];
+    }
+    let chunk = list.edges.len().div_ceil(parts);
+    list.edges.chunks(chunk).map(|c| c.to_vec()).collect()
+}
+
+/// Sums the shuffle accounting over every pass of an MR run.
+fn shuffle_stats(result: &MrUndirectedResult) -> ShuffleStats {
+    let mut s = ShuffleStats::default();
+    for report in &result.reports {
+        s.shuffle_bytes += report.rounds.shuffle_bytes;
+        s.spilled_bytes += report.rounds.spilled_bytes;
+        s.spill_runs += report.rounds.spill_runs;
+    }
+    s
+}

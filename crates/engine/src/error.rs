@@ -1,0 +1,51 @@
+//! Engine error type: every failure is a value with a stable message —
+//! callers (CLI, serve loop) render it, never a panic.
+
+use dsg_graph::GraphError;
+
+/// Why a query could not be planned or executed.
+#[derive(Debug)]
+pub enum EngineError {
+    /// The graph source could not be opened / read / validated.
+    Graph(GraphError),
+    /// A file stream failed mid-run (I/O error, file modified between
+    /// passes); results computed across the failed pass were discarded.
+    StreamFailed(GraphError),
+    /// The query's parameters are invalid (named in the message).
+    InvalidQuery(String),
+    /// The requested backend (or parameter combination) is not available
+    /// for this algorithm.
+    Unsupported(String),
+    /// Algorithm 2's size floor exceeds the graph's node count.
+    KTooLarge {
+        /// The requested floor.
+        k: usize,
+        /// The graph's node count.
+        n: u64,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Graph(e) => write!(f, "{e}"),
+            EngineError::StreamFailed(e) => write!(f, "stream failed: {e}"),
+            EngineError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+            EngineError::Unsupported(msg) => write!(f, "{msg}"),
+            EngineError::KTooLarge { k, n } => {
+                write!(f, "k {k} exceeds the graph's {n} nodes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<GraphError> for EngineError {
+    fn from(e: GraphError) -> Self {
+        EngineError::Graph(e)
+    }
+}
+
+/// Engine result alias.
+pub type Result<T> = std::result::Result<T, EngineError>;

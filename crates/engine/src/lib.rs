@@ -1,0 +1,63 @@
+//! # dsg-engine — the query engine: plan → execute → serve
+//!
+//! The paper's thesis is that one density query should run well at any
+//! scale — in RAM, streamed from disk, or sketched. This crate turns
+//! that into an architecture instead of a pile of CLI branches:
+//!
+//! * [`Query`] — a declarative query: algorithm ∈ {approx, atleast-k,
+//!   directed, charikar, exact, enumerate} × its ε/k/δ/sketch
+//!   parameters, with an optional forced [`BackendRequest`].
+//! * [`ResourcePolicy`] — memory budget and thread count.
+//! * [`planner`] — a pure, deterministic, *explainable* planner mapping
+//!   `(Query, GraphMeta, ResourcePolicy)` to a [`Plan`]: in-memory
+//!   serial vs parallel CSR vs file-streamed vs sketched, and in-RAM vs
+//!   spill-to-disk shuffle for the MapReduce driver. Every fired rule is
+//!   recorded in [`Plan::reasons`].
+//! * [`Engine`] — executes the plan by calling exactly the public API a
+//!   direct caller would, so results are byte-identical (asserted in
+//!   `tests/engine.rs`), and returns one unified [`Report`] (density,
+//!   node set, passes, state/shuffle bytes, the plan taken).
+//! * [`GraphCatalog`] — loads, canonicalizes, and fingerprints each
+//!   graph once; repeated queries hit the cache.
+//! * [`serve`] — a long-running JSONL request/response loop over
+//!   stdin/stdout or a Unix socket, so heavy query traffic amortizes
+//!   graph loading across requests.
+//!
+//! ```
+//! use dsg_engine::{Algorithm, Engine, Query, ResourcePolicy, Source};
+//! use dsg_graph::gen;
+//!
+//! let mut engine = Engine::new();
+//! let source = Source::Memory {
+//!     list: gen::clique(8),
+//!     label: "k8".into(),
+//! };
+//! let query = Query::new(Algorithm::Approx { epsilon: 0.5, sketch: None });
+//! let report = engine
+//!     .execute(&source, &query, &ResourcePolicy::default())
+//!     .unwrap();
+//! assert_eq!(report.density(), 3.5); // (8 choose 2) / 8
+//! assert_eq!(report.plan.backend.name(), "memory");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod catalog;
+mod engine;
+mod error;
+pub mod minijson;
+pub mod planner;
+pub mod query;
+pub mod report;
+pub mod serve;
+
+pub use catalog::{CatalogEntry, CatalogStats, GraphCatalog};
+pub use engine::{mr_edge_splits, Engine};
+pub use error::{EngineError, Result};
+pub use planner::{Backend, GraphMeta, Plan, ShuffleChoice};
+pub use query::{Algorithm, BackendRequest, Query, ResourcePolicy, Source};
+pub use report::{JsonBuilder, Outcome, Report, ShuffleStats};
+#[cfg(unix)]
+pub use serve::{client_unix, serve_unix};
+pub use serve::{serve_loop, serve_stdio, ServeSummary};

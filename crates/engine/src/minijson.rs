@@ -1,0 +1,283 @@
+//! A tiny, dependency-free parser for the serve protocol's requests:
+//! one **flat** JSON object per line, with string / number / boolean /
+//! null values. Nested containers are rejected by design — the request
+//! schema is flat, and keeping the grammar small keeps the parser
+//! honest (every error is a message naming the position).
+
+/// A parsed JSON scalar.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// A string (escapes decoded).
+    Str(String),
+    /// A number.
+    Num(f64),
+    /// A boolean.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+impl Value {
+    /// Re-renders the value as JSON (used to echo request ids verbatim).
+    pub fn to_json(&self) -> String {
+        match self {
+            Value::Str(s) => format!("\"{}\"", crate::report::escape_json(s)),
+            Value::Num(n) => crate::report::render_num(*n),
+            Value::Bool(b) => b.to_string(),
+            Value::Null => "null".to_string(),
+        }
+    }
+
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a finite number, if it is one.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool; numbers 0/1 are accepted too (`"stream":1`).
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            Value::Num(n) if *n == 0.0 => Some(false),
+            Value::Num(n) if *n == 1.0 => Some(true),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer with no fractional part.
+    pub fn as_uint(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Parses one flat JSON object into `(key, value)` pairs in document
+/// order. Duplicate keys are kept (last one wins at lookup).
+pub fn parse_object(input: &str) -> Result<Vec<(String, Value)>, String> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut fields = Vec::new();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            let key = p.parse_string()?;
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            let value = p.parse_value()?;
+            fields.push((key, value));
+            p.skip_ws();
+            match p.next() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                other => return Err(p.err_at(format!("expected ',' or '}}', got {other:?}"))),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err_at("trailing characters after object".into()));
+    }
+    Ok(fields)
+}
+
+/// Looks a key up in parsed fields (last occurrence wins).
+pub fn get<'a>(fields: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    fields.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err_at(&self, msg: String) -> String {
+        format!("bad JSON at byte {}: {msg}", self.pos)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        match self.next() {
+            Some(b) if b == want => Ok(()),
+            other => Err(self.err_at(format!("expected '{}', got {other:?}", want as char))),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b't') => self.parse_lit("true", Value::Bool(true)),
+            Some(b'f') => self.parse_lit("false", Value::Bool(false)),
+            Some(b'n') => self.parse_lit("null", Value::Null),
+            Some(b'{' | b'[') => {
+                Err(self.err_at("nested objects/arrays are not part of the request schema".into()))
+            }
+            Some(_) => self.parse_number(),
+            None => Err(self.err_at("unexpected end of input".into())),
+        }
+    }
+
+    fn parse_lit(&mut self, lit: &str, value: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err_at(format!("expected '{lit}'")))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        let n: f64 = raw
+            .parse()
+            .map_err(|_| self.err_at(format!("bad number '{raw}'")))?;
+        if !n.is_finite() {
+            return Err(self.err_at(format!("non-finite number '{raw}'")));
+        }
+        Ok(Value::Num(n))
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                None => return Err(self.err_at("unterminated string".into())),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.next() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        if self.pos + 4 > self.bytes.len() {
+                            return Err(self.err_at("truncated \\u escape".into()));
+                        }
+                        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                            .map_err(|e| e.to_string())?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| self.err_at(format!("bad \\u escape '{hex}'")))?;
+                        self.pos += 4;
+                        // Surrogates are replaced, not paired — ids and
+                        // paths in the request schema are plain text.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    other => return Err(self.err_at(format!("bad escape {other:?}"))),
+                },
+                Some(b) if b < 0x20 => {
+                    return Err(self.err_at("raw control character in string".into()))
+                }
+                Some(b) => {
+                    // Re-assemble multi-byte UTF-8: backtrack and take the
+                    // full char from the source.
+                    if b < 0x80 {
+                        out.push(b as char);
+                    } else {
+                        let s = std::str::from_utf8(&self.bytes[self.pos - 1..])
+                            .map_err(|e| e.to_string())?;
+                        let c = s.chars().next().ok_or("empty char")?;
+                        out.push(c);
+                        self.pos += c.len_utf8() - 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flat_objects() {
+        let f = parse_object(
+            r#"{"op":"query","epsilon":0.5,"k":10,"stream":true,"id":null,"file":"a b.txt"}"#,
+        )
+        .unwrap();
+        assert_eq!(get(&f, "op").unwrap().as_str(), Some("query"));
+        assert_eq!(get(&f, "epsilon").unwrap().as_num(), Some(0.5));
+        assert_eq!(get(&f, "k").unwrap().as_uint(), Some(10));
+        assert_eq!(get(&f, "stream").unwrap().as_bool(), Some(true));
+        assert_eq!(get(&f, "id"), Some(&Value::Null));
+        assert_eq!(get(&f, "file").unwrap().as_str(), Some("a b.txt"));
+        assert_eq!(get(&f, "missing"), None);
+    }
+
+    #[test]
+    fn rejects_nested_and_trailing() {
+        assert!(parse_object(r#"{"a":{"b":1}}"#).is_err());
+        assert!(parse_object(r#"{"a":[1]}"#).is_err());
+        assert!(parse_object(r#"{"a":1} extra"#).is_err());
+        assert!(parse_object("not json").is_err());
+        assert!(parse_object(r#"{"a":1e999}"#).is_err());
+    }
+
+    #[test]
+    fn decodes_escapes_and_roundtrips() {
+        let f = parse_object(r#"{"s":"line\nbreak \"q\" é"}"#).unwrap();
+        assert_eq!(get(&f, "s").unwrap().as_str(), Some("line\nbreak \"q\" é"));
+        assert_eq!(Value::Num(3.0).to_json(), "3");
+        assert_eq!(Value::Str("a\"b".into()).to_json(), r#""a\"b""#);
+        assert_eq!(Value::Bool(false).to_json(), "false");
+        assert_eq!(Value::Null.to_json(), "null");
+    }
+
+    #[test]
+    fn empty_object_and_uint_bounds() {
+        assert!(parse_object("{}").unwrap().is_empty());
+        assert_eq!(Value::Num(1.5).as_uint(), None);
+        assert_eq!(Value::Num(-1.0).as_uint(), None);
+        assert_eq!(Value::Num(2.0).as_bool(), None);
+    }
+}

@@ -1,0 +1,226 @@
+//! The declarative query surface: what to compute ([`Query`]), over what
+//! ([`Source`]), and under which resource constraints ([`ResourcePolicy`]).
+//!
+//! A query names an algorithm and its parameters but **not** an execution
+//! backend — picking in-memory vs parallel vs file-streamed vs sketched
+//! (and in-RAM vs spill-to-disk shuffle) is the planner's job, driven by
+//! the graph's size and the policy's memory budget. A caller that wants a
+//! specific backend anyway (the CLI's `--stream`, a parity experiment)
+//! sets [`Query::backend`] and the planner validates the request instead
+//! of choosing.
+
+use std::path::PathBuf;
+
+use dsg_flow::FlowBackend;
+use dsg_graph::{EdgeList, GraphKind};
+
+/// The algorithm a query runs, with its parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Algorithm {
+    /// Algorithm 1 — undirected `(2+2ε)`-approximation. `sketch` replaces
+    /// the exact degree oracle with a Count-Sketch of width `b` (§5.1).
+    Approx {
+        /// Approximation parameter ε (≥ 0).
+        epsilon: f64,
+        /// Count-Sketch width `b` (`t = 5` rows), if sketched.
+        sketch: Option<u32>,
+    },
+    /// Algorithm 2 — densest subgraph with at least `k` nodes,
+    /// `(3+3ε)`-approximation.
+    AtLeastK {
+        /// Size floor `k` (≥ 1).
+        k: usize,
+        /// Approximation parameter ε (clamped to ≥ 1e-6 at execution,
+        /// exactly as the direct API requires).
+        epsilon: f64,
+    },
+    /// Algorithm 3 — directed density with a `δ`-grid sweep over
+    /// `c = |S|/|T|`.
+    Directed {
+        /// Grid resolution δ (> 1).
+        delta: f64,
+        /// Approximation parameter ε (≥ 0).
+        epsilon: f64,
+    },
+    /// Charikar's exact greedy peeling (2-approximation, in-memory).
+    Charikar,
+    /// Goldberg max-flow optimum, with a selectable max-flow solver.
+    Exact {
+        /// Which max-flow solver backs the binary search.
+        flow: FlowBackend,
+    },
+    /// Node-disjoint dense-community enumeration.
+    Enumerate {
+        /// ε of each extraction round.
+        epsilon: f64,
+        /// Stop below this density.
+        min_density: f64,
+        /// Stop after this many communities.
+        max_communities: usize,
+    },
+}
+
+impl Algorithm {
+    /// The CLI / JSON name of the algorithm.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Approx { .. } => "approx",
+            Algorithm::AtLeastK { .. } => "atleast-k",
+            Algorithm::Directed { .. } => "directed",
+            Algorithm::Charikar => "charikar",
+            Algorithm::Exact { .. } => "exact",
+            Algorithm::Enumerate { .. } => "enumerate",
+        }
+    }
+
+    /// Whether the algorithm can run over a multi-pass edge stream with
+    /// O(n) state (the paper's semi-streaming model).
+    pub fn streamable(&self) -> bool {
+        matches!(self, Algorithm::Approx { .. } | Algorithm::AtLeastK { .. })
+    }
+
+    /// Whether a parallel CSR peeling backend exists for the algorithm.
+    pub fn parallelizable(&self) -> bool {
+        matches!(
+            self,
+            Algorithm::Approx { sketch: None, .. }
+                | Algorithm::AtLeastK { .. }
+                | Algorithm::Directed { .. }
+        )
+    }
+
+    /// Whether the MapReduce driver of §5.2 realizes the algorithm.
+    pub fn mapreducible(&self) -> bool {
+        matches!(self, Algorithm::Approx { sketch: None, .. })
+    }
+}
+
+/// An explicit backend request, bypassing the planner's choice (the
+/// planner still validates it against the algorithm's capabilities).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BackendRequest {
+    /// Force the in-memory path (serial, or parallel if the policy has
+    /// more than one thread and the algorithm parallelizes).
+    InMemory,
+    /// Force the parallel CSR peeling backend.
+    Parallel,
+    /// Force the out-of-core path: re-read the source per pass, O(n)
+    /// state, the edge list never materialized.
+    Streamed,
+    /// Force the §5.2 MapReduce driver (shuffle placement is still
+    /// planned from the budget).
+    MapReduce,
+}
+
+impl BackendRequest {
+    /// CLI spelling of the request (`--backend <value>`).
+    pub fn parse(s: &str) -> Option<Option<BackendRequest>> {
+        match s {
+            "auto" => Some(None),
+            "memory" => Some(Some(BackendRequest::InMemory)),
+            "parallel" => Some(Some(BackendRequest::Parallel)),
+            "stream" => Some(Some(BackendRequest::Streamed)),
+            "mapreduce" => Some(Some(BackendRequest::MapReduce)),
+            _ => None,
+        }
+    }
+}
+
+/// A densest-subgraph query: the algorithm plus an optional forced
+/// backend. Everything else (backend choice, shuffle placement) is
+/// derived by the planner.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Query {
+    /// What to compute.
+    pub algorithm: Algorithm,
+    /// Explicit backend request (`None` = let the planner choose).
+    pub backend: Option<BackendRequest>,
+}
+
+impl Query {
+    /// A query with planner-chosen backend.
+    pub fn new(algorithm: Algorithm) -> Self {
+        Query {
+            algorithm,
+            backend: None,
+        }
+    }
+}
+
+/// Resource constraints the planner must respect.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResourcePolicy {
+    /// Peak working-set budget in bytes (`None` = unbounded: always plan
+    /// the in-memory backend).
+    pub memory_budget_bytes: Option<u64>,
+    /// Worker threads available (1 = serial; > 1 enables the parallel
+    /// CSR backend and sizes the MapReduce driver).
+    pub threads: usize,
+}
+
+impl Default for ResourcePolicy {
+    fn default() -> Self {
+        ResourcePolicy {
+            memory_budget_bytes: None,
+            threads: 1,
+        }
+    }
+}
+
+/// Where the graph comes from.
+#[derive(Clone, Debug)]
+pub enum Source {
+    /// An edge-list file on disk (SNAP text or the dsg binary format).
+    File {
+        /// Path to the edge file.
+        path: PathBuf,
+        /// `true` for the compact binary format.
+        binary: bool,
+        /// Parse the file as directed even for undirected algorithms.
+        directed_input: bool,
+    },
+    /// An already-materialized edge list (benchmarks, tests, embedding).
+    Memory {
+        /// The edge list; canonicalized by the engine before use.
+        list: EdgeList,
+        /// Label used in reports in place of a file path.
+        label: String,
+    },
+}
+
+impl Source {
+    /// A text-file source.
+    pub fn text(path: impl Into<PathBuf>) -> Self {
+        Source::File {
+            path: path.into(),
+            binary: false,
+            directed_input: false,
+        }
+    }
+
+    /// The label reports carry for this source (the path, or the memory
+    /// label).
+    pub fn label(&self) -> String {
+        match self {
+            Source::File { path, .. } => path.display().to_string(),
+            Source::Memory { label, .. } => label.clone(),
+        }
+    }
+
+    /// How the source's edges are to be oriented for `algorithm`:
+    /// directed iff the caller said so or the algorithm is directed.
+    pub fn kind_for(&self, algorithm: &Algorithm) -> GraphKind {
+        let directed_input = matches!(
+            self,
+            Source::File {
+                directed_input: true,
+                ..
+            }
+        );
+        if directed_input || matches!(algorithm, Algorithm::Directed { .. }) {
+            GraphKind::Directed
+        } else {
+            GraphKind::Undirected
+        }
+    }
+}

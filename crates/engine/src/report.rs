@@ -1,0 +1,287 @@
+//! The unified [`Report`]: one result shape for every algorithm and
+//! backend, replacing the JSON-summary code that was duplicated across
+//! the CLI's six algorithm branches.
+//!
+//! A report carries the raw algorithm result ([`Outcome`]), the plan
+//! that produced it, and the cross-cutting accounting (graph size,
+//! streaming state bytes, sketch words, shuffle bytes, elapsed time).
+//! [`Report::json_object`] renders the one-line machine-readable
+//! summary; field names and order match what the pre-engine CLI
+//! printed, with the plan (`backend`, `plan`) added after the graph
+//! counts.
+
+use dsg_core::charikar::CharikarResult;
+use dsg_core::enumerate::Community;
+use dsg_core::result::UndirectedRun;
+use dsg_core::SweepResult;
+use dsg_flow::{ExactDensest, FlowBackend};
+use dsg_graph::NodeSet;
+use dsg_mapreduce::MrUndirectedResult;
+
+use crate::planner::Plan;
+use crate::query::{Algorithm, Query};
+
+/// The raw algorithm result inside a [`Report`].
+#[derive(Clone, Debug)]
+pub enum Outcome {
+    /// An Algorithm 1/2 run (any streaming/CSR/sketched backend).
+    Run(UndirectedRun),
+    /// An Algorithm 3 `c`-sweep.
+    Sweep(SweepResult),
+    /// Charikar's greedy peel.
+    Charikar(CharikarResult),
+    /// The Goldberg max-flow optimum.
+    Exact(ExactDensest),
+    /// Node-disjoint dense communities.
+    Communities(Vec<Community>),
+    /// The §5.2 MapReduce driver's result.
+    MapReduce(MrUndirectedResult),
+}
+
+/// Shuffle accounting of a MapReduce-backed run (summed over rounds).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShuffleStats {
+    /// Encoded bytes of every shuffled record.
+    pub shuffle_bytes: u64,
+    /// Bytes written to spilled disk runs.
+    pub spilled_bytes: u64,
+    /// Number of sorted runs spilled.
+    pub spill_runs: u64,
+}
+
+/// The unified result of [`crate::Engine::execute`].
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// The query that ran.
+    pub query: Query,
+    /// Report label of the source (file path or memory label).
+    pub source_label: String,
+    /// Nodes in the graph as presented to the algorithm.
+    pub graph_nodes: u64,
+    /// Edges in the graph as presented to the algorithm.
+    pub graph_edges: u64,
+    /// The plan that was executed.
+    pub plan: Plan,
+    /// The algorithm's result.
+    pub outcome: Outcome,
+    /// Worker-thread count the run used (1 for streamed runs).
+    pub threads: usize,
+    /// `(sketch_words, exact_words)` for sketched runs.
+    pub sketch_words: Option<(u64, u64)>,
+    /// Peak O(n) streaming-state bytes for out-of-core runs.
+    pub state_bytes: Option<u64>,
+    /// Shuffle accounting for MapReduce-backed runs.
+    pub shuffle: Option<ShuffleStats>,
+    /// `Some(true)` when the graph came from the catalog cache,
+    /// `Some(false)` on a fresh load, `None` when no materialized graph
+    /// was involved (streamed runs, memory sources).
+    pub cache_hit: Option<bool>,
+    /// Wall-clock milliseconds of planning + execution.
+    pub elapsed_ms: f64,
+}
+
+impl Report {
+    /// Best density found.
+    pub fn density(&self) -> f64 {
+        match &self.outcome {
+            Outcome::Run(r) => r.best_density,
+            Outcome::Sweep(s) => s.best.best_density,
+            Outcome::Charikar(r) => r.best_density,
+            Outcome::Exact(r) => r.density,
+            Outcome::Communities(c) => c.first().map_or(0.0, |c| c.density),
+            Outcome::MapReduce(r) => r.best_density,
+        }
+    }
+
+    /// Size of the best node set (|S| + |T| for directed, nodes of the
+    /// densest community for enumerate).
+    pub fn node_count(&self) -> usize {
+        match &self.outcome {
+            Outcome::Run(r) => r.best_set.len(),
+            Outcome::Sweep(s) => s.best.best_s.len() + s.best.best_t.len(),
+            Outcome::Charikar(r) => r.best_set.len(),
+            Outcome::Exact(r) => r.set.len(),
+            Outcome::Communities(c) => c.first().map_or(0, |c| c.nodes.len()),
+            Outcome::MapReduce(r) => r.best_set.len(),
+        }
+    }
+
+    /// Passes over the edge set, where the notion applies.
+    pub fn passes(&self) -> Option<u32> {
+        match &self.outcome {
+            Outcome::Run(r) => Some(r.passes),
+            Outcome::Sweep(s) => Some(s.best.passes),
+            Outcome::MapReduce(r) => Some(r.passes),
+            Outcome::Charikar(_) | Outcome::Exact(_) | Outcome::Communities(_) => None,
+        }
+    }
+
+    /// The best undirected node set, where the notion applies.
+    pub fn best_set(&self) -> Option<&NodeSet> {
+        match &self.outcome {
+            Outcome::Run(r) => Some(&r.best_set),
+            Outcome::Charikar(r) => Some(&r.best_set),
+            Outcome::Exact(r) => Some(&r.set),
+            Outcome::MapReduce(r) => Some(&r.best_set),
+            Outcome::Sweep(_) | Outcome::Communities(_) => None,
+        }
+    }
+
+    /// Renders the one-line JSON summary object, `{...}`. Elapsed time
+    /// is the only nondeterministic field; the serve mode excludes it
+    /// (`include_elapsed = false`) so repeated queries are byte-stable.
+    pub fn json_object(&self, include_elapsed: bool) -> String {
+        let mut j = JsonBuilder::new();
+        j.str_field("algorithm", self.query.algorithm.name());
+        j.str_field("file", &self.source_label);
+        j.num_field("graph_nodes", self.graph_nodes as f64);
+        j.num_field("graph_edges", self.graph_edges as f64);
+        j.str_field("backend", self.plan.backend.name());
+        j.str_field("plan", &self.plan.reasons.join("; "));
+        if let Some((words, _)) = self.sketch_words {
+            j.num_field("sketch_words", words as f64);
+        }
+        match &self.query.algorithm {
+            Algorithm::Approx { epsilon, .. } => {
+                j.num_field("density", self.density());
+                j.num_field("nodes", self.node_count() as f64);
+                j.num_field("passes", self.passes().unwrap_or(0) as f64);
+                j.num_field("epsilon", *epsilon);
+                j.num_field("threads", self.threads as f64);
+            }
+            Algorithm::AtLeastK { k, epsilon } => {
+                j.num_field("density", self.density());
+                j.num_field("nodes", self.node_count() as f64);
+                j.num_field("passes", self.passes().unwrap_or(0) as f64);
+                j.num_field("k", *k as f64);
+                j.num_field("epsilon", epsilon.max(1e-6));
+                j.num_field("threads", self.threads as f64);
+            }
+            Algorithm::Directed { delta, epsilon } => {
+                if let Outcome::Sweep(s) = &self.outcome {
+                    j.num_field("density", s.best.best_density);
+                    j.num_field("s_nodes", s.best.best_s.len() as f64);
+                    j.num_field("t_nodes", s.best.best_t.len() as f64);
+                    j.num_field("best_c", s.best.c);
+                }
+                j.num_field("delta", *delta);
+                j.num_field("epsilon", *epsilon);
+                j.num_field("threads", self.threads as f64);
+            }
+            Algorithm::Charikar => {
+                j.num_field("density", self.density());
+                j.num_field("nodes", self.node_count() as f64);
+            }
+            Algorithm::Exact { flow } => {
+                j.num_field("density", self.density());
+                j.num_field("nodes", self.node_count() as f64);
+                if let Outcome::Exact(r) = &self.outcome {
+                    j.num_field("flow_calls", r.flow_calls as f64);
+                }
+                j.str_field(
+                    "flow_backend",
+                    match flow {
+                        FlowBackend::Dinic => "dinic",
+                        FlowBackend::PushRelabel => "push-relabel",
+                    },
+                );
+            }
+            Algorithm::Enumerate { .. } => {
+                if let Outcome::Communities(c) = &self.outcome {
+                    j.num_field("communities", c.len() as f64);
+                    j.num_field("top_density", c.first().map_or(0.0, |c| c.density));
+                }
+            }
+        }
+        if let Some(sh) = &self.shuffle {
+            j.num_field("shuffle_bytes", sh.shuffle_bytes as f64);
+            j.num_field("spilled_bytes", sh.spilled_bytes as f64);
+            j.num_field("spill_runs", sh.spill_runs as f64);
+        }
+        if matches!(
+            self.plan.backend,
+            crate::planner::Backend::Streamed
+                | crate::planner::Backend::Sketched { streamed: true, .. }
+        ) {
+            j.num_field("stream", 1.0);
+            j.num_field("state_bytes", self.state_bytes.unwrap_or(0) as f64);
+        }
+        if include_elapsed {
+            j.num_field("elapsed_ms", self.elapsed_ms);
+        }
+        j.finish()
+    }
+}
+
+/// Assembles a one-line JSON object. Keys/values are emitted in
+/// insertion order; only JSON-safe primitives are used.
+pub struct JsonBuilder {
+    fields: Vec<(String, String)>,
+}
+
+impl JsonBuilder {
+    /// An empty object.
+    pub fn new() -> Self {
+        JsonBuilder { fields: Vec::new() }
+    }
+
+    /// Adds an escaped string field.
+    pub fn str_field(&mut self, key: &str, value: &str) {
+        self.fields
+            .push((key.to_string(), format!("\"{}\"", escape_json(value))));
+    }
+
+    /// Adds a numeric field (integers without a decimal point).
+    pub fn num_field(&mut self, key: &str, value: f64) {
+        self.fields.push((key.to_string(), render_num(value)));
+    }
+
+    /// Adds a pre-rendered JSON value (nested object, echoed token).
+    pub fn raw_field(&mut self, key: &str, raw: &str) {
+        self.fields.push((key.to_string(), raw.to_string()));
+    }
+
+    /// Renders `{...}`.
+    pub fn finish(&self) -> String {
+        let body: Vec<String> = self
+            .fields
+            .iter()
+            .map(|(k, v)| format!("\"{k}\":{v}"))
+            .collect();
+        format!("{{{}}}", body.join(","))
+    }
+}
+
+impl Default for JsonBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// JSON string escaping shared by the builder and the serve loop.
+pub fn escape_json(value: &str) -> String {
+    let mut escaped = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '"' => escaped.push_str("\\\""),
+            '\\' => escaped.push_str("\\\\"),
+            '\n' => escaped.push_str("\\n"),
+            '\r' => escaped.push_str("\\r"),
+            '\t' => escaped.push_str("\\t"),
+            c if (c as u32) < 0x20 => escaped.push_str(&format!("\\u{:04x}", c as u32)),
+            c => escaped.push(c),
+        }
+    }
+    escaped
+}
+
+/// Number rendering of the JSON summary: integral values without a
+/// decimal point, everything else via Rust's shortest-roundtrip float
+/// formatting.
+pub fn render_num(value: f64) -> String {
+    if value == value.trunc() && value.abs() < 1e15 {
+        format!("{value:.0}")
+    } else {
+        format!("{value}")
+    }
+}

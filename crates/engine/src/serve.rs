@@ -1,0 +1,570 @@
+//! Long-running JSONL serve mode: one request object per line in, one
+//! response object per line out, over stdin/stdout or a Unix socket.
+//!
+//! Repeated queries against the same file are answered from the
+//! engine's [`crate::GraphCatalog`] — the graph is loaded and
+//! canonicalized once, then every further query is a cache hit (the
+//! `loads` counter in each response makes that observable, and the CI
+//! smoke test asserts it).
+//!
+//! ## Protocol
+//!
+//! Requests are **flat** JSON objects (see [`crate::minijson`]):
+//!
+//! ```text
+//! {"op":"query","id":1,"algorithm":"approx","file":"g.txt","epsilon":0.5}
+//! {"op":"query","id":2,"algorithm":"atleast-k","file":"g.txt","k":8}
+//! {"op":"stats","id":3}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! `op` defaults to `"query"`. Query fields mirror the CLI flags:
+//! `algorithm`, `file` (required), `epsilon`, `k`, `delta`, `threads`,
+//! `sketch`, `stream`, `binary`, `directed_input`, `backend`,
+//! `memory_budget`, `flow_backend`, `min_density`, `max_communities`.
+//! Omitted fields take the CLI defaults (ε = 0.5, k = 10, δ = 2) or the
+//! server's resource policy.
+//!
+//! A query response nests the **identical** summary object the one-shot
+//! CLI prints with `--json` (minus the nondeterministic `elapsed_ms`),
+//! so serve-mode results are byte-comparable to one-shot runs:
+//!
+//! ```text
+//! {"id":1,"ok":true,"result":{"algorithm":"approx",...},"cache_hit":1,"loads":1,"elapsed_ms":0.3}
+//! ```
+//!
+//! Errors never kill the loop: `{"id":…,"ok":false,"error":"…"}` and the
+//! next line is read. The loop ends cleanly on EOF (stdin mode: client
+//! closed the pipe — the SIGTERM-equivalent close) or on a `shutdown`
+//! op (socket mode, where EOF only ends one connection).
+
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+
+use dsg_flow::FlowBackend;
+
+use crate::engine::Engine;
+use crate::minijson::{self, Value};
+use crate::query::{Algorithm, BackendRequest, Query, ResourcePolicy, Source};
+use crate::report::JsonBuilder;
+
+/// What a serve loop did, for logging and tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Query requests answered successfully.
+    pub queries: u64,
+    /// Requests answered with an error object.
+    pub errors: u64,
+    /// Whether a `shutdown` op ended the loop (vs EOF).
+    pub shutdown: bool,
+}
+
+/// Runs the JSONL loop over arbitrary reader/writer pairs until EOF or a
+/// `shutdown` op. This is the whole serve mode; the stdio and socket
+/// entry points below only supply the transport.
+pub fn serve_loop<R: BufRead, W: Write>(
+    engine: &mut Engine,
+    default_policy: &ResourcePolicy,
+    reader: R,
+    writer: &mut W,
+) -> std::io::Result<ServeSummary> {
+    let mut summary = ServeSummary::default();
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, outcome) = handle_line(engine, default_policy, &line);
+        writer.write_all(response.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        match outcome {
+            LineOutcome::QueryOk => summary.queries += 1,
+            LineOutcome::OpOk => {}
+            LineOutcome::Error => summary.errors += 1,
+            LineOutcome::Shutdown => {
+                summary.shutdown = true;
+                break;
+            }
+        }
+    }
+    Ok(summary)
+}
+
+/// How one request line was disposed of (drives the summary counters:
+/// `stats`/`shutdown` ops are answered but are not *queries*).
+enum LineOutcome {
+    QueryOk,
+    OpOk,
+    Error,
+    Shutdown,
+}
+
+/// Handles one request line; returns the response and its disposition.
+fn handle_line(
+    engine: &mut Engine,
+    default_policy: &ResourcePolicy,
+    line: &str,
+) -> (String, LineOutcome) {
+    let fields = match minijson::parse_object(line) {
+        Ok(f) => f,
+        Err(e) => return (error_response("null", &e), LineOutcome::Error),
+    };
+    let id = minijson::get(&fields, "id").map_or("null".to_string(), Value::to_json);
+    let op = minijson::get(&fields, "op")
+        .and_then(Value::as_str)
+        .unwrap_or("query");
+    match op {
+        "shutdown" => {
+            let mut j = JsonBuilder::new();
+            j.raw_field("id", &id);
+            j.raw_field("ok", "true");
+            j.raw_field("bye", "true");
+            (j.finish(), LineOutcome::Shutdown)
+        }
+        "stats" => {
+            let stats = engine.catalog().stats();
+            let mut j = JsonBuilder::new();
+            j.raw_field("id", &id);
+            j.raw_field("ok", "true");
+            j.num_field("loads", stats.loads as f64);
+            j.num_field("hits", stats.hits as f64);
+            j.num_field("stat_scans", stats.stat_scans as f64);
+            j.num_field("evictions", stats.evictions as f64);
+            j.num_field("graphs", engine.catalog().len() as f64);
+            (j.finish(), LineOutcome::OpOk)
+        }
+        "query" => match run_query(engine, default_policy, &fields) {
+            Ok(response_body) => {
+                let mut j = JsonBuilder::new();
+                j.raw_field("id", &id);
+                j.raw_field("ok", "true");
+                j.raw_field("result", &response_body.result);
+                if let Some(hit) = response_body.cache_hit {
+                    j.num_field("cache_hit", if hit { 1.0 } else { 0.0 });
+                }
+                j.num_field("loads", response_body.loads as f64);
+                j.num_field("elapsed_ms", response_body.elapsed_ms);
+                (j.finish(), LineOutcome::QueryOk)
+            }
+            Err(e) => (error_response(&id, &e), LineOutcome::Error),
+        },
+        other => (
+            error_response(&id, &format!("unknown op '{other}'")),
+            LineOutcome::Error,
+        ),
+    }
+}
+
+fn error_response(id: &str, message: &str) -> String {
+    let mut j = JsonBuilder::new();
+    j.raw_field("id", id);
+    j.raw_field("ok", "false");
+    j.str_field("error", message);
+    j.finish()
+}
+
+struct QueryResponse {
+    result: String,
+    cache_hit: Option<bool>,
+    loads: u64,
+    elapsed_ms: f64,
+}
+
+/// Decodes a query request, executes it, renders the nested result.
+fn run_query(
+    engine: &mut Engine,
+    default_policy: &ResourcePolicy,
+    fields: &[(String, Value)],
+) -> Result<QueryResponse, String> {
+    let str_of = |key: &str| -> Result<Option<&str>, String> {
+        match minijson::get(fields, key) {
+            None | Some(Value::Null) => Ok(None),
+            Some(v) => v
+                .as_str()
+                .map(Some)
+                .ok_or_else(|| format!("'{key}' must be a string")),
+        }
+    };
+    let num_of = |key: &str| -> Result<Option<f64>, String> {
+        match minijson::get(fields, key) {
+            None | Some(Value::Null) => Ok(None),
+            Some(v) => v
+                .as_num()
+                .map(Some)
+                .ok_or_else(|| format!("'{key}' must be a number")),
+        }
+    };
+    let uint_of = |key: &str| -> Result<Option<u64>, String> {
+        match minijson::get(fields, key) {
+            None | Some(Value::Null) => Ok(None),
+            Some(v) => v
+                .as_uint()
+                .map(Some)
+                .ok_or_else(|| format!("'{key}' must be a non-negative integer")),
+        }
+    };
+    let bool_of = |key: &str| -> Result<bool, String> {
+        match minijson::get(fields, key) {
+            None | Some(Value::Null) => Ok(false),
+            Some(v) => v
+                .as_bool()
+                .ok_or_else(|| format!("'{key}' must be a boolean")),
+        }
+    };
+
+    let file = str_of("file")?.ok_or("missing 'file'")?.to_string();
+    let algorithm_name = str_of("algorithm")?.unwrap_or("approx");
+    let epsilon = num_of("epsilon")?.unwrap_or(0.5);
+    let k = uint_of("k")?.unwrap_or(10) as usize;
+    let delta = num_of("delta")?.unwrap_or(2.0);
+    let sketch = uint_of("sketch")?.map(|b| b as u32);
+    let flow = match str_of("flow_backend")? {
+        None | Some("dinic") => FlowBackend::Dinic,
+        Some("push-relabel") => FlowBackend::PushRelabel,
+        Some(other) => return Err(format!("unknown flow_backend '{other}'")),
+    };
+    let algorithm = match algorithm_name {
+        "approx" => Algorithm::Approx { epsilon, sketch },
+        "atleast-k" => Algorithm::AtLeastK { k, epsilon },
+        "directed" => Algorithm::Directed { delta, epsilon },
+        "charikar" => Algorithm::Charikar,
+        "exact" => Algorithm::Exact { flow },
+        "enumerate" => Algorithm::Enumerate {
+            epsilon,
+            min_density: num_of("min_density")?.unwrap_or(1.0),
+            max_communities: uint_of("max_communities")?.unwrap_or(32) as usize,
+        },
+        other => return Err(format!("unknown algorithm '{other}'")),
+    };
+    let mut backend = match str_of("backend")? {
+        None => None,
+        Some(raw) => BackendRequest::parse(raw).ok_or_else(|| {
+            format!("unknown backend '{raw}' (auto|memory|parallel|stream|mapreduce)")
+        })?,
+    };
+    if bool_of("stream")? {
+        backend = Some(BackendRequest::Streamed);
+    }
+    let query = Query { algorithm, backend };
+    let policy = ResourcePolicy {
+        memory_budget_bytes: uint_of("memory_budget")?.or(default_policy.memory_budget_bytes),
+        threads: uint_of("threads")?.map_or(default_policy.threads, |t| t as usize),
+    };
+    let source = Source::File {
+        path: PathBuf::from(file),
+        binary: bool_of("binary")?,
+        directed_input: bool_of("directed_input")?,
+    };
+    let report = engine
+        .execute(&source, &query, &policy)
+        .map_err(|e| e.to_string())?;
+    Ok(QueryResponse {
+        result: report.json_object(false),
+        cache_hit: report.cache_hit,
+        loads: engine.catalog().stats().loads,
+        elapsed_ms: report.elapsed_ms,
+    })
+}
+
+/// Serves the JSONL loop over stdin/stdout until EOF or `shutdown`.
+pub fn serve_stdio(engine: &mut Engine, policy: &ResourcePolicy) -> std::io::Result<ServeSummary> {
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout().lock();
+    serve_loop(engine, policy, stdin.lock(), &mut stdout)
+}
+
+/// Serves the JSONL loop on a Unix socket: connections are accepted
+/// sequentially and each runs the loop until its EOF; a `shutdown` op
+/// stops the whole server. A connection that fails mid-session — abrupt
+/// disconnect, a client that stops reading (EPIPE) — ends **that
+/// connection only**: the error is absorbed, its partial counts are
+/// dropped, and the server keeps accepting. Only bind/accept failures
+/// take the server down. A stale socket file at `path` is replaced; the
+/// socket file is removed on clean shutdown.
+#[cfg(unix)]
+pub fn serve_unix(
+    engine: &mut Engine,
+    policy: &ResourcePolicy,
+    path: &Path,
+) -> std::io::Result<ServeSummary> {
+    use std::os::unix::net::UnixListener;
+
+    if path.exists() {
+        std::fs::remove_file(path)?;
+    }
+    let listener = UnixListener::bind(path)?;
+    let mut total = ServeSummary::default();
+    for conn in listener.incoming() {
+        let conn = conn?;
+        let reader = match conn.try_clone() {
+            Ok(c) => BufReader::new(c),
+            Err(_) => continue,
+        };
+        let mut writer = conn;
+        // A failed connection must not kill the long-running server.
+        let Ok(summary) = serve_loop(engine, policy, reader, &mut writer) else {
+            continue;
+        };
+        total.queries += summary.queries;
+        total.errors += summary.errors;
+        if summary.shutdown {
+            total.shutdown = true;
+            break;
+        }
+    }
+    let _ = std::fs::remove_file(path);
+    Ok(total)
+}
+
+/// The matching client: forwards each line of `requests` to the server
+/// at `path` and writes each response line to `responses`. Returns the
+/// number of exchanges. Used by `densest client` and the CI smoke test.
+#[cfg(unix)]
+pub fn client_unix<R: BufRead, W: Write>(
+    path: &Path,
+    requests: R,
+    responses: &mut W,
+) -> std::io::Result<u64> {
+    use std::os::unix::net::UnixStream;
+
+    let stream = UnixStream::connect(path)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut exchanges = 0u64;
+    for line in requests.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        writer.write_all(line.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        let mut response = String::new();
+        if reader.read_line(&mut response)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection mid-exchange",
+            ));
+        }
+        responses.write_all(response.as_bytes())?;
+        exchanges += 1;
+    }
+    Ok(exchanges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn fixture(name: &str, content: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("dsg_engine_serve_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, content).unwrap();
+        path
+    }
+
+    fn k5_path() -> PathBuf {
+        let mut s = String::new();
+        for u in 0..5u32 {
+            for v in (u + 1)..5 {
+                s.push_str(&format!("{u} {v}\n"));
+            }
+        }
+        fixture("k5.txt", &s)
+    }
+
+    fn field<'a>(line: &'a str, key: &str) -> &'a str {
+        let pat = format!("\"{key}\":");
+        let start = line.find(&pat).unwrap_or_else(|| panic!("{key} in {line}")) + pat.len();
+        let rest = &line[start..];
+        let end = rest.find([',', '}']).unwrap();
+        &rest[..end]
+    }
+
+    #[test]
+    fn repeated_queries_load_once_and_are_byte_stable() {
+        let path = k5_path();
+        let p = path.display();
+        let requests = format!(
+            "{{\"id\":1,\"algorithm\":\"approx\",\"file\":\"{p}\",\"epsilon\":0.1}}\n\
+             {{\"id\":2,\"algorithm\":\"approx\",\"file\":\"{p}\",\"epsilon\":0.1}}\n\
+             {{\"id\":3,\"algorithm\":\"charikar\",\"file\":\"{p}\"}}\n\
+             {{\"id\":4,\"op\":\"stats\"}}\n"
+        );
+        let mut engine = Engine::new();
+        let mut out = Vec::new();
+        let summary = serve_loop(
+            &mut engine,
+            &ResourcePolicy::default(),
+            Cursor::new(requests),
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(summary.queries, 3, "the stats op is not a query");
+        assert_eq!(summary.errors, 0);
+        assert!(!summary.shutdown, "EOF, not shutdown");
+        let out = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4, "{out}");
+        // One load serves all three queries.
+        assert_eq!(field(lines[0], "cache_hit"), "0");
+        assert_eq!(field(lines[1], "cache_hit"), "1");
+        assert_eq!(field(lines[2], "cache_hit"), "1");
+        for l in &lines[..3] {
+            assert_eq!(field(l, "loads"), "1", "{l}");
+        }
+        assert_eq!(field(lines[3], "loads"), "1");
+        assert_eq!(field(lines[3], "hits"), "2");
+        assert_eq!(field(lines[3], "graphs"), "1");
+        // Identical queries produce byte-identical nested results.
+        let result_of = |l: &str| l.split("\"result\":").nth(1).unwrap().to_string();
+        let r1 = result_of(lines[0]);
+        let r2 = result_of(lines[1]);
+        assert_eq!(
+            r1.split(",\"cache_hit\"").next(),
+            r2.split(",\"cache_hit\"").next()
+        );
+        assert_eq!(field(lines[0], "density"), "2");
+    }
+
+    #[test]
+    fn shutdown_op_ends_the_loop_and_later_lines_are_unread() {
+        let path = k5_path();
+        let requests = format!(
+            "{{\"op\":\"shutdown\",\"id\":\"bye\"}}\n\
+             {{\"id\":9,\"algorithm\":\"approx\",\"file\":\"{}\"}}\n",
+            path.display()
+        );
+        let mut engine = Engine::new();
+        let mut out = Vec::new();
+        let summary = serve_loop(
+            &mut engine,
+            &ResourcePolicy::default(),
+            Cursor::new(requests),
+            &mut out,
+        )
+        .unwrap();
+        assert!(summary.shutdown);
+        let out = String::from_utf8(out).unwrap();
+        assert_eq!(out.lines().count(), 1, "{out}");
+        assert!(out.contains("\"id\":\"bye\""), "{out}");
+        assert_eq!(engine.catalog().stats().loads, 0);
+    }
+
+    #[test]
+    fn errors_keep_the_loop_alive() {
+        let path = k5_path();
+        let requests = format!(
+            "not json\n\
+             {{\"id\":1,\"algorithm\":\"nope\",\"file\":\"x\"}}\n\
+             {{\"id\":2,\"algorithm\":\"approx\"}}\n\
+             {{\"id\":3,\"file\":\"/definitely/not/here.txt\"}}\n\
+             {{\"id\":4,\"algorithm\":\"atleast-k\",\"file\":\"{p}\",\"k\":1000}}\n\
+             {{\"id\":5,\"algorithm\":\"approx\",\"file\":\"{p}\"}}\n",
+            p = path.display()
+        );
+        let mut engine = Engine::new();
+        let mut out = Vec::new();
+        let summary = serve_loop(
+            &mut engine,
+            &ResourcePolicy::default(),
+            Cursor::new(requests),
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(summary.errors, 5);
+        assert_eq!(summary.queries, 1);
+        let out = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 6);
+        for l in &lines[..5] {
+            assert_eq!(field(l, "ok"), "false", "{l}");
+            assert!(l.contains("\"error\":"), "{l}");
+        }
+        assert!(lines[4].contains("exceeds the graph"), "{}", lines[4]);
+        assert_eq!(field(lines[5], "ok"), "true");
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn unix_socket_survives_client_disconnects() {
+        use std::os::unix::net::UnixStream;
+
+        let path = k5_path();
+        let sock = std::env::temp_dir().join("dsg_engine_serve_tests/survive.sock");
+        let _ = std::fs::remove_file(&sock);
+        let sock_for_server = sock.clone();
+        let server = std::thread::spawn(move || {
+            let mut engine = Engine::new();
+            serve_unix(&mut engine, &ResourcePolicy::default(), &sock_for_server).unwrap()
+        });
+        for _ in 0..200 {
+            if sock.exists() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        // First client writes a query and vanishes without reading or
+        // shutting down; the server must keep accepting.
+        {
+            let mut rude = UnixStream::connect(&sock).unwrap();
+            writeln!(
+                rude,
+                "{{\"id\":1,\"algorithm\":\"approx\",\"file\":\"{}\"}}",
+                path.display()
+            )
+            .unwrap();
+            let _ = rude.shutdown(std::net::Shutdown::Both);
+        }
+        // Second client gets full service.
+        let requests = format!(
+            "{{\"id\":2,\"algorithm\":\"approx\",\"file\":\"{}\"}}\n{{\"op\":\"shutdown\"}}\n",
+            path.display()
+        );
+        let mut out = Vec::new();
+        client_unix(&sock, Cursor::new(requests), &mut out).unwrap();
+        let summary = server.join().unwrap();
+        assert!(summary.shutdown);
+        let out = String::from_utf8(out).unwrap();
+        assert_eq!(field(out.lines().next().unwrap(), "ok"), "true", "{out}");
+        assert_eq!(field(out.lines().next().unwrap(), "density"), "2", "{out}");
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn unix_socket_round_trip() {
+        let path = k5_path();
+        let sock = std::env::temp_dir().join("dsg_engine_serve_tests/roundtrip.sock");
+        let _ = std::fs::remove_file(&sock);
+        let sock_for_server = sock.clone();
+        let server = std::thread::spawn(move || {
+            let mut engine = Engine::new();
+            serve_unix(&mut engine, &ResourcePolicy::default(), &sock_for_server).unwrap()
+        });
+        // Wait for the socket to appear.
+        for _ in 0..200 {
+            if sock.exists() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        let requests = format!(
+            "{{\"id\":1,\"algorithm\":\"approx\",\"file\":\"{p}\"}}\n\
+             {{\"id\":2,\"algorithm\":\"exact\",\"file\":\"{p}\"}}\n\
+             {{\"op\":\"shutdown\"}}\n",
+            p = path.display()
+        );
+        let mut out = Vec::new();
+        let n = client_unix(&sock, Cursor::new(requests), &mut out).unwrap();
+        assert_eq!(n, 3);
+        let summary = server.join().unwrap();
+        assert!(summary.shutdown);
+        assert_eq!(summary.queries, 2, "the shutdown op is not a query");
+        assert!(!sock.exists(), "socket file removed on clean shutdown");
+        let out = String::from_utf8(out).unwrap();
+        assert_eq!(field(out.lines().nth(1).unwrap(), "density"), "2");
+    }
+}

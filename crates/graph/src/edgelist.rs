@@ -3,7 +3,7 @@
 use crate::{GraphError, NodeId, Result};
 
 /// Whether an [`EdgeList`] represents an undirected or a directed graph.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum GraphKind {
     /// Edges `(u, v)` are unordered pairs; each pair is stored once.
     Undirected,

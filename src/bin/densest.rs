@@ -1,84 +1,101 @@
 //! `densest` — a command-line densest-subgraph tool over edge-list files.
 //!
-//! ```text
-//! densest <algorithm> <edge-file> [options]
-//!
-//! algorithms:
-//!   approx     Algorithm 1  — undirected (2+2ε)-approximation  [default]
-//!   atleast-k  Algorithm 2  — at least k nodes, (3+3ε)-approximation
-//!   directed   Algorithm 3  — directed density with a c-sweep
-//!   charikar   exact greedy peeling (2-approximation, in-memory)
-//!   exact      Goldberg max-flow optimum (in-memory)
-//!   enumerate  node-disjoint dense communities
-//!
-//! options:
-//!   --epsilon <f>     approximation parameter ε (default 0.5)
-//!   --k <n>           size floor for atleast-k (default 10)
-//!   --delta <f>       c-grid resolution for directed (default 2)
-//!   --threads <n>     worker threads for the parallel peeling backend
-//!                     (approx, atleast-k, directed; default 1 = serial)
-//!   --sketch <b>      use a Count-Sketch degree oracle with width b (t=5)
-//!   --stream          out-of-core mode (approx, atleast-k): run directly
-//!                     over the file, one re-read per pass, O(n) memory —
-//!                     the edge list is never materialized
-//!   --binary          input is the dsg binary edge format
-//!   --directed-input  parse the file as directed (for `directed`)
-//!   --json            print a one-line machine-readable JSON summary
-//!   --quiet           print only the summary line
-//! ```
-//!
-//! The input is a whitespace-separated `u v [w]` edge list with `#`
-//! comments (SNAP format), or the compact binary format with `--binary`.
-//! `--threads` selects the parallel CSR backend for `approx`,
-//! `atleast-k`, and `directed`; it is deterministic at every thread
-//! count and bit-identical to the serial backend on unweighted graphs
-//! (weighted graphs match within floating-point rounding). The flag has
-//! no effect on `charikar`, `exact`, `enumerate`, sketched, or
-//! `--stream` runs — a warning is printed if it is passed there.
-//!
-//! `--stream` is the paper's semi-streaming model end to end: the file
-//! is validated once at open (a scan that also finds `n`), then each
-//! peeling pass re-reads it through a fixed-size buffer. Only O(n) state
-//! (liveness bits, degree counters, removal log) is ever held, so graphs
-//! far larger than RAM work; the summary reports the pass count and an
-//! estimate of that state's size. Results are identical to the
-//! in-memory run on the same file, except that `--stream` skips
-//! canonicalization: duplicate edges count twice and the input is taken
-//! exactly as written (generated/canonical files are unaffected).
+//! The binary is a thin parser over the `dsg-engine` query engine: flags
+//! become a [`Query`] + [`ResourcePolicy`], the engine's planner picks
+//! the execution backend (in-memory serial, parallel CSR, file-streamed,
+//! sketched; in-RAM vs spill-to-disk shuffle for MapReduce), and one
+//! unified [`Report`] drives both the human and `--json` output. Run
+//! `densest --help` for the full usage, including the long-running
+//! `serve` mode that answers repeated JSONL queries against a
+//! catalog-cached graph.
 
+use std::io::BufReader;
+use std::path::PathBuf;
 use std::process::exit;
-use std::time::Instant;
 
-use densest_subgraph::core as dsg_core;
-use densest_subgraph::core::result::streaming_state_bytes;
-use densest_subgraph::graph::io::{read_binary, read_text};
-use densest_subgraph::graph::stream::{BinaryFileStream, EdgeStream, MemoryStream, TextFileStream};
-use densest_subgraph::graph::{CsrDirected, CsrUndirected, EdgeList, GraphKind, NodeSet};
-use densest_subgraph::sketch::{
-    approx_densest_sketched, try_approx_densest_sketched, SketchParams,
+use densest_subgraph::engine::{
+    Algorithm, BackendRequest, Engine, EngineError, Outcome, Query, Report, ResourcePolicy, Source,
 };
+use densest_subgraph::flow::FlowBackend;
+use densest_subgraph::graph::NodeSet;
 
-struct Options {
-    algorithm: String,
-    path: String,
-    epsilon: f64,
-    k: usize,
-    delta: f64,
-    threads: usize,
-    sketch_b: Option<u32>,
-    stream: bool,
-    binary: bool,
-    directed_input: bool,
-    json: bool,
-    quiet: bool,
-}
+const USAGE: &str =
+    "usage: densest <approx|atleast-k|directed|charikar|exact|enumerate> <edge-file> \
+     [--epsilon f] [--k n] [--delta f] [--threads n] [--sketch b] [--stream] [--binary] \
+     [--directed-input] [--backend auto|memory|parallel|stream|mapreduce] [--memory-budget bytes] \
+     [--flow-backend dinic|push-relabel] [--json] [--quiet]\n\
+       densest serve [--socket <path>] [--threads n] [--memory-budget bytes] [--max-graphs n] [--quiet]\n\
+       densest client --socket <path>\n\
+       densest --help";
+
+const HELP: &str = "densest — densest-subgraph queries over edge-list files
+
+usage:
+  densest <algorithm> <edge-file> [options]     one-shot query
+  densest serve [options]                       long-running JSONL server
+  densest client --socket <path>                JSONL client for a serve socket
+  densest --help | -h                           this help
+
+algorithms:
+  approx     Algorithm 1  — undirected (2+2ε)-approximation  [default]
+  atleast-k  Algorithm 2  — at least k nodes, (3+3ε)-approximation
+  directed   Algorithm 3  — directed density with a c-sweep
+  charikar   exact greedy peeling (2-approximation, in-memory)
+  exact      Goldberg max-flow optimum (in-memory)
+  enumerate  node-disjoint dense communities
+
+query options:
+  --epsilon <f>        approximation parameter ε (default 0.5)
+  --k <n>              size floor for atleast-k (default 10)
+  --delta <f>          c-grid resolution for directed (default 2, must be > 1)
+  --sketch <b>         use a Count-Sketch degree oracle with width b (t=5)
+  --binary             input is the dsg binary edge format
+  --directed-input     parse the file as directed (for `directed`)
+  --flow-backend <s>   max-flow solver for `exact`: dinic (default) or
+                       push-relabel
+  --json               print a one-line machine-readable JSON summary
+  --quiet              print only the summary line
+
+planner options (one-shot and serve):
+  --threads <n>        worker threads (default 1 = serial; > 1 plans the
+                       deterministic parallel CSR backend where one exists)
+  --memory-budget <b>  working-set budget in bytes (suffixes k/m/g allowed);
+                       graphs whose in-memory estimate exceeds it are planned
+                       on the out-of-core streamed backend automatically
+  --backend <s>        force a backend instead of planning: auto (default),
+                       memory, parallel, stream, mapreduce
+  --stream             shorthand for --backend stream (approx, atleast-k):
+                       run straight over the file, one re-read per pass,
+                       O(n) memory — the edge list is never materialized
+
+serve mode:
+  densest serve reads one flat JSON request per line (stdin, or a Unix
+  socket with --socket) and writes one JSON response per line. Graphs are
+  loaded once into a catalog and every further query is a cache hit; the
+  response's `loads` counter proves it. The catalog keeps at most
+  --max-graphs graphs (default 32, LRU eviction). The loop exits cleanly on EOF
+  (stdin), on client disconnect (socket: that connection only), or on a
+  {\"op\":\"shutdown\"} request. Example session:
+
+    $ densest serve --socket /tmp/dsg.sock &
+    $ printf '%s\\n' \\
+        '{\"id\":1,\"algorithm\":\"approx\",\"file\":\"g.txt\",\"epsilon\":0.5}' \\
+        '{\"id\":2,\"algorithm\":\"exact\",\"file\":\"g.txt\"}' \\
+        '{\"op\":\"shutdown\"}' | densest client --socket /tmp/dsg.sock
+    {\"id\":1,\"ok\":true,\"result\":{...},\"cache_hit\":0,\"loads\":1,\"elapsed_ms\":...}
+    {\"id\":2,\"ok\":true,\"result\":{...},\"cache_hit\":1,\"loads\":1,\"elapsed_ms\":...}
+    {\"id\":null,\"ok\":true,\"bye\":true}
+
+  The nested `result` object is byte-identical to the one-shot `--json`
+  summary of the same query (minus the nondeterministic elapsed_ms).
+
+The input is a whitespace-separated `u v [w]` edge list with `#` comments
+(SNAP format), or the compact binary format with --binary. The planner is
+deterministic and explainable: the chosen backend and the rules that fired
+are reported in the JSON summary (`backend`, `plan`) and on stderr.";
 
 fn usage() -> ! {
-    eprintln!(
-        "usage: densest <approx|atleast-k|directed|charikar|exact|enumerate> <edge-file> \
-         [--epsilon f] [--k n] [--delta f] [--threads n] [--sketch b] [--stream] [--binary] \
-         [--directed-input] [--json] [--quiet]"
-    );
+    eprintln!("{USAGE}");
     exit(2);
 }
 
@@ -100,14 +117,42 @@ fn parse_value<T: std::str::FromStr>(name: &str, raw: &str) -> T {
     })
 }
 
-fn parse_options() -> Options {
-    let mut args = std::env::args().skip(1);
-    let algorithm = args.next().unwrap_or_else(|| usage());
-    if !ALGORITHMS.contains(&algorithm.as_str()) {
-        eprintln!("unknown algorithm '{algorithm}'");
-        usage();
-    }
-    let path = args.next().unwrap_or_else(|| usage());
+/// `--memory-budget` accepts plain bytes or k/m/g (KiB multiple) suffixes.
+fn parse_budget(raw: &str) -> u64 {
+    let (digits, mult) = match raw.trim().to_ascii_lowercase() {
+        s if s.ends_with('k') => (s[..s.len() - 1].to_string(), 1024u64),
+        s if s.ends_with('m') => (s[..s.len() - 1].to_string(), 1024 * 1024),
+        s if s.ends_with('g') => (s[..s.len() - 1].to_string(), 1024 * 1024 * 1024),
+        s => (s, 1),
+    };
+    let n: u64 = parse_value("--memory-budget", &digits);
+    n.checked_mul(mult).unwrap_or_else(|| {
+        eprintln!("invalid value '{raw}' for --memory-budget (overflows)");
+        exit(2);
+    })
+}
+
+struct Options {
+    algorithm: String,
+    path: String,
+    epsilon: f64,
+    k: usize,
+    delta: f64,
+    threads: usize,
+    sketch_b: Option<u32>,
+    stream: bool,
+    backend: Option<BackendRequest>,
+    memory_budget: Option<u64>,
+    flow_backend: Option<FlowBackend>,
+    binary: bool,
+    directed_input: bool,
+    json: bool,
+    quiet: bool,
+}
+
+/// Parses the shared query/planner flags; `algorithm`/`path` are already
+/// consumed by the caller. Used by the one-shot mode.
+fn parse_options(algorithm: String, path: String, args: impl Iterator<Item = String>) -> Options {
     let mut o = Options {
         algorithm,
         path,
@@ -117,14 +162,18 @@ fn parse_options() -> Options {
         threads: 1,
         sketch_b: None,
         stream: false,
+        backend: None,
+        memory_budget: None,
+        flow_backend: None,
         binary: false,
         directed_input: false,
         json: false,
         quiet: false,
     };
-    while let Some(flag) = args.next() {
+    let mut it = args;
+    while let Some(flag) = it.next() {
         let mut value = |name: &str| -> String {
-            args.next().unwrap_or_else(|| {
+            it.next().unwrap_or_else(|| {
                 eprintln!("missing value for {name}");
                 exit(2);
             })
@@ -169,6 +218,30 @@ fn parse_options() -> Options {
                 o.sketch_b = Some(b);
             }
             "--stream" => o.stream = true,
+            "--backend" => {
+                let raw = value("--backend");
+                o.backend = BackendRequest::parse(&raw).unwrap_or_else(|| {
+                    eprintln!(
+                        "invalid value '{raw}' for --backend \
+                         (auto|memory|parallel|stream|mapreduce)"
+                    );
+                    exit(2);
+                });
+            }
+            "--memory-budget" => {
+                o.memory_budget = Some(parse_budget(&value("--memory-budget")));
+            }
+            "--flow-backend" => {
+                let raw = value("--flow-backend");
+                o.flow_backend = Some(match raw.as_str() {
+                    "dinic" => FlowBackend::Dinic,
+                    "push-relabel" => FlowBackend::PushRelabel,
+                    _ => {
+                        eprintln!("invalid value '{raw}' for --flow-backend (dinic|push-relabel)");
+                        exit(2);
+                    }
+                });
+            }
             "--binary" => o.binary = true,
             "--directed-input" => o.directed_input = true,
             "--json" => o.json = true,
@@ -187,29 +260,48 @@ fn parse_options() -> Options {
         );
         exit(2);
     }
+    if o.flow_backend.is_some() && o.algorithm != "exact" {
+        eprintln!(
+            "--flow-backend applies only to 'exact' (got '{}')",
+            o.algorithm
+        );
+        exit(2);
+    }
     o
 }
 
-fn load(o: &Options) -> EdgeList {
-    let kind = if o.directed_input || o.algorithm == "directed" {
-        GraphKind::Directed
-    } else {
-        GraphKind::Undirected
+/// Assembles the engine query from parsed flags.
+fn build_query(o: &Options) -> Query {
+    let algorithm = match o.algorithm.as_str() {
+        "approx" => Algorithm::Approx {
+            epsilon: o.epsilon,
+            sketch: o.sketch_b,
+        },
+        "atleast-k" => Algorithm::AtLeastK {
+            k: o.k,
+            epsilon: o.epsilon,
+        },
+        "directed" => Algorithm::Directed {
+            delta: o.delta,
+            epsilon: o.epsilon,
+        },
+        "charikar" => Algorithm::Charikar,
+        "exact" => Algorithm::Exact {
+            flow: o.flow_backend.unwrap_or_default(),
+        },
+        "enumerate" => Algorithm::Enumerate {
+            epsilon: o.epsilon,
+            min_density: 1.0,
+            max_communities: 32,
+        },
+        other => unreachable!("algorithm validated against ALGORITHMS ({other})"),
     };
-    let mut list = if o.binary {
-        read_binary(&o.path).unwrap_or_else(|e| {
-            eprintln!("cannot read {}: {e}", o.path);
-            exit(1);
-        })
+    let backend = if o.stream {
+        Some(BackendRequest::Streamed)
     } else {
-        read_text(&o.path, kind).unwrap_or_else(|e| {
-            eprintln!("cannot read {}: {e}", o.path);
-            exit(1);
-        })
+        o.backend
     };
-    list.kind = kind;
-    list.canonicalize();
-    list
+    Query { algorithm, backend }
 }
 
 fn print_set(nodes: &NodeSet, quiet: bool) {
@@ -222,322 +314,38 @@ fn print_set(nodes: &NodeSet, quiet: bool) {
     println!("nodes: [{}{}]", shown.join(", "), ellipsis);
 }
 
-/// Assembles the `--json` one-line summary. Keys/values are emitted in
-/// insertion order; only JSON-safe primitives are used.
-struct JsonSummary {
-    fields: Vec<(String, String)>,
-}
-
-impl JsonSummary {
-    fn new(o: &Options, num_nodes: u64, num_edges: u64) -> Self {
-        let mut s = JsonSummary { fields: Vec::new() };
-        s.str_field("algorithm", &o.algorithm);
-        s.str_field("file", &o.path);
-        s.num_field("graph_nodes", num_nodes as f64);
-        s.num_field("graph_edges", num_edges as f64);
-        s
-    }
-
-    fn str_field(&mut self, key: &str, value: &str) {
-        let mut escaped = String::with_capacity(value.len());
-        for c in value.chars() {
-            match c {
-                '"' => escaped.push_str("\\\""),
-                '\\' => escaped.push_str("\\\\"),
-                '\n' => escaped.push_str("\\n"),
-                '\r' => escaped.push_str("\\r"),
-                '\t' => escaped.push_str("\\t"),
-                c if (c as u32) < 0x20 => escaped.push_str(&format!("\\u{:04x}", c as u32)),
-                c => escaped.push(c),
-            }
-        }
-        self.fields
-            .push((key.to_string(), format!("\"{escaped}\"")));
-    }
-
-    fn num_field(&mut self, key: &str, value: f64) {
-        let rendered = if value == value.trunc() && value.abs() < 1e15 {
-            format!("{value:.0}")
-        } else {
-            format!("{value}")
-        };
-        self.fields.push((key.to_string(), rendered));
-    }
-
-    fn print(&self) {
-        let body: Vec<String> = self
-            .fields
-            .iter()
-            .map(|(k, v)| format!("\"{k}\":{v}"))
-            .collect();
-        println!("{{{}}}", body.join(","));
-    }
-}
-
-/// Opens the out-of-core stream for `--stream` (text via a validating
-/// scan that also infers `n`, binary via the header) and returns it with
-/// its edge count. The edge list is never materialized.
-fn open_file_stream(o: &Options) -> (Box<dyn EdgeStream>, u64) {
-    if o.binary {
-        let s = BinaryFileStream::open(&o.path).unwrap_or_else(|e| {
-            eprintln!("cannot read {}: {e}", o.path);
-            exit(1);
-        });
-        let m = s.num_edges();
-        (Box::new(s), m)
-    } else {
-        let s = TextFileStream::open_auto(&o.path).unwrap_or_else(|e| {
-            eprintln!("cannot read {}: {e}", o.path);
-            exit(1);
-        });
-        let m = s.num_edges();
-        (Box::new(s), m)
-    }
-}
-
-/// The `--stream` execution path: `approx`/`atleast-k` straight over the
-/// file, one re-read per pass, without ever building an `EdgeList` or
-/// CSR. Stream errors (I/O failure, file modified between passes) exit
-/// with a clear message instead of a panic.
-fn run_streamed(o: &Options) {
-    let (mut stream, num_edges) = open_file_stream(o);
-    let n = stream.num_nodes() as u64;
-    if !o.quiet && !o.json {
-        eprintln!(
-            "streaming {}: {} nodes, {} edges (out-of-core; edge list not materialized)",
-            o.path, n, num_edges
-        );
-    }
-    if o.threads > 1 {
-        eprintln!("warning: --threads has no effect with --stream (semi-streaming is serial)");
-    }
-    let mut json = JsonSummary::new(o, n, num_edges);
-    let quiet = o.quiet || o.json;
-    let started = Instant::now();
-    let fail = |e: densest_subgraph::graph::GraphError| -> ! {
-        eprintln!("streaming {} failed: {e}", o.path);
-        exit(1);
-    };
-
-    let (run, oracle_words) = match o.algorithm.as_str() {
-        "approx" => {
-            if let Some(b) = o.sketch_b {
-                let sk =
-                    try_approx_densest_sketched(&mut *stream, o.epsilon, SketchParams::paper(b, 0))
-                        .unwrap_or_else(|e| fail(e));
-                if !quiet {
-                    eprintln!(
-                        "sketch: {} words vs {} exact ({:.0}%)",
-                        sk.sketch_words,
-                        sk.exact_words,
-                        100.0 * sk.memory_ratio()
-                    );
-                }
-                json.num_field("sketch_words", sk.sketch_words as f64);
-                let words = sk.sketch_words as u64;
-                (sk.run, words)
-            } else {
-                let run = dsg_core::undirected::try_approx_densest(&mut *stream, o.epsilon)
-                    .unwrap_or_else(|e| fail(e));
-                (run, n)
-            }
-        }
-        "atleast-k" => {
-            if o.k as u64 > n {
-                eprintln!("--k {} exceeds the graph's {} nodes", o.k, n);
-                exit(2);
-            }
-            let epsilon = o.epsilon.max(1e-6);
-            let run = dsg_core::large::try_approx_densest_at_least_k(&mut *stream, o.k, epsilon)
-                .unwrap_or_else(|e| fail(e));
-            (run, n)
-        }
-        other => unreachable!("--stream validated in parse_options (got '{other}')"),
-    };
-
-    json.num_field("density", run.best_density);
-    json.num_field("nodes", run.best_set.len() as f64);
-    json.num_field("passes", run.passes as f64);
-    if o.algorithm == "atleast-k" {
-        json.num_field("k", o.k as f64);
-        json.num_field("epsilon", o.epsilon.max(1e-6));
-    } else {
-        json.num_field("epsilon", o.epsilon);
-    }
-    json.num_field("threads", 1.0);
-    json.num_field("stream", 1.0);
-    json.num_field("state_bytes", streaming_state_bytes(n, oracle_words) as f64);
-    if o.json {
-        json.num_field("elapsed_ms", started.elapsed().as_secs_f64() * 1e3);
-        json.print();
-        return;
-    }
-    match o.algorithm.as_str() {
-        "atleast-k" => println!(
-            "density {:.6} on {} nodes (k = {}, {} passes)",
-            run.best_density,
-            run.best_set.len(),
-            o.k,
-            run.passes
-        ),
-        _ => println!(
-            "density {:.6} on {} nodes ({} passes, ε = {})",
-            run.best_density,
-            run.best_set.len(),
-            run.passes,
-            o.epsilon
-        ),
-    }
-    print_set(&run.best_set, o.quiet);
-    if !o.quiet {
-        eprintln!(
-            "peak streaming state ≈ {} bytes for {} nodes (edge file re-read {} times)",
-            streaming_state_bytes(n, oracle_words),
-            n,
-            run.passes
-        );
-    }
-}
-
-fn main() {
-    let o = parse_options();
-    if o.stream {
-        run_streamed(&o);
-        return;
-    }
-    let list = load(&o);
-    if !o.quiet && !o.json {
-        eprintln!(
-            "loaded {}: {} nodes, {} edges",
-            o.path,
-            list.num_nodes,
-            list.num_edges()
-        );
-    }
-    let mut json = JsonSummary::new(&o, list.num_nodes as u64, list.num_edges() as u64);
-    let quiet = o.quiet || o.json;
-    let started = Instant::now();
-
-    // The parallel peeling backend serves atleast-k, directed, and
-    // approx without the streaming sketch oracle; warn instead of
-    // silently ignoring the flag elsewhere.
-    let threads_used = matches!(o.algorithm.as_str(), "atleast-k" | "directed")
-        || (o.algorithm == "approx" && o.sketch_b.is_none());
-    if o.threads > 1 && !threads_used {
-        eprintln!(
-            "warning: --threads has no effect for '{}'{} (serial run)",
-            o.algorithm,
-            if o.algorithm == "approx" {
-                " with --sketch"
-            } else {
-                ""
-            }
-        );
-    }
-
-    match o.algorithm.as_str() {
-        "approx" => {
-            let run = if let Some(b) = o.sketch_b {
-                let mut stream = MemoryStream::new(list);
-                let sk = approx_densest_sketched(&mut stream, o.epsilon, SketchParams::paper(b, 0));
-                if !quiet {
-                    eprintln!(
-                        "sketch: {} words vs {} exact ({:.0}%)",
-                        sk.sketch_words,
-                        sk.exact_words,
-                        100.0 * sk.memory_ratio()
-                    );
-                }
-                json.num_field("sketch_words", sk.sketch_words as f64);
-                sk.run
-            } else {
-                let csr = CsrUndirected::from_edge_list(&list);
-                if o.threads > 1 {
-                    dsg_core::undirected::approx_densest_csr_parallel(&csr, o.epsilon, o.threads)
-                } else {
-                    dsg_core::undirected::approx_densest_csr(&csr, o.epsilon)
-                }
-            };
-            json.num_field("density", run.best_density);
-            json.num_field("nodes", run.best_set.len() as f64);
-            json.num_field("passes", run.passes as f64);
-            json.num_field("epsilon", o.epsilon);
-            json.num_field("threads", o.threads as f64);
-            if o.json {
-                json.num_field("elapsed_ms", started.elapsed().as_secs_f64() * 1e3);
-                json.print();
-                return;
-            }
+/// Renders the human-readable result, matching the pre-engine output of
+/// every algorithm branch byte for byte.
+fn print_human(o: &Options, report: &Report) {
+    match (&report.query.algorithm, &report.outcome) {
+        (Algorithm::Approx { epsilon, .. }, _) => {
             println!(
                 "density {:.6} on {} nodes ({} passes, ε = {})",
-                run.best_density,
-                run.best_set.len(),
-                run.passes,
-                o.epsilon
+                report.density(),
+                report.node_count(),
+                report.passes().unwrap_or(0),
+                epsilon
             );
-            print_set(&run.best_set, o.quiet);
+            print_set(report.best_set().expect("approx has a set"), o.quiet);
         }
-        "atleast-k" => {
-            if o.k > list.num_nodes as usize {
-                eprintln!("--k {} exceeds the graph's {} nodes", o.k, list.num_nodes);
-                exit(2);
-            }
-            let epsilon = o.epsilon.max(1e-6);
-            let run = if o.threads > 1 {
-                let csr = CsrUndirected::from_edge_list(&list);
-                dsg_core::large::approx_densest_at_least_k_csr_parallel(
-                    &csr, o.k, epsilon, o.threads,
-                )
-            } else {
-                let mut stream = MemoryStream::new(list);
-                dsg_core::large::approx_densest_at_least_k(&mut stream, o.k, epsilon)
-            };
-            json.num_field("density", run.best_density);
-            json.num_field("nodes", run.best_set.len() as f64);
-            json.num_field("passes", run.passes as f64);
-            json.num_field("k", o.k as f64);
-            json.num_field("epsilon", epsilon);
-            json.num_field("threads", o.threads as f64);
-            if o.json {
-                json.num_field("elapsed_ms", started.elapsed().as_secs_f64() * 1e3);
-                json.print();
-                return;
-            }
+        (Algorithm::AtLeastK { k, .. }, _) => {
             println!(
                 "density {:.6} on {} nodes (k = {}, {} passes)",
-                run.best_density,
-                run.best_set.len(),
-                o.k,
-                run.passes
+                report.density(),
+                report.node_count(),
+                k,
+                report.passes().unwrap_or(0)
             );
-            print_set(&run.best_set, o.quiet);
+            print_set(report.best_set().expect("atleast-k has a set"), o.quiet);
         }
-        "directed" => {
-            let csr = CsrDirected::from_edge_list(&list);
-            let sweep = if o.threads > 1 {
-                dsg_core::directed::sweep_c_csr_parallel(&csr, o.delta, o.epsilon, o.threads)
-            } else {
-                dsg_core::directed::sweep_c_csr(&csr, o.delta, o.epsilon)
-            };
-            json.num_field("density", sweep.best.best_density);
-            json.num_field("s_nodes", sweep.best.best_s.len() as f64);
-            json.num_field("t_nodes", sweep.best.best_t.len() as f64);
-            json.num_field("best_c", sweep.best.c);
-            json.num_field("delta", o.delta);
-            json.num_field("epsilon", o.epsilon);
-            json.num_field("threads", o.threads as f64);
-            if o.json {
-                json.num_field("elapsed_ms", started.elapsed().as_secs_f64() * 1e3);
-                json.print();
-                return;
-            }
+        (Algorithm::Directed { delta, .. }, Outcome::Sweep(sweep)) => {
             println!(
                 "density {:.6} with |S| = {}, |T| = {} (best c = {:.4}, δ = {})",
                 sweep.best.best_density,
                 sweep.best.best_s.len(),
                 sweep.best.best_t.len(),
                 sweep.best.c,
-                o.delta
+                delta
             );
             if !o.quiet {
                 println!("S:");
@@ -546,34 +354,15 @@ fn main() {
                 print_set(&sweep.best.best_t, false);
             }
         }
-        "charikar" => {
-            let csr = CsrUndirected::from_edge_list(&list);
-            let r = dsg_core::charikar::charikar_peel(&csr);
-            json.num_field("density", r.best_density);
-            json.num_field("nodes", r.best_set.len() as f64);
-            if o.json {
-                json.num_field("elapsed_ms", started.elapsed().as_secs_f64() * 1e3);
-                json.print();
-                return;
-            }
+        (Algorithm::Charikar, _) => {
             println!(
                 "density {:.6} on {} nodes (exact greedy 2-approximation)",
-                r.best_density,
-                r.best_set.len()
+                report.density(),
+                report.node_count()
             );
-            print_set(&r.best_set, o.quiet);
+            print_set(report.best_set().expect("charikar has a set"), o.quiet);
         }
-        "exact" => {
-            let csr = CsrUndirected::from_edge_list(&list);
-            let r = densest_subgraph::flow::exact_densest(&csr);
-            json.num_field("density", r.density);
-            json.num_field("nodes", r.set.len() as f64);
-            json.num_field("flow_calls", r.flow_calls as f64);
-            if o.json {
-                json.num_field("elapsed_ms", started.elapsed().as_secs_f64() * 1e3);
-                json.print();
-                return;
-            }
+        (Algorithm::Exact { .. }, Outcome::Exact(r)) => {
             println!(
                 "optimum density {:.6} on {} nodes ({} max-flow calls)",
                 r.density,
@@ -582,25 +371,9 @@ fn main() {
             );
             print_set(&r.set, o.quiet);
         }
-        "enumerate" => {
-            let csr = CsrUndirected::from_edge_list(&list);
-            let comms = dsg_core::enumerate::enumerate_dense_subgraphs(
-                &csr,
-                dsg_core::enumerate::EnumerateOptions {
-                    epsilon: o.epsilon,
-                    min_density: 1.0,
-                    max_communities: 32,
-                },
-            );
-            json.num_field("communities", comms.len() as f64);
-            json.num_field("top_density", comms.first().map_or(0.0, |c| c.density));
-            if o.json {
-                json.num_field("elapsed_ms", started.elapsed().as_secs_f64() * 1e3);
-                json.print();
-                return;
-            }
+        (Algorithm::Enumerate { .. }, Outcome::Communities(comms)) => {
             println!("{} node-disjoint dense communities:", comms.len());
-            for c in &comms {
+            for c in comms {
                 println!(
                     "  round {}: density {:.4} on {} nodes",
                     c.round,
@@ -610,6 +383,235 @@ fn main() {
                 print_set(&c.nodes, o.quiet);
             }
         }
-        _ => unreachable!("algorithm validated against ALGORITHMS in parse_options"),
+        (alg, _) => unreachable!("outcome shape mismatch for {}", alg.name()),
+    }
+}
+
+/// Renders an engine error exactly as the pre-engine CLI did, and exits.
+fn fail(o: &Options, e: EngineError) -> ! {
+    match e {
+        EngineError::Graph(e) => {
+            eprintln!("cannot read {}: {e}", o.path);
+            exit(1);
+        }
+        EngineError::StreamFailed(e) => {
+            eprintln!("streaming {} failed: {e}", o.path);
+            exit(1);
+        }
+        EngineError::KTooLarge { k, n } => {
+            eprintln!("--k {k} exceeds the graph's {n} nodes");
+            exit(2);
+        }
+        EngineError::InvalidQuery(msg) | EngineError::Unsupported(msg) => {
+            eprintln!("{msg}");
+            exit(2);
+        }
+    }
+}
+
+/// One-shot query mode: parse → plan + execute via the engine → render.
+fn run_query(algorithm: String, path: String, rest: impl Iterator<Item = String>) {
+    let o = parse_options(algorithm, path, rest);
+    let query = build_query(&o);
+    let policy = ResourcePolicy {
+        memory_budget_bytes: o.memory_budget,
+        threads: o.threads,
+    };
+    let source = Source::File {
+        path: PathBuf::from(&o.path),
+        binary: o.binary,
+        directed_input: o.directed_input,
+    };
+
+    // Warn when --threads cannot take effect, instead of silently
+    // ignoring the flag.
+    if o.threads > 1 {
+        if o.stream {
+            eprintln!("warning: --threads has no effect with --stream (semi-streaming is serial)");
+        } else if !query.algorithm.parallelizable() {
+            eprintln!(
+                "warning: --threads has no effect for '{}'{} (serial run)",
+                o.algorithm,
+                if o.algorithm == "approx" {
+                    " with --sketch"
+                } else {
+                    ""
+                }
+            );
+        }
+    }
+
+    let mut engine = Engine::new();
+    let report = engine
+        .execute(&source, &query, &policy)
+        .unwrap_or_else(|e| fail(&o, e));
+
+    if !o.quiet && !o.json {
+        if matches!(report.plan.backend.name(), "stream" | "sketch-stream") {
+            eprintln!(
+                "streaming {}: {} nodes, {} edges (out-of-core; edge list not materialized)",
+                o.path, report.graph_nodes, report.graph_edges
+            );
+        } else {
+            eprintln!(
+                "loaded {}: {} nodes, {} edges",
+                o.path, report.graph_nodes, report.graph_edges
+            );
+        }
+        eprintln!("plan: {}", report.plan.explain());
+        if let Some((words, exact)) = report.sketch_words {
+            // exact = n; an empty graph would divide by zero.
+            let pct = if exact == 0 {
+                100.0
+            } else {
+                100.0 * words as f64 / exact as f64
+            };
+            eprintln!("sketch: {words} words vs {exact} exact ({pct:.0}%)");
+        }
+    }
+
+    if o.json {
+        println!("{}", report.json_object(true));
+        return;
+    }
+    print_human(&o, &report);
+    if !o.quiet {
+        if let Some(state) = report.state_bytes {
+            eprintln!(
+                "peak streaming state ≈ {} bytes for {} nodes (edge file re-read {} times)",
+                state,
+                report.graph_nodes,
+                report.passes().unwrap_or(0)
+            );
+        }
+    }
+}
+
+/// `densest serve`: the long-running JSONL loop (stdin or Unix socket).
+fn run_serve(args: impl Iterator<Item = String>) {
+    let mut socket: Option<PathBuf> = None;
+    let mut policy = ResourcePolicy::default();
+    let mut max_graphs = densest_subgraph::engine::catalog::DEFAULT_MAX_ENTRIES;
+    let mut quiet = false;
+    let mut it = args.collect::<Vec<_>>().into_iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--socket" => socket = Some(PathBuf::from(value("--socket"))),
+            "--threads" => {
+                policy.threads = parse_value("--threads", &value("--threads"));
+                if policy.threads == 0 {
+                    eprintln!("--threads must be at least 1");
+                    exit(2);
+                }
+            }
+            "--memory-budget" => {
+                policy.memory_budget_bytes = Some(parse_budget(&value("--memory-budget")));
+            }
+            "--max-graphs" => {
+                max_graphs = parse_value("--max-graphs", &value("--max-graphs"));
+                if max_graphs == 0 {
+                    eprintln!("--max-graphs must be at least 1");
+                    exit(2);
+                }
+            }
+            "--quiet" => quiet = true,
+            other => {
+                eprintln!("unknown flag '{other}'");
+                usage();
+            }
+        }
+    }
+    let mut engine = Engine::new();
+    engine.catalog_mut().set_max_entries(max_graphs);
+    let summary = match &socket {
+        Some(path) => {
+            if !quiet {
+                eprintln!("serving JSONL queries on socket {}", path.display());
+            }
+            densest_subgraph::engine::serve_unix(&mut engine, &policy, path)
+        }
+        None => {
+            if !quiet {
+                eprintln!("serving JSONL queries on stdin (EOF shuts down)");
+            }
+            densest_subgraph::engine::serve_stdio(&mut engine, &policy)
+        }
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("serve failed: {e}");
+        exit(1);
+    });
+    if !quiet {
+        let stats = engine.catalog().stats();
+        eprintln!(
+            "served {} queries ({} errors): {} graph loads, {} cache hits; {}",
+            summary.queries,
+            summary.errors,
+            stats.loads,
+            stats.hits,
+            if summary.shutdown {
+                "shutdown requested"
+            } else {
+                "input closed"
+            }
+        );
+    }
+}
+
+/// `densest client --socket <path>`: forward stdin JSONL to a server.
+fn run_client(args: impl Iterator<Item = String>) {
+    let mut socket: Option<PathBuf> = None;
+    let mut it = args.collect::<Vec<_>>().into_iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--socket" => {
+                socket = Some(PathBuf::from(it.next().unwrap_or_else(|| {
+                    eprintln!("missing value for --socket");
+                    exit(2);
+                })))
+            }
+            other => {
+                eprintln!("unknown flag '{other}'");
+                usage();
+            }
+        }
+    }
+    let socket = socket.unwrap_or_else(|| {
+        eprintln!("densest client requires --socket <path>");
+        exit(2);
+    });
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout().lock();
+    if let Err(e) =
+        densest_subgraph::engine::client_unix(&socket, BufReader::new(stdin.lock()), &mut stdout)
+    {
+        eprintln!("client failed: {e}");
+        exit(1);
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let first = args.next().unwrap_or_else(|| usage());
+    match first.as_str() {
+        "--help" | "-h" | "help" => {
+            println!("{HELP}");
+        }
+        "serve" => run_serve(args),
+        "client" => run_client(args),
+        alg if ALGORITHMS.contains(&alg) => {
+            let path = args.next().unwrap_or_else(|| usage());
+            run_query(first, path, args);
+        }
+        other => {
+            eprintln!("unknown algorithm '{other}'");
+            usage();
+        }
     }
 }

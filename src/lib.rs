@@ -18,6 +18,9 @@
 //!   sketched streaming variant of §5.1.
 //! * [`mapreduce`] — a thread-pool MapReduce simulator and the MapReduce
 //!   realization of §5.2.
+//! * [`engine`] — the query engine: declarative `Query` → resource-aware
+//!   `Plan` → unified `Report`, a fingerprinting `GraphCatalog`, and the
+//!   long-running JSONL serve loop (`densest serve`).
 //! * [`datasets`] — synthetic stand-ins for the paper's evaluation
 //!   datasets.
 //!
@@ -39,6 +42,7 @@
 
 pub use dsg_core as core;
 pub use dsg_datasets as datasets;
+pub use dsg_engine as engine;
 pub use dsg_flow as flow;
 pub use dsg_graph as graph;
 pub use dsg_mapreduce as mapreduce;

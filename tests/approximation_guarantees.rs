@@ -5,7 +5,7 @@
 use densest_subgraph::core::charikar::charikar_peel;
 use densest_subgraph::core::large::approx_densest_at_least_k;
 use densest_subgraph::core::undirected::{approx_densest, approx_densest_csr};
-use densest_subgraph::flow::{brute_force_densest, exact_densest};
+use densest_subgraph::flow::{brute_force_densest, exact_densest, exact_densest_with, FlowBackend};
 use densest_subgraph::graph::gen;
 use densest_subgraph::graph::stream::MemoryStream;
 use densest_subgraph::graph::{CsrUndirected, EdgeList};
@@ -102,10 +102,9 @@ fn charikar_2_approx_and_algorithm1_eps0_match_quality() {
     }
 }
 
-#[test]
-fn flow_exact_matches_brute_force_across_families() {
-    // Small instances from every family vs exhaustive search.
-    let small: Vec<(&str, EdgeList)> = vec![
+/// Small instances from every family, sized for exhaustive search.
+fn small_families() -> Vec<(&'static str, EdgeList)> {
+    vec![
         ("gnp", gen::gnp(13, 0.3, 5)),
         ("clique+tail", {
             let mut g = gen::clique(6);
@@ -119,8 +118,12 @@ fn flow_exact_matches_brute_force_across_families() {
             g.disjoint_union(&gen::clique(7));
             g
         }),
-    ];
-    for (name, list) in small {
+    ]
+}
+
+#[test]
+fn flow_exact_matches_brute_force_across_families() {
+    for (name, list) in small_families() {
         let csr = CsrUndirected::from_edge_list(&list);
         let (_, brute) = brute_force_densest(&csr);
         let flow = exact_densest(&csr);
@@ -129,6 +132,51 @@ fn flow_exact_matches_brute_force_across_families() {
             "{name}: flow {} vs brute {brute}",
             flow.density
         );
+    }
+}
+
+#[test]
+fn push_relabel_matches_brute_force_across_families() {
+    // Same exhaustive baseline as the Dinic default above, through the
+    // push–relabel max-flow backend.
+    for (name, list) in small_families() {
+        let csr = CsrUndirected::from_edge_list(&list);
+        let (_, brute) = brute_force_densest(&csr);
+        let flow = exact_densest_with(&csr, FlowBackend::PushRelabel);
+        assert!(
+            (flow.density - brute).abs() < 1e-9,
+            "{name}: push-relabel {} vs brute {brute}",
+            flow.density
+        );
+        // The returned set is a genuine certificate of that density.
+        assert!(
+            (csr.density_of(&flow.set) - flow.density).abs() < 1e-9,
+            "{name}: reported density is not the set's density"
+        );
+    }
+}
+
+#[test]
+fn push_relabel_matches_dinic_across_generator_families() {
+    // The full generator families of this suite (hundreds of nodes):
+    // both max-flow backends drive Goldberg's binary search to the same
+    // optimum, and each returns a set certifying its reported density.
+    for (name, list) in families(7) {
+        let csr = CsrUndirected::from_edge_list(&list);
+        let dinic = exact_densest_with(&csr, FlowBackend::Dinic);
+        let pr = exact_densest_with(&csr, FlowBackend::PushRelabel);
+        assert!(
+            (dinic.density - pr.density).abs() < 1e-9,
+            "{name}: dinic {} vs push-relabel {}",
+            dinic.density,
+            pr.density
+        );
+        for (backend, r) in [("dinic", &dinic), ("push-relabel", &pr)] {
+            assert!(
+                (csr.density_of(&r.set) - r.density).abs() < 1e-9,
+                "{name}/{backend}: reported density is not the set's density"
+            );
+        }
     }
 }
 

@@ -334,3 +334,242 @@ fn json_summary_for_directed() {
     assert!(line.contains("\"t_nodes\":1"), "{line}");
     assert!(line.contains("\"best_c\":"), "{line}");
 }
+
+// ---- engine-era CLI surface: help, flow backends, planner, serve ----
+
+#[test]
+fn help_prints_full_usage_and_exits_zero() {
+    for flag in ["--help", "-h"] {
+        let out = Command::new(densest_bin())
+            .arg(flag)
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success(), "{flag} must exit 0");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        for needle in [
+            "usage:",
+            "serve",
+            "client",
+            "--flow-backend",
+            "--memory-budget",
+            "--backend",
+            "shutdown",
+        ] {
+            assert!(
+                stdout.contains(needle),
+                "{flag}: missing '{needle}' in help"
+            );
+        }
+    }
+}
+
+#[test]
+fn flow_backend_flag_selects_solver_and_rejects_bad_values() {
+    let path = clique_fixture();
+    let p = path.to_str().unwrap();
+    let (dinic, _, ok1) = run(&["exact", p, "--flow-backend", "dinic", "--json"]);
+    let (pr, _, ok2) = run(&["exact", p, "--flow-backend", "push-relabel", "--json"]);
+    assert!(ok1 && ok2, "{dinic}{pr}");
+    assert_eq!(
+        json_field(dinic.trim(), "density"),
+        json_field(pr.trim(), "density")
+    );
+    assert_eq!(
+        json_field(dinic.trim(), "nodes"),
+        json_field(pr.trim(), "nodes")
+    );
+    assert_eq!(json_field(pr.trim(), "flow_backend"), "\"push-relabel\"");
+    assert_eq!(json_field(dinic.trim(), "flow_backend"), "\"dinic\"");
+
+    let (_, stderr, ok) = run(&["exact", p, "--flow-backend", "simplex"]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("invalid value 'simplex' for --flow-backend"),
+        "{stderr}"
+    );
+
+    let (_, stderr, ok) = run(&["approx", p, "--flow-backend", "dinic"]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("--flow-backend applies only to 'exact'"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn planner_flags_choose_backends_and_are_reported() {
+    let path = clique_fixture();
+    let p = path.to_str().unwrap();
+    // Unbounded: in-memory. Tiny budget: the planner streams instead.
+    let (mem, _, ok1) = run(&["approx", p, "--epsilon", "0.1", "--json"]);
+    let (streamed, _, ok2) = run(&[
+        "approx",
+        p,
+        "--epsilon",
+        "0.1",
+        "--memory-budget",
+        "64",
+        "--json",
+    ]);
+    assert!(ok1 && ok2, "{mem}{streamed}");
+    assert_eq!(json_field(mem.trim(), "backend"), "\"memory\"");
+    assert_eq!(json_field(streamed.trim(), "backend"), "\"stream\"");
+    assert!(streamed.contains("\"plan\":\""), "{streamed}");
+    for key in ["density", "nodes", "passes"] {
+        assert_eq!(
+            json_field(mem.trim(), key),
+            json_field(streamed.trim(), key),
+            "field {key}: {mem} vs {streamed}"
+        );
+    }
+    // --backend forces; bad values are named.
+    let (forced, _, ok) = run(&["approx", p, "--backend", "stream", "--json"]);
+    assert!(ok);
+    assert_eq!(json_field(forced.trim(), "backend"), "\"stream\"");
+    let (_, stderr, ok) = run(&["approx", p, "--backend", "gpu"]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("invalid value 'gpu' for --backend"),
+        "{stderr}"
+    );
+    // k/m/g suffixes parse.
+    let (out, _, ok) = run(&["approx", p, "--memory-budget", "1g", "--json"]);
+    assert!(ok, "{out}");
+    assert_eq!(json_field(out.trim(), "backend"), "\"memory\"");
+}
+
+#[test]
+fn serve_stdin_answers_queries_once_loaded_and_exits_on_eof() {
+    use std::io::Write;
+    use std::process::Stdio;
+
+    let path = clique_fixture();
+    let p = path.to_str().unwrap();
+    let mut child = Command::new(densest_bin())
+        .args(["serve", "--quiet"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("serve starts");
+    {
+        let stdin = child.stdin.as_mut().unwrap();
+        writeln!(
+            stdin,
+            "{{\"id\":1,\"algorithm\":\"approx\",\"file\":\"{p}\",\"epsilon\":0.1}}"
+        )
+        .unwrap();
+        writeln!(
+            stdin,
+            "{{\"id\":2,\"algorithm\":\"approx\",\"file\":\"{p}\",\"epsilon\":0.1}}"
+        )
+        .unwrap();
+        writeln!(
+            stdin,
+            "{{\"id\":3,\"algorithm\":\"exact\",\"file\":\"{p}\"}}"
+        )
+        .unwrap();
+    }
+    drop(child.stdin.take()); // EOF = SIGTERM-equivalent close
+    let out = child.wait_with_output().expect("serve exits");
+    assert!(out.status.success(), "EOF must be a clean shutdown");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 3, "{stdout}");
+    for l in &lines {
+        assert_eq!(json_field(l, "ok"), "true", "{l}");
+        assert_eq!(json_field(l, "loads"), "1", "one load serves all: {l}");
+    }
+    assert_eq!(json_field(lines[0], "cache_hit"), "0");
+    assert_eq!(json_field(lines[1], "cache_hit"), "1");
+    assert_eq!(json_field(lines[2], "cache_hit"), "1");
+}
+
+/// Serve-mode results must be byte-identical to one-shot CLI runs: the
+/// nested `result` object equals the one-shot `--json` line minus its
+/// `elapsed_ms` field.
+#[test]
+fn serve_socket_results_are_byte_identical_to_one_shot_runs() {
+    use std::io::Write;
+    use std::process::Stdio;
+
+    let path = clique_fixture();
+    let p = path.to_str().unwrap();
+    let sock = std::env::temp_dir().join(format!("dsg_cli_serve_{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&sock);
+    let mut server = Command::new(densest_bin())
+        .args(["serve", "--quiet", "--socket", sock.to_str().unwrap()])
+        .spawn()
+        .expect("serve starts");
+    for _ in 0..300 {
+        if sock.exists() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert!(sock.exists(), "server socket never appeared");
+
+    let queries: Vec<(String, Vec<&str>)> = vec![
+        (
+            format!("{{\"id\":1,\"algorithm\":\"approx\",\"file\":\"{p}\",\"epsilon\":0.1}}"),
+            vec!["approx", p, "--epsilon", "0.1", "--json"],
+        ),
+        (
+            format!("{{\"id\":2,\"algorithm\":\"atleast-k\",\"file\":\"{p}\",\"k\":7}}"),
+            vec!["atleast-k", p, "--k", "7", "--json"],
+        ),
+        (
+            format!("{{\"id\":3,\"algorithm\":\"charikar\",\"file\":\"{p}\"}}"),
+            vec!["charikar", p, "--json"],
+        ),
+        (
+            format!("{{\"id\":4,\"algorithm\":\"exact\",\"file\":\"{p}\"}}"),
+            vec!["exact", p, "--json"],
+        ),
+    ];
+    let mut client = Command::new(densest_bin())
+        .args(["client", "--socket", sock.to_str().unwrap()])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("client starts");
+    {
+        let stdin = client.stdin.as_mut().unwrap();
+        for (req, _) in &queries {
+            writeln!(stdin, "{req}").unwrap();
+        }
+        writeln!(stdin, "{{\"op\":\"shutdown\"}}").unwrap();
+    }
+    drop(client.stdin.take());
+    let client_out = client.wait_with_output().expect("client exits");
+    assert!(client_out.status.success());
+    let responses = String::from_utf8_lossy(&client_out.stdout);
+    let lines: Vec<&str> = responses.lines().collect();
+    assert_eq!(lines.len(), queries.len() + 1, "{responses}");
+
+    let strip_elapsed = |s: &str| {
+        let start = s
+            .find(",\"elapsed_ms\":")
+            .unwrap_or_else(|| panic!("elapsed in {s}"));
+        let rest = &s[start + 1..];
+        let end = rest.find([',', '}']).unwrap();
+        format!("{}{}", &s[..start], &rest[end..])
+    };
+    for ((_, oneshot_args), response) in queries.iter().zip(&lines) {
+        assert_eq!(json_field(response, "ok"), "true", "{response}");
+        assert_eq!(json_field(response, "loads"), "1", "{response}");
+        let nested = response
+            .split("\"result\":")
+            .nth(1)
+            .and_then(|r| r.split(",\"cache_hit\"").next())
+            .unwrap_or_else(|| panic!("no result in {response}"));
+        let (oneshot, _, ok) = run(oneshot_args);
+        assert!(ok, "{oneshot}");
+        let expected = strip_elapsed(oneshot.trim());
+        assert_eq!(nested, expected, "serve vs one-shot mismatch");
+    }
+    assert!(lines.last().unwrap().contains("\"bye\":true"));
+    let status = server.wait().expect("server exits after shutdown");
+    assert!(status.success());
+    assert!(!sock.exists(), "socket removed on clean shutdown");
+}

@@ -1,0 +1,502 @@
+//! Engine parity suite: for every algorithm × backend combination,
+//! `Engine::execute` must return output (density, node set, passes)
+//! **byte-identical** to the corresponding direct API call — the engine
+//! is a router, never a reimplementation. Also covers the planner's
+//! determinism/reporting contract and the catalog's load-once behavior
+//! through the engine.
+
+use std::path::PathBuf;
+
+use densest_subgraph::core as dsg_core;
+use densest_subgraph::engine::{
+    mr_edge_splits, Algorithm, BackendRequest, Engine, Outcome, Query, Report, ResourcePolicy,
+    Source,
+};
+use densest_subgraph::flow::{exact_densest_with, FlowBackend};
+use densest_subgraph::graph::io::{read_text, write_text};
+use densest_subgraph::graph::stream::{MemoryStream, TextFileStream};
+use densest_subgraph::graph::{gen, CsrDirected, CsrUndirected, EdgeList, GraphKind};
+use densest_subgraph::mapreduce::{mr_densest_undirected, MapReduceConfig, ShuffleBackend};
+use densest_subgraph::sketch::{approx_densest_sketched, SketchParams};
+
+const EPS: f64 = 0.5;
+
+fn write_fixture(name: &str, list: &EdgeList) -> PathBuf {
+    let dir = std::env::temp_dir().join("dsg_engine_parity_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    write_text(&path, list).unwrap();
+    path
+}
+
+/// The exact load sequence the engine's catalog performs for a text
+/// file, reproduced directly so the reference runs see the same graph.
+fn load_canonical(path: &std::path::Path, kind: GraphKind) -> EdgeList {
+    let mut list = read_text(path, kind).unwrap();
+    list.kind = kind;
+    list.canonicalize();
+    list
+}
+
+fn test_graph() -> EdgeList {
+    gen::planted_dense_subgraph(300, 900, 25, 0.5, 42).graph
+}
+
+fn file_source(path: &std::path::Path) -> Source {
+    Source::File {
+        path: path.to_path_buf(),
+        binary: false,
+        directed_input: false,
+    }
+}
+
+fn run_engine(
+    engine: &mut Engine,
+    source: &Source,
+    query: Query,
+    policy: ResourcePolicy,
+    expect_backend: &str,
+) -> Report {
+    let report = engine.execute(source, &query, &policy).unwrap();
+    assert_eq!(
+        report.plan.backend.name(),
+        expect_backend,
+        "plan: {}",
+        report.plan.explain()
+    );
+    report
+}
+
+/// Byte-level equality of an engine run against a direct
+/// `UndirectedRun`: density bits, set, pass count, best pass.
+fn assert_run_parity(report: &Report, direct: &dsg_core::result::UndirectedRun, label: &str) {
+    assert_eq!(
+        report.density().to_bits(),
+        direct.best_density.to_bits(),
+        "{label}: density"
+    );
+    assert_eq!(
+        report.best_set().expect("set"),
+        &direct.best_set,
+        "{label}: node set"
+    );
+    assert_eq!(report.passes(), Some(direct.passes), "{label}: passes");
+}
+
+#[test]
+fn approx_parity_across_every_backend() {
+    let list = test_graph();
+    let path = write_fixture("approx.txt", &list);
+    let canonical = load_canonical(&path, GraphKind::Undirected);
+    let csr = CsrUndirected::from_edge_list(&canonical);
+    let source = file_source(&path);
+    let mut engine = Engine::new();
+    let approx = Query::new(Algorithm::Approx {
+        epsilon: EPS,
+        sketch: None,
+    });
+
+    // In-memory serial.
+    let direct = dsg_core::undirected::approx_densest_csr(&csr, EPS);
+    let report = run_engine(
+        &mut engine,
+        &source,
+        approx,
+        ResourcePolicy::default(),
+        "memory",
+    );
+    assert_run_parity(&report, &direct, "serial");
+
+    // Parallel CSR.
+    let direct_par = dsg_core::undirected::approx_densest_csr_parallel(&csr, EPS, 3);
+    let report = run_engine(
+        &mut engine,
+        &source,
+        approx,
+        ResourcePolicy {
+            memory_budget_bytes: None,
+            threads: 3,
+        },
+        "parallel",
+    );
+    assert_run_parity(&report, &direct_par, "parallel");
+
+    // File-streamed (forced, and again via a tight budget).
+    let mut stream = TextFileStream::open_auto(&path).unwrap();
+    let direct_stream = dsg_core::undirected::try_approx_densest(&mut stream, EPS).unwrap();
+    for (label, query, policy) in [
+        (
+            "forced stream",
+            Query {
+                backend: Some(BackendRequest::Streamed),
+                ..approx
+            },
+            ResourcePolicy::default(),
+        ),
+        (
+            "budget stream",
+            approx,
+            ResourcePolicy {
+                memory_budget_bytes: Some(1_000),
+                threads: 1,
+            },
+        ),
+    ] {
+        let report = run_engine(&mut engine, &source, query, policy, "stream");
+        assert_run_parity(&report, &direct_stream, label);
+        assert!(report.state_bytes.is_some(), "{label}: state accounting");
+    }
+
+    // Sketched over the in-memory list.
+    let sketched = Query::new(Algorithm::Approx {
+        epsilon: EPS,
+        sketch: Some(64),
+    });
+    let mut mem = MemoryStream::new(canonical.clone());
+    let direct_sk = approx_densest_sketched(&mut mem, EPS, SketchParams::paper(64, 0));
+    let report = run_engine(
+        &mut engine,
+        &source,
+        sketched,
+        ResourcePolicy::default(),
+        "sketch",
+    );
+    assert_run_parity(&report, &direct_sk.run, "sketch");
+    assert_eq!(
+        report.sketch_words,
+        Some((direct_sk.sketch_words as u64, direct_sk.exact_words as u64))
+    );
+
+    // MapReduce (in-RAM shuffle), 2 workers.
+    let config = MapReduceConfig {
+        num_workers: 2,
+        num_reducers: 8,
+        combine: true,
+        shuffle: ShuffleBackend::InMemory,
+    };
+    let direct_mr = mr_densest_undirected(
+        &config,
+        canonical.num_nodes,
+        mr_edge_splits(&canonical, 2),
+        EPS,
+    );
+    let report = run_engine(
+        &mut engine,
+        &source,
+        Query {
+            backend: Some(BackendRequest::MapReduce),
+            ..approx
+        },
+        ResourcePolicy {
+            memory_budget_bytes: None,
+            threads: 2,
+        },
+        "mapreduce",
+    );
+    assert_eq!(
+        report.density().to_bits(),
+        direct_mr.best_density.to_bits(),
+        "mapreduce: density"
+    );
+    assert_eq!(
+        report.best_set().unwrap(),
+        &direct_mr.best_set,
+        "mapreduce: node set"
+    );
+    assert_eq!(report.passes(), Some(direct_mr.passes), "mapreduce: passes");
+    assert!(report.shuffle.is_some(), "mapreduce: shuffle accounting");
+}
+
+#[test]
+fn atleast_k_parity_across_backends() {
+    let list = test_graph();
+    let path = write_fixture("atleastk.txt", &list);
+    let canonical = load_canonical(&path, GraphKind::Undirected);
+    let csr = CsrUndirected::from_edge_list(&canonical);
+    let source = file_source(&path);
+    let mut engine = Engine::new();
+    let k = 40;
+    let query = Query::new(Algorithm::AtLeastK { k, epsilon: EPS });
+    let eps_used = EPS.max(1e-6);
+
+    // Serial goes through MemoryStream, exactly like the direct call.
+    let mut mem = MemoryStream::new(canonical.clone());
+    let direct = dsg_core::large::approx_densest_at_least_k(&mut mem, k, eps_used);
+    let report = run_engine(
+        &mut engine,
+        &source,
+        query,
+        ResourcePolicy::default(),
+        "memory",
+    );
+    assert_run_parity(&report, &direct, "serial");
+
+    let direct_par = dsg_core::large::approx_densest_at_least_k_csr_parallel(&csr, k, eps_used, 4);
+    let report = run_engine(
+        &mut engine,
+        &source,
+        query,
+        ResourcePolicy {
+            memory_budget_bytes: None,
+            threads: 4,
+        },
+        "parallel",
+    );
+    assert_run_parity(&report, &direct_par, "parallel");
+
+    let mut stream = TextFileStream::open_auto(&path).unwrap();
+    let direct_stream =
+        dsg_core::large::try_approx_densest_at_least_k(&mut stream, k, eps_used).unwrap();
+    let report = run_engine(
+        &mut engine,
+        &source,
+        Query {
+            backend: Some(BackendRequest::Streamed),
+            ..query
+        },
+        ResourcePolicy::default(),
+        "stream",
+    );
+    assert_run_parity(&report, &direct_stream, "stream");
+}
+
+#[test]
+fn directed_parity_serial_and_parallel() {
+    let list = gen::directed_gnp(150, 0.05, 9);
+    let path = write_fixture("directed.txt", &list);
+    let canonical = load_canonical(&path, GraphKind::Directed);
+    let csr = CsrDirected::from_edge_list(&canonical);
+    let source = file_source(&path);
+    let mut engine = Engine::new();
+    let (delta, eps) = (2.0, 0.5);
+    let query = Query::new(Algorithm::Directed {
+        delta,
+        epsilon: eps,
+    });
+
+    let direct = dsg_core::directed::sweep_c_csr(&csr, delta, eps);
+    let report = run_engine(
+        &mut engine,
+        &source,
+        query,
+        ResourcePolicy::default(),
+        "memory",
+    );
+    let Outcome::Sweep(sweep) = &report.outcome else {
+        panic!("directed query must yield a sweep");
+    };
+    assert_eq!(
+        sweep.best.best_density.to_bits(),
+        direct.best.best_density.to_bits()
+    );
+    assert_eq!(sweep.best.best_s, direct.best.best_s);
+    assert_eq!(sweep.best.best_t, direct.best.best_t);
+    assert_eq!(sweep.best.c.to_bits(), direct.best.c.to_bits());
+    assert_eq!(sweep.best.passes, direct.best.passes);
+    assert_eq!(sweep.per_c, direct.per_c);
+
+    let direct_par = dsg_core::directed::sweep_c_csr_parallel(&csr, delta, eps, 3);
+    let report = run_engine(
+        &mut engine,
+        &source,
+        query,
+        ResourcePolicy {
+            memory_budget_bytes: None,
+            threads: 3,
+        },
+        "parallel",
+    );
+    let Outcome::Sweep(sweep) = &report.outcome else {
+        panic!("directed query must yield a sweep");
+    };
+    assert_eq!(
+        sweep.best.best_density.to_bits(),
+        direct_par.best.best_density.to_bits()
+    );
+    assert_eq!(sweep.best.best_s, direct_par.best.best_s);
+    assert_eq!(sweep.best.best_t, direct_par.best.best_t);
+    assert_eq!(sweep.best.passes, direct_par.best.passes);
+}
+
+#[test]
+fn charikar_exact_enumerate_parity() {
+    let list = test_graph();
+    let path = write_fixture("inmem.txt", &list);
+    let canonical = load_canonical(&path, GraphKind::Undirected);
+    let csr = CsrUndirected::from_edge_list(&canonical);
+    let source = file_source(&path);
+    let mut engine = Engine::new();
+
+    let direct = dsg_core::charikar::charikar_peel(&csr);
+    let report = run_engine(
+        &mut engine,
+        &source,
+        Query::new(Algorithm::Charikar),
+        ResourcePolicy::default(),
+        "memory",
+    );
+    assert_eq!(report.density().to_bits(), direct.best_density.to_bits());
+    assert_eq!(report.best_set().unwrap(), &direct.best_set);
+
+    for flow in [FlowBackend::Dinic, FlowBackend::PushRelabel] {
+        let direct = exact_densest_with(&csr, flow);
+        let report = run_engine(
+            &mut engine,
+            &source,
+            Query::new(Algorithm::Exact { flow }),
+            ResourcePolicy::default(),
+            "memory",
+        );
+        let Outcome::Exact(r) = &report.outcome else {
+            panic!("exact query must yield an exact outcome");
+        };
+        assert_eq!(r.density.to_bits(), direct.density.to_bits(), "{flow:?}");
+        assert_eq!(r.set, direct.set, "{flow:?}");
+        assert_eq!(r.flow_calls, direct.flow_calls, "{flow:?}");
+    }
+
+    let opts = dsg_core::enumerate::EnumerateOptions {
+        epsilon: 0.1,
+        min_density: 1.0,
+        max_communities: 32,
+    };
+    let direct = dsg_core::enumerate::enumerate_dense_subgraphs(&csr, opts);
+    let report = run_engine(
+        &mut engine,
+        &source,
+        Query::new(Algorithm::Enumerate {
+            epsilon: 0.1,
+            min_density: 1.0,
+            max_communities: 32,
+        }),
+        ResourcePolicy::default(),
+        "memory",
+    );
+    let Outcome::Communities(comms) = &report.outcome else {
+        panic!("enumerate query must yield communities");
+    };
+    assert_eq!(comms.len(), direct.len());
+    for (a, b) in comms.iter().zip(&direct) {
+        assert_eq!(a.nodes, b.nodes);
+        assert_eq!(a.density.to_bits(), b.density.to_bits());
+        assert_eq!(a.round, b.round);
+    }
+}
+
+#[test]
+fn memory_source_matches_file_source() {
+    let list = test_graph();
+    let path = write_fixture("memsource.txt", &list);
+    let mut engine = Engine::new();
+    let query = Query::new(Algorithm::Approx {
+        epsilon: EPS,
+        sketch: None,
+    });
+    let from_file = engine
+        .execute(&file_source(&path), &query, &ResourcePolicy::default())
+        .unwrap();
+    let from_memory = engine
+        .execute(
+            &Source::Memory {
+                list,
+                label: "in-memory".into(),
+            },
+            &query,
+            &ResourcePolicy::default(),
+        )
+        .unwrap();
+    assert_eq!(
+        from_file.density().to_bits(),
+        from_memory.density().to_bits()
+    );
+    assert_eq!(from_file.best_set(), from_memory.best_set());
+    assert_eq!(from_file.passes(), from_memory.passes());
+    assert_eq!(
+        from_memory.cache_hit, None,
+        "memory sources bypass the catalog"
+    );
+}
+
+#[test]
+fn catalog_loads_once_across_queries_and_algorithms() {
+    let list = test_graph();
+    let path = write_fixture("catalog.txt", &list);
+    let source = file_source(&path);
+    let mut engine = Engine::new();
+    let policy = ResourcePolicy::default();
+    engine
+        .execute(
+            &source,
+            &Query::new(Algorithm::Approx {
+                epsilon: EPS,
+                sketch: None,
+            }),
+            &policy,
+        )
+        .unwrap();
+    engine
+        .execute(
+            &source,
+            &Query::new(Algorithm::AtLeastK {
+                k: 10,
+                epsilon: EPS,
+            }),
+            &policy,
+        )
+        .unwrap();
+    engine
+        .execute(&source, &Query::new(Algorithm::Charikar), &policy)
+        .unwrap();
+    let stats = engine.catalog().stats();
+    assert_eq!(stats.loads, 1, "one load serves every undirected query");
+    assert_eq!(stats.hits, 2);
+    assert_eq!(engine.catalog().len(), 1);
+
+    // A streamed query re-reads the file by design and never loads.
+    engine
+        .execute(
+            &source,
+            &Query {
+                algorithm: Algorithm::Approx {
+                    epsilon: EPS,
+                    sketch: None,
+                },
+                backend: Some(BackendRequest::Streamed),
+            },
+            &policy,
+        )
+        .unwrap();
+    assert_eq!(engine.catalog().stats().loads, 1);
+}
+
+#[test]
+fn plans_are_deterministic_and_reported() {
+    let list = test_graph();
+    let path = write_fixture("plans.txt", &list);
+    let source = file_source(&path);
+    let mut engine = Engine::new();
+    let query = Query::new(Algorithm::Approx {
+        epsilon: EPS,
+        sketch: None,
+    });
+    let tight = ResourcePolicy {
+        memory_budget_bytes: Some(2_000),
+        threads: 1,
+    };
+    let a = engine.plan(&source, &query, &tight).unwrap();
+    let b = engine.plan(&source, &query, &tight).unwrap();
+    assert_eq!(a, b, "same inputs must yield the same plan");
+    assert_eq!(a.backend.name(), "stream");
+    assert!(!a.reasons.is_empty());
+
+    // The executed plan is carried in the report and the JSON summary.
+    let report = engine.execute(&source, &query, &tight).unwrap();
+    assert_eq!(report.plan, a);
+    let json = report.json_object(true);
+    assert!(json.contains("\"backend\":\"stream\""), "{json}");
+    assert!(json.contains("\"plan\":\""), "{json}");
+    assert!(json.contains("\"elapsed_ms\":"), "{json}");
+    // Without elapsed time the summary is fully deterministic.
+    let again = engine.execute(&source, &query, &tight).unwrap();
+    assert_eq!(report.json_object(false), again.json_object(false));
+}
