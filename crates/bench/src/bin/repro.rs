@@ -19,6 +19,8 @@
 //!   scaling  serial vs parallel peeling-kernel pass time
 //!   outofcore  streamed + spill-to-disk shuffle vs in-memory parity
 //!   planner  engine backend choice per resource policy, cost, parity
+//!   serve-throughput  concurrent clients vs one worker-pool server:
+//!            queries/sec, single-flight loads, result-cache hit rate
 //!   lemma5   pass lower bound (union of regular graphs)
 //!   lemma6   pass lower bound (weighted power law)
 //!   all      everything above
@@ -78,7 +80,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: repro <table1|table2|fig61|fig62|fig63|table3|fig64|fig65|fig66|table4|fig67|scaling|outofcore|planner|lemma5|lemma6|all> \
+    "usage: repro <table1|table2|fig61|fig62|fig63|table3|fig64|fig65|fig66|table4|fig67|scaling|outofcore|planner|serve-throughput|lemma5|lemma6|all> \
      [--scale tiny|small|medium|large] [--csv] [--data-dir <path>] [--out <file>]"
         .to_string()
 }
@@ -113,6 +115,9 @@ fn run_experiment(name: &str, args: &Args) -> Result<Vec<Table>, String> {
         "scaling" => vec![exp::scaling::to_table(&exp::scaling::run(scale))],
         "outofcore" => vec![exp::outofcore::to_table(&exp::outofcore::run(scale))],
         "planner" => vec![exp::planner::to_table(&exp::planner::run(scale))],
+        "serve-throughput" => vec![exp::serve_throughput::to_table(
+            &exp::serve_throughput::run(scale),
+        )],
         "lemma5" => vec![exp::lemmas::to_table(
             "Lemma 5: passes on the union-of-regular-graphs instance (ε=0.5)",
             "k",
@@ -139,6 +144,7 @@ fn run_experiment(name: &str, args: &Args) -> Result<Vec<Table>, String> {
                 "scaling",
                 "outofcore",
                 "planner",
+                "serve-throughput",
                 "lemma5",
                 "lemma6",
             ];

@@ -15,6 +15,7 @@ pub mod lemmas;
 pub mod outofcore;
 pub mod planner;
 pub mod scaling;
+pub mod serve_throughput;
 pub mod table1;
 pub mod table2;
 pub mod table3;

@@ -72,7 +72,7 @@ pub fn run(scale: Scale) -> Vec<Row> {
         sketch: None,
     });
 
-    let mut engine = Engine::new();
+    let engine = Engine::new();
     let meta = engine.stat(&source).expect("stat planner graph");
     let est_mem = planner::est_in_memory_bytes(&meta);
 

@@ -1,0 +1,256 @@
+//! **Serve-throughput experiment** — the PR-4 concurrency story end to
+//! end: N concurrent clients × M repeated query rounds against one
+//! worker-pool server, measuring queries/sec and both cache layers.
+//!
+//! Per case, a fresh [`dsg_engine::Engine`] serves a Unix socket with a
+//! worker pool ([`dsg_engine::ServeOptions`]); `clients` client threads
+//! each issue `repeat` rounds of the same two queries (one per distinct
+//! graph file) over one connection, exactly like
+//! `densest client --repeat M --parallel N`. Afterwards the `stats` op
+//! is parsed (with the same `minijson` parser the server uses) and the
+//! run `assert!`s the two properties the CI smoke step relies on:
+//!
+//! * **single-flight loading** — `loads` equals the number of distinct
+//!   graph files, no matter how many clients raced on them cold;
+//! * **result caching** — at least one repeated identical query was
+//!   replayed from the result cache (`result_hits ≥ 1`; with `repeat`
+//!   rounds per client, every client's rounds after the first are
+//!   guaranteed hits).
+//!
+//! On a single-CPU container the measured q/s does not scale with
+//! workers (the compute is serialized by the hardware; see the PR-1
+//! scaling experiment for the same honesty note) — the table reports
+//! whatever the host gives, while the *correctness* columns
+//! (loads, hit rate) are asserted at every scale.
+
+use std::io::Cursor;
+use std::path::PathBuf;
+
+use dsg_datasets::{flickr_standin, livejournal_standin, Scale};
+use dsg_engine::minijson::{self, Value};
+use dsg_engine::{client_unix, serve_unix, Engine, ResourcePolicy, ServeOptions};
+use dsg_graph::io::write_text;
+
+use crate::table::{fmt_f, Table};
+
+/// One (clients × workers) measurement.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Case label (`clients x workers`).
+    pub case: String,
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Query rounds each client issued.
+    pub repeat: usize,
+    /// Server worker threads.
+    pub workers: usize,
+    /// Total query requests answered.
+    pub queries: u64,
+    /// Wall-clock milliseconds of the whole client phase.
+    pub wall_ms: f64,
+    /// Queries per second.
+    pub qps: f64,
+    /// Graph loads (must equal the number of distinct graph files).
+    pub loads: u64,
+    /// Catalog hits (queries served from an already-loaded graph).
+    pub catalog_hits: u64,
+    /// Result-cache replays.
+    pub result_hits: u64,
+    /// `result_hits / queries`.
+    pub result_hit_rate: f64,
+    /// Concurrent-connection high-water mark the server observed.
+    pub conn_peak: u64,
+}
+
+fn data_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join("dsg_serve_throughput");
+    std::fs::create_dir_all(&dir).expect("cannot create serve-throughput data dir");
+    dir
+}
+
+/// Pulls a numeric field out of a parsed stats response.
+fn stat_u64(fields: &[(String, Value)], key: &str) -> u64 {
+    minijson::get(fields, key)
+        .and_then(Value::as_uint)
+        .unwrap_or_else(|| panic!("stats response missing '{key}'"))
+}
+
+/// Runs the experiment at the given scale.
+pub fn run(scale: Scale) -> Vec<Row> {
+    // Two distinct graph files so "loads == distinct graphs" is a
+    // stronger assertion than "loads == 1".
+    let dir = data_dir();
+    let graphs = [
+        (dir.join("serve_a.txt"), flickr_standin(scale)),
+        (dir.join("serve_b.txt"), livejournal_standin(scale)),
+    ];
+    for (path, list) in &graphs {
+        write_text(path, list).expect("write serve-throughput edge file");
+    }
+    let distinct_graphs = graphs.len() as u64;
+
+    let repeat = 4;
+    let cases: &[(usize, usize)] = &[(1, 1), (2, 2), (4, 4)];
+    let mut rows = Vec::new();
+    for &(clients, workers) in cases {
+        let sock = dir.join(format!("serve_{clients}x{workers}.sock"));
+        let _ = std::fs::remove_file(&sock);
+
+        let engine = Engine::new();
+        let policy = ResourcePolicy::default();
+        let options = ServeOptions {
+            workers,
+            max_connections: 2 * clients.max(1),
+        };
+        let row = std::thread::scope(|s| {
+            let server = {
+                let (engine, sock) = (&engine, sock.clone());
+                s.spawn(move || {
+                    serve_unix(engine, &policy, &sock, &options).expect("serve loop failed")
+                })
+            };
+            for _ in 0..300 {
+                if sock.exists() {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+            assert!(sock.exists(), "server socket never appeared");
+
+            // One round = one query per graph file; each client repeats
+            // the round over a single connection.
+            let round: String = graphs
+                .iter()
+                .enumerate()
+                .map(|(i, (path, _))| {
+                    format!(
+                        "{{\"id\":{i},\"algorithm\":\"approx\",\"file\":\"{}\",\"epsilon\":0.5}}\n",
+                        path.display()
+                    )
+                })
+                .collect();
+            let requests: String = round.repeat(repeat);
+
+            let started = std::time::Instant::now();
+            let exchanged: u64 = std::thread::scope(|cs| {
+                let handles: Vec<_> = (0..clients)
+                    .map(|_| {
+                        let (sock, requests) = (&sock, &requests);
+                        cs.spawn(move || {
+                            let mut out = Vec::new();
+                            let n = client_unix(sock, Cursor::new(requests.clone()), &mut out)
+                                .expect("client failed");
+                            let out = String::from_utf8(out).expect("utf8 response");
+                            for line in out.lines() {
+                                assert!(
+                                    line.contains("\"ok\":true"),
+                                    "query failed under load: {line}"
+                                );
+                            }
+                            n
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum()
+            });
+            let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+            let expected = (clients * repeat * graphs.len()) as u64;
+            assert_eq!(exchanged, expected, "every request must be answered");
+
+            // Read the counters, then shut the server down.
+            let mut out = Vec::new();
+            client_unix(
+                &sock,
+                Cursor::new("{\"op\":\"stats\",\"id\":\"s\"}\n{\"op\":\"shutdown\"}\n".to_string()),
+                &mut out,
+            )
+            .expect("stats client failed");
+            let out = String::from_utf8(out).expect("utf8 stats");
+            let stats_line = out.lines().next().expect("stats response");
+            let fields = minijson::parse_object(stats_line).expect("stats parses");
+            let summary = server.join().expect("server thread panicked");
+            assert!(summary.shutdown, "server must exit via shutdown");
+            assert!(!sock.exists(), "socket file must be removed");
+
+            let loads = stat_u64(&fields, "loads");
+            let catalog_hits = stat_u64(&fields, "hits");
+            let result_hits = stat_u64(&fields, "result_hits");
+            let conn_peak = stat_u64(&fields, "conn_peak");
+            // The two properties this experiment exists to pin down.
+            assert_eq!(
+                loads, distinct_graphs,
+                "single-flight: each distinct graph loads exactly once \
+                 ({clients} clients, {workers} workers)"
+            );
+            assert!(
+                result_hits >= 1,
+                "a repeated identical query must be served from the result cache"
+            );
+            // Every client's rounds after its first are guaranteed hits.
+            let guaranteed = (clients * (repeat - 1) * graphs.len()) as u64;
+            assert!(
+                result_hits >= guaranteed,
+                "expected ≥ {guaranteed} result-cache hits, got {result_hits}"
+            );
+
+            Row {
+                case: format!("{clients}x{workers}"),
+                clients,
+                repeat,
+                workers,
+                queries: expected,
+                wall_ms,
+                qps: if wall_ms > 0.0 {
+                    expected as f64 / (wall_ms / 1e3)
+                } else {
+                    0.0
+                },
+                loads,
+                catalog_hits,
+                result_hits,
+                result_hit_rate: result_hits as f64 / expected as f64,
+                conn_peak,
+            }
+        });
+        rows.push(row);
+    }
+    rows
+}
+
+/// Renders the rows as a paper-style table.
+pub fn to_table(rows: &[Row]) -> Table {
+    let mut t = Table::new(
+        "Serve throughput: concurrent clients vs one worker-pool server (two graph files)",
+        &[
+            "case",
+            "clients",
+            "repeat",
+            "workers",
+            "queries",
+            "wall ms",
+            "q/s",
+            "loads",
+            "cat hits",
+            "res hits",
+            "hit rate",
+            "conn peak",
+        ],
+    );
+    for r in rows {
+        t.push_row(vec![
+            r.case.clone(),
+            r.clients.to_string(),
+            r.repeat.to_string(),
+            r.workers.to_string(),
+            r.queries.to_string(),
+            fmt_f(r.wall_ms, 2),
+            fmt_f(r.qps, 0),
+            r.loads.to_string(),
+            r.catalog_hits.to_string(),
+            r.result_hits.to_string(),
+            fmt_f(r.result_hit_rate, 3),
+            r.conn_peak.to_string(),
+        ]);
+    }
+    t
+}

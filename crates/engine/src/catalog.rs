@@ -1,5 +1,5 @@
 //! The graph catalog: load and fingerprint each graph **once**, serve
-//! many queries from it.
+//! many queries from it — concurrently.
 //!
 //! Every one-shot CLI invocation used to re-read and re-canonicalize the
 //! edge file; the catalog is what makes the long-running serve mode
@@ -11,6 +11,26 @@
 //! entries on every hit; a changed file is transparently reloaded and
 //! re-fingerprinted.
 //!
+//! ## Concurrency model
+//!
+//! The catalog is internally synchronized (`Send + Sync`, every method
+//! takes `&self`) so one instance can serve a pool of worker threads:
+//!
+//! * The entry map sits behind an [`RwLock`]; lookups of already-loaded
+//!   graphs take only the read lock.
+//! * Loads are **single-flight**: each entry owns a [`OnceLock`] cell,
+//!   so when two workers request the same cold graph, exactly one runs
+//!   the load while the other blocks on the cell and then shares the
+//!   result (observable as `loads == 1` in [`CatalogStats`]).
+//! * Callers receive `Arc<CatalogEntry>` snapshots. LRU eviction and
+//!   stale-file replacement only drop the map's reference — a query
+//!   already holding the `Arc` keeps computing on the old snapshot and
+//!   is never invalidated mid-flight.
+//! * Counters are atomics, surfaced by the serve mode's `stats` op.
+//! * A failed load is **not** cached: the slot is removed so the next
+//!   request retries (waiters that shared the failure see the same
+//!   error once).
+//!
 //! [`GraphCatalog::stat`] answers the planner's question — how big is
 //! this graph? — *without* materializing: the binary header or a text
 //! validation scan (O(1) memory), cached per path.
@@ -19,12 +39,15 @@ use std::collections::HashMap;
 use std::fs::File;
 use std::io::{BufRead, BufReader, Read};
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, OnceLock};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
 use std::time::SystemTime;
 
 use dsg_graph::io::{read_binary, read_text, BinaryEdgeReader};
 use dsg_graph::stream::parse_edge_line;
-use dsg_graph::{CsrDirected, CsrUndirected, EdgeList, GraphKind, Result as GraphResult};
+use dsg_graph::{
+    CsrDirected, CsrUndirected, EdgeList, GraphError, GraphKind, Result as GraphResult,
+};
 
 use crate::planner::GraphMeta;
 
@@ -37,6 +60,19 @@ pub struct CatalogEntry {
     pub fingerprint: u64,
     /// Size/weightedness metadata of the loaded graph.
     pub meta: GraphMeta,
+    /// **As-stored** counts of the exact file version this entry was
+    /// loaded from (pre-canonicalization, the same accounting
+    /// [`GraphCatalog::stat`] reports; equals `meta` for memory
+    /// entries). The engine compares this against the meta it planned
+    /// from to detect a file edit racing between stat and load — a
+    /// mismatched plan must not enter the result cache.
+    pub stored_meta: GraphMeta,
+    /// `false` when the file's stamp changed *during* the load (between
+    /// the parse and the fingerprint), so `list` and `fingerprint` may
+    /// describe different file versions: the entry still answers
+    /// queries, but its reports must not enter the result cache.
+    /// Always `true` for memory entries and undisturbed loads.
+    pub cacheable: bool,
     csr_undirected: OnceLock<Arc<CsrUndirected>>,
     csr_directed: OnceLock<Arc<CsrDirected>>,
 }
@@ -54,12 +90,16 @@ impl CatalogEntry {
             list,
             fingerprint,
             meta,
+            stored_meta: meta,
+            cacheable: true,
             csr_undirected: OnceLock::new(),
             csr_directed: OnceLock::new(),
         }
     }
 
     /// The undirected CSR snapshot, built on first use and cached.
+    /// `OnceLock` makes the build single-flight too: concurrent callers
+    /// block until the one builder finishes, then share the `Arc`.
     pub fn csr_undirected(&self) -> Arc<CsrUndirected> {
         self.csr_undirected
             .get_or_init(|| Arc::new(CsrUndirected::from_edge_list(&self.list)))
@@ -90,7 +130,7 @@ struct FileStamp {
 }
 
 fn stamp(path: &Path) -> GraphResult<FileStamp> {
-    let md = std::fs::metadata(path).map_err(dsg_graph::GraphError::Io)?;
+    let md = std::fs::metadata(path).map_err(GraphError::Io)?;
     Ok(FileStamp {
         len: md.len(),
         mtime: md.modified().ok(),
@@ -99,11 +139,11 @@ fn stamp(path: &Path) -> GraphResult<FileStamp> {
 
 /// FNV-1a over the raw file bytes.
 fn fingerprint_file(path: &Path) -> GraphResult<u64> {
-    let mut f = File::open(path).map_err(dsg_graph::GraphError::Io)?;
+    let mut f = File::open(path).map_err(GraphError::Io)?;
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
     let mut buf = [0u8; 64 * 1024];
     loop {
-        let n = f.read(&mut buf).map_err(dsg_graph::GraphError::Io)?;
+        let n = f.read(&mut buf).map_err(GraphError::Io)?;
         if n == 0 {
             break;
         }
@@ -114,48 +154,83 @@ fn fingerprint_file(path: &Path) -> GraphResult<u64> {
     Ok(hash)
 }
 
+/// `GraphError` does not implement `Clone` (it wraps `std::io::Error`),
+/// but a single-flight load's failure is shared by every waiter. This
+/// reconstructs an owned error from the shared one, preserving the
+/// variant (and the `io::ErrorKind`) so callers still match on it.
+fn clone_graph_error(e: &GraphError) -> GraphError {
+    match e {
+        GraphError::NodeOutOfRange { node, num_nodes } => GraphError::NodeOutOfRange {
+            node: *node,
+            num_nodes: *num_nodes,
+        },
+        GraphError::Io(io) => GraphError::Io(std::io::Error::new(io.kind(), io.to_string())),
+        GraphError::Parse { line, msg } => GraphError::Parse {
+            line: *line,
+            msg: msg.clone(),
+        },
+        GraphError::Format(msg) => GraphError::Format(msg.clone()),
+        GraphError::TooLarge { what, value, max } => GraphError::TooLarge {
+            what,
+            value: *value,
+            max: *max,
+        },
+    }
+}
+
 /// Load/hit counters, surfaced by the serve mode's `stats` op and
 /// asserted by the catalog tests.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CatalogStats {
     /// Number of times a file was actually read and canonicalized.
     pub loads: u64,
-    /// Number of queries answered from a cached entry.
+    /// Number of queries answered from a cached entry (including
+    /// waiters that shared a single-flight load).
     pub hits: u64,
     /// Number of meta-only stat scans performed.
     pub stat_scans: u64,
-    /// Number of entries evicted to respect [`GraphCatalog::max_entries`].
+    /// Number of entries evicted to respect [`GraphCatalog::set_max_entries`].
     pub evictions: u64,
 }
 
 /// Default bound on cached graphs (see [`GraphCatalog::set_max_entries`]).
 pub const DEFAULT_MAX_ENTRIES: usize = 32;
 
-/// A cached entry plus its revalidation stamp and LRU clock reading.
-struct Cached {
-    entry: Arc<CatalogEntry>,
+/// One slot of the entry map: the revalidation stamp taken *before* the
+/// load, an LRU clock reading, and the single-flight cell. The cell
+/// holds the load's outcome; `OnceLock` guarantees exactly one caller
+/// runs the initializer while concurrent callers block and share it.
+struct Slot {
     stamp: FileStamp,
-    last_used: u64,
+    last_used: AtomicU64,
+    cell: OnceLock<Result<Arc<CatalogEntry>, Arc<GraphError>>>,
 }
 
-/// The catalog itself. Not thread-safe by design — the engine owns one
-/// and the serve loop is sequential; wrap in a mutex to share.
+/// The catalog itself: internally synchronized, `Send + Sync`, shared by
+/// reference (or `Arc`) across however many worker threads the serve
+/// mode runs.
 pub struct GraphCatalog {
-    entries: HashMap<Key, Cached>,
-    meta_cache: HashMap<Key, (GraphMeta, FileStamp)>,
-    stats: CatalogStats,
-    clock: u64,
-    max_entries: usize,
+    entries: RwLock<HashMap<Key, Arc<Slot>>>,
+    meta_cache: RwLock<HashMap<Key, (GraphMeta, FileStamp)>>,
+    loads: AtomicU64,
+    hits: AtomicU64,
+    stat_scans: AtomicU64,
+    evictions: AtomicU64,
+    clock: AtomicU64,
+    max_entries: AtomicUsize,
 }
 
 impl Default for GraphCatalog {
     fn default() -> Self {
         GraphCatalog {
-            entries: HashMap::new(),
-            meta_cache: HashMap::new(),
-            stats: CatalogStats::default(),
-            clock: 0,
-            max_entries: DEFAULT_MAX_ENTRIES,
+            entries: RwLock::new(HashMap::new()),
+            meta_cache: RwLock::new(HashMap::new()),
+            loads: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            stat_scans: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            clock: AtomicU64::new(0),
+            max_entries: AtomicUsize::new(DEFAULT_MAX_ENTRIES),
         }
     }
 }
@@ -169,55 +244,67 @@ impl GraphCatalog {
     /// Bounds the number of cached graphs: loading beyond the bound
     /// evicts the least-recently-used entry, so a long-running server
     /// queried over many distinct files cannot grow without limit
-    /// (evicted graphs transparently reload on their next query). The
+    /// (evicted graphs transparently reload on their next query, and
+    /// queries already holding an `Arc` snapshot are unaffected). The
     /// bound is clamped to at least 1; the default is
     /// [`DEFAULT_MAX_ENTRIES`].
-    pub fn set_max_entries(&mut self, max_entries: usize) {
-        self.max_entries = max_entries.max(1);
-        while self.entries.len() > self.max_entries {
-            self.evict_lru();
+    pub fn set_max_entries(&self, max_entries: usize) {
+        let bound = max_entries.max(1);
+        self.max_entries.store(bound, Ordering::Relaxed);
+        let mut map = self.entries.write().expect("catalog lock poisoned");
+        while map.len() > bound {
+            self.evict_lru(&mut map);
         }
     }
 
-    fn evict_lru(&mut self) {
-        if let Some(key) = self
-            .entries
+    fn evict_lru(&self, map: &mut HashMap<Key, Arc<Slot>>) {
+        if let Some(key) = map
             .iter()
-            .min_by_key(|(_, c)| c.last_used)
+            .min_by_key(|(_, s)| s.last_used.load(Ordering::Relaxed))
             .map(|(k, _)| k.clone())
         {
-            self.entries.remove(&key);
-            self.stats.evictions += 1;
+            map.remove(&key);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
         }
     }
 
-    /// Counters so far.
+    /// Counters so far (a consistent-enough snapshot of the atomics).
     pub fn stats(&self) -> CatalogStats {
-        self.stats
+        CatalogStats {
+            loads: self.loads.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            stat_scans: self.stat_scans.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
     }
 
     /// Number of distinct graphs currently cached.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.entries.read().expect("catalog lock poisoned").len()
     }
 
     /// Whether no graph is cached.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
     }
 
-    /// Drops every cached entry (counters are kept).
-    pub fn clear(&mut self) {
-        self.entries.clear();
-        self.meta_cache.clear();
+    /// Drops every cached entry (counters are kept). In-flight queries
+    /// holding `Arc` snapshots keep them.
+    pub fn clear(&self) {
+        self.entries.write().expect("catalog lock poisoned").clear();
+        self.meta_cache
+            .write()
+            .expect("catalog lock poisoned")
+            .clear();
     }
 
     /// Returns the cached graph for `(path, binary, kind)`, loading,
     /// canonicalizing, and fingerprinting it on first use — exactly the
     /// sequence the one-shot CLI performed, so results are identical.
-    /// The second return is `true` on a cache hit.
+    /// The second return is `true` on a cache hit (including waiting out
+    /// another thread's in-flight load of the same cold graph).
     pub fn get_or_load(
-        &mut self,
+        &self,
         path: &Path,
         binary: bool,
         kind: GraphKind,
@@ -228,38 +315,77 @@ impl GraphCatalog {
             kind,
         };
         let current = stamp(path)?;
-        self.clock += 1;
-        if let Some(cached) = self.entries.get_mut(&key) {
-            if cached.stamp == current {
-                cached.last_used = self.clock;
-                self.stats.hits += 1;
-                return Ok((cached.entry.clone(), true));
+        let now = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+
+        // Fast path: a slot with a matching stamp under the read lock.
+        let cached = {
+            let map = self.entries.read().expect("catalog lock poisoned");
+            map.get(&key).filter(|s| s.stamp == current).cloned()
+        };
+        let slot = match cached {
+            Some(slot) => slot,
+            None => self.install_slot(&key, current),
+        };
+        slot.last_used.store(now, Ordering::Relaxed);
+
+        // Single-flight: exactly one caller runs the load; concurrent
+        // callers block here and then share the cell's outcome.
+        let mut loaded_here = false;
+        let outcome = slot.cell.get_or_init(|| {
+            loaded_here = true;
+            match load_entry(path, binary, kind, current) {
+                Ok(entry) => {
+                    self.loads.fetch_add(1, Ordering::Relaxed);
+                    Ok(entry)
+                }
+                Err(e) => Err(Arc::new(e)),
+            }
+        });
+        match outcome {
+            Ok(entry) => {
+                if !loaded_here {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok((entry.clone(), !loaded_here))
+            }
+            Err(e) => {
+                // Failed loads are not cached: drop the slot (if it is
+                // still this one) so the next request retries.
+                if loaded_here {
+                    let mut map = self.entries.write().expect("catalog lock poisoned");
+                    if map.get(&key).is_some_and(|s| Arc::ptr_eq(s, &slot)) {
+                        map.remove(&key);
+                    }
+                }
+                Err(clone_graph_error(e))
             }
         }
-        let mut list = if binary {
-            read_binary(path)?
-        } else {
-            read_text(path, kind)?
-        };
-        list.kind = kind;
-        list.canonicalize();
-        let fingerprint = fingerprint_file(path)?;
-        let entry = Arc::new(CatalogEntry::from_list(list, current.len, fingerprint));
-        self.stats.loads += 1;
+    }
+
+    /// Inserts (or adopts) the slot for `key` at stamp `current` under
+    /// the write lock, with the standard double-check: whoever wins the
+    /// race installs one slot and everyone else adopts it, so the
+    /// single-flight cell is shared.
+    fn install_slot(&self, key: &Key, current: FileStamp) -> Arc<Slot> {
+        let mut map = self.entries.write().expect("catalog lock poisoned");
+        if let Some(existing) = map.get(key) {
+            if existing.stamp == current {
+                return existing.clone();
+            }
+        }
+        let fresh = Arc::new(Slot {
+            stamp: current,
+            last_used: AtomicU64::new(self.clock.load(Ordering::Relaxed)),
+            cell: OnceLock::new(),
+        });
         // Replacing a stale entry never needs an eviction; a genuinely
         // new key beyond the bound pushes out the least-recently-used.
-        if !self.entries.contains_key(&key) && self.entries.len() >= self.max_entries {
-            self.evict_lru();
+        // In-flight queries on a replaced/evicted slot keep their Arc.
+        if !map.contains_key(key) && map.len() >= self.max_entries.load(Ordering::Relaxed) {
+            self.evict_lru(&mut map);
         }
-        self.entries.insert(
-            key,
-            Cached {
-                entry: entry.clone(),
-                stamp: current,
-                last_used: self.clock,
-            },
-        );
-        Ok((entry, false))
+        map.insert(key.clone(), fresh.clone());
+        fresh
     }
 
     /// Size metadata for planning, **without** materializing the graph:
@@ -273,7 +399,7 @@ impl GraphCatalog {
     /// count can be smaller; consulting it here would make the same
     /// query plan differently hot vs cold, and serve-mode results could
     /// then diverge from one-shot runs.)
-    pub fn stat(&mut self, path: &Path, binary: bool) -> GraphResult<GraphMeta> {
+    pub fn stat(&self, path: &Path, binary: bool) -> GraphResult<GraphMeta> {
         // Node/edge counts and weightedness do not depend on how the
         // edges will be oriented, so there is no orientation parameter:
         // a directed query after an undirected one (or vice versa) is
@@ -284,12 +410,19 @@ impl GraphCatalog {
             kind: GraphKind::Undirected,
         };
         let current = stamp(path)?;
-        if let Some((meta, cached)) = self.meta_cache.get(&key) {
-            if *cached == current {
-                return Ok(*meta);
+        {
+            let cache = self.meta_cache.read().expect("catalog lock poisoned");
+            if let Some((meta, cached)) = cache.get(&key) {
+                if *cached == current {
+                    return Ok(*meta);
+                }
             }
         }
-        self.stats.stat_scans += 1;
+        // Scans run without any lock held: two threads racing on the
+        // same cold path may both scan (each counted), and the last
+        // insert wins — both computed the same answer from the same
+        // stamped file.
+        self.stat_scans.fetch_add(1, Ordering::Relaxed);
         let meta = if binary {
             let r = BinaryEdgeReader::open(path)?;
             GraphMeta {
@@ -301,26 +434,68 @@ impl GraphCatalog {
         } else {
             scan_text_meta(path, current.len)?
         };
+        let mut cache = self.meta_cache.write().expect("catalog lock poisoned");
         // The meta cache holds a few fixed-size words per key; bound it
         // all the same so a server stat-ing endless distinct paths
         // cannot grow without limit.
-        if self.meta_cache.len() >= 4 * self.max_entries {
-            self.meta_cache.clear();
+        if cache.len() >= 4 * self.max_entries.load(Ordering::Relaxed) {
+            cache.clear();
         }
-        self.meta_cache.insert(key, (meta, current));
+        cache.insert(key, (meta, current));
         Ok(meta)
     }
+}
+
+/// The load sequence: read, orient, canonicalize, fingerprint. Runs at
+/// most once per `(key, stamp)` thanks to the slot's `OnceLock`.
+///
+/// The parse and the fingerprint are two separate reads of the file, so
+/// an edit landing between them would pair one version's edges with the
+/// other version's hash. The stamp is re-taken afterwards to detect
+/// that: a changed stamp marks the entry `cacheable = false`, so it can
+/// still answer queries (some consistent-enough version of the file)
+/// but its reports never enter the result cache under a fingerprint
+/// that may describe different bytes.
+fn load_entry(
+    path: &Path,
+    binary: bool,
+    kind: GraphKind,
+    before: FileStamp,
+) -> GraphResult<Arc<CatalogEntry>> {
+    let mut list = if binary {
+        read_binary(path)?
+    } else {
+        read_text(path, kind)?
+    };
+    // As-stored accounting of exactly the bytes just read — the same
+    // numbers `stat` reports for this file version (`read_text` and
+    // `scan_text_meta` share the `max id + 1` / any-weight rules; the
+    // binary reader takes both from the header).
+    let stored_meta = GraphMeta {
+        nodes: list.num_nodes as u64,
+        edges: list.num_edges() as u64,
+        weighted: list.is_weighted(),
+        file_bytes: before.len,
+    };
+    list.kind = kind;
+    list.canonicalize();
+    let fingerprint = fingerprint_file(path)?;
+    let after = stamp(path)?;
+    let mut entry = CatalogEntry::from_list(list, before.len, fingerprint);
+    entry.stored_meta = stored_meta;
+    entry.cacheable = after == before;
+    Ok(Arc::new(entry))
 }
 
 /// One O(1)-memory pass over a text edge list: node count (`max id + 1`,
 /// the same rule as `read_text`/`open_auto`), edge count, weightedness.
 fn scan_text_meta(path: &Path, file_bytes: u64) -> GraphResult<GraphMeta> {
-    let reader = BufReader::new(File::open(path).map_err(dsg_graph::GraphError::Io)?);
+    let reader = BufReader::new(File::open(path).map_err(GraphError::Io)?);
     let mut max_id = 0u32;
     let mut edges = 0u64;
     let mut weighted = false;
     for (idx, line) in reader.lines().enumerate() {
-        let line = line.map_err(dsg_graph::GraphError::Io)?;
+        let line = line.map_err(GraphError::Io)?;
         if let Some((u, v, w)) = parse_edge_line(&line, idx as u64 + 1)? {
             max_id = max_id.max(u).max(v);
             edges += 1;
@@ -350,7 +525,7 @@ mod tests {
     #[test]
     fn loads_once_and_serves_hits() {
         let path = fixture("hits.txt", "0 1\n1 2\n2 0\n");
-        let mut cat = GraphCatalog::new();
+        let cat = GraphCatalog::new();
         let (a, hit_a) = cat
             .get_or_load(&path, false, GraphKind::Undirected)
             .unwrap();
@@ -369,7 +544,7 @@ mod tests {
     #[test]
     fn orientations_are_distinct_entries() {
         let path = fixture("orient.txt", "0 1\n1 0\n");
-        let mut cat = GraphCatalog::new();
+        let cat = GraphCatalog::new();
         let (und, _) = cat
             .get_or_load(&path, false, GraphKind::Undirected)
             .unwrap();
@@ -383,7 +558,7 @@ mod tests {
     #[test]
     fn changed_file_is_reloaded() {
         let path = fixture("reload.txt", "0 1\n");
-        let mut cat = GraphCatalog::new();
+        let cat = GraphCatalog::new();
         let (a, _) = cat
             .get_or_load(&path, false, GraphKind::Undirected)
             .unwrap();
@@ -406,7 +581,7 @@ mod tests {
         // is loaded, or hot serve plans would diverge from cold one-shot
         // plans.
         let path = fixture("hotcold.txt", "0 1\n1 0\n");
-        let mut cat = GraphCatalog::new();
+        let cat = GraphCatalog::new();
         let cold = cat.stat(&path, false).unwrap();
         assert_eq!(cold.edges, 2);
         let (entry, _) = cat
@@ -419,7 +594,7 @@ mod tests {
 
     #[test]
     fn lru_eviction_bounds_the_catalog() {
-        let mut cat = GraphCatalog::new();
+        let cat = GraphCatalog::new();
         cat.set_max_entries(2);
         let a = fixture("lru_a.txt", "0 1\n");
         let b = fixture("lru_b.txt", "0 1\n1 2\n");
@@ -441,7 +616,7 @@ mod tests {
     #[test]
     fn stat_matches_loaded_meta_without_loading() {
         let path = fixture("stat.txt", "# comment\n0 1\n1 2 2.5\n");
-        let mut cat = GraphCatalog::new();
+        let cat = GraphCatalog::new();
         let meta = cat.stat(&path, false).unwrap();
         assert_eq!(meta.nodes, 3);
         assert_eq!(meta.edges, 2);
@@ -451,5 +626,74 @@ mod tests {
         // A second stat is served from the cache.
         cat.stat(&path, false).unwrap();
         assert_eq!(cat.stats().stat_scans, 1);
+    }
+
+    #[test]
+    fn concurrent_cold_requests_load_exactly_once() {
+        // The single-flight contract: many threads racing on the same
+        // cold graph trigger one load, everyone shares the same Arc.
+        let mut body = String::new();
+        for u in 0..40u32 {
+            for v in (u + 1)..40 {
+                body.push_str(&format!("{u} {v}\n"));
+            }
+        }
+        let path = fixture("singleflight.txt", &body);
+        let cat = GraphCatalog::new();
+        let threads = 8;
+        let barrier = std::sync::Barrier::new(threads);
+        let entries: Vec<Arc<CatalogEntry>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    s.spawn(|| {
+                        barrier.wait();
+                        cat.get_or_load(&path, false, GraphKind::Undirected)
+                            .unwrap()
+                            .0
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(cat.stats().loads, 1, "single-flight: exactly one load");
+        assert_eq!(cat.stats().hits, threads as u64 - 1);
+        for e in &entries[1..] {
+            assert!(Arc::ptr_eq(&entries[0], e), "one shared snapshot");
+        }
+    }
+
+    #[test]
+    fn failed_loads_are_not_cached_and_are_retried() {
+        let path = fixture("badload.txt", "0 1\nnot an edge\n");
+        let cat = GraphCatalog::new();
+        let err = match cat.get_or_load(&path, false, GraphKind::Undirected) {
+            Err(e) => e,
+            Ok(_) => panic!("loading a malformed file must fail"),
+        };
+        assert!(matches!(err, GraphError::Parse { .. }), "{err}");
+        assert_eq!(cat.len(), 0, "failed slots are dropped");
+        // Fixing the file makes the next request succeed.
+        std::fs::write(&path, "0 1\n1 2\n").unwrap();
+        let (entry, hit) = cat
+            .get_or_load(&path, false, GraphKind::Undirected)
+            .unwrap();
+        assert!(!hit);
+        assert_eq!(entry.list.num_edges(), 2);
+    }
+
+    #[test]
+    fn eviction_never_invalidates_a_held_snapshot() {
+        let cat = GraphCatalog::new();
+        cat.set_max_entries(1);
+        let a = fixture("held_a.txt", "0 1\n1 2\n");
+        let b = fixture("held_b.txt", "0 1\n");
+        let (held, _) = cat.get_or_load(&a, false, GraphKind::Undirected).unwrap();
+        let csr = held.csr_undirected();
+        // Loading `b` evicts `a` from the map...
+        cat.get_or_load(&b, false, GraphKind::Undirected).unwrap();
+        assert_eq!(cat.stats().evictions, 1);
+        // ...but the held snapshot (and its CSR) is untouched.
+        assert_eq!(held.list.num_edges(), 2);
+        assert_eq!(csr.num_nodes(), 3);
     }
 }

@@ -6,13 +6,29 @@
 //! pre-engine CLI called for that combination, so results (density,
 //! node set, passes) are byte-identical to direct API calls — the
 //! parity suite in `tests/engine.rs` asserts it for every algorithm.
+//!
+//! The engine is **shareable**: every method takes `&self`, the graph
+//! catalog and the result cache are internally synchronized, and
+//! `Engine: Send + Sync`, so the serve mode's worker pool executes
+//! queries from many connections against one engine concurrently.
+//! Two caches sit in front of the compute path:
+//!
+//! 1. the [`GraphCatalog`] (one single-flight load per graph file), and
+//! 2. the [`ResultCache`] (completed reports keyed by
+//!    `(file fingerprint, canonical query, effective policy)`), which
+//!    replays repeated materialized queries without recomputing —
+//!    byte-identically, minus `elapsed_ms`.
+//!
+//! Streamed (out-of-core) runs and memory sources bypass the result
+//! cache: the former exist because memory is scarce, the latter have no
+//! file fingerprint to key on.
 
 use std::time::Instant;
 
 use dsg_core::enumerate::EnumerateOptions;
 use dsg_core::result::streaming_state_bytes;
 use dsg_graph::stream::{BinaryFileStream, EdgeStream, MemoryStream, TextFileStream};
-use dsg_graph::{EdgeList, GraphKind};
+use dsg_graph::EdgeList;
 use dsg_mapreduce::{mr_densest_undirected, MapReduceConfig, MrUndirectedResult};
 use dsg_sketch::{approx_densest_sketched, try_approx_densest_sketched, SketchParams};
 
@@ -21,34 +37,38 @@ use crate::error::{EngineError, Result};
 use crate::planner::{self, Backend, GraphMeta, Plan};
 use crate::query::{Algorithm, Query, ResourcePolicy, Source};
 use crate::report::{Outcome, Report, ShuffleStats};
+use crate::result_cache::{CacheKey, ResultCache};
 
-/// The query engine: a [`GraphCatalog`] plus the plan → execute
-/// pipeline. Create one and feed it queries; repeated queries over the
-/// same file hit the catalog instead of reloading.
+/// The query engine: a [`GraphCatalog`] plus a [`ResultCache`] plus the
+/// plan → execute pipeline. Create one (or share one across threads —
+/// all methods take `&self`) and feed it queries; repeated queries over
+/// the same file hit the catalog instead of reloading, and repeated
+/// identical queries hit the result cache instead of recomputing.
 #[derive(Default)]
 pub struct Engine {
     catalog: GraphCatalog,
+    results: ResultCache,
 }
 
 impl Engine {
-    /// An engine with an empty catalog.
+    /// An engine with an empty catalog and a default-budget result cache.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Read access to the catalog (load/hit counters, size).
+    /// Read access to the catalog (load/hit counters, size, bounds).
     pub fn catalog(&self) -> &GraphCatalog {
         &self.catalog
     }
 
-    /// Mutable access to the catalog (eviction, pre-warming).
-    pub fn catalog_mut(&mut self) -> &mut GraphCatalog {
-        &mut self.catalog
+    /// Read access to the result cache (counters, budget).
+    pub fn results(&self) -> &ResultCache {
+        &self.results
     }
 
     /// Size metadata of a source, without materializing file sources.
     /// (Counts are orientation-independent, so no algorithm is needed.)
-    pub fn stat(&mut self, source: &Source) -> Result<GraphMeta> {
+    pub fn stat(&self, source: &Source) -> Result<GraphMeta> {
         match source {
             Source::File { path, binary, .. } => Ok(self.catalog.stat(path, *binary)?),
             Source::Memory { list, .. } => Ok(GraphMeta {
@@ -61,12 +81,7 @@ impl Engine {
     }
 
     /// Plans `query` over `source` under `policy` without executing.
-    pub fn plan(
-        &mut self,
-        source: &Source,
-        query: &Query,
-        policy: &ResourcePolicy,
-    ) -> Result<Plan> {
+    pub fn plan(&self, source: &Source, query: &Query, policy: &ResourcePolicy) -> Result<Plan> {
         let meta = self.stat(source)?;
         planner::plan(query, &meta, policy)
     }
@@ -80,9 +95,13 @@ impl Engine {
     /// is cached by `(length, mtime)` stamp and the load by the
     /// catalog — so the long-running serve mode amortizes them to zero;
     /// a one-shot CLI run pays one extra sequential read in exchange
-    /// for a budget-aware plan.
+    /// for a budget-aware plan. A repeated materialized query over an
+    /// unchanged file additionally skips the computation entirely: the
+    /// result cache replays the stored report (byte-identical minus
+    /// `elapsed_ms`), still re-stamping the file so an edit is never
+    /// served stale.
     pub fn execute(
-        &mut self,
+        &self,
         source: &Source,
         query: &Query,
         policy: &ResourcePolicy,
@@ -97,38 +116,69 @@ impl Engine {
             Backend::Streamed | Backend::Sketched { streamed: true, .. } => {
                 self.run_streamed(source, query, &plan, &mut exec)?
             }
-            _ => self.run_materialized(source, query, &plan, kind, &mut exec)?,
+            _ => {
+                // Materialized path: fetch the graph through the catalog
+                // (one single-flight load, many hits) and consult the
+                // result cache before computing anything.
+                let (entry, cache_key) = match source {
+                    Source::File { path, binary, .. } => {
+                        let (entry, hit) = self.catalog.get_or_load(path, *binary, kind)?;
+                        exec.cache_hit = Some(hit);
+                        let key = CacheKey::new(entry.fingerprint, kind, query, policy);
+                        if let Some(mut replay) = self.results.lookup(&key, &source.label()) {
+                            replay.cache_hit = Some(hit);
+                            replay.elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+                            return Ok(replay);
+                        }
+                        (entry, Some(key))
+                    }
+                    // Memory sources bypass the catalog and the result
+                    // cache: the caller already holds the list, and
+                    // there is no file fingerprint to key on.
+                    Source::Memory { list, .. } => {
+                        let mut list = list.clone();
+                        list.kind = kind;
+                        list.canonicalize();
+                        (
+                            std::sync::Arc::new(CatalogEntry::from_list(list, 0, 0)),
+                            None,
+                        )
+                    }
+                };
+                let outcome = self.run_on_entry(&entry, query, &plan, &mut exec)?;
+                exec.result_cache_hit = cache_key.is_some().then_some(false);
+                if let Some(key) = cache_key {
+                    let report =
+                        assemble_report(source, query, policy, &plan, outcome, exec, started);
+                    // Guard against file edits racing the pipeline: if
+                    // the edit landed between stat and load, `plan` was
+                    // computed from the old version's counts while
+                    // `key` fingerprints the new bytes (stored_meta
+                    // mismatch); if it landed *inside* the load, the
+                    // entry's edges and fingerprint may describe
+                    // different versions (`!cacheable`). Caching either
+                    // pair would make hot serve results persistently
+                    // diverge from cold one-shot runs of the same file.
+                    // The report is still returned (the race was always
+                    // possible, transiently); it just must not be
+                    // replayed.
+                    if entry.cacheable && meta == entry.stored_meta {
+                        self.results.insert(key, &report);
+                    }
+                    return Ok(report);
+                }
+                outcome
+            }
         };
-
-        let threads = match plan.backend {
-            Backend::Streamed | Backend::Sketched { streamed: true, .. } => 1,
-            Backend::ParallelCsr { threads } => threads,
-            Backend::MapReduce { workers, .. } => workers,
-            Backend::InMemorySerial
-            | Backend::Sketched {
-                streamed: false, ..
-            } => policy.threads,
-        };
-        Ok(Report {
-            query: *query,
-            source_label: source.label(),
-            graph_nodes: exec.graph_nodes,
-            graph_edges: exec.graph_edges,
-            plan,
-            outcome,
-            threads,
-            sketch_words: exec.sketch_words,
-            state_bytes: exec.state_bytes,
-            shuffle: exec.shuffle,
-            cache_hit: exec.cache_hit,
-            elapsed_ms: started.elapsed().as_secs_f64() * 1e3,
-        })
+        Ok(assemble_report(
+            source, query, policy, &plan, outcome, exec, started,
+        ))
     }
 
     /// Out-of-core path: run straight over the source's edge stream,
     /// never materializing the edge list.
     fn run_streamed(
-        &mut self,
+        &self,
         source: &Source,
         query: &Query,
         plan: &Plan,
@@ -194,32 +244,16 @@ impl Engine {
         }
     }
 
-    /// Materialized path: fetch the graph through the catalog (one load,
-    /// many hits) and dispatch on the planned backend.
-    fn run_materialized(
-        &mut self,
-        source: &Source,
+    /// Dispatches a materialized run over an already-acquired catalog
+    /// entry (or a temporary entry for memory sources) on the planned
+    /// backend.
+    fn run_on_entry(
+        &self,
+        entry: &CatalogEntry,
         query: &Query,
         plan: &Plan,
-        kind: GraphKind,
         exec: &mut Execution,
     ) -> Result<Outcome> {
-        // Memory sources bypass the catalog: the caller already holds the
-        // list, caching it would only duplicate it.
-        let owned = match source {
-            Source::File { path, binary, .. } => {
-                let (entry, hit) = self.catalog.get_or_load(path, *binary, kind)?;
-                exec.cache_hit = Some(hit);
-                entry
-            }
-            Source::Memory { list, .. } => {
-                let mut list = list.clone();
-                list.kind = kind;
-                list.canonicalize();
-                std::sync::Arc::new(CatalogEntry::from_list(list, 0, 0))
-            }
-        };
-        let entry: &CatalogEntry = &owned;
         let list = &entry.list;
         exec.graph_nodes = list.num_nodes as u64;
         exec.graph_edges = list.num_edges() as u64;
@@ -323,6 +357,43 @@ impl Engine {
     }
 }
 
+/// Builds the final [`Report`] from the executed plan and accounting.
+#[allow(clippy::too_many_arguments)]
+fn assemble_report(
+    source: &Source,
+    query: &Query,
+    policy: &ResourcePolicy,
+    plan: &Plan,
+    outcome: Outcome,
+    exec: Execution,
+    started: Instant,
+) -> Report {
+    let threads = match plan.backend {
+        Backend::Streamed | Backend::Sketched { streamed: true, .. } => 1,
+        Backend::ParallelCsr { threads } => threads,
+        Backend::MapReduce { workers, .. } => workers,
+        Backend::InMemorySerial
+        | Backend::Sketched {
+            streamed: false, ..
+        } => policy.threads,
+    };
+    Report {
+        query: *query,
+        source_label: source.label(),
+        graph_nodes: exec.graph_nodes,
+        graph_edges: exec.graph_edges,
+        plan: plan.clone(),
+        outcome,
+        threads,
+        sketch_words: exec.sketch_words,
+        state_bytes: exec.state_bytes,
+        shuffle: exec.shuffle,
+        cache_hit: exec.cache_hit,
+        result_cache_hit: exec.result_cache_hit,
+        elapsed_ms: started.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
 /// Per-execution accounting threaded through the dispatch helpers.
 #[derive(Default)]
 struct Execution {
@@ -332,6 +403,7 @@ struct Execution {
     state_bytes: Option<u64>,
     shuffle: Option<ShuffleStats>,
     cache_hit: Option<bool>,
+    result_cache_hit: Option<bool>,
 }
 
 /// Splits a canonical edge list into `parts` contiguous chunks — the
@@ -355,4 +427,37 @@ fn shuffle_stats(result: &MrUndirectedResult) -> ShuffleStats {
         s.spill_runs += report.rounds.spill_runs;
     }
     s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The whole point of this PR: one engine shared across a worker
+    // pool. Compile-time proof it is thread-safe.
+    const _: fn() = || {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Engine>();
+    };
+
+    #[test]
+    fn plan_field_of_report_matches_planner() {
+        let engine = Engine::new();
+        let source = Source::Memory {
+            list: dsg_graph::gen::clique(6),
+            label: "k6".into(),
+        };
+        let query = Query::new(Algorithm::Approx {
+            epsilon: 0.5,
+            sketch: None,
+        });
+        let policy = ResourcePolicy::default();
+        let plan = engine.plan(&source, &query, &policy).unwrap();
+        let report = engine.execute(&source, &query, &policy).unwrap();
+        assert_eq!(report.plan, plan);
+        assert_eq!(
+            report.result_cache_hit, None,
+            "memory sources bypass the result cache"
+        );
+    }
 }

@@ -18,10 +18,17 @@
 //!   `tests/engine.rs`), and returns one unified [`Report`] (density,
 //!   node set, passes, state/shuffle bytes, the plan taken).
 //! * [`GraphCatalog`] — loads, canonicalizes, and fingerprints each
-//!   graph once; repeated queries hit the cache.
+//!   graph once; repeated queries hit the cache. Internally
+//!   synchronized with single-flight loads, so a worker pool sharing
+//!   one catalog still loads each cold graph exactly once.
+//! * [`ResultCache`] — completed [`Report`]s keyed by
+//!   `(file fingerprint, canonical query, effective policy)` with
+//!   byte-budgeted LRU eviction; repeated identical queries replay
+//!   byte-identically (minus `elapsed_ms`) without recomputing.
 //! * [`serve`] — a long-running JSONL request/response loop over
-//!   stdin/stdout or a Unix socket, so heavy query traffic amortizes
-//!   graph loading across requests.
+//!   stdin/stdout or a Unix socket. Socket mode runs an accept thread
+//!   plus a bounded worker pool so many clients are served
+//!   concurrently against one shared engine.
 //!
 //! ```
 //! use dsg_engine::{Algorithm, Engine, Query, ResourcePolicy, Source};
@@ -50,6 +57,7 @@ pub mod minijson;
 pub mod planner;
 pub mod query;
 pub mod report;
+pub mod result_cache;
 pub mod serve;
 
 pub use catalog::{CatalogEntry, CatalogStats, GraphCatalog};
@@ -58,6 +66,7 @@ pub use error::{EngineError, Result};
 pub use planner::{Backend, GraphMeta, Plan, ShuffleChoice};
 pub use query::{Algorithm, BackendRequest, Query, ResourcePolicy, Source};
 pub use report::{JsonBuilder, Outcome, Report, ShuffleStats};
+pub use result_cache::{ResultCache, ResultCacheStats};
 #[cfg(unix)]
 pub use serve::{client_unix, serve_unix};
-pub use serve::{serve_loop, serve_stdio, ServeSummary};
+pub use serve::{serve_loop, serve_stdio, ServeMetrics, ServeOptions, ServeSummary};

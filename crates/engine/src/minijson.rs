@@ -2,7 +2,28 @@
 //! one **flat** JSON object per line, with string / number / boolean /
 //! null values. Nested containers are rejected by design — the request
 //! schema is flat, and keeping the grammar small keeps the parser
-//! honest (every error is a message naming the position).
+//! honest: every failure is a typed [`JsonError`] naming the byte
+//! position, never a panic (the property suite in
+//! `crates/engine/tests/minijson_props.rs` fuzzes that contract), and
+//! because containers cannot nest the parser has no recursion at all —
+//! arbitrarily deep input cannot overflow the stack.
+
+/// A parse failure: what went wrong and where.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the input at which the failure was detected.
+    pub pos: usize,
+    /// What the parser expected or rejected.
+    pub msg: String,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad JSON at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for JsonError {}
 
 /// A parsed JSON scalar.
 #[derive(Clone, Debug, PartialEq)]
@@ -67,7 +88,7 @@ impl Value {
 
 /// Parses one flat JSON object into `(key, value)` pairs in document
 /// order. Duplicate keys are kept (last one wins at lookup).
-pub fn parse_object(input: &str) -> Result<Vec<(String, Value)>, String> {
+pub fn parse_object(input: &str) -> Result<Vec<(String, Value)>, JsonError> {
     let mut p = Parser {
         bytes: input.as_bytes(),
         pos: 0,
@@ -113,8 +134,8 @@ struct Parser<'a> {
 }
 
 impl<'a> Parser<'a> {
-    fn err_at(&self, msg: String) -> String {
-        format!("bad JSON at byte {}: {msg}", self.pos)
+    fn err_at(&self, msg: String) -> JsonError {
+        JsonError { pos: self.pos, msg }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -129,7 +150,7 @@ impl<'a> Parser<'a> {
         b
     }
 
-    fn expect(&mut self, want: u8) -> Result<(), String> {
+    fn expect(&mut self, want: u8) -> Result<(), JsonError> {
         match self.next() {
             Some(b) if b == want => Ok(()),
             other => Err(self.err_at(format!("expected '{}', got {other:?}", want as char))),
@@ -142,7 +163,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn parse_value(&mut self) -> Result<Value, String> {
+    fn parse_value(&mut self) -> Result<Value, JsonError> {
         match self.peek() {
             Some(b'"') => Ok(Value::Str(self.parse_string()?)),
             Some(b't') => self.parse_lit("true", Value::Bool(true)),
@@ -156,7 +177,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn parse_lit(&mut self, lit: &str, value: Value) -> Result<Value, String> {
+    fn parse_lit(&mut self, lit: &str, value: Value) -> Result<Value, JsonError> {
         if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
             self.pos += lit.len();
             Ok(value)
@@ -165,7 +186,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn parse_number(&mut self) -> Result<Value, String> {
+    fn parse_number(&mut self) -> Result<Value, JsonError> {
         let start = self.pos;
         while matches!(
             self.peek(),
@@ -173,7 +194,8 @@ impl<'a> Parser<'a> {
         ) {
             self.pos += 1;
         }
-        let raw = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| self.err_at(e.to_string()))?;
         let n: f64 = raw
             .parse()
             .map_err(|_| self.err_at(format!("bad number '{raw}'")))?;
@@ -183,7 +205,7 @@ impl<'a> Parser<'a> {
         Ok(Value::Num(n))
     }
 
-    fn parse_string(&mut self) -> Result<String, String> {
+    fn parse_string(&mut self) -> Result<String, JsonError> {
         self.expect(b'"')?;
         let mut out = String::new();
         loop {
@@ -204,7 +226,7 @@ impl<'a> Parser<'a> {
                             return Err(self.err_at("truncated \\u escape".into()));
                         }
                         let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
-                            .map_err(|e| e.to_string())?;
+                            .map_err(|e| self.err_at(e.to_string()))?;
                         let code = u32::from_str_radix(hex, 16)
                             .map_err(|_| self.err_at(format!("bad \\u escape '{hex}'")))?;
                         self.pos += 4;
@@ -224,8 +246,11 @@ impl<'a> Parser<'a> {
                         out.push(b as char);
                     } else {
                         let s = std::str::from_utf8(&self.bytes[self.pos - 1..])
-                            .map_err(|e| e.to_string())?;
-                        let c = s.chars().next().ok_or("empty char")?;
+                            .map_err(|e| self.err_at(e.to_string()))?;
+                        let c = s
+                            .chars()
+                            .next()
+                            .ok_or_else(|| self.err_at("empty char".into()))?;
                         out.push(c);
                         self.pos += c.len_utf8() - 1;
                     }

@@ -97,7 +97,9 @@ impl Algorithm {
 
 /// An explicit backend request, bypassing the planner's choice (the
 /// planner still validates it against the algorithm's capabilities).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// `Hash` because the request is part of the result cache's canonical
+/// query key.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum BackendRequest {
     /// Force the in-memory path (serial, or parallel if the policy has
     /// more than one thread and the algorithm parallelizes).

@@ -76,6 +76,11 @@ pub struct Report {
     /// `Some(false)` on a fresh load, `None` when no materialized graph
     /// was involved (streamed runs, memory sources).
     pub cache_hit: Option<bool>,
+    /// `Some(true)` when the whole report was replayed from the result
+    /// cache, `Some(false)` on a computed (and now cached) run, `None`
+    /// for runs the result cache does not cover (streamed runs, memory
+    /// sources).
+    pub result_cache_hit: Option<bool>,
     /// Wall-clock milliseconds of planning + execution.
     pub elapsed_ms: f64,
 }

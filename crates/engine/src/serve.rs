@@ -3,9 +3,28 @@
 //!
 //! Repeated queries against the same file are answered from the
 //! engine's [`crate::GraphCatalog`] — the graph is loaded and
-//! canonicalized once, then every further query is a cache hit (the
-//! `loads` counter in each response makes that observable, and the CI
-//! smoke test asserts it).
+//! canonicalized once (single-flight even under concurrency), then
+//! every further query is a cache hit — and repeated *identical*
+//! queries are replayed from the engine's [`crate::ResultCache`]
+//! without recomputing (the `loads` / `result_cache_hit` counters in
+//! each response make both observable, and the CI smoke tests assert
+//! them).
+//!
+//! ## Concurrency
+//!
+//! Socket mode runs an **accept thread plus a bounded worker pool**
+//! ([`ServeOptions`]): accepted connections are handed to `workers`
+//! worker threads over a bounded channel of `max_connections` pending
+//! connections — when every worker is busy and the queue is full, the
+//! accept thread itself blocks, which is the backpressure (clients
+//! queue in the socket backlog instead of overwhelming the server).
+//! All workers share one [`Engine`] (`&Engine` — the engine is
+//! internally synchronized). A `shutdown` op stops the accept thread,
+//! drains in-flight queries (each worker finishes the request it is
+//! executing and writes its response), closes idle connections, and
+//! removes the socket file. The socket file is removed by an RAII
+//! guard, so it disappears even when the serve loop exits through an
+//! error path or a panic.
 //!
 //! ## Protocol
 //!
@@ -30,8 +49,15 @@
 //! so serve-mode results are byte-comparable to one-shot runs:
 //!
 //! ```text
-//! {"id":1,"ok":true,"result":{"algorithm":"approx",...},"cache_hit":1,"loads":1,"elapsed_ms":0.3}
+//! {"id":1,"ok":true,"result":{...},"cache_hit":1,"result_cache_hit":0,"loads":1,"elapsed_ms":0.3}
 //! ```
+//!
+//! The `stats` op reports the catalog counters (`loads`, `hits`,
+//! `stat_scans`, `evictions`, `graphs`), the result-cache counters
+//! (`result_hits`, `result_misses`, `result_insertions`,
+//! `result_evictions`, `result_entries`, `result_bytes`), and the
+//! connection accounting (`conn_active`, `conn_peak` — the
+//! concurrent-connection high-water mark).
 //!
 //! Errors never kill the loop: `{"id":…,"ok":false,"error":"…"}` and the
 //! next line is read. The loop ends cleanly on EOF (stdin mode: client
@@ -40,6 +66,7 @@
 
 use std::io::{BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use dsg_flow::FlowBackend;
 
@@ -47,6 +74,87 @@ use crate::engine::Engine;
 use crate::minijson::{self, Value};
 use crate::query::{Algorithm, BackendRequest, Query, ResourcePolicy, Source};
 use crate::report::JsonBuilder;
+
+/// Worker-pool sizing of the socket serve mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServeOptions {
+    /// Worker threads serving connections concurrently (clamped ≥ 1).
+    pub workers: usize,
+    /// Bound of the pending-connection queue between the accept thread
+    /// and the workers (clamped ≥ 1). A full queue blocks the accept
+    /// thread — that is the backpressure.
+    pub max_connections: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            workers: 4,
+            max_connections: 64,
+        }
+    }
+}
+
+/// Shared serve-side accounting: request counters, the shutdown latch,
+/// and the concurrent-connection high-water mark. One instance is
+/// shared by every worker of a [`serve_unix`] run and surfaced by the
+/// `stats` op.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    queries: AtomicU64,
+    errors: AtomicU64,
+    shutdown: AtomicBool,
+    active_connections: AtomicU64,
+    peak_connections: AtomicU64,
+    total_connections: AtomicU64,
+}
+
+impl ServeMetrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether a `shutdown` op has been received.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Latches the shutdown flag (it is never cleared).
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Concurrent connections being served right now.
+    pub fn active_connections(&self) -> u64 {
+        self.active_connections.load(Ordering::Relaxed)
+    }
+
+    /// The concurrent-connection high-water mark.
+    pub fn peak_connections(&self) -> u64 {
+        self.peak_connections.load(Ordering::Relaxed)
+    }
+
+    fn connection_opened(&self) {
+        self.total_connections.fetch_add(1, Ordering::Relaxed);
+        let now = self.active_connections.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak_connections.fetch_max(now, Ordering::Relaxed);
+    }
+
+    fn connection_closed(&self) {
+        self.active_connections.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    fn summary(&self) -> ServeSummary {
+        ServeSummary {
+            queries: self.queries.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            shutdown: self.shutdown_requested(),
+            connections: self.total_connections.load(Ordering::Relaxed),
+            peak_connections: self.peak_connections(),
+        }
+    }
+}
 
 /// What a serve loop did, for logging and tests.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -57,24 +165,34 @@ pub struct ServeSummary {
     pub errors: u64,
     /// Whether a `shutdown` op ended the loop (vs EOF).
     pub shutdown: bool,
+    /// Connections served (1 for the stdio mode).
+    pub connections: u64,
+    /// Most connections served concurrently at any instant.
+    pub peak_connections: u64,
 }
 
 /// Runs the JSONL loop over arbitrary reader/writer pairs until EOF or a
-/// `shutdown` op. This is the whole serve mode; the stdio and socket
-/// entry points below only supply the transport.
+/// `shutdown` op, updating `metrics` as it goes. This is the stdio serve
+/// mode and the per-connection protocol of the socket mode (which adds
+/// shutdown-aware reads on top — see `serve_connection`).
 pub fn serve_loop<R: BufRead, W: Write>(
-    engine: &mut Engine,
+    engine: &Engine,
     default_policy: &ResourcePolicy,
     reader: R,
     writer: &mut W,
+    metrics: &ServeMetrics,
 ) -> std::io::Result<ServeSummary> {
-    let mut summary = ServeSummary::default();
+    let mut summary = ServeSummary {
+        connections: 1,
+        peak_connections: 1,
+        ..ServeSummary::default()
+    };
     for line in reader.lines() {
         let line = line?;
         if line.trim().is_empty() {
             continue;
         }
-        let (response, outcome) = handle_line(engine, default_policy, &line);
+        let (response, outcome) = handle_line(engine, default_policy, metrics, &line);
         writer.write_all(response.as_bytes())?;
         writer.write_all(b"\n")?;
         writer.flush()?;
@@ -101,14 +219,20 @@ enum LineOutcome {
 }
 
 /// Handles one request line; returns the response and its disposition.
+/// Also updates the shared metrics (so concurrent workers aggregate
+/// into one set of counters).
 fn handle_line(
-    engine: &mut Engine,
+    engine: &Engine,
     default_policy: &ResourcePolicy,
+    metrics: &ServeMetrics,
     line: &str,
 ) -> (String, LineOutcome) {
     let fields = match minijson::parse_object(line) {
         Ok(f) => f,
-        Err(e) => return (error_response("null", &e), LineOutcome::Error),
+        Err(e) => {
+            metrics.errors.fetch_add(1, Ordering::Relaxed);
+            return (error_response("null", &e.to_string()), LineOutcome::Error);
+        }
     };
     let id = minijson::get(&fields, "id").map_or("null".to_string(), Value::to_json);
     let op = minijson::get(&fields, "op")
@@ -116,6 +240,7 @@ fn handle_line(
         .unwrap_or("query");
     match op {
         "shutdown" => {
+            metrics.request_shutdown();
             let mut j = JsonBuilder::new();
             j.raw_field("id", &id);
             j.raw_field("ok", "true");
@@ -124,6 +249,7 @@ fn handle_line(
         }
         "stats" => {
             let stats = engine.catalog().stats();
+            let results = engine.results().stats();
             let mut j = JsonBuilder::new();
             j.raw_field("id", &id);
             j.raw_field("ok", "true");
@@ -132,10 +258,19 @@ fn handle_line(
             j.num_field("stat_scans", stats.stat_scans as f64);
             j.num_field("evictions", stats.evictions as f64);
             j.num_field("graphs", engine.catalog().len() as f64);
+            j.num_field("result_hits", results.hits as f64);
+            j.num_field("result_misses", results.misses as f64);
+            j.num_field("result_insertions", results.insertions as f64);
+            j.num_field("result_evictions", results.evictions as f64);
+            j.num_field("result_entries", results.entries as f64);
+            j.num_field("result_bytes", results.bytes as f64);
+            j.num_field("conn_active", metrics.active_connections() as f64);
+            j.num_field("conn_peak", metrics.peak_connections() as f64);
             (j.finish(), LineOutcome::OpOk)
         }
         "query" => match run_query(engine, default_policy, &fields) {
             Ok(response_body) => {
+                metrics.queries.fetch_add(1, Ordering::Relaxed);
                 let mut j = JsonBuilder::new();
                 j.raw_field("id", &id);
                 j.raw_field("ok", "true");
@@ -143,16 +278,25 @@ fn handle_line(
                 if let Some(hit) = response_body.cache_hit {
                     j.num_field("cache_hit", if hit { 1.0 } else { 0.0 });
                 }
+                if let Some(hit) = response_body.result_cache_hit {
+                    j.num_field("result_cache_hit", if hit { 1.0 } else { 0.0 });
+                }
                 j.num_field("loads", response_body.loads as f64);
                 j.num_field("elapsed_ms", response_body.elapsed_ms);
                 (j.finish(), LineOutcome::QueryOk)
             }
-            Err(e) => (error_response(&id, &e), LineOutcome::Error),
+            Err(e) => {
+                metrics.errors.fetch_add(1, Ordering::Relaxed);
+                (error_response(&id, &e), LineOutcome::Error)
+            }
         },
-        other => (
-            error_response(&id, &format!("unknown op '{other}'")),
-            LineOutcome::Error,
-        ),
+        other => {
+            metrics.errors.fetch_add(1, Ordering::Relaxed);
+            (
+                error_response(&id, &format!("unknown op '{other}'")),
+                LineOutcome::Error,
+            )
+        }
     }
 }
 
@@ -167,13 +311,14 @@ fn error_response(id: &str, message: &str) -> String {
 struct QueryResponse {
     result: String,
     cache_hit: Option<bool>,
+    result_cache_hit: Option<bool>,
     loads: u64,
     elapsed_ms: f64,
 }
 
 /// Decodes a query request, executes it, renders the nested result.
 fn run_query(
-    engine: &mut Engine,
+    engine: &Engine,
     default_policy: &ResourcePolicy,
     fields: &[(String, Value)],
 ) -> Result<QueryResponse, String> {
@@ -262,59 +407,267 @@ fn run_query(
     Ok(QueryResponse {
         result: report.json_object(false),
         cache_hit: report.cache_hit,
+        result_cache_hit: report.result_cache_hit,
         loads: engine.catalog().stats().loads,
         elapsed_ms: report.elapsed_ms,
     })
 }
 
 /// Serves the JSONL loop over stdin/stdout until EOF or `shutdown`.
-pub fn serve_stdio(engine: &mut Engine, policy: &ResourcePolicy) -> std::io::Result<ServeSummary> {
+/// Inherently one connection; [`ServeOptions`] does not apply.
+pub fn serve_stdio(engine: &Engine, policy: &ResourcePolicy) -> std::io::Result<ServeSummary> {
     let stdin = std::io::stdin();
     let mut stdout = std::io::stdout().lock();
-    serve_loop(engine, policy, stdin.lock(), &mut stdout)
+    let metrics = ServeMetrics::new();
+    serve_loop(engine, policy, stdin.lock(), &mut stdout, &metrics)
 }
 
-/// Serves the JSONL loop on a Unix socket: connections are accepted
-/// sequentially and each runs the loop until its EOF; a `shutdown` op
-/// stops the whole server. A connection that fails mid-session — abrupt
-/// disconnect, a client that stops reading (EPIPE) — ends **that
-/// connection only**: the error is absorbed, its partial counts are
-/// dropped, and the server keeps accepting. Only bind/accept failures
-/// take the server down. A stale socket file at `path` is replaced; the
-/// socket file is removed on clean shutdown.
+/// Removes the socket file when dropped — including drops caused by an
+/// error return or a panic unwinding through [`serve_unix`], so a
+/// crashed server never leaves a stale socket behind (the regression
+/// test for the error path exercises exactly this drop-on-unwind).
+struct SocketGuard {
+    path: PathBuf,
+}
+
+impl Drop for SocketGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// Serves the JSONL loop on a Unix socket with an accept thread and a
+/// bounded worker pool (see the module docs for the concurrency model).
+/// A connection that fails mid-session — abrupt disconnect, a client
+/// that stops reading (EPIPE) — ends **that connection only**: the
+/// error is absorbed and the server keeps accepting. Only bind/accept
+/// failures take the server down. A stale socket file at `path` is
+/// replaced; the socket file is removed when the server stops — on
+/// clean shutdown *and* on error paths, via an RAII guard.
 #[cfg(unix)]
 pub fn serve_unix(
-    engine: &mut Engine,
+    engine: &Engine,
     policy: &ResourcePolicy,
     path: &Path,
+    options: &ServeOptions,
 ) -> std::io::Result<ServeSummary> {
     use std::os::unix::net::UnixListener;
 
     if path.exists() {
         std::fs::remove_file(path)?;
     }
-    let listener = UnixListener::bind(path)?;
-    let mut total = ServeSummary::default();
-    for conn in listener.incoming() {
-        let conn = conn?;
-        let reader = match conn.try_clone() {
-            Ok(c) => BufReader::new(c),
-            Err(_) => continue,
+    // Bind to a temporary name and rename into place once listening:
+    // `bind` creates the file before `listen` runs, so a client watching
+    // for the socket file could otherwise connect in that window and be
+    // refused. After the rename, the public path only ever names a
+    // socket that is already accepting.
+    let staging = {
+        let mut name = path.as_os_str().to_os_string();
+        name.push(".bind");
+        PathBuf::from(name)
+    };
+    let _ = std::fs::remove_file(&staging);
+    let listener = UnixListener::bind(&staging)?;
+    // From here on, every exit — clean shutdown, accept error, panic —
+    // removes the socket file (staging name first, public name after
+    // the rename).
+    let mut guard = SocketGuard {
+        path: staging.clone(),
+    };
+    std::fs::rename(&staging, path)?;
+    guard.path = path.to_path_buf();
+    let metrics = ServeMetrics::new();
+    run_pool(engine, policy, &listener, path, options, &metrics)?;
+    Ok(metrics.summary())
+}
+
+/// The accept thread + worker pool around a bound listener.
+#[cfg(unix)]
+fn run_pool(
+    engine: &Engine,
+    policy: &ResourcePolicy,
+    listener: &std::os::unix::net::UnixListener,
+    path: &Path,
+    options: &ServeOptions,
+    metrics: &ServeMetrics,
+) -> std::io::Result<()> {
+    use std::os::unix::net::UnixStream;
+    use std::sync::mpsc;
+    use std::sync::Mutex;
+
+    let workers = options.workers.max(1);
+    let (tx, rx) = mpsc::sync_channel::<UnixStream>(options.max_connections.max(1));
+    let rx = Mutex::new(rx);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| worker_loop(engine, policy, &rx, metrics, path));
+        }
+        let accept_result = loop {
+            match listener.accept() {
+                Ok((conn, _)) => {
+                    // A shutdown op latches the flag and dials a wake
+                    // connection so this accept returns; both that wake
+                    // connection and any late real client are dropped.
+                    if metrics.shutdown_requested() {
+                        break Ok(());
+                    }
+                    // Backpressure: a full queue blocks the accept
+                    // thread here until a worker frees up.
+                    if tx.send(conn).is_err() {
+                        break Ok(());
+                    }
+                }
+                Err(e) => break Err(e),
+            }
         };
-        let mut writer = conn;
+        // Stop the workers: latch shutdown (closes idle connections at
+        // their next read-timeout tick) and disconnect the channel
+        // (wakes workers blocked on recv). In-flight requests still
+        // finish and respond before their worker exits; the scope join
+        // below is the drain.
+        metrics.request_shutdown();
+        drop(tx);
+        accept_result
+    })
+}
+
+/// One worker: pull connections off the queue until the channel closes.
+/// Connections queued behind a shutdown are dropped unserved.
+#[cfg(unix)]
+fn worker_loop(
+    engine: &Engine,
+    policy: &ResourcePolicy,
+    rx: &std::sync::Mutex<std::sync::mpsc::Receiver<std::os::unix::net::UnixStream>>,
+    metrics: &ServeMetrics,
+    path: &Path,
+) {
+    loop {
+        // Take the lock only to pull one connection, never while serving.
+        let conn = { rx.lock().expect("worker queue lock poisoned").recv() };
+        let Ok(conn) = conn else { break };
+        if metrics.shutdown_requested() {
+            continue; // drain and drop whatever was queued behind shutdown
+        }
+        metrics.connection_opened();
         // A failed connection must not kill the long-running server.
-        let Ok(summary) = serve_loop(engine, policy, reader, &mut writer) else {
+        let _ = serve_connection(engine, policy, metrics, conn, path);
+        metrics.connection_closed();
+    }
+}
+
+/// Serves one socket connection with shutdown-aware reads **and**
+/// writes: the socket has short timeouts in both directions, so a
+/// worker parked on an idle connection — or blocked writing to a
+/// client that stopped reading — notices the shutdown latch and closes
+/// instead of pinning the server open forever. A `shutdown` op on this
+/// connection latches the flag for everyone and dials a throwaway wake
+/// connection so the accept thread unblocks.
+#[cfg(unix)]
+fn serve_connection(
+    engine: &Engine,
+    policy: &ResourcePolicy,
+    metrics: &ServeMetrics,
+    conn: std::os::unix::net::UnixStream,
+    path: &Path,
+) -> std::io::Result<()> {
+    use std::time::Duration;
+
+    conn.set_read_timeout(Some(Duration::from_millis(50)))?;
+    conn.set_write_timeout(Some(Duration::from_millis(50)))?;
+    let mut reader = BufReader::new(conn.try_clone()?);
+    let mut writer = conn;
+    let mut line = Vec::new();
+    loop {
+        line.clear();
+        // Byte-level read_until, retrying timeouts until shutdown.
+        // Partial bytes accumulated before a timeout stay in `line`
+        // and the next attempt appends to them, so no request is ever
+        // torn. (`read_line` would not do: its UTF-8 guard *discards*
+        // the appended bytes when an error lands mid multi-byte
+        // character, losing data already consumed from the socket.)
+        loop {
+            match reader.read_until(b'\n', &mut line) {
+                Ok(0) => return Ok(()), // EOF: client closed
+                Ok(_) => break,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if metrics.shutdown_requested() {
+                        return Ok(());
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let text = String::from_utf8_lossy(&line);
+        if text.trim().is_empty() {
             continue;
-        };
-        total.queries += summary.queries;
-        total.errors += summary.errors;
-        if summary.shutdown {
-            total.shutdown = true;
-            break;
+        }
+        let (response, outcome) = handle_line(engine, policy, metrics, &text);
+        let mut payload = response.into_bytes();
+        payload.push(b'\n');
+        let write_result = write_shutdown_aware(&mut writer, &payload, metrics);
+        if matches!(outcome, LineOutcome::Shutdown) {
+            // handle_line already latched the flag; wake the accept
+            // thread so it observes it — unconditionally. The shutdown
+            // sender itself may have a full receive buffer (abandoned
+            // write) or have disconnected (write error); skipping the
+            // wake in those cases would leave the accept thread blocked
+            // forever with no one else to unblock it.
+            let _ = std::os::unix::net::UnixStream::connect(path);
+            return write_result.map(|_| ());
+        }
+        match write_result {
+            Ok(true) => {}
+            // Shutdown (latched elsewhere) while this client was not
+            // reading: abandon the connection.
+            Ok(false) => return Ok(()),
+            Err(e) => return Err(e),
         }
     }
-    let _ = std::fs::remove_file(path);
-    Ok(total)
+}
+
+/// `write_all` with the same shutdown awareness as the read side: a
+/// client that has stopped reading fills the socket buffer and would
+/// otherwise block this worker in `write` forever, hanging the graceful
+/// shutdown's drain. Timeouts retry (tracking the partial-write offset)
+/// until the data is out or shutdown is requested; returns `false` when
+/// the write was abandoned because of shutdown.
+#[cfg(unix)]
+fn write_shutdown_aware(
+    writer: &mut std::os::unix::net::UnixStream,
+    buf: &[u8],
+    metrics: &ServeMetrics,
+) -> std::io::Result<bool> {
+    let mut written = 0;
+    while written < buf.len() {
+        match writer.write(&buf[written..]) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "connection closed mid-response",
+                ))
+            }
+            Ok(n) => written += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) =>
+            {
+                if e.kind() != std::io::ErrorKind::Interrupted && metrics.shutdown_requested() {
+                    return Ok(false);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
 }
 
 /// The matching client: forwards each line of `requests` to the server
@@ -366,14 +719,18 @@ mod tests {
         path
     }
 
-    fn k5_path() -> PathBuf {
+    /// Writes a K5 fixture under a per-test file name: parallel test
+    /// threads must never rewrite each other's fixture, or the mtime
+    /// change would invalidate the catalog's revalidation stamp
+    /// mid-test.
+    fn k5_path(name: &str) -> PathBuf {
         let mut s = String::new();
         for u in 0..5u32 {
             for v in (u + 1)..5 {
                 s.push_str(&format!("{u} {v}\n"));
             }
         }
-        fixture("k5.txt", &s)
+        fixture(name, &s)
     }
 
     fn field<'a>(line: &'a str, key: &str) -> &'a str {
@@ -384,9 +741,22 @@ mod tests {
         &rest[..end]
     }
 
+    fn run_lines(engine: &Engine, requests: &str) -> (ServeSummary, String) {
+        let mut out = Vec::new();
+        let summary = serve_loop(
+            engine,
+            &ResourcePolicy::default(),
+            Cursor::new(requests.to_string()),
+            &mut out,
+            &ServeMetrics::new(),
+        )
+        .unwrap();
+        (summary, String::from_utf8(out).unwrap())
+    }
+
     #[test]
     fn repeated_queries_load_once_and_are_byte_stable() {
-        let path = k5_path();
+        let path = k5_path("k5_byte_stable.txt");
         let p = path.display();
         let requests = format!(
             "{{\"id\":1,\"algorithm\":\"approx\",\"file\":\"{p}\",\"epsilon\":0.1}}\n\
@@ -394,19 +764,11 @@ mod tests {
              {{\"id\":3,\"algorithm\":\"charikar\",\"file\":\"{p}\"}}\n\
              {{\"id\":4,\"op\":\"stats\"}}\n"
         );
-        let mut engine = Engine::new();
-        let mut out = Vec::new();
-        let summary = serve_loop(
-            &mut engine,
-            &ResourcePolicy::default(),
-            Cursor::new(requests),
-            &mut out,
-        )
-        .unwrap();
+        let engine = Engine::new();
+        let (summary, out) = run_lines(&engine, &requests);
         assert_eq!(summary.queries, 3, "the stats op is not a query");
         assert_eq!(summary.errors, 0);
         assert!(!summary.shutdown, "EOF, not shutdown");
-        let out = String::from_utf8(out).unwrap();
         let lines: Vec<&str> = out.lines().collect();
         assert_eq!(lines.len(), 4, "{out}");
         // One load serves all three queries.
@@ -416,9 +778,16 @@ mod tests {
         for l in &lines[..3] {
             assert_eq!(field(l, "loads"), "1", "{l}");
         }
+        // The repeated identical query replays from the result cache.
+        assert_eq!(field(lines[0], "result_cache_hit"), "0");
+        assert_eq!(field(lines[1], "result_cache_hit"), "1");
+        assert_eq!(field(lines[2], "result_cache_hit"), "0");
         assert_eq!(field(lines[3], "loads"), "1");
         assert_eq!(field(lines[3], "hits"), "2");
         assert_eq!(field(lines[3], "graphs"), "1");
+        assert_eq!(field(lines[3], "result_hits"), "1");
+        assert_eq!(field(lines[3], "result_misses"), "2");
+        assert_eq!(field(lines[3], "result_entries"), "2");
         // Identical queries produce byte-identical nested results.
         let result_of = |l: &str| l.split("\"result\":").nth(1).unwrap().to_string();
         let r1 = result_of(lines[0]);
@@ -432,23 +801,15 @@ mod tests {
 
     #[test]
     fn shutdown_op_ends_the_loop_and_later_lines_are_unread() {
-        let path = k5_path();
+        let path = k5_path("k5_shutdown_op.txt");
         let requests = format!(
             "{{\"op\":\"shutdown\",\"id\":\"bye\"}}\n\
              {{\"id\":9,\"algorithm\":\"approx\",\"file\":\"{}\"}}\n",
             path.display()
         );
-        let mut engine = Engine::new();
-        let mut out = Vec::new();
-        let summary = serve_loop(
-            &mut engine,
-            &ResourcePolicy::default(),
-            Cursor::new(requests),
-            &mut out,
-        )
-        .unwrap();
+        let engine = Engine::new();
+        let (summary, out) = run_lines(&engine, &requests);
         assert!(summary.shutdown);
-        let out = String::from_utf8(out).unwrap();
         assert_eq!(out.lines().count(), 1, "{out}");
         assert!(out.contains("\"id\":\"bye\""), "{out}");
         assert_eq!(engine.catalog().stats().loads, 0);
@@ -456,7 +817,7 @@ mod tests {
 
     #[test]
     fn errors_keep_the_loop_alive() {
-        let path = k5_path();
+        let path = k5_path("k5_errors.txt");
         let requests = format!(
             "not json\n\
              {{\"id\":1,\"algorithm\":\"nope\",\"file\":\"x\"}}\n\
@@ -466,18 +827,10 @@ mod tests {
              {{\"id\":5,\"algorithm\":\"approx\",\"file\":\"{p}\"}}\n",
             p = path.display()
         );
-        let mut engine = Engine::new();
-        let mut out = Vec::new();
-        let summary = serve_loop(
-            &mut engine,
-            &ResourcePolicy::default(),
-            Cursor::new(requests),
-            &mut out,
-        )
-        .unwrap();
+        let engine = Engine::new();
+        let (summary, out) = run_lines(&engine, &requests);
         assert_eq!(summary.errors, 5);
         assert_eq!(summary.queries, 1);
-        let out = String::from_utf8(out).unwrap();
         let lines: Vec<&str> = out.lines().collect();
         assert_eq!(lines.len(), 6);
         for l in &lines[..5] {
@@ -489,24 +842,36 @@ mod tests {
     }
 
     #[cfg(unix)]
+    fn wait_for_socket(sock: &Path) {
+        for _ in 0..300 {
+            if sock.exists() {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        panic!("server socket never appeared at {}", sock.display());
+    }
+
+    #[cfg(unix)]
     #[test]
     fn unix_socket_survives_client_disconnects() {
         use std::os::unix::net::UnixStream;
 
-        let path = k5_path();
+        let path = k5_path("k5_survive.txt");
         let sock = std::env::temp_dir().join("dsg_engine_serve_tests/survive.sock");
         let _ = std::fs::remove_file(&sock);
         let sock_for_server = sock.clone();
         let server = std::thread::spawn(move || {
-            let mut engine = Engine::new();
-            serve_unix(&mut engine, &ResourcePolicy::default(), &sock_for_server).unwrap()
+            let engine = Engine::new();
+            serve_unix(
+                &engine,
+                &ResourcePolicy::default(),
+                &sock_for_server,
+                &ServeOptions::default(),
+            )
+            .unwrap()
         });
-        for _ in 0..200 {
-            if sock.exists() {
-                break;
-            }
-            std::thread::sleep(std::time::Duration::from_millis(10));
-        }
+        wait_for_socket(&sock);
         // First client writes a query and vanishes without reading or
         // shutting down; the server must keep accepting.
         {
@@ -536,21 +901,21 @@ mod tests {
     #[cfg(unix)]
     #[test]
     fn unix_socket_round_trip() {
-        let path = k5_path();
+        let path = k5_path("k5_roundtrip.txt");
         let sock = std::env::temp_dir().join("dsg_engine_serve_tests/roundtrip.sock");
         let _ = std::fs::remove_file(&sock);
         let sock_for_server = sock.clone();
         let server = std::thread::spawn(move || {
-            let mut engine = Engine::new();
-            serve_unix(&mut engine, &ResourcePolicy::default(), &sock_for_server).unwrap()
+            let engine = Engine::new();
+            serve_unix(
+                &engine,
+                &ResourcePolicy::default(),
+                &sock_for_server,
+                &ServeOptions::default(),
+            )
+            .unwrap()
         });
-        // Wait for the socket to appear.
-        for _ in 0..200 {
-            if sock.exists() {
-                break;
-            }
-            std::thread::sleep(std::time::Duration::from_millis(10));
-        }
+        wait_for_socket(&sock);
         let requests = format!(
             "{{\"id\":1,\"algorithm\":\"approx\",\"file\":\"{p}\"}}\n\
              {{\"id\":2,\"algorithm\":\"exact\",\"file\":\"{p}\"}}\n\
@@ -566,5 +931,211 @@ mod tests {
         assert!(!sock.exists(), "socket file removed on clean shutdown");
         let out = String::from_utf8(out).unwrap();
         assert_eq!(field(out.lines().nth(1).unwrap(), "density"), "2");
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn concurrent_clients_share_one_load_and_get_identical_results() {
+        let path = k5_path("k5_concurrent.txt");
+        let sock = std::env::temp_dir().join("dsg_engine_serve_tests/concurrent.sock");
+        let _ = std::fs::remove_file(&sock);
+        let sock_for_server = sock.clone();
+        let server = std::thread::spawn(move || {
+            let engine = Engine::new();
+            serve_unix(
+                &engine,
+                &ResourcePolicy::default(),
+                &sock_for_server,
+                &ServeOptions {
+                    workers: 4,
+                    max_connections: 16,
+                },
+            )
+            .unwrap()
+        });
+        wait_for_socket(&sock);
+
+        // 4 clients, each issuing the same query 3 times concurrently.
+        let clients = 4;
+        let responses: Vec<String> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..clients)
+                .map(|i| {
+                    let sock = sock.clone();
+                    let path = path.clone();
+                    s.spawn(move || {
+                        let requests = (0..3)
+                            .map(|r| {
+                                format!(
+                                    "{{\"id\":\"{i}-{r}\",\"algorithm\":\"approx\",\"file\":\"{}\",\"epsilon\":0.1}}\n",
+                                    path.display()
+                                )
+                            })
+                            .collect::<String>();
+                        let mut out = Vec::new();
+                        client_unix(&sock, Cursor::new(requests), &mut out).unwrap();
+                        String::from_utf8(out).unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        // Every response line carries the identical nested result.
+        let mut results: Vec<String> = Vec::new();
+        for client_out in &responses {
+            for l in client_out.lines() {
+                assert_eq!(field(l, "ok"), "true", "{l}");
+                assert_eq!(field(l, "loads"), "1", "single-flight load: {l}");
+                results.push(l.split("\"result\":").nth(1).unwrap().to_string());
+            }
+        }
+        assert_eq!(results.len(), clients * 3);
+        let reference = results[0]
+            .split(",\"cache_hit\"")
+            .next()
+            .unwrap()
+            .to_string();
+        for r in &results {
+            assert_eq!(r.split(",\"cache_hit\"").next().unwrap(), reference);
+        }
+
+        // Stats, then shutdown.
+        let mut out = Vec::new();
+        client_unix(
+            &sock,
+            Cursor::new("{\"op\":\"stats\",\"id\":\"s\"}\n{\"op\":\"shutdown\"}\n".to_string()),
+            &mut out,
+        )
+        .unwrap();
+        let out = String::from_utf8(out).unwrap();
+        let stats_line = out.lines().next().unwrap();
+        assert_eq!(field(stats_line, "loads"), "1", "{stats_line}");
+        // Each client's 2nd and 3rd queries run strictly after its own
+        // 1st completed (and was inserted), so they are guaranteed hits;
+        // the 4 first queries may race each other and all miss.
+        let result_hits: u64 = field(stats_line, "result_hits").parse().unwrap();
+        assert!(result_hits >= (clients * 2) as u64, "{stats_line}");
+        let summary = server.join().unwrap();
+        assert!(summary.shutdown);
+        assert_eq!(summary.queries, clients as u64 * 3);
+        assert!(summary.peak_connections >= 1);
+        assert!(summary.connections >= clients as u64);
+        assert!(!sock.exists(), "socket removed after shutdown");
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn shutdown_drains_even_with_an_idle_connection_open() {
+        use std::os::unix::net::UnixStream;
+
+        let sock = std::env::temp_dir().join("dsg_engine_serve_tests/idle.sock");
+        let _ = std::fs::remove_file(&sock);
+        let sock_for_server = sock.clone();
+        let server = std::thread::spawn(move || {
+            let engine = Engine::new();
+            serve_unix(
+                &engine,
+                &ResourcePolicy::default(),
+                &sock_for_server,
+                &ServeOptions {
+                    workers: 2,
+                    max_connections: 4,
+                },
+            )
+            .unwrap()
+        });
+        wait_for_socket(&sock);
+        // An idle client that connects and sends nothing must not pin
+        // the server open across a shutdown.
+        let idle = UnixStream::connect(&sock).unwrap();
+        let mut out = Vec::new();
+        client_unix(
+            &sock,
+            Cursor::new("{\"op\":\"shutdown\"}\n".to_string()),
+            &mut out,
+        )
+        .unwrap();
+        let summary = server.join().unwrap();
+        assert!(summary.shutdown);
+        drop(idle);
+        assert!(!sock.exists());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn shutdown_drains_even_when_a_client_stops_reading() {
+        use std::os::unix::net::UnixStream;
+
+        let path = k5_path("k5_noread.txt");
+        let sock = std::env::temp_dir().join("dsg_engine_serve_tests/noread.sock");
+        let _ = std::fs::remove_file(&sock);
+        let sock_for_server = sock.clone();
+        let server = std::thread::spawn(move || {
+            let engine = Engine::new();
+            serve_unix(
+                &engine,
+                &ResourcePolicy::default(),
+                &sock_for_server,
+                &ServeOptions {
+                    workers: 2,
+                    max_connections: 4,
+                },
+            )
+            .unwrap()
+        });
+        wait_for_socket(&sock);
+        // A client that pipelines thousands of requests but never reads
+        // fills the socket's send buffer; the worker writing responses
+        // must not block shutdown forever.
+        let mut rude = UnixStream::connect(&sock).unwrap();
+        // Bound the rude client's own sends too: once the server stops
+        // reading (because its writes to us are blocked), our write
+        // would otherwise hang this test thread as well.
+        rude.set_write_timeout(Some(std::time::Duration::from_millis(200)))
+            .unwrap();
+        let request = format!(
+            "{{\"id\":1,\"algorithm\":\"charikar\",\"file\":\"{}\"}}\n",
+            path.display()
+        );
+        let burst = request.repeat(4000);
+        let _ = rude.write_all(burst.as_bytes());
+        // Keep the rude connection open (unread) across the shutdown.
+        let mut out = Vec::new();
+        client_unix(
+            &sock,
+            Cursor::new("{\"op\":\"shutdown\"}\n".to_string()),
+            &mut out,
+        )
+        .unwrap();
+        let summary = server.join().unwrap();
+        assert!(summary.shutdown);
+        drop(rude);
+        assert!(!sock.exists());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn socket_file_removed_when_serve_exits_via_error_path() {
+        // Regression test for the RAII guard: the serve loop used to
+        // remove the socket file only on the clean-exit line, so any
+        // error return or unwind leaked a stale socket. The guard
+        // removes it on *every* exit; unwinding is the harshest such
+        // path, so that is what we simulate around the guard itself.
+        let dir = std::env::temp_dir().join("dsg_engine_serve_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("guarded.sock");
+        std::fs::write(&path, b"stale").unwrap();
+        let path_for_panic = path.clone();
+        let result = std::panic::catch_unwind(move || {
+            let _guard = SocketGuard {
+                path: path_for_panic,
+            };
+            panic!("serve loop died");
+        });
+        assert!(result.is_err());
+        assert!(
+            !path.exists(),
+            "the guard must remove the socket on unwind/error exits"
+        );
     }
 }

@@ -1,0 +1,212 @@
+//! Property/fuzz suite for the serve protocol's `minijson` parser.
+//!
+//! The contract under test: `parse_object` **never panics** on any
+//! input — every failure is a typed [`JsonError`] with a byte position
+//! — and on valid flat objects it round-trips exactly. The generators
+//! cover the nasty corners by construction: escape sequences, `\uXXXX`
+//! unicode (including the unpaired-surrogate replacement rule), deeply
+//! nested containers (rejected without recursion, so no stack
+//! overflow), and truncation at every byte boundary.
+
+use dsg_engine::minijson::{get, parse_object, JsonError, Value};
+use dsg_engine::report::escape_json;
+use proptest::prelude::*;
+
+/// A pool of strings that exercises every escape class the parser
+/// decodes: quotes, backslashes, control characters, multi-byte UTF-8,
+/// and characters that JSON requires to be `\u`-escaped.
+const STRING_POOL: [&str; 12] = [
+    "",
+    "plain",
+    "with space",
+    "quote\"inside",
+    "back\\slash",
+    "line\nbreak\tand\rreturn",
+    "control\u{1}\u{1f}",
+    "é λ 語 🦀",
+    "slash/forward",
+    "\u{8}\u{c}backspace-formfeed",
+    "null\u{0}byte",
+    "mixed é\"\\\n\u{3}語",
+];
+
+fn pool_string(idx: usize) -> &'static str {
+    STRING_POOL[idx % STRING_POOL.len()]
+}
+
+/// Renders one value exactly as the serve loop's `JsonBuilder` would.
+fn render_value(v: &Value) -> String {
+    v.to_json()
+}
+
+fn make_value(tag: u8, num: f64, sidx: usize) -> Value {
+    match tag % 4 {
+        0 => Value::Str(pool_string(sidx).to_string()),
+        1 => {
+            // Keep numbers round-trippable through the f64 formatter.
+            Value::Num((num * 1e6).trunc() / 64.0)
+        }
+        2 => Value::Bool(num > 0.5),
+        _ => Value::Null,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Render → parse → compare: flat objects with every value class
+    /// and adversarial strings round-trip exactly.
+    #[test]
+    fn roundtrips_generated_flat_objects(
+        spec in proptest::collection::vec((0u8..=3, 0.0f64..1.0, 0usize..64), 0..8),
+    ) {
+        let fields: Vec<(String, Value)> = spec
+            .iter()
+            .enumerate()
+            .map(|(i, (tag, num, sidx))| {
+                // Keys drawn from the same adversarial pool, made unique
+                // by index so lookups are unambiguous.
+                let key = format!("k{i}_{}", escape_len_marker(pool_string(*sidx)));
+                (key, make_value(*tag, *num, *sidx))
+            })
+            .collect();
+        let doc = format!(
+            "{{{}}}",
+            fields
+                .iter()
+                .map(|(k, v)| format!("\"{}\":{}", escape_json(k), render_value(v)))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        let parsed = match parse_object(&doc) {
+            Ok(p) => p,
+            Err(e) => return Err(format!("valid doc rejected: {e} in {doc}")),
+        };
+        prop_assert_eq!(parsed.len(), fields.len());
+        for (k, v) in &fields {
+            let got = get(&parsed, k);
+            prop_assert_eq!(got, Some(v));
+        }
+    }
+
+    /// The fuzz contract: arbitrary byte soup (valid UTF-8, since the
+    /// input arrives as `&str`) never panics — it parses or returns a
+    /// typed error, and the error's position is within the input.
+    #[test]
+    fn arbitrary_input_never_panics(
+        bytes in proptest::collection::vec(0u32..128, 0..64),
+        mode in 0u8..=2,
+    ) {
+        let alphabet: &[char] = match mode {
+            // Raw printable noise.
+            0 => &['a', '"', '\\', '{', '}', '[', ']', ':', ',', '0', '9', '.', '-', '+', 'e',
+                  't', 'f', 'n', 'u', ' ', '\t', 'é', '🦀'],
+            // JSON-shaped fragments, more likely to get deep into the parser.
+            1 => &['{', '}', '"', ':', ',', 'a', '1', ' '],
+            // Escape-heavy strings.
+            _ => &['"', '\\', 'u', 'n', '0', 'f', 'a', 'b', 'c', 'd', 'e', 'F'],
+        };
+        let input: String = bytes
+            .iter()
+            .map(|b| alphabet[*b as usize % alphabet.len()])
+            .collect();
+        match parse_object(&input) {
+            Ok(_) => {}
+            Err(JsonError { pos, .. }) => prop_assert!(pos <= input.len()),
+        }
+    }
+
+    /// Every `\uXXXX` escape decodes to the expected scalar — or to
+    /// U+FFFD for surrogate halves (ids and paths are plain text; the
+    /// parser replaces rather than pairs).
+    #[test]
+    fn unicode_escapes_decode_or_replace(code in 0u32..=0xFFFF) {
+        let doc = format!("{{\"s\":\"\\u{code:04x}\"}}");
+        let parsed = match parse_object(&doc) {
+            Ok(p) => p,
+            Err(e) => return Err(format!("\\u{code:04x} rejected: {e}")),
+        };
+        let got = get(&parsed, "s").and_then(Value::as_str).map(str::to_string);
+        let expected = char::from_u32(code).unwrap_or('\u{fffd}').to_string();
+        prop_assert_eq!(got, Some(expected));
+    }
+
+    /// Truncating a valid document at any byte boundary yields a typed
+    /// error (never a panic, never a bogus success).
+    #[test]
+    fn truncated_documents_error_cleanly(
+        spec in proptest::collection::vec((0u8..=3, 0.0f64..1.0, 0usize..64), 1..6),
+    ) {
+        let doc = format!(
+            "{{{}}}",
+            spec.iter()
+                .enumerate()
+                .map(|(i, (tag, num, sidx))| format!(
+                    "\"k{i}\":{}",
+                    render_value(&make_value(*tag, *num, *sidx))
+                ))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        prop_assert!(parse_object(&doc).is_ok(), "untruncated doc must parse: {}", doc);
+        for cut in 0..doc.len() {
+            if !doc.is_char_boundary(cut) {
+                continue;
+            }
+            let prefix = &doc[..cut];
+            match parse_object(prefix) {
+                Ok(_) => return Err(format!("strict prefix parsed: '{prefix}' of '{doc}'")),
+                Err(JsonError { pos, .. }) => prop_assert!(pos <= prefix.len()),
+            }
+        }
+    }
+
+    /// Deep nesting cannot overflow the stack: containers are rejected
+    /// at the first opening bracket with a typed error, by design (the
+    /// request schema is flat), so the depth limit is 1 and the parser
+    /// has no recursion at all.
+    #[test]
+    fn deep_nesting_is_rejected_without_overflow(depth in 1usize..4096, brace in any::<bool>()) {
+        let open = if brace { "{\"a\":" } else { "[" };
+        let doc = format!("{{\"k\":{}", open.repeat(depth));
+        match parse_object(&doc) {
+            Ok(_) => return Err("unterminated nesting cannot parse".to_string()),
+            Err(e) => {
+                prop_assert!(
+                    e.msg.contains("nested") || e.msg.contains("expected"),
+                    "typed error expected, got: {}", e
+                );
+            }
+        }
+    }
+}
+
+/// Stable short marker so generated keys stay unique and printable even
+/// when the pool string is full of control characters.
+fn escape_len_marker(s: &str) -> usize {
+    s.len()
+}
+
+#[test]
+fn truncated_unicode_escape_is_a_typed_error() {
+    for doc in [
+        "{\"s\":\"\\u",
+        "{\"s\":\"\\u0",
+        "{\"s\":\"\\u00",
+        "{\"s\":\"\\u004",
+        "{\"s\":\"\\uzzzz\"}",
+    ] {
+        let err = parse_object(doc).expect_err(doc);
+        assert!(err.pos <= doc.len(), "{doc}: {err}");
+    }
+}
+
+#[test]
+fn error_type_carries_position_and_renders() {
+    let err = parse_object("{\"a\":[1]}").expect_err("arrays are rejected");
+    assert_eq!(err.pos, 5);
+    assert!(err.to_string().starts_with("bad JSON at byte 5:"), "{err}");
+    // It is a std::error::Error, so it boxes like any other.
+    let boxed: Box<dyn std::error::Error> = Box::new(err);
+    assert!(boxed.to_string().contains("nested"));
+}

@@ -14,7 +14,8 @@ use std::path::PathBuf;
 use std::process::exit;
 
 use densest_subgraph::engine::{
-    Algorithm, BackendRequest, Engine, EngineError, Outcome, Query, Report, ResourcePolicy, Source,
+    Algorithm, BackendRequest, Engine, EngineError, Outcome, Query, Report, ResourcePolicy,
+    ServeOptions, Source,
 };
 use densest_subgraph::flow::FlowBackend;
 use densest_subgraph::graph::NodeSet;
@@ -24,8 +25,9 @@ const USAGE: &str =
      [--epsilon f] [--k n] [--delta f] [--threads n] [--sketch b] [--stream] [--binary] \
      [--directed-input] [--backend auto|memory|parallel|stream|mapreduce] [--memory-budget bytes] \
      [--flow-backend dinic|push-relabel] [--json] [--quiet]\n\
-       densest serve [--socket <path>] [--threads n] [--memory-budget bytes] [--max-graphs n] [--quiet]\n\
-       densest client --socket <path>\n\
+       densest serve [--socket <path>] [--workers n] [--max-connections n] [--threads n] \
+     [--memory-budget bytes] [--max-graphs n] [--result-cache bytes] [--quiet]\n\
+       densest client --socket <path> [--repeat n] [--parallel n]\n\
        densest --help";
 
 const HELP: &str = "densest — densest-subgraph queries over edge-list files
@@ -33,7 +35,7 @@ const HELP: &str = "densest — densest-subgraph queries over edge-list files
 usage:
   densest <algorithm> <edge-file> [options]     one-shot query
   densest serve [options]                       long-running JSONL server
-  densest client --socket <path>                JSONL client for a serve socket
+  densest client --socket <path> [options]      JSONL client for a serve socket
   densest --help | -h                           this help
 
 algorithms:
@@ -70,24 +72,44 @@ planner options (one-shot and serve):
 
 serve mode:
   densest serve reads one flat JSON request per line (stdin, or a Unix
-  socket with --socket) and writes one JSON response per line. Graphs are
-  loaded once into a catalog and every further query is a cache hit; the
-  response's `loads` counter proves it. The catalog keeps at most
-  --max-graphs graphs (default 32, LRU eviction). The loop exits cleanly on EOF
-  (stdin), on client disconnect (socket: that connection only), or on a
-  {\"op\":\"shutdown\"} request. Example session:
+  socket with --socket) and writes one JSON response per line. Socket
+  mode serves many clients concurrently: an accept thread hands
+  connections to --workers worker threads (default 4) over a queue of at
+  most --max-connections pending connections (default 64; a full queue
+  blocks the accept thread — that is the backpressure). All workers
+  share one engine: graphs are loaded once into a catalog (single-flight
+  — concurrent cold requests trigger exactly one load) and every further
+  query is a cache hit; repeated identical queries are replayed from a
+  result cache without recomputing (bounded at --result-cache bytes,
+  default 64m; 0 disables it). The response's `loads` and
+  `result_cache_hit` counters prove both, and a {\"op\":\"stats\"} request
+  reports the full counter set including the concurrent-connection high
+  water mark. The catalog keeps at most --max-graphs graphs (default 32,
+  LRU eviction). The loop exits cleanly on EOF (stdin), on client
+  disconnect (socket: that connection only), or on a {\"op\":\"shutdown\"}
+  request, which drains in-flight queries before removing the socket
+  file. Example session:
 
     $ densest serve --socket /tmp/dsg.sock &
     $ printf '%s\\n' \\
         '{\"id\":1,\"algorithm\":\"approx\",\"file\":\"g.txt\",\"epsilon\":0.5}' \\
         '{\"id\":2,\"algorithm\":\"exact\",\"file\":\"g.txt\"}' \\
         '{\"op\":\"shutdown\"}' | densest client --socket /tmp/dsg.sock
-    {\"id\":1,\"ok\":true,\"result\":{...},\"cache_hit\":0,\"loads\":1,\"elapsed_ms\":...}
-    {\"id\":2,\"ok\":true,\"result\":{...},\"cache_hit\":1,\"loads\":1,\"elapsed_ms\":...}
+    {\"id\":1,\"ok\":true,\"result\":{...},\"cache_hit\":0,\"result_cache_hit\":0,\"loads\":1,\"elapsed_ms\":...}
+    {\"id\":2,\"ok\":true,\"result\":{...},\"cache_hit\":1,\"result_cache_hit\":0,\"loads\":1,\"elapsed_ms\":...}
     {\"id\":null,\"ok\":true,\"bye\":true}
 
   The nested `result` object is byte-identical to the one-shot `--json`
-  summary of the same query (minus the nondeterministic elapsed_ms).
+  summary of the same query (minus the nondeterministic elapsed_ms) —
+  cold, catalog-cached, and result-cache-replayed alike.
+
+client mode:
+  densest client forwards each stdin line to the server and prints each
+  response line. --repeat n sends the whole request set n times over the
+  same connection; --parallel n runs n such connections concurrently
+  (responses are printed grouped per connection, and a throughput
+  summary goes to stderr). The throughput experiment and the CI
+  concurrent-serve smoke are built on these flags.
 
 The input is a whitespace-separated `u v [w]` edge list with `#` comments
 (SNAP format), or the compact binary format with --binary. The planner is
@@ -117,17 +139,18 @@ fn parse_value<T: std::str::FromStr>(name: &str, raw: &str) -> T {
     })
 }
 
-/// `--memory-budget` accepts plain bytes or k/m/g (KiB multiple) suffixes.
-fn parse_budget(raw: &str) -> u64 {
+/// Byte-size flags (`--memory-budget`, `--result-cache`) accept plain
+/// bytes or k/m/g (KiB multiple) suffixes.
+fn parse_budget(name: &str, raw: &str) -> u64 {
     let (digits, mult) = match raw.trim().to_ascii_lowercase() {
         s if s.ends_with('k') => (s[..s.len() - 1].to_string(), 1024u64),
         s if s.ends_with('m') => (s[..s.len() - 1].to_string(), 1024 * 1024),
         s if s.ends_with('g') => (s[..s.len() - 1].to_string(), 1024 * 1024 * 1024),
         s => (s, 1),
     };
-    let n: u64 = parse_value("--memory-budget", &digits);
+    let n: u64 = parse_value(name, &digits);
     n.checked_mul(mult).unwrap_or_else(|| {
-        eprintln!("invalid value '{raw}' for --memory-budget (overflows)");
+        eprintln!("invalid value '{raw}' for {name} (overflows)");
         exit(2);
     })
 }
@@ -229,7 +252,7 @@ fn parse_options(algorithm: String, path: String, args: impl Iterator<Item = Str
                 });
             }
             "--memory-budget" => {
-                o.memory_budget = Some(parse_budget(&value("--memory-budget")));
+                o.memory_budget = Some(parse_budget("--memory-budget", &value("--memory-budget")));
             }
             "--flow-backend" => {
                 let raw = value("--flow-backend");
@@ -441,7 +464,10 @@ fn run_query(algorithm: String, path: String, rest: impl Iterator<Item = String>
         }
     }
 
-    let mut engine = Engine::new();
+    let engine = Engine::new();
+    // A one-shot process can never replay a cached result; a zero
+    // budget makes the engine skip the report deep-clone entirely.
+    engine.results().set_budget(0);
     let report = engine
         .execute(&source, &query, &policy)
         .unwrap_or_else(|e| fail(&o, e));
@@ -487,11 +513,14 @@ fn run_query(algorithm: String, path: String, rest: impl Iterator<Item = String>
     }
 }
 
-/// `densest serve`: the long-running JSONL loop (stdin or Unix socket).
+/// `densest serve`: the long-running JSONL loop (stdin, or a Unix
+/// socket with an accept thread + worker pool).
 fn run_serve(args: impl Iterator<Item = String>) {
     let mut socket: Option<PathBuf> = None;
     let mut policy = ResourcePolicy::default();
+    let mut options = ServeOptions::default();
     let mut max_graphs = densest_subgraph::engine::catalog::DEFAULT_MAX_ENTRIES;
+    let mut result_cache_bytes = densest_subgraph::engine::result_cache::DEFAULT_RESULT_CACHE_BYTES;
     let mut quiet = false;
     let mut it = args.collect::<Vec<_>>().into_iter();
     while let Some(flag) = it.next() {
@@ -503,6 +532,21 @@ fn run_serve(args: impl Iterator<Item = String>) {
         };
         match flag.as_str() {
             "--socket" => socket = Some(PathBuf::from(value("--socket"))),
+            "--workers" => {
+                options.workers = parse_value("--workers", &value("--workers"));
+                if options.workers == 0 {
+                    eprintln!("--workers must be at least 1");
+                    exit(2);
+                }
+            }
+            "--max-connections" => {
+                options.max_connections =
+                    parse_value("--max-connections", &value("--max-connections"));
+                if options.max_connections == 0 {
+                    eprintln!("--max-connections must be at least 1");
+                    exit(2);
+                }
+            }
             "--threads" => {
                 policy.threads = parse_value("--threads", &value("--threads"));
                 if policy.threads == 0 {
@@ -511,7 +555,8 @@ fn run_serve(args: impl Iterator<Item = String>) {
                 }
             }
             "--memory-budget" => {
-                policy.memory_budget_bytes = Some(parse_budget(&value("--memory-budget")));
+                policy.memory_budget_bytes =
+                    Some(parse_budget("--memory-budget", &value("--memory-budget")));
             }
             "--max-graphs" => {
                 max_graphs = parse_value("--max-graphs", &value("--max-graphs"));
@@ -520,6 +565,9 @@ fn run_serve(args: impl Iterator<Item = String>) {
                     exit(2);
                 }
             }
+            "--result-cache" => {
+                result_cache_bytes = parse_budget("--result-cache", &value("--result-cache"));
+            }
             "--quiet" => quiet = true,
             other => {
                 eprintln!("unknown flag '{other}'");
@@ -527,20 +575,26 @@ fn run_serve(args: impl Iterator<Item = String>) {
             }
         }
     }
-    let mut engine = Engine::new();
-    engine.catalog_mut().set_max_entries(max_graphs);
+    let engine = Engine::new();
+    engine.catalog().set_max_entries(max_graphs);
+    engine.results().set_budget(result_cache_bytes);
     let summary = match &socket {
         Some(path) => {
             if !quiet {
-                eprintln!("serving JSONL queries on socket {}", path.display());
+                eprintln!(
+                    "serving JSONL queries on socket {} ({} workers, {} pending connections max)",
+                    path.display(),
+                    options.workers.max(1),
+                    options.max_connections.max(1)
+                );
             }
-            densest_subgraph::engine::serve_unix(&mut engine, &policy, path)
+            densest_subgraph::engine::serve_unix(&engine, &policy, path, &options)
         }
         None => {
             if !quiet {
                 eprintln!("serving JSONL queries on stdin (EOF shuts down)");
             }
-            densest_subgraph::engine::serve_stdio(&mut engine, &policy)
+            densest_subgraph::engine::serve_stdio(&engine, &policy)
         }
     }
     .unwrap_or_else(|e| {
@@ -549,12 +603,17 @@ fn run_serve(args: impl Iterator<Item = String>) {
     });
     if !quiet {
         let stats = engine.catalog().stats();
+        let results = engine.results().stats();
         eprintln!(
-            "served {} queries ({} errors): {} graph loads, {} cache hits; {}",
+            "served {} queries ({} errors) over {} connections (peak {} concurrent): \
+             {} graph loads, {} cache hits, {} result-cache hits; {}",
             summary.queries,
             summary.errors,
+            summary.connections,
+            summary.peak_connections,
             stats.loads,
             stats.hits,
+            results.hits,
             if summary.shutdown {
                 "shutdown requested"
             } else {
@@ -564,17 +623,36 @@ fn run_serve(args: impl Iterator<Item = String>) {
     }
 }
 
-/// `densest client --socket <path>`: forward stdin JSONL to a server.
+/// `densest client --socket <path> [--repeat n] [--parallel n]`:
+/// forward stdin JSONL to a server, optionally repeating the request
+/// set and fanning it out over parallel connections.
 fn run_client(args: impl Iterator<Item = String>) {
     let mut socket: Option<PathBuf> = None;
+    let mut repeat: usize = 1;
+    let mut parallel: usize = 1;
     let mut it = args.collect::<Vec<_>>().into_iter();
     while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                exit(2);
+            })
+        };
         match flag.as_str() {
-            "--socket" => {
-                socket = Some(PathBuf::from(it.next().unwrap_or_else(|| {
-                    eprintln!("missing value for --socket");
+            "--socket" => socket = Some(PathBuf::from(value("--socket"))),
+            "--repeat" => {
+                repeat = parse_value("--repeat", &value("--repeat"));
+                if repeat == 0 {
+                    eprintln!("--repeat must be at least 1");
                     exit(2);
-                })))
+                }
+            }
+            "--parallel" => {
+                parallel = parse_value("--parallel", &value("--parallel"));
+                if parallel == 0 {
+                    eprintln!("--parallel must be at least 1");
+                    exit(2);
+                }
             }
             other => {
                 eprintln!("unknown flag '{other}'");
@@ -587,11 +665,92 @@ fn run_client(args: impl Iterator<Item = String>) {
         exit(2);
     });
     let stdin = std::io::stdin();
+    if repeat == 1 && parallel == 1 {
+        // Plain mode streams stdin line by line (stays interactive).
+        let mut stdout = std::io::stdout().lock();
+        if let Err(e) = densest_subgraph::engine::client_unix(
+            &socket,
+            BufReader::new(stdin.lock()),
+            &mut stdout,
+        ) {
+            eprintln!("client failed: {e}");
+            exit(1);
+        }
+        return;
+    }
+    // Repeat/parallel mode reads the whole request set first, then each
+    // of `parallel` connections sends it `repeat` times.
+    let requests: String = {
+        use std::io::Read;
+        let mut buf = String::new();
+        if let Err(e) = stdin.lock().read_to_string(&mut buf) {
+            eprintln!("client failed reading stdin: {e}");
+            exit(1);
+        }
+        buf
+    };
+    let started = std::time::Instant::now();
+    let outputs: Vec<Result<(Vec<u8>, u64), std::io::Error>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..parallel)
+            .map(|_| {
+                let socket = &socket;
+                let requests = &requests;
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    let mut exchanges = 0u64;
+                    let mut conn_requests = String::new();
+                    for _ in 0..repeat {
+                        conn_requests.push_str(requests);
+                        if !requests.ends_with('\n') {
+                            conn_requests.push('\n');
+                        }
+                    }
+                    exchanges += densest_subgraph::engine::client_unix(
+                        socket,
+                        std::io::Cursor::new(conn_requests),
+                        &mut out,
+                    )?;
+                    Ok((out, exchanges))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread panicked"))
+            .collect()
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    let mut total_exchanges = 0u64;
     let mut stdout = std::io::stdout().lock();
-    if let Err(e) =
-        densest_subgraph::engine::client_unix(&socket, BufReader::new(stdin.lock()), &mut stdout)
-    {
-        eprintln!("client failed: {e}");
+    let mut failed = false;
+    for result in outputs {
+        match result {
+            Ok((out, exchanges)) => {
+                use std::io::Write;
+                total_exchanges += exchanges;
+                if stdout.write_all(&out).is_err() {
+                    failed = true;
+                }
+            }
+            Err(e) => {
+                eprintln!("client connection failed: {e}");
+                failed = true;
+            }
+        }
+    }
+    eprintln!(
+        "client: {} exchanges over {} connection(s) x {} repeat(s) in {:.1} ms ({:.0} req/s)",
+        total_exchanges,
+        parallel,
+        repeat,
+        elapsed * 1e3,
+        if elapsed > 0.0 {
+            total_exchanges as f64 / elapsed
+        } else {
+            0.0
+        }
+    );
+    if failed {
         exit(1);
     }
 }

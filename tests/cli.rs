@@ -573,3 +573,137 @@ fn serve_socket_results_are_byte_identical_to_one_shot_runs() {
     assert!(status.success());
     assert!(!sock.exists(), "socket removed on clean shutdown");
 }
+
+#[test]
+fn client_repeat_and_parallel_multiply_responses() {
+    use std::io::Write;
+    use std::process::Stdio;
+
+    let path = clique_fixture();
+    let p = path.to_str().unwrap();
+    let sock = std::env::temp_dir().join(format!("dsg_cli_par_{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&sock);
+    let mut server = Command::new(densest_bin())
+        .args([
+            "serve",
+            "--quiet",
+            "--workers",
+            "2",
+            "--socket",
+            sock.to_str().unwrap(),
+        ])
+        .spawn()
+        .expect("serve starts");
+    for _ in 0..300 {
+        if sock.exists() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert!(sock.exists(), "server socket never appeared");
+
+    let mut client = Command::new(densest_bin())
+        .args([
+            "client",
+            "--socket",
+            sock.to_str().unwrap(),
+            "--repeat",
+            "3",
+            "--parallel",
+            "2",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("client starts");
+    {
+        let stdin = client.stdin.as_mut().unwrap();
+        writeln!(
+            stdin,
+            "{{\"id\":1,\"algorithm\":\"approx\",\"file\":\"{p}\",\"epsilon\":0.1}}"
+        )
+        .unwrap();
+        writeln!(
+            stdin,
+            "{{\"id\":2,\"algorithm\":\"charikar\",\"file\":\"{p}\"}}"
+        )
+        .unwrap();
+    }
+    drop(client.stdin.take());
+    let out = client.wait_with_output().expect("client exits");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    // 2 requests x 3 repeats x 2 parallel connections.
+    assert_eq!(lines.len(), 12, "{stdout}");
+    for l in &lines {
+        assert_eq!(json_field(l, "ok"), "true", "{l}");
+        assert_eq!(json_field(l, "loads"), "1", "single-flight load: {l}");
+    }
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("12 exchanges over 2 connection(s) x 3 repeat(s)"),
+        "{stderr}"
+    );
+
+    // Each connection's repeats after its first are guaranteed replays.
+    let mut stats = Command::new(densest_bin())
+        .args(["client", "--socket", sock.to_str().unwrap()])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("stats client starts");
+    {
+        let stdin = stats.stdin.as_mut().unwrap();
+        writeln!(stdin, "{{\"op\":\"stats\",\"id\":\"s\"}}").unwrap();
+        writeln!(stdin, "{{\"op\":\"shutdown\"}}").unwrap();
+    }
+    drop(stats.stdin.take());
+    let stats_out = stats.wait_with_output().expect("stats client exits");
+    let stats_stdout = String::from_utf8_lossy(&stats_out.stdout);
+    let stats_line = stats_stdout.lines().next().unwrap();
+    assert_eq!(json_field(stats_line, "loads"), "1", "{stats_line}");
+    let result_hits: u64 = json_field(stats_line, "result_hits").parse().unwrap();
+    assert!(result_hits >= 8, "{stats_line}");
+    let status = server.wait().expect("server exits after shutdown");
+    assert!(status.success());
+    assert!(!sock.exists(), "socket removed on clean shutdown");
+}
+
+#[test]
+fn serve_and_client_flags_are_validated_by_name() {
+    for (args, needle) in [
+        (vec!["serve", "--workers", "0"], "--workers"),
+        (vec!["serve", "--workers", "abc"], "--workers"),
+        (vec!["serve", "--max-connections", "0"], "--max-connections"),
+        (vec!["serve", "--result-cache", "xyz"], "--result-cache"),
+        (
+            vec!["client", "--socket", "/tmp/x.sock", "--repeat", "0"],
+            "--repeat",
+        ),
+        (
+            vec!["client", "--socket", "/tmp/x.sock", "--parallel", "0"],
+            "--parallel",
+        ),
+    ] {
+        let (_, stderr, ok) = run(&args);
+        assert!(!ok, "{args:?} must fail");
+        assert!(stderr.contains(needle), "{args:?}: {stderr}");
+    }
+}
+
+#[test]
+fn help_documents_the_concurrency_flags() {
+    let (stdout, _, ok) = run(&["--help"]);
+    assert!(ok);
+    for flag in [
+        "--workers",
+        "--max-connections",
+        "--result-cache",
+        "--repeat",
+        "--parallel",
+    ] {
+        assert!(stdout.contains(flag), "help must mention {flag}");
+    }
+}

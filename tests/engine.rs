@@ -51,7 +51,7 @@ fn file_source(path: &std::path::Path) -> Source {
 }
 
 fn run_engine(
-    engine: &mut Engine,
+    engine: &Engine,
     source: &Source,
     query: Query,
     policy: ResourcePolicy,
@@ -90,7 +90,7 @@ fn approx_parity_across_every_backend() {
     let canonical = load_canonical(&path, GraphKind::Undirected);
     let csr = CsrUndirected::from_edge_list(&canonical);
     let source = file_source(&path);
-    let mut engine = Engine::new();
+    let engine = Engine::new();
     let approx = Query::new(Algorithm::Approx {
         epsilon: EPS,
         sketch: None,
@@ -99,7 +99,7 @@ fn approx_parity_across_every_backend() {
     // In-memory serial.
     let direct = dsg_core::undirected::approx_densest_csr(&csr, EPS);
     let report = run_engine(
-        &mut engine,
+        &engine,
         &source,
         approx,
         ResourcePolicy::default(),
@@ -110,7 +110,7 @@ fn approx_parity_across_every_backend() {
     // Parallel CSR.
     let direct_par = dsg_core::undirected::approx_densest_csr_parallel(&csr, EPS, 3);
     let report = run_engine(
-        &mut engine,
+        &engine,
         &source,
         approx,
         ResourcePolicy {
@@ -142,7 +142,7 @@ fn approx_parity_across_every_backend() {
             },
         ),
     ] {
-        let report = run_engine(&mut engine, &source, query, policy, "stream");
+        let report = run_engine(&engine, &source, query, policy, "stream");
         assert_run_parity(&report, &direct_stream, label);
         assert!(report.state_bytes.is_some(), "{label}: state accounting");
     }
@@ -155,7 +155,7 @@ fn approx_parity_across_every_backend() {
     let mut mem = MemoryStream::new(canonical.clone());
     let direct_sk = approx_densest_sketched(&mut mem, EPS, SketchParams::paper(64, 0));
     let report = run_engine(
-        &mut engine,
+        &engine,
         &source,
         sketched,
         ResourcePolicy::default(),
@@ -181,7 +181,7 @@ fn approx_parity_across_every_backend() {
         EPS,
     );
     let report = run_engine(
-        &mut engine,
+        &engine,
         &source,
         Query {
             backend: Some(BackendRequest::MapReduce),
@@ -214,7 +214,7 @@ fn atleast_k_parity_across_backends() {
     let canonical = load_canonical(&path, GraphKind::Undirected);
     let csr = CsrUndirected::from_edge_list(&canonical);
     let source = file_source(&path);
-    let mut engine = Engine::new();
+    let engine = Engine::new();
     let k = 40;
     let query = Query::new(Algorithm::AtLeastK { k, epsilon: EPS });
     let eps_used = EPS.max(1e-6);
@@ -222,18 +222,12 @@ fn atleast_k_parity_across_backends() {
     // Serial goes through MemoryStream, exactly like the direct call.
     let mut mem = MemoryStream::new(canonical.clone());
     let direct = dsg_core::large::approx_densest_at_least_k(&mut mem, k, eps_used);
-    let report = run_engine(
-        &mut engine,
-        &source,
-        query,
-        ResourcePolicy::default(),
-        "memory",
-    );
+    let report = run_engine(&engine, &source, query, ResourcePolicy::default(), "memory");
     assert_run_parity(&report, &direct, "serial");
 
     let direct_par = dsg_core::large::approx_densest_at_least_k_csr_parallel(&csr, k, eps_used, 4);
     let report = run_engine(
-        &mut engine,
+        &engine,
         &source,
         query,
         ResourcePolicy {
@@ -248,7 +242,7 @@ fn atleast_k_parity_across_backends() {
     let direct_stream =
         dsg_core::large::try_approx_densest_at_least_k(&mut stream, k, eps_used).unwrap();
     let report = run_engine(
-        &mut engine,
+        &engine,
         &source,
         Query {
             backend: Some(BackendRequest::Streamed),
@@ -267,7 +261,7 @@ fn directed_parity_serial_and_parallel() {
     let canonical = load_canonical(&path, GraphKind::Directed);
     let csr = CsrDirected::from_edge_list(&canonical);
     let source = file_source(&path);
-    let mut engine = Engine::new();
+    let engine = Engine::new();
     let (delta, eps) = (2.0, 0.5);
     let query = Query::new(Algorithm::Directed {
         delta,
@@ -275,13 +269,7 @@ fn directed_parity_serial_and_parallel() {
     });
 
     let direct = dsg_core::directed::sweep_c_csr(&csr, delta, eps);
-    let report = run_engine(
-        &mut engine,
-        &source,
-        query,
-        ResourcePolicy::default(),
-        "memory",
-    );
+    let report = run_engine(&engine, &source, query, ResourcePolicy::default(), "memory");
     let Outcome::Sweep(sweep) = &report.outcome else {
         panic!("directed query must yield a sweep");
     };
@@ -297,7 +285,7 @@ fn directed_parity_serial_and_parallel() {
 
     let direct_par = dsg_core::directed::sweep_c_csr_parallel(&csr, delta, eps, 3);
     let report = run_engine(
-        &mut engine,
+        &engine,
         &source,
         query,
         ResourcePolicy {
@@ -325,11 +313,11 @@ fn charikar_exact_enumerate_parity() {
     let canonical = load_canonical(&path, GraphKind::Undirected);
     let csr = CsrUndirected::from_edge_list(&canonical);
     let source = file_source(&path);
-    let mut engine = Engine::new();
+    let engine = Engine::new();
 
     let direct = dsg_core::charikar::charikar_peel(&csr);
     let report = run_engine(
-        &mut engine,
+        &engine,
         &source,
         Query::new(Algorithm::Charikar),
         ResourcePolicy::default(),
@@ -341,7 +329,7 @@ fn charikar_exact_enumerate_parity() {
     for flow in [FlowBackend::Dinic, FlowBackend::PushRelabel] {
         let direct = exact_densest_with(&csr, flow);
         let report = run_engine(
-            &mut engine,
+            &engine,
             &source,
             Query::new(Algorithm::Exact { flow }),
             ResourcePolicy::default(),
@@ -362,7 +350,7 @@ fn charikar_exact_enumerate_parity() {
     };
     let direct = dsg_core::enumerate::enumerate_dense_subgraphs(&csr, opts);
     let report = run_engine(
-        &mut engine,
+        &engine,
         &source,
         Query::new(Algorithm::Enumerate {
             epsilon: 0.1,
@@ -387,7 +375,7 @@ fn charikar_exact_enumerate_parity() {
 fn memory_source_matches_file_source() {
     let list = test_graph();
     let path = write_fixture("memsource.txt", &list);
-    let mut engine = Engine::new();
+    let engine = Engine::new();
     let query = Query::new(Algorithm::Approx {
         epsilon: EPS,
         sketch: None,
@@ -422,7 +410,7 @@ fn catalog_loads_once_across_queries_and_algorithms() {
     let list = test_graph();
     let path = write_fixture("catalog.txt", &list);
     let source = file_source(&path);
-    let mut engine = Engine::new();
+    let engine = Engine::new();
     let policy = ResourcePolicy::default();
     engine
         .execute(
@@ -474,7 +462,7 @@ fn plans_are_deterministic_and_reported() {
     let list = test_graph();
     let path = write_fixture("plans.txt", &list);
     let source = file_source(&path);
-    let mut engine = Engine::new();
+    let engine = Engine::new();
     let query = Query::new(Algorithm::Approx {
         epsilon: EPS,
         sketch: None,
@@ -499,4 +487,131 @@ fn plans_are_deterministic_and_reported() {
     // Without elapsed time the summary is fully deterministic.
     let again = engine.execute(&source, &query, &tight).unwrap();
     assert_eq!(report.json_object(false), again.json_object(false));
+}
+
+#[test]
+fn result_cache_replays_byte_identically_and_invalidates_on_edit() {
+    let list = test_graph();
+    let path = write_fixture("resultcache.txt", &list);
+    let source = file_source(&path);
+    let engine = Engine::new();
+    let query = Query::new(Algorithm::Approx {
+        epsilon: EPS,
+        sketch: None,
+    });
+    let policy = ResourcePolicy::default();
+
+    let cold = engine.execute(&source, &query, &policy).unwrap();
+    assert_eq!(cold.result_cache_hit, Some(false), "first run computes");
+    let replay = engine.execute(&source, &query, &policy).unwrap();
+    assert_eq!(replay.result_cache_hit, Some(true), "second run replays");
+    // Byte-identical minus elapsed_ms — the whole point of the cache.
+    assert_eq!(cold.json_object(false), replay.json_object(false));
+    assert_eq!(cold.density().to_bits(), replay.density().to_bits());
+    assert_eq!(cold.best_set(), replay.best_set());
+    let stats = engine.results().stats();
+    assert_eq!((stats.hits, stats.misses), (1, 1));
+
+    // A different parameter is a different canonical query.
+    let other = Query::new(Algorithm::Approx {
+        epsilon: 0.25,
+        sketch: None,
+    });
+    let miss = engine.execute(&source, &other, &policy).unwrap();
+    assert_eq!(miss.result_cache_hit, Some(false));
+
+    // Editing the file changes the fingerprint, so the stale result is
+    // structurally unreachable: the same query recomputes.
+    let edited = gen::planted_dense_subgraph(300, 900, 25, 0.5, 43).graph;
+    write_text(&path, &edited).unwrap();
+    let recomputed = engine.execute(&source, &query, &policy).unwrap();
+    assert_eq!(
+        recomputed.result_cache_hit,
+        Some(false),
+        "file edits invalidate via the fingerprint key"
+    );
+    assert_eq!(engine.catalog().stats().loads, 2, "reload after edit");
+}
+
+#[test]
+fn streamed_runs_and_memory_sources_bypass_the_result_cache() {
+    let list = test_graph();
+    let path = write_fixture("rc_bypass.txt", &list);
+    let engine = Engine::new();
+    let policy = ResourcePolicy::default();
+    let streamed = Query {
+        algorithm: Algorithm::Approx {
+            epsilon: EPS,
+            sketch: None,
+        },
+        backend: Some(BackendRequest::Streamed),
+    };
+    let a = engine
+        .execute(&file_source(&path), &streamed, &policy)
+        .unwrap();
+    let b = engine
+        .execute(&file_source(&path), &streamed, &policy)
+        .unwrap();
+    assert_eq!(a.result_cache_hit, None);
+    assert_eq!(b.result_cache_hit, None);
+    let from_memory = engine
+        .execute(
+            &Source::Memory {
+                list,
+                label: "mem".into(),
+            },
+            &Query::new(Algorithm::Charikar),
+            &policy,
+        )
+        .unwrap();
+    assert_eq!(from_memory.result_cache_hit, None);
+    let stats = engine.results().stats();
+    assert_eq!(
+        (stats.hits, stats.misses, stats.insertions),
+        (0, 0, 0),
+        "bypassed runs never touch the cache"
+    );
+}
+
+#[test]
+fn shared_engine_serves_concurrent_cold_queries_with_one_load() {
+    let list = test_graph();
+    let path = write_fixture("shared.txt", &list);
+    let engine = Engine::new();
+    let query = Query::new(Algorithm::Approx {
+        epsilon: EPS,
+        sketch: None,
+    });
+    let policy = ResourcePolicy::default();
+    let threads = 6;
+    let barrier = std::sync::Barrier::new(threads);
+    let jsons: Vec<String> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let (engine, path, query, policy) = (&engine, &path, &query, &policy);
+                let barrier = &barrier;
+                s.spawn(move || {
+                    barrier.wait();
+                    engine
+                        .execute(&file_source(path), query, policy)
+                        .unwrap()
+                        .json_object(false)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert_eq!(
+        engine.catalog().stats().loads,
+        1,
+        "single-flight: concurrent cold queries trigger exactly one load"
+    );
+    for j in &jsons[1..] {
+        assert_eq!(&jsons[0], j, "every thread sees the identical summary");
+    }
+    // At least the stragglers replay from the result cache; the racers
+    // that missed simultaneously each computed (and the last insert
+    // simply overwrote with an identical report).
+    let stats = engine.results().stats();
+    assert_eq!(stats.hits + stats.misses, threads as u64);
 }
