@@ -21,10 +21,17 @@
 //!   planner  engine backend choice per resource policy, cost, parity
 //!   serve-throughput  concurrent clients vs one worker-pool server:
 //!            queries/sec, single-flight loads, result-cache hit rate
+//!   mutate   mutable sessions: warm restart vs cold recompute vs file
+//!            rewrite per delta shape (parity asserted)
 //!   lemma5   pass lower bound (union of regular graphs)
 //!   lemma6   pass lower bound (weighted power law)
 //!   all      everything above
 //! ```
+//!
+//! `--bench-json <file>` additionally writes the tables as one JSON
+//! object (`{"experiment":…,"scale":…,"tables":[…]}`) — the
+//! `BENCH_<experiment>.json` artifacts CI's perf-smoke job uploads and
+//! compares (warn-only) against `bench/baseline.json`.
 //!
 //! Default scale: `small` (≈20K-node stand-ins; `table2` always runs at
 //! the paper's graph sizes). `--data-dir` points at real SNAP `.txt`
@@ -43,6 +50,7 @@ struct Args {
     csv: bool,
     data_dir: Option<PathBuf>,
     out: Option<PathBuf>,
+    bench_json: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -52,6 +60,7 @@ fn parse_args() -> Result<Args, String> {
     let mut csv = false;
     let mut data_dir = None;
     let mut out = None;
+    let mut bench_json = None;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--scale" => {
@@ -67,6 +76,11 @@ fn parse_args() -> Result<Args, String> {
             "--out" => {
                 out = Some(PathBuf::from(args.next().ok_or("missing value for --out")?));
             }
+            "--bench-json" => {
+                bench_json = Some(PathBuf::from(
+                    args.next().ok_or("missing value for --bench-json")?,
+                ));
+            }
             other => return Err(format!("unknown flag '{other}'\n{}", usage())),
         }
     }
@@ -76,12 +90,14 @@ fn parse_args() -> Result<Args, String> {
         csv,
         data_dir,
         out,
+        bench_json,
     })
 }
 
 fn usage() -> String {
-    "usage: repro <table1|table2|fig61|fig62|fig63|table3|fig64|fig65|fig66|table4|fig67|scaling|outofcore|planner|serve-throughput|lemma5|lemma6|all> \
-     [--scale tiny|small|medium|large] [--csv] [--data-dir <path>] [--out <file>]"
+    "usage: repro <table1|table2|fig61|fig62|fig63|table3|fig64|fig65|fig66|table4|fig67|scaling|outofcore|planner|serve-throughput|mutate|lemma5|lemma6|all> \
+     [--scale tiny|small|medium|large] [--csv] [--data-dir <path>] [--out <file>] \
+     [--bench-json <file>]"
         .to_string()
 }
 
@@ -118,6 +134,7 @@ fn run_experiment(name: &str, args: &Args) -> Result<Vec<Table>, String> {
         "serve-throughput" => vec![exp::serve_throughput::to_table(
             &exp::serve_throughput::run(scale),
         )],
+        "mutate" => vec![exp::mutate::to_table(&exp::mutate::run(scale))],
         "lemma5" => vec![exp::lemmas::to_table(
             "Lemma 5: passes on the union-of-regular-graphs instance (ε=0.5)",
             "k",
@@ -145,6 +162,7 @@ fn run_experiment(name: &str, args: &Args) -> Result<Vec<Table>, String> {
                 "outofcore",
                 "planner",
                 "serve-throughput",
+                "mutate",
                 "lemma5",
                 "lemma6",
             ];
@@ -187,5 +205,18 @@ fn main() {
             eprintln!("[repro] wrote {}", path.display());
         }
         None => print!("{rendered}"),
+    }
+    if let Some(path) = &args.bench_json {
+        let jsons: Vec<String> = tables.iter().map(Table::render_json).collect();
+        let payload = format!(
+            "{{\"experiment\":\"{}\",\"scale\":\"{:?}\",\"tables\":[{}]}}\n",
+            args.experiment,
+            args.scale,
+            jsons.join(",")
+        );
+        let mut f = std::fs::File::create(path).expect("cannot create bench-json file");
+        f.write_all(payload.as_bytes())
+            .expect("bench-json write failed");
+        eprintln!("[repro] wrote {}", path.display());
     }
 }

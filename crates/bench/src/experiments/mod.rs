@@ -12,6 +12,7 @@ pub mod fig65;
 pub mod fig66;
 pub mod fig67;
 pub mod lemmas;
+pub mod mutate;
 pub mod outofcore;
 pub mod planner;
 pub mod scaling;

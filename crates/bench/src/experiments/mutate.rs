@@ -1,0 +1,376 @@
+//! **Mutate experiment** — the PR-5 mutable-session story end to end:
+//! edges arrive and expire between queries, and the engine's versioned
+//! session path is measured against the only update path the serve
+//! stack had before (rewrite the file, let the fingerprint invalidate
+//! everything, reload cold).
+//!
+//! Per round, a delta batch (add-only, remove-heavy, or mixed — the
+//! three shapes the acceptance criteria name) is applied to a named
+//! session graph and each peeling query (`approx`, `atleast-k` on the
+//! undirected graph; `directed` on the directed one) is timed three
+//! ways over the **same** materialized graph:
+//!
+//! * **warm** — `add_edges` on the session + query: the delta folds
+//!   into the already-canonical base, the version bumps, and the query
+//!   warm-restarts from the previous version's seed;
+//! * **cold** — a fresh engine over the materialized edge list
+//!   (clone + canonicalize + CSR + peel): pure recompute, no session;
+//! * **file** — the pre-session world: write the materialized graph to
+//!   disk, then a fresh engine loads it (stat scan + parse +
+//!   canonicalize + fingerprint + CSR + peel).
+//!
+//! **Parity is asserted, not sampled**: every warm report must be
+//! byte-identical (minus `elapsed_ms`) to the cold report over the
+//! materialized graph, for every round × shape × algorithm — the run
+//! panics on the first divergence, which is what lets CI run this as a
+//! correctness gate. A final compact round additionally exercises the
+//! verified-replay path (version bump, unchanged content) and asserts
+//! the warm-hit counters moved.
+//!
+//! On a single-CPU container the absolute times are modest; the honest
+//! headline is the *work avoided* (no rewrite, no re-parse, no re-sort),
+//! which shows up as `file_ms / warm_ms` in the speedup column.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use dsg_datasets::{flickr_standin, twitter_standin, Scale};
+use dsg_engine::{Algorithm, Engine, Query, ResourcePolicy, Source};
+use dsg_graph::io::write_text;
+use dsg_graph::{EdgeList, GraphKind, SplitMix64};
+
+use crate::table::{fmt_f, Table};
+
+/// An edge batch, as the mutation ops take it.
+type EdgeBatch = Vec<(u32, u32)>;
+
+/// One (round × algorithm) measurement.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Mutation round (1-based; the last round is the compact/replay).
+    pub round: usize,
+    /// Delta shape of the round (`add`, `remove`, `mixed`, `compact`).
+    pub shape: &'static str,
+    /// Algorithm queried.
+    pub algorithm: &'static str,
+    /// Edges in the materialized graph after the delta.
+    pub edges: u64,
+    /// Edges the round's delta actually applied.
+    pub delta_edges: u64,
+    /// Session path: mutate + warm query, milliseconds.
+    pub warm_ms: f64,
+    /// Cold recompute over the materialized list, milliseconds.
+    pub cold_ms: f64,
+    /// File world: rewrite + cold load + query, milliseconds.
+    pub file_ms: f64,
+    /// `file_ms / warm_ms`.
+    pub speedup_vs_file: f64,
+    /// Whether the warm report was byte-identical to the cold one
+    /// (asserted — a row only exists if it was).
+    pub parity: bool,
+}
+
+fn data_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join("dsg_mutate_experiment");
+    std::fs::create_dir_all(&dir).expect("cannot create mutate data dir");
+    dir
+}
+
+/// Deterministic delta batch over the current node universe.
+fn delta_batch(rng: &mut SplitMix64, nodes: u32, count: usize) -> Vec<(u32, u32)> {
+    let span = nodes.max(2);
+    (0..count)
+        .map(|_| {
+            let u = (rng.next_u64() % span as u64) as u32;
+            let v = (rng.next_u64() % span as u64) as u32;
+            (u, v)
+        })
+        .collect()
+}
+
+/// Picks `count` existing edges to remove, spread across the list.
+fn removal_batch(list: &EdgeList, count: usize) -> Vec<(u32, u32)> {
+    let m = list.num_edges();
+    if m == 0 {
+        return Vec::new();
+    }
+    let step = (m / count.max(1)).max(1);
+    list.edges
+        .iter()
+        .step_by(step)
+        .take(count)
+        .copied()
+        .collect()
+}
+
+struct Session {
+    name: &'static str,
+    queries: Vec<(&'static str, Query)>,
+}
+
+/// Runs the experiment at the given scale.
+pub fn run(scale: Scale) -> Vec<Row> {
+    let dir = data_dir();
+    let engine = Engine::new();
+    let policy = ResourcePolicy::default();
+
+    let und = flickr_standin(scale);
+    let dir_graph = twitter_standin(scale);
+    engine
+        .create_graph("live_und", GraphKind::Undirected, &und.edges)
+        .expect("create undirected session");
+    engine
+        .create_graph("live_dir", GraphKind::Directed, &dir_graph.edges)
+        .expect("create directed session");
+
+    let sessions = [
+        Session {
+            name: "live_und",
+            queries: vec![
+                (
+                    "approx",
+                    Query::new(Algorithm::Approx {
+                        epsilon: 0.5,
+                        sketch: None,
+                    }),
+                ),
+                (
+                    "atleast-k",
+                    Query::new(Algorithm::AtLeastK {
+                        k: 16,
+                        epsilon: 0.5,
+                    }),
+                ),
+            ],
+        },
+        Session {
+            name: "live_dir",
+            queries: vec![(
+                "directed",
+                Query::new(Algorithm::Directed {
+                    delta: 2.0,
+                    epsilon: 0.5,
+                }),
+            )],
+        },
+    ];
+
+    // Seed every (graph, query) warm slot before the measured rounds.
+    for session in &sessions {
+        for (_, query) in &session.queries {
+            engine
+                .execute(&Source::named(session.name), query, &policy)
+                .expect("seed query");
+        }
+    }
+
+    let mut rng = SplitMix64::new(42);
+    let shapes: [&'static str; 6] = ["add", "remove", "mixed", "add", "remove", "mixed"];
+    let mut rows = Vec::new();
+
+    for (round, shape) in shapes.iter().enumerate() {
+        for session in &sessions {
+            let snapshot = materialized(&engine, session.name);
+            // Delta ≈ 2% of the current edge count, split per shape.
+            let batch = (snapshot.num_edges() / 50).clamp(4, 2_000);
+            let (adds, removes): (EdgeBatch, EdgeBatch) = match *shape {
+                "add" => (delta_batch(&mut rng, snapshot.num_nodes, batch), Vec::new()),
+                "remove" => (Vec::new(), removal_batch(&snapshot, batch)),
+                _ => (
+                    delta_batch(&mut rng, snapshot.num_nodes, batch / 2),
+                    removal_batch(&snapshot, batch / 2),
+                ),
+            };
+
+            // --- warm arm: session mutation + warm queries.
+            let warm_started = Instant::now();
+            let mut delta_applied = 0u64;
+            if !adds.is_empty() {
+                delta_applied += engine
+                    .add_edges(session.name, &adds)
+                    .expect("add_edges")
+                    .applied;
+            }
+            if !removes.is_empty() {
+                delta_applied += engine
+                    .remove_edges(session.name, &removes)
+                    .expect("remove_edges")
+                    .applied;
+            }
+            let mutate_ms = warm_started.elapsed().as_secs_f64() * 1e3;
+            let current = materialized(&engine, session.name);
+
+            for (alg_name, query) in &session.queries {
+                let warm_started = Instant::now();
+                let warm = engine
+                    .execute(&Source::named(session.name), query, &policy)
+                    .expect("warm query");
+                let warm_ms = mutate_ms / session.queries.len() as f64
+                    + warm_started.elapsed().as_secs_f64() * 1e3;
+
+                // --- cold arm: fresh engine, materialized list.
+                let cold_engine = Engine::new();
+                let cold_started = Instant::now();
+                let cold = cold_engine
+                    .execute(
+                        &Source::Memory {
+                            list: current.clone(),
+                            label: session.name.to_string(),
+                        },
+                        query,
+                        &policy,
+                    )
+                    .expect("cold query");
+                let cold_ms = cold_started.elapsed().as_secs_f64() * 1e3;
+
+                // Parity: the acceptance criterion. Panic on divergence.
+                let warm_json = warm.json_object(false);
+                let cold_json = cold.json_object(false);
+                assert_eq!(
+                    warm_json, cold_json,
+                    "warm/cold divergence: round {round}, {shape}, {alg_name}"
+                );
+
+                // --- file arm: rewrite + cold load (the PR-4 world).
+                let path = dir.join(format!("{}_{round}.txt", session.name));
+                let file_engine = Engine::new();
+                let file_started = Instant::now();
+                write_text(&path, &current).expect("rewrite edge file");
+                let file_report = file_engine
+                    .execute(
+                        &Source::File {
+                            path: path.clone(),
+                            binary: false,
+                            directed_input: current.kind == GraphKind::Directed,
+                        },
+                        query,
+                        &policy,
+                    )
+                    .expect("file query");
+                let file_ms = file_started.elapsed().as_secs_f64() * 1e3;
+                assert_eq!(
+                    file_report.density().to_bits(),
+                    warm.density().to_bits(),
+                    "file-world density must agree: round {round}, {alg_name}"
+                );
+
+                rows.push(Row {
+                    round: round + 1,
+                    shape,
+                    algorithm: alg_name,
+                    edges: current.num_edges() as u64,
+                    delta_edges: delta_applied,
+                    warm_ms,
+                    cold_ms,
+                    file_ms,
+                    speedup_vs_file: if warm_ms > 0.0 {
+                        file_ms / warm_ms
+                    } else {
+                        0.0
+                    },
+                    parity: true,
+                });
+            }
+        }
+    }
+
+    // Final round: compact bumps the version without changing content —
+    // the warm path must serve a verified replay, byte-identically.
+    let warm_before = engine.warm_stats();
+    for session in &sessions {
+        engine.compact_graph(session.name).expect("compact");
+        let current = materialized(&engine, session.name);
+        for (alg_name, query) in &session.queries {
+            let started = Instant::now();
+            let warm = engine
+                .execute(&Source::named(session.name), query, &policy)
+                .expect("replay query");
+            let warm_ms = started.elapsed().as_secs_f64() * 1e3;
+            let cold_engine = Engine::new();
+            let cold_started = Instant::now();
+            let cold = cold_engine
+                .execute(
+                    &Source::Memory {
+                        list: current.clone(),
+                        label: session.name.to_string(),
+                    },
+                    query,
+                    &policy,
+                )
+                .expect("cold replay reference");
+            let cold_ms = cold_started.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(
+                warm.json_object(false),
+                cold.json_object(false),
+                "replay divergence: {alg_name}"
+            );
+            rows.push(Row {
+                round: shapes.len() + 1,
+                shape: "compact",
+                algorithm: alg_name,
+                edges: current.num_edges() as u64,
+                delta_edges: 0,
+                warm_ms,
+                cold_ms,
+                file_ms: 0.0,
+                speedup_vs_file: 0.0,
+                parity: true,
+            });
+        }
+    }
+    let warm_after = engine.warm_stats();
+    assert!(
+        warm_after.hits > warm_before.hits,
+        "compaction replays must register as warm hits ({warm_before:?} -> {warm_after:?})"
+    );
+    assert!(
+        warm_after.hits >= rows.len() as u64 / 2,
+        "most mutated-query rounds should warm-restart: {warm_after:?} over {} rows",
+        rows.len()
+    );
+
+    rows
+}
+
+/// The session's current materialized graph.
+fn materialized(engine: &Engine, name: &str) -> EdgeList {
+    let (_, entry) = engine
+        .catalog()
+        .get_named(name)
+        .expect("session graph exists");
+    entry.list.clone()
+}
+
+/// Renders the rows as a paper-style table.
+pub fn to_table(rows: &[Row]) -> Table {
+    let mut t = Table::new(
+        "Mutate: session warm restart vs cold recompute vs file rewrite (parity asserted)",
+        &[
+            "round",
+            "shape",
+            "algorithm",
+            "edges",
+            "delta",
+            "warm ms",
+            "cold ms",
+            "file ms",
+            "speedup",
+            "parity",
+        ],
+    );
+    for r in rows {
+        t.push_row(vec![
+            r.round.to_string(),
+            r.shape.to_string(),
+            r.algorithm.to_string(),
+            r.edges.to_string(),
+            r.delta_edges.to_string(),
+            fmt_f(r.warm_ms, 2),
+            fmt_f(r.cold_ms, 2),
+            fmt_f(r.file_ms, 2),
+            fmt_f(r.speedup_vs_file, 2),
+            if r.parity { "ok" } else { "FAIL" }.to_string(),
+        ]);
+    }
+    t
+}

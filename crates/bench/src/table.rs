@@ -56,6 +56,32 @@ impl Table {
         out
     }
 
+    /// Renders as a JSON object (`{"title":…,"columns":[…],"rows":[[…]]}`),
+    /// the building block of the `repro --bench-json` artifacts CI
+    /// compares against `bench/baseline.json`.
+    pub fn render_json(&self) -> String {
+        let esc = dsg_engine::report::escape_json;
+        let cols: Vec<String> = self
+            .headers
+            .iter()
+            .map(|h| format!("\"{}\"", esc(h)))
+            .collect();
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|row| {
+                let cells: Vec<String> = row.iter().map(|c| format!("\"{}\"", esc(c))).collect();
+                format!("[{}]", cells.join(","))
+            })
+            .collect();
+        format!(
+            "{{\"title\":\"{}\",\"columns\":[{}],\"rows\":[{}]}}",
+            esc(&self.title),
+            cols.join(","),
+            rows.join(",")
+        )
+    }
+
     /// Renders as CSV (headers + rows).
     pub fn render_csv(&self) -> String {
         let mut out = String::new();

@@ -8,11 +8,11 @@
 //! (unweighted) or `O((m + n) log n)` with a lazy binary heap (weighted).
 //!
 //! In kernel terms this is the limit case of the peeling family: the
-//! [`MinNodePolicy`](crate::kernel::MinNodePolicy) (one node per pass)
+//! [`MinNodePolicy`] (one node per pass)
 //! over a priority-structure
 //! [`DegreeStore`](crate::kernel::DegreeStore) —
-//! [`BucketQueueStore`](crate::kernel::BucketQueueStore) or
-//! [`LazyHeapStore`](crate::kernel::LazyHeapStore) — whose
+//! [`BucketQueueStore`] or
+//! [`LazyHeapStore`] — whose
 //! `extract_min` keeps the whole peel at bucket-queue/heap cost.
 
 use dsg_graph::{CsrUndirected, NodeSet};

@@ -16,8 +16,8 @@
 //!
 //! All variants run through the shared [peeling kernel](crate::kernel) as
 //! two-sided states: the
-//! [`DirectedSizesPolicy`](crate::kernel::DirectedSizesPolicy) (or the
-//! naive [`DirectedNaivePolicy`](crate::kernel::DirectedNaivePolicy)
+//! [`DirectedSizesPolicy`] (or the
+//! naive [`DirectedNaivePolicy`]
 //! ablation) over a streaming, decremental-CSR, or parallel-CSR
 //! [`DegreeStore`](crate::kernel::DegreeStore).
 

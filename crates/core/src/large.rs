@@ -10,7 +10,7 @@
 //! `|S| < k` no further set can qualify, so the run stops early.
 //!
 //! In kernel terms this is Algorithm 1 with the
-//! [`KFloorPolicy`](crate::kernel::KFloorPolicy) removal rule in place of
+//! [`KFloorPolicy`] removal rule in place of
 //! the plain threshold; the degree-store backends are shared unchanged.
 
 use dsg_graph::stream::EdgeStream;

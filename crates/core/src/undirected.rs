@@ -16,7 +16,7 @@
 //!
 //! All variants are instantiations of the shared
 //! [peeling kernel](crate::kernel) with the
-//! [`ThresholdPolicy`](crate::kernel::ThresholdPolicy) removal rule; they
+//! [`ThresholdPolicy`] removal rule; they
 //! differ only in the [`DegreeStore`](crate::kernel::DegreeStore) backend:
 //!
 //! * [`approx_densest`] / [`approx_densest_with_oracle`] — the streaming

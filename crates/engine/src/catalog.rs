@@ -34,21 +34,38 @@
 //! [`GraphCatalog::stat`] answers the planner's question — how big is
 //! this graph? — *without* materializing: the binary header or a text
 //! validation scan (O(1) memory), cached per path.
+//!
+//! ## Versioning and named session graphs
+//!
+//! The catalog is **versioned**: every snapshot carries a
+//! [`CatalogEntry::version`]. File-backed entries stay at version 0 —
+//! their identity is the content fingerprint, which already changes
+//! whenever the file does. **Named session graphs** ([`NamedGraph`]) are
+//! in-memory mutable graphs created and mutated through the catalog
+//! ([`GraphCatalog::create_named`], [`GraphCatalog::mutate_named`]):
+//! a [`DeltaGraph`] applies the edits and every successful mutation
+//! publishes a fresh immutable snapshot under a monotonically
+//! increasing, never-reused version. Queries hold `Arc` snapshots
+//! exactly like file entries, so a mutation never tears an in-flight
+//! query, and the result cache keys on `(fingerprint, version)` so a
+//! stale replay is structurally impossible.
 
 use std::collections::HashMap;
 use std::fs::File;
 use std::io::{BufRead, BufReader, Read};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::SystemTime;
 
+use dsg_graph::delta::DEFAULT_COMPACT_RATIO;
 use dsg_graph::io::{read_binary, read_text, BinaryEdgeReader};
 use dsg_graph::stream::parse_edge_line;
 use dsg_graph::{
-    CsrDirected, CsrUndirected, EdgeList, GraphError, GraphKind, Result as GraphResult,
+    CsrDirected, CsrUndirected, DeltaGraph, EdgeList, GraphError, GraphKind, Result as GraphResult,
 };
 
+use crate::error::{EngineError, Result as EngineResult};
 use crate::planner::GraphMeta;
 
 /// A loaded, canonicalized graph with lazily-built CSR snapshots.
@@ -73,6 +90,17 @@ pub struct CatalogEntry {
     /// queries, but its reports must not enter the result cache.
     /// Always `true` for memory entries and undisturbed loads.
     pub cacheable: bool,
+    /// Catalog version of this snapshot: 0 for file-backed and memory
+    /// entries (files are versioned by content fingerprint), a
+    /// monotonically increasing — never reused — counter value for
+    /// named session graphs.
+    pub version: u64,
+    /// FNV-1a hash of the snapshot's *logical content* (orientation,
+    /// node count, canonical edges). For file entries this is the file
+    /// fingerprint; for named graphs it is recomputed per version, so
+    /// two versions with identical edges (a no-op mutation, a compact)
+    /// hash identically — the warm-restart replay check.
+    pub content_hash: u64,
     csr_undirected: OnceLock<Arc<CsrUndirected>>,
     csr_directed: OnceLock<Arc<CsrDirected>>,
 }
@@ -92,6 +120,8 @@ impl CatalogEntry {
             meta,
             stored_meta: meta,
             cacheable: true,
+            version: 0,
+            content_hash: fingerprint,
             csr_undirected: OnceLock::new(),
             csr_directed: OnceLock::new(),
         }
@@ -112,6 +142,178 @@ impl CatalogEntry {
             .get_or_init(|| Arc::new(CsrDirected::from_edge_list(&self.list)))
             .clone()
     }
+}
+
+/// FNV-1a offset basis / prime — one definition for every hash in this
+/// module (file fingerprints, graph names, content hashes).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds bytes into a running FNV-1a state.
+fn fnv1a_update(mut hash: u64, bytes: impl IntoIterator<Item = u8>) -> u64 {
+    for b in bytes {
+        hash = (hash ^ b as u64).wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// FNV-1a over a byte sequence (graph names, content hashing).
+fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    fnv1a_update(FNV_OFFSET, bytes)
+}
+
+/// FNV-1a over a canonical edge list's logical content: orientation,
+/// node count, and every `(u, v)` pair in canonical order. Two
+/// snapshots hash identically iff they present the same graph.
+fn content_hash(list: &EdgeList) -> u64 {
+    let header = [
+        match list.kind {
+            GraphKind::Undirected => 0u8,
+            GraphKind::Directed => 1u8,
+        },
+        0,
+        0,
+        0,
+    ]
+    .into_iter()
+    .chain(list.num_nodes.to_le_bytes());
+    let edges = list
+        .edges
+        .iter()
+        .flat_map(|&(u, v)| u.to_le_bytes().into_iter().chain(v.to_le_bytes()));
+    fnv1a(header.chain(edges))
+}
+
+/// A named, **mutable** session graph: a [`DeltaGraph`] guarded by a
+/// mutex (mutations are serialized per graph) plus the current immutable
+/// [`CatalogEntry`] snapshot behind an `RwLock` swap. Queries clone the
+/// snapshot `Arc` and compute on frozen state — exactly the model
+/// file-backed entries use — so a mutation landing mid-query never
+/// tears anything: the query finishes on the version it started on, and
+/// the next query sees the new version atomically.
+pub struct NamedGraph {
+    name: String,
+    /// FNV-1a of the name: the stable identity across versions (the
+    /// `fingerprint` half of the result cache's `(fingerprint, version)`
+    /// key; snapshots additionally carry a per-version content hash).
+    fingerprint: u64,
+    state: Mutex<DeltaGraph>,
+    snapshot: RwLock<Arc<CatalogEntry>>,
+    last_used: AtomicU64,
+    /// Total delta edges ever applied — the engine's warm-restart ratio
+    /// is computed from the growth of this counter between versions.
+    cum_delta: AtomicU64,
+    warm_hits: AtomicU64,
+    warm_fallbacks: AtomicU64,
+}
+
+impl NamedGraph {
+    /// The graph's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The name's FNV-1a fingerprint (stable across versions).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The current immutable snapshot.
+    pub fn snapshot(&self) -> Arc<CatalogEntry> {
+        self.snapshot
+            .read()
+            .expect("named graph lock poisoned")
+            .clone()
+    }
+
+    /// Total delta edges ever applied to this graph.
+    pub fn cum_delta(&self) -> u64 {
+        self.cum_delta.load(Ordering::Relaxed)
+    }
+
+    /// Records a warm-restart replay/re-peel on this graph.
+    pub fn record_warm_hit(&self) {
+        self.warm_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a warm-restart fallback (delta ratio too high).
+    pub fn record_warm_fallback(&self) {
+        self.warm_fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time counters for the serve mode's `stats` op.
+    pub fn stats(&self) -> NamedGraphStats {
+        let (delta_edges, compactions) = {
+            let state = self.state.lock().expect("named graph lock poisoned");
+            (state.delta_edges() as u64, state.compactions())
+        };
+        let snap = self.snapshot();
+        NamedGraphStats {
+            name: self.name.clone(),
+            version: snap.version,
+            nodes: snap.meta.nodes,
+            edges: snap.meta.edges,
+            delta_edges,
+            compactions,
+            warm_hits: self.warm_hits.load(Ordering::Relaxed),
+            warm_fallbacks: self.warm_fallbacks.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Per-graph accounting surfaced by the serve mode's `stats` op.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NamedGraphStats {
+    /// Graph name.
+    pub name: String,
+    /// Current catalog version.
+    pub version: u64,
+    /// Nodes in the current snapshot.
+    pub nodes: u64,
+    /// Edges in the current snapshot.
+    pub edges: u64,
+    /// Outstanding (un-compacted) delta log size.
+    pub delta_edges: u64,
+    /// Times the delta logs were folded into a fresh base.
+    pub compactions: u64,
+    /// Warm-restart replays/re-peels served on this graph.
+    pub warm_hits: u64,
+    /// Warm-restart fallbacks (delta ratio too high) on this graph.
+    pub warm_fallbacks: u64,
+}
+
+/// One mutation request against a named graph.
+#[derive(Clone, Copy, Debug)]
+pub enum MutateOp<'a> {
+    /// Add a batch of edges (set semantics; duplicates are no-ops).
+    Add(&'a [(u32, u32)]),
+    /// Remove a batch of edges (absent edges are no-ops).
+    Remove(&'a [(u32, u32)]),
+    /// Fold the delta logs into a fresh canonical base now.
+    Compact,
+}
+
+/// What a mutation did, for the serve response and the engine's eager
+/// result-cache eviction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MutationOutcome {
+    /// The name's fingerprint (the result cache's invalidation handle).
+    pub fingerprint: u64,
+    /// Version after the op (unchanged if nothing was applied).
+    pub version: u64,
+    /// Whether the op changed the graph (and hence bumped the version).
+    pub changed: bool,
+    /// Edges the op actually applied (0 for pure compactions).
+    pub applied: u64,
+    /// Node count after the op.
+    pub nodes: u64,
+    /// Edge count after the op.
+    pub edges: u64,
+    /// Outstanding delta log size after the op.
+    pub delta_edges: u64,
+    /// Whether this op compacted the logs (explicitly or because the
+    /// delta ratio crossed the configured threshold).
+    pub compacted: bool,
 }
 
 /// Cache key: one entry per `(path, format, orientation)`.
@@ -140,16 +342,14 @@ fn stamp(path: &Path) -> GraphResult<FileStamp> {
 /// FNV-1a over the raw file bytes.
 fn fingerprint_file(path: &Path) -> GraphResult<u64> {
     let mut f = File::open(path).map_err(GraphError::Io)?;
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut hash = FNV_OFFSET;
     let mut buf = [0u8; 64 * 1024];
     loop {
         let n = f.read(&mut buf).map_err(GraphError::Io)?;
         if n == 0 {
             break;
         }
-        for &b in &buf[..n] {
-            hash = (hash ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
-        }
+        hash = fnv1a_update(hash, buf[..n].iter().copied());
     }
     Ok(hash)
 }
@@ -212,12 +412,21 @@ struct Slot {
 pub struct GraphCatalog {
     entries: RwLock<HashMap<Key, Arc<Slot>>>,
     meta_cache: RwLock<HashMap<Key, (GraphMeta, FileStamp)>>,
+    named: RwLock<HashMap<String, Arc<NamedGraph>>>,
     loads: AtomicU64,
     hits: AtomicU64,
     stat_scans: AtomicU64,
     evictions: AtomicU64,
+    mutations: AtomicU64,
     clock: AtomicU64,
     max_entries: AtomicUsize,
+    /// Monotonic version source for named graphs. Never reused: a graph
+    /// re-created under an evicted name continues from here, so a
+    /// `(fingerprint, version)` result-cache key can never alias two
+    /// different graph states.
+    version_counter: AtomicU64,
+    /// `f64` bits of the auto-compaction delta ratio.
+    compact_ratio_bits: AtomicU64,
 }
 
 impl Default for GraphCatalog {
@@ -225,12 +434,16 @@ impl Default for GraphCatalog {
         GraphCatalog {
             entries: RwLock::new(HashMap::new()),
             meta_cache: RwLock::new(HashMap::new()),
+            named: RwLock::new(HashMap::new()),
             loads: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             stat_scans: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            mutations: AtomicU64::new(0),
             clock: AtomicU64::new(0),
             max_entries: AtomicUsize::new(DEFAULT_MAX_ENTRIES),
+            version_counter: AtomicU64::new(0),
+            compact_ratio_bits: AtomicU64::new(DEFAULT_COMPACT_RATIO.to_bits()),
         }
     }
 }
@@ -251,9 +464,15 @@ impl GraphCatalog {
     pub fn set_max_entries(&self, max_entries: usize) {
         let bound = max_entries.max(1);
         self.max_entries.store(bound, Ordering::Relaxed);
-        let mut map = self.entries.write().expect("catalog lock poisoned");
-        while map.len() > bound {
-            self.evict_lru(&mut map);
+        {
+            let mut map = self.entries.write().expect("catalog lock poisoned");
+            while map.len() > bound {
+                self.evict_lru(&mut map);
+            }
+        }
+        let mut named = self.named.write().expect("catalog lock poisoned");
+        while named.len() > bound {
+            self.evict_lru_named(&mut named);
         }
     }
 
@@ -264,6 +483,17 @@ impl GraphCatalog {
             .map(|(k, _)| k.clone())
         {
             map.remove(&key);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn evict_lru_named(&self, map: &mut HashMap<String, Arc<NamedGraph>>) {
+        if let Some(name) = map
+            .iter()
+            .min_by_key(|(_, g)| g.last_used.load(Ordering::Relaxed))
+            .map(|(k, _)| k.clone())
+        {
+            map.remove(&name);
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -288,14 +518,17 @@ impl GraphCatalog {
         self.len() == 0
     }
 
-    /// Drops every cached entry (counters are kept). In-flight queries
-    /// holding `Arc` snapshots keep them.
+    /// Drops every cached entry **including named session graphs**
+    /// (counters are kept). In-flight queries holding `Arc` snapshots
+    /// keep them; named graphs are gone for good — there is no file to
+    /// reload them from.
     pub fn clear(&self) {
         self.entries.write().expect("catalog lock poisoned").clear();
         self.meta_cache
             .write()
             .expect("catalog lock poisoned")
             .clear();
+        self.named.write().expect("catalog lock poisoned").clear();
     }
 
     /// Returns the cached graph for `(path, binary, kind)`, loading,
@@ -443,6 +676,221 @@ impl GraphCatalog {
         }
         cache.insert(key, (meta, current));
         Ok(meta)
+    }
+
+    // ----- named session graphs -------------------------------------
+
+    /// The auto-compaction threshold: a mutation whose outstanding delta
+    /// logs exceed `ratio × base edges` folds them into a fresh base.
+    pub fn set_compact_ratio(&self, ratio: f64) {
+        self.compact_ratio_bits
+            .store(ratio.max(0.0).to_bits(), Ordering::Relaxed);
+    }
+
+    /// The configured auto-compaction delta ratio.
+    pub fn compact_ratio(&self) -> f64 {
+        f64::from_bits(self.compact_ratio_bits.load(Ordering::Relaxed))
+    }
+
+    /// Mutations applied to named graphs so far (ops that changed
+    /// nothing are not counted).
+    pub fn mutations(&self) -> u64 {
+        self.mutations.load(Ordering::Relaxed)
+    }
+
+    /// Number of named session graphs currently held.
+    pub fn named_len(&self) -> usize {
+        self.named.read().expect("catalog lock poisoned").len()
+    }
+
+    /// Per-graph accounting of every named graph, sorted by name (the
+    /// serve mode's `stats` op).
+    pub fn named_stats(&self) -> Vec<NamedGraphStats> {
+        let graphs: Vec<Arc<NamedGraph>> = {
+            let map = self.named.read().expect("catalog lock poisoned");
+            map.values().cloned().collect()
+        };
+        let mut stats: Vec<NamedGraphStats> = graphs.iter().map(|g| g.stats()).collect();
+        stats.sort_by(|a, b| a.name.cmp(&b.name));
+        stats
+    }
+
+    /// Builds the immutable snapshot of a named graph's current state.
+    fn named_snapshot(fingerprint: u64, version: u64, delta: &DeltaGraph) -> Arc<CatalogEntry> {
+        let list = delta.materialize();
+        let hash = content_hash(&list);
+        let mut entry = CatalogEntry::from_list(list, 0, fingerprint);
+        entry.version = version;
+        entry.content_hash = hash;
+        Arc::new(entry)
+    }
+
+    /// Creates a named mutable graph (optionally seeded with edges) and
+    /// returns its first snapshot. Fails with
+    /// [`EngineError::GraphExists`] if the name is taken. Creating
+    /// beyond the catalog bound evicts the least-recently-used named
+    /// graph — named graphs have no backing file, so eviction is data
+    /// loss and a later mutation against the evicted name fails with a
+    /// typed error instead of silently dropping the delta.
+    pub fn create_named(
+        &self,
+        name: &str,
+        kind: GraphKind,
+        edges: &[(u32, u32)],
+    ) -> EngineResult<MutationOutcome> {
+        if name.is_empty() {
+            return Err(EngineError::InvalidQuery(
+                "graph name must not be empty".into(),
+            ));
+        }
+        // Cheap early rejection before the O(m) seed build; the
+        // authoritative duplicate check re-runs under the write lock
+        // below (two racing creates still resolve to one winner).
+        if self
+            .named
+            .read()
+            .expect("catalog lock poisoned")
+            .contains_key(name)
+        {
+            return Err(EngineError::GraphExists {
+                name: name.to_string(),
+            });
+        }
+        let mut delta = DeltaGraph::new_empty(kind);
+        let applied = delta.add_edges(edges)? as u64;
+        let compacted = delta.maybe_compact(self.compact_ratio());
+        let delta_edges = delta.delta_edges() as u64;
+        let fingerprint = fnv1a(name.bytes());
+        let version = self.version_counter.fetch_add(1, Ordering::Relaxed) + 1;
+        let snapshot = Self::named_snapshot(fingerprint, version, &delta);
+        let outcome = MutationOutcome {
+            fingerprint,
+            version,
+            changed: true,
+            applied,
+            nodes: snapshot.meta.nodes,
+            edges: snapshot.meta.edges,
+            delta_edges,
+            compacted,
+        };
+        let graph = Arc::new(NamedGraph {
+            name: name.to_string(),
+            fingerprint,
+            state: Mutex::new(delta),
+            snapshot: RwLock::new(snapshot),
+            last_used: AtomicU64::new(self.clock.fetch_add(1, Ordering::Relaxed) + 1),
+            cum_delta: AtomicU64::new(applied),
+            warm_hits: AtomicU64::new(0),
+            warm_fallbacks: AtomicU64::new(0),
+        });
+        let mut map = self.named.write().expect("catalog lock poisoned");
+        if map.contains_key(name) {
+            return Err(EngineError::GraphExists {
+                name: name.to_string(),
+            });
+        }
+        if map.len() >= self.max_entries.load(Ordering::Relaxed) {
+            self.evict_lru_named(&mut map);
+        }
+        map.insert(name.to_string(), graph);
+        Ok(outcome)
+    }
+
+    /// Looks a named graph up, returning the handle and its current
+    /// snapshot (and touching the LRU clock). `None` if the name was
+    /// never created or has been evicted.
+    pub fn get_named(&self, name: &str) -> Option<(Arc<NamedGraph>, Arc<CatalogEntry>)> {
+        let graph = {
+            let map = self.named.read().expect("catalog lock poisoned");
+            map.get(name).cloned()
+        }?;
+        graph.last_used.store(
+            self.clock.fetch_add(1, Ordering::Relaxed) + 1,
+            Ordering::Relaxed,
+        );
+        let snapshot = graph.snapshot();
+        Some((graph, snapshot))
+    }
+
+    /// Applies one mutation to a named graph, atomically publishing a
+    /// new versioned snapshot. Concurrent mutations on the same graph
+    /// serialize on its mutex; queries keep reading the old snapshot
+    /// `Arc` until the swap and the new one after — never a torn state.
+    ///
+    /// **Eviction race:** if the graph is evicted (or evicted and
+    /// re-created) between lookup and publication, the delta must not be
+    /// silently dropped. The publication step re-checks, under the map
+    /// lock, that the map still holds *this* graph object; if not, the
+    /// op fails with [`EngineError::StaleGraph`] and no live state was
+    /// changed (the orphaned object the delta was applied to is
+    /// unreachable and dies with the last query holding it).
+    pub fn mutate_named(&self, name: &str, op: MutateOp<'_>) -> EngineResult<MutationOutcome> {
+        let graph = {
+            let map = self.named.read().expect("catalog lock poisoned");
+            map.get(name).cloned()
+        }
+        .ok_or_else(|| EngineError::UnknownGraph {
+            name: name.to_string(),
+        })?;
+        graph.last_used.store(
+            self.clock.fetch_add(1, Ordering::Relaxed) + 1,
+            Ordering::Relaxed,
+        );
+
+        // Apply under the graph's own mutex (mutations serialize per
+        // graph; queries are not blocked — they read the snapshot).
+        let mut state = graph.state.lock().expect("named graph lock poisoned");
+        let (applied, mut compacted) = match op {
+            MutateOp::Add(edges) => (state.add_edges(edges)? as u64, false),
+            MutateOp::Remove(edges) => (state.remove_edges(edges) as u64, false),
+            MutateOp::Compact => {
+                let had_delta = state.delta_edges() > 0;
+                if had_delta {
+                    state.compact();
+                }
+                (0, had_delta)
+            }
+        };
+        if matches!(op, MutateOp::Add(_) | MutateOp::Remove(_)) && applied > 0 {
+            compacted = state.maybe_compact(self.compact_ratio());
+        }
+        let changed = applied > 0 || compacted;
+        let old = graph.snapshot();
+        let snapshot = if changed {
+            let version = self.version_counter.fetch_add(1, Ordering::Relaxed) + 1;
+            let snapshot = Self::named_snapshot(graph.fingerprint, version, &state);
+            *graph.snapshot.write().expect("named graph lock poisoned") = snapshot.clone();
+            graph.cum_delta.fetch_add(applied, Ordering::Relaxed);
+            self.mutations.fetch_add(1, Ordering::Relaxed);
+            snapshot
+        } else {
+            old
+        };
+        let delta_edges = state.delta_edges() as u64;
+        // Keep the state mutex held through the publication check: a
+        // concurrent mutation on the same graph cannot interleave, so
+        // "the map still points at this object" really does mean this
+        // op's snapshot is the published one.
+        let still_live = {
+            let map = self.named.read().expect("catalog lock poisoned");
+            map.get(name).is_some_and(|g| Arc::ptr_eq(g, &graph))
+        };
+        drop(state);
+        if !still_live {
+            return Err(EngineError::StaleGraph {
+                name: name.to_string(),
+            });
+        }
+        Ok(MutationOutcome {
+            fingerprint: graph.fingerprint,
+            version: snapshot.version,
+            changed,
+            applied,
+            nodes: snapshot.meta.nodes,
+            edges: snapshot.meta.edges,
+            delta_edges,
+            compacted,
+        })
     }
 }
 
@@ -679,6 +1127,165 @@ mod tests {
             .unwrap();
         assert!(!hit);
         assert_eq!(entry.list.num_edges(), 2);
+    }
+
+    #[test]
+    fn named_graph_versions_and_snapshots() {
+        let cat = GraphCatalog::new();
+        let created = cat
+            .create_named("g", GraphKind::Undirected, &[(0, 1), (1, 2)])
+            .unwrap();
+        assert_eq!(created.version, 1);
+        assert_eq!(created.edges, 2);
+        assert!(created.changed);
+        let (_, snap1) = cat.get_named("g").unwrap();
+        assert_eq!(snap1.version, 1);
+        assert_eq!(snap1.list.num_edges(), 2);
+
+        // A held snapshot is immutable across mutations.
+        let out = cat.mutate_named("g", MutateOp::Add(&[(0, 2)])).unwrap();
+        assert_eq!(out.version, 2);
+        assert_eq!(out.applied, 1);
+        assert_eq!(out.edges, 3);
+        assert_eq!(snap1.list.num_edges(), 2, "old snapshot untouched");
+        let (_, snap2) = cat.get_named("g").unwrap();
+        assert_eq!(snap2.list.num_edges(), 3);
+        assert_ne!(snap1.content_hash, snap2.content_hash);
+
+        // No-op mutations do not bump the version.
+        let noop = cat.mutate_named("g", MutateOp::Add(&[(0, 1)])).unwrap();
+        assert_eq!(noop.version, 2);
+        assert!(!noop.changed);
+        assert_eq!(cat.mutations(), 1, "no-ops are not mutations");
+
+        // Add-then-remove round trip restores the content hash (the
+        // warm-restart replay trigger) at a higher version.
+        cat.mutate_named("g", MutateOp::Remove(&[(0, 2)])).unwrap();
+        let (_, snap3) = cat.get_named("g").unwrap();
+        assert!(snap3.version > snap2.version);
+        assert_eq!(snap3.content_hash, snap1.content_hash);
+
+        // Unknown/duplicate names are typed errors.
+        assert!(matches!(
+            cat.mutate_named("missing", MutateOp::Compact),
+            Err(EngineError::UnknownGraph { .. })
+        ));
+        assert!(matches!(
+            cat.create_named("g", GraphKind::Undirected, &[]),
+            Err(EngineError::GraphExists { .. })
+        ));
+    }
+
+    #[test]
+    fn named_graphs_auto_compact_past_the_ratio() {
+        let cat = GraphCatalog::new();
+        cat.set_compact_ratio(0.5);
+        cat.create_named(
+            "g",
+            GraphKind::Undirected,
+            &[(0, 1), (1, 2), (2, 3), (3, 4)],
+        )
+        .unwrap();
+        // A small delta stays in the logs...
+        let out = cat.mutate_named("g", MutateOp::Add(&[(0, 2)])).unwrap();
+        assert!(!out.compacted);
+        assert_eq!(out.delta_edges, 1);
+        // ...but crossing ratio x base folds them.
+        let out = cat
+            .mutate_named("g", MutateOp::Add(&[(0, 3), (0, 4)]))
+            .unwrap();
+        assert!(out.compacted, "3 delta edges > 0.5 x 4 base edges");
+        assert_eq!(out.delta_edges, 0);
+        let stats = &cat.named_stats()[0];
+        // Two compactions: the seeded create itself (4 delta edges over
+        // an empty base) plus the ratio-crossing add above.
+        assert_eq!(stats.compactions, 2);
+        assert_eq!(stats.edges, 7);
+    }
+
+    #[test]
+    fn versions_are_never_reused_across_recreation() {
+        let cat = GraphCatalog::new();
+        cat.set_max_entries(1);
+        cat.create_named("a", GraphKind::Undirected, &[(0, 1)])
+            .unwrap();
+        cat.mutate_named("a", MutateOp::Add(&[(1, 2)])).unwrap();
+        // Evict `a` by creating `b`, then re-create `a`: its first
+        // version must be beyond every version the old `a` ever had.
+        cat.create_named("b", GraphKind::Undirected, &[]).unwrap();
+        assert!(cat.get_named("a").is_none(), "a was evicted");
+        let recreated = cat.create_named("a", GraphKind::Undirected, &[]).unwrap();
+        assert!(recreated.version > 2, "got {}", recreated.version);
+    }
+
+    #[test]
+    fn eviction_racing_mutation_never_silently_drops_the_delta() {
+        // The PR-5 companion to the single-flight test: 8 threads mutate
+        // one named graph while the main thread evicts it mid-flight by
+        // overflowing the bound. Every add_edges call must either (a)
+        // succeed — its edge is in the final graph reachable under the
+        // name at the moment of success — or (b) fail with a typed
+        // stale/unknown-graph error. What must never happen is an Ok
+        // whose edge is missing from the graph the op applied to.
+        let threads = 8u32;
+        for round in 0..8 {
+            let cat = GraphCatalog::new();
+            cat.set_max_entries(2);
+            cat.create_named("target", GraphKind::Undirected, &[(0, 1)])
+                .unwrap();
+            let barrier = std::sync::Barrier::new(threads as usize + 1);
+            let results: Vec<Result<u32, EngineError>> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|i| {
+                        let (cat, barrier) = (&cat, &barrier);
+                        s.spawn(move || {
+                            barrier.wait();
+                            // Distinct edge per thread, identifiable in
+                            // the survivor graph.
+                            let edge = (100 + i, 200 + i);
+                            cat.mutate_named("target", MutateOp::Add(&[edge]))
+                                .map(|out| {
+                                    assert!(out.changed);
+                                    i
+                                })
+                        })
+                    })
+                    .collect();
+                barrier.wait();
+                // Race the mutators: evict "target" by overflowing the
+                // 2-graph bound with fresh names.
+                for j in 0..3 {
+                    let _ = cat.create_named(
+                        &format!("filler_{round}_{j}"),
+                        GraphKind::Undirected,
+                        &[],
+                    );
+                }
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            // Whatever survived under the name (possibly nothing) tells
+            // us which successes must be visible.
+            let survivor = cat.get_named("target").map(|(_, e)| e);
+            for result in results {
+                match result {
+                    Ok(i) => {
+                        if let Some(entry) = &survivor {
+                            assert!(
+                                entry.list.edges.contains(&(100 + i, 200 + i)),
+                                "round {round}: thread {i} reported success but its edge \
+                                 is missing from the live graph"
+                            );
+                        }
+                        // If the whole graph was evicted afterwards, the
+                        // op still applied to the then-live entry; the
+                        // loss is the (documented) whole-graph eviction,
+                        // not a silent per-delta drop.
+                    }
+                    Err(EngineError::StaleGraph { .. } | EngineError::UnknownGraph { .. }) => {}
+                    Err(other) => panic!("round {round}: untyped failure: {other}"),
+                }
+            }
+        }
     }
 
     #[test]

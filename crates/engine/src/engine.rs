@@ -22,32 +22,108 @@
 //! Streamed (out-of-core) runs and memory sources bypass the result
 //! cache: the former exist because memory is scarce, the latter have no
 //! file fingerprint to key on.
+//!
+//! ## Mutable sessions and warm restarts
+//!
+//! Named session graphs ([`Engine::create_graph`] /
+//! [`Engine::add_edges`] / [`Engine::remove_edges`] /
+//! [`Engine::compact_graph`]) are versioned by the catalog, and their
+//! result-cache keys carry the version, so a mutation structurally
+//! invalidates every cached result (the engine additionally evicts the
+//! stale-version entries eagerly). On top of that sits the
+//! **warm-restart path** for the peeling algorithms (`approx`,
+//! `atleast-k`, `directed`): the engine remembers, per `(graph, query)`,
+//! the last computed report as a *warm seed*. When the same query
+//! arrives at a newer version:
+//!
+//! * **Verified replay** — if the new snapshot's content hash equals the
+//!   seed's (a compaction, or mutations that cancelled out), the seed's
+//!   dense subgraph is *re-verified* against the current snapshot (its
+//!   density recomputed from the CSR and compared) and the stored
+//!   report is replayed. Byte-identical to recomputing by construction —
+//!   the graph is the same graph.
+//! * **Warm re-peel** — if the content changed but the delta since the
+//!   seed stays under [`Engine::set_warm_threshold`] (as a fraction of
+//!   the current edge count), the kernel re-peels the already-
+//!   materialized snapshot (counted as a warm hit: versus the file
+//!   world, the session skipped the rewrite → reload → re-canonicalize
+//!   → re-fingerprint pipeline; the re-peel itself is bounded by the
+//!   same `O(log n)` pass bound as a cold run and executes the
+//!   *identical* kernel over the *identical* materialized graph, so
+//!   density/set/passes stay byte-identical to cold recompute —
+//!   asserted by the parity suite and the `repro mutate` experiment).
+//! * **Fallback** — a delta ratio above the threshold is counted as a
+//!   warm fallback and runs the plain cold path.
 
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use dsg_core::enumerate::EnumerateOptions;
 use dsg_core::result::streaming_state_bytes;
 use dsg_graph::stream::{BinaryFileStream, EdgeStream, MemoryStream, TextFileStream};
-use dsg_graph::EdgeList;
+use dsg_graph::{EdgeList, GraphKind, NodeSet};
 use dsg_mapreduce::{mr_densest_undirected, MapReduceConfig, MrUndirectedResult};
 use dsg_sketch::{approx_densest_sketched, try_approx_densest_sketched, SketchParams};
 
-use crate::catalog::{CatalogEntry, GraphCatalog};
+use crate::catalog::{CatalogEntry, GraphCatalog, MutateOp, MutationOutcome, NamedGraph};
 use crate::error::{EngineError, Result};
 use crate::planner::{self, Backend, GraphMeta, Plan};
 use crate::query::{Algorithm, Query, ResourcePolicy, Source};
 use crate::report::{Outcome, Report, ShuffleStats};
-use crate::result_cache::{CacheKey, ResultCache};
+use crate::result_cache::{CacheKey, GraphId, ResultCache};
+
+/// Default warm-restart fallback threshold: delta edges since the seed,
+/// as a fraction of the current edge count.
+pub const DEFAULT_WARM_THRESHOLD: f64 = 0.25;
+
+/// Upper bound on retained warm seeds (the map is cleared wholesale
+/// beyond it — seeds are an optimization, not state).
+const MAX_WARM_SEEDS: usize = 256;
+
+/// Warm-restart counters (also kept per graph — see the `stats` op).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WarmStats {
+    /// Queries served via verified replay or warm re-peel.
+    pub hits: u64,
+    /// Queries with a seed whose delta ratio forced a cold run.
+    pub fallbacks: u64,
+}
+
+/// The last computed report for one `(graph, query)` pair, kept so the
+/// next version of the graph can warm-restart from it.
+struct WarmSeed {
+    cum_delta: u64,
+    content_hash: u64,
+    report: Arc<Report>,
+}
 
 /// The query engine: a [`GraphCatalog`] plus a [`ResultCache`] plus the
 /// plan → execute pipeline. Create one (or share one across threads —
 /// all methods take `&self`) and feed it queries; repeated queries over
 /// the same file hit the catalog instead of reloading, and repeated
 /// identical queries hit the result cache instead of recomputing.
-#[derive(Default)]
 pub struct Engine {
     catalog: GraphCatalog,
     results: ResultCache,
+    seeds: Mutex<HashMap<CacheKey, WarmSeed>>,
+    warm_hits: AtomicU64,
+    warm_fallbacks: AtomicU64,
+    warm_threshold_bits: AtomicU64,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine {
+            catalog: GraphCatalog::default(),
+            results: ResultCache::default(),
+            seeds: Mutex::new(HashMap::new()),
+            warm_hits: AtomicU64::new(0),
+            warm_fallbacks: AtomicU64::new(0),
+            warm_threshold_bits: AtomicU64::new(DEFAULT_WARM_THRESHOLD.to_bits()),
+        }
+    }
 }
 
 impl Engine {
@@ -66,6 +142,79 @@ impl Engine {
         &self.results
     }
 
+    /// Warm-restart counters so far.
+    pub fn warm_stats(&self) -> WarmStats {
+        WarmStats {
+            hits: self.warm_hits.load(Ordering::Relaxed),
+            fallbacks: self.warm_fallbacks.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Re-bounds the warm-restart fallback: a query whose graph changed
+    /// by more than `threshold × current edges` since its seed runs
+    /// cold. 0 disables warm re-peels (verified replays of *unchanged*
+    /// content still apply).
+    pub fn set_warm_threshold(&self, threshold: f64) {
+        self.warm_threshold_bits
+            .store(threshold.max(0.0).to_bits(), Ordering::Relaxed);
+    }
+
+    /// The configured warm-restart fallback threshold.
+    pub fn warm_threshold(&self) -> f64 {
+        f64::from_bits(self.warm_threshold_bits.load(Ordering::Relaxed))
+    }
+
+    /// Creates a named mutable session graph (optionally seeded with
+    /// edges). Any cached results or warm seeds left over from an
+    /// earlier graph under the same (evicted) name are dropped — the
+    /// catalog's never-reused versions already make them unreachable;
+    /// this reclaims the bytes.
+    pub fn create_graph(
+        &self,
+        name: &str,
+        kind: GraphKind,
+        edges: &[(u32, u32)],
+    ) -> Result<MutationOutcome> {
+        let outcome = self.catalog.create_named(name, kind, edges)?;
+        self.results
+            .evict_stale_versions(outcome.fingerprint, outcome.version);
+        self.drop_seeds(outcome.fingerprint);
+        Ok(outcome)
+    }
+
+    /// Adds a batch of edges to a named graph (set semantics), bumping
+    /// its version and eagerly evicting the old version's cached
+    /// results.
+    pub fn add_edges(&self, name: &str, edges: &[(u32, u32)]) -> Result<MutationOutcome> {
+        self.mutate_graph(name, MutateOp::Add(edges))
+    }
+
+    /// Removes a batch of edges from a named graph.
+    pub fn remove_edges(&self, name: &str, edges: &[(u32, u32)]) -> Result<MutationOutcome> {
+        self.mutate_graph(name, MutateOp::Remove(edges))
+    }
+
+    /// Folds a named graph's delta logs into a fresh base now.
+    pub fn compact_graph(&self, name: &str) -> Result<MutationOutcome> {
+        self.mutate_graph(name, MutateOp::Compact)
+    }
+
+    /// Applies one mutation op, with eager stale-version eviction.
+    pub fn mutate_graph(&self, name: &str, op: MutateOp<'_>) -> Result<MutationOutcome> {
+        let outcome = self.catalog.mutate_named(name, op)?;
+        if outcome.changed {
+            self.results
+                .evict_stale_versions(outcome.fingerprint, outcome.version);
+        }
+        Ok(outcome)
+    }
+
+    /// Drops every warm seed of the named graph `fingerprint`.
+    fn drop_seeds(&self, fingerprint: u64) {
+        let mut seeds = self.seeds.lock().expect("warm seed lock poisoned");
+        seeds.retain(|k, _| k.graph().fingerprint != fingerprint);
+    }
+
     /// Size metadata of a source, without materializing file sources.
     /// (Counts are orientation-independent, so no algorithm is needed.)
     pub fn stat(&self, source: &Source) -> Result<GraphMeta> {
@@ -77,6 +226,13 @@ impl Engine {
                 weighted: list.is_weighted(),
                 file_bytes: 0,
             }),
+            Source::Named { name } => {
+                let (_, entry) = self
+                    .catalog
+                    .get_named(name)
+                    .ok_or_else(|| EngineError::UnknownGraph { name: name.clone() })?;
+                Ok(entry.meta)
+            }
         }
     }
 
@@ -107,30 +263,56 @@ impl Engine {
         policy: &ResourcePolicy,
     ) -> Result<Report> {
         let started = Instant::now();
-        let meta = self.stat(source)?;
-        let plan = planner::plan(query, &meta, policy)?;
         let kind = source.kind_for(&query.algorithm);
+        // A named source resolves its snapshot exactly once, up front:
+        // the plan, the cache key, and the execution then all describe
+        // the same version even while mutations land concurrently.
+        let named_ctx = match source {
+            Source::Named { name } => {
+                let (graph, entry) = self
+                    .catalog
+                    .get_named(name)
+                    .ok_or_else(|| EngineError::UnknownGraph { name: name.clone() })?;
+                if entry.list.kind != kind {
+                    return Err(EngineError::Unsupported(format!(
+                        "graph '{name}' is {}, but '{}' needs a {} graph",
+                        kind_name(entry.list.kind),
+                        query.algorithm.name(),
+                        kind_name(kind),
+                    )));
+                }
+                Some((graph, entry))
+            }
+            _ => None,
+        };
+        let meta = match &named_ctx {
+            Some((_, entry)) => entry.meta,
+            None => self.stat(source)?,
+        };
+        let plan = planner::plan(query, &meta, policy)?;
 
         let mut exec = Execution::default();
         let outcome = match plan.backend {
             Backend::Streamed | Backend::Sketched { streamed: true, .. } => {
-                self.run_streamed(source, query, &plan, &mut exec)?
+                let named_entry = named_ctx.as_ref().map(|(_, entry)| entry.clone());
+                self.run_streamed(source, named_entry, query, &plan, &mut exec)?
             }
             _ => {
                 // Materialized path: fetch the graph through the catalog
                 // (one single-flight load, many hits) and consult the
                 // result cache before computing anything.
-                let (entry, cache_key) = match source {
+                let (entry, cache_key, warm_ctx) = match source {
                     Source::File { path, binary, .. } => {
                         let (entry, hit) = self.catalog.get_or_load(path, *binary, kind)?;
                         exec.cache_hit = Some(hit);
-                        let key = CacheKey::new(entry.fingerprint, kind, query, policy);
+                        let key =
+                            CacheKey::new(GraphId::file(entry.fingerprint), kind, query, policy);
                         if let Some(mut replay) = self.results.lookup(&key, &source.label()) {
                             replay.cache_hit = Some(hit);
                             replay.elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
                             return Ok(replay);
                         }
-                        (entry, Some(key))
+                        (entry, Some(key), None)
                     }
                     // Memory sources bypass the catalog and the result
                     // cache: the caller already holds the list, and
@@ -139,10 +321,51 @@ impl Engine {
                         let mut list = list.clone();
                         list.kind = kind;
                         list.canonicalize();
-                        (
-                            std::sync::Arc::new(CatalogEntry::from_list(list, 0, 0)),
-                            None,
-                        )
+                        (Arc::new(CatalogEntry::from_list(list, 0, 0)), None, None)
+                    }
+                    Source::Named { .. } => {
+                        let (graph, entry) = named_ctx.clone().expect("resolved above");
+                        let id = GraphId::named(graph.fingerprint(), entry.version);
+                        let key = CacheKey::new(id, kind, query, policy);
+                        if let Some(mut replay) = self.results.lookup(&key, &source.label()) {
+                            replay.elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+                            return Ok(replay);
+                        }
+                        // Warm restart: consult the seed left by the
+                        // previous version of this exact query.
+                        let warm_ctx = if warm_eligible(query, &plan) {
+                            let seed_key = key.versionless();
+                            match self.warm_decision(&seed_key, &graph, &entry) {
+                                WarmDecision::Replay(stored) => {
+                                    graph.record_warm_hit();
+                                    self.warm_hits.fetch_add(1, Ordering::Relaxed);
+                                    let mut report = (*stored).clone();
+                                    report.source_label = source.label();
+                                    report.cache_hit = None;
+                                    report.result_cache_hit = Some(false);
+                                    // Future repeats of this exact query
+                                    // at this version replay from the
+                                    // result cache directly.
+                                    self.results.insert(key, &report);
+                                    report.elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+                                    return Ok(report);
+                                }
+                                WarmDecision::Warm => {
+                                    graph.record_warm_hit();
+                                    self.warm_hits.fetch_add(1, Ordering::Relaxed);
+                                    Some((graph, seed_key))
+                                }
+                                WarmDecision::Fallback => {
+                                    graph.record_warm_fallback();
+                                    self.warm_fallbacks.fetch_add(1, Ordering::Relaxed);
+                                    Some((graph, seed_key))
+                                }
+                                WarmDecision::Cold => Some((graph, seed_key)),
+                            }
+                        } else {
+                            None
+                        };
+                        (entry, Some(key), warm_ctx)
                     }
                 };
                 let outcome = self.run_on_entry(&entry, query, &plan, &mut exec)?;
@@ -161,9 +384,13 @@ impl Engine {
                     // diverge from cold one-shot runs of the same file.
                     // The report is still returned (the race was always
                     // possible, transiently); it just must not be
-                    // replayed.
+                    // replayed. (Named snapshots are immune: the plan
+                    // and the run used one snapshot fetched up front.)
                     if entry.cacheable && meta == entry.stored_meta {
                         self.results.insert(key, &report);
+                    }
+                    if let Some((graph, seed_key)) = warm_ctx {
+                        self.store_seed(seed_key, &graph, &entry, &report);
                     }
                     return Ok(report);
                 }
@@ -175,11 +402,88 @@ impl Engine {
         ))
     }
 
+    /// Decides how a named-graph query relates to its warm seed — see
+    /// the module docs for the three-way contract. The seed lock is
+    /// held only for the map lookup (a few clones of `Copy` fields and
+    /// an `Arc`); the candidate re-verification — which may build the
+    /// snapshot's CSR — runs after it is released, so concurrent
+    /// named-graph queries never serialize on a CSR build.
+    fn warm_decision(
+        &self,
+        seed_key: &CacheKey,
+        graph: &NamedGraph,
+        entry: &CatalogEntry,
+    ) -> WarmDecision {
+        let seed = {
+            let seeds = self.seeds.lock().expect("warm seed lock poisoned");
+            match seeds.get(seed_key) {
+                Some(seed) => WarmSeed {
+                    cum_delta: seed.cum_delta,
+                    content_hash: seed.content_hash,
+                    report: seed.report.clone(),
+                },
+                None => return WarmDecision::Cold,
+            }
+        };
+        if seed.content_hash == entry.content_hash {
+            // Candidate re-verification: the seed's dense subgraph is
+            // re-scored against the current snapshot's CSR before the
+            // stored report is trusted. A mismatch (a content-hash
+            // collision, in practice unreachable) falls through to a
+            // cold run rather than ever replaying an unverified result.
+            if verify_candidate(&seed.report, entry) {
+                return WarmDecision::Replay(seed.report);
+            }
+            return WarmDecision::Cold;
+        }
+        let delta = graph.cum_delta().saturating_sub(seed.cum_delta);
+        let ratio = delta as f64 / entry.meta.edges.max(1) as f64;
+        if ratio <= self.warm_threshold() {
+            WarmDecision::Warm
+        } else {
+            WarmDecision::Fallback
+        }
+    }
+
+    /// Stores the completed report as the warm seed of its
+    /// `(graph, query)` pair (peeling outcomes only). The deep report
+    /// clone happens before the lock; the critical section is map
+    /// operations only.
+    fn store_seed(
+        &self,
+        seed_key: CacheKey,
+        graph: &NamedGraph,
+        entry: &CatalogEntry,
+        report: &Report,
+    ) {
+        if !matches!(report.outcome, Outcome::Run(_) | Outcome::Sweep(_)) {
+            return;
+        }
+        let stored = Arc::new(report.clone());
+        let mut seeds = self.seeds.lock().expect("warm seed lock poisoned");
+        if seeds.len() >= MAX_WARM_SEEDS && !seeds.contains_key(&seed_key) {
+            seeds.clear();
+        }
+        seeds.insert(
+            seed_key,
+            WarmSeed {
+                cum_delta: graph.cum_delta(),
+                content_hash: entry.content_hash,
+                report: stored,
+            },
+        );
+    }
+
     /// Out-of-core path: run straight over the source's edge stream,
-    /// never materializing the edge list.
+    /// never materializing the edge list. Named graphs stream the
+    /// snapshot `execute` already resolved (`named_entry`), like memory
+    /// sources — never a re-fetched one, so the plan and the stream
+    /// always describe the same version even under concurrent
+    /// mutations or eviction.
     fn run_streamed(
         &self,
         source: &Source,
+        named_entry: Option<Arc<CatalogEntry>>,
         query: &Query,
         plan: &Plan,
         exec: &mut Execution,
@@ -199,6 +503,11 @@ impl Engine {
             Source::Memory { list, .. } => {
                 let m = list.num_edges() as u64;
                 (Box::new(MemoryStream::new(list.clone())), m)
+            }
+            Source::Named { .. } => {
+                let entry = named_entry.expect("execute resolves named sources up front");
+                let m = entry.list.num_edges() as u64;
+                (Box::new(MemoryStream::new(entry.list.clone())), m)
             }
         };
         let n = stream.num_nodes() as u64;
@@ -354,6 +663,75 @@ impl Engine {
                 alg.name()
             ))),
         }
+    }
+}
+
+/// How a named-graph query relates to its warm seed.
+enum WarmDecision {
+    /// Content unchanged and the candidate re-verified: replay the seed.
+    Replay(Arc<Report>),
+    /// Small delta: warm re-peel (counted as a hit).
+    Warm,
+    /// Delta ratio above the threshold: cold run (counted).
+    Fallback,
+    /// No usable seed: plain cold run (not counted).
+    Cold,
+}
+
+/// Whether the warm-restart machinery applies: the peeling algorithms
+/// on a materialized in-memory backend.
+fn warm_eligible(query: &Query, plan: &Plan) -> bool {
+    let algorithm_ok = matches!(
+        query.algorithm,
+        Algorithm::Approx { sketch: None, .. }
+            | Algorithm::AtLeastK { .. }
+            | Algorithm::Directed { .. }
+    );
+    algorithm_ok
+        && matches!(
+            plan.backend,
+            Backend::InMemorySerial | Backend::ParallelCsr { .. }
+        )
+}
+
+/// Re-scores a seed report's dense subgraph against the current
+/// snapshot: the stored best set's density, recomputed from the CSR,
+/// must match the stored density. Used before any verified replay.
+fn verify_candidate(report: &Report, entry: &CatalogEntry) -> bool {
+    let n = entry.list.num_nodes as usize;
+    let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * b.abs().max(1.0);
+    match &report.outcome {
+        Outcome::Run(r) => {
+            let set = resize_set(&r.best_set, n);
+            close(entry.csr_undirected().density_of(&set), r.best_density)
+        }
+        Outcome::Sweep(s) => {
+            let best_s = resize_set(&s.best.best_s, n);
+            let best_t = resize_set(&s.best.best_t, n);
+            close(
+                entry.csr_directed().density_of(&best_s, &best_t),
+                s.best.best_density,
+            )
+        }
+        _ => false,
+    }
+}
+
+/// A copy of `set` over a node universe of `capacity` (seed sets come
+/// from an older snapshot whose universe can only be smaller or equal).
+fn resize_set(set: &NodeSet, capacity: usize) -> NodeSet {
+    if set.capacity() == capacity {
+        set.clone()
+    } else {
+        NodeSet::from_iter(capacity, set.iter())
+    }
+}
+
+/// Human name of an orientation, for error messages.
+fn kind_name(kind: GraphKind) -> &'static str {
+    match kind {
+        GraphKind::Undirected => "undirected",
+        GraphKind::Directed => "directed",
     }
 }
 

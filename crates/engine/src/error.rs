@@ -23,6 +23,25 @@ pub enum EngineError {
         /// The graph's node count.
         n: u64,
     },
+    /// A named-graph op referenced a session graph the catalog does not
+    /// hold (never created, or already evicted).
+    UnknownGraph {
+        /// The requested graph name.
+        name: String,
+    },
+    /// `create_graph` named a session graph that already exists.
+    GraphExists {
+        /// The conflicting graph name.
+        name: String,
+    },
+    /// The named graph was evicted (or replaced by a re-creation) while
+    /// a mutation was in flight: the delta was **not** applied to any
+    /// live catalog entry, and the caller must retry against the current
+    /// graph instead of assuming the write landed.
+    StaleGraph {
+        /// The graph name whose entry went stale mid-mutation.
+        name: String,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -34,6 +53,18 @@ impl std::fmt::Display for EngineError {
             EngineError::Unsupported(msg) => write!(f, "{msg}"),
             EngineError::KTooLarge { k, n } => {
                 write!(f, "k {k} exceeds the graph's {n} nodes")
+            }
+            EngineError::UnknownGraph { name } => {
+                write!(f, "unknown graph '{name}' (create_graph it first)")
+            }
+            EngineError::GraphExists { name } => {
+                write!(f, "graph '{name}' already exists")
+            }
+            EngineError::StaleGraph { name } => {
+                write!(
+                    f,
+                    "graph '{name}' was evicted mid-mutation; the delta was not applied — retry"
+                )
             }
         }
     }

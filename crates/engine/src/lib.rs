@@ -29,6 +29,13 @@
 //!   stdin/stdout or a Unix socket. Socket mode runs an accept thread
 //!   plus a bounded worker pool so many clients are served
 //!   concurrently against one shared engine.
+//! * **Mutable sessions** — named in-memory graphs created and mutated
+//!   through the catalog ([`NamedGraph`], `create_graph` / `add_edges`
+//!   / `remove_edges` / `compact` ops): every mutation publishes a
+//!   fresh snapshot under a monotonic version, result-cache keys carry
+//!   the version (stale replays are structurally impossible), and the
+//!   peeling algorithms warm-restart from the previous version's
+//!   result where the delta is small (see [`Engine`]'s module docs).
 //!
 //! ```
 //! use dsg_engine::{Algorithm, Engine, Query, ResourcePolicy, Source};
@@ -60,13 +67,16 @@ pub mod report;
 pub mod result_cache;
 pub mod serve;
 
-pub use catalog::{CatalogEntry, CatalogStats, GraphCatalog};
-pub use engine::{mr_edge_splits, Engine};
+pub use catalog::{
+    CatalogEntry, CatalogStats, GraphCatalog, MutateOp, MutationOutcome, NamedGraph,
+    NamedGraphStats,
+};
+pub use engine::{mr_edge_splits, Engine, WarmStats, DEFAULT_WARM_THRESHOLD};
 pub use error::{EngineError, Result};
 pub use planner::{Backend, GraphMeta, Plan, ShuffleChoice};
 pub use query::{Algorithm, BackendRequest, Query, ResourcePolicy, Source};
 pub use report::{JsonBuilder, Outcome, Report, ShuffleStats};
-pub use result_cache::{ResultCache, ResultCacheStats};
+pub use result_cache::{GraphId, ResultCache, ResultCacheStats};
 #[cfg(unix)]
 pub use serve::{client_unix, serve_unix};
 pub use serve::{serve_loop, serve_stdio, ServeMetrics, ServeOptions, ServeSummary};

@@ -188,6 +188,15 @@ pub enum Source {
         /// Label used in reports in place of a file path.
         label: String,
     },
+    /// A named mutable session graph held by the engine's catalog
+    /// (created via `create_graph`, mutated via `add_edges` /
+    /// `remove_edges` / `compact`). Queries run against the graph's
+    /// current immutable snapshot; its orientation is fixed at creation
+    /// and must match the algorithm's.
+    Named {
+        /// The session graph's name.
+        name: String,
+    },
 }
 
 impl Source {
@@ -200,17 +209,25 @@ impl Source {
         }
     }
 
-    /// The label reports carry for this source (the path, or the memory
-    /// label).
+    /// A named-session-graph source.
+    pub fn named(name: impl Into<String>) -> Self {
+        Source::Named { name: name.into() }
+    }
+
+    /// The label reports carry for this source (the path, the memory
+    /// label, or the session graph name).
     pub fn label(&self) -> String {
         match self {
             Source::File { path, .. } => path.display().to_string(),
             Source::Memory { label, .. } => label.clone(),
+            Source::Named { name } => name.clone(),
         }
     }
 
     /// How the source's edges are to be oriented for `algorithm`:
     /// directed iff the caller said so or the algorithm is directed.
+    /// (Named graphs have a fixed orientation; the engine verifies it
+    /// against this request.)
     pub fn kind_for(&self, algorithm: &Algorithm) -> GraphKind {
         let directed_input = matches!(
             self,

@@ -1,5 +1,5 @@
 //! The query result cache: completed [`Report`]s keyed by *what was
-//! computed over which bytes* — `(graph fingerprint, canonical query,
+//! computed over which bytes* — `(graph identity, canonical query,
 //! effective resource policy)` — with byte-budgeted LRU eviction.
 //!
 //! The FOCUS-style observation (see PAPERS.md) is that analytical
@@ -10,10 +10,18 @@
 //! (minus the nondeterministic `elapsed_ms`), which is sound because
 //! every cached backend is deterministic for a fixed key:
 //!
-//! * The **fingerprint** is the FNV-1a hash of the raw file bytes taken
-//!   at load time by the catalog, so editing the file changes the key
-//!   and stale results simply stop being referenced — invalidation is
-//!   structural, not epochal — and age out of the LRU.
+//! * The **graph identity** ([`GraphId`]) covers both graph worlds. For
+//!   file-backed graphs the fingerprint is the FNV-1a hash of the raw
+//!   file bytes taken at load time by the catalog (version fixed at 0),
+//!   so editing the file changes the key and stale results simply stop
+//!   being referenced — invalidation is structural, not epochal — and
+//!   age out of the LRU. For named session graphs the fingerprint names
+//!   the graph and the catalog's **monotonic version** names its state:
+//!   a mutation bumps the version, so a replay of a stale version is
+//!   structurally impossible, and the engine additionally evicts the
+//!   now-unreachable old-version entries eagerly
+//!   ([`ResultCache::evict_stale_versions`]) so mutated graphs do not
+//!   pin dead reports until LRU pressure finds them.
 //! * The **canonical query** flattens every algorithm parameter to bit
 //!   patterns (`f64::to_bits`), so `0.5` and `0.5` can never disagree
 //!   and NaN params (rejected upstream anyway) would never alias.
@@ -41,11 +49,49 @@ use crate::report::{Outcome, Report};
 /// Default byte budget for cached reports (64 MiB).
 pub const DEFAULT_RESULT_CACHE_BYTES: u64 = 64 * 1024 * 1024;
 
+/// The identity of one graph state: which bytes, at which version.
+///
+/// File-backed graphs are identified by their content fingerprint alone
+/// (`named = false`, `version = 0` — a file "mutates" by changing its
+/// fingerprint). Named session graphs are identified by the name's
+/// fingerprint plus the catalog's monotonically increasing version,
+/// which is never reused — not even across eviction and re-creation of
+/// the same name.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct GraphId {
+    /// FNV-1a fingerprint: file bytes, or the graph name for sessions.
+    pub fingerprint: u64,
+    /// `true` for named session graphs (separate keyspace from files).
+    pub named: bool,
+    /// Catalog version of the graph state (0 for files).
+    pub version: u64,
+}
+
+impl GraphId {
+    /// Identity of a file-backed graph state.
+    pub fn file(fingerprint: u64) -> Self {
+        GraphId {
+            fingerprint,
+            named: false,
+            version: 0,
+        }
+    }
+
+    /// Identity of a named session graph at a catalog version.
+    pub fn named(fingerprint: u64, version: u64) -> Self {
+        GraphId {
+            fingerprint,
+            named: true,
+            version,
+        }
+    }
+}
+
 /// Canonical, hashable form of one cacheable execution:
-/// `(fingerprint, orientation, query bits, policy)`.
+/// `(graph identity, orientation, query bits, policy)`.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct CacheKey {
-    fingerprint: u64,
+    graph: GraphId,
     kind: GraphKind,
     algorithm: AlgorithmKey,
     backend: Option<BackendRequest>,
@@ -82,9 +128,8 @@ enum AlgorithmKey {
 
 impl CacheKey {
     /// Builds the key for a materialized run of `query` under `policy`
-    /// over the graph whose raw bytes hash to `fingerprint`, oriented as
-    /// `kind`.
-    pub fn new(fingerprint: u64, kind: GraphKind, query: &Query, policy: &ResourcePolicy) -> Self {
+    /// over the graph state identified by `graph`, oriented as `kind`.
+    pub fn new(graph: GraphId, kind: GraphKind, query: &Query, policy: &ResourcePolicy) -> Self {
         let algorithm = match query.algorithm {
             Algorithm::Approx { epsilon, sketch } => AlgorithmKey::Approx {
                 epsilon: epsilon.to_bits(),
@@ -113,13 +158,27 @@ impl CacheKey {
             },
         };
         CacheKey {
-            fingerprint,
+            graph,
             kind,
             algorithm,
             backend: query.backend,
             memory_budget_bytes: policy.memory_budget_bytes,
             threads: policy.threads,
         }
+    }
+
+    /// The same key with the graph version zeroed — the engine's
+    /// warm-seed index, which tracks "this query over this graph, at
+    /// whatever version last ran".
+    pub fn versionless(&self) -> CacheKey {
+        let mut key = self.clone();
+        key.graph.version = 0;
+        key
+    }
+
+    /// The graph-identity half of the key.
+    pub fn graph(&self) -> GraphId {
+        self.graph
     }
 }
 
@@ -160,6 +219,13 @@ struct Inner {
 /// replaying a large hot result does not serialize on its memcpy.
 pub struct ResultCache {
     inner: Mutex<Inner>,
+    /// Per-fingerprint version floors recorded by
+    /// [`ResultCache::evict_stale_versions`]: a named-graph insert below
+    /// its fingerprint's floor is rejected, so a query that resolved an
+    /// old version and finished *after* the mutation's eager eviction
+    /// cannot re-pin an unreachable entry. Bounded; losing floors only
+    /// degrades to ordinary LRU reclamation.
+    floors: Mutex<HashMap<u64, u64>>,
     budget_bytes: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -184,6 +250,7 @@ impl ResultCache {
                 total_bytes: 0,
                 clock: 0,
             }),
+            floors: Mutex::new(HashMap::new()),
             budget_bytes: AtomicU64::new(budget_bytes),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -249,6 +316,49 @@ impl ResultCache {
         }
     }
 
+    /// Eagerly drops every entry of the named graph `fingerprint` whose
+    /// version is below `current_version`. Mutated versions are already
+    /// unreachable through lookups (the version is part of the key);
+    /// this reclaims their bytes immediately instead of waiting for LRU
+    /// pressure. Returns how many entries were dropped (counted as
+    /// evictions).
+    pub fn evict_stale_versions(&self, fingerprint: u64, current_version: u64) -> u64 {
+        {
+            // Record the floor first: an insert racing this eviction
+            // either lands before (and is evicted below) or after (and
+            // is rejected by the floor) — never pinned unreachable.
+            let mut floors = self.floors.lock().expect("result cache lock poisoned");
+            if floors.len() >= 1024 && !floors.contains_key(&fingerprint) {
+                floors.clear();
+            }
+            let floor = floors.entry(fingerprint).or_insert(0);
+            *floor = (*floor).max(current_version);
+        }
+        let evicted = {
+            let mut inner = self.inner.lock().expect("result cache lock poisoned");
+            let stale: Vec<CacheKey> = inner
+                .map
+                .keys()
+                .filter(|k| {
+                    k.graph.named
+                        && k.graph.fingerprint == fingerprint
+                        && k.graph.version < current_version
+                })
+                .cloned()
+                .collect();
+            let mut evicted = 0u64;
+            for key in stale {
+                if let Some(old) = inner.map.remove(&key) {
+                    inner.total_bytes -= old.bytes;
+                    evicted += 1;
+                }
+            }
+            evicted
+        };
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        evicted
+    }
+
     /// Stores a completed report under `key`. Reports larger than the
     /// whole budget are not cached (they would evict everything for one
     /// entry); otherwise LRU entries are evicted until the report fits.
@@ -257,6 +367,17 @@ impl ResultCache {
         let bytes = approx_report_bytes(report);
         if bytes > budget {
             return;
+        }
+        if key.graph.named {
+            let floors = self.floors.lock().expect("result cache lock poisoned");
+            if floors
+                .get(&key.graph.fingerprint)
+                .is_some_and(|&floor| key.graph.version < floor)
+            {
+                // The graph has already mutated past this version; the
+                // entry could never be looked up again.
+                return;
+            }
         }
         // Deep-clone before taking the lock (see the struct docs).
         let stored = std::sync::Arc::new(report.clone());
@@ -377,7 +498,16 @@ mod tests {
 
     fn key(fp: u64) -> CacheKey {
         CacheKey::new(
-            fp,
+            GraphId::file(fp),
+            GraphKind::Undirected,
+            &Query::new(Algorithm::Charikar),
+            &ResourcePolicy::default(),
+        )
+    }
+
+    fn named_key(fp: u64, version: u64) -> CacheKey {
+        CacheKey::new(
+            GraphId::named(fp, version),
             GraphKind::Undirected,
             &Query::new(Algorithm::Charikar),
             &ResourcePolicy::default(),
@@ -408,8 +538,8 @@ mod tests {
             memory_budget_bytes: None,
             threads: 4,
         };
-        let k1 = CacheKey::new(7, GraphKind::Undirected, &q, &p1);
-        let k2 = CacheKey::new(7, GraphKind::Undirected, &q, &p2);
+        let k1 = CacheKey::new(GraphId::file(7), GraphKind::Undirected, &q, &p1);
+        let k2 = CacheKey::new(GraphId::file(7), GraphKind::Undirected, &q, &p2);
         assert_ne!(k1, k2, "threads are part of the effective policy");
         let q2 = Query::new(Algorithm::Approx {
             epsilon: 0.25,
@@ -417,15 +547,55 @@ mod tests {
         });
         assert_ne!(
             k1,
-            CacheKey::new(7, GraphKind::Undirected, &q2, &p1),
+            CacheKey::new(GraphId::file(7), GraphKind::Undirected, &q2, &p1),
             "epsilon is part of the canonical query"
         );
         assert_ne!(
             k1,
-            CacheKey::new(8, GraphKind::Undirected, &q, &p1),
+            CacheKey::new(GraphId::file(8), GraphKind::Undirected, &q, &p1),
             "fingerprint is part of the key"
         );
-        assert_eq!(k1, CacheKey::new(7, GraphKind::Undirected, &q, &p1));
+        assert_ne!(
+            k1,
+            CacheKey::new(GraphId::named(7, 0), GraphKind::Undirected, &q, &p1),
+            "session graphs live in a separate keyspace from files"
+        );
+        assert_ne!(
+            CacheKey::new(GraphId::named(7, 1), GraphKind::Undirected, &q, &p1),
+            CacheKey::new(GraphId::named(7, 2), GraphKind::Undirected, &q, &p1),
+            "the version is part of the key"
+        );
+        assert_eq!(
+            k1,
+            CacheKey::new(GraphId::file(7), GraphKind::Undirected, &q, &p1)
+        );
+    }
+
+    #[test]
+    fn stale_versions_are_evicted_eagerly() {
+        let cache = ResultCache::default();
+        cache.insert(named_key(9, 1), &dummy_report("g", 1.0, 64));
+        cache.insert(named_key(9, 2), &dummy_report("g", 2.0, 64));
+        cache.insert(named_key(9, 3), &dummy_report("g", 3.0, 64));
+        // A different graph and a file entry with the same fingerprint
+        // must both survive.
+        cache.insert(named_key(10, 1), &dummy_report("h", 4.0, 64));
+        cache.insert(key(9), &dummy_report("f", 5.0, 64));
+        let dropped = cache.evict_stale_versions(9, 3);
+        assert_eq!(dropped, 2, "versions 1 and 2 are stale");
+        assert!(cache.lookup(&named_key(9, 3), "g").is_some());
+        assert!(cache.lookup(&named_key(9, 1), "g").is_none());
+        assert!(cache.lookup(&named_key(9, 2), "g").is_none());
+        assert!(cache.lookup(&named_key(10, 1), "h").is_some());
+        assert!(cache.lookup(&key(9), "f").is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 2);
+        assert_eq!(stats.entries, 3);
+        // Byte accounting stays balanced after the eager eviction.
+        let one = approx_report_bytes(&dummy_report("g", 1.0, 64));
+        let f = approx_report_bytes(&dummy_report("f", 5.0, 64));
+        let h = approx_report_bytes(&dummy_report("h", 4.0, 64));
+        assert_eq!(stats.bytes, one + f + h);
     }
 
     #[test]
@@ -446,6 +616,23 @@ mod tests {
         assert!(cache.lookup(&key(1), "x").is_some());
         assert!(cache.lookup(&key(3), "x").is_some());
         assert!(stats.bytes <= 2 * one + one / 2);
+    }
+
+    #[test]
+    fn inserts_below_the_eviction_floor_are_rejected() {
+        // A query that resolved version 1 but finished after the
+        // mutation to version 2 already ran its eager eviction must not
+        // re-pin an unreachable version-1 entry.
+        let cache = ResultCache::default();
+        cache.evict_stale_versions(9, 2);
+        cache.insert(named_key(9, 1), &dummy_report("g", 1.0, 64));
+        assert_eq!(cache.stats().entries, 0, "below-floor insert rejected");
+        cache.insert(named_key(9, 2), &dummy_report("g", 2.0, 64));
+        assert_eq!(cache.stats().entries, 1, "current version still caches");
+        // File entries and other graphs are unaffected by the floor.
+        cache.insert(key(9), &dummy_report("f", 3.0, 64));
+        cache.insert(named_key(10, 1), &dummy_report("h", 4.0, 64));
+        assert_eq!(cache.stats().entries, 3);
     }
 
     #[test]

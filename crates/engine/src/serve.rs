@@ -33,16 +33,36 @@
 //! ```text
 //! {"op":"query","id":1,"algorithm":"approx","file":"g.txt","epsilon":0.5}
 //! {"op":"query","id":2,"algorithm":"atleast-k","file":"g.txt","k":8}
-//! {"op":"stats","id":3}
+//! {"op":"create_graph","id":3,"graph":"live","edges":"0 1, 1 2"}
+//! {"op":"add_edges","id":4,"graph":"live","edges":"0 2, 2 3"}
+//! {"op":"query","id":5,"algorithm":"approx","graph":"live"}
+//! {"op":"remove_edges","id":6,"graph":"live","edges":"2 3"}
+//! {"op":"compact","id":7,"graph":"live"}
+//! {"op":"stats","id":8}
 //! {"op":"shutdown"}
 //! ```
 //!
 //! `op` defaults to `"query"`. Query fields mirror the CLI flags:
-//! `algorithm`, `file` (required), `epsilon`, `k`, `delta`, `threads`,
-//! `sketch`, `stream`, `binary`, `directed_input`, `backend`,
-//! `memory_budget`, `flow_backend`, `min_density`, `max_communities`.
-//! Omitted fields take the CLI defaults (ε = 0.5, k = 10, δ = 2) or the
-//! server's resource policy.
+//! `algorithm`, `file` **or** `graph` (exactly one), `epsilon`, `k`,
+//! `delta`, `threads`, `sketch`, `stream`, `binary`, `directed_input`,
+//! `backend`, `memory_budget`, `flow_backend`, `min_density`,
+//! `max_communities`. Omitted fields take the CLI defaults (ε = 0.5,
+//! k = 10, δ = 2) or the server's resource policy.
+//!
+//! ## Mutable graph sessions
+//!
+//! `create_graph` makes a named in-memory mutable graph (`"directed"`
+//! for orientation, optional seed `"edges"`); `add_edges` /
+//! `remove_edges` mutate it and `compact` folds its delta logs. The
+//! protocol stays flat: a batched edge list is one string of
+//! whitespace- (and optionally comma-) separated `u v` pairs, e.g.
+//! `"edges":"0 1, 1 2, 2 3"`. Every state-changing op returns the
+//! graph's new **version**; queries name the graph via `"graph"` and
+//! always run against one consistent versioned snapshot — a mutation
+//! arriving mid-query never tears it, and the result cache keys on
+//! `(graph, version)` so a bumped version can never replay a stale
+//! result (observable as `result_cache_hit: 0` on the first query after
+//! a mutation).
 //!
 //! A query response nests the **identical** summary object the one-shot
 //! CLI prints with `--json` (minus the nondeterministic `elapsed_ms`),
@@ -55,9 +75,13 @@
 //! The `stats` op reports the catalog counters (`loads`, `hits`,
 //! `stat_scans`, `evictions`, `graphs`), the result-cache counters
 //! (`result_hits`, `result_misses`, `result_insertions`,
-//! `result_evictions`, `result_entries`, `result_bytes`), and the
+//! `result_evictions`, `result_entries`, `result_bytes`), the
 //! connection accounting (`conn_active`, `conn_peak` — the
-//! concurrent-connection high-water mark).
+//! concurrent-connection high-water mark), the session accounting
+//! (`mutations`, `graphs_named`, warm-restart `warm_hits` /
+//! `warm_fallbacks`), and a `named` array with one object per session
+//! graph (`name`, `version`, `nodes`, `edges`, `delta_edges`,
+//! `compactions`, `warm_hits`, `warm_fallbacks`).
 //!
 //! Errors never kill the loop: `{"id":…,"ok":false,"error":"…"}` and the
 //! next line is read. The loop ends cleanly on EOF (stdin mode: client
@@ -102,6 +126,7 @@ impl Default for ServeOptions {
 #[derive(Debug, Default)]
 pub struct ServeMetrics {
     queries: AtomicU64,
+    mutations: AtomicU64,
     errors: AtomicU64,
     shutdown: AtomicBool,
     active_connections: AtomicU64,
@@ -148,6 +173,7 @@ impl ServeMetrics {
     fn summary(&self) -> ServeSummary {
         ServeSummary {
             queries: self.queries.load(Ordering::Relaxed),
+            mutations: self.mutations.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
             shutdown: self.shutdown_requested(),
             connections: self.total_connections.load(Ordering::Relaxed),
@@ -161,6 +187,9 @@ impl ServeMetrics {
 pub struct ServeSummary {
     /// Query requests answered successfully.
     pub queries: u64,
+    /// Graph-mutation requests (`create_graph`, `add_edges`,
+    /// `remove_edges`, `compact`) answered successfully.
+    pub mutations: u64,
     /// Requests answered with an error object.
     pub errors: u64,
     /// Whether a `shutdown` op ended the loop (vs EOF).
@@ -198,6 +227,7 @@ pub fn serve_loop<R: BufRead, W: Write>(
         writer.flush()?;
         match outcome {
             LineOutcome::QueryOk => summary.queries += 1,
+            LineOutcome::MutationOk => summary.mutations += 1,
             LineOutcome::OpOk => {}
             LineOutcome::Error => summary.errors += 1,
             LineOutcome::Shutdown => {
@@ -210,9 +240,11 @@ pub fn serve_loop<R: BufRead, W: Write>(
 }
 
 /// How one request line was disposed of (drives the summary counters:
-/// `stats`/`shutdown` ops are answered but are not *queries*).
+/// `stats`/`shutdown` ops are answered but are not *queries*; graph
+/// mutations are counted on their own).
 enum LineOutcome {
     QueryOk,
+    MutationOk,
     OpOk,
     Error,
     Shutdown,
@@ -250,6 +282,7 @@ fn handle_line(
         "stats" => {
             let stats = engine.catalog().stats();
             let results = engine.results().stats();
+            let warm = engine.warm_stats();
             let mut j = JsonBuilder::new();
             j.raw_field("id", &id);
             j.raw_field("ok", "true");
@@ -266,7 +299,52 @@ fn handle_line(
             j.num_field("result_bytes", results.bytes as f64);
             j.num_field("conn_active", metrics.active_connections() as f64);
             j.num_field("conn_peak", metrics.peak_connections() as f64);
+            j.num_field("mutations", engine.catalog().mutations() as f64);
+            j.num_field("graphs_named", engine.catalog().named_len() as f64);
+            j.num_field("warm_hits", warm.hits as f64);
+            j.num_field("warm_fallbacks", warm.fallbacks as f64);
+            // Per-session-graph accounting, last so the flat fields
+            // above stay trivially greppable — and only when at least
+            // one session graph exists, so the response of a
+            // session-less server stays a flat object that the minijson
+            // request parser itself could read (the throughput
+            // experiment and older clients rely on that).
+            let named: Vec<String> = engine
+                .catalog()
+                .named_stats()
+                .iter()
+                .map(|g| {
+                    let mut item = JsonBuilder::new();
+                    item.str_field("name", &g.name);
+                    item.num_field("version", g.version as f64);
+                    item.num_field("nodes", g.nodes as f64);
+                    item.num_field("edges", g.edges as f64);
+                    item.num_field("delta_edges", g.delta_edges as f64);
+                    item.num_field("compactions", g.compactions as f64);
+                    item.num_field("warm_hits", g.warm_hits as f64);
+                    item.num_field("warm_fallbacks", g.warm_fallbacks as f64);
+                    item.finish()
+                })
+                .collect();
+            if !named.is_empty() {
+                j.raw_field("named", &format!("[{}]", named.join(",")));
+            }
             (j.finish(), LineOutcome::OpOk)
+        }
+        "create_graph" | "add_edges" | "remove_edges" | "compact" => {
+            let mut j = JsonBuilder::new();
+            j.raw_field("id", &id);
+            j.raw_field("ok", "true");
+            match run_mutation(engine, op, &fields, &mut j) {
+                Ok(()) => {
+                    metrics.mutations.fetch_add(1, Ordering::Relaxed);
+                    (j.finish(), LineOutcome::MutationOk)
+                }
+                Err(e) => {
+                    metrics.errors.fetch_add(1, Ordering::Relaxed);
+                    (error_response(&id, &e), LineOutcome::Error)
+                }
+            }
         }
         "query" => match run_query(engine, default_policy, &fields) {
             Ok(response_body) => {
@@ -306,6 +384,92 @@ fn error_response(id: &str, message: &str) -> String {
     j.raw_field("ok", "false");
     j.str_field("error", message);
     j.finish()
+}
+
+/// Decodes the flat `"edges"` string of a mutation request: `u v` node
+/// id pairs separated by whitespace and/or commas/semicolons, e.g.
+/// `"0 1, 1 2"`. The request schema stays flat (no JSON arrays), so one
+/// op still batches arbitrarily many edges.
+fn parse_edge_pairs(raw: &str) -> Result<Vec<(u32, u32)>, String> {
+    let mut ids: Vec<u32> = Vec::new();
+    for token in raw
+        .split(|c: char| c == ',' || c == ';' || c.is_whitespace())
+        .filter(|t| !t.is_empty())
+    {
+        ids.push(
+            token
+                .parse::<u32>()
+                .map_err(|_| format!("bad node id '{token}' in 'edges'"))?,
+        );
+    }
+    if !ids.len().is_multiple_of(2) {
+        return Err(format!(
+            "'edges' must hold an even number of node ids ('u v' pairs; got {})",
+            ids.len()
+        ));
+    }
+    Ok(ids.chunks(2).map(|pair| (pair[0], pair[1])).collect())
+}
+
+/// Executes one graph-mutation op, appending the outcome fields to the
+/// response under construction.
+fn run_mutation(
+    engine: &Engine,
+    op: &str,
+    fields: &[(String, Value)],
+    j: &mut JsonBuilder,
+) -> Result<(), String> {
+    let str_of = |key: &str| -> Result<Option<&str>, String> {
+        match minijson::get(fields, key) {
+            None | Some(Value::Null) => Ok(None),
+            Some(v) => v
+                .as_str()
+                .map(Some)
+                .ok_or_else(|| format!("'{key}' must be a string")),
+        }
+    };
+    let name = str_of("graph")?.ok_or("missing 'graph'")?.to_string();
+    let edges = match str_of("edges")? {
+        Some(raw) => parse_edge_pairs(raw)?,
+        None => Vec::new(),
+    };
+    let outcome = match op {
+        "create_graph" => {
+            let directed = match minijson::get(fields, "directed") {
+                None | Some(Value::Null) => false,
+                Some(v) => v.as_bool().ok_or("'directed' must be a boolean")?,
+            };
+            let kind = if directed {
+                dsg_graph::GraphKind::Directed
+            } else {
+                dsg_graph::GraphKind::Undirected
+            };
+            engine.create_graph(&name, kind, &edges)
+        }
+        "add_edges" => {
+            if edges.is_empty() {
+                return Err("missing 'edges'".into());
+            }
+            engine.add_edges(&name, &edges)
+        }
+        "remove_edges" => {
+            if edges.is_empty() {
+                return Err("missing 'edges'".into());
+            }
+            engine.remove_edges(&name, &edges)
+        }
+        "compact" => engine.compact_graph(&name),
+        other => unreachable!("dispatched op '{other}'"),
+    }
+    .map_err(|e| e.to_string())?;
+    j.str_field("graph", &name);
+    j.num_field("version", outcome.version as f64);
+    j.num_field("nodes", outcome.nodes as f64);
+    j.num_field("edges", outcome.edges as f64);
+    j.num_field("applied", outcome.applied as f64);
+    j.num_field("delta_edges", outcome.delta_edges as f64);
+    j.num_field("compacted", if outcome.compacted { 1.0 } else { 0.0 });
+    Ok(())
 }
 
 struct QueryResponse {
@@ -358,7 +522,8 @@ fn run_query(
         }
     };
 
-    let file = str_of("file")?.ok_or("missing 'file'")?.to_string();
+    let file = str_of("file")?.map(str::to_string);
+    let graph = str_of("graph")?.map(str::to_string);
     let algorithm_name = str_of("algorithm")?.unwrap_or("approx");
     let epsilon = num_of("epsilon")?.unwrap_or(0.5);
     let k = uint_of("k")?.unwrap_or(10) as usize;
@@ -396,10 +561,15 @@ fn run_query(
         memory_budget_bytes: uint_of("memory_budget")?.or(default_policy.memory_budget_bytes),
         threads: uint_of("threads")?.map_or(default_policy.threads, |t| t as usize),
     };
-    let source = Source::File {
-        path: PathBuf::from(file),
-        binary: bool_of("binary")?,
-        directed_input: bool_of("directed_input")?,
+    let source = match (file, graph) {
+        (Some(path), None) => Source::File {
+            path: PathBuf::from(path),
+            binary: bool_of("binary")?,
+            directed_input: bool_of("directed_input")?,
+        },
+        (None, Some(name)) => Source::Named { name },
+        (Some(_), Some(_)) => return Err("specify either 'file' or 'graph', not both".into()),
+        (None, None) => return Err("missing 'file' or 'graph'".into()),
     };
     let report = engine
         .execute(&source, &query, &policy)
@@ -839,6 +1009,156 @@ mod tests {
         }
         assert!(lines[4].contains("exceeds the graph"), "{}", lines[4]);
         assert_eq!(field(lines[5], "ok"), "true");
+    }
+
+    #[test]
+    fn mutable_session_transcript() {
+        // The README's session, end to end: create → query → add_edges
+        // → query (version bump, no stale replay) → remove → compact →
+        // stats.
+        let engine = Engine::new();
+        let requests = "\
+            {\"id\":1,\"op\":\"create_graph\",\"graph\":\"live\",\"edges\":\"0 1, 0 2, 1 2\"}\n\
+            {\"id\":2,\"algorithm\":\"approx\",\"graph\":\"live\",\"epsilon\":0.5}\n\
+            {\"id\":3,\"algorithm\":\"approx\",\"graph\":\"live\",\"epsilon\":0.5}\n\
+            {\"id\":4,\"op\":\"add_edges\",\"graph\":\"live\",\"edges\":\"0 3, 1 3, 2 3\"}\n\
+            {\"id\":5,\"algorithm\":\"approx\",\"graph\":\"live\",\"epsilon\":0.5}\n\
+            {\"id\":6,\"op\":\"remove_edges\",\"graph\":\"live\",\"edges\":\"2 3\"}\n\
+            {\"id\":7,\"op\":\"compact\",\"graph\":\"live\"}\n\
+            {\"id\":8,\"op\":\"stats\"}\n";
+        let (summary, out) = run_lines(&engine, requests);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 8, "{out}");
+        for l in &lines {
+            assert_eq!(field(l, "ok"), "true", "{l}");
+        }
+        assert_eq!(summary.queries, 3);
+        assert_eq!(summary.mutations, 4);
+        assert_eq!(summary.errors, 0);
+        // create: version 1, triangle.
+        assert_eq!(field(lines[0], "version"), "1");
+        assert_eq!(field(lines[0], "nodes"), "3");
+        assert_eq!(field(lines[0], "edges"), "3");
+        // First query computes (miss), second replays (hit).
+        assert_eq!(field(lines[1], "result_cache_hit"), "0");
+        assert_eq!(field(lines[1], "density"), "1");
+        assert_eq!(field(lines[2], "result_cache_hit"), "1");
+        // add_edges bumps the version; the next query must recompute.
+        assert_eq!(field(lines[3], "version"), "2");
+        assert_eq!(field(lines[3], "applied"), "3");
+        assert_eq!(field(lines[3], "edges"), "6");
+        assert_eq!(field(lines[4], "result_cache_hit"), "0");
+        assert_eq!(field(lines[4], "density"), "1.5", "K4 density");
+        // remove bumps again; compact folds the logs.
+        assert_eq!(field(lines[5], "version"), "3");
+        assert_eq!(field(lines[5], "edges"), "5");
+        let compact_version: u64 = field(lines[6], "version").parse().unwrap();
+        assert!(compact_version >= 3, "{}", lines[6]);
+        assert_eq!(field(lines[6], "delta_edges"), "0");
+        // stats: session accounting + per-graph object.
+        assert_eq!(field(lines[7], "graphs_named"), "1");
+        let muts: u64 = field(lines[7], "mutations").parse().unwrap();
+        assert!(muts >= 3, "{}", lines[7]);
+        assert!(
+            lines[7].contains("\"named\":[{\"name\":\"live\""),
+            "{}",
+            lines[7]
+        );
+        assert!(lines[7].contains("\"delta_edges\":0"), "{}", lines[7]);
+        assert!(lines[7].contains("\"warm_hits\":"), "{}", lines[7]);
+    }
+
+    #[test]
+    fn session_queries_are_byte_identical_to_memory_runs() {
+        // A query on a named graph must nest the identical result object
+        // as the same query over the materialized edge list (label
+        // aside, which is part of the source identity).
+        let engine = Engine::new();
+        let requests = "\
+            {\"id\":1,\"op\":\"create_graph\",\"graph\":\"g\",\"edges\":\"0 1, 0 2, 1 2, 2 3\"}\n\
+            {\"id\":2,\"algorithm\":\"approx\",\"graph\":\"g\",\"epsilon\":0.1}\n\
+            {\"id\":3,\"algorithm\":\"atleast-k\",\"graph\":\"g\",\"k\":2}\n";
+        let (_, out) = run_lines(&engine, requests);
+        let lines: Vec<&str> = out.lines().collect();
+        let mut list = dsg_graph::EdgeList::new_undirected(4);
+        for (u, v) in [(0, 1), (0, 2), (1, 2), (2, 3)] {
+            list.push(u, v);
+        }
+        let reference = Engine::new();
+        let policy = ResourcePolicy::default();
+        for (line, algorithm) in [
+            (
+                lines[1],
+                Algorithm::Approx {
+                    epsilon: 0.1,
+                    sketch: None,
+                },
+            ),
+            (lines[2], Algorithm::AtLeastK { k: 2, epsilon: 0.5 }),
+        ] {
+            let report = reference
+                .execute(
+                    &Source::Memory {
+                        list: list.clone(),
+                        label: "g".into(),
+                    },
+                    &Query::new(algorithm),
+                    &policy,
+                )
+                .unwrap();
+            let served = line.split("\"result\":").nth(1).unwrap();
+            let served = served.split(",\"result_cache_hit\"").next().unwrap();
+            assert_eq!(served, report.json_object(false), "{line}");
+        }
+    }
+
+    #[test]
+    fn session_errors_are_typed_and_keep_the_loop_alive() {
+        let engine = Engine::new();
+        let requests = "\
+            {\"id\":1,\"op\":\"add_edges\",\"graph\":\"nope\",\"edges\":\"0 1\"}\n\
+            {\"id\":2,\"op\":\"create_graph\",\"graph\":\"g\"}\n\
+            {\"id\":3,\"op\":\"create_graph\",\"graph\":\"g\"}\n\
+            {\"id\":4,\"op\":\"add_edges\",\"graph\":\"g\",\"edges\":\"0 1 2\"}\n\
+            {\"id\":5,\"op\":\"add_edges\",\"graph\":\"g\",\"edges\":\"0 x\"}\n\
+            {\"id\":6,\"op\":\"add_edges\",\"graph\":\"g\"}\n\
+            {\"id\":7,\"algorithm\":\"approx\",\"graph\":\"missing\"}\n\
+            {\"id\":8,\"algorithm\":\"directed\",\"graph\":\"g\"}\n\
+            {\"id\":9,\"algorithm\":\"approx\",\"graph\":\"g\",\"file\":\"x\"}\n\
+            {\"id\":10,\"op\":\"add_edges\",\"graph\":\"g\",\"edges\":\"0 1\"}\n";
+        let (summary, out) = run_lines(&engine, requests);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(summary.errors, 8, "{out}");
+        assert_eq!(summary.mutations, 2);
+        assert!(lines[0].contains("unknown graph 'nope'"), "{}", lines[0]);
+        assert_eq!(field(lines[1], "ok"), "true");
+        assert!(lines[2].contains("already exists"), "{}", lines[2]);
+        assert!(lines[3].contains("even number"), "{}", lines[3]);
+        assert!(lines[4].contains("bad node id 'x'"), "{}", lines[4]);
+        assert!(lines[5].contains("missing 'edges'"), "{}", lines[5]);
+        assert!(lines[6].contains("unknown graph 'missing'"), "{}", lines[6]);
+        assert!(lines[7].contains("undirected"), "{}", lines[7]);
+        assert!(
+            lines[8].contains("either 'file' or 'graph'"),
+            "{}",
+            lines[8]
+        );
+        assert_eq!(field(lines[9], "ok"), "true", "loop still alive");
+    }
+
+    #[test]
+    fn directed_sessions_serve_directed_queries() {
+        let engine = Engine::new();
+        let requests = "\
+            {\"id\":1,\"op\":\"create_graph\",\"graph\":\"d\",\"directed\":true,\
+\"edges\":\"0 1, 1 0, 0 2, 1 2\"}\n\
+            {\"id\":2,\"algorithm\":\"directed\",\"graph\":\"d\",\"delta\":2}\n";
+        let (summary, out) = run_lines(&engine, requests);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(summary.errors, 0, "{out}");
+        assert_eq!(field(lines[0], "edges"), "4");
+        assert_eq!(field(lines[1], "ok"), "true");
+        assert!(lines[1].contains("\"s_nodes\":"), "{}", lines[1]);
     }
 
     #[cfg(unix)]

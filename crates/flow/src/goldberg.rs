@@ -1,5 +1,5 @@
 //! Goldberg's exact maximum-density subgraph algorithm (Goldberg 1984;
-//! reference [22] of the paper).
+//! reference \[22\] of the paper).
 //!
 //! For a density guess `g`, build the network
 //!

@@ -3,7 +3,7 @@
 //! The paper measures the quality of its streaming algorithm against the
 //! exact optimum `ρ*(G)`, which it obtains from Charikar's LP (§6.2). The
 //! LP value equals the value of Goldberg's classic max-flow formulation
-//! (Goldberg 1984, referenced as [22] in the paper), so this crate solves
+//! (Goldberg 1984, referenced as \[22\] in the paper), so this crate solves
 //! the same problem without an external LP solver:
 //!
 //! * [`dinic`] — a self-contained Dinic's max-flow solver over `f64`

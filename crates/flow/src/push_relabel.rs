@@ -2,7 +2,7 @@
 //! the gap heuristic.
 //!
 //! A second, independent max-flow implementation. Two reasons to have it:
-//! the paper's exact baseline is literally "parametric flow" [29] — whose
+//! the paper's exact baseline is literally "parametric flow" \[29\] — whose
 //! standard realization is push–relabel — and an independent solver gives
 //! the test suite a cross-check oracle for [`crate::dinic`] (two solvers
 //! agreeing on thousands of random networks is a far stronger guarantee

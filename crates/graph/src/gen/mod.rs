@@ -6,7 +6,7 @@
 //!   cycles, circulant regular graphs, complete bipartite graphs. Used as
 //!   test fixtures with analytically known densest subgraphs.
 //! * **Random models** ([`random`], [`planted`], [`preferential`],
-//!   [`rmat`], [`directed`]) — Erdős–Rényi, Chung–Lu power-law, planted
+//!   [`rmat()`], [`directed`]) — Erdős–Rényi, Chung–Lu power-law, planted
 //!   dense subgraphs, preferential attachment, RMAT, and skewed directed
 //!   graphs. These are the stand-ins for the paper's proprietary social
 //!   networks (see DESIGN.md §4).

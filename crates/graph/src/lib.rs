@@ -8,6 +8,8 @@
 //!   generators, and I/O.
 //! * [`CsrUndirected`] / [`CsrDirected`] — immutable compressed-sparse-row
 //!   snapshots for fast in-memory algorithms.
+//! * [`DeltaGraph`] — a mutable overlay (canonical base + add/remove logs
+//!   with tombstones, compactable) backing the engine's graph sessions.
 //! * [`NodeSet`] — a dense bitset over node ids with O(1) cardinality,
 //!   used to represent subgraphs `S ⊆ V`.
 //! * [`stream`] — the multi-pass *semi-streaming* model: the node set fits
@@ -26,6 +28,7 @@
 pub mod atomic;
 pub mod bitset;
 pub mod csr;
+pub mod delta;
 pub mod density;
 pub mod edgelist;
 pub mod gen;
@@ -36,6 +39,7 @@ pub mod stream;
 
 pub use bitset::NodeSet;
 pub use csr::{CsrDirected, CsrUndirected};
+pub use delta::DeltaGraph;
 pub use edgelist::{EdgeList, GraphKind};
 pub use rng::SplitMix64;
 

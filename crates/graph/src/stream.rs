@@ -1,6 +1,6 @@
 //! The multi-pass semi-streaming model.
 //!
-//! In the semi-streaming model ([18] in the paper) the node set is known in
+//! In the semi-streaming model (\[18\] in the paper) the node set is known in
 //! advance and fits in RAM, while the edges can only be read sequentially,
 //! one pass at a time. An [`EdgeStream`] encapsulates exactly that: the
 //! algorithm calls [`EdgeStream::for_each_edge`] once per pass and the

@@ -26,7 +26,8 @@ const USAGE: &str =
      [--directed-input] [--backend auto|memory|parallel|stream|mapreduce] [--memory-budget bytes] \
      [--flow-backend dinic|push-relabel] [--json] [--quiet]\n\
        densest serve [--socket <path>] [--workers n] [--max-connections n] [--threads n] \
-     [--memory-budget bytes] [--max-graphs n] [--result-cache bytes] [--quiet]\n\
+     [--memory-budget bytes] [--max-graphs n] [--result-cache bytes] [--warm-threshold f] \
+     [--compact-ratio f] [--quiet]\n\
        densest client --socket <path> [--repeat n] [--parallel n]\n\
        densest --help";
 
@@ -102,6 +103,21 @@ serve mode:
   The nested `result` object is byte-identical to the one-shot `--json`
   summary of the same query (minus the nondeterministic elapsed_ms) —
   cold, catalog-cached, and result-cache-replayed alike.
+
+mutable graph sessions (serve mode):
+  {\"op\":\"create_graph\",\"graph\":\"g\",\"directed\":false,\"edges\":\"0 1, 1 2\"}
+  makes a named in-memory mutable graph; {\"op\":\"add_edges\"} /
+  {\"op\":\"remove_edges\"} mutate it in batches (edges are one flat
+  string of 'u v' pairs) and {\"op\":\"compact\"} folds its delta logs
+  into a fresh base. Queries target it with \"graph\":\"g\" instead of
+  \"file\". Every mutation bumps the graph's version; cached results of
+  older versions are structurally unreachable and evicted eagerly, so a
+  query after a mutation always recomputes (result_cache_hit: 0) — with
+  a warm restart from the previous version's result where the delta is
+  small (--warm-threshold, default 0.25; delta logs auto-compact past
+  --compact-ratio x base edges, default 1). The stats op reports
+  per-graph version/delta_edges/compactions and warm hit/fallback
+  counters.
 
 client mode:
   densest client forwards each stdin line to the server and prints each
@@ -429,6 +445,15 @@ fn fail(o: &Options, e: EngineError) -> ! {
             eprintln!("{msg}");
             exit(2);
         }
+        // Named session graphs exist only inside a running server; the
+        // one-shot CLI can never hold one, but the match stays
+        // exhaustive so a new error variant is a compile error here.
+        e @ (EngineError::UnknownGraph { .. }
+        | EngineError::GraphExists { .. }
+        | EngineError::StaleGraph { .. }) => {
+            eprintln!("{e}");
+            exit(2);
+        }
     }
 }
 
@@ -521,6 +546,8 @@ fn run_serve(args: impl Iterator<Item = String>) {
     let mut options = ServeOptions::default();
     let mut max_graphs = densest_subgraph::engine::catalog::DEFAULT_MAX_ENTRIES;
     let mut result_cache_bytes = densest_subgraph::engine::result_cache::DEFAULT_RESULT_CACHE_BYTES;
+    let mut warm_threshold: Option<f64> = None;
+    let mut compact_ratio: Option<f64> = None;
     let mut quiet = false;
     let mut it = args.collect::<Vec<_>>().into_iter();
     while let Some(flag) = it.next() {
@@ -568,6 +595,22 @@ fn run_serve(args: impl Iterator<Item = String>) {
             "--result-cache" => {
                 result_cache_bytes = parse_budget("--result-cache", &value("--result-cache"));
             }
+            "--warm-threshold" => {
+                let t: f64 = parse_value("--warm-threshold", &value("--warm-threshold"));
+                if !t.is_finite() || t < 0.0 {
+                    eprintln!("--warm-threshold must be a finite number >= 0 (got {t})");
+                    exit(2);
+                }
+                warm_threshold = Some(t);
+            }
+            "--compact-ratio" => {
+                let r: f64 = parse_value("--compact-ratio", &value("--compact-ratio"));
+                if !r.is_finite() || r < 0.0 {
+                    eprintln!("--compact-ratio must be a finite number >= 0 (got {r})");
+                    exit(2);
+                }
+                compact_ratio = Some(r);
+            }
             "--quiet" => quiet = true,
             other => {
                 eprintln!("unknown flag '{other}'");
@@ -578,6 +621,12 @@ fn run_serve(args: impl Iterator<Item = String>) {
     let engine = Engine::new();
     engine.catalog().set_max_entries(max_graphs);
     engine.results().set_budget(result_cache_bytes);
+    if let Some(t) = warm_threshold {
+        engine.set_warm_threshold(t);
+    }
+    if let Some(r) = compact_ratio {
+        engine.catalog().set_compact_ratio(r);
+    }
     let summary = match &socket {
         Some(path) => {
             if !quiet {
@@ -604,16 +653,21 @@ fn run_serve(args: impl Iterator<Item = String>) {
     if !quiet {
         let stats = engine.catalog().stats();
         let results = engine.results().stats();
+        let warm = engine.warm_stats();
         eprintln!(
-            "served {} queries ({} errors) over {} connections (peak {} concurrent): \
-             {} graph loads, {} cache hits, {} result-cache hits; {}",
+            "served {} queries and {} mutations ({} errors) over {} connections (peak {} \
+             concurrent): {} graph loads, {} cache hits, {} result-cache hits, {} warm \
+             restarts ({} fallbacks); {}",
             summary.queries,
+            summary.mutations,
             summary.errors,
             summary.connections,
             summary.peak_connections,
             stats.loads,
             stats.hits,
             results.hits,
+            warm.hits,
+            warm.fallbacks,
             if summary.shutdown {
                 "shutdown requested"
             } else {
@@ -689,15 +743,23 @@ fn run_client(args: impl Iterator<Item = String>) {
         }
         buf
     };
+    // Per connection: the responses received so far (flushed to stdout
+    // even when the connection later died), the exchange count, and the
+    // error if the connection failed mid-round — a failed worker must
+    // surface *which* connection died after *how many* exchanges, and
+    // the process must exit non-zero, not just report throughput.
+    let expected_per_conn = {
+        let lines = requests.lines().filter(|l| !l.trim().is_empty()).count();
+        (lines * repeat) as u64
+    };
     let started = std::time::Instant::now();
-    let outputs: Vec<Result<(Vec<u8>, u64), std::io::Error>> = std::thread::scope(|s| {
+    let outputs: Vec<(Vec<u8>, u64, Option<std::io::Error>)> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..parallel)
             .map(|_| {
                 let socket = &socket;
                 let requests = &requests;
                 s.spawn(move || {
                     let mut out = Vec::new();
-                    let mut exchanges = 0u64;
                     let mut conn_requests = String::new();
                     for _ in 0..repeat {
                         conn_requests.push_str(requests);
@@ -705,12 +767,20 @@ fn run_client(args: impl Iterator<Item = String>) {
                             conn_requests.push('\n');
                         }
                     }
-                    exchanges += densest_subgraph::engine::client_unix(
+                    match densest_subgraph::engine::client_unix(
                         socket,
                         std::io::Cursor::new(conn_requests),
                         &mut out,
-                    )?;
-                    Ok((out, exchanges))
+                    ) {
+                        Ok(exchanges) => (out, exchanges, None),
+                        Err(e) => {
+                            // `client_unix` streams responses into `out`
+                            // as they arrive, so the partial transcript
+                            // survives the failure.
+                            let partial = out.iter().filter(|&&b| b == b'\n').count() as u64;
+                            (out, partial, Some(e))
+                        }
+                    }
                 })
             })
             .collect();
@@ -721,25 +791,26 @@ fn run_client(args: impl Iterator<Item = String>) {
     });
     let elapsed = started.elapsed().as_secs_f64();
     let mut total_exchanges = 0u64;
-    let mut stdout = std::io::stdout().lock();
-    let mut failed = false;
-    for result in outputs {
-        match result {
-            Ok((out, exchanges)) => {
-                use std::io::Write;
-                total_exchanges += exchanges;
-                if stdout.write_all(&out).is_err() {
-                    failed = true;
-                }
+    let mut failures = 0usize;
+    {
+        use std::io::Write;
+        let mut stdout = std::io::stdout().lock();
+        for (conn, (out, exchanges, error)) in outputs.iter().enumerate() {
+            total_exchanges += exchanges;
+            if stdout.write_all(out).is_err() {
+                failures += 1;
             }
-            Err(e) => {
-                eprintln!("client connection failed: {e}");
-                failed = true;
+            if let Some(e) = error {
+                failures += 1;
+                eprintln!(
+                    "client connection {conn} failed after {exchanges}/{expected_per_conn} \
+                     exchanges: {e}"
+                );
             }
         }
     }
     eprintln!(
-        "client: {} exchanges over {} connection(s) x {} repeat(s) in {:.1} ms ({:.0} req/s)",
+        "client: {} exchanges over {} connection(s) x {} repeat(s) in {:.1} ms ({:.0} req/s){}",
         total_exchanges,
         parallel,
         repeat,
@@ -748,9 +819,14 @@ fn run_client(args: impl Iterator<Item = String>) {
             total_exchanges as f64 / elapsed
         } else {
             0.0
+        },
+        if failures > 0 {
+            format!("; {failures} connection(s) FAILED")
+        } else {
+            String::new()
         }
     );
-    if failed {
+    if failures > 0 {
         exit(1);
     }
 }

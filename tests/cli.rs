@@ -707,3 +707,107 @@ fn help_documents_the_concurrency_flags() {
         assert!(stdout.contains(flag), "help must mention {flag}");
     }
 }
+
+#[test]
+fn client_parallel_propagates_connection_failures() {
+    // No server is listening: every parallel connection fails. The
+    // client must exit non-zero and name each failed connection with
+    // its exchange progress, not just print an aggregate summary.
+    let sock = std::env::temp_dir().join("dsg_cli_tests/definitely-absent.sock");
+    let _ = std::fs::remove_file(&sock);
+    let mut child = Command::new(densest_bin())
+        .args([
+            "client",
+            "--socket",
+            sock.to_str().unwrap(),
+            "--parallel",
+            "3",
+            "--repeat",
+            "2",
+        ])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    use std::io::Write;
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"{\"op\":\"stats\"}\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(!out.status.success(), "failed connections => non-zero exit");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    for conn in 0..3 {
+        assert!(
+            stderr.contains(&format!("client connection {conn} failed after 0/2")),
+            "per-connection error summary missing for {conn}: {stderr}"
+        );
+    }
+    assert!(stderr.contains("3 connection(s) FAILED"), "{stderr}");
+}
+
+#[cfg(unix)]
+#[test]
+fn serve_socket_mutable_session_end_to_end() {
+    // Mutable sessions over a real socket: create, query, mutate, query
+    // again (version bump, fresh result), stats with per-graph fields.
+    let sock = std::env::temp_dir().join("dsg_cli_tests/session.sock");
+    let _ = std::fs::remove_file(&sock);
+    let mut server = Command::new(densest_bin())
+        .args(["serve", "--quiet", "--socket", sock.to_str().unwrap()])
+        .spawn()
+        .unwrap();
+    for _ in 0..300 {
+        if sock.exists() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert!(sock.exists(), "server socket never appeared");
+
+    let mut client = Command::new(densest_bin())
+        .args(["client", "--socket", sock.to_str().unwrap()])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    use std::io::Write;
+    client
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(
+            b"{\"id\":1,\"op\":\"create_graph\",\"graph\":\"s\",\"edges\":\"0 1, 0 2, 1 2\"}\n\
+              {\"id\":2,\"algorithm\":\"approx\",\"graph\":\"s\"}\n\
+              {\"id\":3,\"op\":\"add_edges\",\"graph\":\"s\",\"edges\":\"0 3, 1 3, 2 3\"}\n\
+              {\"id\":4,\"algorithm\":\"approx\",\"graph\":\"s\"}\n\
+              {\"id\":5,\"op\":\"stats\"}\n\
+              {\"op\":\"shutdown\"}\n",
+        )
+        .unwrap();
+    let out = client.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 6, "{stdout}");
+    assert!(lines[0].contains("\"version\":1"), "{}", lines[0]);
+    assert!(lines[1].contains("\"density\":1,"), "{}", lines[1]);
+    assert!(lines[2].contains("\"version\":2"), "{}", lines[2]);
+    assert!(lines[3].contains("\"density\":1.5"), "{}", lines[3]);
+    assert!(
+        lines[3].contains("\"result_cache_hit\":0"),
+        "a mutation must invalidate: {}",
+        lines[3]
+    );
+    assert!(lines[4].contains("\"graphs_named\":1"), "{}", lines[4]);
+    assert!(
+        lines[4].contains("\"named\":[{\"name\":\"s\""),
+        "{}",
+        lines[4]
+    );
+    assert!(server.wait().unwrap().success());
+    assert!(!sock.exists());
+}
