@@ -50,7 +50,11 @@
 //! query, and the result cache keys on `(fingerprint, version)` so a
 //! stale replay is structurally impossible.
 
-use std::collections::HashMap;
+// Fx, not SipHash: these maps sit on the per-request serve path (one
+// catalog probe per query), the keys are short, and the serve socket is
+// a local unix socket with a trusted peer — collision-flooding is not in
+// the threat model.
+use rustc_hash::FxHashMap;
 use std::fs::File;
 use std::io::{BufRead, BufReader, Read};
 use std::path::{Path, PathBuf};
@@ -410,9 +414,9 @@ struct Slot {
 /// reference (or `Arc`) across however many worker threads the serve
 /// mode runs.
 pub struct GraphCatalog {
-    entries: RwLock<HashMap<Key, Arc<Slot>>>,
-    meta_cache: RwLock<HashMap<Key, (GraphMeta, FileStamp)>>,
-    named: RwLock<HashMap<String, Arc<NamedGraph>>>,
+    entries: RwLock<FxHashMap<Key, Arc<Slot>>>,
+    meta_cache: RwLock<FxHashMap<Key, (GraphMeta, FileStamp)>>,
+    named: RwLock<FxHashMap<String, Arc<NamedGraph>>>,
     loads: AtomicU64,
     hits: AtomicU64,
     stat_scans: AtomicU64,
@@ -432,9 +436,9 @@ pub struct GraphCatalog {
 impl Default for GraphCatalog {
     fn default() -> Self {
         GraphCatalog {
-            entries: RwLock::new(HashMap::new()),
-            meta_cache: RwLock::new(HashMap::new()),
-            named: RwLock::new(HashMap::new()),
+            entries: RwLock::new(FxHashMap::default()),
+            meta_cache: RwLock::new(FxHashMap::default()),
+            named: RwLock::new(FxHashMap::default()),
             loads: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             stat_scans: AtomicU64::new(0),
@@ -476,7 +480,7 @@ impl GraphCatalog {
         }
     }
 
-    fn evict_lru(&self, map: &mut HashMap<Key, Arc<Slot>>) {
+    fn evict_lru(&self, map: &mut FxHashMap<Key, Arc<Slot>>) {
         if let Some(key) = map
             .iter()
             .min_by_key(|(_, s)| s.last_used.load(Ordering::Relaxed))
@@ -487,7 +491,7 @@ impl GraphCatalog {
         }
     }
 
-    fn evict_lru_named(&self, map: &mut HashMap<String, Arc<NamedGraph>>) {
+    fn evict_lru_named(&self, map: &mut FxHashMap<String, Arc<NamedGraph>>) {
         if let Some(name) = map
             .iter()
             .min_by_key(|(_, g)| g.last_used.load(Ordering::Relaxed))
@@ -593,6 +597,37 @@ impl GraphCatalog {
                 Err(clone_graph_error(e))
             }
         }
+    }
+
+    /// Returns the already-loaded, still-fresh entry for `path` without
+    /// ever triggering a load: `None` when the path is cold, mid-load,
+    /// failed, or its on-disk stamp changed. The serve replay fast path
+    /// uses this to answer repeated queries without planning; a `None`
+    /// simply falls back to the full [`GraphCatalog::get_or_load`]
+    /// path. Counts as a catalog hit (and refreshes the LRU clock) only
+    /// through the crate-internal `record_hit`, which the caller
+    /// invokes once it actually serves from the peeked entry.
+    pub fn peek(&self, path: &Path, binary: bool, kind: GraphKind) -> Option<Arc<CatalogEntry>> {
+        let key = Key {
+            path: path.to_path_buf(),
+            binary,
+            kind,
+        };
+        let current = stamp(path).ok()?;
+        let slot = {
+            let map = self.entries.read().expect("catalog lock poisoned");
+            map.get(&key).filter(|s| s.stamp == current).cloned()
+        }?;
+        let entry = slot.cell.get()?.as_ref().ok()?.clone();
+        let now = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        slot.last_used.store(now, Ordering::Relaxed);
+        Some(entry)
+    }
+
+    /// Accounts one catalog hit served outside [`Self::get_or_load`]
+    /// (the peek-based replay fast path).
+    pub(crate) fn record_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Inserts (or adopts) the slot for `key` at stamp `current` under

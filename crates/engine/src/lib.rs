@@ -60,9 +60,12 @@
 pub mod catalog;
 mod engine;
 mod error;
+pub mod frame;
 pub mod minijson;
 pub mod planner;
 pub mod query;
+#[cfg(unix)]
+pub mod readiness;
 pub mod report;
 pub mod result_cache;
 pub mod serve;
@@ -71,12 +74,15 @@ pub use catalog::{
     CatalogEntry, CatalogStats, GraphCatalog, MutateOp, MutationOutcome, NamedGraph,
     NamedGraphStats,
 };
-pub use engine::{mr_edge_splits, Engine, WarmStats, DEFAULT_WARM_THRESHOLD};
+pub use engine::{mr_edge_splits, Engine, ServeReport, WarmStats, DEFAULT_WARM_THRESHOLD};
 pub use error::{EngineError, Result};
 pub use planner::{Backend, GraphMeta, Plan, ShuffleChoice};
 pub use query::{Algorithm, BackendRequest, Query, ResourcePolicy, Source};
 pub use report::{JsonBuilder, Outcome, Report, ShuffleStats};
 pub use result_cache::{GraphId, ResultCache, ResultCacheStats};
 #[cfg(unix)]
-pub use serve::{client_unix, serve_unix};
-pub use serve::{serve_loop, serve_stdio, ServeMetrics, ServeOptions, ServeSummary};
+pub use serve::{client_unix, client_unix_opts, serve_unix};
+pub use serve::{
+    percentile, serve_loop, serve_stdio, ClientOptions, ClientStats, ServeMetrics, ServeOptions,
+    ServeSummary,
+};

@@ -86,28 +86,84 @@ impl Value {
     }
 }
 
+/// A reusable arena for parsed request fields: the field vector plus a
+/// pool of cleared `String` allocations recycled across requests, so a
+/// connection's steady-state parsing allocates nothing once the pool is
+/// warm. Shared by the JSONL parser ([`parse_object_into`]) and the
+/// binary frame decoder (`frame::decode_request_payload`).
+#[derive(Debug, Default)]
+pub struct FieldScratch {
+    fields: Vec<(String, Value)>,
+    spare: Vec<String>,
+}
+
+impl FieldScratch {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears the parsed fields, recycling their string allocations
+    /// into the pool.
+    pub fn reset(&mut self) {
+        for (mut key, value) in self.fields.drain(..) {
+            key.clear();
+            self.spare.push(key);
+            if let Value::Str(mut s) = value {
+                s.clear();
+                self.spare.push(s);
+            }
+        }
+    }
+
+    /// A cleared string from the pool (fresh when the pool is empty).
+    pub fn take_string(&mut self) -> String {
+        self.spare.pop().unwrap_or_default()
+    }
+
+    /// Appends a parsed field.
+    pub fn push_field(&mut self, key: String, value: Value) {
+        self.fields.push((key, value));
+    }
+
+    /// The fields of the current request, in document order.
+    pub fn fields(&self) -> &[(String, Value)] {
+        &self.fields
+    }
+}
+
 /// Parses one flat JSON object into `(key, value)` pairs in document
 /// order. Duplicate keys are kept (last one wins at lookup).
 pub fn parse_object(input: &str) -> Result<Vec<(String, Value)>, JsonError> {
+    let mut scratch = FieldScratch::new();
+    parse_object_into(input, &mut scratch)?;
+    Ok(std::mem::take(&mut scratch.fields))
+}
+
+/// Like [`parse_object`], but parses into `scratch` (cleared first),
+/// reusing its string allocations across calls — the serve hot path
+/// uses this so steady-state request parsing performs no allocation.
+pub fn parse_object_into(input: &str, scratch: &mut FieldScratch) -> Result<(), JsonError> {
+    scratch.reset();
     let mut p = Parser {
         bytes: input.as_bytes(),
         pos: 0,
     };
     p.skip_ws();
     p.expect(b'{')?;
-    let mut fields = Vec::new();
     p.skip_ws();
     if p.peek() == Some(b'}') {
         p.pos += 1;
     } else {
         loop {
             p.skip_ws();
-            let key = p.parse_string()?;
+            let mut key = scratch.take_string();
+            p.parse_string_into(&mut key)?;
             p.skip_ws();
             p.expect(b':')?;
             p.skip_ws();
-            let value = p.parse_value()?;
-            fields.push((key, value));
+            let value = p.parse_value(scratch)?;
+            scratch.push_field(key, value);
             p.skip_ws();
             match p.next() {
                 Some(b',') => continue,
@@ -120,7 +176,7 @@ pub fn parse_object(input: &str) -> Result<Vec<(String, Value)>, JsonError> {
     if p.pos != p.bytes.len() {
         return Err(p.err_at("trailing characters after object".into()));
     }
-    Ok(fields)
+    Ok(())
 }
 
 /// Looks a key up in parsed fields (last occurrence wins).
@@ -163,9 +219,13 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn parse_value(&mut self) -> Result<Value, JsonError> {
+    fn parse_value(&mut self, scratch: &mut FieldScratch) -> Result<Value, JsonError> {
         match self.peek() {
-            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b'"') => {
+                let mut s = scratch.take_string();
+                self.parse_string_into(&mut s)?;
+                Ok(Value::Str(s))
+            }
             Some(b't') => self.parse_lit("true", Value::Bool(true)),
             Some(b'f') => self.parse_lit("false", Value::Bool(false)),
             Some(b'n') => self.parse_lit("null", Value::Null),
@@ -205,13 +265,12 @@ impl<'a> Parser<'a> {
         Ok(Value::Num(n))
     }
 
-    fn parse_string(&mut self) -> Result<String, JsonError> {
+    fn parse_string_into(&mut self, out: &mut String) -> Result<(), JsonError> {
         self.expect(b'"')?;
-        let mut out = String::new();
         loop {
             match self.next() {
                 None => return Err(self.err_at("unterminated string".into())),
-                Some(b'"') => return Ok(out),
+                Some(b'"') => return Ok(()),
                 Some(b'\\') => match self.next() {
                     Some(b'"') => out.push('"'),
                     Some(b'\\') => out.push('\\'),
@@ -296,6 +355,26 @@ mod tests {
         assert_eq!(Value::Str("a\"b".into()).to_json(), r#""a\"b""#);
         assert_eq!(Value::Bool(false).to_json(), "false");
         assert_eq!(Value::Null.to_json(), "null");
+    }
+
+    #[test]
+    fn scratch_parsing_matches_fresh_parsing() {
+        let lines = [
+            r#"{"op":"query","file":"a.txt","epsilon":0.5}"#,
+            r#"{"op":"stats","id":7}"#,
+            r#"{"op":"query","graph":"g","stream":true,"note":"longer string value here"}"#,
+            r#"{}"#,
+            r#"{"op":"query","file":"a.txt","epsilon":0.5}"#,
+        ];
+        let mut scratch = FieldScratch::new();
+        for line in lines {
+            parse_object_into(line, &mut scratch).unwrap();
+            assert_eq!(scratch.fields(), parse_object(line).unwrap().as_slice());
+        }
+        // A failed parse leaves the scratch reusable.
+        assert!(parse_object_into("not json", &mut scratch).is_err());
+        parse_object_into(lines[0], &mut scratch).unwrap();
+        assert_eq!(scratch.fields(), parse_object(lines[0]).unwrap().as_slice());
     }
 
     #[test]

@@ -1,0 +1,181 @@
+//! Readiness-based I/O for the socket serve path: a thin, std-only
+//! wrapper over `poll(2)` plus a self-pipe waker.
+//!
+//! The PR-4 serve loop parked every idle connection on a 50 ms
+//! read-timeout tick — idle connections cost a wakeup per tick per
+//! worker, and graceful shutdown had to wait out up to a full tick per
+//! parked connection. This module replaces that with real readiness:
+//! workers sleep in `poll(2)` with an **infinite** timeout (idle
+//! connections cost zero wakeups) and are woken either by socket
+//! readiness or by a byte written to their [`Waker`] self-pipe (new
+//! connection handed over, or shutdown latched).
+//!
+//! The only non-std surface is the `poll(2)` prototype itself, declared
+//! directly against the libc that std already links — no external
+//! crate, no new linkage. The self-pipe is a plain
+//! [`UnixStream::pair`], so the wake channel needs no FFI at all.
+
+#![cfg(unix)]
+
+use std::io::{self, Read, Write};
+use std::os::fd::{AsRawFd, RawFd};
+use std::os::unix::net::UnixStream;
+
+/// `POLLIN`: readable (or a peer hangup that reads as EOF).
+pub const POLLIN: i16 = 0x001;
+/// `POLLOUT`: writable without blocking.
+pub const POLLOUT: i16 = 0x004;
+/// `POLLERR`: error condition (output only; always polled).
+pub const POLLERR: i16 = 0x008;
+/// `POLLHUP`: peer hung up (output only; always polled).
+pub const POLLHUP: i16 = 0x010;
+/// `POLLNVAL`: invalid fd (output only; a bug if ever seen).
+pub const POLLNVAL: i16 = 0x020;
+
+/// One entry of a `poll(2)` set, ABI-compatible with `struct pollfd`.
+#[repr(C)]
+#[derive(Clone, Copy, Debug)]
+pub struct PollFd {
+    /// The file descriptor to watch.
+    pub fd: RawFd,
+    /// Requested events (`POLLIN` / `POLLOUT`).
+    pub events: i16,
+    /// Returned events, filled by [`poll_fds`].
+    pub revents: i16,
+}
+
+impl PollFd {
+    /// A descriptor watched for the given events.
+    pub fn new(fd: RawFd, events: i16) -> Self {
+        PollFd {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+
+    /// Whether the kernel reported any of `mask` for this entry.
+    pub fn ready(&self, mask: i16) -> bool {
+        self.revents & mask != 0
+    }
+}
+
+// `nfds_t` is `unsigned long` on Linux and `unsigned int` on the BSDs /
+// macOS; pick the matching std type so the prototype is correct on both.
+#[cfg(target_os = "linux")]
+type Nfds = std::os::raw::c_ulong;
+#[cfg(not(target_os = "linux"))]
+type Nfds = std::os::raw::c_uint;
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: Nfds, timeout: std::os::raw::c_int) -> std::os::raw::c_int;
+}
+
+/// Blocks until at least one entry is ready (or `timeout_ms` elapses;
+/// `-1` waits forever). Returns the number of ready entries; `EINTR` is
+/// retried internally so callers never see a spurious interrupt.
+pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+    loop {
+        for f in fds.iter_mut() {
+            f.revents = 0;
+        }
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as Nfds, timeout_ms) };
+        if rc >= 0 {
+            return Ok(rc as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+    }
+}
+
+/// The write end of a self-pipe: any thread can [`Waker::wake`] the
+/// event loop holding the matching [`WakeReceiver`]. Wakes coalesce — a
+/// full pipe means a wake is already pending, which is exactly the
+/// semantics we want, so `WouldBlock` is silently ignored.
+#[derive(Debug)]
+pub struct Waker {
+    tx: UnixStream,
+}
+
+impl Waker {
+    /// Wakes the paired event loop (best-effort, never blocks).
+    pub fn wake(&self) {
+        let _ = (&self.tx).write(&[1u8]);
+    }
+}
+
+/// The read end of a self-pipe, polled with `POLLIN` by an event loop.
+#[derive(Debug)]
+pub struct WakeReceiver {
+    rx: UnixStream,
+}
+
+impl WakeReceiver {
+    /// The fd to include in the loop's poll set.
+    pub fn fd(&self) -> RawFd {
+        self.rx.as_raw_fd()
+    }
+
+    /// Consumes every pending wake byte (nonblocking).
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        while matches!((&self.rx).read(&mut buf), Ok(n) if n > 0) {}
+    }
+}
+
+/// Creates a connected waker/receiver pair (both ends nonblocking).
+pub fn wake_pair() -> io::Result<(Waker, WakeReceiver)> {
+    let (rx, tx) = UnixStream::pair()?;
+    rx.set_nonblocking(true)?;
+    tx.set_nonblocking(true)?;
+    Ok((Waker { tx }, WakeReceiver { rx }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn wake_breaks_an_infinite_poll() {
+        let (waker, rx) = wake_pair().unwrap();
+        let handle = std::thread::spawn(move || {
+            let mut fds = [PollFd::new(rx.fd(), POLLIN)];
+            let started = Instant::now();
+            let n = poll_fds(&mut fds, -1).unwrap();
+            assert_eq!(n, 1);
+            assert!(fds[0].ready(POLLIN));
+            rx.drain();
+            // Once drained, a zero-timeout poll reports nothing pending.
+            let n = poll_fds(&mut fds, 0).unwrap();
+            assert_eq!(n, 0);
+            started.elapsed()
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        waker.wake();
+        waker.wake(); // coalesces with the first
+        let waited = handle.join().unwrap();
+        assert!(waited >= Duration::from_millis(10), "poll returned early");
+    }
+
+    #[test]
+    fn timeout_expires_without_events() {
+        let (_waker, rx) = wake_pair().unwrap();
+        let mut fds = [PollFd::new(rx.fd(), POLLIN)];
+        let started = Instant::now();
+        let n = poll_fds(&mut fds, 25).unwrap();
+        assert_eq!(n, 0);
+        assert!(started.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn pollout_reports_writable_sockets() {
+        let (a, _b) = UnixStream::pair().unwrap();
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLLOUT)];
+        let n = poll_fds(&mut fds, 0).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].ready(POLLOUT));
+    }
+}

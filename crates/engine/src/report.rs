@@ -83,6 +83,13 @@ pub struct Report {
     pub result_cache_hit: Option<bool>,
     /// Wall-clock milliseconds of planning + execution.
     pub elapsed_ms: f64,
+    /// Memoized `json_object(false)` rendering. Shared across clones:
+    /// the result cache's replays of one report all reuse the first
+    /// rendering instead of re-walking the outcome per request (the
+    /// stable rendering excludes every per-request field, so sharing is
+    /// sound even while `cache_hit`/`elapsed_ms` are patched per
+    /// replay).
+    pub(crate) rendered: std::sync::Arc<std::sync::OnceLock<String>>,
 }
 
 impl Report {
@@ -134,8 +141,24 @@ impl Report {
 
     /// Renders the one-line JSON summary object, `{...}`. Elapsed time
     /// is the only nondeterministic field; the serve mode excludes it
-    /// (`include_elapsed = false`) so repeated queries are byte-stable.
+    /// (`include_elapsed = false`) so repeated queries are byte-stable —
+    /// and that stable rendering is memoized, so a result-cache replay
+    /// serves the same `String` without re-walking the outcome.
     pub fn json_object(&self, include_elapsed: bool) -> String {
+        if include_elapsed {
+            return self.render_json(true);
+        }
+        self.json_str().to_string()
+    }
+
+    /// The memoized stable rendering (`json_object(false)`) as a
+    /// borrow: the serve hot path embeds it into the response envelope
+    /// without cloning the string first.
+    pub fn json_str(&self) -> &str {
+        self.rendered.get_or_init(|| self.render_json(false))
+    }
+
+    fn render_json(&self, include_elapsed: bool) -> String {
         let mut j = JsonBuilder::new();
         j.str_field("algorithm", self.query.algorithm.name());
         j.str_field("file", &self.source_label);
@@ -219,41 +242,74 @@ impl Report {
 }
 
 /// Assembles a one-line JSON object. Keys/values are emitted in
-/// insertion order; only JSON-safe primitives are used.
+/// insertion order; only JSON-safe primitives are used. Fields append
+/// into one growing buffer (no per-field allocations) — this builder
+/// runs once per served request, so its churn is wire-path overhead.
 pub struct JsonBuilder {
-    fields: Vec<(String, String)>,
+    buf: String,
 }
 
 impl JsonBuilder {
-    /// An empty object.
+    /// An empty object. The buffer is pre-sized for a typical response
+    /// envelope so steady-state rendering never reallocates mid-build.
     pub fn new() -> Self {
-        JsonBuilder { fields: Vec::new() }
+        let mut buf = String::with_capacity(384);
+        buf.push('{');
+        JsonBuilder { buf }
+    }
+
+    fn key(&mut self, key: &str) {
+        if self.buf.len() > 1 {
+            self.buf.push(',');
+        }
+        self.buf.push('"');
+        self.buf.push_str(key);
+        self.buf.push_str("\":");
     }
 
     /// Adds an escaped string field.
     pub fn str_field(&mut self, key: &str, value: &str) {
-        self.fields
-            .push((key.to_string(), format!("\"{}\"", escape_json(value))));
+        self.key(key);
+        self.buf.push('"');
+        escape_json_into(value, &mut self.buf);
+        self.buf.push('"');
     }
 
     /// Adds a numeric field (integers without a decimal point).
     pub fn num_field(&mut self, key: &str, value: f64) {
-        self.fields.push((key.to_string(), render_num(value)));
+        self.key(key);
+        render_num_into(value, &mut self.buf);
     }
 
     /// Adds a pre-rendered JSON value (nested object, echoed token).
     pub fn raw_field(&mut self, key: &str, raw: &str) {
-        self.fields.push((key.to_string(), raw.to_string()));
+        self.key(key);
+        self.buf.push_str(raw);
     }
 
-    /// Renders `{...}`.
-    pub fn finish(&self) -> String {
-        let body: Vec<String> = self
-            .fields
-            .iter()
-            .map(|(k, v)| format!("\"{k}\":{v}"))
-            .collect();
-        format!("{{{}}}", body.join(","))
+    /// Echoes a parsed request scalar back without rendering it to an
+    /// intermediate string first (the serve path echoes the request
+    /// `id` this way on every response).
+    pub fn value_field(&mut self, key: &str, value: &crate::minijson::Value) {
+        use crate::minijson::Value;
+        self.key(key);
+        match value {
+            Value::Str(s) => {
+                self.buf.push('"');
+                escape_json_into(s, &mut self.buf);
+                self.buf.push('"');
+            }
+            Value::Num(n) => render_num_into(*n, &mut self.buf),
+            Value::Bool(b) => self.buf.push_str(if *b { "true" } else { "false" }),
+            Value::Null => self.buf.push_str("null"),
+        }
+    }
+
+    /// Renders `{...}`, consuming the builder (the accumulated buffer
+    /// becomes the result — no final copy).
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
     }
 }
 
@@ -266,27 +322,43 @@ impl Default for JsonBuilder {
 /// JSON string escaping shared by the builder and the serve loop.
 pub fn escape_json(value: &str) -> String {
     let mut escaped = String::with_capacity(value.len());
+    escape_json_into(value, &mut escaped);
+    escaped
+}
+
+/// [`escape_json`] appending into an existing buffer.
+pub fn escape_json_into(value: &str, out: &mut String) {
     for c in value.chars() {
         match c {
-            '"' => escaped.push_str("\\\""),
-            '\\' => escaped.push_str("\\\\"),
-            '\n' => escaped.push_str("\\n"),
-            '\r' => escaped.push_str("\\r"),
-            '\t' => escaped.push_str("\\t"),
-            c if (c as u32) < 0x20 => escaped.push_str(&format!("\\u{:04x}", c as u32)),
-            c => escaped.push(c),
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
         }
     }
-    escaped
 }
 
 /// Number rendering of the JSON summary: integral values without a
 /// decimal point, everything else via Rust's shortest-roundtrip float
 /// formatting.
 pub fn render_num(value: f64) -> String {
+    let mut out = String::new();
+    render_num_into(value, &mut out);
+    out
+}
+
+/// [`render_num`] appending into an existing buffer.
+pub fn render_num_into(value: f64, out: &mut String) {
+    use std::fmt::Write;
     if value == value.trunc() && value.abs() < 1e15 {
-        format!("{value:.0}")
+        let _ = write!(out, "{value:.0}");
     } else {
-        format!("{value}")
+        let _ = write!(out, "{value}");
     }
 }

@@ -36,9 +36,12 @@
 //! relative to holding them, and caching them would require hashing the
 //! file without loading it. The engine documents the same contract.
 
-use std::collections::HashMap;
+// Fx, not SipHash: the result map is probed once per served query and
+// `CacheKey` hashes several words; the serve socket is a local unix
+// socket with a trusted peer, so collision flooding is not a concern.
+use rustc_hash::FxHashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use dsg_flow::FlowBackend;
 use dsg_graph::GraphKind;
@@ -206,7 +209,7 @@ struct CachedReport {
 }
 
 struct Inner {
-    map: HashMap<CacheKey, CachedReport>,
+    map: FxHashMap<CacheKey, CachedReport>,
     total_bytes: u64,
     clock: u64,
 }
@@ -225,7 +228,7 @@ pub struct ResultCache {
     /// old version and finished *after* the mutation's eager eviction
     /// cannot re-pin an unreachable entry. Bounded; losing floors only
     /// degrades to ordinary LRU reclamation.
-    floors: Mutex<HashMap<u64, u64>>,
+    floors: Mutex<FxHashMap<u64, u64>>,
     budget_bytes: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -246,11 +249,11 @@ impl ResultCache {
     pub fn with_budget(budget_bytes: u64) -> Self {
         ResultCache {
             inner: Mutex::new(Inner {
-                map: HashMap::new(),
+                map: FxHashMap::default(),
                 total_bytes: 0,
                 clock: 0,
             }),
-            floors: Mutex::new(HashMap::new()),
+            floors: Mutex::new(FxHashMap::default()),
             budget_bytes: AtomicU64::new(budget_bytes),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -290,8 +293,24 @@ impl ResultCache {
     /// the *requesting* source so two paths with identical bytes each
     /// see their own path echoed.
     pub fn lookup(&self, key: &CacheKey, source_label: &str) -> Option<Report> {
-        // Only the Arc clone happens under the lock; the deep clone
-        // that patches the replay fields runs after it is released.
+        let stored = self.lookup_shared(key, source_label)?;
+        let mut report = (*stored).clone();
+        report.result_cache_hit = Some(true);
+        Some(report)
+    }
+
+    /// Like [`lookup`](Self::lookup), but returns the stored report
+    /// *shared* — no deep clone on the steady-state path. The caller
+    /// must treat the report as the cached run's verbatim record
+    /// (`elapsed_ms`, `cache_hit`, and `result_cache_hit` describe the
+    /// cold run, not this request) and carry per-request values
+    /// separately; the serve loop does exactly that when assembling a
+    /// reply envelope. When `source_label` differs from the stored one,
+    /// a patched clone is returned instead so the rendered `file` field
+    /// echoes the requesting path.
+    pub fn lookup_shared(&self, key: &CacheKey, source_label: &str) -> Option<Arc<Report>> {
+        // Only the Arc clone happens under the lock; any deep clone
+        // (label aliasing only) runs after it is released.
         let hit = {
             let mut inner = self.inner.lock().expect("result cache lock poisoned");
             inner.clock += 1;
@@ -304,10 +323,17 @@ impl ResultCache {
         match hit {
             Some(stored) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                let mut report = (*stored).clone();
-                report.source_label = source_label.to_string();
-                report.result_cache_hit = Some(true);
-                Some(report)
+                if stored.source_label == source_label {
+                    Some(stored)
+                } else {
+                    // The label is rendered (the `file` field), so a
+                    // replay under an aliased path cannot share the
+                    // stored report's memoized rendering.
+                    let mut report = (*stored).clone();
+                    report.source_label = source_label.to_string();
+                    report.rendered = Default::default();
+                    Some(Arc::new(report))
+                }
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -493,6 +519,7 @@ mod tests {
             cache_hit: Some(false),
             result_cache_hit: Some(false),
             elapsed_ms: 1.0,
+            rendered: Default::default(),
         }
     }
 

@@ -1,0 +1,270 @@
+//! Property/fuzz suite for the binary wire codec, mirroring
+//! `minijson_props.rs` for the frame layer.
+//!
+//! The contract under test: encoding any request (any op, any flat
+//! field set the JSONL schema allows) and decoding it back round-trips
+//! exactly — standalone and inside batch frames — and decoding **never
+//! panics** on hostile bytes: truncation at every byte boundary is
+//! either "incomplete, wait for more" (a valid frame prefix) or a typed
+//! [`FrameError`], and an oversized length prefix is rejected against
+//! the configurable frame-size cap before any allocation happens.
+
+use dsg_engine::frame::{
+    batch_items, decode_frame, decode_request_payload, encode_batch_item, encode_request,
+    FrameError, Opcode, DEFAULT_MAX_FRAME, HEADER_LEN, MAGIC, VERSION,
+};
+use dsg_engine::minijson::{FieldScratch, Value};
+use proptest::prelude::*;
+
+/// Adversarial string pool: empty, spacey, quotey, multi-byte UTF-8,
+/// control characters — everything the length-prefixed encoding must
+/// carry verbatim.
+const STRING_POOL: [&str; 10] = [
+    "",
+    "plain",
+    "with space",
+    "quote\"inside",
+    "back\\slash",
+    "line\nbreak\tand\rreturn",
+    "é λ 語 🦀",
+    "control\u{1}\u{1f}",
+    "null\u{0}byte",
+    "mixed é\"\\\n\u{3}語",
+];
+
+/// Keys alternate between registered tag-byte keys and unregistered
+/// explicit-string keys, so both encodings are exercised.
+const KEY_POOL: [&str; 10] = [
+    "id",
+    "algorithm",
+    "file",
+    "graph",
+    "epsilon",
+    "custom_key",
+    "anotherUnregisteredKey",
+    "k",
+    "edges",
+    "key with spaces é",
+];
+
+const OPS: [&str; 7] = [
+    "query",
+    "stats",
+    "shutdown",
+    "create_graph",
+    "add_edges",
+    "remove_edges",
+    "compact",
+];
+
+fn make_value(tag: u8, num: f64, sidx: usize) -> Value {
+    match tag % 4 {
+        0 => Value::Str(STRING_POOL[sidx % STRING_POOL.len()].to_string()),
+        // Any finite f64 survives: the wire carries the exact LE bytes.
+        1 => Value::Num((num - 0.5) * 1e9),
+        2 => Value::Bool(num > 0.5),
+        _ => Value::Null,
+    }
+}
+
+fn make_fields(spec: &[(u8, f64, usize)]) -> Vec<(String, Value)> {
+    spec.iter()
+        .enumerate()
+        .map(|(i, (tag, num, sidx))| {
+            // Duplicate keys are legal (last wins at lookup); keep them
+            // possible by not uniquifying.
+            let key = KEY_POOL[(sidx + i) % KEY_POOL.len()].to_string();
+            (key, make_value(*tag, *num, *sidx))
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Encode → decode → compare: every op, every value class, both key
+    /// encodings, round-trips exactly.
+    #[test]
+    fn requests_roundtrip_exactly(
+        opsel in 0usize..OPS.len(),
+        spec in proptest::collection::vec((0u8..=3, 0.0f64..1.0, 0usize..64), 0..8),
+    ) {
+        let op = OPS[opsel];
+        let fields = make_fields(&spec);
+        let mut buf = Vec::new();
+        encode_request(op, &fields, &mut buf).expect("encodable");
+        let (opcode, payload, consumed) = decode_frame(&buf, DEFAULT_MAX_FRAME)
+            .expect("valid frame")
+            .expect("complete frame");
+        prop_assert_eq!(consumed, buf.len());
+        prop_assert_eq!(opcode.op_name(), op);
+        let mut scratch = FieldScratch::new();
+        decode_request_payload(payload, &mut scratch).expect("valid payload");
+        prop_assert_eq!(scratch.fields(), fields.as_slice());
+    }
+
+    /// Batch frames round-trip every item in order, and the arena reuse
+    /// across items never leaks one item's fields into the next.
+    #[test]
+    fn batches_roundtrip_in_order(
+        specs in proptest::collection::vec(
+            (0usize..OPS.len(), proptest::collection::vec((0u8..=3, 0.0f64..1.0, 0usize..64), 0..4)),
+            1..6,
+        ),
+    ) {
+        let mut payload = Vec::new();
+        let expected: Vec<(&str, Vec<(String, Value)>)> = specs
+            .iter()
+            .map(|(opsel, spec)| {
+                let op = OPS[*opsel];
+                let fields = make_fields(spec);
+                encode_batch_item(op, &fields, &mut payload).expect("encodable");
+                (op, fields)
+            })
+            .collect();
+        let mut scratch = FieldScratch::new();
+        let mut seen = 0usize;
+        for (item, (op, fields)) in batch_items(&payload).zip(&expected) {
+            let (opcode, body) = item.expect("valid batch item");
+            prop_assert_eq!(opcode.op_name(), *op);
+            decode_request_payload(body, &mut scratch).expect("valid payload");
+            prop_assert_eq!(scratch.fields(), fields.as_slice());
+            seen += 1;
+        }
+        prop_assert_eq!(seen, expected.len());
+    }
+
+    /// The fuzz contract: arbitrary bytes never panic any decoder —
+    /// every failure is a typed error, every success consumes no more
+    /// than the input.
+    #[test]
+    fn arbitrary_bytes_never_panic(
+        bytes in proptest::collection::vec(0u32..256, 0..96),
+        mode in 0u8..=2,
+        cap in 8usize..4096,
+    ) {
+        let noise: Vec<u8> = bytes.iter().map(|b| *b as u8).collect();
+        let input: Vec<u8> = match mode {
+            // Raw byte soup.
+            0 => noise,
+            // A plausible header in front, so the decoder gets deep.
+            1 => {
+                let mut v = vec![MAGIC, VERSION, 0x01, 0];
+                v.extend_from_slice(&(noise.len() as u32).to_le_bytes());
+                v.extend_from_slice(&noise);
+                v
+            }
+            // A batch frame full of garbage items.
+            _ => {
+                let mut v = vec![MAGIC, VERSION, 0x0F, 0];
+                v.extend_from_slice(&(noise.len() as u32).to_le_bytes());
+                v.extend_from_slice(&noise);
+                v
+            }
+        };
+        match decode_frame(&input, cap) {
+            Ok(None) | Err(_) => {}
+            Ok(Some((opcode, payload, consumed))) => {
+                prop_assert!(consumed <= input.len());
+                prop_assert!(payload.len() <= cap);
+                let mut scratch = FieldScratch::new();
+                match opcode {
+                    Opcode::Batch => {
+                        for (_, body) in batch_items(payload).flatten() {
+                            let _ = decode_request_payload(body, &mut scratch);
+                        }
+                    }
+                    _ => {
+                        let _ = decode_request_payload(payload, &mut scratch);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Truncating a valid frame at any byte boundary is always
+    /// "incomplete" (never an error, never a bogus success), and
+    /// truncating a request *payload* at any boundary is either a clean
+    /// parse of a shorter field list or a typed error — never a panic.
+    #[test]
+    fn truncation_at_every_boundary_is_typed(
+        opsel in 0usize..OPS.len(),
+        spec in proptest::collection::vec((0u8..=3, 0.0f64..1.0, 0usize..64), 1..5),
+    ) {
+        let fields = make_fields(&spec);
+        let mut buf = Vec::new();
+        encode_request(OPS[opsel], &fields, &mut buf).expect("encodable");
+        for cut in 0..buf.len() {
+            match decode_frame(&buf[..cut], DEFAULT_MAX_FRAME) {
+                Ok(None) => {}
+                Ok(Some(_)) => {
+                    return Err(format!("strict prefix of {cut} bytes decoded as complete"))
+                }
+                Err(e) => return Err(format!("valid prefix of {cut} bytes rejected: {e}")),
+            }
+        }
+        let payload = &buf[HEADER_LEN..];
+        let mut scratch = FieldScratch::new();
+        for cut in 0..payload.len() {
+            // A cut at a field boundary parses fewer fields; any other
+            // cut is a typed error. Both are fine; panics are not.
+            let _ = decode_request_payload(&payload[..cut], &mut scratch);
+        }
+    }
+
+    /// A hostile 4-byte length prefix cannot cause allocation: any
+    /// claimed length above the cap is a typed `Oversized` error, for
+    /// every cap.
+    #[test]
+    fn oversized_lengths_are_rejected_against_the_cap(
+        cap in 0usize..1 << 20,
+        over in 1u64..1 << 30,
+    ) {
+        let len = (cap as u64 + over).min(u32::MAX as u64) as u32;
+        if (len as usize) <= cap {
+            return Ok(()); // clamped into range; nothing to reject
+        }
+        let mut buf = vec![MAGIC, VERSION, 0x01, 0];
+        buf.extend_from_slice(&len.to_le_bytes());
+        match decode_frame(&buf, cap) {
+            Err(FrameError::Oversized { len: got, cap: got_cap }) => {
+                prop_assert_eq!(got, len as u64);
+                prop_assert_eq!(got_cap, cap as u64);
+            }
+            other => return Err(format!("expected Oversized, got {other:?}")),
+        }
+    }
+}
+
+#[test]
+fn every_opcode_byte_roundtrips_and_unknowns_are_rejected() {
+    let mut known = 0;
+    for b in 0u16..=255 {
+        match Opcode::from_byte(b as u8) {
+            Some(op) => {
+                assert_eq!(op.byte(), b as u8);
+                known += 1;
+                if op != Opcode::Batch && op != Opcode::Reply {
+                    assert_eq!(Opcode::from_op_name(op.op_name()), Some(op));
+                }
+            }
+            None => {
+                let frame = [MAGIC, VERSION, b as u8, 0, 0, 0, 0, 0];
+                assert!(matches!(
+                    decode_frame(&frame, DEFAULT_MAX_FRAME),
+                    Err(FrameError::BadOpcode(_))
+                ));
+            }
+        }
+    }
+    assert_eq!(known, 9, "9 opcodes: 7 requests + batch + reply");
+}
+
+#[test]
+fn frame_errors_render_and_box() {
+    let err = decode_frame(&[MAGIC, 2], DEFAULT_MAX_FRAME).expect_err("bad version");
+    assert_eq!(err, FrameError::BadVersion(2));
+    assert!(err.to_string().contains("version"), "{err}");
+    let boxed: Box<dyn std::error::Error> = Box::new(err);
+    assert!(boxed.to_string().contains("unsupported"));
+}

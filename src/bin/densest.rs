@@ -14,8 +14,8 @@ use std::path::PathBuf;
 use std::process::exit;
 
 use densest_subgraph::engine::{
-    Algorithm, BackendRequest, Engine, EngineError, Outcome, Query, Report, ResourcePolicy,
-    ServeOptions, Source,
+    percentile, Algorithm, BackendRequest, ClientOptions, ClientStats, Engine, EngineError,
+    Outcome, Query, Report, ResourcePolicy, ServeOptions, Source,
 };
 use densest_subgraph::flow::FlowBackend;
 use densest_subgraph::graph::NodeSet;
@@ -28,7 +28,7 @@ const USAGE: &str =
        densest serve [--socket <path>] [--workers n] [--max-connections n] [--threads n] \
      [--memory-budget bytes] [--max-graphs n] [--result-cache bytes] [--warm-threshold f] \
      [--compact-ratio f] [--quiet]\n\
-       densest client --socket <path> [--repeat n] [--parallel n]\n\
+       densest client --socket <path> [--repeat n] [--parallel n] [--binary] [--pipeline n]\n\
        densest --help";
 
 const HELP: &str = "densest — densest-subgraph queries over edge-list files
@@ -36,7 +36,7 @@ const HELP: &str = "densest — densest-subgraph queries over edge-list files
 usage:
   densest <algorithm> <edge-file> [options]     one-shot query
   densest serve [options]                       long-running JSONL server
-  densest client --socket <path> [options]      JSONL client for a serve socket
+  densest client --socket <path> [options]      client for a serve socket
   densest --help | -h                           this help
 
 algorithms:
@@ -124,8 +124,13 @@ client mode:
   response line. --repeat n sends the whole request set n times over the
   same connection; --parallel n runs n such connections concurrently
   (responses are printed grouped per connection, and a throughput
-  summary goes to stderr). The throughput experiment and the CI
-  concurrent-serve smoke are built on these flags.
+  summary with per-connection p50/p99 latency goes to stderr).
+  --binary switches the connection to the length-prefixed binary frame
+  protocol (the server detects it per connection; response lines stay
+  byte-identical to JSONL), and --pipeline n keeps up to n requests in
+  flight per connection — in binary mode each window travels as one
+  batch frame. The throughput experiment and the CI concurrent-serve
+  smoke are built on these flags.
 
 The input is a whitespace-separated `u v [w]` edge list with `#` comments
 (SNAP format), or the compact binary format with --binary. The planner is
@@ -677,13 +682,15 @@ fn run_serve(args: impl Iterator<Item = String>) {
     }
 }
 
-/// `densest client --socket <path> [--repeat n] [--parallel n]`:
-/// forward stdin JSONL to a server, optionally repeating the request
-/// set and fanning it out over parallel connections.
+/// `densest client --socket <path> [--repeat n] [--parallel n]
+/// [--binary] [--pipeline n]`: forward stdin requests to a server,
+/// optionally over the binary frame transport, pipelined, repeating
+/// the request set and fanning it out over parallel connections.
 fn run_client(args: impl Iterator<Item = String>) {
     let mut socket: Option<PathBuf> = None;
     let mut repeat: usize = 1;
     let mut parallel: usize = 1;
+    let mut client_options = ClientOptions::default();
     let mut it = args.collect::<Vec<_>>().into_iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> String {
@@ -708,6 +715,14 @@ fn run_client(args: impl Iterator<Item = String>) {
                     exit(2);
                 }
             }
+            "--binary" => client_options.binary = true,
+            "--pipeline" => {
+                client_options.pipeline = parse_value("--pipeline", &value("--pipeline"));
+                if client_options.pipeline == 0 {
+                    eprintln!("--pipeline must be at least 1");
+                    exit(2);
+                }
+            }
             other => {
                 eprintln!("unknown flag '{other}'");
                 usage();
@@ -719,8 +734,10 @@ fn run_client(args: impl Iterator<Item = String>) {
         exit(2);
     });
     let stdin = std::io::stdin();
-    if repeat == 1 && parallel == 1 {
-        // Plain mode streams stdin line by line (stays interactive).
+    let plain = repeat == 1 && parallel == 1;
+    if plain && !client_options.binary && client_options.pipeline == 1 {
+        // Plain JSONL lockstep streams stdin line by line (stays
+        // interactive — responses appear as requests are typed).
         let mut stdout = std::io::stdout().lock();
         if let Err(e) = densest_subgraph::engine::client_unix(
             &socket,
@@ -732,8 +749,9 @@ fn run_client(args: impl Iterator<Item = String>) {
         }
         return;
     }
-    // Repeat/parallel mode reads the whole request set first, then each
-    // of `parallel` connections sends it `repeat` times.
+    // Every other mode reads the whole request set first, then each of
+    // `parallel` connections sends it `repeat` times through
+    // `client_unix_opts` (binary framing and pipelining live there).
     let requests: String = {
         use std::io::Read;
         let mut buf = String::new();
@@ -744,7 +762,7 @@ fn run_client(args: impl Iterator<Item = String>) {
         buf
     };
     // Per connection: the responses received so far (flushed to stdout
-    // even when the connection later died), the exchange count, and the
+    // even when the connection later died), the latency stats, and the
     // error if the connection failed mid-round — a failed worker must
     // surface *which* connection died after *how many* exchanges, and
     // the process must exit non-zero, not just report throughput.
@@ -753,11 +771,13 @@ fn run_client(args: impl Iterator<Item = String>) {
         (lines * repeat) as u64
     };
     let started = std::time::Instant::now();
-    let outputs: Vec<(Vec<u8>, u64, Option<std::io::Error>)> = std::thread::scope(|s| {
+    type ConnOutput = (Vec<u8>, ClientStats, Option<std::io::Error>);
+    let outputs: Vec<ConnOutput> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..parallel)
             .map(|_| {
                 let socket = &socket;
                 let requests = &requests;
+                let options = &client_options;
                 s.spawn(move || {
                     let mut out = Vec::new();
                     let mut conn_requests = String::new();
@@ -767,18 +787,23 @@ fn run_client(args: impl Iterator<Item = String>) {
                             conn_requests.push('\n');
                         }
                     }
-                    match densest_subgraph::engine::client_unix(
+                    match densest_subgraph::engine::client_unix_opts(
                         socket,
                         std::io::Cursor::new(conn_requests),
                         &mut out,
+                        options,
                     ) {
-                        Ok(exchanges) => (out, exchanges, None),
+                        Ok(stats) => (out, stats, None),
                         Err(e) => {
-                            // `client_unix` streams responses into `out`
-                            // as they arrive, so the partial transcript
+                            // Responses stream into `out` as they
+                            // arrive, so the partial transcript
                             // survives the failure.
                             let partial = out.iter().filter(|&&b| b == b'\n').count() as u64;
-                            (out, partial, Some(e))
+                            let stats = ClientStats {
+                                exchanges: partial,
+                                ..ClientStats::default()
+                            };
+                            (out, stats, Some(e))
                         }
                     }
                 })
@@ -791,35 +816,58 @@ fn run_client(args: impl Iterator<Item = String>) {
     });
     let elapsed = started.elapsed().as_secs_f64();
     let mut total_exchanges = 0u64;
+    let mut all_latencies: Vec<f64> = Vec::new();
     let mut failures = 0usize;
     {
         use std::io::Write;
         let mut stdout = std::io::stdout().lock();
-        for (conn, (out, exchanges, error)) in outputs.iter().enumerate() {
-            total_exchanges += exchanges;
+        for (conn, (out, stats, error)) in outputs.iter().enumerate() {
+            total_exchanges += stats.exchanges;
+            all_latencies.extend_from_slice(&stats.latencies_ms);
             if stdout.write_all(out).is_err() {
                 failures += 1;
             }
             if let Some(e) = error {
                 failures += 1;
                 eprintln!(
-                    "client connection {conn} failed after {exchanges}/{expected_per_conn} \
-                     exchanges: {e}"
+                    "client connection {conn} failed after {}/{expected_per_conn} \
+                     exchanges: {e}",
+                    stats.exchanges
+                );
+            } else if parallel > 1 {
+                eprintln!(
+                    "client connection {conn}: {} exchanges, p50 {:.3} ms, p99 {:.3} ms",
+                    stats.exchanges,
+                    stats.percentile_ms(50.0),
+                    stats.percentile_ms(99.0)
                 );
             }
         }
     }
     eprintln!(
-        "client: {} exchanges over {} connection(s) x {} repeat(s) in {:.1} ms ({:.0} req/s){}",
+        "client: {} exchanges over {} connection(s) x {} repeat(s) [{}{}] in {:.1} ms \
+         ({:.0} req/s, p50 {:.3} ms, p99 {:.3} ms){}",
         total_exchanges,
         parallel,
         repeat,
+        if client_options.binary {
+            "binary"
+        } else {
+            "jsonl"
+        },
+        if client_options.pipeline > 1 {
+            format!(", pipeline {}", client_options.pipeline)
+        } else {
+            String::new()
+        },
         elapsed * 1e3,
         if elapsed > 0.0 {
             total_exchanges as f64 / elapsed
         } else {
             0.0
         },
+        percentile(&all_latencies, 50.0),
+        percentile(&all_latencies, 99.0),
         if failures > 0 {
             format!("; {failures} connection(s) FAILED")
         } else {
