@@ -1121,6 +1121,7 @@ impl Connection {
             self.fill_rbuf();
         }
         loop {
+            let was_backlogged = self.backlogged();
             let mut progressed = false;
             while !self.dead
                 && !*saw_shutdown
@@ -1132,7 +1133,19 @@ impl Connection {
             if self.wants_write() {
                 self.flush();
             }
-            if !progressed || self.dead || *saw_shutdown || self.backlogged() {
+            if self.dead || *saw_shutdown || self.backlogged() {
+                break;
+            }
+            if was_backlogged {
+                // Entered this turn over the high-water mark (a POLLOUT
+                // wake), so the process loop above was skipped — but the
+                // flush just cleared the backlog. Complete requests may
+                // still sit in `rbuf`, and a pipelining client that has
+                // sent everything will never trigger another POLLIN;
+                // retry processing now rather than stranding them.
+                continue;
+            }
+            if !progressed {
                 break;
             }
         }
@@ -1597,7 +1610,29 @@ pub fn client_unix_opts<R: BufRead, W: Write>(
             }
         }
     } else {
-        for chunk in lines.chunks(window) {
+        // The JSONL window is bounded by wire bytes exactly like the
+        // binary send-ahead: an unbounded `--pipeline` burst whose
+        // requests outrun the server's write high-water mark plus the
+        // kernel socket buffers would leave the server parked (not
+        // reading) while the client is still blocked in `write_all` and
+        // not yet reading replies — a mutual deadlock. Splitting the
+        // window so at most SEND_AHEAD_MAX_BYTES is unacknowledged
+        // keeps every burst inside the kernel buffer. A single line
+        // over the cap still goes alone.
+        let mut start = 0usize;
+        while start < lines.len() {
+            let mut end = start;
+            let mut burst = 0usize;
+            while end < lines.len() && end - start < window {
+                let line_bytes = lines[end].len() + 1;
+                if end > start && burst + line_bytes > SEND_AHEAD_MAX_BYTES {
+                    break;
+                }
+                burst += line_bytes;
+                end += 1;
+            }
+            let chunk = &lines[start..end];
+            start = end;
             let sent_at = Instant::now();
             for line in chunk {
                 writer.write_all(line.as_bytes())?;
@@ -1702,6 +1737,11 @@ fn read_reply_frame<R: BufRead>(reader: &mut R, buf: &mut Vec<u8>) -> std::io::R
             "expected a reply frame, got 0x{:02x}",
             header[2]
         )));
+    }
+    if header[3] != 0 {
+        // Mirror the server-side decode_frame: the reserved byte must be
+        // zero until a protocol revision assigns it meaning.
+        return Err(bad(format!("nonzero reserved byte 0x{:02x}", header[3])));
     }
     let len = u32::from_le_bytes([header[4], header[5], header[6], header[7]]) as usize;
     if len > crate::frame::DEFAULT_MAX_FRAME {
@@ -2462,6 +2502,114 @@ mod tests {
         }
         assert_eq!(field(lines[n], "id"), "\"bye\"");
         assert!(stats.percentile_ms(50.0) <= stats.percentile_ms(99.0));
+    }
+
+    /// Regression: a service turn entered already over the write
+    /// high-water mark (a POLLOUT wake) used to skip the process loop,
+    /// and when the flush then fully drained the backlog it broke with
+    /// complete requests still buffered. A pipelining client that had
+    /// sent its whole window and was waiting on replies never triggers
+    /// another POLLIN, so those requests were stranded forever. The
+    /// turn must retry processing once the flush clears the backlog.
+    #[cfg(unix)]
+    #[test]
+    fn backlogged_turn_answers_buffered_requests_once_flush_drains() {
+        use std::io::Read;
+        use std::os::unix::net::UnixStream;
+
+        let (server_side, client_side) = UnixStream::pair().unwrap();
+        server_side.set_nonblocking(true).unwrap();
+        // The peer actively reads everything — the condition under
+        // which a flush can fully drain the backlog.
+        let reader = std::thread::spawn(move || {
+            let mut client_side = client_side;
+            let mut all = Vec::new();
+            let mut chunk = [0u8; 1 << 16];
+            loop {
+                match client_side.read(&mut chunk) {
+                    Ok(0) => break,
+                    Ok(n) => all.extend_from_slice(&chunk[..n]),
+                    Err(_) => break,
+                }
+            }
+            all
+        });
+        let mut conn = Connection::new(server_side);
+        // A previous turn left the write buffer at the high-water mark:
+        // this turn starts backlogged, exactly like a POLLOUT wake.
+        conn.wbuf = vec![b'#'; WRITE_HWM];
+        // Two complete requests already buffered; the client will never
+        // send another byte.
+        conn.rbuf = b"{\"op\":\"stats\",\"id\":1}\n{\"op\":\"stats\",\"id\":2}\n".to_vec();
+        let engine = Engine::new();
+        let mut scratch = minijson::FieldScratch::new();
+        let mut saw_shutdown = false;
+        conn.service(
+            false,
+            &engine,
+            &ResourcePolicy::default(),
+            &ServeMetrics::new(),
+            &mut scratch,
+            &mut saw_shutdown,
+        );
+        assert!(!conn.dead);
+        assert!(!saw_shutdown);
+        assert!(
+            conn.rbuf.is_empty(),
+            "buffered requests must be answered in the same turn, not stranded"
+        );
+        // Let the replies still in flight reach the peer, then close.
+        while conn.pending_write() > 0 {
+            conn.flush();
+            assert!(!conn.dead);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        drop(conn);
+        let received = reader.join().unwrap();
+        let replies = String::from_utf8(received[WRITE_HWM..].to_vec()).unwrap();
+        let lines: Vec<&str> = replies.lines().collect();
+        assert_eq!(lines.len(), 2, "{replies}");
+        assert_eq!(field(lines[0], "id"), "1");
+        assert_eq!(field(lines[1], "id"), "2");
+    }
+
+    /// Regression: an unbounded JSONL `--pipeline` burst whose bytes
+    /// outrun the server's write high-water mark plus the kernel socket
+    /// buffers deadlocked — the server parked at the HWM while the
+    /// client was still blocked writing, not yet reading replies. The
+    /// client now splits the window so at most SEND_AHEAD_MAX_BYTES is
+    /// unacknowledged, like the binary path.
+    #[cfg(unix)]
+    #[test]
+    fn huge_jsonl_pipeline_window_does_not_deadlock() {
+        let (sock, server) = spawn_server("jsonl_huge_window.sock", ServeOptions::default());
+        let n = 8000usize;
+        let pad = "x".repeat(180);
+        let requests: String = (0..n)
+            .map(|i| format!("{{\"op\":\"stats\",\"id\":{i},\"pad\":\"{pad}\"}}\n"))
+            .chain(std::iter::once(
+                "{\"op\":\"shutdown\",\"id\":\"bye\"}\n".to_string(),
+            ))
+            .collect();
+        let mut out = Vec::new();
+        let stats = client_unix_opts(
+            &sock,
+            Cursor::new(requests),
+            &mut out,
+            &ClientOptions {
+                binary: false,
+                pipeline: n + 1,
+            },
+        )
+        .unwrap();
+        let summary = server.join().unwrap();
+        assert_eq!(stats.exchanges as usize, n + 1);
+        assert!(summary.shutdown);
+        let out = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), n + 1);
+        assert_eq!(field(lines[0], "id"), "0");
+        assert_eq!(field(lines[n], "id"), "\"bye\"");
     }
 
     /// With many idle connections parked, a graceful shutdown must
