@@ -37,6 +37,8 @@
 //! the paper's graph sizes). `--data-dir` points at real SNAP `.txt`
 //! files to upgrade `table2` from stand-ins to the genuine datasets.
 
+#![forbid(unsafe_code)]
+
 use std::io::Write;
 use std::path::PathBuf;
 

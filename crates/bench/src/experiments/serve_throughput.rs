@@ -210,6 +210,8 @@ pub fn run(scale: Scale) -> Vec<Row> {
                     if sock.exists() {
                         break;
                     }
+                    // Harness-only: wait for the server thread to bind.
+                    #[allow(clippy::disallowed_methods)]
                     std::thread::sleep(std::time::Duration::from_millis(10));
                 }
                 assert!(sock.exists(), "server socket never appeared");

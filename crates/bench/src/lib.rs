@@ -14,6 +14,7 @@
 //! trajectories, the memory/quality trade-off of sketching, and the
 //! per-pass decay of MapReduce cost.
 
+#![forbid(unsafe_code)]
 #![warn(clippy::all)]
 
 pub mod experiments;

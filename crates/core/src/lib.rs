@@ -36,6 +36,7 @@
 //!   drive the reproduction of Figures 6.2, 6.3, and 6.5).
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 #![warn(clippy::all)]
 
 pub mod charikar;

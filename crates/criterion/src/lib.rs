@@ -11,6 +11,8 @@
 //! iteration. Swap the manifest entry back to the real crate for HTML
 //! reports and statistical rigor.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 

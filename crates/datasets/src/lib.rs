@@ -18,6 +18,7 @@
 //! See DESIGN.md §4 for the substitution rationale.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 #![warn(clippy::all)]
 
 pub mod snap;

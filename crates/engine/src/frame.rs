@@ -513,7 +513,13 @@ pub fn decode_request_payload(
             TYPE_TRUE => Value::Bool(true),
             TYPE_NUM => {
                 let bytes = read_bytes(payload, &mut pos, 8, "f64 value")?;
-                let n = f64::from_le_bytes(bytes.try_into().expect("8-byte slice"));
+                // read_bytes guarantees 8 bytes, but a typed error keeps
+                // the decode path panic-free (dsg-lint: hot-path-panic).
+                let arr = <&[u8; 8]>::try_from(bytes).map_err(|_| FrameError::Truncated {
+                    at: pos - 8,
+                    what: "f64 value",
+                })?;
+                let n = f64::from_le_bytes(*arr);
                 if !n.is_finite() {
                     return Err(FrameError::NonFinite { at: pos - 8 });
                 }

@@ -55,6 +55,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 #![warn(clippy::all)]
 
 pub mod catalog;

@@ -67,6 +67,7 @@ type Nfds = std::os::raw::c_ulong;
 #[cfg(not(target_os = "linux"))]
 type Nfds = std::os::raw::c_uint;
 
+#[allow(unsafe_code)]
 extern "C" {
     fn poll(fds: *mut PollFd, nfds: Nfds, timeout: std::os::raw::c_int) -> std::os::raw::c_int;
 }
@@ -74,6 +75,12 @@ extern "C" {
 /// Blocks until at least one entry is ready (or `timeout_ms` elapses;
 /// `-1` waits forever). Returns the number of ready entries; `EINTR` is
 /// retried internally so callers never see a spurious interrupt.
+///
+/// The engine crate's single sanctioned `unsafe` site (the crate root is
+/// `#![deny(unsafe_code)]`): the libc `poll(2)` call. `fds` is a valid
+/// exclusive slice whose `repr(C)` layout matches `struct pollfd`, and
+/// the kernel writes only within it.
+#[allow(unsafe_code)]
 pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
     loop {
         for f in fds.iter_mut() {
@@ -153,6 +160,8 @@ mod tests {
             assert_eq!(n, 0);
             started.elapsed()
         });
+        // Test-only: give the polling thread time to park before waking.
+        #[allow(clippy::disallowed_methods)]
         std::thread::sleep(Duration::from_millis(20));
         waker.wake();
         waker.wake(); // coalesces with the first

@@ -493,7 +493,9 @@ fn run_mutation(
             engine.remove_edges(&name, &edges)
         }
         "compact" => engine.compact_graph(&name),
-        other => unreachable!("dispatched op '{other}'"),
+        // A dispatch bug must surface as an error reply, not a panicked
+        // worker thread stranding its connections.
+        other => return Err(format!("unsupported mutation op '{other}'")),
     }
     .map_err(|e| e.to_string())?;
     j.str_field("graph", &name);
@@ -1210,10 +1212,14 @@ impl Connection {
                 WireMode::Jsonl
             };
         }
-        let handled = match self.mode {
-            WireMode::Jsonl => self.process_jsonl(engine, policy, metrics, scratch, saw_shutdown),
-            WireMode::Binary => self.process_frame(engine, policy, metrics, scratch, saw_shutdown),
-            WireMode::Undetected => unreachable!("mode detected above"),
+        // Mode is settled above; anything non-binary (including a
+        // hypothetical undetected state) takes the JSONL path, whose
+        // parser answers malformed input with an error reply instead of
+        // panicking a worker.
+        let handled = if matches!(self.mode, WireMode::Binary) {
+            self.process_frame(engine, policy, metrics, scratch, saw_shutdown)
+        } else {
+            self.process_jsonl(engine, policy, metrics, scratch, saw_shutdown)
         };
         if handled && self.rpos >= READ_CHUNK {
             self.rbuf.drain(..self.rpos);
@@ -1510,7 +1516,7 @@ pub fn percentile(samples: &[f64], p: f64) -> f64 {
         return 0.0;
     }
     let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latency samples are finite"));
+    sorted.sort_by(f64::total_cmp);
     let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
@@ -2043,6 +2049,8 @@ mod tests {
             if sock.exists() {
                 return;
             }
+            // Test-only: wait for the server thread to bind its socket.
+            #[allow(clippy::disallowed_methods)]
             std::thread::sleep(std::time::Duration::from_millis(10));
         }
         panic!("server socket never appeared at {}", sock.display());
@@ -2562,6 +2570,8 @@ mod tests {
         while conn.pending_write() > 0 {
             conn.flush();
             assert!(!conn.dead);
+            // Test-only: yield to the reader thread between flushes.
+            #[allow(clippy::disallowed_methods)]
             std::thread::sleep(std::time::Duration::from_millis(1));
         }
         drop(conn);
@@ -2632,6 +2642,7 @@ mod tests {
             .map(|_| UnixStream::connect(&sock).unwrap())
             .collect();
         // Let the workers adopt the idle connections and park in poll.
+        #[allow(clippy::disallowed_methods)]
         std::thread::sleep(std::time::Duration::from_millis(30));
         let started = Instant::now();
         let mut out = Vec::new();

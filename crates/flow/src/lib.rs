@@ -16,6 +16,7 @@
 //!   and the approximation algorithms in tests.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 #![warn(clippy::all)]
 
 pub mod brute;

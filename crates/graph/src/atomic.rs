@@ -74,6 +74,11 @@ impl AtomicF64 {
 
 /// Reinterprets an exclusively borrowed `f64` slice as a shared slice of
 /// atomic counters for the duration of the borrow.
+///
+/// One of the two sanctioned `unsafe` sites in the workspace (the crate
+/// root is `#![deny(unsafe_code)]`): a transmute between layouts proven
+/// identical, justified in the safety comment below.
+#[allow(unsafe_code)]
 pub fn f64_slice_as_atomic(slice: &mut [f64]) -> &[AtomicF64] {
     // Safety: `AtomicF64` is `repr(transparent)` over `AtomicU64`, which
     // has the same size and bit validity as `u64`/`f64`. The exclusive
@@ -96,6 +101,10 @@ pub struct AtomicSetView<'a> {
 
 impl<'a> AtomicSetView<'a> {
     /// Wraps an exclusively borrowed set.
+    ///
+    /// The second sanctioned `unsafe` site in this crate — the same
+    /// `repr(transparent)` reinterpretation as [`f64_slice_as_atomic`].
+    #[allow(unsafe_code)]
     pub fn new(set: &'a mut NodeSet) -> Self {
         let capacity = set.capacity();
         let words = set.words_mut();

@@ -23,6 +23,7 @@
 //! The density definitions of the paper live in [`density`].
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 #![warn(clippy::all)]
 
 pub mod atomic;

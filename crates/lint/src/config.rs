@@ -1,0 +1,433 @@
+//! `lint.toml` — the checked-in declaration of the workspace's
+//! concurrency invariants, parsed with a hand-rolled TOML subset
+//! (sections, string values, string arrays, `#` comments) so the
+//! analyzer stays std-only.
+
+use std::fmt;
+
+/// Parsed analyzer configuration. Defaults are usable for fixture tests;
+/// the workspace run loads `lint.toml` from the repo root.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Sanctioned `A < B` pairs: a guard of `A` may be held while
+    /// acquiring `B`. Anything not derivable from these is a violation.
+    pub order_edges: Vec<(String, String)>,
+    /// Locks that must never be held across *any* other acquisition.
+    pub leaves: Vec<String>,
+    /// Every lock field the workspace is expected to contain. A lock
+    /// discovered in source but absent here is an `undeclared-lock`
+    /// finding, so new locks must be consciously registered.
+    pub declared_locks: Vec<String>,
+    /// File basenames whose event-loop code is subject to hot-path rules.
+    pub hot_files: Vec<String>,
+    /// Root functions of the event loop; hot-path rules apply to the
+    /// call-graph closure of these roots intersected with `hot_files`.
+    pub hot_roots: Vec<String>,
+    /// Method / function names considered blocking on a hot path.
+    pub blocking: Vec<String>,
+    /// Method names never resolved interprocedurally (std containers and
+    /// combinators); prevents false call-graph edges like `map.len()`
+    /// resolving to a workspace `len`.
+    pub ignore_methods: Vec<String>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            order_edges: Vec::new(),
+            leaves: Vec::new(),
+            declared_locks: Vec::new(),
+            hot_files: Vec::new(),
+            hot_roots: Vec::new(),
+            blocking: [
+                "sleep",
+                "wait",
+                "wait_timeout",
+                "wait_while",
+                "recv",
+                "recv_timeout",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+            ignore_methods: DEFAULT_IGNORE_METHODS
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        }
+    }
+}
+
+/// Common std method names excluded from interprocedural resolution.
+const DEFAULT_IGNORE_METHODS: &[&str] = &[
+    "len",
+    "is_empty",
+    "get",
+    "get_mut",
+    "insert",
+    "remove",
+    "push",
+    "pop",
+    "clear",
+    "contains",
+    "contains_key",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "drain",
+    "extend",
+    "clone",
+    "to_string",
+    "to_owned",
+    "to_vec",
+    "as_str",
+    "as_ref",
+    "as_mut",
+    "as_slice",
+    "as_bytes",
+    "as_deref",
+    "unwrap_or",
+    "unwrap_or_else",
+    "unwrap_or_default",
+    "map",
+    "map_err",
+    "and_then",
+    "or_else",
+    "ok",
+    "err",
+    "ok_or",
+    "ok_or_else",
+    "take",
+    "replace",
+    "entry",
+    "or_insert_with",
+    "or_insert",
+    "or_default",
+    "keys",
+    "values",
+    "values_mut",
+    "split",
+    "splitn",
+    "trim",
+    "starts_with",
+    "ends_with",
+    "find",
+    "position",
+    "filter",
+    "filter_map",
+    "collect",
+    "join",
+    "fmt",
+    "eq",
+    "cmp",
+    "hash",
+    "next",
+    "peek",
+    "count",
+    "sum",
+    "min",
+    "max",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "binary_search",
+    "retain",
+    "reserve",
+    "truncate",
+    "resize",
+    "copy_from_slice",
+    "extend_from_slice",
+    "swap",
+    "rev",
+    "zip",
+    "chain",
+    "enumerate",
+    "parse",
+    "chars",
+    "bytes",
+    "lines",
+    "write_all",
+    "write_fmt",
+    "flush_buf",
+    "get_or_init",
+    "lock",
+    "read",
+    "write",
+    "try_lock",
+    "try_read",
+    "try_write",
+    "first",
+    "last",
+    "is_some",
+    "is_none",
+    "is_ok",
+    "is_err",
+    "then",
+    "then_some",
+    "min_by",
+    "max_by",
+    "min_by_key",
+    "max_by_key",
+    "abs",
+    "floor",
+    "ceil",
+    "round",
+    "sqrt",
+    "powi",
+    "powf",
+    "saturating_sub",
+    "saturating_add",
+    "checked_sub",
+    "checked_add",
+    "wrapping_add",
+    "elapsed",
+    "duration_since",
+    "as_secs_f64",
+    "as_millis",
+    "as_micros",
+    "from_secs",
+    "from_millis",
+    "from_micros",
+    "to_le_bytes",
+    "from_le_bytes",
+    "try_into",
+    "into",
+    "from",
+    "default",
+    "new",
+    "with_capacity",
+    "fill",
+    "windows",
+    "chunks",
+    "all",
+    "any",
+    "fold",
+    "flat_map",
+    "flatten",
+    "cloned",
+    "copied",
+    "step_by",
+    "skip",
+    "rem_euclid",
+];
+
+/// One parse failure with its line number.
+#[derive(Debug)]
+pub struct ConfigError {
+    pub line: usize,
+    pub msg: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.msg)
+    }
+}
+
+impl Config {
+    /// Parse a `lint.toml` document, overlaying the defaults.
+    pub fn parse(src: &str) -> Result<Config, ConfigError> {
+        let mut cfg = Config::default();
+        let mut section = String::new();
+        let mut lines = src.lines().enumerate().peekable();
+        while let Some((n, raw)) = lines.next() {
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                section = name.trim().to_string();
+                continue;
+            }
+            let (key, mut value) = match line.split_once('=') {
+                Some((k, v)) => (k.trim().to_string(), v.trim().to_string()),
+                None => {
+                    return Err(ConfigError {
+                        line: n + 1,
+                        msg: format!("expected `key = value`, got `{line}`"),
+                    })
+                }
+            };
+            // Multi-line arrays: keep consuming until the bracket closes.
+            if value.starts_with('[') {
+                while !value.ends_with(']') {
+                    match lines.next() {
+                        Some((_, cont)) => {
+                            value.push(' ');
+                            value.push_str(strip_comment(cont).trim());
+                        }
+                        None => {
+                            return Err(ConfigError {
+                                line: n + 1,
+                                msg: format!("unterminated array for key `{key}`"),
+                            })
+                        }
+                    }
+                }
+            }
+            let values = parse_value(&value).map_err(|msg| ConfigError { line: n + 1, msg })?;
+            cfg.apply(&section, &key, values)
+                .map_err(|msg| ConfigError { line: n + 1, msg })?;
+        }
+        Ok(cfg)
+    }
+
+    fn apply(&mut self, section: &str, key: &str, values: Vec<String>) -> Result<(), String> {
+        match (section, key) {
+            ("lock_order", "edges") => {
+                for v in values {
+                    let (a, b) = v
+                        .split_once('<')
+                        .ok_or_else(|| format!("edge `{v}` must look like `A.x < B.y`"))?;
+                    self.order_edges
+                        .push((a.trim().to_string(), b.trim().to_string()));
+                }
+            }
+            ("lock_order", "leaves") => self.leaves.extend(values),
+            ("lock_order", "locks") => self.declared_locks.extend(values),
+            ("hot_path", "files") => self.hot_files.extend(values),
+            ("hot_path", "roots") => self.hot_roots.extend(values),
+            ("hot_path", "blocking") => self.blocking = values,
+            ("calls", "ignore_methods") => self.ignore_methods.extend(values),
+            _ => return Err(format!("unknown key `[{section}] {key}`")),
+        }
+        Ok(())
+    }
+
+    /// Every lock named anywhere in the config (edges, leaves, explicit
+    /// `locks` list) counts as declared.
+    pub fn all_declared_locks(&self) -> Vec<String> {
+        let mut all: Vec<String> = self.declared_locks.clone();
+        for (a, b) in &self.order_edges {
+            all.push(a.clone());
+            all.push(b.clone());
+        }
+        all.extend(self.leaves.iter().cloned());
+        all.sort();
+        all.dedup();
+        all
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    // `#` starts a comment unless inside a quoted string.
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parse `"x"` or `["a", "b"]` into a list of strings.
+fn parse_value(v: &str) -> Result<Vec<String>, String> {
+    let v = v.trim();
+    if let Some(inner) = v.strip_prefix('[').and_then(|v| v.strip_suffix(']')) {
+        let mut out = Vec::new();
+        for part in split_array(inner) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            out.push(unquote(part)?);
+        }
+        Ok(out)
+    } else {
+        Ok(vec![unquote(v)?])
+    }
+}
+
+/// Split an array body on commas that are outside quotes.
+fn split_array(s: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    for c in s.chars() {
+        match c {
+            '"' => {
+                in_str = !in_str;
+                cur.push(c);
+            }
+            ',' if !in_str => {
+                parts.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+    }
+    parts.push(cur);
+    parts
+}
+
+fn unquote(s: &str) -> Result<String, String> {
+    s.strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .map(str::to_string)
+        .ok_or_else(|| format!("expected a quoted string, got `{s}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_arrays_and_comments() {
+        let src = r#"
+# workspace invariants
+[lock_order]
+edges = [
+    "A.x < B.y",  # sanctioned
+    "B.y < C.z",
+]
+leaves = ["D.w"]
+locks = ["E.v"]
+
+[hot_path]
+files = ["serve.rs"]
+roots = ["worker_event_loop"]
+
+[calls]
+ignore_methods = ["special_helper"]
+"#;
+        let cfg = Config::parse(src).expect("parse");
+        assert_eq!(
+            cfg.order_edges,
+            vec![
+                ("A.x".to_string(), "B.y".to_string()),
+                ("B.y".to_string(), "C.z".to_string())
+            ]
+        );
+        assert_eq!(cfg.leaves, vec!["D.w"]);
+        assert_eq!(cfg.hot_files, vec!["serve.rs"]);
+        assert_eq!(cfg.hot_roots, vec!["worker_event_loop"]);
+        assert!(cfg.ignore_methods.iter().any(|m| m == "special_helper"));
+        assert!(
+            cfg.ignore_methods.iter().any(|m| m == "len"),
+            "defaults preserved"
+        );
+        let declared = cfg.all_declared_locks();
+        for l in ["A.x", "B.y", "C.z", "D.w", "E.v"] {
+            assert!(declared.iter().any(|d| d == l), "{l} declared");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_edge() {
+        let err = Config::parse("[lock_order]\nedges = [\"A.x B.y\"]").unwrap_err();
+        assert!(err.msg.contains("A.x B.y"));
+    }
+
+    #[test]
+    fn rejects_unknown_key() {
+        assert!(Config::parse("[lock_order]\nbogus = \"x\"").is_err());
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_comment() {
+        let cfg = Config::parse("[lock_order]\nlocks = [\"A.x#y\"]").expect("parse");
+        assert_eq!(cfg.declared_locks, vec!["A.x#y"]);
+    }
+}

@@ -1,0 +1,374 @@
+//! A minimal Rust tokenizer, sufficient for fact extraction.
+//!
+//! The analyzer has the same vendoring constraints as the rest of the
+//! workspace (offline build, std only), so there is no `syn`: this lexer
+//! produces a flat token stream — identifiers, single-character
+//! punctuation, opaque literals, lifetimes — with line numbers, and
+//! captures `// dsg-lint: allow(...)` suppression comments on the way.
+//! Everything the rule passes need (brace depth, statement boundaries,
+//! method-call shapes) is recovered by walking this stream; nothing here
+//! attempts full expression parsing.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (the extractor distinguishes keywords).
+    Ident(String),
+    /// A single punctuation character (`{`, `.`, `!`, ...).
+    Punct(char),
+    /// String / char / numeric literal; contents are irrelevant to the
+    /// rules, only that it is not punctuation.
+    Lit,
+    /// A lifetime such as `'a` (kept distinct so `'a` is never confused
+    /// with a char literal or an identifier).
+    Lifetime,
+}
+
+/// Token plus the 1-based source line it starts on.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+impl Token {
+    pub fn ident(&self) -> Option<&str> {
+        match &self.tok {
+            Tok::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    pub fn is_punct(&self, c: char) -> bool {
+        self.tok == Tok::Punct(c)
+    }
+}
+
+/// A `// dsg-lint: allow(<rule>) reason="..."` comment.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    pub line: u32,
+    pub rule: String,
+    /// `None` when the comment carried no (or an empty) reason — that is
+    /// itself a finding.
+    pub reason: Option<String>,
+}
+
+/// Result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub suppressions: Vec<Suppression>,
+}
+
+/// Marker that introduces a suppression comment.
+pub const SUPPRESS_MARKER: &str = "dsg-lint:";
+
+/// Lex Rust source into a flat token stream.
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if matches!(b.get(i + 1), Some('/')) => {
+                let start = i + 2;
+                let mut j = start;
+                while j < b.len() && b[j] != '\n' {
+                    j += 1;
+                }
+                let text: String = b[start..j].iter().collect();
+                if let Some(s) = parse_suppression(text.trim(), line) {
+                    out.suppressions.push(s);
+                }
+                i = j;
+            }
+            '/' if matches!(b.get(i + 1), Some('*')) => {
+                // Block comment, nestable.
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < b.len() && depth > 0 {
+                    if b[j] == '\n' {
+                        line += 1;
+                        j += 1;
+                    } else if b[j] == '/' && matches!(b.get(j + 1), Some('*')) {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == '*' && matches!(b.get(j + 1), Some('/')) {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                i = j;
+            }
+            '"' => {
+                let l = line;
+                i = skip_string(&b, i, &mut line);
+                out.tokens.push(Token {
+                    tok: Tok::Lit,
+                    line: l,
+                });
+            }
+            'r' | 'b' if raw_string_hashes(&b, i).is_some() => {
+                let l = line;
+                i = skip_raw_string(&b, i, &mut line);
+                out.tokens.push(Token {
+                    tok: Tok::Lit,
+                    line: l,
+                });
+            }
+            'b' if matches!(b.get(i + 1), Some('\'')) => {
+                let l = line;
+                i = skip_char_lit(&b, i + 1);
+                out.tokens.push(Token {
+                    tok: Tok::Lit,
+                    line: l,
+                });
+            }
+            '\'' => {
+                // Lifetime vs char literal: `'a'` / `'\n'` are chars,
+                // `'a` / `'static` are lifetimes.
+                let is_char = match b.get(i + 1) {
+                    Some('\\') => true,
+                    Some(&c2) if c2 != '\'' => matches!(b.get(i + 2), Some('\'')),
+                    _ => false,
+                };
+                if is_char {
+                    out.tokens.push(Token {
+                        tok: Tok::Lit,
+                        line,
+                    });
+                    i = skip_char_lit(&b, i);
+                } else {
+                    let mut j = i + 1;
+                    while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                        j += 1;
+                    }
+                    out.tokens.push(Token {
+                        tok: Tok::Lifetime,
+                        line,
+                    });
+                    i = j;
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+                // Float part: `1.5`, `1.5e-3` — but not `1.method()`.
+                if j < b.len()
+                    && b[j] == '.'
+                    && matches!(b.get(j + 1), Some(d) if d.is_ascii_digit())
+                {
+                    j += 1;
+                    while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                        j += 1;
+                    }
+                }
+                out.tokens.push(Token {
+                    tok: Tok::Lit,
+                    line,
+                });
+                i = j;
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let mut j = i;
+                while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+                let word: String = b[i..j].iter().collect();
+                out.tokens.push(Token {
+                    tok: Tok::Ident(word),
+                    line,
+                });
+                i = j;
+            }
+            c => {
+                out.tokens.push(Token {
+                    tok: Tok::Punct(c),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// `r"..."` / `r#"..."#` / `br#"..."#` detection: returns the number of
+/// `#`s when position `i` starts a raw string.
+fn raw_string_hashes(b: &[char], i: usize) -> Option<usize> {
+    let mut j = i + 1;
+    if b.get(i) == Some(&'b') && b.get(j) == Some(&'r') {
+        j += 1;
+    } else if b.get(i) != Some(&'r') {
+        return None;
+    }
+    let mut hashes = 0usize;
+    while b.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if b.get(j) == Some(&'"') {
+        Some(hashes)
+    } else {
+        None
+    }
+}
+
+fn skip_raw_string(b: &[char], i: usize, line: &mut u32) -> usize {
+    let hashes = raw_string_hashes(b, i).unwrap_or(0);
+    // Advance past the opening quote.
+    let mut j = i;
+    while j < b.len() && b[j] != '"' {
+        j += 1;
+    }
+    j += 1;
+    'outer: while j < b.len() {
+        if b[j] == '\n' {
+            *line += 1;
+        } else if b[j] == '"' {
+            for k in 0..hashes {
+                if b.get(j + 1 + k) != Some(&'#') {
+                    j += 1;
+                    continue 'outer;
+                }
+            }
+            return j + 1 + hashes;
+        }
+        j += 1;
+    }
+    j
+}
+
+fn skip_string(b: &[char], i: usize, line: &mut u32) -> usize {
+    let mut j = i + 1;
+    while j < b.len() {
+        match b[j] {
+            '\\' => j += 2,
+            '\n' => {
+                *line += 1;
+                j += 1;
+            }
+            '"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+fn skip_char_lit(b: &[char], i: usize) -> usize {
+    // `i` points at the opening `'`.
+    let mut j = i + 1;
+    while j < b.len() {
+        match b[j] {
+            '\\' => j += 2,
+            '\'' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// Parse `dsg-lint: allow(rule) reason="why"` from a line-comment body.
+fn parse_suppression(text: &str, line: u32) -> Option<Suppression> {
+    let rest = text.strip_prefix(SUPPRESS_MARKER)?.trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.find(')')?;
+    let rule = rest[..close].trim().to_string();
+    if rule.is_empty() {
+        return None;
+    }
+    let tail = rest[close + 1..].trim();
+    let reason = tail
+        .strip_prefix("reason")
+        .map(|t| t.trim_start())
+        .and_then(|t| t.strip_prefix('='))
+        .map(|t| t.trim_start())
+        .and_then(|t| t.strip_prefix('"'))
+        .and_then(|t| t.rfind('"').map(|e| t[..e].trim().to_string()))
+        .filter(|r| !r.is_empty());
+    Some(Suppression { line, rule, reason })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| t.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_chars_are_opaque() {
+        let src = r##"let s = "a { b } // not a comment"; let c = 'x'; let r = r#"raw " str"#;"##;
+        let toks = lex(src);
+        let braces = toks
+            .tokens
+            .iter()
+            .filter(|t| t.is_punct('{') || t.is_punct('}'))
+            .count();
+        assert_eq!(
+            braces, 0,
+            "brace-looking chars inside literals must not tokenize"
+        );
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let toks = lex("fn f<'a>(x: &'a str) {}");
+        assert!(toks.tokens.iter().any(|t| t.tok == Tok::Lifetime));
+        assert!(idents("fn f<'a>(x: &'a str) {}").contains(&"str".to_string()));
+    }
+
+    #[test]
+    fn suppression_comment_parses() {
+        let src = "// dsg-lint: allow(lock-order) reason=\"sanctioned by design\"\nfn f() {}";
+        let lexed = lex(src);
+        assert_eq!(lexed.suppressions.len(), 1);
+        let s = &lexed.suppressions[0];
+        assert_eq!(s.rule, "lock-order");
+        assert_eq!(s.reason.as_deref(), Some("sanctioned by design"));
+        assert_eq!(s.line, 1);
+    }
+
+    #[test]
+    fn suppression_without_reason_is_kept_reasonless() {
+        let lexed = lex("// dsg-lint: allow(hot-path-panic)\nfn f() {}");
+        assert_eq!(lexed.suppressions.len(), 1);
+        assert!(lexed.suppressions[0].reason.is_none());
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_constructs() {
+        let src = "/* a\nb */\nfn f() {\n    \"x\n y\";\n    g();\n}";
+        let lexed = lex(src);
+        let g = lexed
+            .tokens
+            .iter()
+            .find(|t| t.ident() == Some("g"))
+            .expect("g token");
+        assert_eq!(g.line, 6);
+    }
+
+    #[test]
+    fn nested_generics_lex_cleanly() {
+        let ids = idents("struct S { m: std::sync::Mutex<Vec<Option<u8>>> }");
+        assert!(ids.contains(&"Mutex".to_string()));
+    }
+}

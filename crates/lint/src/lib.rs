@@ -1,0 +1,144 @@
+//! # dsg-lint — workspace concurrency-invariant analyzer
+//!
+//! PR 5 and PR 6 each shipped (and then fixed) a real serve-path
+//! deadlock that 400+ tests missed, because lock ordering and
+//! backpressure invariants lived only in reviewers' heads. This crate
+//! encodes them as a machine-checked static pass, run as
+//! `cargo run -p dsg-lint -- --workspace` and wired into CI as a hard
+//! gate.
+//!
+//! It is a *source-level* analyzer with the same vendoring constraints
+//! as the rest of the workspace (offline, std-only — no syn): a
+//! hand-rolled lexer tokenizes every workspace `.rs` file, fact
+//! extraction models lock fields / guard lifetimes / calls, and three
+//! rule passes run over an interprocedural call graph:
+//!
+//! 1. **lock-order** / **lock-cycle** — every observed "acquire B while
+//!    holding A" pair must be sanctioned by the declared partial order
+//!    in `lint.toml`, and the observed graph must be acyclic.
+//! 2. **guard-across-call** — holding a guard while calling into a
+//!    lock-acquiring function in another module (the exact shape of the
+//!    PR-5 warm-seed and PR-6 serve-path bugs).
+//! 3. **hot-path-panic** / **hot-path-blocking** — no `unwrap`/`expect`/
+//!    `panic!`-family macros and no blocking calls in the event-loop
+//!    call-graph closure inside the hot files (`serve.rs`,
+//!    `readiness.rs`, `frame.rs`).
+//!
+//! Findings can be suppressed with `// dsg-lint: allow(<rule>)
+//! reason="..."` on (or directly above) the offending line; the reason
+//! is mandatory and every suppression is inventoried in the report.
+
+#![forbid(unsafe_code)]
+#![warn(clippy::all)]
+
+pub mod config;
+pub mod facts;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+pub use config::Config;
+pub use report::{Finding, Report};
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Analyze a batch of in-memory sources (used by the fixture tests).
+pub fn analyze_sources(sources: &[(String, String)], cfg: &Config) -> Report {
+    let (reg, files) = facts::extract_all(sources, cfg);
+    rules::run(&reg, &files, cfg)
+}
+
+/// Path components that exclude a file from analysis: test and bench
+/// code is allowed to unwrap and sleep, and lint fixtures deliberately
+/// violate every rule.
+const EXCLUDED_DIRS: &[&str] = &["tests", "benches", "fixtures", "target", "examples"];
+
+/// Collect every analyzable `.rs` file under the workspace root.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut roots = vec![root.join("src")];
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut entries: Vec<_> = fs::read_dir(&crates)?
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .collect();
+        entries.sort();
+        for e in entries {
+            let src = e.join("src");
+            if src.is_dir() {
+                roots.push(src);
+            }
+        }
+    }
+    for r in roots {
+        collect_rs(&r, &mut out)?;
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("")
+            .to_string();
+        if path.is_dir() {
+            if !EXCLUDED_DIRS.contains(&name.as_str()) {
+                collect_rs(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Analyze the workspace rooted at `root` with the given config.
+pub fn analyze_workspace(root: &Path, cfg: &Config) -> io::Result<Report> {
+    let files = workspace_files(root)?;
+    let mut sources = Vec::with_capacity(files.len());
+    for f in &files {
+        let rel = f
+            .strip_prefix(root)
+            .unwrap_or(f)
+            .to_string_lossy()
+            .replace('\\', "/");
+        sources.push((rel, fs::read_to_string(f)?));
+    }
+    Ok(analyze_sources(&sources, cfg))
+}
+
+/// Locate the workspace root: walk upward from `start` until a directory
+/// containing `lint.toml` (or a workspace `Cargo.toml`) is found.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut cur = Some(start.to_path_buf());
+    while let Some(dir) = cur {
+        if dir.join("lint.toml").is_file() {
+            return Some(dir);
+        }
+        if let Ok(manifest) = fs::read_to_string(dir.join("Cargo.toml")) {
+            if manifest.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        cur = dir.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Load `lint.toml` from the workspace root.
+pub fn load_config(root: &Path) -> Result<Config, String> {
+    let path = root.join("lint.toml");
+    let src =
+        fs::read_to_string(&path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    Config::parse(&src).map_err(|e| e.to_string())
+}

@@ -1,0 +1,90 @@
+//! `dsg-lint` CLI: analyze the workspace against `lint.toml`.
+//!
+//! ```text
+//! dsg-lint --workspace [--json] [--root DIR] [--config FILE]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 unsuppressed findings, 2 usage/config error.
+//! With `--json` the machine-readable report goes to stdout and the
+//! human-readable findings to stderr, so CI can capture the artifact
+//! with a plain redirect.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut config: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => {}
+            "--json" => json = true,
+            "--root" => root = args.next().map(PathBuf::from),
+            "--config" => config = args.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                println!(
+                    "dsg-lint — workspace concurrency-invariant analyzer\n\n\
+                     USAGE: dsg-lint --workspace [--json] [--root DIR] [--config FILE]\n\n\
+                     Rules: lock-order, lock-cycle, undeclared-lock, guard-across-call,\n\
+                     hot-path-panic, hot-path-blocking, invalid-suppression.\n\
+                     Suppress with: // dsg-lint: allow(<rule>) reason=\"...\""
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("dsg-lint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| dsg_lint::find_root(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("dsg-lint: cannot locate the workspace root (pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let cfg = match config {
+        Some(path) => std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))
+            .and_then(|src| dsg_lint::Config::parse(&src).map_err(|e| e.to_string())),
+        None => dsg_lint::load_config(&root),
+    };
+    let cfg = match cfg {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("dsg-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match dsg_lint::analyze_workspace(&root, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("dsg-lint: analysis failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        print!("{}", report.render_json());
+        eprint!("{}", report.render_human());
+    } else {
+        print!("{}", report.render_human());
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

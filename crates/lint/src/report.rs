@@ -1,0 +1,253 @@
+//! Findings, the suppression inventory, and the two output formats
+//! (human-readable text and JSON for CI).
+
+use crate::facts::LockField;
+use std::fmt::Write as _;
+
+/// One finding from a rule pass.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub rule: String,
+    pub file: String,
+    pub line: u32,
+    pub message: String,
+    /// `Some(reason)` when an `allow` comment covered this finding.
+    pub suppressed: Option<String>,
+}
+
+/// One observed `held -> acquired` lock pair.
+#[derive(Debug, Clone)]
+pub struct ObservedEdge {
+    pub from: String,
+    pub to: String,
+    pub file: String,
+    pub line: u32,
+    pub holder: String,
+    pub via: Option<String>,
+}
+
+/// Inventory entry for a valid suppression comment.
+#[derive(Debug, Clone)]
+pub struct SuppressionEntry {
+    pub file: String,
+    pub line: u32,
+    pub rule: String,
+    pub reason: String,
+    pub used: bool,
+}
+
+/// Full analysis output.
+#[derive(Debug)]
+pub struct Report {
+    pub findings: Vec<Finding>,
+    pub suppressions: Vec<SuppressionEntry>,
+    pub locks: Vec<LockField>,
+    pub edges: Vec<ObservedEdge>,
+    pub funcs_analyzed: usize,
+    pub hot_funcs: Vec<String>,
+}
+
+impl Report {
+    pub fn unsuppressed(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.suppressed.is_none())
+    }
+
+    pub fn is_clean(&self) -> bool {
+        self.unsuppressed().next().is_none()
+    }
+
+    /// Human-readable report.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        let unsuppressed = self.unsuppressed().count();
+        let _ = writeln!(
+            out,
+            "dsg-lint: {} function(s), {} lock field(s), {} observed lock edge(s), {} hot-path function(s)",
+            self.funcs_analyzed,
+            self.locks.len(),
+            self.edges.len(),
+            self.hot_funcs.len()
+        );
+        for f in &self.findings {
+            match &f.suppressed {
+                None => {
+                    let _ = writeln!(
+                        out,
+                        "error[{}]: {}:{}: {}",
+                        f.rule, f.file, f.line, f.message
+                    );
+                }
+                Some(reason) => {
+                    let _ = writeln!(
+                        out,
+                        "allowed[{}]: {}:{}: {} (reason: {})",
+                        f.rule, f.file, f.line, f.message, reason
+                    );
+                }
+            }
+        }
+        if !self.suppressions.is_empty() {
+            let _ = writeln!(out, "suppression inventory:");
+            for s in &self.suppressions {
+                let _ = writeln!(
+                    out,
+                    "  {}:{}: allow({}) reason=\"{}\"{}",
+                    s.file,
+                    s.line,
+                    s.rule,
+                    s.reason,
+                    if s.used { "" } else { " [unused]" }
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "dsg-lint: {} finding(s), {} unsuppressed",
+            self.findings.len(),
+            unsuppressed
+        );
+        out
+    }
+
+    /// JSON report for CI (hand-rolled; the crate is std-only).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"functions_analyzed\": {},", self.funcs_analyzed);
+        let _ = writeln!(
+            out,
+            "  \"unsuppressed_findings\": {},",
+            self.unsuppressed().count()
+        );
+        out.push_str("  \"findings\": [\n");
+        for (i, f) in self.findings.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}, \"suppressed\": {}}}",
+                json_str(&f.rule),
+                json_str(&f.file),
+                f.line,
+                json_str(&f.message),
+                match &f.suppressed {
+                    Some(r) => json_str(r),
+                    None => "null".to_string(),
+                }
+            );
+            out.push_str(if i + 1 < self.findings.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ],\n  \"suppressions\": [\n");
+        for (i, s) in self.suppressions.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"reason\": {}, \"used\": {}}}",
+                json_str(&s.rule),
+                json_str(&s.file),
+                s.line,
+                json_str(&s.reason),
+                s.used
+            );
+            out.push_str(if i + 1 < self.suppressions.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ],\n  \"locks\": [\n");
+        for (i, l) in self.locks.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"id\": {}, \"kind\": {}, \"file\": {}, \"line\": {}}}",
+                json_str(&l.id),
+                json_str(l.kind.name()),
+                json_str(&l.file),
+                l.line
+            );
+            out.push_str(if i + 1 < self.locks.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ],\n  \"lock_edges\": [\n");
+        for (i, e) in self.edges.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"held\": {}, \"acquired\": {}, \"holder\": {}, \"file\": {}, \"line\": {}, \"via\": {}}}",
+                json_str(&e.from),
+                json_str(&e.to),
+                json_str(&e.holder),
+                json_str(&e.file),
+                e.line,
+                match &e.via {
+                    Some(v) => json_str(v),
+                    None => "null".to_string(),
+                }
+            );
+            out.push_str(if i + 1 < self.edges.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ],\n  \"hot_functions\": [\n");
+        for (i, h) in self.hot_funcs.iter().enumerate() {
+            let _ = write!(out, "    {}", json_str(h));
+            out.push_str(if i + 1 < self.hot_funcs.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_specials() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn empty_report_is_clean_and_valid_json() {
+        let r = Report {
+            findings: Vec::new(),
+            suppressions: Vec::new(),
+            locks: Vec::new(),
+            edges: Vec::new(),
+            funcs_analyzed: 0,
+            hot_funcs: Vec::new(),
+        };
+        assert!(r.is_clean());
+        let j = r.render_json();
+        assert!(j.contains("\"unsuppressed_findings\": 0"));
+        assert!(j.trim_end().ends_with('}'));
+    }
+}

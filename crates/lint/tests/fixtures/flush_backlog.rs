@@ -1,0 +1,56 @@
+//! Fixture: the pre-fix PR-6 write-backlog flush shape. The event loop
+//! drains a connection's write backlog by blocking and retrying inline
+//! (`thread::sleep` + `.unwrap()`), stalling every other connection the
+//! worker owns — the bug PR 6's review fixed by flushing on writable
+//! readiness instead. Both the blocking call and the panic sites must
+//! fire under the hot-path rules; the non-hot helpers must not.
+
+pub struct Conn {
+    pub wbuf: Vec<u8>,
+}
+
+pub struct Gate {
+    pub used: std::sync::Mutex<usize>,
+}
+
+impl Conn {
+    pub fn flush_backlog(&mut self) {
+        while !self.wbuf.is_empty() {
+            let n = write_some(&self.wbuf).unwrap();
+            if n == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            self.wbuf.drain(..n);
+        }
+    }
+}
+
+impl Gate {
+    pub fn release(&self) {
+        // Poison propagation on a known lock is sanctioned: this expect
+        // must NOT count as a hot-path panic.
+        let mut used = self.used.lock().expect("gate poisoned");
+        *used -= 1;
+    }
+}
+
+pub fn worker_event_loop(conn: &mut Conn, gate: &Gate, op: u8) {
+    dispatch(op, conn);
+    gate.release();
+}
+
+pub fn dispatch(op: u8, conn: &mut Conn) {
+    match op {
+        0 => conn.flush_backlog(),
+        other => unreachable!("op {other}"),
+    }
+}
+
+/// Not reachable from the event loop: its unwrap is out of scope.
+pub fn summarize(xs: &[f64]) -> f64 {
+    xs.first().copied().unwrap()
+}
+
+fn write_some(buf: &[u8]) -> Option<usize> {
+    Some(buf.len())
+}

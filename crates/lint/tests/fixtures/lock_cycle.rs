@@ -1,0 +1,30 @@
+//! Fixture: two functions acquiring the same pair of locks in opposite
+//! orders — the classic AB/BA deadlock. `forward` follows the declared
+//! `Alpha.m < Beta.n` order; `backward` must fire `lock-order`, and the
+//! pair together must fire `lock-cycle`.
+
+pub struct Alpha {
+    pub m: std::sync::Mutex<u32>,
+}
+
+pub struct Beta {
+    pub n: std::sync::Mutex<u32>,
+}
+
+pub fn forward(a: &Alpha, b: &Beta) -> u32 {
+    let ga = a.m.lock().expect("alpha poisoned");
+    let gb = b.n.lock().expect("beta poisoned");
+    let sum = *ga + *gb;
+    drop(gb);
+    drop(ga);
+    sum
+}
+
+pub fn backward(a: &Alpha, b: &Beta) -> u32 {
+    let gb = b.n.lock().expect("beta poisoned");
+    let ga = a.m.lock().expect("alpha poisoned");
+    let sum = *ga + *gb;
+    drop(ga);
+    drop(gb);
+    sum
+}

@@ -1,0 +1,30 @@
+//! Fixture: suppression mechanics. A reasoned `allow` comment silences
+//! the finding on the next line but is inventoried; a reasonless one
+//! suppresses nothing and is itself an `invalid-suppression` finding.
+
+pub struct Pair {
+    pub a: std::sync::Mutex<u32>,
+    pub b: std::sync::Mutex<u32>,
+}
+
+impl Pair {
+    pub fn crossed_allowed(&self) -> u32 {
+        let gb = self.b.lock().expect("b poisoned");
+        // dsg-lint: allow(lock-order) reason="fixture: demonstrates a reasoned suppression"
+        let ga = self.a.lock().expect("a poisoned");
+        let sum = *ga + *gb;
+        drop(ga);
+        drop(gb);
+        sum
+    }
+
+    pub fn crossed_no_reason(&self) -> u32 {
+        let gb = self.b.lock().expect("b poisoned");
+        // dsg-lint: allow(lock-order)
+        let ga = self.a.lock().expect("a poisoned");
+        let sum = *ga + *gb;
+        drop(ga);
+        drop(gb);
+        sum
+    }
+}

@@ -1,0 +1,7 @@
+//! Fixture: a lock field that is not registered in lint.toml must fire
+//! `undeclared-lock`, so new synchronization primitives are always
+//! consciously added to the declared order.
+
+pub struct Rogue {
+    pub hidden: std::sync::Mutex<u8>,
+}

@@ -1,0 +1,26 @@
+//! Fixture: the "catalog" module of the warm-seed shape — a different
+//! file whose lookup path acquires its own lock, making the cross-module
+//! call in `warm_seed_engine.rs` a guard-held-across-call finding.
+
+pub struct WarmCatalog {
+    pub meta: std::sync::RwLock<u64>,
+}
+
+impl WarmCatalog {
+    pub fn has_key(&self, key: u64) -> bool {
+        let meta = self.meta.read().expect("meta poisoned");
+        *meta == key
+    }
+}
+
+pub fn lookup_meta(key: u64) -> bool {
+    global_catalog().has_key(key)
+}
+
+fn global_catalog() -> &'static WarmCatalog {
+    unimplemented_catalog()
+}
+
+fn unimplemented_catalog() -> &'static WarmCatalog {
+    loop {}
+}

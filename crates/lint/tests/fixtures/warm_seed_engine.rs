@@ -1,0 +1,34 @@
+//! Fixture: the pre-fix PR-5 warm-seed shape. `warm_decision_prefix`
+//! holds the engine's seeds mutex while calling into the catalog module
+//! to verify a candidate (which takes the catalog's meta lock) — the
+//! exact guard-held-across-call bug PR 5's review fixed by moving the
+//! verification outside the critical section, as `warm_decision_fixed`
+//! does.
+
+pub struct WarmEngine {
+    pub seeds: std::sync::Mutex<Vec<u64>>,
+}
+
+impl WarmEngine {
+    pub fn warm_decision_prefix(&self, key: u64) -> bool {
+        let guard = self.seeds.lock().expect("seeds poisoned");
+        let ok = verify_candidate(key) && !guard.is_empty();
+        drop(guard);
+        ok
+    }
+
+    pub fn warm_decision_fixed(&self, key: u64) -> bool {
+        let candidate = {
+            let guard = self.seeds.lock().expect("seeds poisoned");
+            guard.first().copied()
+        };
+        match candidate {
+            Some(c) => c == key && verify_candidate(key),
+            None => false,
+        }
+    }
+}
+
+fn verify_candidate(key: u64) -> bool {
+    lookup_meta(key)
+}

@@ -1,0 +1,251 @@
+//! Fixture-based tests for each dsg-lint rule: known-bad snippets must
+//! fire, known-good shapes must stay silent, and suppressions must
+//! behave per policy. The fixtures under `tests/fixtures/` reproduce the
+//! pre-fix shapes of the two real serve-path bugs (PR-5 warm-seed
+//! guard-held-across-call, PR-6 write-backlog flush) so the analyzer is
+//! proven to catch the class of bug it was built for.
+
+use dsg_lint::{analyze_sources, Config, Report};
+use std::fs;
+use std::path::Path;
+
+fn fixture(name: &str) -> (String, String) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    (
+        name.to_string(),
+        fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display())),
+    )
+}
+
+fn run(fixtures: &[&str], config: &str) -> Report {
+    let sources: Vec<_> = fixtures.iter().map(|f| fixture(f)).collect();
+    let cfg = Config::parse(config).expect("fixture config parses");
+    analyze_sources(&sources, &cfg)
+}
+
+/// (rule, file, line) triples of unsuppressed findings.
+fn unsuppressed(report: &Report) -> Vec<(String, String, u32)> {
+    report
+        .unsuppressed()
+        .map(|f| (f.rule.clone(), f.file.clone(), f.line))
+        .collect()
+}
+
+#[test]
+fn ab_ba_cycle_fires_lock_order_and_cycle() {
+    let report = run(
+        &["lock_cycle.rs"],
+        r#"
+[lock_order]
+edges = ["Alpha.m < Beta.n"]
+"#,
+    );
+    let findings = unsuppressed(&report);
+    // `forward` is sanctioned; `backward` (line 25: acquires Alpha.m
+    // while holding Beta.n) violates the declared order.
+    assert!(
+        findings
+            .iter()
+            .any(|(r, _, l)| r == "lock-order" && (24..=28).contains(l)),
+        "expected a lock-order finding in backward(), got {findings:?}"
+    );
+    assert!(
+        findings.iter().any(|(r, _, _)| r == "lock-cycle"),
+        "expected a lock-cycle finding, got {findings:?}"
+    );
+    // The sanctioned direction alone must not fire.
+    assert!(
+        !findings
+            .iter()
+            .any(|(r, _, l)| r == "lock-order" && (15..=21).contains(l)),
+        "forward() follows the declared order, got {findings:?}"
+    );
+}
+
+#[test]
+fn declared_order_alone_is_clean() {
+    // Same fixture, but with only the sanctioned function present — a
+    // config declaring both directions would be a config cycle, so
+    // instead verify the clean case by declaring the observed edge.
+    let (name, src) = fixture("lock_cycle.rs");
+    let forward_only: String = src
+        .lines()
+        .take_while(|l| !l.contains("pub fn backward"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let cfg = Config::parse("[lock_order]\nedges = [\"Alpha.m < Beta.n\"]").unwrap();
+    let report = analyze_sources(&[(name, forward_only)], &cfg);
+    assert!(
+        report.is_clean(),
+        "forward-only fixture must be clean, got {:?}",
+        unsuppressed(&report)
+    );
+}
+
+#[test]
+fn undeclared_lock_fires() {
+    let report = run(&["undeclared_lock.rs"], "[lock_order]\nlocks = []");
+    let findings = unsuppressed(&report);
+    assert_eq!(findings.len(), 1, "got {findings:?}");
+    assert_eq!(findings[0].0, "undeclared-lock");
+    // Declaring it silences the finding.
+    let clean = run(
+        &["undeclared_lock.rs"],
+        "[lock_order]\nlocks = [\"Rogue.hidden\"]",
+    );
+    assert!(clean.is_clean());
+}
+
+#[test]
+fn warm_seed_prefix_shape_fires_guard_across_call() {
+    let config = r#"
+[lock_order]
+leaves = ["WarmEngine.seeds", "WarmCatalog.meta"]
+"#;
+    let report = run(&["warm_seed_engine.rs", "warm_seed_catalog.rs"], config);
+    let findings = unsuppressed(&report);
+    // The pre-fix shape holds the seeds mutex across a call into the
+    // catalog module (which acquires its meta lock): both the
+    // cross-module hold and the leaf-order violation fire.
+    assert!(
+        findings
+            .iter()
+            .any(|(r, f, _)| r == "guard-across-call" && f == "warm_seed_engine.rs"),
+        "expected guard-across-call in warm_decision_prefix, got {findings:?}"
+    );
+    assert!(
+        findings.iter().any(|(r, _, _)| r == "lock-order"),
+        "holding a leaf lock across an acquiring call also violates lock-order, got {findings:?}"
+    );
+    // The fixed shape (verification outside the critical section) is in
+    // the same file; every finding must sit inside warm_decision_prefix
+    // (lines 14-19), none in warm_decision_fixed (lines 21-30).
+    for (rule, file, line) in &findings {
+        if file == "warm_seed_engine.rs" {
+            assert!(
+                (14..=19).contains(line),
+                "{rule} at {file}:{line} is outside the pre-fix function"
+            );
+        }
+    }
+}
+
+#[test]
+fn flush_backlog_shape_fires_hot_path_rules() {
+    let config = r#"
+[lock_order]
+leaves = ["Gate.used"]
+
+[hot_path]
+files = ["flush_backlog.rs"]
+roots = ["worker_event_loop"]
+"#;
+    let report = run(&["flush_backlog.rs"], config);
+    let findings = unsuppressed(&report);
+    assert!(
+        findings
+            .iter()
+            .any(|(r, _, l)| r == "hot-path-blocking" && *l == 21),
+        "expected hot-path-blocking on the sleep, got {findings:?}"
+    );
+    assert!(
+        findings
+            .iter()
+            .any(|(r, _, l)| r == "hot-path-panic" && *l == 19),
+        "expected hot-path-panic on the unwrap, got {findings:?}"
+    );
+    assert!(
+        findings
+            .iter()
+            .any(|(r, _, l)| r == "hot-path-panic" && *l == 45),
+        "expected hot-path-panic on dispatch's unreachable!, got {findings:?}"
+    );
+    // The poison-propagation expect in Gate::release is exempt, and
+    // summarize() is not reachable from the event loop.
+    assert!(
+        !findings.iter().any(|(_, _, l)| *l == 32),
+        "poison expect must be exempt, got {findings:?}"
+    );
+    assert!(
+        !findings.iter().any(|(_, _, l)| *l == 51),
+        "summarize() is not hot, got {findings:?}"
+    );
+}
+
+#[test]
+fn reasoned_suppression_silences_and_is_inventoried() {
+    let config = r#"
+[lock_order]
+edges = ["Pair.a < Pair.b"]
+"#;
+    let report = run(&["suppressed.rs"], config);
+    let findings = unsuppressed(&report);
+    // crossed_allowed's violation is suppressed; crossed_no_reason's is
+    // not, and the reasonless comment is itself a finding.
+    assert!(
+        findings
+            .iter()
+            .any(|(r, _, l)| r == "lock-order" && *l == 24),
+        "reasonless suppression must not silence, got {findings:?}"
+    );
+    assert!(
+        findings
+            .iter()
+            .any(|(r, _, l)| r == "invalid-suppression" && *l == 23),
+        "reasonless suppression is a finding, got {findings:?}"
+    );
+    assert!(
+        !findings
+            .iter()
+            .any(|(r, _, l)| r == "lock-order" && *l == 14),
+        "reasoned suppression must silence line 14, got {findings:?}"
+    );
+    let suppressed: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.suppressed.is_some())
+        .collect();
+    assert_eq!(suppressed.len(), 1, "exactly one suppressed finding");
+    assert_eq!(
+        report.suppressions.len(),
+        1,
+        "inventory has the valid entry"
+    );
+    assert!(report.suppressions[0].used);
+    assert!(report.suppressions[0].reason.contains("fixture"));
+}
+
+#[test]
+fn unknown_rule_in_suppression_is_a_finding() {
+    let src = "// dsg-lint: allow(made-up-rule) reason=\"nope\"\nfn f() {}\n";
+    let cfg = Config::parse("").unwrap();
+    let report = analyze_sources(&[("x.rs".to_string(), src.to_string())], &cfg);
+    let findings = unsuppressed(&report);
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].0, "invalid-suppression");
+}
+
+#[test]
+fn config_cycle_is_reported() {
+    let cfg = Config::parse("[lock_order]\nedges = [\"A.x < B.y\", \"B.y < A.x\"]").unwrap();
+    let report = analyze_sources(&[], &cfg);
+    assert!(report.findings.iter().any(|f| f.rule == "config"));
+}
+
+#[test]
+fn json_report_is_parseable_shape() {
+    let report = run(
+        &["lock_cycle.rs"],
+        "[lock_order]\nedges = [\"Alpha.m < Beta.n\"]",
+    );
+    let json = report.render_json();
+    assert!(json.contains("\"findings\""));
+    assert!(json.contains("\"lock_edges\""));
+    assert!(json.contains("\"lock-order\""));
+    // Balanced braces/brackets as a cheap well-formedness check.
+    let opens = json.matches('{').count() + json.matches('[').count();
+    let closes = json.matches('}').count() + json.matches(']').count();
+    assert_eq!(opens, closes);
+}

@@ -23,6 +23,7 @@
 //! Hadoop.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 #![warn(clippy::all)]
 
 pub mod densest;

@@ -11,6 +11,8 @@
 //! every run generates the same deterministic case sequence, and a failure
 //! reports the case index so it can be replayed by reducing `with_cases`.
 
+#![forbid(unsafe_code)]
+
 /// Everything a `use proptest::prelude::*;` consumer expects.
 pub mod prelude {
     pub use crate::{any, Any, ProptestConfig, Strategy};

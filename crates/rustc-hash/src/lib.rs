@@ -7,6 +7,8 @@
 //! the MapReduce partitioner hash with Fx so that generated graphs and
 //! shard assignments are identical across runs and platforms.
 
+#![forbid(unsafe_code)]
+
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
 

@@ -18,6 +18,7 @@
 //!   with sketched degrees and exact edge counting.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 #![warn(clippy::all)]
 
 pub mod countmin;

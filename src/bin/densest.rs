@@ -9,6 +9,8 @@
 //! `serve` mode that answers repeated JSONL queries against a
 //! catalog-cached graph.
 
+#![forbid(unsafe_code)]
+
 use std::io::BufReader;
 use std::path::PathBuf;
 use std::process::exit;

@@ -40,6 +40,8 @@
 //! assert!(run.best_density >= 14.5 / 3.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use dsg_core as core;
 pub use dsg_datasets as datasets;
 pub use dsg_engine as engine;

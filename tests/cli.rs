@@ -505,6 +505,8 @@ fn serve_socket_results_are_byte_identical_to_one_shot_runs() {
         if sock.exists() {
             break;
         }
+        // Test-only: wait for the spawned server process to bind.
+        #[allow(clippy::disallowed_methods)]
         std::thread::sleep(std::time::Duration::from_millis(10));
     }
     assert!(sock.exists(), "server socket never appeared");
@@ -598,6 +600,8 @@ fn client_repeat_and_parallel_multiply_responses() {
         if sock.exists() {
             break;
         }
+        // Test-only: wait for the spawned server process to bind.
+        #[allow(clippy::disallowed_methods)]
         std::thread::sleep(std::time::Duration::from_millis(10));
     }
     assert!(sock.exists(), "server socket never appeared");
@@ -764,6 +768,8 @@ fn serve_socket_mutable_session_end_to_end() {
         if sock.exists() {
             break;
         }
+        // Test-only: wait for the spawned server process to bind.
+        #[allow(clippy::disallowed_methods)]
         std::thread::sleep(std::time::Duration::from_millis(10));
     }
     assert!(sock.exists(), "server socket never appeared");
