@@ -1,35 +1,47 @@
-//! **Mutate experiment** — the PR-5 mutable-session story end to end:
-//! edges arrive and expire between queries, and the engine's versioned
+//! **Mutate experiment** — the mutable-session story end to end: edges
+//! arrive and expire between queries, and the engine's versioned
 //! session path is measured against the only update path the serve
 //! stack had before (rewrite the file, let the fingerprint invalidate
 //! everything, reload cold).
 //!
-//! Per round, a delta batch (add-only, remove-heavy, or mixed — the
-//! three shapes the acceptance criteria name) is applied to a named
-//! session graph and each peeling query (`approx`, `atleast-k` on the
-//! undirected graph; `directed` on the directed one) is timed three
-//! ways over the **same** materialized graph:
+//! Per round, a delta batch (add-only, remove-heavy, mixed — the three
+//! shapes the original acceptance criteria name — plus `small` rounds
+//! of ≤ 1% of the edges, the incremental tier's home turf) is applied
+//! to a named session graph and each peeling query (`approx`,
+//! `atleast-k` on the undirected graph; `directed` on the directed one)
+//! is timed four ways over the **same** materialized graph:
 //!
-//! * **warm** — `add_edges` on the session + query: the delta folds
-//!   into the already-canonical base, the version bumps, and the query
-//!   warm-restarts from the previous version's seed;
+//! * **incremental** — `add_edges` + query on a session engine with the
+//!   incremental tier at its default threshold: the mutation journal is
+//!   replayed through the stored peel trace, only the affected region
+//!   is re-peeled, and the result is re-scored against the published
+//!   snapshot before answering;
+//! * **warm** — the same mutation mirrored to a second session engine
+//!   with the incremental tier disabled: the query warm-restarts by
+//!   re-peeling the whole new snapshot (the pre-incremental world);
 //! * **cold** — a fresh engine over the materialized edge list
 //!   (clone + canonicalize + CSR + peel): pure recompute, no session;
 //! * **file** — the pre-session world: write the materialized graph to
 //!   disk, then a fresh engine loads it (stat scan + parse +
 //!   canonicalize + fingerprint + CSR + peel).
 //!
-//! **Parity is asserted, not sampled**: every warm report must be
-//! byte-identical (minus `elapsed_ms`) to the cold report over the
-//! materialized graph, for every round × shape × algorithm — the run
-//! panics on the first divergence, which is what lets CI run this as a
-//! correctness gate. A final compact round additionally exercises the
+//! **Parity is asserted, not sampled**: every incremental report and
+//! every warm report must be byte-identical (minus `elapsed_ms`) to the
+//! cold report over the materialized graph, for every round × shape ×
+//! algorithm — the run panics on the first divergence, which is what
+//! lets CI run this as a correctness gate. The run also hard-fails
+//! unless the incremental tier actually answered at least one query
+//! (a tier that silently falls back on everything would otherwise look
+//! "correct" forever). A final compact round additionally exercises the
 //! verified-replay path (version bump, unchanged content) and asserts
 //! the warm-hit counters moved.
 //!
 //! On a single-CPU container the absolute times are modest; the honest
-//! headline is the *work avoided* (no rewrite, no re-parse, no re-sort),
-//! which shows up as `file_ms / warm_ms` in the speedup column.
+//! headlines are the *work avoided* — `file ms / warm ms` in the
+//! `speedup` column, and for small deltas `warm query ms / inc query
+//! ms` in the `inc speedup` column (the incremental tier never builds
+//! the new CSR and touches only the affected region, so small-delta
+//! rounds should sit well above 3×).
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -49,7 +61,8 @@ type EdgeBatch = Vec<(u32, u32)>;
 pub struct Row {
     /// Mutation round (1-based; the last round is the compact/replay).
     pub round: usize,
-    /// Delta shape of the round (`add`, `remove`, `mixed`, `compact`).
+    /// Delta shape of the round (`add`, `remove`, `mixed`, `small`,
+    /// `compact`).
     pub shape: &'static str,
     /// Algorithm queried.
     pub algorithm: &'static str,
@@ -57,15 +70,32 @@ pub struct Row {
     pub edges: u64,
     /// Edges the round's delta actually applied.
     pub delta_edges: u64,
-    /// Session path: mutate + warm query, milliseconds.
+    /// Incremental session path: mutate + query, milliseconds.
+    pub inc_ms: f64,
+    /// Query-only portion of the incremental path, milliseconds.
+    pub inc_query_ms: f64,
+    /// Warm session path (incremental tier disabled): mutate + warm
+    /// re-peel query, milliseconds.
     pub warm_ms: f64,
+    /// Query-only portion of the warm path, milliseconds.
+    pub warm_query_ms: f64,
     /// Cold recompute over the materialized list, milliseconds.
     pub cold_ms: f64,
     /// File world: rewrite + cold load + query, milliseconds.
     pub file_ms: f64,
-    /// `file_ms / warm_ms`.
+    /// Affected-set size of the incremental simulation (0 on fallback).
+    pub affected: u64,
+    /// Peel passes the incremental answer took (0 on fallback).
+    pub passes: u64,
+    /// Why the incremental tier fell back (`-` when it answered).
+    pub fallback: &'static str,
+    /// `warm_query_ms / inc_query_ms` — the incremental tier's win over
+    /// a full warm re-peel of the same snapshot.
+    pub speedup_vs_warm: f64,
+    /// `file_ms / warm_ms` — the session story's win over the
+    /// pre-session file world.
     pub speedup_vs_file: f64,
-    /// Whether the warm report was byte-identical to the cold one
+    /// Whether every session report was byte-identical to the cold one
     /// (asserted — a row only exists if it was).
     pub parity: bool,
 }
@@ -111,17 +141,22 @@ struct Session {
 /// Runs the experiment at the given scale.
 pub fn run(scale: Scale) -> Vec<Row> {
     let dir = data_dir();
+    // The headline engine: incremental tier on (default threshold).
     let engine = Engine::new();
+    // The comparison engine: identical sessions, incremental tier off —
+    // every small delta takes the full warm re-peel this PR improves on.
+    let warm_engine = Engine::new();
+    warm_engine.set_incremental_threshold(0.0);
     let policy = ResourcePolicy::default();
 
     let und = flickr_standin(scale);
     let dir_graph = twitter_standin(scale);
-    engine
-        .create_graph("live_und", GraphKind::Undirected, &und.edges)
-        .expect("create undirected session");
-    engine
-        .create_graph("live_dir", GraphKind::Directed, &dir_graph.edges)
-        .expect("create directed session");
+    for e in [&engine, &warm_engine] {
+        e.create_graph("live_und", GraphKind::Undirected, &und.edges)
+            .expect("create undirected session");
+        e.create_graph("live_dir", GraphKind::Directed, &dir_graph.edges)
+            .expect("create directed session");
+    }
 
     let sessions = [
         Session {
@@ -158,23 +193,36 @@ pub fn run(scale: Scale) -> Vec<Row> {
     // Seed every (graph, query) warm slot before the measured rounds.
     for session in &sessions {
         for (_, query) in &session.queries {
-            engine
-                .execute(&Source::named(session.name), query, &policy)
-                .expect("seed query");
+            for e in [&engine, &warm_engine] {
+                e.execute(&Source::named(session.name), query, &policy)
+                    .expect("seed query");
+            }
         }
     }
 
     let mut rng = SplitMix64::new(42);
-    let shapes: [&'static str; 6] = ["add", "remove", "mixed", "add", "remove", "mixed"];
+    // The three original delta shapes at ~2% of the edges, then three
+    // `small` rounds at ≤ 0.5% — the incremental tier's target regime.
+    let shapes: [&'static str; 9] = [
+        "add", "remove", "mixed", "add", "remove", "mixed", "small", "small", "small",
+    ];
     let mut rows = Vec::new();
 
     for (round, shape) in shapes.iter().enumerate() {
         for session in &sessions {
             let snapshot = materialized(&engine, session.name);
-            // Delta ≈ 2% of the current edge count, split per shape.
-            let batch = (snapshot.num_edges() / 50).clamp(4, 2_000);
+            let batch = match *shape {
+                // Small-delta rounds: ≤ 0.05% of the current edges —
+                // the single-edge-arrival regime the incremental tier
+                // targets. The delta endpoints sit well inside the
+                // default affected-set budget (5% of the nodes) with
+                // room for the frontier to grow during simulation.
+                "small" => (snapshot.num_edges() / 2000).clamp(2, 8),
+                // Delta ≈ 2% of the current edge count, split per shape.
+                _ => (snapshot.num_edges() / 50).clamp(4, 2_000),
+            };
             let (adds, removes): (EdgeBatch, EdgeBatch) = match *shape {
-                "add" => (delta_batch(&mut rng, snapshot.num_nodes, batch), Vec::new()),
+                "add" | "small" => (delta_batch(&mut rng, snapshot.num_nodes, batch), Vec::new()),
                 "remove" => (Vec::new(), removal_batch(&snapshot, batch)),
                 _ => (
                     delta_batch(&mut rng, snapshot.num_nodes, batch / 2),
@@ -182,8 +230,9 @@ pub fn run(scale: Scale) -> Vec<Row> {
                 ),
             };
 
-            // --- warm arm: session mutation + warm queries.
-            let warm_started = Instant::now();
+            // --- incremental arm: session mutation + queries on the
+            // engine with the tier enabled.
+            let inc_started = Instant::now();
             let mut delta_applied = 0u64;
             if !adds.is_empty() {
                 delta_applied += engine
@@ -197,16 +246,52 @@ pub fn run(scale: Scale) -> Vec<Row> {
                     .expect("remove_edges")
                     .applied;
             }
-            let mutate_ms = warm_started.elapsed().as_secs_f64() * 1e3;
+            let inc_mutate_ms = inc_started.elapsed().as_secs_f64() * 1e3;
+
+            // --- warm arm: the identical mutation mirrored to the
+            // re-peel-only engine.
+            let warm_started = Instant::now();
+            if !adds.is_empty() {
+                warm_engine
+                    .add_edges(session.name, &adds)
+                    .expect("add_edges (warm mirror)");
+            }
+            if !removes.is_empty() {
+                warm_engine
+                    .remove_edges(session.name, &removes)
+                    .expect("remove_edges (warm mirror)");
+            }
+            let warm_mutate_ms = warm_started.elapsed().as_secs_f64() * 1e3;
             let current = materialized(&engine, session.name);
 
             for (alg_name, query) in &session.queries {
+                let hits_before = engine.incremental_stats().hits;
+                let inc_started = Instant::now();
+                let inc = engine
+                    .execute(&Source::named(session.name), query, &policy)
+                    .expect("incremental query");
+                let inc_query_ms = inc_started.elapsed().as_secs_f64() * 1e3;
+                let inc_ms = inc_mutate_ms / session.queries.len() as f64 + inc_query_ms;
+                // Attribute the tier's debug record to this query: the
+                // attempt (hit or fallback) it just made is the latest.
+                let hit = engine.incremental_stats().hits > hits_before;
+                let debug = engine.last_incremental();
+                if std::env::var_os("DSG_MUTATE_DEBUG").is_some() {
+                    eprintln!("[mutate debug] round {round} {shape} {alg_name}: hit={hit} debug={debug:?}");
+                }
+                let (affected, passes, fallback) = match (hit, debug) {
+                    (true, Some(d)) => (d.affected as u64, d.passes as u64, "-"),
+                    (false, Some(d)) => (0, 0, d.reason.unwrap_or("fallback")),
+                    (false, None) => (0, 0, "no attempt"),
+                    (true, None) => unreachable!("a hit always records its debug state"),
+                };
+
                 let warm_started = Instant::now();
-                let warm = engine
+                let warm = warm_engine
                     .execute(&Source::named(session.name), query, &policy)
                     .expect("warm query");
-                let warm_ms = mutate_ms / session.queries.len() as f64
-                    + warm_started.elapsed().as_secs_f64() * 1e3;
+                let warm_query_ms = warm_started.elapsed().as_secs_f64() * 1e3;
+                let warm_ms = warm_mutate_ms / session.queries.len() as f64 + warm_query_ms;
 
                 // --- cold arm: fresh engine, materialized list.
                 let cold_engine = Engine::new();
@@ -224,14 +309,19 @@ pub fn run(scale: Scale) -> Vec<Row> {
                 let cold_ms = cold_started.elapsed().as_secs_f64() * 1e3;
 
                 // Parity: the acceptance criterion. Panic on divergence.
-                let warm_json = warm.json_object(false);
                 let cold_json = cold.json_object(false);
                 assert_eq!(
-                    warm_json, cold_json,
+                    inc.json_object(false),
+                    cold_json,
+                    "incremental/cold divergence: round {round}, {shape}, {alg_name}"
+                );
+                assert_eq!(
+                    warm.json_object(false),
+                    cold_json,
                     "warm/cold divergence: round {round}, {shape}, {alg_name}"
                 );
 
-                // --- file arm: rewrite + cold load (the PR-4 world).
+                // --- file arm: rewrite + cold load (the pre-session world).
                 let path = dir.join(format!("{}_{round}.txt", session.name));
                 let file_engine = Engine::new();
                 let file_started = Instant::now();
@@ -250,7 +340,7 @@ pub fn run(scale: Scale) -> Vec<Row> {
                 let file_ms = file_started.elapsed().as_secs_f64() * 1e3;
                 assert_eq!(
                     file_report.density().to_bits(),
-                    warm.density().to_bits(),
+                    inc.density().to_bits(),
                     "file-world density must agree: round {round}, {alg_name}"
                 );
 
@@ -260,9 +350,20 @@ pub fn run(scale: Scale) -> Vec<Row> {
                     algorithm: alg_name,
                     edges: current.num_edges() as u64,
                     delta_edges: delta_applied,
+                    inc_ms,
+                    inc_query_ms,
                     warm_ms,
+                    warm_query_ms,
                     cold_ms,
                     file_ms,
+                    affected,
+                    passes,
+                    fallback,
+                    speedup_vs_warm: if inc_query_ms > 0.0 {
+                        warm_query_ms / inc_query_ms
+                    } else {
+                        0.0
+                    },
                     speedup_vs_file: if warm_ms > 0.0 {
                         file_ms / warm_ms
                     } else {
@@ -310,9 +411,16 @@ pub fn run(scale: Scale) -> Vec<Row> {
                 algorithm: alg_name,
                 edges: current.num_edges() as u64,
                 delta_edges: 0,
+                inc_ms: 0.0,
+                inc_query_ms: 0.0,
                 warm_ms,
+                warm_query_ms: warm_ms,
                 cold_ms,
                 file_ms: 0.0,
+                affected: 0,
+                passes: 0,
+                fallback: "-",
+                speedup_vs_warm: 0.0,
                 speedup_vs_file: 0.0,
                 parity: true,
             });
@@ -323,11 +431,66 @@ pub fn run(scale: Scale) -> Vec<Row> {
         warm_after.hits > warm_before.hits,
         "compaction replays must register as warm hits ({warm_before:?} -> {warm_after:?})"
     );
+
+    // The incremental tier must have actually answered queries — every
+    // small-delta round is in its regime, and a tier that falls back on
+    // everything would otherwise pass the parity gate forever.
+    let inc = engine.incremental_stats();
     assert!(
-        warm_after.hits >= rows.len() as u64 / 2,
-        "most mutated-query rounds should warm-restart: {warm_after:?} over {} rows",
+        inc.hits >= 1,
+        "the incremental tier never answered a query: {inc:?}"
+    );
+    // Every small-delta `approx` round sits squarely in the tier's
+    // regime (a handful of delta endpoints against a 5%-of-nodes
+    // budget); the run is deterministic, so hit/fallback outcomes are
+    // reproducible and this can be exact.
+    let (small_approx, small_approx_hits): (Vec<_>, Vec<_>) = {
+        let s: Vec<_> = rows
+            .iter()
+            .filter(|r| r.shape == "small" && r.algorithm == "approx")
+            .collect();
+        let h = s.iter().filter(|r| r.fallback == "-").cloned().collect();
+        (s, h)
+    };
+    assert!(
+        !small_approx.is_empty() && small_approx.len() == small_approx_hits.len(),
+        "every small-delta approx round must take the incremental path: \
+         {} of {} hit",
+        small_approx_hits.len(),
+        small_approx.len()
+    );
+    // Between them, the maintenance tiers must carry most rounds.
+    assert!(
+        inc.hits + warm_after.hits >= rows.len() as u64 / 2,
+        "most mutated-query rounds should be maintained, not recomputed: \
+         incremental {inc:?} + warm {warm_after:?} over {} rows",
         rows.len()
     );
+
+    // The small-delta headline — `approx` is the paper's core peel and
+    // the tier's cleanest win (the directed sweep pays O(grid) per-ratio
+    // simulations, which only beat a warm sweep once the graph is big
+    // enough to amortize them). Recorded in the table and compared
+    // (warn-only) against bench/baseline.json.
+    let mut small: Vec<f64> = small_approx_hits
+        .iter()
+        .filter(|r| r.speedup_vs_warm > 0.0)
+        .map(|r| r.speedup_vs_warm)
+        .collect();
+    small.sort_by(|a, b| a.partial_cmp(b).expect("finite speedups"));
+    if let Some(median) = small.get(small.len() / 2) {
+        eprintln!(
+            "[mutate] small-delta approx, incremental vs warm re-peel: \
+             median {median:.2}x over {} rounds",
+            small.len()
+        );
+        if *median < 3.0 {
+            eprintln!(
+                "[mutate] WARNING: small-delta approx incremental speedup \
+                 {median:.2}x is below the 3x target"
+            );
+        }
+    }
 
     rows
 }
@@ -344,16 +507,22 @@ fn materialized(engine: &Engine, name: &str) -> EdgeList {
 /// Renders the rows as a paper-style table.
 pub fn to_table(rows: &[Row]) -> Table {
     let mut t = Table::new(
-        "Mutate: session warm restart vs cold recompute vs file rewrite (parity asserted)",
+        "Mutate: incremental re-peel vs warm re-peel vs cold recompute vs file rewrite \
+         (parity asserted)",
         &[
             "round",
             "shape",
             "algorithm",
             "edges",
             "delta",
+            "inc ms",
             "warm ms",
             "cold ms",
             "file ms",
+            "affected",
+            "passes",
+            "fallback",
+            "inc speedup",
             "speedup",
             "parity",
         ],
@@ -365,9 +534,14 @@ pub fn to_table(rows: &[Row]) -> Table {
             r.algorithm.to_string(),
             r.edges.to_string(),
             r.delta_edges.to_string(),
+            fmt_f(r.inc_ms, 2),
             fmt_f(r.warm_ms, 2),
             fmt_f(r.cold_ms, 2),
             fmt_f(r.file_ms, 2),
+            r.affected.to_string(),
+            r.passes.to_string(),
+            r.fallback.to_string(),
+            fmt_f(r.speedup_vs_warm, 2),
             fmt_f(r.speedup_vs_file, 2),
             if r.parity { "ok" } else { "FAIL" }.to_string(),
         ]);

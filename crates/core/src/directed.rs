@@ -181,6 +181,45 @@ pub fn sweep_c_csr_parallel(
     })
 }
 
+/// [`sweep_c_csr`] with a per-ratio
+/// [`PeelTrace`](crate::kernel::PeelTrace) capture — the seed state of
+/// incremental re-peeling ([`crate::incremental`]). Returns the sweep
+/// plus `(c, trace)` pairs in grid order.
+pub fn sweep_c_csr_traced(
+    g: &dsg_graph::CsrDirected,
+    delta: f64,
+    epsilon: f64,
+) -> (SweepResult, Vec<(f64, crate::kernel::PeelTrace)>) {
+    let mut traces = Vec::new();
+    let sweep = sweep_grid(g.num_nodes(), delta, |c| {
+        let mut store = CsrDirectedStore::new(g);
+        let mut policy = DirectedSizesPolicy::new(c, epsilon);
+        let (run, trace) = crate::kernel::peel_traced(&mut store, &mut policy, &Default::default());
+        traces.push((c, trace));
+        DirectedRun::from_kernel(run, c)
+    });
+    (sweep, traces)
+}
+
+/// [`sweep_c_csr_parallel`] with a per-ratio
+/// [`PeelTrace`](crate::kernel::PeelTrace) capture.
+pub fn sweep_c_csr_parallel_traced(
+    g: &dsg_graph::CsrDirected,
+    delta: f64,
+    epsilon: f64,
+    threads: usize,
+) -> (SweepResult, Vec<(f64, crate::kernel::PeelTrace)>) {
+    let mut traces = Vec::new();
+    let sweep = sweep_grid(g.num_nodes(), delta, |c| {
+        let mut store = ParallelCsrDirectedStore::new(g, threads);
+        let mut policy = DirectedSizesPolicy::new(c, epsilon);
+        let (run, trace) = crate::kernel::peel_traced(&mut store, &mut policy, &Default::default());
+        traces.push((c, trace));
+        DirectedRun::from_kernel(run, c)
+    });
+    (sweep, traces)
+}
+
 /// The outcome of a sweep over `c`.
 #[derive(Clone, Debug)]
 pub struct SweepResult {

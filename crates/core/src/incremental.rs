@@ -1,0 +1,1212 @@
+//! Delta-bounded incremental re-peeling.
+//!
+//! Given a [`PeelTrace`] of a finished run and a batch of edge deltas,
+//! this module re-derives the run's result on the mutated graph touching
+//! only an *affected set* `F` — delta endpoints plus every node whose
+//! recorded round the delta could change — instead of re-peeling the
+//! whole graph. The contract is exact: a successful simulation produces
+//! the bit-identical result (densities, thresholds, per-pass stats, best
+//! sets) of a cold re-run of the same kernel on the mutated graph, or it
+//! reports a fallback reason and the caller re-peels conventionally.
+//!
+//! ## How it works
+//!
+//! Nodes outside `F` are *frozen*: the simulation hypothesizes they keep
+//! their recorded rounds. Because every delta edge has both endpoints in
+//! `F`, a frozen node's degree trajectory depends only on its neighbors'
+//! rounds — so the hypothesis is self-consistent once no frozen node's
+//! removal pass changes. Per pass the simulator maintains exact degree
+//! trajectories for `F` (frozen-neighbor round buckets plus live
+//! affected-affected adjacency), reconstitutes the live edge weight from
+//! the recorded pass weight by exchanging the old affected contribution
+//! for the simulated one, and re-computes density and threshold with the
+//! same [`density`] arithmetic the kernel uses — hence bit-identical
+//! `f64`s on unweighted graphs (all counters are integers).
+//!
+//! Two aggregate bounds recorded per pass make the frozen hypothesis
+//! checkable in `O(1)` per pass: [`TracePass::max_removal_deg`] proves
+//! every recorded removal still qualifies (with an exact per-node bucket
+//! scan as the slow path), and [`TracePass::min_noncand_deg`] (plus
+//! [`TracePass::successor`] for the k-floor clamp) proves no recorded
+//! survivor newly crosses the threshold. When a frozen node provably
+//! changes round it is *promoted* into `F` and the simulation restarts;
+//! when a change cannot be localized the simulation gives up with a
+//! fallback reason. On convergence, every frozen node's neighbors are
+//! frozen or affected-with-unchanged-round, so frozen trajectories — and
+//! therefore the whole run — are exact.
+
+use dsg_graph::{density, NodeSet};
+
+use crate::kernel::{PeelTrace, TracePass, NEVER_REMOVED};
+
+/// The removal rule being simulated — mirrors the arithmetic of the
+/// kernel policies exactly (same operations in the same order).
+#[derive(Clone, Copy, Debug)]
+pub enum IncPolicy {
+    /// [`crate::kernel::ThresholdPolicy`] (Algorithm 1).
+    Threshold {
+        /// The `ε` of the `2(1+ε)·ρ` threshold.
+        epsilon: f64,
+    },
+    /// [`crate::kernel::KFloorPolicy`] (Algorithm 2).
+    KFloor {
+        /// Stop once `|S| < k`.
+        k: usize,
+        /// The `ε` of the threshold and the removal clamp.
+        epsilon: f64,
+    },
+    /// [`crate::kernel::DirectedSizesPolicy`] (Algorithm 3) at a fixed
+    /// ratio `c`.
+    DirectedSizes {
+        /// The `|S|/|T|` side-selection ratio.
+        c: f64,
+        /// The `ε` of the one-side threshold.
+        epsilon: f64,
+    },
+}
+
+impl IncPolicy {
+    fn sides(&self) -> usize {
+        match self {
+            IncPolicy::DirectedSizes { .. } => 2,
+            _ => 1,
+        }
+    }
+}
+
+/// Old/new adjacency of affected nodes, supplied by the caller (the
+/// engine answers from the base CSR plus the mutation journal).
+///
+/// `dir` selects the arc direction on directed graphs: `0` = out-,
+/// `1` = in-neighbors. Undirected graphs only see `dir = 0`.
+pub trait AffectedAdjacency {
+    /// Neighbors of `u` in the pre-delta graph.
+    fn old_neighbors(&self, u: u32, dir: usize) -> Vec<u32>;
+    /// Neighbors of `u` in the post-delta graph.
+    fn new_neighbors(&self, u: u32, dir: usize) -> Vec<u32>;
+}
+
+/// Resource limits of one simulation.
+#[derive(Clone, Copy, Debug)]
+pub struct SimLimits {
+    /// Fallback once `|F|` exceeds this.
+    pub max_affected: usize,
+    /// Fallback after this many promote-and-restart rounds.
+    pub max_restarts: u32,
+}
+
+/// A successful simulation: the exact result of the cold run on the
+/// mutated graph, plus the refreshed trace for the next delta.
+pub struct SimSuccess {
+    /// Trace of the simulated run over the mutated graph (per-pass
+    /// aggregate bounds are conservative where exact values would cost a
+    /// frozen scan; conservative means "may cause extra checks later",
+    /// never "unsound").
+    pub trace: PeelTrace,
+    /// The densest intermediate sides.
+    pub best_sides: Vec<NodeSet>,
+    /// Density of the best state (bit-identical to the cold run).
+    pub best_density: f64,
+    /// 1-based pass of the best state.
+    pub best_pass: u32,
+    /// Total passes of the simulated run.
+    pub passes: u32,
+    /// Final `|F|`.
+    pub affected: usize,
+    /// Promote-and-restart rounds taken.
+    pub restarts: u32,
+}
+
+enum Attempt {
+    Done(Box<SimSuccess>),
+    Grow(Vec<u32>),
+    Fail(&'static str),
+}
+
+/// Runs the simulation. `seed` must contain every delta-edge endpoint
+/// and every node id in `trace.n..n_new`; `trace` must come from the
+/// same policy on the pre-delta graph. Returns the exact cold-run result
+/// or a static fallback-reason string.
+pub fn simulate(
+    policy: IncPolicy,
+    trace: &PeelTrace,
+    n_new: usize,
+    seed: &[u32],
+    adj: &dyn AffectedAdjacency,
+    limits: SimLimits,
+) -> Result<SimSuccess, &'static str> {
+    let sides = policy.sides();
+    if trace.sides() != sides {
+        return Err("trace arity does not match policy");
+    }
+    if n_new < trace.n as usize {
+        return Err("node count shrank");
+    }
+    let p_total = trace.passes.len();
+    // Per-pass id buckets of the recorded run, built once (independent of F).
+    let mut bucket: Vec<Vec<Vec<u32>>> = vec![vec![Vec::new(); p_total + 1]; sides];
+    for (b, rounds) in bucket.iter_mut().zip(&trace.rounds) {
+        for (id, &r) in rounds.iter().enumerate() {
+            if r != NEVER_REMOVED {
+                b[r as usize].push(id as u32);
+            }
+        }
+    }
+
+    let mut in_f = vec![false; n_new];
+    let mut f_ids: Vec<u32> = Vec::new();
+    for &u in seed {
+        if !in_f[u as usize] {
+            in_f[u as usize] = true;
+            f_ids.push(u);
+        }
+    }
+    f_ids.sort_unstable();
+
+    let mut restarts = 0u32;
+    loop {
+        if f_ids.len() > limits.max_affected {
+            return Err("affected set exceeds the incremental threshold");
+        }
+        match attempt(policy, trace, n_new, &f_ids, &in_f, &bucket, adj, restarts) {
+            Attempt::Done(s) => return Ok(*s),
+            Attempt::Fail(r) => return Err(r),
+            Attempt::Grow(more) => {
+                restarts += 1;
+                if restarts > limits.max_restarts {
+                    return Err("too many affected-set expansions");
+                }
+                let mut grew = false;
+                for u in more {
+                    if !in_f[u as usize] {
+                        in_f[u as usize] = true;
+                        f_ids.push(u);
+                        grew = true;
+                    }
+                }
+                if !grew {
+                    return Err("expansion made no progress");
+                }
+                f_ids.sort_unstable();
+            }
+        }
+    }
+}
+
+#[inline]
+fn pair_lt(a: (f64, u32), b: (f64, u32)) -> bool {
+    a.0 < b.0 || (a.0 == b.0 && a.1 < b.1)
+}
+
+#[inline]
+fn pair_min(a: Option<(f64, u32)>, b: (f64, u32)) -> (f64, u32) {
+    match a {
+        Some(x) if pair_lt(x, b) => x,
+        _ => b,
+    }
+}
+
+/// Lower bound on the `(degree, id)` pairs of nodes the simulation
+/// cannot see (frozen recorded survivors).
+#[derive(Clone, Copy)]
+enum Bound {
+    /// The smallest unseen pair is exactly this one — a frozen node
+    /// whose recorded identity and degree are both known, so it can be
+    /// promoted into the affected set to tighten the bound.
+    Inclusive((f64, u32)),
+    /// Every unseen pair sorts strictly above this one.
+    Exclusive((f64, u32)),
+    /// Every unseen pair sorts at or above this one; the witness id is
+    /// not meaningful (not promotable).
+    AtLeast((f64, u32)),
+}
+
+impl Bound {
+    /// True when `pr` sorts strictly below every pair the bound allows.
+    fn admits(self, pr: (f64, u32)) -> bool {
+        match self {
+            Bound::Inclusive(b) | Bound::AtLeast(b) => pair_lt(pr, b),
+            Bound::Exclusive(b) => !pair_lt(b, pr),
+        }
+    }
+
+    fn pair(self) -> (f64, u32) {
+        match self {
+            Bound::Inclusive(b) | Bound::Exclusive(b) | Bound::AtLeast(b) => b,
+        }
+    }
+}
+
+/// Bound on the pairs of recorded pass-`q` non-candidates that the
+/// simulation does not track exactly (those past the recorded frontier).
+fn unlisted_bound(trace: &PeelTrace, q: usize) -> Option<Bound> {
+    if trace.frontier_complete[q - 1] {
+        None
+    } else if let Some(&last) = trace.frontier[q - 1].last() {
+        Some(Bound::Exclusive(last))
+    } else {
+        // An assembled trace whose frontier cut dropped everything:
+        // only the scalar degree bound remains.
+        Some(Bound::AtLeast((trace.passes[q - 1].min_noncand_deg, 0)))
+    }
+}
+
+/// Bound on the pairs of *frozen* recorded pass-`q` non-candidates:
+/// the first frontier entry still outside the affected set is exact,
+/// anything past the frontier is bounded by [`unlisted_bound`].
+fn noncand_bound(trace: &PeelTrace, q: usize, in_f: &[bool]) -> Option<Bound> {
+    for &e in &trace.frontier[q - 1] {
+        if !in_f[e.1 as usize] {
+            return Some(Bound::Inclusive(e));
+        }
+    }
+    unlisted_bound(trace, q)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn attempt(
+    policy: IncPolicy,
+    trace: &PeelTrace,
+    n_new: usize,
+    f_ids: &[u32],
+    in_f: &[bool],
+    bucket: &[Vec<Vec<u32>>],
+    adj: &dyn AffectedAdjacency,
+    restarts: u32,
+) -> Attempt {
+    let sides = policy.sides();
+    let n_old = trace.n as usize;
+    let p_total = trace.passes.len();
+    let nf = f_ids.len();
+
+    let mut loc = vec![u32::MAX; n_new];
+    for (i, &id) in f_ids.iter().enumerate() {
+        loc[id as usize] = i as u32;
+    }
+
+    // Per (side, affected-node) structure. The side-s degree of a node is
+    // over its dir-s neighbors (undirected: dir 0; directed S: out, T: in),
+    // whose liveness is tracked on side `rel = sides - 1 - s` for directed
+    // runs and side 0 otherwise.
+    let mut frozen_rounds: Vec<Vec<Vec<u32>>> = vec![Vec::with_capacity(nf); sides];
+    let mut aa_old: Vec<Vec<Vec<u32>>> = vec![Vec::with_capacity(nf); sides];
+    let mut aa_new: Vec<Vec<Vec<u32>>> = vec![Vec::with_capacity(nf); sides];
+    for s in 0..sides {
+        let rel = if sides == 2 { 1 - s } else { 0 };
+        for &id in f_ids {
+            let mut fr: Vec<u32> = Vec::new();
+            let mut an: Vec<u32> = Vec::new();
+            for v in adj.new_neighbors(id, s) {
+                if in_f[v as usize] {
+                    an.push(loc[v as usize]);
+                } else {
+                    if v as usize >= n_old {
+                        return Attempt::Grow(vec![v]);
+                    }
+                    fr.push(trace.rounds[rel][v as usize]);
+                }
+            }
+            fr.sort_unstable();
+            let mut ao: Vec<u32> = Vec::new();
+            if (id as usize) < n_old {
+                for v in adj.old_neighbors(id, s) {
+                    if in_f[v as usize] {
+                        ao.push(loc[v as usize]);
+                    }
+                    // A frozen old-neighbor is also a frozen new-neighbor
+                    // (delta endpoints are all in F), already in `fr`.
+                }
+            }
+            frozen_rounds[s].push(fr);
+            aa_old[s].push(ao);
+            aa_new[s].push(an);
+        }
+    }
+
+    // Exact degree trajectories and liveness, old run and simulated run.
+    let mut ptr: Vec<Vec<usize>> = vec![vec![0; nf]; sides];
+    let mut odeg: Vec<Vec<i64>> = Vec::with_capacity(sides);
+    let mut ndeg: Vec<Vec<i64>> = Vec::with_capacity(sides);
+    let mut oalive: Vec<Vec<bool>> = Vec::with_capacity(sides);
+    let mut nalive: Vec<Vec<bool>> = vec![vec![true; nf]; sides];
+    let mut new_round: Vec<Vec<u32>> = vec![vec![NEVER_REMOVED; nf]; sides];
+    let mut new_rdeg: Vec<Vec<f64>> = vec![vec![0.0; nf]; sides];
+    for s in 0..sides {
+        let mut od = Vec::with_capacity(nf);
+        let mut nd = Vec::with_capacity(nf);
+        let mut oa = Vec::with_capacity(nf);
+        for (f, &id) in f_ids.iter().enumerate() {
+            od.push((frozen_rounds[s][f].len() + aa_old[s][f].len()) as i64);
+            nd.push((frozen_rounds[s][f].len() + aa_new[s][f].len()) as i64);
+            oa.push((id as usize) < n_old);
+        }
+        odeg.push(od);
+        ndeg.push(nd);
+        oalive.push(oa);
+    }
+
+    // Side aggregates. Frozen liveness is shared between the runs (that
+    // is the frozen hypothesis); affected liveness diverges.
+    let old_f = f_ids.iter().filter(|&&id| (id as usize) < n_old).count() as i64;
+    let mut frozen_alive: Vec<i64> = vec![n_old as i64 - old_f; sides];
+    let mut o_aff_alive: Vec<i64> = vec![old_f; sides];
+    let mut n_aff_alive: Vec<i64> = vec![nf as i64; sides];
+    let mut sum_f_old: Vec<i64> = (0..sides)
+        .map(|s| {
+            (0..nf)
+                .filter(|&f| oalive[s][f])
+                .map(|f| frozen_rounds[s][f].len() as i64)
+                .sum()
+        })
+        .collect();
+    let mut sum_f_new: Vec<i64> = (0..sides)
+        .map(|s| (0..nf).map(|f| frozen_rounds[s][f].len() as i64).sum())
+        .collect();
+    let (mut aa_e_old, mut aa_e_new) = {
+        let o: i64 = aa_old[0].iter().map(|v| v.len() as i64).sum();
+        let n: i64 = aa_new[0].iter().map(|v| v.len() as i64).sum();
+        if sides == 2 {
+            (o, n)
+        } else {
+            (o / 2, n / 2)
+        }
+    };
+
+    // Recorded rounds of F members: subtracted from bucket sizes, and
+    // replayed as old-run affected deaths.
+    let mut f_round_cnt: Vec<Vec<i64>> = vec![vec![0; p_total + 2]; sides];
+    let mut f_deaths: Vec<Vec<Vec<u32>>> = vec![vec![Vec::new(); p_total + 2]; sides];
+    for s in 0..sides {
+        for (f, &id) in f_ids.iter().enumerate() {
+            if (id as usize) < n_old {
+                let r = trace.rounds[s][id as usize];
+                if r != NEVER_REMOVED {
+                    f_round_cnt[s][r as usize] += 1;
+                    f_deaths[s][r as usize].push(f as u32);
+                }
+            }
+        }
+    }
+
+    let mut best_density = 0.0f64;
+    let mut best_pass = 0u32;
+    let mut new_passes: Vec<TracePass> = Vec::new();
+    let mut new_frontier: Vec<Vec<(f64, u32)>> = Vec::new();
+    let mut new_frontier_complete: Vec<bool> = Vec::new();
+    let mut expand: Vec<u32> = Vec::new();
+    // Selected affected removals of the pass in flight: (local, degree at
+    // selection — the removal degree the cold run would record).
+    let mut rem: Vec<(u32, f64)> = Vec::new();
+
+    let mut qn: u32 = 0;
+    loop {
+        qn += 1;
+        let s0 = frozen_alive[0] + n_aff_alive[0];
+        let s1 = if sides == 2 {
+            frozen_alive[1] + n_aff_alive[1]
+        } else {
+            0
+        };
+        let finished = match policy {
+            IncPolicy::Threshold { .. } => s0 == 0,
+            IncPolicy::KFloor { k, .. } => s0 < k as i64,
+            IncPolicy::DirectedSizes { .. } => s0 == 0 || s1 == 0,
+        };
+        if finished {
+            qn -= 1;
+            break;
+        }
+        let in_trace = (qn as usize) <= p_total;
+        if !in_trace && frozen_alive.iter().any(|&x| x > 0) {
+            return Attempt::Fail("recorded trace exhausted with frozen survivors");
+        }
+        let p = in_trace.then(|| &trace.passes[qn as usize - 1]);
+
+        // Live weight: recorded weight minus the old affected
+        // contribution plus the simulated one (frozen-frozen weight is
+        // identical in both runs).
+        let w: i64 = match p {
+            Some(p) => {
+                let sfo: i64 = sum_f_old.iter().sum();
+                let sfn: i64 = sum_f_new.iter().sum();
+                (p.total_weight as i64) - sfo - aa_e_old + sfn + aa_e_new
+            }
+            None => aa_e_new,
+        };
+
+        // Policy step: density, threshold, side, affected removals, and
+        // the frozen-hypothesis proofs.
+        rem.clear();
+        let side;
+        let rho;
+        let t;
+        let successor;
+        match policy {
+            IncPolicy::Threshold { epsilon } | IncPolicy::KFloor { epsilon, .. } => {
+                side = 0usize;
+                rho = density::undirected(w as f64, s0 as usize);
+                t = density::undirected_threshold(rho, epsilon);
+            }
+            IncPolicy::DirectedSizes { c, epsilon } => {
+                rho = density::directed(w as f64, s0 as usize, s1 as usize);
+                let from_s = s0 as f64 / s1 as f64 >= c;
+                side = usize::from(!from_s);
+                let side_len = if from_s { s0 } else { s1 };
+                t = density::directed_threshold(w as f64, side_len as usize, epsilon);
+                if let Some(p) = p {
+                    if p.side as usize != side {
+                        return Attempt::Fail("side choice flipped");
+                    }
+                }
+            }
+        }
+
+        let frozen_removed = match p {
+            Some(p) => i64::from(p.removed) - f_round_cnt[side][qn as usize],
+            None => 0,
+        };
+        let mut max_rm = f64::NEG_INFINITY;
+        let mut min_nc = f64::INFINITY;
+        // Live affected non-candidates of the pass, for the simulated
+        // trace's frontier.
+        let mut aff_nc: Vec<(f64, u32)> = Vec::new();
+        // Recorded successor (k-floor only): unseen surviving candidates
+        // sort at or above it — the simulated frontier must cut there.
+        let mut emit_succ: Option<(f64, u32)> = None;
+        let removed_total;
+        if let IncPolicy::KFloor { epsilon, .. } = policy {
+            // Exact candidate pairs we know: the recorded removals of
+            // this pass (all must still be candidates) plus the live
+            // affected candidates.
+            let mut kpairs: Vec<(f64, u32)> = Vec::new();
+            if let Some(p) = p {
+                for &id in &bucket[side][qn as usize] {
+                    if in_f[id as usize] {
+                        continue;
+                    }
+                    let d = trace.removal_deg[side][id as usize];
+                    if d > t {
+                        // Lost candidacy: its round changes — promote.
+                        expand.push(id);
+                    } else {
+                        kpairs.push((d, id));
+                    }
+                }
+                if !expand.is_empty() {
+                    return Attempt::Grow(expand);
+                }
+                debug_assert!(frozen_removed >= 0);
+                let _ = p;
+            }
+            for f in 0..nf {
+                if nalive[side][f] {
+                    let d = ndeg[side][f] as f64;
+                    if d <= t {
+                        kpairs.push((d, f_ids[f]));
+                    } else {
+                        if d < min_nc {
+                            min_nc = d;
+                        }
+                        aff_nc.push((d, f_ids[f]));
+                    }
+                }
+            }
+            kpairs.sort_by(|a, b| {
+                a.0.partial_cmp(&b.0)
+                    .expect("degrees are never NaN")
+                    .then(a.1.cmp(&b.1))
+            });
+            // Unseen candidate pairs hide among frozen recorded
+            // survivors: surviving candidates sort at or above the
+            // recorded successor (strictly above once the successor node
+            // itself is affected), non-candidates at or above the first
+            // frontier entry left frozen. A bound whose degree exceeds
+            // the threshold cannot yield candidates at all.
+            let succ = p.and_then(|p| p.successor);
+            let mut blocking: Vec<Bound> = Vec::new();
+            if let Some(sp) = succ {
+                if sp.0 <= t {
+                    blocking.push(if in_f[sp.1 as usize] {
+                        Bound::Exclusive(sp)
+                    } else {
+                        Bound::Inclusive(sp)
+                    });
+                }
+            }
+            if p.is_some() {
+                if let Some(b) = noncand_bound(trace, qn as usize, in_f) {
+                    if b.pair().0 <= t {
+                        blocking.push(b);
+                    }
+                }
+            }
+            let avail = if blocking.is_empty() {
+                kpairs.len()
+            } else {
+                kpairs
+                    .iter()
+                    .take_while(|&&pr| blocking.iter().all(|b| b.admits(pr)))
+                    .count()
+            };
+            let target = ((epsilon / (1.0 + epsilon)) * s0 as usize as f64).ceil() as usize;
+            let removed_n = if target >= 1 && target <= avail {
+                target
+            } else if blocking.is_empty() {
+                // Every candidate is known: the clamp resolves exactly.
+                let c_total = kpairs.len();
+                let clamped = target.clamp(1, c_total.max(1)).min(c_total);
+                if clamped == 0 {
+                    return Attempt::Fail("no candidates to remove");
+                }
+                clamped
+            } else {
+                // The pick order past `avail` may open with a frozen
+                // node we can identify exactly (the recorded successor
+                // or the frontier head). Promote it so its pair becomes
+                // known; bounds without a witness are unresolvable.
+                for b in &blocking {
+                    if let Bound::Inclusive((_, id)) = *b {
+                        expand.push(id);
+                    }
+                }
+                if expand.is_empty() {
+                    return Attempt::Fail("k-floor clamp crosses unseen candidates");
+                }
+                return Attempt::Grow(expand);
+            };
+            // Selected frozen pairs keep their round; displaced frozen
+            // pairs (recorded removed, now surviving the clamp) change —
+            // promote them.
+            for &(d, id) in &kpairs[removed_n..] {
+                if !in_f[id as usize] {
+                    expand.push(id);
+                }
+                let _ = d;
+            }
+            if !expand.is_empty() {
+                return Attempt::Grow(expand);
+            }
+            for &(d, id) in &kpairs[..removed_n] {
+                if in_f[id as usize] {
+                    rem.push((loc[id as usize], d));
+                }
+                if d > max_rm {
+                    max_rm = d;
+                }
+            }
+            // Conservative lower bound over everything still unseen,
+            // for the simulated pass record.
+            let mut lower: Option<(f64, u32)> = None;
+            if let Some(p) = p {
+                if p.min_noncand_deg < min_nc {
+                    min_nc = p.min_noncand_deg;
+                }
+                if let Some(sp) = succ {
+                    lower = Some(sp);
+                    if sp.0 < min_nc {
+                        min_nc = sp.0;
+                    }
+                }
+                if p.min_noncand_deg.is_finite() {
+                    lower = Some(pair_min(lower, (p.min_noncand_deg, 0)));
+                }
+            }
+            successor = match kpairs.get(removed_n) {
+                Some(&nxt) => Some(pair_min(lower, nxt)),
+                None => lower,
+            };
+            emit_succ = succ;
+            removed_total = removed_n as i64;
+        } else {
+            // Threshold-style policies (Algorithm 1 / Algorithm 3 at a
+            // fixed side): every node at or below the threshold goes.
+            if let Some(p) = p {
+                if frozen_removed > 0 && p.max_removal_deg > t {
+                    for &id in &bucket[side][qn as usize] {
+                        if !in_f[id as usize] && trace.removal_deg[side][id as usize] > t {
+                            expand.push(id);
+                        }
+                    }
+                    if !expand.is_empty() {
+                        return Attempt::Grow(expand);
+                    }
+                }
+                // Recorded survivors the shifted threshold now reaches:
+                // the frontier names them exactly — promote; beyond the
+                // frontier identities are unknowable.
+                for &(d, id) in &trace.frontier[qn as usize - 1] {
+                    if d <= t && !in_f[id as usize] {
+                        expand.push(id);
+                    }
+                }
+                if !expand.is_empty() {
+                    return Attempt::Grow(expand);
+                }
+                if let Some(b) = unlisted_bound(trace, qn as usize) {
+                    if b.pair().0 <= t {
+                        return Attempt::Fail("threshold crossed beyond the recorded frontier");
+                    }
+                }
+                if frozen_removed > 0 {
+                    max_rm = p.max_removal_deg;
+                }
+                min_nc = p.min_noncand_deg;
+            }
+            for f in 0..nf {
+                if nalive[side][f] {
+                    let d = ndeg[side][f] as f64;
+                    if d <= t {
+                        rem.push((f as u32, d));
+                        if d > max_rm {
+                            max_rm = d;
+                        }
+                    } else {
+                        if d < min_nc {
+                            min_nc = d;
+                        }
+                        aff_nc.push((d, f_ids[f]));
+                    }
+                }
+            }
+            successor = None;
+            removed_total = frozen_removed + rem.len() as i64;
+        }
+
+        if removed_total <= 0 {
+            return Attempt::Fail("simulated pass removed nothing");
+        }
+
+        // Frontier of the simulated pass: exact affected non-candidates
+        // merged with the frozen remainder of the recorded frontier, cut
+        // strictly below every pair an unseen survivor could take so the
+        // list stays a true prefix of the pass's smallest non-candidates.
+        {
+            let mut known = core::mem::take(&mut aff_nc);
+            let mut bounds: Vec<Bound> = Vec::new();
+            let mut complete = true;
+            if p.is_some() {
+                let q = qn as usize;
+                for &e in &trace.frontier[q - 1] {
+                    if !in_f[e.1 as usize] && e.0 > t {
+                        known.push(e);
+                    }
+                }
+                if let Some(b) = unlisted_bound(trace, q) {
+                    bounds.push(b);
+                    complete = false;
+                }
+                if !trace.frontier_complete[q - 1] {
+                    complete = false;
+                }
+            }
+            if let Some(sp) = emit_succ {
+                bounds.push(if in_f[sp.1 as usize] {
+                    Bound::Exclusive(sp)
+                } else {
+                    Bound::Inclusive(sp)
+                });
+                complete = false;
+            }
+            known.sort_by(|a, b| {
+                a.0.partial_cmp(&b.0)
+                    .expect("degrees are never NaN")
+                    .then(a.1.cmp(&b.1))
+            });
+            known.retain(|&pr| bounds.iter().all(|b| b.admits(pr)));
+            if known.len() > crate::kernel::FRONTIER_LEN {
+                known.truncate(crate::kernel::FRONTIER_LEN);
+                complete = false;
+            }
+            new_frontier.push(known);
+            new_frontier_complete.push(complete);
+        }
+
+        if rho > best_density || qn == 1 {
+            best_density = rho;
+            best_pass = qn;
+        }
+        new_passes.push(TracePass {
+            side: side as u8,
+            alive: [s0 as u32, s1 as u32],
+            total_weight: w as f64,
+            density: rho,
+            threshold: t,
+            removed: removed_total as u32,
+            max_removal_deg: max_rm,
+            min_noncand_deg: min_nc,
+            successor,
+        });
+
+        // --- End-of-pass updates ---
+        // 1. Frozen deaths of recorded pass qn decrement both trajectories.
+        if let Some(p) = p {
+            for s in 0..sides {
+                for f in 0..nf {
+                    let fr = &frozen_rounds[s][f];
+                    let mut pt = ptr[s][f];
+                    let mut dec = 0i64;
+                    while pt < fr.len() && fr[pt] == qn {
+                        pt += 1;
+                        dec += 1;
+                    }
+                    if dec > 0 {
+                        ptr[s][f] = pt;
+                        odeg[s][f] -= dec;
+                        ndeg[s][f] -= dec;
+                        if oalive[s][f] {
+                            sum_f_old[s] -= dec;
+                        }
+                        if nalive[s][f] {
+                            sum_f_new[s] -= dec;
+                        }
+                    }
+                }
+            }
+            frozen_alive[p.side as usize] -=
+                i64::from(p.removed) - f_round_cnt[p.side as usize][qn as usize];
+            // 2. Old-run affected deaths of pass qn.
+            let os = p.side as usize;
+            for &fd in &f_deaths[os][qn as usize] {
+                let f = fd as usize;
+                oalive[os][f] = false;
+                o_aff_alive[os] -= 1;
+                sum_f_old[os] -= (frozen_rounds[os][f].len() - ptr[os][f]) as i64;
+                let other = if sides == 2 { 1 - os } else { 0 };
+                for &ga in &aa_old[os][f] {
+                    let g = ga as usize;
+                    odeg[other][g] -= 1;
+                    if oalive[other][g] {
+                        aa_e_old -= 1;
+                    }
+                }
+            }
+        }
+        // 3. Simulated affected deaths of pass qn.
+        for &(fa, d) in &rem {
+            let f = fa as usize;
+            nalive[side][f] = false;
+            new_round[side][f] = qn;
+            new_rdeg[side][f] = d;
+            n_aff_alive[side] -= 1;
+            sum_f_new[side] -= (frozen_rounds[side][f].len() - ptr[side][f]) as i64;
+            let other = if sides == 2 { 1 - side } else { 0 };
+            for &ga in &aa_new[side][f] {
+                let g = ga as usize;
+                ndeg[other][g] -= 1;
+                if nalive[other][g] {
+                    aa_e_new -= 1;
+                }
+            }
+        }
+    }
+
+    // Fixpoint check: an affected node whose round changed within the
+    // simulated horizon invalidates its frozen neighbors' trajectories —
+    // promote them and restart.
+    let horizon = qn;
+    for (s, nr) in new_round.iter().enumerate() {
+        for (f, &id) in f_ids.iter().enumerate() {
+            let old_r = if (id as usize) < n_old {
+                trace.rounds[s][id as usize]
+            } else {
+                NEVER_REMOVED
+            };
+            let new_r = nr[f];
+            if old_r != new_r && old_r.min(new_r) <= horizon {
+                for v in adj.new_neighbors(id, s) {
+                    if !in_f[v as usize] {
+                        expand.push(v);
+                    }
+                }
+            }
+        }
+    }
+    if !expand.is_empty() {
+        expand.sort_unstable();
+        expand.dedup();
+        return Attempt::Grow(expand);
+    }
+
+    // Assemble the new trace and the best sides.
+    let mut rounds: Vec<Vec<u32>> = vec![vec![NEVER_REMOVED; n_new]; sides];
+    let mut removal_deg: Vec<Vec<f64>> = vec![vec![0.0; n_new]; sides];
+    for s in 0..sides {
+        for id in 0..n_old {
+            if !in_f[id] {
+                let r = trace.rounds[s][id];
+                if r != NEVER_REMOVED && r <= horizon {
+                    rounds[s][id] = r;
+                    removal_deg[s][id] = trace.removal_deg[s][id];
+                }
+            }
+        }
+        for (f, &id) in f_ids.iter().enumerate() {
+            rounds[s][id as usize] = new_round[s][f];
+            removal_deg[s][id as usize] = new_rdeg[s][f];
+        }
+    }
+    let best_sides: Vec<NodeSet> = (0..sides)
+        .map(|s| {
+            NodeSet::from_iter(
+                n_new,
+                (0..n_new as u32).filter(|&id| rounds[s][id as usize] >= best_pass),
+            )
+        })
+        .collect();
+
+    Attempt::Done(Box::new(SimSuccess {
+        trace: PeelTrace {
+            n: n_new as u32,
+            rounds,
+            removal_deg,
+            passes: new_passes,
+            frontier: new_frontier,
+            frontier_complete: new_frontier_complete,
+        },
+        best_sides,
+        best_density,
+        best_pass,
+        passes: qn,
+        affected: nf,
+        restarts,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::directed::sweep_c_csr_traced;
+    use crate::kernel::{
+        peel_traced, CsrDirectedStore, CsrUndirectedStore, KFloorPolicy, KernelConfig,
+        ThresholdPolicy,
+    };
+    use dsg_graph::{CsrDirected, CsrUndirected, EdgeList, GraphKind, SplitMix64};
+
+    struct ListAdjacency {
+        old_out: Vec<Vec<u32>>,
+        old_in: Vec<Vec<u32>>,
+        new_out: Vec<Vec<u32>>,
+        new_in: Vec<Vec<u32>>,
+    }
+
+    impl ListAdjacency {
+        fn build(old: &EdgeList, new: &EdgeList, n: usize) -> Self {
+            let mut a = ListAdjacency {
+                old_out: vec![Vec::new(); n],
+                old_in: vec![Vec::new(); n],
+                new_out: vec![Vec::new(); n],
+                new_in: vec![Vec::new(); n],
+            };
+            let undirected = old.kind == GraphKind::Undirected;
+            for (which, list) in [(0, old), (1, new)] {
+                for &(u, v) in &list.edges {
+                    let (out, inn) = if which == 0 {
+                        (&mut a.old_out, &mut a.old_in)
+                    } else {
+                        (&mut a.new_out, &mut a.new_in)
+                    };
+                    out[u as usize].push(v);
+                    inn[v as usize].push(u);
+                    if undirected {
+                        out[v as usize].push(u);
+                        inn[u as usize].push(v);
+                    }
+                }
+            }
+            a
+        }
+    }
+
+    impl AffectedAdjacency for ListAdjacency {
+        fn old_neighbors(&self, u: u32, dir: usize) -> Vec<u32> {
+            if dir == 0 {
+                self.old_out[u as usize].clone()
+            } else {
+                self.old_in[u as usize].clone()
+            }
+        }
+        fn new_neighbors(&self, u: u32, dir: usize) -> Vec<u32> {
+            if dir == 0 {
+                self.new_out[u as usize].clone()
+            } else {
+                self.new_in[u as usize].clone()
+            }
+        }
+    }
+
+    fn random_list(n: u32, m: usize, kind: GraphKind, seed: u64) -> EdgeList {
+        let mut rng = SplitMix64::new(seed);
+        let mut list = match kind {
+            GraphKind::Undirected => EdgeList::new_undirected(n),
+            GraphKind::Directed => EdgeList::new_directed(n),
+        };
+        for _ in 0..m {
+            let u = (rng.next_u64() % n as u64) as u32;
+            let v = (rng.next_u64() % n as u64) as u32;
+            list.push(u, v);
+        }
+        list.canonicalize();
+        list
+    }
+
+    /// One delta step: flips `k` random pairs (present → removed, absent
+    /// → added) and returns the canonicalized new list plus the seed set.
+    fn mutate(list: &EdgeList, k: usize, seed: u64) -> (EdgeList, Vec<u32>) {
+        let mut rng = SplitMix64::new(seed);
+        let n = list.num_nodes as u64;
+        let mut edges: std::collections::BTreeSet<(u32, u32)> =
+            list.edges.iter().copied().collect();
+        let mut touched = Vec::new();
+        for _ in 0..k {
+            let mut u = (rng.next_u64() % n) as u32;
+            let mut v = (rng.next_u64() % n) as u32;
+            if u == v {
+                continue;
+            }
+            if list.kind == GraphKind::Undirected && u > v {
+                std::mem::swap(&mut u, &mut v);
+            }
+            if !edges.remove(&(u, v)) {
+                edges.insert((u, v));
+            }
+            touched.push(u);
+            touched.push(v);
+        }
+        let mut out = match list.kind {
+            GraphKind::Undirected => EdgeList::new_undirected(list.num_nodes),
+            GraphKind::Directed => EdgeList::new_directed(list.num_nodes),
+        };
+        for &(u, v) in &edges {
+            out.push(u, v);
+        }
+        out.canonicalize();
+        (out, touched)
+    }
+
+    fn assert_same_trace(a: &PeelTrace, b: &PeelTrace) {
+        assert_eq!(a.n, b.n);
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.passes.len(), b.passes.len());
+        for (x, y) in a.passes.iter().zip(&b.passes) {
+            assert_eq!(x.side, y.side);
+            assert_eq!(x.alive, y.alive);
+            assert_eq!(x.total_weight.to_bits(), y.total_weight.to_bits());
+            assert_eq!(x.density.to_bits(), y.density.to_bits());
+            assert_eq!(x.threshold.to_bits(), y.threshold.to_bits());
+            assert_eq!(x.removed, y.removed);
+        }
+    }
+
+    #[test]
+    fn undirected_simulation_matches_cold() {
+        let limits = SimLimits {
+            max_affected: usize::MAX,
+            max_restarts: 64,
+        };
+        let (mut hits, mut total) = (0, 0);
+        for seed in 0..12u64 {
+            let old = random_list(60, 150, GraphKind::Undirected, 100 + seed);
+            let (new, touched) = mutate(&old, 3, 200 + seed);
+            let csr_old = CsrUndirected::from_edge_list(&old);
+            let csr_new = CsrUndirected::from_edge_list(&new);
+            for eps in [0.25, 0.5, 1.0] {
+                let (_, trace) = {
+                    let mut store = CsrUndirectedStore::new(&csr_old);
+                    let mut policy = ThresholdPolicy::new(eps);
+                    peel_traced(&mut store, &mut policy, &KernelConfig::default())
+                };
+                let (cold, cold_trace) = {
+                    let mut store = CsrUndirectedStore::new(&csr_new);
+                    let mut policy = ThresholdPolicy::new(eps);
+                    peel_traced(&mut store, &mut policy, &KernelConfig::default())
+                };
+                let adj = ListAdjacency::build(&old, &new, old.num_nodes as usize);
+                total += 1;
+                if let Ok(sim) = simulate(
+                    IncPolicy::Threshold { epsilon: eps },
+                    &trace,
+                    old.num_nodes as usize,
+                    &touched,
+                    &adj,
+                    limits,
+                ) {
+                    hits += 1;
+                    assert_eq!(sim.best_density.to_bits(), cold.best_density.to_bits());
+                    assert_eq!(sim.best_pass, cold.best_pass);
+                    assert_eq!(sim.passes, cold.passes);
+                    assert_eq!(sim.best_sides[0].to_vec(), cold.best_sides[0].to_vec());
+                    assert_same_trace(&sim.trace, &cold_trace);
+                }
+                // A fallback (threshold drift past a recorded survivor)
+                // is legitimate: the engine re-peels then. Exactness is
+                // asserted on every hit; the hit rate below guards
+                // against the simulation degenerating to always-fallback.
+            }
+        }
+        assert!(
+            hits * 3 >= total,
+            "incremental hit rate collapsed: {hits}/{total}"
+        );
+    }
+
+    #[test]
+    fn k_floor_simulation_matches_cold() {
+        let limits = SimLimits {
+            max_affected: usize::MAX,
+            max_restarts: 64,
+        };
+        let (mut hits, mut total) = (0, 0);
+        for seed in 0..10u64 {
+            let old = random_list(50, 120, GraphKind::Undirected, 300 + seed);
+            let (new, touched) = mutate(&old, 2, 400 + seed);
+            let csr_old = CsrUndirected::from_edge_list(&old);
+            let csr_new = CsrUndirected::from_edge_list(&new);
+            for k in [4usize, 12] {
+                let eps = 0.5;
+                let (_, trace) = {
+                    let mut store = CsrUndirectedStore::new(&csr_old);
+                    let mut policy = KFloorPolicy::new(k, eps);
+                    peel_traced(&mut store, &mut policy, &KernelConfig::default())
+                };
+                let (cold, cold_trace) = {
+                    let mut store = CsrUndirectedStore::new(&csr_new);
+                    let mut policy = KFloorPolicy::new(k, eps);
+                    peel_traced(&mut store, &mut policy, &KernelConfig::default())
+                };
+                let adj = ListAdjacency::build(&old, &new, old.num_nodes as usize);
+                total += 1;
+                if let Ok(sim) = simulate(
+                    IncPolicy::KFloor { k, epsilon: eps },
+                    &trace,
+                    old.num_nodes as usize,
+                    &touched,
+                    &adj,
+                    limits,
+                ) {
+                    hits += 1;
+                    assert_eq!(sim.best_density.to_bits(), cold.best_density.to_bits());
+                    assert_eq!(sim.passes, cold.passes);
+                    assert_eq!(sim.best_sides[0].to_vec(), cold.best_sides[0].to_vec());
+                    assert_same_trace(&sim.trace, &cold_trace);
+                }
+            }
+        }
+        assert!(
+            hits * 3 >= total,
+            "incremental hit rate collapsed: {hits}/{total}"
+        );
+    }
+
+    #[test]
+    fn directed_simulation_matches_cold_per_ratio() {
+        let limits = SimLimits {
+            max_affected: usize::MAX,
+            max_restarts: 64,
+        };
+        let (mut hits, mut total) = (0, 0);
+        for seed in 0..8u64 {
+            let old = random_list(40, 160, GraphKind::Directed, 500 + seed);
+            let (new, touched) = mutate(&old, 2, 600 + seed);
+            let csr_old = CsrDirected::from_edge_list(&old);
+            let csr_new = CsrDirected::from_edge_list(&new);
+            let (_, traces) = sweep_c_csr_traced(&csr_old, 2.0, 0.5);
+            let adj = ListAdjacency::build(&old, &new, old.num_nodes as usize);
+            for (c, trace) in &traces {
+                let cold = {
+                    let mut store = CsrDirectedStore::new(&csr_new);
+                    let mut policy = crate::kernel::DirectedSizesPolicy::new(*c, 0.5);
+                    peel_traced(&mut store, &mut policy, &KernelConfig::default())
+                };
+                total += 1;
+                if let Ok(sim) = simulate(
+                    IncPolicy::DirectedSizes {
+                        c: *c,
+                        epsilon: 0.5,
+                    },
+                    trace,
+                    old.num_nodes as usize,
+                    &touched,
+                    &adj,
+                    limits,
+                ) {
+                    hits += 1;
+                    assert_eq!(sim.best_density.to_bits(), cold.0.best_density.to_bits());
+                    assert_eq!(sim.passes, cold.0.passes);
+                    assert_eq!(sim.best_sides[0].to_vec(), cold.0.best_sides[0].to_vec());
+                    assert_eq!(sim.best_sides[1].to_vec(), cold.0.best_sides[1].to_vec());
+                    assert_same_trace(&sim.trace, &cold.1);
+                }
+            }
+        }
+        assert!(
+            hits * 4 >= total,
+            "incremental hit rate collapsed: {hits}/{total}"
+        );
+    }
+
+    #[test]
+    fn node_growth_is_supported_undirected() {
+        let limits = SimLimits {
+            max_affected: usize::MAX,
+            max_restarts: 64,
+        };
+        let old = random_list(30, 80, GraphKind::Undirected, 900);
+        let mut new = old.clone();
+        // Attach two fresh nodes to the graph.
+        new.push(2, 30);
+        new.push(30, 31);
+        new.push(5, 31);
+        new.num_nodes = 32;
+        new.canonicalize();
+        let csr_old = CsrUndirected::from_edge_list(&old);
+        let csr_new = CsrUndirected::from_edge_list(&new);
+        let (_, trace) = {
+            let mut store = CsrUndirectedStore::new(&csr_old);
+            let mut policy = ThresholdPolicy::new(0.5);
+            peel_traced(&mut store, &mut policy, &KernelConfig::default())
+        };
+        let cold = {
+            let mut store = CsrUndirectedStore::new(&csr_new);
+            let mut policy = ThresholdPolicy::new(0.5);
+            peel_traced(&mut store, &mut policy, &KernelConfig::default())
+        };
+        let adj = ListAdjacency::build(&old, &new, 32);
+        let sim = simulate(
+            IncPolicy::Threshold { epsilon: 0.5 },
+            &trace,
+            32,
+            &[2, 5, 30, 31],
+            &adj,
+            limits,
+        )
+        .expect("growth simulation succeeds");
+        assert_eq!(sim.best_density.to_bits(), cold.0.best_density.to_bits());
+        assert_eq!(sim.best_sides[0].to_vec(), cold.0.best_sides[0].to_vec());
+        assert_same_trace(&sim.trace, &cold.1);
+    }
+
+    #[test]
+    fn affected_cap_forces_fallback() {
+        let old = random_list(40, 100, GraphKind::Undirected, 77);
+        let (new, touched) = mutate(&old, 5, 78);
+        let csr_old = CsrUndirected::from_edge_list(&old);
+        let (_, trace) = {
+            let mut store = CsrUndirectedStore::new(&csr_old);
+            let mut policy = ThresholdPolicy::new(0.5);
+            peel_traced(&mut store, &mut policy, &KernelConfig::default())
+        };
+        let adj = ListAdjacency::build(&old, &new, old.num_nodes as usize);
+        let res = simulate(
+            IncPolicy::Threshold { epsilon: 0.5 },
+            &trace,
+            old.num_nodes as usize,
+            &touched,
+            &adj,
+            SimLimits {
+                max_affected: 0,
+                max_restarts: 8,
+            },
+        );
+        assert!(res.is_err());
+    }
+}

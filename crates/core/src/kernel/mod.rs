@@ -47,6 +47,7 @@ mod greedy_store;
 mod parallel_store;
 mod policies;
 mod stream_store;
+mod trace;
 
 pub use csr_store::{CsrDirectedStore, CsrUndirectedStore};
 pub use greedy_store::{BucketQueueStore, LazyHeapStore};
@@ -55,6 +56,7 @@ pub use policies::{
     DirectedNaivePolicy, DirectedSizesPolicy, KFloorPolicy, MinNodePolicy, ThresholdPolicy,
 };
 pub use stream_store::{StreamingDirectedStore, StreamingUndirectedStore};
+pub use trace::{PeelTrace, TracePass, FRONTIER_LEN, NEVER_REMOVED};
 
 use dsg_graph::NodeSet;
 
@@ -114,6 +116,11 @@ pub struct Selection {
     pub density: f64,
     /// Removal threshold used this pass (policy-specific; `NaN`-free).
     pub threshold: f64,
+    /// For clamp-style policies ([`KFloorPolicy`]): the smallest
+    /// `(degree, id)` candidate pair that *survived* the clamp, if any.
+    /// `None` for policies that remove every candidate. Incremental
+    /// re-peeling uses it as a lower bound on surviving candidates.
+    pub successor: Option<(f64, u32)>,
 }
 
 /// A graph backend: owns the representation and keeps the live degree
@@ -287,7 +294,43 @@ where
     S: DegreeStore + ?Sized,
     P: RemovalPolicy + ?Sized,
 {
+    peel_impl(store, policy, config, false).0
+}
+
+/// [`peel`], additionally capturing a [`PeelTrace`] — the per-node round
+/// membership, per-node removal degree, and per-pass aggregate bounds
+/// that the incremental re-peeling path (`incremental` module) replays a
+/// delta against. Costs one extra `O(alive)` scan per pass.
+pub fn peel_traced<S, P>(
+    store: &mut S,
+    policy: &mut P,
+    config: &KernelConfig,
+) -> (KernelRun, PeelTrace)
+where
+    S: DegreeStore + ?Sized,
+    P: RemovalPolicy + ?Sized,
+{
+    let (run, trace) = peel_impl(store, policy, config, true);
+    (run, trace.expect("capture was requested"))
+}
+
+fn peel_impl<S, P>(
+    store: &mut S,
+    policy: &mut P,
+    config: &KernelConfig,
+    capture: bool,
+) -> (KernelRun, Option<PeelTrace>)
+where
+    S: DegreeStore + ?Sized,
+    P: RemovalPolicy + ?Sized,
+{
     let mut state = store.init();
+    let mut cap = capture.then(|| {
+        PeelTrace::start(
+            state.sides.first().map_or(0, |s| s.alive.capacity()),
+            state.sides.len(),
+        )
+    });
     let mut best_density = 0.0f64;
     let mut best_pass = 0u32;
     let mut removed_before_best = 0usize;
@@ -334,6 +377,9 @@ where
                 removed: buf.len(),
             });
         }
+        if let Some(c) = cap.as_mut() {
+            c.record_pass(&state, &sel, &buf);
+        }
         removal_log.extend(buf.iter().map(|&u| (sel.side as u8, u)));
         store.apply_removals(&mut state, sel.side, &buf);
     }
@@ -349,14 +395,17 @@ where
         best_sides[side as usize].remove(u);
     }
 
-    KernelRun {
-        best_sides,
-        best_density,
-        best_pass,
-        passes: state.pass,
-        trace,
-        removal_log,
-    }
+    (
+        KernelRun {
+            best_sides,
+            best_density,
+            best_pass,
+            passes: state.pass,
+            trace,
+            removal_log,
+        },
+        cap,
+    )
 }
 
 #[cfg(test)]

@@ -48,6 +48,7 @@ impl RemovalPolicy for ThresholdPolicy {
             side: 0,
             density: rho,
             threshold,
+            successor: None,
         }
     }
 
@@ -138,6 +139,7 @@ impl RemovalPolicy for KFloorPolicy {
             side: 0,
             density: rho,
             threshold,
+            successor: self.candidates.get(removed).copied(),
         }
     }
 }
@@ -169,6 +171,7 @@ impl RemovalPolicy for MinNodePolicy {
             density: rho,
             // The minimum degree is the natural "threshold" of this rule.
             threshold: state.sides[0].deg[u as usize],
+            successor: None,
         }
     }
 }
@@ -218,6 +221,7 @@ impl RemovalPolicy for DirectedSizesPolicy {
             side,
             density: rho,
             threshold,
+            successor: None,
         }
     }
 }
@@ -295,6 +299,7 @@ impl RemovalPolicy for DirectedNaivePolicy {
                 side: 0,
                 density: rho,
                 threshold: s_threshold,
+                successor: None,
             }
         } else {
             std::mem::swap(buf, &mut self.b_set);
@@ -302,6 +307,7 @@ impl RemovalPolicy for DirectedNaivePolicy {
                 side: 1,
                 density: rho,
                 threshold: t_threshold,
+                successor: None,
             }
         }
     }

@@ -87,6 +87,37 @@ pub fn approx_densest_at_least_k_csr_parallel(
     UndirectedRun::from_kernel(PeelingKernel::new().run(&mut store, &mut policy))
 }
 
+/// [`approx_densest_at_least_k_csr`] with a
+/// [`PeelTrace`](crate::kernel::PeelTrace) capture — the seed state of
+/// incremental re-peeling ([`crate::incremental`]). Same set sequence
+/// as the streaming form on the same graph.
+pub fn approx_densest_at_least_k_csr_traced(
+    g: &CsrUndirected,
+    k: usize,
+    epsilon: f64,
+) -> (UndirectedRun, crate::kernel::PeelTrace) {
+    let mut policy = KFloorPolicy::new(k, epsilon);
+    check_k(k, g.num_nodes());
+    let mut store = CsrUndirectedStore::new(g);
+    let (run, trace) = crate::kernel::peel_traced(&mut store, &mut policy, &Default::default());
+    (UndirectedRun::from_kernel(run), trace)
+}
+
+/// [`approx_densest_at_least_k_csr_parallel`] with a
+/// [`PeelTrace`](crate::kernel::PeelTrace) capture.
+pub fn approx_densest_at_least_k_csr_parallel_traced(
+    g: &CsrUndirected,
+    k: usize,
+    epsilon: f64,
+    threads: usize,
+) -> (UndirectedRun, crate::kernel::PeelTrace) {
+    let mut policy = KFloorPolicy::new(k, epsilon);
+    check_k(k, g.num_nodes());
+    let mut store = ParallelCsrUndirectedStore::new(g, threads);
+    let (run, trace) = crate::kernel::peel_traced(&mut store, &mut policy, &Default::default());
+    (UndirectedRun::from_kernel(run), trace)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -43,6 +43,7 @@ pub mod charikar;
 pub mod cores;
 pub mod directed;
 pub mod enumerate;
+pub mod incremental;
 pub mod kernel;
 pub mod large;
 pub mod oracle;
@@ -58,7 +59,8 @@ pub use directed::{
     DirectedRun, SweepResult,
 };
 pub use enumerate::{enumerate_dense_subgraphs, Community, EnumerateOptions};
-pub use kernel::{DegreeStore, PeelingKernel, RemovalPolicy};
+pub use incremental::{simulate, AffectedAdjacency, IncPolicy, SimLimits, SimSuccess};
+pub use kernel::{DegreeStore, PeelTrace, PeelingKernel, RemovalPolicy, TracePass};
 pub use large::{
     approx_densest_at_least_k, approx_densest_at_least_k_csr,
     approx_densest_at_least_k_csr_parallel,

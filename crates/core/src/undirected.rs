@@ -153,6 +153,34 @@ pub fn approx_densest_csr_parallel(
     UndirectedRun::from_kernel(PeelingKernel::new().run(&mut store, &mut policy))
 }
 
+/// [`approx_densest_csr`] with a [`PeelTrace`](crate::kernel::PeelTrace)
+/// capture — the seed state of incremental re-peeling
+/// ([`crate::incremental`]).
+pub fn approx_densest_csr_traced(
+    g: &CsrUndirected,
+    epsilon: f64,
+) -> (UndirectedRun, crate::kernel::PeelTrace) {
+    let mut store = CsrUndirectedStore::new(g);
+    let mut policy = ThresholdPolicy::new(epsilon);
+    let (run, trace) = crate::kernel::peel_traced(&mut store, &mut policy, &Default::default());
+    (UndirectedRun::from_kernel(run), trace)
+}
+
+/// [`approx_densest_csr_parallel`] with a
+/// [`PeelTrace`](crate::kernel::PeelTrace) capture. The trace is
+/// bit-identical to the serial one on unweighted graphs, like the run
+/// itself.
+pub fn approx_densest_csr_parallel_traced(
+    g: &CsrUndirected,
+    epsilon: f64,
+    threads: usize,
+) -> (UndirectedRun, crate::kernel::PeelTrace) {
+    let mut store = ParallelCsrUndirectedStore::new(g, threads);
+    let mut policy = ThresholdPolicy::new(epsilon);
+    let (run, trace) = crate::kernel::peel_traced(&mut store, &mut policy, &Default::default());
+    (UndirectedRun::from_kernel(run), trace)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

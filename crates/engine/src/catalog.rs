@@ -105,6 +105,17 @@ pub struct CatalogEntry {
     /// two versions with identical edges (a no-op mutation, a compact)
     /// hash identically — the warm-restart replay check.
     pub content_hash: u64,
+    /// Epoch of the owning named graph's mutation journal when this
+    /// snapshot was published (0 for file/memory entries). An
+    /// incremental seed is only replayable against a snapshot of the
+    /// same epoch — a journal truncation bumps it, invalidating every
+    /// position taken before.
+    pub journal_epoch: u64,
+    /// Journal length (op count) when this snapshot was published
+    /// (0 for file/memory entries): the ops in `pos_a..pos_b` are
+    /// exactly the logical edge edits between snapshots `a` and `b` of
+    /// the same epoch.
+    pub journal_pos: u64,
     csr_undirected: OnceLock<Arc<CsrUndirected>>,
     csr_directed: OnceLock<Arc<CsrDirected>>,
 }
@@ -126,6 +137,8 @@ impl CatalogEntry {
             cacheable: true,
             version: 0,
             content_hash: fingerprint,
+            journal_epoch: 0,
+            journal_pos: 0,
             csr_undirected: OnceLock::new(),
             csr_directed: OnceLock::new(),
         }
@@ -188,6 +201,22 @@ fn content_hash(list: &EdgeList) -> u64 {
     fnv1a(header.chain(edges))
 }
 
+/// Cap on retained mutation-journal ops. Crossing it clears the log and
+/// bumps the epoch, so incremental seeds holding positions into the old
+/// epoch fall back to a warm re-peel instead of replaying garbage.
+const MAX_JOURNAL_OPS: usize = 65_536;
+
+/// The mutation journal of a named graph: the logical edge edits
+/// (`(is_add, u, v)`, as requested — no-op edits are harmless on
+/// replay) applied since the journal's current epoch began. Snapshots
+/// record their `(epoch, position)` at publish, so the engine's
+/// incremental tier can recover the exact delta between any two
+/// same-epoch snapshots without diffing edge lists.
+struct Journal {
+    epoch: u64,
+    ops: Vec<(bool, u32, u32)>,
+}
+
 /// A named, **mutable** session graph: a [`DeltaGraph`] guarded by a
 /// mutex (mutations are serialized per graph) plus the current immutable
 /// [`CatalogEntry`] snapshot behind an `RwLock` swap. Queries clone the
@@ -209,6 +238,12 @@ pub struct NamedGraph {
     cum_delta: AtomicU64,
     warm_hits: AtomicU64,
     warm_fallbacks: AtomicU64,
+    /// Mutation journal (see [`Journal`]). Lock order: taken while
+    /// holding `state` (a leaf — never held across another
+    /// acquisition).
+    journal: Mutex<Journal>,
+    incremental_hits: AtomicU64,
+    incremental_fallbacks: AtomicU64,
 }
 
 impl NamedGraph {
@@ -245,6 +280,33 @@ impl NamedGraph {
         self.warm_fallbacks.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a query answered by the incremental tier.
+    pub fn record_incremental_hit(&self) {
+        self.incremental_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an incremental attempt that fell back (affected set too
+    /// large, stale journal, simulation gave up, …).
+    pub fn record_incremental_fallback(&self) {
+        self.incremental_fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The journal ops in `from..to` of `epoch`, or `None` when the
+    /// journal has moved past them (epoch bumped, or the range is not
+    /// a prefix-consistent window of the current log).
+    pub(crate) fn journal_ops(
+        &self,
+        epoch: u64,
+        from: u64,
+        to: u64,
+    ) -> Option<Vec<(bool, u32, u32)>> {
+        let journal = self.journal.lock().expect("named graph lock poisoned");
+        if journal.epoch != epoch || from > to || to > journal.ops.len() as u64 {
+            return None;
+        }
+        Some(journal.ops[from as usize..to as usize].to_vec())
+    }
+
     /// Point-in-time counters for the serve mode's `stats` op.
     pub fn stats(&self) -> NamedGraphStats {
         let (delta_edges, compactions) = {
@@ -261,6 +323,8 @@ impl NamedGraph {
             compactions,
             warm_hits: self.warm_hits.load(Ordering::Relaxed),
             warm_fallbacks: self.warm_fallbacks.load(Ordering::Relaxed),
+            incremental_hits: self.incremental_hits.load(Ordering::Relaxed),
+            incremental_fallbacks: self.incremental_fallbacks.load(Ordering::Relaxed),
         }
     }
 }
@@ -284,6 +348,10 @@ pub struct NamedGraphStats {
     pub warm_hits: u64,
     /// Warm-restart fallbacks (delta ratio too high) on this graph.
     pub warm_fallbacks: u64,
+    /// Queries answered by the incremental tier on this graph.
+    pub incremental_hits: u64,
+    /// Incremental attempts that fell back to warm/cold on this graph.
+    pub incremental_fallbacks: u64,
 }
 
 /// One mutation request against a named graph.
@@ -751,12 +819,20 @@ impl GraphCatalog {
     }
 
     /// Builds the immutable snapshot of a named graph's current state.
-    fn named_snapshot(fingerprint: u64, version: u64, delta: &DeltaGraph) -> Arc<CatalogEntry> {
+    /// `journal` is the graph's journal `(epoch, position)` at publish.
+    fn named_snapshot(
+        fingerprint: u64,
+        version: u64,
+        delta: &DeltaGraph,
+        journal: (u64, u64),
+    ) -> Arc<CatalogEntry> {
         let list = delta.materialize();
         let hash = content_hash(&list);
         let mut entry = CatalogEntry::from_list(list, 0, fingerprint);
         entry.version = version;
         entry.content_hash = hash;
+        entry.journal_epoch = journal.0;
+        entry.journal_pos = journal.1;
         Arc::new(entry)
     }
 
@@ -797,7 +873,10 @@ impl GraphCatalog {
         let delta_edges = delta.delta_edges() as u64;
         let fingerprint = fnv1a(name.bytes());
         let version = self.version_counter.fetch_add(1, Ordering::Relaxed) + 1;
-        let snapshot = Self::named_snapshot(fingerprint, version, &delta);
+        // The seed edges are part of the v1 base; the journal starts
+        // empty at epoch 1 (epoch 0 is reserved for file/memory
+        // entries, which have no journal at all).
+        let snapshot = Self::named_snapshot(fingerprint, version, &delta, (1, 0));
         let outcome = MutationOutcome {
             fingerprint,
             version,
@@ -817,6 +896,12 @@ impl GraphCatalog {
             cum_delta: AtomicU64::new(applied),
             warm_hits: AtomicU64::new(0),
             warm_fallbacks: AtomicU64::new(0),
+            journal: Mutex::new(Journal {
+                epoch: 1,
+                ops: Vec::new(),
+            }),
+            incremental_hits: AtomicU64::new(0),
+            incremental_fallbacks: AtomicU64::new(0),
         });
         let mut map = self.named.write().expect("catalog lock poisoned");
         if map.contains_key(name) {
@@ -890,10 +975,30 @@ impl GraphCatalog {
             compacted = state.maybe_compact(self.compact_ratio());
         }
         let changed = applied > 0 || compacted;
+        // Journal the logical edit (under the state mutex, so journal
+        // positions and published versions advance in lockstep). The
+        // whole requested batch is recorded — no-op edits replay as
+        // no-ops — and only ops that changed content move the position,
+        // so `content unchanged ⇒ position unchanged` holds (a pure
+        // compact publishes a new version at the same position).
+        let journal_mark = {
+            let mut journal = graph.journal.lock().expect("named graph lock poisoned");
+            if applied > 0 {
+                let add = matches!(op, MutateOp::Add(_));
+                if let MutateOp::Add(edges) | MutateOp::Remove(edges) = op {
+                    if journal.ops.len() + edges.len() > MAX_JOURNAL_OPS {
+                        journal.epoch += 1;
+                        journal.ops.clear();
+                    }
+                    journal.ops.extend(edges.iter().map(|&(u, v)| (add, u, v)));
+                }
+            }
+            (journal.epoch, journal.ops.len() as u64)
+        };
         let old = graph.snapshot();
         let snapshot = if changed {
             let version = self.version_counter.fetch_add(1, Ordering::Relaxed) + 1;
-            let snapshot = Self::named_snapshot(graph.fingerprint, version, &state);
+            let snapshot = Self::named_snapshot(graph.fingerprint, version, &state, journal_mark);
             *graph.snapshot.write().expect("named graph lock poisoned") = snapshot.clone();
             graph.cum_delta.fetch_add(applied, Ordering::Relaxed);
             self.mutations.fetch_add(1, Ordering::Relaxed);

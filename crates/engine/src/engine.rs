@@ -69,6 +69,7 @@ use dsg_sketch::{approx_densest_sketched, try_approx_densest_sketched, SketchPar
 
 use crate::catalog::{CatalogEntry, GraphCatalog, MutateOp, MutationOutcome, NamedGraph};
 use crate::error::{EngineError, Result};
+use crate::incremental::{IncSeed, IncrementalDebug, TraceSet};
 use crate::planner::{self, Backend, GraphMeta, Plan};
 use crate::query::{Algorithm, Query, ResourcePolicy, Source};
 use crate::report::{Outcome, Report, ShuffleStats};
@@ -78,9 +79,19 @@ use crate::result_cache::{CacheKey, GraphId, ResultCache};
 /// as a fraction of the current edge count.
 pub const DEFAULT_WARM_THRESHOLD: f64 = 0.25;
 
+/// Default incremental-tier fallback threshold: the affected set may
+/// grow to this fraction of the node count before the simulation gives
+/// up and the query falls through to the warm/cold paths.
+pub const DEFAULT_INCREMENTAL_THRESHOLD: f64 = 0.05;
+
 /// Upper bound on retained warm seeds (the map is cleared wholesale
 /// beyond it — seeds are an optimization, not state).
 const MAX_WARM_SEEDS: usize = 256;
+
+/// A recovered mutation-journal window: the `(add, u, v)` ops from the
+/// seed's base position to the current snapshot, plus the offset of the
+/// trace's position within them.
+type JournalWindow = (Vec<(bool, u32, u32)>, usize);
 
 /// Warm-restart counters (also kept per graph — see the `stats` op).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -97,6 +108,11 @@ struct WarmSeed {
     cum_delta: u64,
     content_hash: u64,
     report: Arc<Report>,
+    /// Incremental-tier state: the base snapshot, journal position, and
+    /// peel traces the simulator replays deltas against. `None` when
+    /// trace capture was off (tier disabled) or the outcome shape has
+    /// no trace.
+    inc: Option<Arc<IncSeed>>,
 }
 
 /// Outcome of [`Engine::execute_serve`].
@@ -131,6 +147,12 @@ pub struct Engine {
     warm_hits: AtomicU64,
     warm_fallbacks: AtomicU64,
     warm_threshold_bits: AtomicU64,
+    incremental_hits: AtomicU64,
+    incremental_fallbacks: AtomicU64,
+    incremental_threshold_bits: AtomicU64,
+    /// Debug record of the most recent incremental attempt (a leaf
+    /// lock, held only for the copy in/out).
+    last_incremental: Mutex<Option<IncrementalDebug>>,
 }
 
 impl Default for Engine {
@@ -142,6 +164,10 @@ impl Default for Engine {
             warm_hits: AtomicU64::new(0),
             warm_fallbacks: AtomicU64::new(0),
             warm_threshold_bits: AtomicU64::new(DEFAULT_WARM_THRESHOLD.to_bits()),
+            incremental_hits: AtomicU64::new(0),
+            incremental_fallbacks: AtomicU64::new(0),
+            incremental_threshold_bits: AtomicU64::new(DEFAULT_INCREMENTAL_THRESHOLD.to_bits()),
+            last_incremental: Mutex::new(None),
         }
     }
 }
@@ -182,6 +208,38 @@ impl Engine {
     /// The configured warm-restart fallback threshold.
     pub fn warm_threshold(&self) -> f64 {
         f64::from_bits(self.warm_threshold_bits.load(Ordering::Relaxed))
+    }
+
+    /// Incremental-tier counters so far.
+    pub fn incremental_stats(&self) -> WarmStats {
+        WarmStats {
+            hits: self.incremental_hits.load(Ordering::Relaxed),
+            fallbacks: self.incremental_fallbacks.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Re-bounds the incremental tier: the simulated affected set may
+    /// grow to `threshold × nodes` before the tier falls back to the
+    /// warm/cold paths. 0 disables the tier entirely (no trace capture,
+    /// no attempts).
+    pub fn set_incremental_threshold(&self, threshold: f64) {
+        self.incremental_threshold_bits
+            .store(threshold.max(0.0).to_bits(), Ordering::Relaxed);
+    }
+
+    /// The configured incremental fallback threshold.
+    pub fn incremental_threshold(&self) -> f64 {
+        f64::from_bits(self.incremental_threshold_bits.load(Ordering::Relaxed))
+    }
+
+    /// Debug record of the most recent incremental attempt (`None`
+    /// before the first attempt). Affected-set size and passes on a
+    /// hit; the static fallback reason otherwise.
+    pub fn last_incremental(&self) -> Option<IncrementalDebug> {
+        *self
+            .last_incremental
+            .lock()
+            .expect("incremental debug lock poisoned")
     }
 
     /// Creates a named mutable session graph (optionally seeded with
@@ -445,46 +503,62 @@ impl Engine {
                         // previous version of this exact query.
                         let warm_ctx = if warm_eligible(query, &plan) {
                             let seed_key = key.versionless();
-                            match self.warm_decision(&seed_key, &graph, &entry) {
-                                WarmDecision::Replay(stored) => {
-                                    graph.record_warm_hit();
-                                    self.warm_hits.fetch_add(1, Ordering::Relaxed);
-                                    let mut report = (*stored).clone();
-                                    if report.source_label != source.label() {
-                                        // The label is rendered; do not
-                                        // share the seed's memoized
-                                        // rendering under another name.
-                                        report.rendered = Default::default();
-                                    }
-                                    report.source_label = source.label();
-                                    report.cache_hit = None;
-                                    report.result_cache_hit = Some(false);
-                                    // Future repeats of this exact query
-                                    // at this version replay from the
-                                    // result cache directly.
-                                    self.results.insert(key, &report);
-                                    report.elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+                            let (decision, inc) = self.warm_decision(&seed_key, &graph, &entry);
+                            if let WarmDecision::Replay(stored) = decision {
+                                graph.record_warm_hit();
+                                self.warm_hits.fetch_add(1, Ordering::Relaxed);
+                                let mut report = (*stored).clone();
+                                if report.source_label != source.label() {
+                                    // The label is rendered; do not
+                                    // share the seed's memoized
+                                    // rendering under another name.
+                                    report.rendered = Default::default();
+                                }
+                                report.source_label = source.label();
+                                report.cache_hit = None;
+                                report.result_cache_hit = Some(false);
+                                // Future repeats of this exact query
+                                // at this version replay from the
+                                // result cache directly.
+                                self.results.insert(key, &report);
+                                report.elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+                                return Ok(report);
+                            }
+                            // Incremental tier — between verified replay
+                            // and warm re-peel: replay the journal delta
+                            // through the trace simulator and answer
+                            // from the affected region only.
+                            if let Some(inc) = inc {
+                                if let Some(report) = self.try_incremental(
+                                    &inc, &graph, &entry, &seed_key, &key, source, query, policy,
+                                    &plan, started,
+                                ) {
                                     return Ok(report);
                                 }
+                            }
+                            match decision {
                                 WarmDecision::Warm => {
                                     graph.record_warm_hit();
                                     self.warm_hits.fetch_add(1, Ordering::Relaxed);
-                                    Some((graph, seed_key))
                                 }
                                 WarmDecision::Fallback => {
                                     graph.record_warm_fallback();
                                     self.warm_fallbacks.fetch_add(1, Ordering::Relaxed);
-                                    Some((graph, seed_key))
                                 }
-                                WarmDecision::Cold => Some((graph, seed_key)),
+                                WarmDecision::Cold | WarmDecision::Replay(_) => {}
                             }
+                            Some((graph, seed_key))
                         } else {
                             None
                         };
                         (entry, Some(key), warm_ctx)
                     }
                 };
-                let outcome = self.run_on_entry(&entry, query, &plan, &mut exec)?;
+                // Capture peel traces when this run will seed the
+                // incremental tier (costs one extra live scan per pass).
+                let want_trace = warm_ctx.is_some() && self.incremental_threshold() > 0.0;
+                let (outcome, traces) =
+                    self.run_on_entry(&entry, query, &plan, &mut exec, want_trace)?;
                 exec.result_cache_hit = cache_key.is_some().then_some(false);
                 if let Some(key) = cache_key {
                     let report =
@@ -506,7 +580,16 @@ impl Engine {
                         self.results.insert(key, &report);
                     }
                     if let Some((graph, seed_key)) = warm_ctx {
-                        self.store_seed(seed_key, &graph, &entry, &report);
+                        // A fresh full run re-bases the incremental
+                        // seed: this snapshot becomes the base.
+                        let inc = traces.map(|t| {
+                            Arc::new(IncSeed {
+                                base: entry.clone(),
+                                cur_pos: entry.journal_pos,
+                                traces: t,
+                            })
+                        });
+                        self.store_seed(seed_key, &graph, &entry, &report, inc);
                     }
                     return Ok(report);
                 }
@@ -524,12 +607,15 @@ impl Engine {
     /// an `Arc`); the candidate re-verification — which may build the
     /// snapshot's CSR — runs after it is released, so concurrent
     /// named-graph queries never serialize on a CSR build.
+    /// The second value is the incremental-tier seed to try *before*
+    /// acting on a `Warm`/`Fallback` decision (`None` on replay/cold —
+    /// replay already answered, cold has nothing to simulate from).
     fn warm_decision(
         &self,
         seed_key: &CacheKey,
         graph: &NamedGraph,
         entry: &CatalogEntry,
-    ) -> WarmDecision {
+    ) -> (WarmDecision, Option<Arc<IncSeed>>) {
         let seed = {
             let seeds = self.seeds.lock().expect("warm seed lock poisoned");
             match seeds.get(seed_key) {
@@ -537,8 +623,9 @@ impl Engine {
                     cum_delta: seed.cum_delta,
                     content_hash: seed.content_hash,
                     report: seed.report.clone(),
+                    inc: seed.inc.clone(),
                 },
-                None => return WarmDecision::Cold,
+                None => return (WarmDecision::Cold, None),
             }
         };
         if seed.content_hash == entry.content_hash {
@@ -548,17 +635,18 @@ impl Engine {
             // collision, in practice unreachable) falls through to a
             // cold run rather than ever replaying an unverified result.
             if verify_candidate(&seed.report, entry) {
-                return WarmDecision::Replay(seed.report);
+                return (WarmDecision::Replay(seed.report), None);
             }
-            return WarmDecision::Cold;
+            return (WarmDecision::Cold, None);
         }
         let delta = graph.cum_delta().saturating_sub(seed.cum_delta);
         let ratio = delta as f64 / entry.meta.edges.max(1) as f64;
-        if ratio <= self.warm_threshold() {
+        let decision = if ratio <= self.warm_threshold() {
             WarmDecision::Warm
         } else {
             WarmDecision::Fallback
-        }
+        };
+        (decision, seed.inc)
     }
 
     /// Stores the completed report as the warm seed of its
@@ -571,6 +659,7 @@ impl Engine {
         graph: &NamedGraph,
         entry: &CatalogEntry,
         report: &Report,
+        inc: Option<Arc<IncSeed>>,
     ) {
         if !matches!(report.outcome, Outcome::Run(_) | Outcome::Sweep(_)) {
             return;
@@ -586,8 +675,118 @@ impl Engine {
                 cum_delta: graph.cum_delta(),
                 content_hash: entry.content_hash,
                 report: stored,
+                inc,
             },
         );
+    }
+
+    /// Recovers the journal window `base.journal_pos..entry.journal_pos`
+    /// plus the offset of the trace's position within it, or the reason
+    /// the seed's window is unusable.
+    fn incremental_ops(
+        &self,
+        inc: &IncSeed,
+        graph: &NamedGraph,
+        entry: &CatalogEntry,
+    ) -> std::result::Result<JournalWindow, &'static str> {
+        if entry.journal_epoch != inc.base.journal_epoch {
+            return Err("journal epoch changed since the base snapshot");
+        }
+        let base_pos = inc.base.journal_pos;
+        if inc.cur_pos < base_pos || entry.journal_pos < inc.cur_pos {
+            return Err("journal window is not monotone");
+        }
+        // Stitching cost grows with the whole window back to the base;
+        // past this bound a warm re-peel (which stores a fresh base) is
+        // the better deal.
+        let total = (entry.journal_pos - base_pos) as usize;
+        if total > 64.max(entry.meta.edges as usize / 2) {
+            return Err("base snapshot too stale");
+        }
+        let ops = graph
+            .journal_ops(inc.base.journal_epoch, base_pos, entry.journal_pos)
+            .ok_or("journal moved past the base snapshot")?;
+        Ok((ops, (inc.cur_pos - base_pos) as usize))
+    }
+
+    /// The incremental tier: journal replay → trace simulation →
+    /// re-score verification → report. `Some(report)` is a verified hit
+    /// (already cached and re-seeded); `None` is a fallback — counters
+    /// and the debug record are updated either way. Weighted snapshots
+    /// and a disabled tier bail out without counting an attempt.
+    #[allow(clippy::too_many_arguments)]
+    fn try_incremental(
+        &self,
+        inc: &Arc<IncSeed>,
+        graph: &Arc<NamedGraph>,
+        entry: &Arc<CatalogEntry>,
+        seed_key: &CacheKey,
+        key: &CacheKey,
+        source: &Source,
+        query: &Query,
+        policy: &ResourcePolicy,
+        plan: &Plan,
+        started: Instant,
+    ) -> Option<Report> {
+        let threshold = self.incremental_threshold();
+        if threshold <= 0.0 || entry.list.is_weighted() {
+            return None;
+        }
+        let result = self
+            .incremental_ops(inc, graph, entry)
+            .and_then(|(ops, cur_off)| {
+                crate::incremental::attempt(inc, &ops, cur_off, entry, query, threshold)
+            });
+        match result {
+            Ok(out) => {
+                graph.record_incremental_hit();
+                self.incremental_hits.fetch_add(1, Ordering::Relaxed);
+                *self
+                    .last_incremental
+                    .lock()
+                    .expect("incremental debug lock poisoned") = Some(IncrementalDebug {
+                    affected: out.affected,
+                    passes: out.passes,
+                    reason: None,
+                });
+                let exec = Execution {
+                    graph_nodes: entry.list.num_nodes as u64,
+                    graph_edges: entry.list.num_edges() as u64,
+                    result_cache_hit: Some(false),
+                    ..Default::default()
+                };
+                let report =
+                    assemble_report(source, query, policy, plan, out.outcome, exec, started);
+                self.results.insert(key.clone(), &report);
+                // Advance the seed in place: same base, new journal
+                // position, the refreshed traces.
+                self.store_seed(
+                    seed_key.clone(),
+                    graph,
+                    entry,
+                    &report,
+                    Some(Arc::new(IncSeed {
+                        base: inc.base.clone(),
+                        cur_pos: entry.journal_pos,
+                        traces: out.traces,
+                    })),
+                );
+                Some(report)
+            }
+            Err(reason) => {
+                graph.record_incremental_fallback();
+                self.incremental_fallbacks.fetch_add(1, Ordering::Relaxed);
+                *self
+                    .last_incremental
+                    .lock()
+                    .expect("incremental debug lock poisoned") = Some(IncrementalDebug {
+                    affected: 0,
+                    passes: 0,
+                    reason: Some(reason),
+                });
+                None
+            }
+        }
     }
 
     /// Out-of-core path: run straight over the source's edge stream,
@@ -671,19 +870,85 @@ impl Engine {
 
     /// Dispatches a materialized run over an already-acquired catalog
     /// entry (or a temporary entry for memory sources) on the planned
-    /// backend.
+    /// backend. With `want_trace`, the peeling backends capture a
+    /// [`PeelTrace`](dsg_core::kernel::PeelTrace) per run — the seed
+    /// state of the incremental tier — at a small bookkeeping cost;
+    /// the run itself is bit-identical either way.
     fn run_on_entry(
         &self,
         entry: &CatalogEntry,
         query: &Query,
         plan: &Plan,
         exec: &mut Execution,
-    ) -> Result<Outcome> {
+        want_trace: bool,
+    ) -> Result<(Outcome, Option<TraceSet>)> {
         let list = &entry.list;
         exec.graph_nodes = list.num_nodes as u64;
         exec.graph_edges = list.num_edges() as u64;
 
-        match (query.algorithm, plan.backend) {
+        let outcome = match (query.algorithm, plan.backend) {
+            (
+                Algorithm::Approx {
+                    epsilon,
+                    sketch: None,
+                },
+                Backend::InMemorySerial,
+            ) if want_trace => {
+                let (run, trace) = dsg_core::undirected::approx_densest_csr_traced(
+                    &entry.csr_undirected(),
+                    epsilon,
+                );
+                return Ok((Outcome::Run(run), Some(TraceSet::Undirected(trace))));
+            }
+            (
+                Algorithm::Approx {
+                    epsilon,
+                    sketch: None,
+                },
+                Backend::ParallelCsr { threads },
+            ) if want_trace => {
+                let (run, trace) = dsg_core::undirected::approx_densest_csr_parallel_traced(
+                    &entry.csr_undirected(),
+                    epsilon,
+                    threads,
+                );
+                return Ok((Outcome::Run(run), Some(TraceSet::Undirected(trace))));
+            }
+            (Algorithm::AtLeastK { k, epsilon }, Backend::InMemorySerial) if want_trace => {
+                let (run, trace) = dsg_core::large::approx_densest_at_least_k_csr_traced(
+                    &entry.csr_undirected(),
+                    k,
+                    epsilon.max(1e-6),
+                );
+                return Ok((Outcome::Run(run), Some(TraceSet::Undirected(trace))));
+            }
+            (Algorithm::AtLeastK { k, epsilon }, Backend::ParallelCsr { threads })
+                if want_trace =>
+            {
+                let (run, trace) = dsg_core::large::approx_densest_at_least_k_csr_parallel_traced(
+                    &entry.csr_undirected(),
+                    k,
+                    epsilon.max(1e-6),
+                    threads,
+                );
+                return Ok((Outcome::Run(run), Some(TraceSet::Undirected(trace))));
+            }
+            (Algorithm::Directed { delta, epsilon }, Backend::InMemorySerial) if want_trace => {
+                let (sweep, traces) =
+                    dsg_core::directed::sweep_c_csr_traced(&entry.csr_directed(), delta, epsilon);
+                return Ok((Outcome::Sweep(sweep), Some(TraceSet::Directed(traces))));
+            }
+            (Algorithm::Directed { delta, epsilon }, Backend::ParallelCsr { threads })
+                if want_trace =>
+            {
+                let (sweep, traces) = dsg_core::directed::sweep_c_csr_parallel_traced(
+                    &entry.csr_directed(),
+                    delta,
+                    epsilon,
+                    threads,
+                );
+                return Ok((Outcome::Sweep(sweep), Some(TraceSet::Directed(traces))));
+            }
             (Algorithm::Approx { epsilon, .. }, Backend::InMemorySerial) => Ok(Outcome::Run(
                 dsg_core::undirected::approx_densest_csr(&entry.csr_undirected(), epsilon),
             )),
@@ -778,7 +1043,8 @@ impl Engine {
                 "planner bug: {backend:?} cannot run '{}'",
                 alg.name()
             ))),
-        }
+        };
+        outcome.map(|o| (o, None))
     }
 }
 

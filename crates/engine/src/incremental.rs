@@ -1,0 +1,447 @@
+//! The engine's incremental maintenance tier — journal-replay glue
+//! between the core trace simulator ([`dsg_core::incremental`]) and the
+//! catalog's named-graph snapshots.
+//!
+//! A warm seed stores, next to its report, an [`IncSeed`]: the snapshot
+//! the last full run was computed on (the *base*), the journal position
+//! of the graph its traces describe, and those [`PeelTrace`]s. When the
+//! same query arrives at a newer version, the engine recovers the exact
+//! edge delta from the mutation journal, seeds the simulator's affected
+//! set with the delta's endpoints, and asks for the bit-identical result
+//! of a cold run on the new snapshot — touching only the affected
+//! region. The base never rebases: successive hits keep stitching
+//! longer op windows against the one base CSR until the window grows
+//! past a staleness bound and a warm re-peel stores a fresh base.
+//!
+//! Every success is **verified before it is published**: the reported
+//! best set is re-scored against the *materialized* edge list of the
+//! current snapshot (an end-to-end check that does not trust the
+//! journal replay), exactly like the verified-replay tier re-scores its
+//! candidate. A mismatch is a fallback, never a wrong answer.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use dsg_core::directed::{DirectedRun, SweepResult};
+use dsg_core::incremental::{simulate, AffectedAdjacency, IncPolicy, SimLimits, SimSuccess};
+use dsg_core::kernel::PeelTrace;
+use dsg_core::result::{DirectedPassStats, PassStats, UndirectedRun};
+use dsg_graph::{density, CsrDirected, CsrUndirected, GraphKind};
+
+use crate::catalog::CatalogEntry;
+use crate::query::{Algorithm, Query};
+use crate::report::Outcome;
+
+/// Per-seed state of the incremental tier, stored inside a warm seed.
+pub(crate) struct IncSeed {
+    /// Snapshot the journal replay bases on: adjacency queries answer
+    /// from its CSR plus the op window.
+    pub base: Arc<CatalogEntry>,
+    /// Journal position of the graph the traces describe. Starts at
+    /// `base.journal_pos` and advances on every incremental hit.
+    pub cur_pos: u64,
+    /// The traces of the last (full or simulated) run.
+    pub traces: TraceSet,
+}
+
+/// One trace per peeling run: undirected policies run once, directed
+/// sweeps run once per grid ratio `c`.
+pub(crate) enum TraceSet {
+    Undirected(PeelTrace),
+    Directed(Vec<(f64, PeelTrace)>),
+}
+
+/// Debug record of the engine's most recent incremental attempt —
+/// surfaced by [`crate::Engine::last_incremental`] so the `repro
+/// mutate` experiment can report affected-set sizes and fallback
+/// reasons without new wire plumbing.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IncrementalDebug {
+    /// Final affected-set size (0 on a pre-simulation fallback).
+    pub affected: usize,
+    /// Passes of the simulated run (0 on a fallback).
+    pub passes: u32,
+    /// `None` on a hit, the static fallback reason otherwise.
+    pub reason: Option<&'static str>,
+}
+
+/// A verified incremental result, ready for report assembly.
+pub(crate) struct IncOutcome {
+    pub outcome: Outcome,
+    /// Refreshed traces describing the new snapshot (the next seed).
+    pub traces: TraceSet,
+    pub affected: usize,
+    pub passes: u32,
+}
+
+/// The replay tier's closeness test, reused for the re-score check.
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * b.abs().max(1.0)
+}
+
+/// Attempts the incremental tier: simulate, verify, assemble. `ops` is
+/// the journal window `base.journal_pos..entry.journal_pos` and
+/// `cur_off` the offset of the trace's position within it.
+pub(crate) fn attempt(
+    inc: &IncSeed,
+    ops: &[(bool, u32, u32)],
+    cur_off: usize,
+    entry: &CatalogEntry,
+    query: &Query,
+    threshold: f64,
+) -> Result<IncOutcome, &'static str> {
+    let n_new = entry.list.num_nodes as usize;
+    if ops[cur_off..].is_empty() {
+        // Content changed without journaled ops: only reachable through
+        // bookkeeping drift, so refuse rather than replay nothing.
+        return Err("content changed but the journal window is empty");
+    }
+    let limits = SimLimits {
+        max_affected: ((threshold * n_new as f64) as usize).max(8),
+        max_restarts: 64,
+    };
+    let adj = JournalAdjacency::build(&inc.base, entry.list.kind, ops, cur_off);
+    // Affected-set seed: every delta endpoint plus every node id born
+    // since the traced run (they have no recorded round to freeze).
+    let seed_for = |t_n: u32| -> Vec<u32> {
+        let mut s: Vec<u32> = ops[cur_off..]
+            .iter()
+            .flat_map(|&(_, u, v)| [u, v])
+            .filter(|&u| (u as usize) < n_new)
+            .collect();
+        s.extend(t_n..n_new as u32);
+        s.sort_unstable();
+        s.dedup();
+        s
+    };
+
+    match (query.algorithm, &inc.traces) {
+        (
+            Algorithm::Approx {
+                epsilon,
+                sketch: None,
+            },
+            TraceSet::Undirected(trace),
+        ) => {
+            let policy = IncPolicy::Threshold { epsilon };
+            let sim = simulate(policy, trace, n_new, &seed_for(trace.n), &adj, limits)?;
+            verify_undirected(&sim, entry)?;
+            Ok(assemble_undirected(sim))
+        }
+        (Algorithm::AtLeastK { k, epsilon }, TraceSet::Undirected(trace)) => {
+            let policy = IncPolicy::KFloor {
+                k,
+                epsilon: epsilon.max(1e-6),
+            };
+            let sim = simulate(policy, trace, n_new, &seed_for(trace.n), &adj, limits)?;
+            verify_undirected(&sim, entry)?;
+            Ok(assemble_undirected(sim))
+        }
+        (Algorithm::Directed { delta, epsilon }, TraceSet::Directed(traces)) => attempt_directed(
+            traces, delta, epsilon, n_new, &seed_for, &adj, limits, entry,
+        ),
+        _ => Err("stored trace does not match the query"),
+    }
+}
+
+/// Directed sweeps simulate one run per grid ratio. The δ-grid is a
+/// function of the node count, so the node count must be unchanged —
+/// otherwise the new cold run would sweep different ratios than the
+/// seed has traces for.
+#[allow(clippy::too_many_arguments)]
+fn attempt_directed(
+    traces: &[(f64, PeelTrace)],
+    delta: f64,
+    epsilon: f64,
+    n_new: usize,
+    seed_for: &dyn Fn(u32) -> Vec<u32>,
+    adj: &JournalAdjacency,
+    limits: SimLimits,
+    entry: &CatalogEntry,
+) -> Result<IncOutcome, &'static str> {
+    if traces.iter().any(|(_, t)| t.n as usize != n_new) {
+        return Err("node count changed (the directed grid depends on it)");
+    }
+    // Regenerate the grid the cold run would sweep and require an exact
+    // (bitwise) match with the seed's ratios.
+    let n = n_new.max(2) as f64;
+    let levels = (n.ln() / delta.ln()).ceil() as i32;
+    if traces.len() != (2 * levels + 1) as usize {
+        return Err("sweep grid changed since the seed");
+    }
+    let mut sims: Vec<SimSuccess> = Vec::with_capacity(traces.len());
+    let mut per_c = Vec::with_capacity(traces.len());
+    let mut affected = 0usize;
+    for (i, (c, trace)) in traces.iter().enumerate() {
+        if delta.powi(i as i32 - levels).to_bits() != c.to_bits() {
+            return Err("sweep grid changed since the seed");
+        }
+        let policy = IncPolicy::DirectedSizes { c: *c, epsilon };
+        let sim = simulate(policy, trace, n_new, &seed_for(trace.n), adj, limits)?;
+        affected = affected.max(sim.affected);
+        per_c.push((*c, sim.best_density, sim.passes));
+        sims.push(sim);
+    }
+    // Replicate the sweep's strict-`>` best selection in grid order.
+    let mut best_idx = 0usize;
+    for (i, sim) in sims.iter().enumerate().skip(1) {
+        if sim.best_density > sims[best_idx].best_density {
+            best_idx = i;
+        }
+    }
+    verify_directed(&sims[best_idx], entry)?;
+    let mut new_traces: Vec<(f64, PeelTrace)> = Vec::with_capacity(traces.len());
+    let mut best_run: Option<DirectedRun> = None;
+    let mut best_passes = 0u32;
+    for (i, sim) in sims.into_iter().enumerate() {
+        let SimSuccess {
+            trace,
+            best_sides,
+            best_density,
+            passes,
+            ..
+        } = sim;
+        if i == best_idx {
+            let stats = trace
+                .passes
+                .iter()
+                .enumerate()
+                .map(|(j, p)| DirectedPassStats {
+                    pass: (j + 1) as u32,
+                    s_size: p.alive[0] as usize,
+                    t_size: p.alive[1] as usize,
+                    edges: p.total_weight as usize,
+                    density: p.density,
+                    removed_from_s: p.side == 0,
+                    removed: p.removed as usize,
+                })
+                .collect();
+            let mut sides = best_sides.into_iter();
+            best_passes = passes;
+            best_run = Some(DirectedRun {
+                best_s: sides.next().expect("side S"),
+                best_t: sides.next().expect("side T"),
+                best_density,
+                passes,
+                c: traces[i].0,
+                trace: stats,
+            });
+        }
+        new_traces.push((traces[i].0, trace));
+    }
+    let best = best_run.expect("best index is in range");
+    Ok(IncOutcome {
+        outcome: Outcome::Sweep(SweepResult { best, per_c }),
+        traces: TraceSet::Directed(new_traces),
+        affected,
+        passes: best_passes,
+    })
+}
+
+/// Re-scores the simulated best set against the materialized snapshot.
+fn verify_undirected(sim: &SimSuccess, entry: &CatalogEntry) -> Result<(), &'static str> {
+    let set = &sim.best_sides[0];
+    let mut w = 0u64;
+    for &(u, v) in &entry.list.edges {
+        if set.contains(u) && set.contains(v) {
+            w += 1;
+        }
+    }
+    if close(density::undirected(w as f64, set.len()), sim.best_density) {
+        Ok(())
+    } else {
+        Err("re-score against the snapshot mismatched")
+    }
+}
+
+/// Re-scores the simulated best `(S, T)` against the materialized
+/// snapshot.
+fn verify_directed(sim: &SimSuccess, entry: &CatalogEntry) -> Result<(), &'static str> {
+    let (s, t) = (&sim.best_sides[0], &sim.best_sides[1]);
+    let mut e = 0u64;
+    for &(u, v) in &entry.list.edges {
+        if s.contains(u) && t.contains(v) {
+            e += 1;
+        }
+    }
+    if close(
+        density::directed(e as f64, s.len(), t.len()),
+        sim.best_density,
+    ) {
+        Ok(())
+    } else {
+        Err("re-score against the snapshot mismatched")
+    }
+}
+
+/// Builds the public run shape from a successful undirected simulation
+/// (mirrors `UndirectedRun::from_kernel` field-for-field).
+fn assemble_undirected(sim: SimSuccess) -> IncOutcome {
+    let SimSuccess {
+        trace,
+        best_sides,
+        best_density,
+        best_pass,
+        passes,
+        affected,
+        ..
+    } = sim;
+    let pass_stats = trace
+        .passes
+        .iter()
+        .enumerate()
+        .map(|(i, p)| PassStats {
+            pass: (i + 1) as u32,
+            nodes: p.alive[0] as usize,
+            edge_weight: p.total_weight,
+            density: p.density,
+            threshold: p.threshold,
+            removed: p.removed as usize,
+        })
+        .collect();
+    let run = UndirectedRun {
+        best_set: best_sides.into_iter().next().expect("one side"),
+        best_density,
+        best_pass,
+        passes,
+        trace: pass_stats,
+    };
+    IncOutcome {
+        outcome: Outcome::Run(run),
+        traces: TraceSet::Undirected(trace),
+        affected,
+        passes,
+    }
+}
+
+/// What one journal op window says about one touched edge.
+struct EdgeState {
+    in_base: bool,
+    /// Present in the graph the traces describe (base + ops before the
+    /// trace's position).
+    old: bool,
+    /// Present in the current snapshot (base + the whole window).
+    new: bool,
+}
+
+/// [`AffectedAdjacency`] over the base snapshot's CSR plus the journal
+/// op window: last-op-wins presence per touched edge, base adjacency
+/// for everything else. O(window) to build, O(deg + touched) per query.
+struct JournalAdjacency {
+    kind: GraphKind,
+    csr_u: Option<Arc<CsrUndirected>>,
+    csr_d: Option<Arc<CsrDirected>>,
+    states: HashMap<(u32, u32), EdgeState>,
+    /// Overlay-born (absent-from-base) edges incident per node: `[0]`
+    /// undirected/out-adjacency, `[1]` directed in-adjacency.
+    touch: [HashMap<u32, Vec<u32>>; 2],
+}
+
+impl JournalAdjacency {
+    fn build(
+        base: &CatalogEntry,
+        kind: GraphKind,
+        ops: &[(bool, u32, u32)],
+        cur_off: usize,
+    ) -> Self {
+        let mut states: HashMap<(u32, u32), EdgeState> = HashMap::new();
+        for (i, &(add, u, v)) in ops.iter().enumerate() {
+            if u == v {
+                continue; // self-loops are never stored
+            }
+            let key = canon(kind, u, v);
+            let st = states.entry(key).or_insert_with(|| {
+                let in_base = base.list.edges.binary_search(&key).is_ok();
+                EdgeState {
+                    in_base,
+                    old: in_base,
+                    new: in_base,
+                }
+            });
+            if i < cur_off {
+                st.old = add;
+            }
+            st.new = add;
+        }
+        let mut touch: [HashMap<u32, Vec<u32>>; 2] = [HashMap::new(), HashMap::new()];
+        for (&(a, b), st) in &states {
+            if st.in_base {
+                continue; // base adjacency already enumerates it
+            }
+            touch[0].entry(a).or_default().push(b);
+            match kind {
+                GraphKind::Undirected => touch[0].entry(b).or_default().push(a),
+                GraphKind::Directed => touch[1].entry(b).or_default().push(a),
+            }
+        }
+        let (csr_u, csr_d) = match kind {
+            GraphKind::Undirected => (Some(base.csr_undirected()), None),
+            GraphKind::Directed => (None, Some(base.csr_directed())),
+        };
+        JournalAdjacency {
+            kind,
+            csr_u,
+            csr_d,
+            states,
+            touch,
+        }
+    }
+
+    fn collect(&self, u: u32, dir: usize, new: bool) -> Vec<u32> {
+        let base_nb: &[u32] = match (&self.csr_u, &self.csr_d) {
+            (Some(g), _) if (u as usize) < g.num_nodes() => g.neighbors(u),
+            (_, Some(g)) if (u as usize) < g.num_nodes() => {
+                if dir == 0 {
+                    g.out_neighbors(u)
+                } else {
+                    g.in_neighbors(u)
+                }
+            }
+            _ => &[], // a node born after the base snapshot
+        };
+        let key_of = |v: u32| match self.kind {
+            GraphKind::Undirected => canon(self.kind, u, v),
+            GraphKind::Directed if dir == 0 => (u, v),
+            GraphKind::Directed => (v, u),
+        };
+        let mut out = Vec::with_capacity(base_nb.len() + 4);
+        for &v in base_nb {
+            match self.states.get(&key_of(v)) {
+                Some(st) => {
+                    if if new { st.new } else { st.old } {
+                        out.push(v);
+                    }
+                }
+                None => out.push(v),
+            }
+        }
+        if let Some(list) = self.touch[dir].get(&u) {
+            for &v in list {
+                let st = &self.states[&key_of(v)];
+                if if new { st.new } else { st.old } {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl AffectedAdjacency for JournalAdjacency {
+    fn old_neighbors(&self, u: u32, dir: usize) -> Vec<u32> {
+        self.collect(u, dir, false)
+    }
+
+    fn new_neighbors(&self, u: u32, dir: usize) -> Vec<u32> {
+        self.collect(u, dir, true)
+    }
+}
+
+/// Canonical edge key: `(min, max)` undirected, as-is directed —
+/// exactly [`dsg_graph::DeltaGraph`]'s rule.
+fn canon(kind: GraphKind, u: u32, v: u32) -> (u32, u32) {
+    match kind {
+        GraphKind::Undirected if u > v => (v, u),
+        _ => (u, v),
+    }
+}

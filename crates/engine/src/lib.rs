@@ -62,6 +62,7 @@ pub mod catalog;
 mod engine;
 mod error;
 pub mod frame;
+mod incremental;
 pub mod minijson;
 pub mod planner;
 pub mod query;
@@ -75,8 +76,12 @@ pub use catalog::{
     CatalogEntry, CatalogStats, GraphCatalog, MutateOp, MutationOutcome, NamedGraph,
     NamedGraphStats,
 };
-pub use engine::{mr_edge_splits, Engine, ServeReport, WarmStats, DEFAULT_WARM_THRESHOLD};
+pub use engine::{
+    mr_edge_splits, Engine, ServeReport, WarmStats, DEFAULT_INCREMENTAL_THRESHOLD,
+    DEFAULT_WARM_THRESHOLD,
+};
 pub use error::{EngineError, Result};
+pub use incremental::IncrementalDebug;
 pub use planner::{Backend, GraphMeta, Plan, ShuffleChoice};
 pub use query::{Algorithm, BackendRequest, Query, ResourcePolicy, Source};
 pub use report::{JsonBuilder, Outcome, Report, ShuffleStats};

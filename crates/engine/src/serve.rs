@@ -101,9 +101,11 @@
 //! connection accounting (`conn_active`, `conn_peak` — the
 //! concurrent-connection high-water mark), the session accounting
 //! (`mutations`, `graphs_named`, warm-restart `warm_hits` /
-//! `warm_fallbacks`), and a `named` array with one object per session
-//! graph (`name`, `version`, `nodes`, `edges`, `delta_edges`,
-//! `compactions`, `warm_hits`, `warm_fallbacks`).
+//! `warm_fallbacks`, incremental-tier `incremental_hits` /
+//! `incremental_fallbacks`), and a `named` array with one object per
+//! session graph (`name`, `version`, `nodes`, `edges`, `delta_edges`,
+//! `compactions`, `warm_hits`, `warm_fallbacks`, `incremental_hits`,
+//! `incremental_fallbacks`).
 //!
 //! Errors never kill the loop: `{"id":…,"ok":false,"error":"…"}` and the
 //! next line is read. The loop ends cleanly on EOF (stdin mode: client
@@ -200,6 +202,10 @@ impl ServeMetrics {
             shutdown: self.shutdown_requested(),
             connections: self.total_connections.load(Ordering::Relaxed),
             peak_connections: self.peak_connections(),
+            // Engine-level counters; the serve entry points overwrite
+            // these from the engine they actually ran.
+            incremental_hits: 0,
+            incremental_fallbacks: 0,
         }
     }
 }
@@ -220,6 +226,11 @@ pub struct ServeSummary {
     pub connections: u64,
     /// Most connections served concurrently at any instant.
     pub peak_connections: u64,
+    /// Named-graph queries answered by the incremental tier (delta
+    /// re-peel verified against the published snapshot).
+    pub incremental_hits: u64,
+    /// Incremental attempts that fell back to the warm/cold paths.
+    pub incremental_fallbacks: u64,
 }
 
 /// Runs the JSONL loop over arbitrary reader/writer pairs until EOF or a
@@ -258,6 +269,9 @@ pub fn serve_loop<R: BufRead, W: Write>(
             }
         }
     }
+    let inc = engine.incremental_stats();
+    summary.incremental_hits = inc.hits;
+    summary.incremental_fallbacks = inc.fallbacks;
     Ok(summary)
 }
 
@@ -348,6 +362,9 @@ fn handle_fields(
             j.num_field("graphs_named", engine.catalog().named_len() as f64);
             j.num_field("warm_hits", warm.hits as f64);
             j.num_field("warm_fallbacks", warm.fallbacks as f64);
+            let inc = engine.incremental_stats();
+            j.num_field("incremental_hits", inc.hits as f64);
+            j.num_field("incremental_fallbacks", inc.fallbacks as f64);
             // Per-session-graph accounting, last so the flat fields
             // above stay trivially greppable — and only when at least
             // one session graph exists, so the response of a
@@ -368,6 +385,8 @@ fn handle_fields(
                     item.num_field("compactions", g.compactions as f64);
                     item.num_field("warm_hits", g.warm_hits as f64);
                     item.num_field("warm_fallbacks", g.warm_fallbacks as f64);
+                    item.num_field("incremental_hits", g.incremental_hits as f64);
+                    item.num_field("incremental_fallbacks", g.incremental_fallbacks as f64);
                     item.finish()
                 })
                 .collect();
@@ -747,7 +766,11 @@ pub fn serve_unix(
     guard.path = path.to_path_buf();
     let metrics = ServeMetrics::new();
     run_pool(engine, policy, &listener, options, &metrics)?;
-    Ok(metrics.summary())
+    let mut summary = metrics.summary();
+    let inc = engine.incremental_stats();
+    summary.incremental_hits = inc.hits;
+    summary.incremental_fallbacks = inc.fallbacks;
+    Ok(summary)
 }
 
 /// Write high-water mark per connection: once this many response bytes
@@ -1948,6 +1971,69 @@ mod tests {
         );
         assert!(lines[7].contains("\"delta_edges\":0"), "{}", lines[7]);
         assert!(lines[7].contains("\"warm_hits\":"), "{}", lines[7]);
+        assert!(lines[7].contains("\"incremental_hits\":"), "{}", lines[7]);
+        assert!(
+            lines[7].contains("\"incremental_fallbacks\":"),
+            "{}",
+            lines[7]
+        );
+    }
+
+    #[test]
+    fn incremental_counters_reach_the_serve_surface() {
+        // A small-delta mutate/query loop must be answered by the
+        // incremental tier, and both the `stats` op and the returned
+        // summary must report it (globally and per graph).
+        let engine = Engine::new();
+        let mut requests =
+            String::from("{\"id\":0,\"op\":\"create_graph\",\"graph\":\"live\",\"edges\":\"");
+        // A denser seed graph than the transcript test, so single-edge
+        // deltas stay well under the affected-set bound.
+        let mut sep = "";
+        for u in 0..12u32 {
+            for v in (u + 1)..12u32 {
+                if (u + v) % 3 != 0 {
+                    requests.push_str(&format!("{sep}{u} {v}"));
+                    sep = ", ";
+                }
+            }
+        }
+        requests.push_str(
+            "\"}\n{\"id\":1,\"algorithm\":\"approx\",\"graph\":\"live\",\"epsilon\":0.5}\n",
+        );
+        for i in 0..4 {
+            requests.push_str(&format!(
+                "{{\"id\":{},\"op\":\"add_edges\",\"graph\":\"live\",\"edges\":\"{} {}\"}}\n",
+                2 + 2 * i,
+                3 * i,
+                3 * i + 3,
+            ));
+            requests.push_str(&format!(
+                "{{\"id\":{},\"algorithm\":\"approx\",\"graph\":\"live\",\"epsilon\":0.5}}\n",
+                3 + 2 * i,
+            ));
+        }
+        requests.push_str("{\"id\":99,\"op\":\"stats\"}\n");
+        let (summary, out) = run_lines(&engine, &requests);
+        assert_eq!(summary.errors, 0, "{out}");
+        assert!(
+            summary.incremental_hits >= 1,
+            "incremental tier never fired: {summary:?}\n{out}"
+        );
+        let stats_line = out.lines().last().unwrap();
+        let hits: u64 = field(stats_line, "incremental_hits").parse().unwrap();
+        assert_eq!(hits, summary.incremental_hits, "{stats_line}");
+        assert!(
+            stats_line.contains("\"named\":[{\"name\":\"live\""),
+            "{stats_line}"
+        );
+        // The per-graph object repeats the counters; with one graph they
+        // match the global ones.
+        let per_graph = stats_line.split("\"named\":").nth(1).unwrap();
+        assert!(
+            per_graph.contains(&format!("\"incremental_hits\":{hits}")),
+            "{stats_line}"
+        );
     }
 
     #[test]

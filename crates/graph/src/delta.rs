@@ -23,11 +23,17 @@
 //!   applied-count return), and an add after a remove (or vice versa)
 //!   cancels instead of stacking.
 //!
-//! Weighted bases are rejected: delta semantics for weights (sum?
-//! replace?) are ambiguous, and the serve-side mutation protocol is
-//! unweighted. The one caller that needs weights keeps rewriting files.
+//! Weighted **undirected** bases are supported with summing semantics —
+//! the same rule [`EdgeList::canonicalize`] applies to duplicate
+//! weighted edges: [`DeltaGraph::add_weighted_edges`] adds its weight to
+//! the edge's running total (creating the edge when absent), an
+//! unweighted add contributes `1.0`, and a remove drops the edge whole.
+//! Cancellation is weight-aware: an overlay entry is kept only while the
+//! edge's state differs bit-for-bit from the base, so remove-then-re-add
+//! at the original weight leaves no delta behind. Weighted *directed*
+//! bases stay rejected (the directed CSR is unweighted by contract).
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 use crate::{EdgeList, GraphError, GraphKind, NodeId, Result};
 
@@ -45,6 +51,11 @@ pub struct DeltaGraph {
     added: HashSet<(NodeId, NodeId)>,
     /// Tombstones: base edges removed since the last compaction.
     removed: HashSet<(NodeId, NodeId)>,
+    /// Weighted-base overlay (unused when the base is unweighted):
+    /// `Some(w)` pins an edge present at total weight `w`, `None`
+    /// tombstones a base edge. An entry exists only while the edge's
+    /// state differs bit-for-bit from the base.
+    overlay: HashMap<(NodeId, NodeId), Option<f64>>,
     /// Current node count (grows when an added edge names a new id;
     /// never shrinks — ids are stable for the life of the graph).
     num_nodes: u32,
@@ -54,11 +65,11 @@ pub struct DeltaGraph {
 
 impl DeltaGraph {
     /// Wraps `base` (canonicalized here) as the initial state.
-    /// Weighted lists are rejected — see the module docs.
+    /// Weighted *directed* lists are rejected — see the module docs.
     pub fn new(mut base: EdgeList) -> Result<Self> {
-        if base.is_weighted() {
+        if base.is_weighted() && base.kind == GraphKind::Directed {
             return Err(GraphError::Format(
-                "mutable graphs support unweighted edges only".into(),
+                "mutable directed graphs support unweighted edges only".into(),
             ));
         }
         base.validate()?;
@@ -68,9 +79,23 @@ impl DeltaGraph {
             base,
             added: HashSet::new(),
             removed: HashSet::new(),
+            overlay: HashMap::new(),
             num_nodes,
             compactions: 0,
         })
+    }
+
+    /// An empty weighted mutable graph (undirected — the only weighted
+    /// orientation the overlay supports).
+    pub fn new_empty_weighted() -> Self {
+        let mut base = EdgeList::new_undirected(0);
+        base.weights = Some(Vec::new());
+        DeltaGraph::new(base).expect("empty weighted undirected base is always valid")
+    }
+
+    /// `true` if the graph carries per-edge weights.
+    pub fn is_weighted(&self) -> bool {
+        self.base.is_weighted()
     }
 
     /// An empty mutable graph of the given orientation.
@@ -94,13 +119,25 @@ impl DeltaGraph {
 
     /// Current edge count: base minus tombstones plus the append log.
     pub fn num_edges(&self) -> usize {
-        self.base.num_edges() - self.removed.len() + self.added.len()
+        if self.is_weighted() {
+            let mut n = self.base.num_edges() as i64;
+            for (e, v) in &self.overlay {
+                match v {
+                    None => n -= 1,
+                    Some(_) if !self.base_contains(*e) => n += 1,
+                    Some(_) => {}
+                }
+            }
+            n as usize
+        } else {
+            self.base.num_edges() - self.removed.len() + self.added.len()
+        }
     }
 
-    /// Outstanding log size — added plus tombstoned edges since the
-    /// last compaction.
+    /// Outstanding log size — edges whose state diverges from the base
+    /// since the last compaction.
     pub fn delta_edges(&self) -> usize {
-        self.added.len() + self.removed.len()
+        self.added.len() + self.removed.len() + self.overlay.len()
     }
 
     /// `delta_edges / max(1, base edges)` — the compaction trigger and
@@ -132,10 +169,44 @@ impl DeltaGraph {
         self.base.edges.binary_search(&edge).is_ok()
     }
 
+    /// Weight the base holds for `edge`, `None` when absent.
+    fn base_weight(&self, edge: (NodeId, NodeId)) -> Option<f64> {
+        self.base
+            .edges
+            .binary_search(&edge)
+            .ok()
+            .map(|idx| self.base.weight(idx))
+    }
+
+    /// Current state of `edge` on a weighted graph: `Some(total weight)`
+    /// when present.
+    fn weighted_state(&self, edge: (NodeId, NodeId)) -> Option<f64> {
+        match self.overlay.get(&edge) {
+            Some(v) => *v,
+            None => self.base_weight(edge),
+        }
+    }
+
+    /// Pins `edge` to `state`, dropping the overlay entry when the state
+    /// returns bit-for-bit to the base (weight-aware cancellation).
+    fn set_weighted_state(&mut self, edge: (NodeId, NodeId), state: Option<f64>) {
+        let same = match (state, self.base_weight(edge)) {
+            (None, None) => true,
+            (Some(a), Some(b)) => a.to_bits() == b.to_bits(),
+            _ => false,
+        };
+        if same {
+            self.overlay.remove(&edge);
+        } else {
+            self.overlay.insert(edge, state);
+        }
+    }
+
     /// Whether the current state holds the edge `(u, v)`.
     pub fn contains(&self, u: NodeId, v: NodeId) -> bool {
         match self.canonical(u, v) {
             None => false,
+            Some(e) if self.is_weighted() => self.weighted_state(e).is_some(),
             Some(e) => {
                 self.added.contains(&e) || (self.base_contains(e) && !self.removed.contains(&e))
             }
@@ -155,6 +226,15 @@ impl DeltaGraph {
                     max: u32::MAX as u64 - 1,
                 });
             }
+        }
+        if self.is_weighted() {
+            let mut applied = 0;
+            for &(u, v) in edges {
+                if self.apply_weighted(u, v, 1.0) {
+                    applied += 1;
+                }
+            }
+            return Ok(applied);
         }
         let mut applied = 0;
         for &(u, v) in edges {
@@ -177,9 +257,76 @@ impl DeltaGraph {
         Ok(applied)
     }
 
+    /// Adds a batch of weighted edges to a weighted graph, summing each
+    /// weight into the edge's running total (the canonicalization rule
+    /// for duplicate weighted edges) and creating absent edges. Returns
+    /// how many changed the graph. Rejected on unweighted graphs —
+    /// mixing would silently coerce weights away.
+    pub fn add_weighted_edges(&mut self, edges: &[(NodeId, NodeId, f64)]) -> Result<usize> {
+        if !self.is_weighted() {
+            return Err(GraphError::Format(
+                "weighted delta on an unweighted mutable graph".into(),
+            ));
+        }
+        for &(u, v, w) in edges {
+            if u == u32::MAX || v == u32::MAX {
+                return Err(GraphError::TooLarge {
+                    what: "node id",
+                    value: u32::MAX as u64,
+                    max: u32::MAX as u64 - 1,
+                });
+            }
+            if !w.is_finite() {
+                return Err(GraphError::Format(format!("non-finite edge weight {w}")));
+            }
+        }
+        let mut applied = 0;
+        for &(u, v, w) in edges {
+            if self.apply_weighted(u, v, w) {
+                applied += 1;
+            }
+        }
+        Ok(applied)
+    }
+
+    /// One weighted add; `true` when the graph changed.
+    fn apply_weighted(&mut self, u: NodeId, v: NodeId, w: f64) -> bool {
+        let Some(e) = self.canonical(u, v) else {
+            return false;
+        };
+        let before = self.weighted_state(e);
+        let after = Some(match before {
+            Some(x) => x + w,
+            None => w,
+        });
+        self.set_weighted_state(e, after);
+        let changed = match (before, after) {
+            (None, Some(_)) => true,
+            (Some(a), Some(b)) => a.to_bits() != b.to_bits(),
+            _ => unreachable!("adds never delete"),
+        };
+        if changed {
+            self.num_nodes = self.num_nodes.max(u + 1).max(v + 1);
+        }
+        changed
+    }
+
     /// Removes a batch of edges; returns how many were actually present.
     /// Removing an absent edge is a no-op. Node ids never shrink.
     pub fn remove_edges(&mut self, edges: &[(NodeId, NodeId)]) -> usize {
+        if self.is_weighted() {
+            let mut applied = 0;
+            for &(u, v) in edges {
+                let Some(e) = self.canonical(u, v) else {
+                    continue;
+                };
+                if self.weighted_state(e).is_some() {
+                    self.set_weighted_state(e, None);
+                    applied += 1;
+                }
+            }
+            return applied;
+        }
         let mut applied = 0;
         for &(u, v) in edges {
             let Some(e) = self.canonical(u, v) else {
@@ -206,6 +353,9 @@ impl DeltaGraph {
     /// log merged in — `O(m + d log d)` for `d` log entries, no full
     /// re-sort.
     pub fn materialize(&self) -> EdgeList {
+        if self.is_weighted() {
+            return self.materialize_weighted();
+        }
         let mut log: Vec<(NodeId, NodeId)> = self.added.iter().copied().collect();
         log.sort_unstable();
         let mut edges = Vec::with_capacity(self.num_edges());
@@ -228,11 +378,53 @@ impl DeltaGraph {
         }
     }
 
+    /// Weighted materialization: tombstones filtered, overlay weights
+    /// substituted, overlay-born edges merged in sorted order.
+    fn materialize_weighted(&self) -> EdgeList {
+        let mut log: Vec<((NodeId, NodeId), f64)> = self
+            .overlay
+            .iter()
+            .filter_map(|(&e, &v)| match v {
+                Some(w) if !self.base_contains(e) => Some((e, w)),
+                _ => None,
+            })
+            .collect();
+        log.sort_unstable_by_key(|&(e, _)| e);
+        let mut edges = Vec::with_capacity(self.num_edges());
+        let mut weights = Vec::with_capacity(self.num_edges());
+        let mut log_it = log.into_iter().peekable();
+        for (idx, &e) in self.base.edges.iter().enumerate() {
+            let w = match self.overlay.get(&e) {
+                Some(None) => continue,
+                Some(Some(w)) => *w,
+                None => self.base.weight(idx),
+            };
+            while log_it.peek().is_some_and(|&(a, _)| a < e) {
+                let (a, aw) = log_it.next().expect("peeked");
+                edges.push(a);
+                weights.push(aw);
+            }
+            edges.push(e);
+            weights.push(w);
+        }
+        for (a, aw) in log_it {
+            edges.push(a);
+            weights.push(aw);
+        }
+        EdgeList {
+            num_nodes: self.num_nodes,
+            edges,
+            weights: Some(weights),
+            kind: self.base.kind,
+        }
+    }
+
     /// Folds the logs into a fresh canonical base, clearing both logs.
     pub fn compact(&mut self) {
         self.base = self.materialize();
         self.added.clear();
         self.removed.clear();
+        self.overlay.clear();
         self.compactions += 1;
     }
 
@@ -302,10 +494,103 @@ mod tests {
     }
 
     #[test]
-    fn weighted_base_is_rejected() {
-        let mut list = EdgeList::new_undirected(2);
+    fn weighted_directed_base_is_rejected() {
+        let mut list = EdgeList::new_directed(2);
         list.push_weighted(0, 1, 2.0);
         assert!(matches!(DeltaGraph::new(list), Err(GraphError::Format(_))));
+    }
+
+    #[test]
+    fn weighted_add_remove_cancellation() {
+        let mut list = EdgeList::new_undirected(3);
+        list.push_weighted(0, 1, 2.0);
+        list.push_weighted(1, 2, 1.0);
+        let mut g = DeltaGraph::new(list).unwrap();
+        assert!(g.is_weighted());
+        assert_eq!(g.num_edges(), 2);
+        // Remove then re-add at the original weight: no delta survives.
+        assert_eq!(g.remove_edges(&[(1, 0)]), 1);
+        assert!(!g.contains(0, 1));
+        assert_eq!(g.delta_edges(), 1);
+        assert_eq!(g.add_weighted_edges(&[(0, 1, 2.0)]).unwrap(), 1);
+        assert_eq!(g.delta_edges(), 0, "state returned to base");
+        // Summing: duplicate weighted adds accumulate like canonicalize.
+        assert_eq!(g.add_weighted_edges(&[(0, 1, 0.5)]).unwrap(), 1);
+        let mat = g.materialize();
+        assert_eq!(mat.edges, vec![(0, 1), (1, 2)]);
+        assert_eq!(mat.weights.as_ref().unwrap(), &vec![2.5, 1.0]);
+        // An unweighted add on a weighted graph contributes 1.0.
+        assert_eq!(g.add_edges(&[(2, 0)]).unwrap(), 1);
+        assert_eq!(
+            g.materialize().weights.as_ref().unwrap(),
+            &vec![2.5, 1.0, 1.0]
+        );
+        // Removing an overlay-born edge cancels it entirely.
+        assert_eq!(g.remove_edges(&[(0, 2)]), 1);
+        assert!(!g.contains(0, 2));
+        // Weighted deltas on unweighted graphs are a typed error.
+        let mut ug = DeltaGraph::new_empty(GraphKind::Undirected);
+        assert!(matches!(
+            ug.add_weighted_edges(&[(0, 1, 2.0)]),
+            Err(GraphError::Format(_))
+        ));
+        // Non-finite weights are a typed error.
+        assert!(matches!(
+            g.add_weighted_edges(&[(0, 1, f64::NAN)]),
+            Err(GraphError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn weighted_materialize_matches_scratch_canonicalization() {
+        // Random weighted op sequence against a HashMap model with the
+        // same op order — weights must match bit for bit, and the
+        // materialized list must be a canonicalization fixpoint.
+        let mut rng = SplitMix64::new(9);
+        let mut g = DeltaGraph::new_empty_weighted();
+        let mut model: HashMap<(u32, u32), f64> = HashMap::new();
+        let canon = |u: u32, v: u32| if u > v { (v, u) } else { (u, v) };
+        for step in 0..2000 {
+            let u = (rng.next_u64() % 40) as u32;
+            let v = (rng.next_u64() % 40) as u32;
+            if rng.next_u64().is_multiple_of(3) {
+                g.remove_edges(&[(u, v)]);
+                if u != v {
+                    model.remove(&canon(u, v));
+                }
+            } else {
+                let w = (rng.next_u64() % 8) as f64 * 0.25 + 0.25;
+                g.add_weighted_edges(&[(u, v, w)]).unwrap();
+                if u != v {
+                    *model.entry(canon(u, v)).or_insert(0.0) += w;
+                }
+            }
+            if step % 500 == 250 {
+                g.maybe_compact(0.5);
+            }
+            if step % 700 == 350 {
+                let mat = g.materialize();
+                let mut scratch = mat.clone();
+                scratch.canonicalize();
+                assert_eq!(mat.edges, scratch.edges, "materialize must be canonical");
+                assert_eq!(
+                    mat.weights, scratch.weights,
+                    "weights must be canonical at step {step}"
+                );
+                let got: HashMap<(u32, u32), f64> = mat
+                    .edges
+                    .iter()
+                    .zip(mat.weights.as_ref().unwrap())
+                    .map(|(&e, &w)| (e, w))
+                    .collect();
+                assert_eq!(got.len(), model.len(), "edge count at step {step}");
+                for (e, w) in &model {
+                    let gw = got.get(e).unwrap_or_else(|| panic!("missing {e:?}"));
+                    assert_eq!(gw.to_bits(), w.to_bits(), "weight of {e:?} at step {step}");
+                }
+                assert_eq!(mat.num_edges(), g.num_edges());
+            }
+        }
     }
 
     #[test]

@@ -29,7 +29,7 @@ const USAGE: &str =
      [--flow-backend dinic|push-relabel] [--json] [--quiet]\n\
        densest serve [--socket <path>] [--workers n] [--max-connections n] [--threads n] \
      [--memory-budget bytes] [--max-graphs n] [--result-cache bytes] [--warm-threshold f] \
-     [--compact-ratio f] [--quiet]\n\
+     [--incremental-threshold f] [--compact-ratio f] [--quiet]\n\
        densest client --socket <path> [--repeat n] [--parallel n] [--binary] [--pipeline n]\n\
        densest --help";
 
@@ -114,12 +114,17 @@ mutable graph sessions (serve mode):
   into a fresh base. Queries target it with \"graph\":\"g\" instead of
   \"file\". Every mutation bumps the graph's version; cached results of
   older versions are structurally unreachable and evicted eagerly, so a
-  query after a mutation always recomputes (result_cache_hit: 0) — with
-  a warm restart from the previous version's result where the delta is
+  query after a mutation always recomputes (result_cache_hit: 0). Small
+  deltas take the incremental tier first: the mutation journal is
+  replayed through the stored peel trace and only the affected region is
+  re-peeled, verified against the published snapshot before answering
+  (--incremental-threshold bounds the affected set at that fraction of
+  the nodes, default 0.05; 0 disables the tier). Past that, a warm
+  restart re-peels from the previous version's result where the delta is
   small (--warm-threshold, default 0.25; delta logs auto-compact past
   --compact-ratio x base edges, default 1). The stats op reports
-  per-graph version/delta_edges/compactions and warm hit/fallback
-  counters.
+  per-graph version/delta_edges/compactions plus warm and incremental
+  hit/fallback counters.
 
 client mode:
   densest client forwards each stdin line to the server and prints each
@@ -554,6 +559,7 @@ fn run_serve(args: impl Iterator<Item = String>) {
     let mut max_graphs = densest_subgraph::engine::catalog::DEFAULT_MAX_ENTRIES;
     let mut result_cache_bytes = densest_subgraph::engine::result_cache::DEFAULT_RESULT_CACHE_BYTES;
     let mut warm_threshold: Option<f64> = None;
+    let mut incremental_threshold: Option<f64> = None;
     let mut compact_ratio: Option<f64> = None;
     let mut quiet = false;
     let mut it = args.collect::<Vec<_>>().into_iter();
@@ -610,6 +616,15 @@ fn run_serve(args: impl Iterator<Item = String>) {
                 }
                 warm_threshold = Some(t);
             }
+            "--incremental-threshold" => {
+                let t: f64 =
+                    parse_value("--incremental-threshold", &value("--incremental-threshold"));
+                if !t.is_finite() || t < 0.0 {
+                    eprintln!("--incremental-threshold must be a finite number >= 0 (got {t})");
+                    exit(2);
+                }
+                incremental_threshold = Some(t);
+            }
             "--compact-ratio" => {
                 let r: f64 = parse_value("--compact-ratio", &value("--compact-ratio"));
                 if !r.is_finite() || r < 0.0 {
@@ -630,6 +645,9 @@ fn run_serve(args: impl Iterator<Item = String>) {
     engine.results().set_budget(result_cache_bytes);
     if let Some(t) = warm_threshold {
         engine.set_warm_threshold(t);
+    }
+    if let Some(t) = incremental_threshold {
+        engine.set_incremental_threshold(t);
     }
     if let Some(r) = compact_ratio {
         engine.catalog().set_compact_ratio(r);
@@ -663,8 +681,8 @@ fn run_serve(args: impl Iterator<Item = String>) {
         let warm = engine.warm_stats();
         eprintln!(
             "served {} queries and {} mutations ({} errors) over {} connections (peak {} \
-             concurrent): {} graph loads, {} cache hits, {} result-cache hits, {} warm \
-             restarts ({} fallbacks); {}",
+             concurrent): {} graph loads, {} cache hits, {} result-cache hits, {} incremental \
+             re-peels ({} fallbacks), {} warm restarts ({} fallbacks); {}",
             summary.queries,
             summary.mutations,
             summary.errors,
@@ -673,6 +691,8 @@ fn run_serve(args: impl Iterator<Item = String>) {
             stats.loads,
             stats.hits,
             results.hits,
+            summary.incremental_hits,
+            summary.incremental_fallbacks,
             warm.hits,
             warm.fallbacks,
             if summary.shutdown {
@@ -876,9 +896,44 @@ fn run_client(args: impl Iterator<Item = String>) {
             String::new()
         }
     );
+    // A parallel fan-out is usually a benchmark run; round it off with
+    // the server's maintenance counters so a mutate-heavy workload shows
+    // how many answers the incremental tier carried. Best-effort: a
+    // server that went away between the run and this probe just skips
+    // the line.
+    if parallel > 1 && failures == 0 {
+        if let Some((inc_hits, inc_fallbacks, warm_hits)) = fetch_server_maintenance(&socket) {
+            eprintln!(
+                "server maintenance: {inc_hits} incremental re-peels \
+                 ({inc_fallbacks} fallbacks), {warm_hits} warm restarts"
+            );
+        }
+    }
     if failures > 0 {
         exit(1);
     }
+}
+
+/// One best-effort `stats` exchange: the server's incremental
+/// hit/fallback and warm-hit counters, or `None` if the probe failed.
+fn fetch_server_maintenance(socket: &std::path::Path) -> Option<(u64, u64, u64)> {
+    use densest_subgraph::engine::minijson;
+    let mut out = Vec::new();
+    densest_subgraph::engine::client_unix_opts(
+        socket,
+        std::io::Cursor::new("{\"op\":\"stats\"}\n".to_string()),
+        &mut out,
+        &ClientOptions::default(),
+    )
+    .ok()?;
+    let line = std::str::from_utf8(&out).ok()?.lines().next()?;
+    let fields = minijson::parse_object(line).ok()?;
+    let uint = |key: &str| minijson::get(&fields, key).and_then(minijson::Value::as_uint);
+    Some((
+        uint("incremental_hits")?,
+        uint("incremental_fallbacks")?,
+        uint("warm_hits")?,
+    ))
 }
 
 fn main() {
