@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro <experiment> [--scale tiny|small|medium|large] [--csv]
-//!       [--data-dir <path>] [--out <file>]
+//!       [--data-dir <path>] [--out <file>] [--shards n,n,...]
 //!
 //! experiments:
 //!   table1   dataset parameters
@@ -20,7 +20,10 @@
 //!   outofcore  streamed + spill-to-disk shuffle vs in-memory parity
 //!   planner  engine backend choice per resource policy, cost, parity
 //!   serve-throughput  concurrent clients vs one worker-pool server:
-//!            queries/sec, single-flight loads, result-cache hit rate
+//!            queries/sec, single-flight loads, result-cache hit rate;
+//!            plus a second table comparing `--shards n,n,...` engine
+//!            shard counts (default 1,2,4) with byte parity and
+//!            per-shard routing asserted vs the 1-shard server
 //!   mutate   mutable sessions: warm restart vs cold recompute vs file
 //!            rewrite per delta shape (parity asserted)
 //!   lemma5   pass lower bound (union of regular graphs)
@@ -53,6 +56,7 @@ struct Args {
     data_dir: Option<PathBuf>,
     out: Option<PathBuf>,
     bench_json: Option<PathBuf>,
+    shards: Vec<usize>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -63,6 +67,7 @@ fn parse_args() -> Result<Args, String> {
     let mut data_dir = None;
     let mut out = None;
     let mut bench_json = None;
+    let mut shards = vec![1, 2, 4];
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--scale" => {
@@ -83,6 +88,17 @@ fn parse_args() -> Result<Args, String> {
                     args.next().ok_or("missing value for --bench-json")?,
                 ));
             }
+            "--shards" => {
+                let v = args.next().ok_or("missing value for --shards")?;
+                shards = v
+                    .split(',')
+                    .map(|s| s.trim().parse::<usize>().map_err(|_| s))
+                    .collect::<Result<Vec<_>, _>>()
+                    .map_err(|s| format!("bad shard count '{s}' in --shards"))?;
+                if shards.is_empty() || shards.contains(&0) {
+                    return Err("--shards needs a comma-separated list of counts >= 1".into());
+                }
+            }
             other => return Err(format!("unknown flag '{other}'\n{}", usage())),
         }
     }
@@ -93,13 +109,14 @@ fn parse_args() -> Result<Args, String> {
         data_dir,
         out,
         bench_json,
+        shards,
     })
 }
 
 fn usage() -> String {
     "usage: repro <table1|table2|fig61|fig62|fig63|table3|fig64|fig65|fig66|table4|fig67|scaling|outofcore|planner|serve-throughput|mutate|lemma5|lemma6|all> \
      [--scale tiny|small|medium|large] [--csv] [--data-dir <path>] [--out <file>] \
-     [--bench-json <file>]"
+     [--bench-json <file>] [--shards n,n,...]"
         .to_string()
 }
 
@@ -133,9 +150,13 @@ fn run_experiment(name: &str, args: &Args) -> Result<Vec<Table>, String> {
         "scaling" => vec![exp::scaling::to_table(&exp::scaling::run(scale))],
         "outofcore" => vec![exp::outofcore::to_table(&exp::outofcore::run(scale))],
         "planner" => vec![exp::planner::to_table(&exp::planner::run(scale))],
-        "serve-throughput" => vec![exp::serve_throughput::to_table(
-            &exp::serve_throughput::run(scale),
-        )],
+        "serve-throughput" => vec![
+            exp::serve_throughput::to_table(&exp::serve_throughput::run(scale)),
+            exp::serve_throughput::to_shard_table(&exp::serve_throughput::run_sharded(
+                scale,
+                &args.shards,
+            )),
+        ],
         "mutate" => vec![exp::mutate::to_table(&exp::mutate::run(scale))],
         "lemma5" => vec![exp::lemmas::to_table(
             "Lemma 5: passes on the union-of-regular-graphs instance (ε=0.5)",

@@ -285,6 +285,22 @@ pub fn run(scale: Scale) -> Vec<Row> {
                     (false, None) => (0, 0, "no attempt"),
                     (true, None) => unreachable!("a hit always records its debug state"),
                 };
+                // Probe-overhead bound: a threshold fallback must have
+                // stopped growing the affected set the moment it crossed
+                // the budget — a doomed probe is O(threshold), never
+                // O(graph). Asserted on every round so a regression in
+                // the early-exit shows up as a hard failure here.
+                if let Some(d) = debug {
+                    if d.reason == Some(dsg_core::THRESHOLD_REASON) {
+                        assert!(
+                            d.affected <= d.budget + 1,
+                            "threshold fallback overshot its probe bound: \
+                             affected {} > budget {} + 1 (round {round}, {shape}, {alg_name})",
+                            d.affected,
+                            d.budget,
+                        );
+                    }
+                }
 
                 let warm_started = Instant::now();
                 let warm = warm_engine

@@ -47,8 +47,8 @@ use std::path::PathBuf;
 use dsg_datasets::{flickr_standin, livejournal_standin, Scale};
 use dsg_engine::minijson::{self, Value};
 use dsg_engine::{
-    client_unix, client_unix_opts, percentile, serve_unix, ClientOptions, Engine, ResourcePolicy,
-    ServeOptions,
+    client_unix, client_unix_opts, percentile, routing_shard, serve_unix, ClientOptions, Engine,
+    ResourcePolicy, ServeOptions,
 };
 use dsg_graph::io::write_text;
 
@@ -198,6 +198,7 @@ pub fn run(scale: Scale) -> Vec<Row> {
             let options = ServeOptions {
                 workers,
                 max_connections: 2 * clients.max(1),
+                shards: 1,
             };
             let row = std::thread::scope(|s| {
                 let server = {
@@ -367,6 +368,405 @@ pub fn run(scale: Scale) -> Vec<Row> {
         }
     }
     rows
+}
+
+// ---------------------------------------------------------------------------
+// Sharded serving: the same socket, N hash-routed engine shards.
+// ---------------------------------------------------------------------------
+
+/// One shard-count measurement of the sharded table.
+#[derive(Clone, Debug)]
+pub struct ShardRow {
+    /// Engine shards behind the socket (`densest serve --shards`).
+    pub shards: usize,
+    /// Concurrent client connections (one per graph file — disjoint
+    /// per-shard load at the highest shard count, exactly what
+    /// `densest client --graph-per-conn` produces).
+    pub clients: usize,
+    /// Router I/O workers; each shard runs this many executors too.
+    pub workers: usize,
+    /// Timed-phase query requests answered per trial.
+    pub queries: u64,
+    /// Wall-clock milliseconds of the fastest timed trial.
+    pub wall_ms: f64,
+    /// Aggregate queries per second across all connections.
+    pub qps: f64,
+    /// Median per-request latency (ms).
+    pub p50_ms: f64,
+    /// 99th-percentile per-request latency (ms).
+    pub p99_ms: f64,
+    /// `qps / qps(reference row)` — scaling vs the first shard count.
+    pub speedup: f64,
+    /// Per-shard `routed` counters, `/`-joined (`-` on a 1-shard row,
+    /// which runs the classic single-engine pool with no router).
+    pub routed: String,
+    /// Whether every response was byte-identical to the reference
+    /// shard count's transcript (asserted — a row only exists if so).
+    pub parity: bool,
+}
+
+/// Extracts a numeric counter from a raw JSON response line. The
+/// sharded stats response embeds arrays (`named`, `shards`) that the
+/// flat request parser rejects by design, so counters are read
+/// textually here.
+fn field_u64(line: &str, key: &str) -> u64 {
+    let pat = format!("\"{key}\":");
+    let at = line
+        .find(&pat)
+        .unwrap_or_else(|| panic!("stats response missing '{key}': {line}"));
+    let digits: String = line[at + pat.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits
+        .parse()
+        .unwrap_or_else(|_| panic!("stats field '{key}' is not a number: {line}"))
+}
+
+/// Removes one `,"key":value` scalar field from every line.
+fn strip_scalar(text: &str, key: &str) -> String {
+    let pat = format!(",\"{key}\":");
+    text.lines()
+        .map(|line| match line.find(&pat) {
+            Some(at) => {
+                let rest = &line[at + pat.len()..];
+                let end = rest.find([',', '}']).unwrap_or(rest.len());
+                format!("{}{}", &line[..at], &rest[end..])
+            }
+            None => line.to_string(),
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Strips the fields that legitimately differ between shard counts:
+/// `elapsed_ms` (nondeterministic) and `loads` (an engine-cumulative
+/// counter — a 1-shard server loads every file into one engine, shard
+/// engines load only their own). Everything else must match exactly.
+fn strip_run_dependent(text: &str) -> String {
+    strip_scalar(&strip_scalar(text, "elapsed_ms"), "loads")
+}
+
+/// Runs the sharded-serving comparison: the same multi-graph workload
+/// against one server per shard count, byte parity and per-shard
+/// routing asserted against the first count (normally 1).
+pub fn run_sharded(scale: Scale, shard_counts: &[usize]) -> Vec<ShardRow> {
+    assert!(!shard_counts.is_empty(), "need at least one shard count");
+    let max_shards = shard_counts.iter().copied().max().unwrap().max(1);
+    let dir = data_dir();
+
+    // One graph file per residue class mod the highest shard count,
+    // probed by file name: at that count every file routes to a
+    // distinct shard, so a connection pinned to one file generates
+    // disjoint-shard load. (Any smaller count in the list divides the
+    // load coarser but stays deterministic.)
+    let mut files: Vec<String> = Vec::new();
+    let mut covered = vec![false; max_shards];
+    for i in 0u32.. {
+        if files.len() == max_shards {
+            break;
+        }
+        assert!(i < 10_000, "could not cover every shard residue");
+        let key = dir
+            .join(format!("shard_graph_{i}.txt"))
+            .display()
+            .to_string();
+        let residue = routing_shard(None, Some(&key), max_shards);
+        if !covered[residue] {
+            covered[residue] = true;
+            files.push(key);
+        }
+    }
+    for (i, key) in files.iter().enumerate() {
+        let mut list = if i % 2 == 0 {
+            flickr_standin(scale)
+        } else {
+            livejournal_standin(scale)
+        };
+        // Every file must hold a *distinct* graph: the result cache
+        // keys on the content fingerprint, so two identical files
+        // would replay each other's results on a 1-shard server but
+        // not across shards — a spurious parity break. A pendant edge
+        // to a fresh node makes each file unique.
+        let fresh = list.num_nodes;
+        list.edges.push((0, fresh + i as u32));
+        list.num_nodes = fresh + i as u32 + 1;
+        write_text(PathBuf::from(key), &list).expect("write sharded edge file");
+    }
+
+    let clients = files.len();
+    let workers = 2;
+    let repeat = 512;
+    let timed_options = ClientOptions {
+        binary: true,
+        pipeline: PIPELINE_DEPTH,
+    };
+
+    // One warm-up round: one query per file, in file order.
+    let round: String = files
+        .iter()
+        .enumerate()
+        .map(|(i, key)| {
+            format!("{{\"id\":{i},\"algorithm\":\"approx\",\"file\":\"{key}\",\"epsilon\":0.5}}\n")
+        })
+        .collect();
+
+    let mut ref_warmup = String::new();
+    let mut ref_timed: Vec<String> = Vec::new();
+    let mut ref_qps = 0.0;
+    let mut rows = Vec::new();
+    for (row_idx, &shards) in shard_counts.iter().enumerate() {
+        let sock = dir.join(format!("serve_shards_{shards}.sock"));
+        let _ = std::fs::remove_file(&sock);
+        let engine = Engine::new();
+        let policy = ResourcePolicy::default();
+        let options = ServeOptions {
+            workers,
+            max_connections: 2 * clients + 2,
+            shards,
+        };
+        let mut row = std::thread::scope(|s| {
+            let server = {
+                let (engine, sock) = (&engine, sock.clone());
+                s.spawn(move || {
+                    serve_unix(engine, &policy, &sock, &options).expect("sharded serve loop failed")
+                })
+            };
+            for _ in 0..300 {
+                if sock.exists() {
+                    break;
+                }
+                // Harness-only: wait for the server thread to bind.
+                #[allow(clippy::disallowed_methods)]
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+            assert!(sock.exists(), "sharded server socket never appeared");
+
+            // Warm-up + parity: a single JSONL connection runs the
+            // round; the stripped transcript must be byte-identical
+            // across shard counts.
+            let warmup = {
+                let mut out = Vec::new();
+                client_unix(&sock, Cursor::new(round.clone()), &mut out)
+                    .expect("sharded warm-up client failed");
+                strip_run_dependent(&String::from_utf8(out).expect("utf8 response"))
+            };
+            // Timed phase: one pipelined binary connection per file.
+            let expected = (clients * repeat) as u64;
+            let mut wall_ms = f64::INFINITY;
+            let mut latencies: Vec<f64> = Vec::new();
+            let mut transcripts: Vec<String> = Vec::new();
+            for trial in 0..TRIALS {
+                let started = std::time::Instant::now();
+                let results: Vec<(u64, Vec<f64>, String)> = std::thread::scope(|cs| {
+                    let handles: Vec<_> = files
+                        .iter()
+                        .map(|key| {
+                            let (sock, timed_options) = (&sock, &timed_options);
+                            let requests = format!(
+                                "{{\"algorithm\":\"approx\",\"file\":\"{key}\",\"epsilon\":0.5}}\n"
+                            )
+                            .repeat(repeat);
+                            cs.spawn(move || {
+                                let mut out = Vec::new();
+                                let stats = client_unix_opts(
+                                    sock,
+                                    Cursor::new(requests),
+                                    &mut out,
+                                    timed_options,
+                                )
+                                .expect("sharded client failed");
+                                (
+                                    stats.exchanges,
+                                    stats.latencies_ms,
+                                    String::from_utf8(out).expect("utf8 response"),
+                                )
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().unwrap()).collect()
+                });
+                let trial_wall = started.elapsed().as_secs_f64() * 1e3;
+                let total: u64 = results.iter().map(|(n, _, _)| n).sum();
+                assert_eq!(total, expected, "every sharded request must be answered");
+                if trial == 0 {
+                    transcripts = results
+                        .iter()
+                        .map(|(_, _, out)| strip_run_dependent(out))
+                        .collect();
+                }
+                if trial_wall < wall_ms {
+                    wall_ms = trial_wall;
+                    latencies = results.into_iter().flat_map(|(_, l, _)| l).collect();
+                }
+            }
+
+            // Counters, then shutdown. The merged stats keep the flat
+            // 1-shard schema; in sharded mode a per-shard breakdown
+            // array follows, and its `routed` counters must match the
+            // per-file request counts exactly — every request touched
+            // its home shard and no other (zero cross-shard traffic).
+            let mut out = Vec::new();
+            client_unix(
+                &sock,
+                Cursor::new("{\"op\":\"stats\",\"id\":\"s\"}\n{\"op\":\"shutdown\"}\n".to_string()),
+                &mut out,
+            )
+            .expect("sharded stats client failed");
+            let out = String::from_utf8(out).expect("utf8 stats");
+            let stats_line = out.lines().next().expect("stats response").to_string();
+            let summary = server.join().expect("sharded server thread panicked");
+            assert!(summary.shutdown, "sharded server must exit via shutdown");
+            assert!(!sock.exists(), "sharded socket file must be removed");
+
+            // Parity — asserted only now, with the server down: a
+            // panic inside the scope would otherwise leave the serve
+            // thread running and deadlock the join instead of failing.
+            for t in &transcripts {
+                for line in t.lines() {
+                    assert!(line.contains("\"ok\":true"), "sharded query failed: {line}");
+                }
+            }
+            if row_idx == 0 {
+                ref_warmup = warmup;
+                ref_timed = transcripts;
+            } else {
+                assert_eq!(
+                    warmup, ref_warmup,
+                    "a {shards}-shard server must answer byte-identically to the \
+                     {}-shard reference",
+                    shard_counts[0]
+                );
+                assert_eq!(
+                    transcripts, ref_timed,
+                    "sharded timed-phase responses must be byte-identical to the \
+                     reference transcript ({shards} shards)"
+                );
+            }
+
+            assert_eq!(
+                field_u64(&stats_line, "loads"),
+                clients as u64,
+                "single-flight per shard: each file loads exactly once ({shards} shards)"
+            );
+            let replays = (TRIALS * clients * repeat) as u64;
+            let result_hits = field_u64(&stats_line, "result_hits");
+            assert!(
+                result_hits >= replays,
+                "expected ≥ {replays} result-cache hits, got {result_hits} ({shards} shards)"
+            );
+            let routed = if shards == 1 {
+                "-".to_string()
+            } else {
+                let mut per_shard = vec![0u64; shards];
+                for key in &files {
+                    per_shard[routing_shard(None, Some(key), shards)] +=
+                        1 + (TRIALS * repeat) as u64;
+                }
+                for (k, expect) in per_shard.iter().enumerate() {
+                    let want = format!("\"shard\":{k},\"routed\":{expect}");
+                    assert!(
+                        stats_line.contains(&want),
+                        "per-shard breakdown must prove disjoint routing: \
+                         missing {want} in {stats_line}"
+                    );
+                }
+                per_shard
+                    .iter()
+                    .map(u64::to_string)
+                    .collect::<Vec<_>>()
+                    .join("/")
+            };
+
+            ShardRow {
+                shards,
+                clients,
+                workers,
+                queries: expected,
+                wall_ms,
+                qps: if wall_ms > 0.0 {
+                    expected as f64 / (wall_ms / 1e3)
+                } else {
+                    0.0
+                },
+                p50_ms: percentile(&latencies, 50.0),
+                p99_ms: percentile(&latencies, 99.0),
+                speedup: 0.0, // filled in below
+                routed,
+                parity: true,
+            }
+        });
+        if row_idx == 0 {
+            ref_qps = row.qps;
+        }
+        row.speedup = if ref_qps > 0.0 {
+            row.qps / ref_qps
+        } else {
+            0.0
+        };
+        rows.push(row);
+    }
+
+    // The scaling criterion: 4 shards must reach 1.5x the 1-shard
+    // aggregate q/s — hard only where the hardware can parallelize.
+    // On a 1-CPU container shards serialize on the core and the honest
+    // result is ~1x (or below: more threads, same silicon), so the
+    // floor degrades to a warning there.
+    if shard_counts[0] == 1 {
+        if let Some(best) = rows
+            .iter()
+            .filter(|r| r.shards >= 4)
+            .map(|r| r.speedup)
+            .max_by(|a, b| a.partial_cmp(b).expect("finite speedups"))
+        {
+            let cores = std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1);
+            if cores >= 4 {
+                assert!(
+                    best >= 1.5,
+                    "4-shard aggregate q/s must reach 1.5x the 1-shard server on a \
+                     {cores}-core host (got {best:.2}x)"
+                );
+            } else if best < 1.5 {
+                eprintln!(
+                    "[serve-throughput] WARNING: sharded speedup {best:.2}x is below the \
+                     1.5x multi-core floor ({cores} CPU(s) visible — shards serialize \
+                     on the hardware; recorded warn-only)"
+                );
+            }
+        }
+    }
+    rows
+}
+
+/// Renders the sharded rows as a paper-style table.
+pub fn to_shard_table(rows: &[ShardRow]) -> Table {
+    let mut t = Table::new(
+        "Sharded serving: hash-routed engine shards behind one socket \
+         (pipelined binary, one connection per graph file; byte parity and \
+         disjoint per-shard routing asserted vs the first row)",
+        &[
+            "shards", "clients", "workers", "queries", "wall ms", "q/s", "p50 ms", "p99 ms",
+            "speedup", "routed", "parity",
+        ],
+    );
+    for r in rows {
+        t.push_row(vec![
+            r.shards.to_string(),
+            r.clients.to_string(),
+            r.workers.to_string(),
+            r.queries.to_string(),
+            fmt_f(r.wall_ms, 2),
+            fmt_f(r.qps, 0),
+            fmt_f(r.p50_ms, 3),
+            fmt_f(r.p99_ms, 3),
+            fmt_f(r.speedup, 2),
+            r.routed.clone(),
+            if r.parity { "ok" } else { "FAIL" }.to_string(),
+        ]);
+    }
+    t
 }
 
 /// Renders the rows as a paper-style table.

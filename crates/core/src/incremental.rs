@@ -123,10 +123,39 @@ enum Attempt {
     Fail(&'static str),
 }
 
+/// The threshold fallback's static reason string (the engine and the
+/// bench suite key probe-overhead accounting on it).
+pub const THRESHOLD_REASON: &str = "affected set exceeds the incremental threshold";
+
+/// A simulation fallback: the static reason plus how much probe work
+/// was spent before giving up. After the early-exit bound, a
+/// [`THRESHOLD_REASON`] fallback always reports
+/// `affected == max_affected + 1` — the probe stops growing `F` the
+/// moment it crosses the cap, before any further pass work.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SimFallback {
+    /// Static fallback reason.
+    pub reason: &'static str,
+    /// `|F|` when the simulation gave up (0 before seeding started).
+    pub affected: usize,
+    /// Promote-and-restart rounds taken before the fallback.
+    pub restarts: u32,
+}
+
+impl From<&'static str> for SimFallback {
+    fn from(reason: &'static str) -> Self {
+        SimFallback {
+            reason,
+            affected: 0,
+            restarts: 0,
+        }
+    }
+}
+
 /// Runs the simulation. `seed` must contain every delta-edge endpoint
 /// and every node id in `trace.n..n_new`; `trace` must come from the
 /// same policy on the pre-delta graph. Returns the exact cold-run result
-/// or a static fallback-reason string.
+/// or a fallback carrying the static reason and the probe work spent.
 pub fn simulate(
     policy: IncPolicy,
     trace: &PeelTrace,
@@ -134,14 +163,37 @@ pub fn simulate(
     seed: &[u32],
     adj: &dyn AffectedAdjacency,
     limits: SimLimits,
-) -> Result<SimSuccess, &'static str> {
+) -> Result<SimSuccess, SimFallback> {
     let sides = policy.sides();
     if trace.sides() != sides {
-        return Err("trace arity does not match policy");
+        return Err("trace arity does not match policy".into());
     }
     if n_new < trace.n as usize {
-        return Err("node count shrank");
+        return Err("node count shrank".into());
     }
+
+    // Seed the affected set *before* building the per-pass buckets: a
+    // delta too large for the tier must cost O(cap), not O(n·passes).
+    // The moment `|F|` crosses the cap the probe is doomed — bail with
+    // exactly `max_affected + 1` members, never having looked at the
+    // trace body.
+    let mut in_f = vec![false; n_new];
+    let mut f_ids: Vec<u32> = Vec::new();
+    for &u in seed {
+        if !in_f[u as usize] {
+            in_f[u as usize] = true;
+            f_ids.push(u);
+            if f_ids.len() > limits.max_affected {
+                return Err(SimFallback {
+                    reason: THRESHOLD_REASON,
+                    affected: f_ids.len(),
+                    restarts: 0,
+                });
+            }
+        }
+    }
+    f_ids.sort_unstable();
+
     let p_total = trace.passes.len();
     // Per-pass id buckets of the recorded run, built once (independent of F).
     let mut bucket: Vec<Vec<Vec<u32>>> = vec![vec![Vec::new(); p_total + 1]; sides];
@@ -153,28 +205,25 @@ pub fn simulate(
         }
     }
 
-    let mut in_f = vec![false; n_new];
-    let mut f_ids: Vec<u32> = Vec::new();
-    for &u in seed {
-        if !in_f[u as usize] {
-            in_f[u as usize] = true;
-            f_ids.push(u);
-        }
-    }
-    f_ids.sort_unstable();
-
     let mut restarts = 0u32;
     loop {
-        if f_ids.len() > limits.max_affected {
-            return Err("affected set exceeds the incremental threshold");
-        }
         match attempt(policy, trace, n_new, &f_ids, &in_f, &bucket, adj, restarts) {
             Attempt::Done(s) => return Ok(*s),
-            Attempt::Fail(r) => return Err(r),
+            Attempt::Fail(r) => {
+                return Err(SimFallback {
+                    reason: r,
+                    affected: f_ids.len(),
+                    restarts,
+                })
+            }
             Attempt::Grow(more) => {
                 restarts += 1;
                 if restarts > limits.max_restarts {
-                    return Err("too many affected-set expansions");
+                    return Err(SimFallback {
+                        reason: "too many affected-set expansions",
+                        affected: f_ids.len(),
+                        restarts,
+                    });
                 }
                 let mut grew = false;
                 for u in more {
@@ -182,10 +231,25 @@ pub fn simulate(
                         in_f[u as usize] = true;
                         f_ids.push(u);
                         grew = true;
+                        // Early exit: once the cap is crossed no further
+                        // attempt can run, so stop growing — the doomed
+                        // probe's expansion work stays O(cap), not
+                        // O(|Grow batch|) + another full attempt.
+                        if f_ids.len() > limits.max_affected {
+                            return Err(SimFallback {
+                                reason: THRESHOLD_REASON,
+                                affected: f_ids.len(),
+                                restarts,
+                            });
+                        }
                     }
                 }
                 if !grew {
-                    return Err("expansion made no progress");
+                    return Err(SimFallback {
+                        reason: "expansion made no progress",
+                        affected: f_ids.len(),
+                        restarts,
+                    });
                 }
                 f_ids.sort_unstable();
             }
@@ -1207,6 +1271,50 @@ mod tests {
                 max_restarts: 8,
             },
         );
-        assert!(res.is_err());
+        let fb = match res {
+            Err(fb) => fb,
+            Ok(_) => panic!("cap of 0 must force a fallback"),
+        };
+        assert_eq!(fb.reason, THRESHOLD_REASON);
+        // The early-exit bound: the probe stops growing F the moment it
+        // crosses the cap, so a threshold fallback reports exactly
+        // cap + 1 members no matter how large the delta was.
+        assert_eq!(fb.affected, 1);
+    }
+
+    #[test]
+    fn threshold_fallback_probe_is_bounded_by_the_cap() {
+        // A delta touching far more endpoints than the cap admits must
+        // bail after exactly cap + 1 seed insertions — O(cap) probe
+        // work — not after materializing the whole affected set.
+        let old = random_list(400, 1600, GraphKind::Undirected, 21);
+        let (new, touched) = mutate(&old, 120, 22);
+        assert!(touched.len() > 9, "delta must overflow the cap");
+        let csr_old = CsrUndirected::from_edge_list(&old);
+        let (_, trace) = {
+            let mut store = CsrUndirectedStore::new(&csr_old);
+            let mut policy = ThresholdPolicy::new(0.5);
+            peel_traced(&mut store, &mut policy, &KernelConfig::default())
+        };
+        let adj = ListAdjacency::build(&old, &new, old.num_nodes as usize);
+        for cap in [0usize, 3, 8] {
+            let fb = match simulate(
+                IncPolicy::Threshold { epsilon: 0.5 },
+                &trace,
+                old.num_nodes as usize,
+                &touched,
+                &adj,
+                SimLimits {
+                    max_affected: cap,
+                    max_restarts: 8,
+                },
+            ) {
+                Err(fb) => fb,
+                Ok(_) => panic!("overflowing delta must fall back"),
+            };
+            assert_eq!(fb.reason, THRESHOLD_REASON);
+            assert_eq!(fb.affected, cap + 1);
+            assert_eq!(fb.restarts, 0);
+        }
     }
 }

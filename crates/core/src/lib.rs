@@ -59,7 +59,9 @@ pub use directed::{
     DirectedRun, SweepResult,
 };
 pub use enumerate::{enumerate_dense_subgraphs, Community, EnumerateOptions};
-pub use incremental::{simulate, AffectedAdjacency, IncPolicy, SimLimits, SimSuccess};
+pub use incremental::{
+    simulate, AffectedAdjacency, IncPolicy, SimFallback, SimLimits, SimSuccess, THRESHOLD_REASON,
+};
 pub use kernel::{DegreeStore, PeelTrace, PeelingKernel, RemovalPolicy, TracePass};
 pub use large::{
     approx_densest_at_least_k, approx_densest_at_least_k_csr,

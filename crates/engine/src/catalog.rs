@@ -548,6 +548,13 @@ impl GraphCatalog {
         }
     }
 
+    /// The current entry bound (see [`GraphCatalog::set_max_entries`]) —
+    /// read when cloning one catalog's tuning onto another, e.g. when
+    /// the sharded server stamps per-shard engines from a template.
+    pub fn max_entries(&self) -> usize {
+        self.max_entries.load(Ordering::Relaxed)
+    }
+
     fn evict_lru(&self, map: &mut FxHashMap<Key, Arc<Slot>>) {
         if let Some(key) = map
             .iter()

@@ -23,7 +23,9 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use dsg_core::directed::{DirectedRun, SweepResult};
-use dsg_core::incremental::{simulate, AffectedAdjacency, IncPolicy, SimLimits, SimSuccess};
+use dsg_core::incremental::{
+    simulate, AffectedAdjacency, IncPolicy, SimFallback, SimLimits, SimSuccess,
+};
 use dsg_core::kernel::PeelTrace;
 use dsg_core::result::{DirectedPassStats, PassStats, UndirectedRun};
 use dsg_graph::{density, CsrDirected, CsrUndirected, GraphKind};
@@ -57,10 +59,16 @@ pub(crate) enum TraceSet {
 /// reasons without new wire plumbing.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct IncrementalDebug {
-    /// Final affected-set size (0 on a pre-simulation fallback).
+    /// Final affected-set size: `|F|` of the hit, or the probe work
+    /// spent before a fallback (0 on a pre-simulation fallback).
     pub affected: usize,
     /// Passes of the simulated run (0 on a fallback).
     pub passes: u32,
+    /// The simulator's `max_affected` cap for this attempt (0 when the
+    /// attempt never reached the simulator). The early-exit bound
+    /// guarantees a threshold fallback reports
+    /// `affected <= budget + 1`.
+    pub budget: usize,
     /// `None` on a hit, the static fallback reason otherwise.
     pub reason: Option<&'static str>,
 }
@@ -89,15 +97,15 @@ pub(crate) fn attempt(
     entry: &CatalogEntry,
     query: &Query,
     threshold: f64,
-) -> Result<IncOutcome, &'static str> {
+) -> Result<IncOutcome, SimFallback> {
     let n_new = entry.list.num_nodes as usize;
     if ops[cur_off..].is_empty() {
         // Content changed without journaled ops: only reachable through
         // bookkeeping drift, so refuse rather than replay nothing.
-        return Err("content changed but the journal window is empty");
+        return Err("content changed but the journal window is empty".into());
     }
     let limits = SimLimits {
-        max_affected: ((threshold * n_new as f64) as usize).max(8),
+        max_affected: sim_budget(threshold, n_new),
         max_restarts: 64,
     };
     let adj = JournalAdjacency::build(&inc.base, entry.list.kind, ops, cur_off);
@@ -140,8 +148,15 @@ pub(crate) fn attempt(
         (Algorithm::Directed { delta, epsilon }, TraceSet::Directed(traces)) => attempt_directed(
             traces, delta, epsilon, n_new, &seed_for, &adj, limits, entry,
         ),
-        _ => Err("stored trace does not match the query"),
+        _ => Err("stored trace does not match the query".into()),
     }
+}
+
+/// The simulator's affected-set cap for a graph of `n_new` nodes at the
+/// engine's incremental threshold — shared with the debug record so the
+/// bench suite can assert the probe-overhead bound against it.
+pub(crate) fn sim_budget(threshold: f64, n_new: usize) -> usize {
+    ((threshold * n_new as f64) as usize).max(8)
 }
 
 /// Directed sweeps simulate one run per grid ratio. The δ-grid is a
@@ -158,23 +173,23 @@ fn attempt_directed(
     adj: &JournalAdjacency,
     limits: SimLimits,
     entry: &CatalogEntry,
-) -> Result<IncOutcome, &'static str> {
+) -> Result<IncOutcome, SimFallback> {
     if traces.iter().any(|(_, t)| t.n as usize != n_new) {
-        return Err("node count changed (the directed grid depends on it)");
+        return Err("node count changed (the directed grid depends on it)".into());
     }
     // Regenerate the grid the cold run would sweep and require an exact
     // (bitwise) match with the seed's ratios.
     let n = n_new.max(2) as f64;
     let levels = (n.ln() / delta.ln()).ceil() as i32;
     if traces.len() != (2 * levels + 1) as usize {
-        return Err("sweep grid changed since the seed");
+        return Err("sweep grid changed since the seed".into());
     }
     let mut sims: Vec<SimSuccess> = Vec::with_capacity(traces.len());
     let mut per_c = Vec::with_capacity(traces.len());
     let mut affected = 0usize;
     for (i, (c, trace)) in traces.iter().enumerate() {
         if delta.powi(i as i32 - levels).to_bits() != c.to_bits() {
-            return Err("sweep grid changed since the seed");
+            return Err("sweep grid changed since the seed".into());
         }
         let policy = IncPolicy::DirectedSizes { c: *c, epsilon };
         let sim = simulate(policy, trace, n_new, &seed_for(trace.n), adj, limits)?;

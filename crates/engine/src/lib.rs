@@ -29,6 +29,10 @@
 //!   stdin/stdout or a Unix socket. Socket mode runs an accept thread
 //!   plus a bounded worker pool so many clients are served
 //!   concurrently against one shared engine.
+//! * [`shard`] — the sharded serve mode (`ServeOptions::shards > 1`):
+//!   N independent engines behind one socket, each request hash-routed
+//!   by graph identity over bounded per-shard queues so shards never
+//!   touch each other's locks.
 //! * **Mutable sessions** — named in-memory graphs created and mutated
 //!   through the catalog ([`NamedGraph`], `create_graph` / `add_edges`
 //!   / `remove_edges` / `compact` ops): every mutation publishes a
@@ -71,6 +75,8 @@ pub mod readiness;
 pub mod report;
 pub mod result_cache;
 pub mod serve;
+#[cfg(unix)]
+pub mod shard;
 
 pub use catalog::{
     CatalogEntry, CatalogStats, GraphCatalog, MutateOp, MutationOutcome, NamedGraph,
@@ -92,3 +98,5 @@ pub use serve::{
     percentile, serve_loop, serve_stdio, ClientOptions, ClientStats, ServeMetrics, ServeOptions,
     ServeSummary,
 };
+#[cfg(unix)]
+pub use shard::routing_shard;

@@ -271,6 +271,13 @@ impl ResultCache {
         self.evictions.fetch_add(evicted, Ordering::Relaxed);
     }
 
+    /// The current byte budget (see [`ResultCache::set_budget`]) — read
+    /// when cloning one cache's tuning onto another, e.g. when the
+    /// sharded server stamps per-shard engines from a template.
+    pub fn budget(&self) -> u64 {
+        self.budget_bytes.load(Ordering::Relaxed)
+    }
+
     /// Counters so far.
     pub fn stats(&self) -> ResultCacheStats {
         let (entries, bytes) = {

@@ -127,11 +127,18 @@ use crate::report::JsonBuilder;
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ServeOptions {
     /// Worker threads serving connections concurrently (clamped ≥ 1).
+    /// With `shards > 1` this sizes both the router's I/O workers and
+    /// each shard's executor pool.
     pub workers: usize,
     /// Bound of the pending-connection queue between the accept thread
     /// and the workers (clamped ≥ 1). A full queue blocks the accept
     /// thread — that is the backpressure.
     pub max_connections: usize,
+    /// Engine shards (clamped ≥ 1). At 1 the classic single-engine pool
+    /// runs; above 1 a front router owns all connection I/O and hash-
+    /// routes each request to one of `shards` independent engines over
+    /// bounded per-shard queues — see [`crate::shard`].
+    pub shards: usize,
 }
 
 impl Default for ServeOptions {
@@ -139,6 +146,7 @@ impl Default for ServeOptions {
         ServeOptions {
             workers: 4,
             max_connections: 64,
+            shards: 1,
         }
     }
 }
@@ -184,17 +192,33 @@ impl ServeMetrics {
         self.peak_connections.load(Ordering::Relaxed)
     }
 
-    fn connection_opened(&self) {
+    pub(crate) fn connection_opened(&self) {
         self.total_connections.fetch_add(1, Ordering::Relaxed);
         let now = self.active_connections.fetch_add(1, Ordering::Relaxed) + 1;
         self.peak_connections.fetch_max(now, Ordering::Relaxed);
     }
 
-    fn connection_closed(&self) {
+    pub(crate) fn connection_closed(&self) {
         self.active_connections.fetch_sub(1, Ordering::Relaxed);
     }
 
-    fn summary(&self) -> ServeSummary {
+    /// `(queries, mutations, errors)` so far — the shard layer sums
+    /// these across per-shard metrics for merged stats and summaries.
+    pub(crate) fn op_counts(&self) -> (u64, u64, u64) {
+        (
+            self.queries.load(Ordering::Relaxed),
+            self.mutations.load(Ordering::Relaxed),
+            self.errors.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Counts one request answered with an error object (router-side
+    /// parse/framing errors that never reach a shard).
+    pub(crate) fn record_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn summary(&self) -> ServeSummary {
         ServeSummary {
             queries: self.queries.load(Ordering::Relaxed),
             mutations: self.mutations.load(Ordering::Relaxed),
@@ -278,7 +302,7 @@ pub fn serve_loop<R: BufRead, W: Write>(
 /// How one request line was disposed of (drives the summary counters:
 /// `stats`/`shutdown` ops are answered but are not *queries*; graph
 /// mutations are counted on their own).
-enum LineOutcome {
+pub(crate) enum LineOutcome {
     QueryOk,
     MutationOk,
     OpOk,
@@ -312,7 +336,7 @@ fn handle_line(
 /// header, not as a field). Everything downstream of here is identical,
 /// which is what makes binary replies byte-identical in content to
 /// JSONL response lines.
-fn handle_fields(
+pub(crate) fn handle_fields(
     engine: &Engine,
     default_policy: &ResourcePolicy,
     metrics: &ServeMetrics,
@@ -431,7 +455,7 @@ fn handle_fields(
     }
 }
 
-fn error_response(id: &str, message: &str) -> String {
+pub(crate) fn error_response(id: &str, message: &str) -> String {
     let mut j = JsonBuilder::new();
     j.raw_field("id", id);
     j.raw_field("ok", "false");
@@ -765,6 +789,13 @@ pub fn serve_unix(
     std::fs::rename(&staging, path)?;
     guard.path = path.to_path_buf();
     let metrics = ServeMetrics::new();
+    if options.shards > 1 {
+        // Sharded mode: a front router owns the accept loop and all
+        // connection I/O; `engine` serves only as the tuning template
+        // for the per-shard engines. The guard above still removes the
+        // socket file on every exit path.
+        return crate::shard::run_sharded_pool(engine, policy, &listener, options, &metrics);
+    }
     run_pool(engine, policy, &listener, options, &metrics)?;
     let mut summary = metrics.summary();
     let inc = engine.incremental_stats();
@@ -779,17 +810,17 @@ pub fn serve_unix(
 /// until the backlog drains below the mark. A slow reader throttles
 /// itself, never the server — and never pins a graceful shutdown open.
 #[cfg(unix)]
-const WRITE_HWM: usize = 256 * 1024;
+pub(crate) const WRITE_HWM: usize = 256 * 1024;
 
 /// Read chunk size, and the consumed-prefix threshold above which the
 /// reusable read/write buffers are compacted.
 #[cfg(unix)]
-const READ_CHUNK: usize = 64 * 1024;
+pub(crate) const READ_CHUNK: usize = 64 * 1024;
 
 /// Counts live connections across all workers and blocks the accept
 /// thread at `max_connections` — the pool's backpressure.
 #[cfg(unix)]
-struct ConnGate {
+pub(crate) struct ConnGate {
     used: std::sync::Mutex<usize>,
     freed: std::sync::Condvar,
     cap: usize,
@@ -797,7 +828,7 @@ struct ConnGate {
 
 #[cfg(unix)]
 impl ConnGate {
-    fn new(cap: usize) -> Self {
+    pub(crate) fn new(cap: usize) -> Self {
         ConnGate {
             used: std::sync::Mutex::new(0),
             freed: std::sync::Condvar::new(),
@@ -807,7 +838,7 @@ impl ConnGate {
 
     /// Claims a connection slot, parking while the server is at
     /// capacity. Returns `false` once shutdown latches instead.
-    fn acquire(&self, metrics: &ServeMetrics) -> bool {
+    pub(crate) fn acquire(&self, metrics: &ServeMetrics) -> bool {
         let mut used = self.used.lock().expect("conn gate poisoned");
         while *used >= self.cap {
             if metrics.shutdown_requested() {
@@ -819,7 +850,7 @@ impl ConnGate {
         true
     }
 
-    fn release(&self) {
+    pub(crate) fn release(&self) {
         let mut used = self.used.lock().expect("conn gate poisoned");
         *used = used.saturating_sub(1);
         self.freed.notify_all();
@@ -828,7 +859,7 @@ impl ConnGate {
     /// Wakes every thread parked in [`ConnGate::acquire`] so it can
     /// observe the shutdown latch. Taking the mutex first makes the
     /// wake race-free against a concurrent check-then-wait.
-    fn poke(&self) {
+    pub(crate) fn poke(&self) {
         let _used = self.used.lock().expect("conn gate poisoned");
         self.freed.notify_all();
     }
@@ -935,7 +966,7 @@ fn run_pool(
 /// Blocks in `poll(2)` until a connection arrives; `Ok(None)` means the
 /// shutdown latch fired instead.
 #[cfg(unix)]
-fn accept_next(
+pub(crate) fn accept_next(
     listener: &std::os::unix::net::UnixListener,
     wake_rx: &crate::readiness::WakeReceiver,
     metrics: &ServeMetrics,
@@ -1069,7 +1100,7 @@ fn worker_event_loop(
 
 /// Which wire format a connection's first byte selected.
 #[cfg(unix)]
-enum WireMode {
+pub(crate) enum WireMode {
     /// Nothing received yet.
     Undetected,
     /// Line-delimited JSON (first byte was not the frame magic).
@@ -1083,25 +1114,25 @@ enum WireMode {
 /// buffers and the shared parse arena persist across requests, so
 /// steady-state decoding allocates nothing).
 #[cfg(unix)]
-struct Connection {
-    stream: std::os::unix::net::UnixStream,
-    mode: WireMode,
+pub(crate) struct Connection {
+    pub(crate) stream: std::os::unix::net::UnixStream,
+    pub(crate) mode: WireMode,
     /// Bytes read but not yet consumed; `rpos` is the consumed prefix.
-    rbuf: Vec<u8>,
-    rpos: usize,
+    pub(crate) rbuf: Vec<u8>,
+    pub(crate) rpos: usize,
     /// Bytes to write; `wpos` is the already-written prefix.
-    wbuf: Vec<u8>,
-    wpos: usize,
+    pub(crate) wbuf: Vec<u8>,
+    pub(crate) wpos: usize,
     /// Peer half-closed (or the connection was poisoned): read no more,
     /// close once the write backlog drains.
-    eof: bool,
+    pub(crate) eof: bool,
     /// Remove from the set at the next prune.
-    dead: bool,
+    pub(crate) dead: bool,
 }
 
 #[cfg(unix)]
 impl Connection {
-    fn new(stream: std::os::unix::net::UnixStream) -> Self {
+    pub(crate) fn new(stream: std::os::unix::net::UnixStream) -> Self {
         Connection {
             stream,
             mode: WireMode::Undetected,
@@ -1114,11 +1145,11 @@ impl Connection {
         }
     }
 
-    fn pending_write(&self) -> usize {
+    pub(crate) fn pending_write(&self) -> usize {
         self.wbuf.len() - self.wpos
     }
 
-    fn backlogged(&self) -> bool {
+    pub(crate) fn backlogged(&self) -> bool {
         self.pending_write() >= WRITE_HWM
     }
 
@@ -1126,7 +1157,7 @@ impl Connection {
         !self.dead && !self.eof && !self.backlogged()
     }
 
-    fn wants_write(&self) -> bool {
+    pub(crate) fn wants_write(&self) -> bool {
         !self.dead && self.pending_write() > 0
     }
 
@@ -1183,7 +1214,7 @@ impl Connection {
     }
 
     /// Reads until `WouldBlock`/EOF, appending to the reusable buffer.
-    fn fill_rbuf(&mut self) {
+    pub(crate) fn fill_rbuf(&mut self) {
         use std::io::Read;
 
         let mut chunk = [0u8; READ_CHUNK];
@@ -1339,7 +1370,7 @@ impl Connection {
     }
 
     /// Writes as much of the backlog as the socket accepts right now.
-    fn flush(&mut self) {
+    pub(crate) fn flush(&mut self) {
         while self.wpos < self.wbuf.len() {
             match self.stream.write(&self.wbuf[self.wpos..]) {
                 Ok(0) => {
@@ -2239,6 +2270,7 @@ mod tests {
                 &ServeOptions {
                     workers: 4,
                     max_connections: 16,
+                    shards: 1,
                 },
             )
             .unwrap()
@@ -2330,6 +2362,7 @@ mod tests {
                 &ServeOptions {
                     workers: 2,
                     max_connections: 4,
+                    shards: 1,
                 },
             )
             .unwrap()
@@ -2369,6 +2402,7 @@ mod tests {
                 &ServeOptions {
                     workers: 2,
                     max_connections: 4,
+                    shards: 1,
                 },
             )
             .unwrap()
@@ -2722,6 +2756,7 @@ mod tests {
             ServeOptions {
                 workers: 2,
                 max_connections: 32,
+                shards: 1,
             },
         );
         let idle: Vec<UnixStream> = (0..8)

@@ -47,6 +47,9 @@ fn analysis_shape_is_sane_not_vacuous() {
         "ResultCache.floors",
         "ConnGate.used",
         "WorkerSlot.intake",
+        "ShardQueue.backlog",
+        "RouterSlot.arrivals",
+        "RouterSlot.completions",
         "Slot.cell",
     ] {
         assert!(
@@ -68,10 +71,12 @@ fn analysis_shape_is_sane_not_vacuous() {
         );
     }
 
-    // The hot-path closure must cover the event loop and the frame
-    // decoder — the regression surface of the PR-6 fixes.
+    // The hot-path closure must cover the event loops and the frame
+    // decoder — the regression surface of the PR-6 fixes plus the
+    // sharded router loop.
     for f in [
         "worker_event_loop",
+        "router_event_loop",
         "Connection::process_one",
         "decode_request_payload",
     ] {

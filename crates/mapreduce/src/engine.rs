@@ -41,7 +41,7 @@ use std::fs::File;
 use std::hash::{Hash, Hasher};
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -573,36 +573,23 @@ where
         .into_iter()
         .map(|p| Mutex::new(Some(p)))
         .collect();
-    let cursor = AtomicUsize::new(0);
-    let mut partitions_out: Vec<(usize, Vec<O>, u64)> = Vec::with_capacity(num_partitions);
-
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(num_workers);
-        for _ in 0..num_workers {
-            let cursor = &cursor;
-            let slots = &slots;
-            handles.push(scope.spawn(move || {
-                let mut mine: Vec<(usize, Vec<O>, u64)> = Vec::new();
-                loop {
-                    let p = cursor.fetch_add(1, Ordering::Relaxed);
-                    if p >= slots.len() {
-                        break;
-                    }
-                    let shuffle = slots[p]
-                        .lock()
-                        .expect("partition slot poisoned")
-                        .take()
-                        .expect("partition claimed twice");
-                    let (out, groups) = reduce_partition(shuffle, reducer);
-                    mine.push((p, out, groups));
-                }
-                mine
-            }));
-        }
-        for h in handles {
-            partitions_out.append(&mut h.join().expect("reduce worker panicked"));
-        }
-    });
+    let mut partitions_out: Vec<(usize, Vec<O>, u64)> = crate::tasks::run_tasks(
+        num_workers,
+        num_partitions,
+        |_| Vec::new(),
+        |p, mine: &mut Vec<(usize, Vec<O>, u64)>| {
+            let shuffle = slots[p]
+                .lock()
+                .expect("partition slot poisoned")
+                .take()
+                .expect("partition claimed twice");
+            let (out, groups) = reduce_partition(shuffle, reducer);
+            mine.push((p, out, groups));
+        },
+    )
+    .into_iter()
+    .flatten()
+    .collect();
 
     partitions_out.sort_by_key(|&(p, _, _)| p);
     let reduce_groups: u64 = partitions_out.iter().map(|&(_, _, g)| g).sum();
@@ -640,43 +627,30 @@ where
     let budget = config.shuffle.budget();
 
     // ---- Map phase -------------------------------------------------
-    // Each worker claims splits via an atomic cursor and emits into its
-    // own `num_reducers` buckets; tagging with (split, seq) keeps value
-    // order deterministic after the merge.
-    let cursor = AtomicUsize::new(0);
+    // Each worker claims splits via the task scaffold's atomic cursor
+    // and emits into its own `num_reducers` buckets; tagging with
+    // (split, seq) keeps value order deterministic after the merge.
     let map_input: u64 = inputs.iter().map(|s| s.len() as u64).sum();
-    let mut worker_buckets: Vec<Vec<PartitionBuffer<K, V>>> = Vec::with_capacity(num_workers);
-
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(num_workers);
-        for _ in 0..num_workers {
-            let cursor = &cursor;
-            let mapper = &mapper;
-            handles.push(scope.spawn(move || {
-                let mut buckets: Vec<PartitionBuffer<K, V>> =
-                    (0..num_reducers).map(|_| PartitionBuffer::new()).collect();
-                loop {
-                    let split_idx = cursor.fetch_add(1, Ordering::Relaxed);
-                    if split_idx >= inputs.len() {
-                        break;
-                    }
-                    let mut seq = 0u64;
-                    let split_tag = (split_idx as u64) << 32;
-                    for record in &inputs[split_idx] {
-                        mapper(record, &mut |k: K, v: V| {
-                            let p = partition_of(&k, num_reducers);
-                            buckets[p].push((k, (split_tag | seq, v)), budget);
-                            seq += 1;
-                        });
-                    }
-                }
-                buckets
-            }));
-        }
-        for h in handles {
-            worker_buckets.push(h.join().expect("map worker panicked"));
-        }
-    });
+    let worker_buckets: Vec<Vec<PartitionBuffer<K, V>>> = crate::tasks::run_tasks(
+        num_workers,
+        inputs.len(),
+        |_| {
+            (0..num_reducers)
+                .map(|_| PartitionBuffer::new())
+                .collect::<Vec<PartitionBuffer<K, V>>>()
+        },
+        |split_idx, buckets| {
+            let mut seq = 0u64;
+            let split_tag = (split_idx as u64) << 32;
+            for record in &inputs[split_idx] {
+                mapper(record, &mut |k: K, v: V| {
+                    let p = partition_of(&k, num_reducers);
+                    buckets[p].push((k, (split_tag | seq, v)), budget);
+                    seq += 1;
+                });
+            }
+        },
+    );
 
     // ---- Shuffle ----------------------------------------------------
     let mut stats = RoundStats {
@@ -793,45 +767,36 @@ where
     let budget = config.shuffle.budget();
 
     // ---- Map + combine phase ----------------------------------------
-    let cursor = AtomicUsize::new(0);
     let map_input: u64 = inputs.iter().map(|s| s.len() as u64).sum();
-    let mut worker_buckets: Vec<Vec<PartitionBuffer<K, V>>> = Vec::with_capacity(num_workers);
-
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(num_workers);
-        for _ in 0..num_workers {
-            let cursor = &cursor;
-            let mapper = &mapper;
-            let merge = &merge;
-            handles.push(scope.spawn(move || {
-                let mut buckets: Vec<CombineBuffer<K, V>> =
-                    (0..num_reducers).map(|_| CombineBuffer::new()).collect();
-                loop {
-                    let split_idx = cursor.fetch_add(1, Ordering::Relaxed);
-                    if split_idx >= inputs.len() {
-                        break;
-                    }
-                    let mut seq = 0u64;
-                    let split_tag = (split_idx as u64) << 32;
-                    for record in &inputs[split_idx] {
-                        mapper(record, &mut |k: K, v: V| {
-                            let p = partition_of(&k, num_reducers);
-                            let tag = split_tag | seq;
-                            seq += 1;
-                            buckets[p].upsert(k, tag, v, merge, budget);
-                        });
-                    }
-                }
-                buckets
-                    .into_iter()
-                    .map(CombineBuffer::into_partition_buffer)
-                    .collect::<Vec<_>>()
-            }));
-        }
-        for h in handles {
-            worker_buckets.push(h.join().expect("map worker panicked"));
-        }
-    });
+    let worker_buckets: Vec<Vec<PartitionBuffer<K, V>>> = crate::tasks::run_tasks(
+        num_workers,
+        inputs.len(),
+        |_| {
+            (0..num_reducers)
+                .map(|_| CombineBuffer::new())
+                .collect::<Vec<CombineBuffer<K, V>>>()
+        },
+        |split_idx, buckets| {
+            let mut seq = 0u64;
+            let split_tag = (split_idx as u64) << 32;
+            for record in &inputs[split_idx] {
+                mapper(record, &mut |k: K, v: V| {
+                    let p = partition_of(&k, num_reducers);
+                    let tag = split_tag | seq;
+                    seq += 1;
+                    buckets[p].upsert(k, tag, v, &merge, budget);
+                });
+            }
+        },
+    )
+    .into_iter()
+    .map(|buckets| {
+        buckets
+            .into_iter()
+            .map(CombineBuffer::into_partition_buffer)
+            .collect()
+    })
+    .collect();
 
     // ---- Shuffle + reduce (shared with the uncombined round) ---------
     let mut stats = RoundStats {

@@ -27,10 +27,12 @@ const USAGE: &str =
      [--epsilon f] [--k n] [--delta f] [--threads n] [--sketch b] [--stream] [--binary] \
      [--directed-input] [--backend auto|memory|parallel|stream|mapreduce] [--memory-budget bytes] \
      [--flow-backend dinic|push-relabel] [--json] [--quiet]\n\
-       densest serve [--socket <path>] [--workers n] [--max-connections n] [--threads n] \
-     [--memory-budget bytes] [--max-graphs n] [--result-cache bytes] [--warm-threshold f] \
-     [--incremental-threshold f] [--compact-ratio f] [--quiet]\n\
-       densest client --socket <path> [--repeat n] [--parallel n] [--binary] [--pipeline n]\n\
+       densest serve [--socket <path>] [--workers n] [--max-connections n] [--shards n] \
+     [--shard-spill edges] [--threads n] [--memory-budget bytes] [--max-graphs n] \
+     [--result-cache bytes] [--warm-threshold f] [--incremental-threshold f] \
+     [--compact-ratio f] [--quiet]\n\
+       densest client --socket <path> [--repeat n] [--parallel n] [--graph-per-conn] \
+     [--binary] [--pipeline n]\n\
        densest --help";
 
 const HELP: &str = "densest — densest-subgraph queries over edge-list files
@@ -106,6 +108,20 @@ serve mode:
   summary of the same query (minus the nondeterministic elapsed_ms) —
   cold, catalog-cached, and result-cache-replayed alike.
 
+sharded serving (socket mode):
+  --shards n (default 1) splits the server into n independent engines —
+  each with its own catalog, result cache, and warm/incremental state on
+  its own executor pool — behind one socket. A front router owns all
+  connection I/O and routes every request by a stable hash of its graph
+  identity (\"graph\" name, else \"file\" path), so a named graph's whole
+  session always lands on the same shard and shards never touch each
+  other's locks. Responses stay byte-identical in content to a 1-shard
+  server; the stats op reports merged counters plus a per-shard
+  \"shards\" breakdown. --shard-spill <edges> (default off) additionally
+  promotes any unforced approx query over at least that many edges onto
+  the MapReduce substrate, partitioning its peeling passes across worker
+  threads (byte-identical results, plan reason names the threshold).
+
 mutable graph sessions (serve mode):
   {\"op\":\"create_graph\",\"graph\":\"g\",\"directed\":false,\"edges\":\"0 1, 1 2\"}
   makes a named in-memory mutable graph; {\"op\":\"add_edges\"} /
@@ -128,10 +144,16 @@ mutable graph sessions (serve mode):
 
 client mode:
   densest client forwards each stdin line to the server and prints each
-  response line. --repeat n sends the whole request set n times over the
-  same connection; --parallel n runs n such connections concurrently
-  (responses are printed grouped per connection, and a throughput
-  summary with per-connection p50/p99 latency goes to stderr).
+  response line. --repeat n sends the whole request set n times;
+  --parallel n spreads those rounds across n concurrent connections
+  (round-robin — total work is repeat x request-set regardless of the
+  connection count; responses are printed grouped per connection, and a
+  throughput summary with per-connection p50/p99 latency goes to
+  stderr). --graph-per-conn partitions the request set by graph identity
+  instead, with the server's own routing hash: connection c carries
+  exactly the requests an n-shard server would route to shard c, and
+  sends them --repeat times — disjoint-shard load for the throughput
+  grid.
   --binary switches the connection to the length-prefixed binary frame
   protocol (the server detects it per connection; response lines stay
   byte-identical to JSONL), and --pipeline n keeps up to n requests in
@@ -561,6 +583,7 @@ fn run_serve(args: impl Iterator<Item = String>) {
     let mut warm_threshold: Option<f64> = None;
     let mut incremental_threshold: Option<f64> = None;
     let mut compact_ratio: Option<f64> = None;
+    let mut shard_spill: Option<u64> = None;
     let mut quiet = false;
     let mut it = args.collect::<Vec<_>>().into_iter();
     while let Some(flag) = it.next() {
@@ -586,6 +609,16 @@ fn run_serve(args: impl Iterator<Item = String>) {
                     eprintln!("--max-connections must be at least 1");
                     exit(2);
                 }
+            }
+            "--shards" => {
+                options.shards = parse_value("--shards", &value("--shards"));
+                if options.shards == 0 {
+                    eprintln!("--shards must be at least 1");
+                    exit(2);
+                }
+            }
+            "--shard-spill" => {
+                shard_spill = Some(parse_budget("--shard-spill", &value("--shard-spill")));
             }
             "--threads" => {
                 policy.threads = parse_value("--threads", &value("--threads"));
@@ -652,14 +685,26 @@ fn run_serve(args: impl Iterator<Item = String>) {
     if let Some(r) = compact_ratio {
         engine.catalog().set_compact_ratio(r);
     }
+    if let Some(edges) = shard_spill {
+        engine.set_mapreduce_spill(if edges > 0 { Some(edges) } else { None });
+    }
+    if options.shards > 1 && socket.is_none() {
+        eprintln!("--shards requires --socket (stdin mode is one connection)");
+        exit(2);
+    }
     let summary = match &socket {
         Some(path) => {
             if !quiet {
                 eprintln!(
-                    "serving JSONL queries on socket {} ({} workers, {} pending connections max)",
+                    "serving JSONL queries on socket {} ({} workers, {} pending connections max{})",
                     path.display(),
                     options.workers.max(1),
-                    options.max_connections.max(1)
+                    options.max_connections.max(1),
+                    if options.shards > 1 {
+                        format!(", {} engine shards", options.shards)
+                    } else {
+                        String::new()
+                    }
                 );
             }
             densest_subgraph::engine::serve_unix(&engine, &policy, path, &options)
@@ -712,6 +757,7 @@ fn run_client(args: impl Iterator<Item = String>) {
     let mut socket: Option<PathBuf> = None;
     let mut repeat: usize = 1;
     let mut parallel: usize = 1;
+    let mut graph_per_conn = false;
     let mut client_options = ClientOptions::default();
     let mut it = args.collect::<Vec<_>>().into_iter();
     while let Some(flag) = it.next() {
@@ -737,6 +783,7 @@ fn run_client(args: impl Iterator<Item = String>) {
                     exit(2);
                 }
             }
+            "--graph-per-conn" => graph_per_conn = true,
             "--binary" => client_options.binary = true,
             "--pipeline" => {
                 client_options.pipeline = parse_value("--pipeline", &value("--pipeline"));
@@ -783,35 +830,67 @@ fn run_client(args: impl Iterator<Item = String>) {
         }
         buf
     };
+    // The request set is repeated `repeat` times and the rounds are
+    // spread across the `parallel` connections — total work is
+    // repeat x request-set no matter the connection count, so the
+    // throughput grid varies concurrency without varying load. With
+    // --graph-per-conn the split is by graph identity instead, using
+    // the server's own routing hash: connection c carries exactly the
+    // requests an n-shard server routes to shard c (disjoint-shard
+    // load), sent `repeat` times.
+    let per_conn_requests: Vec<String> = {
+        let lines: Vec<&str> = requests.lines().filter(|l| !l.trim().is_empty()).collect();
+        if graph_per_conn {
+            use densest_subgraph::engine::minijson::{self, Value};
+            let mut parts = vec![String::new(); parallel];
+            for line in &lines {
+                let conn = minijson::parse_object(line)
+                    .map(|fields| {
+                        let graph = minijson::get(&fields, "graph").and_then(Value::as_str);
+                        let file = minijson::get(&fields, "file").and_then(Value::as_str);
+                        densest_subgraph::engine::routing_shard(graph, file, parallel)
+                    })
+                    .unwrap_or(0);
+                parts[conn].push_str(line);
+                parts[conn].push('\n');
+            }
+            parts.into_iter().map(|part| part.repeat(repeat)).collect()
+        } else {
+            let mut round = String::with_capacity(requests.len() + 1);
+            for line in &lines {
+                round.push_str(line);
+                round.push('\n');
+            }
+            (0..parallel)
+                .map(|conn| {
+                    let rounds = repeat / parallel + usize::from(conn < repeat % parallel);
+                    round.repeat(rounds)
+                })
+                .collect()
+        }
+    };
     // Per connection: the responses received so far (flushed to stdout
     // even when the connection later died), the latency stats, and the
     // error if the connection failed mid-round — a failed worker must
     // surface *which* connection died after *how many* exchanges, and
     // the process must exit non-zero, not just report throughput.
-    let expected_per_conn = {
-        let lines = requests.lines().filter(|l| !l.trim().is_empty()).count();
-        (lines * repeat) as u64
-    };
+    let expected_per_conn: Vec<u64> = per_conn_requests
+        .iter()
+        .map(|r| r.lines().count() as u64)
+        .collect();
     let started = std::time::Instant::now();
     type ConnOutput = (Vec<u8>, ClientStats, Option<std::io::Error>);
     let outputs: Vec<ConnOutput> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..parallel)
-            .map(|_| {
+        let handles: Vec<_> = per_conn_requests
+            .iter()
+            .map(|conn_requests| {
                 let socket = &socket;
-                let requests = &requests;
                 let options = &client_options;
                 s.spawn(move || {
                     let mut out = Vec::new();
-                    let mut conn_requests = String::new();
-                    for _ in 0..repeat {
-                        conn_requests.push_str(requests);
-                        if !requests.ends_with('\n') {
-                            conn_requests.push('\n');
-                        }
-                    }
                     match densest_subgraph::engine::client_unix_opts(
                         socket,
-                        std::io::Cursor::new(conn_requests),
+                        std::io::Cursor::new(conn_requests.as_bytes()),
                         &mut out,
                         options,
                     ) {
@@ -852,9 +931,8 @@ fn run_client(args: impl Iterator<Item = String>) {
             if let Some(e) = error {
                 failures += 1;
                 eprintln!(
-                    "client connection {conn} failed after {}/{expected_per_conn} \
-                     exchanges: {e}",
-                    stats.exchanges
+                    "client connection {conn} failed after {}/{} exchanges: {e}",
+                    stats.exchanges, expected_per_conn[conn]
                 );
             } else if parallel > 1 {
                 eprintln!(

@@ -577,7 +577,7 @@ fn serve_socket_results_are_byte_identical_to_one_shot_runs() {
 }
 
 #[test]
-fn client_repeat_and_parallel_multiply_responses() {
+fn client_repeat_and_parallel_spread_responses() {
     use std::io::Write;
     use std::process::Stdio;
 
@@ -639,15 +639,17 @@ fn client_repeat_and_parallel_multiply_responses() {
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     let lines: Vec<&str> = stdout.lines().collect();
-    // 2 requests x 3 repeats x 2 parallel connections.
-    assert_eq!(lines.len(), 12, "{stdout}");
+    // 2 requests x 3 repeated rounds, spread round-robin over the 2
+    // connections (conn 0 carries rounds 0 and 2, conn 1 carries
+    // round 1) — total work never multiplies with the connection count.
+    assert_eq!(lines.len(), 6, "{stdout}");
     for l in &lines {
         assert_eq!(json_field(l, "ok"), "true", "{l}");
         assert_eq!(json_field(l, "loads"), "1", "single-flight load: {l}");
     }
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(
-        stderr.contains("12 exchanges over 2 connection(s) x 3 repeat(s)"),
+        stderr.contains("6 exchanges over 2 connection(s) x 3 repeat(s)"),
         "{stderr}"
     );
 
@@ -669,7 +671,9 @@ fn client_repeat_and_parallel_multiply_responses() {
     let stats_line = stats_stdout.lines().next().unwrap();
     assert_eq!(json_field(stats_line, "loads"), "1", "{stats_line}");
     let result_hits: u64 = json_field(stats_line, "result_hits").parse().unwrap();
-    assert!(result_hits >= 8, "{stats_line}");
+    // Conn 0's second round replays both cached results; the first
+    // round on each connection may race the other into the cache.
+    assert!(result_hits >= 2, "{stats_line}");
     let status = server.wait().expect("server exits after shutdown");
     assert!(status.success());
     assert!(!sock.exists(), "socket removed on clean shutdown");
@@ -744,9 +748,14 @@ fn client_parallel_propagates_connection_failures() {
     let out = child.wait_with_output().unwrap();
     assert!(!out.status.success(), "failed connections => non-zero exit");
     let stderr = String::from_utf8_lossy(&out.stderr);
-    for conn in 0..3 {
+    // The 2 repeated rounds spread round-robin: connections 0 and 1
+    // each owe one exchange, connection 2 none — but all three still
+    // dial the socket and must report their own failure.
+    for (conn, expected) in [(0, 1), (1, 1), (2, 0)] {
         assert!(
-            stderr.contains(&format!("client connection {conn} failed after 0/2")),
+            stderr.contains(&format!(
+                "client connection {conn} failed after 0/{expected}"
+            )),
             "per-connection error summary missing for {conn}: {stderr}"
         );
     }
