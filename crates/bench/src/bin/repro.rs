@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro <experiment> [--scale tiny|small|medium|large] [--csv]
-//!       [--data-dir <path>] [--out <file>] [--shards n,n,...]
+//!       [--data-dir <path>] [--out <file>] [--shards n,n,...] [--durable]
 //!
 //! experiments:
 //!   table1   dataset parameters
@@ -25,7 +25,9 @@
 //!            shard counts (default 1,2,4) with byte parity and
 //!            per-shard routing asserted vs the 1-shard server
 //!   mutate   mutable sessions: warm restart vs cold recompute vs file
-//!            rewrite per delta shape (parity asserted)
+//!            rewrite per delta shape (parity asserted); `--durable`
+//!            adds a WAL append + fsync-every-1 mirror arm and reports
+//!            its overhead vs the in-memory session mutate
 //!   lemma5   pass lower bound (union of regular graphs)
 //!   lemma6   pass lower bound (weighted power law)
 //!   all      everything above
@@ -57,6 +59,7 @@ struct Args {
     out: Option<PathBuf>,
     bench_json: Option<PathBuf>,
     shards: Vec<usize>,
+    durable: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -68,6 +71,7 @@ fn parse_args() -> Result<Args, String> {
     let mut out = None;
     let mut bench_json = None;
     let mut shards = vec![1, 2, 4];
+    let mut durable = false;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--scale" => {
@@ -75,6 +79,7 @@ fn parse_args() -> Result<Args, String> {
                 scale = Scale::parse(&v).ok_or(format!("unknown scale '{v}'"))?;
             }
             "--csv" => csv = true,
+            "--durable" => durable = true,
             "--data-dir" => {
                 data_dir = Some(PathBuf::from(
                     args.next().ok_or("missing value for --data-dir")?,
@@ -110,13 +115,14 @@ fn parse_args() -> Result<Args, String> {
         out,
         bench_json,
         shards,
+        durable,
     })
 }
 
 fn usage() -> String {
     "usage: repro <table1|table2|fig61|fig62|fig63|table3|fig64|fig65|fig66|table4|fig67|scaling|outofcore|planner|serve-throughput|mutate|lemma5|lemma6|all> \
      [--scale tiny|small|medium|large] [--csv] [--data-dir <path>] [--out <file>] \
-     [--bench-json <file>] [--shards n,n,...]"
+     [--bench-json <file>] [--shards n,n,...] [--durable]"
         .to_string()
 }
 
@@ -157,7 +163,10 @@ fn run_experiment(name: &str, args: &Args) -> Result<Vec<Table>, String> {
                 &args.shards,
             )),
         ],
-        "mutate" => vec![exp::mutate::to_table(&exp::mutate::run(scale))],
+        "mutate" => vec![exp::mutate::to_table(&exp::mutate::run(
+            scale,
+            args.durable,
+        ))],
         "lemma5" => vec![exp::lemmas::to_table(
             "Lemma 5: passes on the union-of-regular-graphs instance (ε=0.5)",
             "k",

@@ -25,6 +25,17 @@
 //!   disk, then a fresh engine loads it (stat scan + parse +
 //!   canonicalize + fingerprint + CSR + peel).
 //!
+//! With `--durable` a fifth arm mirrors every mutation to a session
+//! engine whose catalog has a WAL + snapshot data dir open at
+//! `--fsync-every 1` (the strictest policy the serve stack offers):
+//! the `durable ms` column is the mutate-only cost of append + fsync +
+//! publish, and `durable x` is that cost relative to the identical
+//! in-memory session mutation (the warm mirror). Content parity with
+//! the in-memory session is asserted every round. Both columns are
+//! compared warn-only against `bench/baseline.json` — fsync latency is
+//! the one number here that genuinely belongs to the host's disk, not
+//! the code.
+//!
 //! **Parity is asserted, not sampled**: every incremental report and
 //! every warm report must be byte-identical (minus `elapsed_ms`) to the
 //! cold report over the materialized graph, for every round × shape ×
@@ -83,6 +94,12 @@ pub struct Row {
     pub cold_ms: f64,
     /// File world: rewrite + cold load + query, milliseconds.
     pub file_ms: f64,
+    /// Durable session mutation (WAL append + fsync-every-1 + publish),
+    /// milliseconds; 0 when the `--durable` arm is off.
+    pub durable_ms: f64,
+    /// `durable mutate / in-memory (warm) mutate` for the same batch —
+    /// the append+fsync overhead factor; 0 when the arm is off.
+    pub durable_overhead: f64,
     /// Affected-set size of the incremental simulation (0 on fallback).
     pub affected: u64,
     /// Peel passes the incremental answer took (0 on fallback).
@@ -138,8 +155,9 @@ struct Session {
     queries: Vec<(&'static str, Query)>,
 }
 
-/// Runs the experiment at the given scale.
-pub fn run(scale: Scale) -> Vec<Row> {
+/// Runs the experiment at the given scale. `durable` adds the WAL +
+/// fsync mirror arm (the `--durable` flag of `repro mutate`).
+pub fn run(scale: Scale, durable: bool) -> Vec<Row> {
     let dir = data_dir();
     // The headline engine: incremental tier on (default threshold).
     let engine = Engine::new();
@@ -147,11 +165,28 @@ pub fn run(scale: Scale) -> Vec<Row> {
     // every small delta takes the full warm re-peel this PR improves on.
     let warm_engine = Engine::new();
     warm_engine.set_incremental_threshold(0.0);
+    // The durable mirror: same sessions again, but every mutation is
+    // WAL-appended and fsynced before it publishes (fsync-every 1, the
+    // serve stack's strictest policy). A fresh data dir per run — a
+    // leftover WAL would replay a previous run's graphs into the
+    // catalog before ours are even created.
+    let durable_engine = durable.then(|| {
+        let e = Engine::new();
+        let wal_dir = dir.join(format!("wal_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&wal_dir);
+        e.catalog()
+            .open_data_dir(&wal_dir, 1, 256)
+            .expect("open durable data dir");
+        e
+    });
     let policy = ResourcePolicy::default();
 
     let und = flickr_standin(scale);
     let dir_graph = twitter_standin(scale);
-    for e in [&engine, &warm_engine] {
+    for e in [Some(&engine), Some(&warm_engine), durable_engine.as_ref()]
+        .into_iter()
+        .flatten()
+    {
         e.create_graph("live_und", GraphKind::Undirected, &und.edges)
             .expect("create undirected session");
         e.create_graph("live_dir", GraphKind::Directed, &dir_graph.edges)
@@ -262,7 +297,35 @@ pub fn run(scale: Scale) -> Vec<Row> {
                     .expect("remove_edges (warm mirror)");
             }
             let warm_mutate_ms = warm_started.elapsed().as_secs_f64() * 1e3;
+
+            // --- durable arm: the identical mutation once more, now
+            // with a WAL append + fsync inside the publication lock.
+            // Mutate-only timing: the query path is byte-identical to
+            // the in-memory session (same snapshot type), so re-timing
+            // it here would only measure noise.
+            let durable_mutate_ms = durable_engine.as_ref().map(|e| {
+                let started = Instant::now();
+                if !adds.is_empty() {
+                    e.add_edges(session.name, &adds)
+                        .expect("add_edges (durable mirror)");
+                }
+                if !removes.is_empty() {
+                    e.remove_edges(session.name, &removes)
+                        .expect("remove_edges (durable mirror)");
+                }
+                started.elapsed().as_secs_f64() * 1e3
+            });
             let current = materialized(&engine, session.name);
+            if let Some(e) = durable_engine.as_ref() {
+                let mirrored = materialized(e, session.name);
+                assert_eq!(
+                    (mirrored.num_nodes, &mirrored.edges),
+                    (current.num_nodes, &current.edges),
+                    "durable mirror diverged from the in-memory session: \
+                     round {round}, {shape}, {}",
+                    session.name
+                );
+            }
 
             for (alg_name, query) in &session.queries {
                 let hits_before = engine.incremental_stats().hits;
@@ -372,6 +435,11 @@ pub fn run(scale: Scale) -> Vec<Row> {
                     warm_query_ms,
                     cold_ms,
                     file_ms,
+                    durable_ms: durable_mutate_ms.unwrap_or(0.0) / session.queries.len() as f64,
+                    durable_overhead: match durable_mutate_ms {
+                        Some(d) if warm_mutate_ms > 0.0 => d / warm_mutate_ms,
+                        _ => 0.0,
+                    },
                     affected,
                     passes,
                     fallback,
@@ -396,6 +464,12 @@ pub fn run(scale: Scale) -> Vec<Row> {
     let warm_before = engine.warm_stats();
     for session in &sessions {
         engine.compact_graph(session.name).expect("compact");
+        if let Some(e) = durable_engine.as_ref() {
+            // Keep the WAL lineage honest: the durable mirror compacts
+            // too (a compact record + snapshot-cadence bookkeeping).
+            e.compact_graph(session.name)
+                .expect("compact (durable mirror)");
+        }
         let current = materialized(&engine, session.name);
         for (alg_name, query) in &session.queries {
             let started = Instant::now();
@@ -433,6 +507,8 @@ pub fn run(scale: Scale) -> Vec<Row> {
                 warm_query_ms: warm_ms,
                 cold_ms,
                 file_ms: 0.0,
+                durable_ms: 0.0,
+                durable_overhead: 0.0,
                 affected: 0,
                 passes: 0,
                 fallback: "-",
@@ -508,6 +584,25 @@ pub fn run(scale: Scale) -> Vec<Row> {
         }
     }
 
+    if durable {
+        let mut over: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.durable_overhead > 0.0)
+            .map(|r| r.durable_overhead)
+            .collect();
+        assert!(
+            !over.is_empty(),
+            "--durable was set but no round timed a durable mutation"
+        );
+        over.sort_by(|a, b| a.partial_cmp(b).expect("finite overheads"));
+        let median = over[over.len() / 2];
+        eprintln!(
+            "[mutate] durable sessions (WAL append + fsync-every-1): \
+             median {median:.2}x the in-memory session mutate over {} rounds",
+            over.len()
+        );
+    }
+
     rows
 }
 
@@ -535,6 +630,8 @@ pub fn to_table(rows: &[Row]) -> Table {
             "warm ms",
             "cold ms",
             "file ms",
+            "durable ms",
+            "durable x",
             "affected",
             "passes",
             "fallback",
@@ -554,6 +651,8 @@ pub fn to_table(rows: &[Row]) -> Table {
             fmt_f(r.warm_ms, 2),
             fmt_f(r.cold_ms, 2),
             fmt_f(r.file_ms, 2),
+            fmt_f(r.durable_ms, 2),
+            fmt_f(r.durable_overhead, 2),
             r.affected.to_string(),
             r.passes.to_string(),
             r.fallback.to_string(),

@@ -199,6 +199,7 @@ pub fn run(scale: Scale) -> Vec<Row> {
                 workers,
                 max_connections: 2 * clients.max(1),
                 shards: 1,
+                ..ServeOptions::default()
             };
             let row = std::thread::scope(|s| {
                 let server = {
@@ -524,6 +525,7 @@ pub fn run_sharded(scale: Scale, shard_counts: &[usize]) -> Vec<ShardRow> {
             workers,
             max_connections: 2 * clients + 2,
             shards,
+            ..ServeOptions::default()
         };
         let mut row = std::thread::scope(|s| {
             let server = {

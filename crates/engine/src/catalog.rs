@@ -69,7 +69,11 @@ use dsg_graph::{
     CsrDirected, CsrUndirected, DeltaGraph, EdgeList, GraphError, GraphKind, Result as GraphResult,
 };
 
+use dsg_graph::wal::SessionOp;
+use std::borrow::Cow;
+
 use crate::error::{EngineError, Result as EngineResult};
+use crate::persistence::{Durability, GraphWal, RecoveryStats};
 use crate::planner::GraphMeta;
 
 /// A loaded, canonicalized graph with lazily-built CSR snapshots.
@@ -244,6 +248,16 @@ pub struct NamedGraph {
     journal: Mutex<Journal>,
     incremental_hits: AtomicU64,
     incremental_fallbacks: AtomicU64,
+    /// The graph's WAL append handle when the catalog has a data dir
+    /// (`None` for purely in-memory sessions). Lock order: taken while
+    /// holding `state` — mutate appends *before* it publishes — and
+    /// never held across another acquisition (a leaf, like `journal`).
+    wal: Mutex<Option<GraphWal>>,
+    /// WAL records replayed to rebuild this graph at startup (0 unless
+    /// the graph was recovered from disk). Fixed at construction.
+    replayed_ops: u64,
+    /// 1 if recovery dropped a torn/corrupt WAL tail for this graph.
+    dropped_tail_records: u64,
 }
 
 impl NamedGraph {
@@ -313,6 +327,10 @@ impl NamedGraph {
             let state = self.state.lock().expect("named graph lock poisoned");
             (state.delta_edges() as u64, state.compactions())
         };
+        let wal = {
+            let wal = self.wal.lock().expect("named graph lock poisoned");
+            wal.as_ref().map(|w| w.wal_stats()).unwrap_or_default()
+        };
         let snap = self.snapshot();
         NamedGraphStats {
             name: self.name.clone(),
@@ -325,6 +343,11 @@ impl NamedGraph {
             warm_fallbacks: self.warm_fallbacks.load(Ordering::Relaxed),
             incremental_hits: self.incremental_hits.load(Ordering::Relaxed),
             incremental_fallbacks: self.incremental_fallbacks.load(Ordering::Relaxed),
+            wal_bytes: wal.wal_bytes,
+            snapshot_version: wal.snapshot_version,
+            last_fsync: wal.last_fsync,
+            replayed_ops: self.replayed_ops,
+            dropped_tail_records: self.dropped_tail_records,
         }
     }
 }
@@ -352,6 +375,16 @@ pub struct NamedGraphStats {
     pub incremental_hits: u64,
     /// Incremental attempts that fell back to warm/cold on this graph.
     pub incremental_fallbacks: u64,
+    /// Bytes currently in the graph's WAL (0 when not durable).
+    pub wal_bytes: u64,
+    /// Version held by the graph's on-disk snapshot (0 = none yet).
+    pub snapshot_version: u64,
+    /// WAL records covered by the last fsync (0 when not durable).
+    pub last_fsync: u64,
+    /// WAL records replayed to rebuild this graph at startup.
+    pub replayed_ops: u64,
+    /// 1 if recovery dropped a torn/corrupt WAL tail for this graph.
+    pub dropped_tail_records: u64,
 }
 
 /// One mutation request against a named graph.
@@ -499,6 +532,14 @@ pub struct GraphCatalog {
     version_counter: AtomicU64,
     /// `f64` bits of the auto-compaction delta ratio.
     compact_ratio_bits: AtomicU64,
+    /// The durability layer, set at most once by
+    /// [`GraphCatalog::open_data_dir`]. `None` = purely in-memory
+    /// sessions (the pre-durability behavior, and still the default).
+    durability: OnceLock<Durability>,
+    /// Total WAL records replayed across all recovered graphs.
+    replayed_ops: AtomicU64,
+    /// Total torn/corrupt WAL tails dropped across all recovered graphs.
+    dropped_tail_records: AtomicU64,
 }
 
 impl Default for GraphCatalog {
@@ -516,6 +557,9 @@ impl Default for GraphCatalog {
             max_entries: AtomicUsize::new(DEFAULT_MAX_ENTRIES),
             version_counter: AtomicU64::new(0),
             compact_ratio_bits: AtomicU64::new(DEFAULT_COMPACT_RATIO.to_bits()),
+            durability: OnceLock::new(),
+            replayed_ops: AtomicU64::new(0),
+            dropped_tail_records: AtomicU64::new(0),
         }
     }
 }
@@ -894,6 +938,34 @@ impl GraphCatalog {
             delta_edges,
             compacted,
         };
+        let mut map = self.named.write().expect("catalog lock poisoned");
+        if map.contains_key(name) {
+            return Err(EngineError::GraphExists {
+                name: name.to_string(),
+            });
+        }
+        // Durable create: reset the graph's directory and write the
+        // create record **before** the name is published in the map, so
+        // a crash in between recovers to "the graph does not exist" —
+        // exactly the pre-op state of an unacknowledged create. This
+        // runs under the map write lock (creates are rare; the I/O is
+        // one small record) so two racing creates can never both wipe
+        // and write the same directory; no other lock is acquired.
+        let wal = match self.durability.get() {
+            Some(d) => {
+                let mut w = d.create_graph_wal(name)?;
+                w.append(
+                    version,
+                    &SessionOp::Create {
+                        kind,
+                        edges: Cow::Borrowed(edges),
+                    },
+                    &delta,
+                )?;
+                Some(w)
+            }
+            None => None,
+        };
         let graph = Arc::new(NamedGraph {
             name: name.to_string(),
             fingerprint,
@@ -909,13 +981,10 @@ impl GraphCatalog {
             }),
             incremental_hits: AtomicU64::new(0),
             incremental_fallbacks: AtomicU64::new(0),
+            wal: Mutex::new(wal),
+            replayed_ops: 0,
+            dropped_tail_records: 0,
         });
-        let mut map = self.named.write().expect("catalog lock poisoned");
-        if map.contains_key(name) {
-            return Err(EngineError::GraphExists {
-                name: name.to_string(),
-            });
-        }
         if map.len() >= self.max_entries.load(Ordering::Relaxed) {
             self.evict_lru_named(&mut map);
         }
@@ -1005,6 +1074,27 @@ impl GraphCatalog {
         let old = graph.snapshot();
         let snapshot = if changed {
             let version = self.version_counter.fetch_add(1, Ordering::Relaxed) + 1;
+            // Durability: append **before** publish, still under the
+            // state mutex. A crash after the append replays to exactly
+            // this version on restart (post-op); a crash before it
+            // recovers the previous version (pre-op) — never a hybrid.
+            // The wal guard is a leaf: nothing else is acquired while
+            // it is held. On an append error the op is reported failed
+            // while the in-memory delta already holds it — the next
+            // successful mutation's record covers both (records carry
+            // the full requested batch; set semantics make replaying a
+            // partially-acknowledged batch converge to the same graph).
+            {
+                let mut wal = graph.wal.lock().expect("named graph lock poisoned");
+                if let Some(w) = wal.as_mut() {
+                    let rec = match op {
+                        MutateOp::Add(edges) => SessionOp::Add(Cow::Borrowed(edges)),
+                        MutateOp::Remove(edges) => SessionOp::Remove(Cow::Borrowed(edges)),
+                        MutateOp::Compact => SessionOp::Compact,
+                    };
+                    w.append(version, &rec, &state)?;
+                }
+            }
             let snapshot = Self::named_snapshot(graph.fingerprint, version, &state, journal_mark);
             *graph.snapshot.write().expect("named graph lock poisoned") = snapshot.clone();
             graph.cum_delta.fetch_add(applied, Ordering::Relaxed);
@@ -1038,6 +1128,97 @@ impl GraphCatalog {
             delta_edges,
             compacted,
         })
+    }
+
+    /// Opens a data directory, making every named session graph durable:
+    /// existing graphs are recovered (snapshot first, then WAL replay,
+    /// torn tails dropped by checksum) and inserted into the catalog at
+    /// the exact versions they crashed at, the version counter is
+    /// raised past the highest recovered version (versions never
+    /// regress across restarts — the result cache and warm seeds assume
+    /// it), and every graph created afterwards gets its own WAL.
+    ///
+    /// Call once, at startup, before serving; a second call fails. The
+    /// serve layer passes a **per-shard** subdirectory so no two engines
+    /// share files. `fsync_every` = 0 disables explicit fsync;
+    /// `snapshot_every` is clamped ≥ 1.
+    pub fn open_data_dir(
+        &self,
+        dir: &Path,
+        fsync_every: u64,
+        snapshot_every: u64,
+    ) -> EngineResult<RecoveryStats> {
+        if self.durability.get().is_some() {
+            return Err(EngineError::Persistence(
+                "data dir already open for this catalog".into(),
+            ));
+        }
+        let durability = Durability::open(dir, fsync_every, snapshot_every.max(1))?;
+        let recovered = durability.recover(self.compact_ratio())?;
+        let mut stats = RecoveryStats::default();
+        {
+            let mut map = self.named.write().expect("catalog lock poisoned");
+            for g in recovered {
+                stats.graphs += 1;
+                stats.replayed_ops += g.replayed_ops;
+                stats.dropped_tail_records += g.dropped_tail_records;
+                stats.max_version = stats.max_version.max(g.version);
+                let fingerprint = fnv1a(g.name.bytes());
+                // Fresh journal at epoch 1 (same as a new create): any
+                // incremental seed from the previous process is gone
+                // with that process, so nothing can hold positions into
+                // the discarded journal.
+                let snapshot = Self::named_snapshot(fingerprint, g.version, &g.state, (1, 0));
+                let graph = Arc::new(NamedGraph {
+                    name: g.name.clone(),
+                    fingerprint,
+                    state: Mutex::new(g.state),
+                    snapshot: RwLock::new(snapshot),
+                    last_used: AtomicU64::new(self.clock.fetch_add(1, Ordering::Relaxed) + 1),
+                    cum_delta: AtomicU64::new(0),
+                    warm_hits: AtomicU64::new(0),
+                    warm_fallbacks: AtomicU64::new(0),
+                    journal: Mutex::new(Journal {
+                        epoch: 1,
+                        ops: Vec::new(),
+                    }),
+                    incremental_hits: AtomicU64::new(0),
+                    incremental_fallbacks: AtomicU64::new(0),
+                    wal: Mutex::new(Some(g.wal)),
+                    replayed_ops: g.replayed_ops,
+                    dropped_tail_records: g.dropped_tail_records,
+                });
+                map.insert(g.name, graph);
+            }
+            let bound = self.max_entries.load(Ordering::Relaxed);
+            while map.len() > bound {
+                self.evict_lru_named(&mut map);
+            }
+        }
+        self.version_counter
+            .fetch_max(stats.max_version, Ordering::Relaxed);
+        self.replayed_ops
+            .fetch_add(stats.replayed_ops, Ordering::Relaxed);
+        self.dropped_tail_records
+            .fetch_add(stats.dropped_tail_records, Ordering::Relaxed);
+        self.durability.set(durability).map_err(|_| {
+            EngineError::Persistence("data dir already open for this catalog".into())
+        })?;
+        Ok(stats)
+    }
+
+    /// Whether this catalog persists sessions (a data dir is open).
+    pub fn is_durable(&self) -> bool {
+        self.durability.get().is_some()
+    }
+
+    /// `(replayed_ops, dropped_tail_records)` totals from startup
+    /// recovery — the serve `stats` op's flat recovery counters.
+    pub fn recovery_counters(&self) -> (u64, u64) {
+        (
+            self.replayed_ops.load(Ordering::Relaxed),
+            self.dropped_tail_records.load(Ordering::Relaxed),
+        )
     }
 }
 

@@ -34,6 +34,11 @@ pub enum EngineError {
         /// The conflicting graph name.
         name: String,
     },
+    /// The durability layer failed: the data dir could not be opened or
+    /// recovered, or a WAL append / snapshot write hit an I/O error. On
+    /// an append failure the in-memory state may be **ahead** of disk
+    /// until the next successful append or a restart replays the log.
+    Persistence(String),
     /// The named graph was evicted (or replaced by a re-creation) while
     /// a mutation was in flight: the delta was **not** applied to any
     /// live catalog entry, and the caller must retry against the current
@@ -60,6 +65,7 @@ impl std::fmt::Display for EngineError {
             EngineError::GraphExists { name } => {
                 write!(f, "graph '{name}' already exists")
             }
+            EngineError::Persistence(msg) => write!(f, "durability error: {msg}"),
             EngineError::StaleGraph { name } => {
                 write!(
                     f,

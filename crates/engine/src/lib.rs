@@ -68,6 +68,7 @@ mod error;
 pub mod frame;
 mod incremental;
 pub mod minijson;
+pub mod persistence;
 pub mod planner;
 pub mod query;
 #[cfg(unix)]
@@ -88,6 +89,7 @@ pub use engine::{
 };
 pub use error::{EngineError, Result};
 pub use incremental::IncrementalDebug;
+pub use persistence::{RecoveryStats, WalStats, DEFAULT_FSYNC_EVERY, DEFAULT_SNAPSHOT_EVERY};
 pub use planner::{Backend, GraphMeta, Plan, ShuffleChoice};
 pub use query::{Algorithm, BackendRequest, Query, ResourcePolicy, Source};
 pub use report::{JsonBuilder, Outcome, Report, ShuffleStats};

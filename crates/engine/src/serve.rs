@@ -123,8 +123,8 @@ use crate::minijson::{self, Value};
 use crate::query::{Algorithm, BackendRequest, Query, ResourcePolicy, Source};
 use crate::report::JsonBuilder;
 
-/// Worker-pool sizing of the socket serve mode.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// Worker-pool sizing and durability wiring of the socket serve mode.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ServeOptions {
     /// Worker threads serving connections concurrently (clamped ≥ 1).
     /// With `shards > 1` this sizes both the router's I/O workers and
@@ -139,6 +139,19 @@ pub struct ServeOptions {
     /// routes each request to one of `shards` independent engines over
     /// bounded per-shard queues — see [`crate::shard`].
     pub shards: usize,
+    /// Root of the durable-session store (`None` = in-memory sessions).
+    /// Each shard opens `<data_dir>/shard-<i>` — its own WAL + snapshot
+    /// tree, so shards share no files — recovering whatever a previous
+    /// process left there. See [`crate::persistence`].
+    pub data_dir: Option<PathBuf>,
+    /// fsync the WAL after every Nth appended record (0 = never fsync
+    /// explicitly; crash recovery still holds — this is the power-loss
+    /// durability bound). Ignored without `data_dir`.
+    pub fsync_every: u64,
+    /// Rotate a compacted snapshot (and truncate the WAL) every Nth
+    /// appended record per graph (clamped ≥ 1). Ignored without
+    /// `data_dir`.
+    pub snapshot_every: u64,
 }
 
 impl Default for ServeOptions {
@@ -147,6 +160,9 @@ impl Default for ServeOptions {
             workers: 4,
             max_connections: 64,
             shards: 1,
+            data_dir: None,
+            fsync_every: crate::persistence::DEFAULT_FSYNC_EVERY,
+            snapshot_every: crate::persistence::DEFAULT_SNAPSHOT_EVERY,
         }
     }
 }
@@ -389,6 +405,12 @@ pub(crate) fn handle_fields(
             let inc = engine.incremental_stats();
             j.num_field("incremental_hits", inc.hits as f64);
             j.num_field("incremental_fallbacks", inc.fallbacks as f64);
+            // Startup-recovery counters (zero on a non-durable server):
+            // the crash-recovery CI lane asserts on these structured
+            // fields instead of grepping server logs.
+            let (replayed, dropped) = engine.catalog().recovery_counters();
+            j.num_field("replayed_ops", replayed as f64);
+            j.num_field("dropped_tail_records", dropped as f64);
             // Per-session-graph accounting, last so the flat fields
             // above stay trivially greppable — and only when at least
             // one session graph exists, so the response of a
@@ -411,6 +433,11 @@ pub(crate) fn handle_fields(
                     item.num_field("warm_fallbacks", g.warm_fallbacks as f64);
                     item.num_field("incremental_hits", g.incremental_hits as f64);
                     item.num_field("incremental_fallbacks", g.incremental_fallbacks as f64);
+                    item.num_field("wal_bytes", g.wal_bytes as f64);
+                    item.num_field("snapshot_version", g.snapshot_version as f64);
+                    item.num_field("last_fsync", g.last_fsync as f64);
+                    item.num_field("replayed_ops", g.replayed_ops as f64);
+                    item.num_field("dropped_tail_records", g.dropped_tail_records as f64);
                     item.finish()
                 })
                 .collect();
@@ -792,9 +819,25 @@ pub fn serve_unix(
     if options.shards > 1 {
         // Sharded mode: a front router owns the accept loop and all
         // connection I/O; `engine` serves only as the tuning template
-        // for the per-shard engines. The guard above still removes the
-        // socket file on every exit path.
+        // for the per-shard engines (each of which opens its own
+        // `shard-<i>` data subdirectory). The guard above still removes
+        // the socket file on every exit path.
         return crate::shard::run_sharded_pool(engine, policy, &listener, options, &metrics);
+    }
+    if let Some(dir) = &options.data_dir {
+        // Single-shard durability: the serving engine itself opens
+        // `shard-0`, so a later `--shards n` restart finds shard 0's
+        // graphs where shard 0 will look for them.
+        if !engine.catalog().is_durable() {
+            engine
+                .catalog()
+                .open_data_dir(
+                    &dir.join("shard-0"),
+                    options.fsync_every,
+                    options.snapshot_every,
+                )
+                .map_err(|e| std::io::Error::other(e.to_string()))?;
+        }
     }
     run_pool(engine, policy, &listener, options, &metrics)?;
     let mut summary = metrics.summary();
@@ -2271,6 +2314,7 @@ mod tests {
                     workers: 4,
                     max_connections: 16,
                     shards: 1,
+                    ..ServeOptions::default()
                 },
             )
             .unwrap()
@@ -2363,6 +2407,7 @@ mod tests {
                     workers: 2,
                     max_connections: 4,
                     shards: 1,
+                    ..ServeOptions::default()
                 },
             )
             .unwrap()
@@ -2403,6 +2448,7 @@ mod tests {
                     workers: 2,
                     max_connections: 4,
                     shards: 1,
+                    ..ServeOptions::default()
                 },
             )
             .unwrap()
@@ -2757,6 +2803,7 @@ mod tests {
                 workers: 2,
                 max_connections: 32,
                 shards: 1,
+                ..ServeOptions::default()
             },
         );
         let idle: Vec<UnixStream> = (0..8)

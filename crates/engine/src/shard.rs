@@ -189,6 +189,16 @@ impl ShardQueue {
         let _state = self.backlog.lock().expect("shard queue poisoned");
         self.ready.notify_all();
     }
+
+    /// Test-only: returns a popped job to the head of the queue (an
+    /// executor raced a just-raised [`HoldGate`]). May transiently
+    /// exceed `cap` by the one job being returned; order is preserved.
+    #[cfg(test)]
+    fn push_front(&self, job: ShardJob) {
+        let mut state = self.backlog.lock().expect("shard queue poisoned");
+        state.jobs.push_front(job);
+        self.ready.notify_one();
+    }
 }
 
 /// Test-only brake on one shard's executors: while held, the shard
@@ -218,6 +228,10 @@ impl HoldGate {
         self.released.notify_all();
     }
 
+    fn is_held(&self) -> bool {
+        *self.held.lock().expect("hold gate poisoned")
+    }
+
     fn wait(&self, metrics: &ServeMetrics) {
         let mut held = self.held.lock().expect("hold gate poisoned");
         while *held && !metrics.shutdown_requested() {
@@ -244,17 +258,27 @@ pub(crate) struct ShardRuntime {
 
 impl ShardRuntime {
     /// Builds `shards` engines, each tuned like `template` (the engine
-    /// the caller configured via CLI flags before serving).
-    pub(crate) fn new(template: &Engine, shards: usize, queue_cap: usize) -> Self {
-        let shards = shards.max(1);
-        ShardRuntime {
-            engines: (0..shards).map(|_| shard_engine(template)).collect(),
+    /// the caller configured via CLI flags before serving). With a data
+    /// dir in `options`, each shard opens its own `shard-<i>`
+    /// subdirectory — WAL and snapshot files are as shard-private as
+    /// the locks are, so durability adds no cross-shard contention.
+    pub(crate) fn new(
+        template: &Engine,
+        options: &ServeOptions,
+        queue_cap: usize,
+    ) -> std::io::Result<Self> {
+        let shards = options.shards.max(1);
+        let engines = (0..shards)
+            .map(|i| shard_engine(template, options, i))
+            .collect::<std::io::Result<Vec<_>>>()?;
+        Ok(ShardRuntime {
+            engines,
             queues: (0..shards).map(|_| ShardQueue::new(queue_cap)).collect(),
             shard_metrics: (0..shards).map(|_| ServeMetrics::new()).collect(),
             routed: (0..shards).map(|_| AtomicU64::new(0)).collect(),
             #[cfg(test)]
             holds: (0..shards).map(|_| HoldGate::new()).collect(),
-        }
+        })
     }
 
     #[cfg(test)]
@@ -265,8 +289,14 @@ impl ShardRuntime {
 
 /// A fresh engine stamped with `template`'s tuning — every knob the
 /// serve CLI exposes is copied so an N-shard server behaves like N
-/// independently configured 1-shard servers.
-fn shard_engine(template: &Engine) -> Engine {
+/// independently configured 1-shard servers. Tuning is copied before
+/// the data dir opens so recovery replays under the configured
+/// compaction ratio.
+fn shard_engine(
+    template: &Engine,
+    options: &ServeOptions,
+    index: usize,
+) -> std::io::Result<Engine> {
     let engine = Engine::new();
     engine
         .catalog()
@@ -278,7 +308,21 @@ fn shard_engine(template: &Engine) -> Engine {
     engine.set_warm_threshold(template.warm_threshold());
     engine.set_incremental_threshold(template.incremental_threshold());
     engine.set_mapreduce_spill(template.mapreduce_spill());
-    engine
+    if let Some(dir) = &options.data_dir {
+        // Graphs recover on the shard whose directory they were written
+        // to; restarting with a different `--shards` count strands them
+        // on dirs the router no longer hashes to (documented — shard
+        // rebalancing is a ROADMAP item).
+        engine
+            .catalog()
+            .open_data_dir(
+                &dir.join(format!("shard-{index}")),
+                options.fsync_every,
+                options.snapshot_every,
+            )
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
+    }
+    Ok(engine)
 }
 
 /// One router worker's shared mailboxes: accepted connections in,
@@ -367,7 +411,7 @@ pub(crate) fn run_sharded_pool(
     options: &ServeOptions,
     metrics: &ServeMetrics,
 ) -> std::io::Result<ServeSummary> {
-    let runtime = ShardRuntime::new(template, options.shards, SHARD_QUEUE_CAP);
+    let runtime = ShardRuntime::new(template, options, SHARD_QUEUE_CAP)?;
     run_router(&runtime, policy, listener, options, metrics)?;
     Ok(sharded_summary(&runtime, metrics))
 }
@@ -479,6 +523,19 @@ fn executor_loop(
         let Some((job, stalled)) = runtime.queues[shard].pop(metrics) else {
             break;
         };
+        // The brake can be raised while this executor was already parked
+        // inside `pop` — the pre-pop wait above saw it open. Running the
+        // job anyway would let a "held" shard answer, so put it back
+        // (front: order is sacred) and wait the gate out.
+        #[cfg(test)]
+        if runtime.holds[shard].is_held() && !metrics.shutdown_requested() {
+            runtime.queues[shard].push_front(job);
+            for worker in stalled {
+                shared.slots[worker].waker.wake();
+            }
+            runtime.holds[shard].wait(metrics);
+            continue;
+        }
         let (response, outcome) = handle_fields(
             &runtime.engines[shard],
             policy,
@@ -889,6 +946,8 @@ fn merged_stats(
     let mut warm_fallbacks = 0u64;
     let mut incremental_hits = 0u64;
     let mut incremental_fallbacks = 0u64;
+    let mut replayed_ops = 0u64;
+    let mut dropped_tail_records = 0u64;
     let mut named: Vec<String> = Vec::new();
     let mut breakdown: Vec<String> = Vec::new();
     for (index, engine) in runtime.engines.iter().enumerate() {
@@ -913,6 +972,9 @@ fn merged_stats(
         warm_fallbacks += warm.fallbacks;
         incremental_hits += inc.hits;
         incremental_fallbacks += inc.fallbacks;
+        let (shard_replayed, shard_dropped) = engine.catalog().recovery_counters();
+        replayed_ops += shard_replayed;
+        dropped_tail_records += shard_dropped;
         for g in engine.catalog().named_stats() {
             let mut item = JsonBuilder::new();
             item.str_field("name", &g.name);
@@ -925,6 +987,11 @@ fn merged_stats(
             item.num_field("warm_fallbacks", g.warm_fallbacks as f64);
             item.num_field("incremental_hits", g.incremental_hits as f64);
             item.num_field("incremental_fallbacks", g.incremental_fallbacks as f64);
+            item.num_field("wal_bytes", g.wal_bytes as f64);
+            item.num_field("snapshot_version", g.snapshot_version as f64);
+            item.num_field("last_fsync", g.last_fsync as f64);
+            item.num_field("replayed_ops", g.replayed_ops as f64);
+            item.num_field("dropped_tail_records", g.dropped_tail_records as f64);
             named.push(item.finish());
         }
         let (shard_queries, shard_mutations, shard_errors) =
@@ -965,6 +1032,8 @@ fn merged_stats(
     j.num_field("warm_fallbacks", warm_fallbacks as f64);
     j.num_field("incremental_hits", incremental_hits as f64);
     j.num_field("incremental_fallbacks", incremental_fallbacks as f64);
+    j.num_field("replayed_ops", replayed_ops as f64);
+    j.num_field("dropped_tail_records", dropped_tail_records as f64);
     if !named.is_empty() {
         j.raw_field("named", &format!("[{}]", named.join(",")));
     }
@@ -1268,6 +1337,7 @@ mod tests {
                     workers: 2,
                     max_connections: 8,
                     shards,
+                    ..ServeOptions::default()
                 },
             );
             let mut conn = connect_retry(&sock);
@@ -1298,6 +1368,7 @@ mod tests {
                 workers: 2,
                 max_connections: 8,
                 shards: 2,
+                ..ServeOptions::default()
             },
         );
         connect_retry(&sock);
@@ -1345,6 +1416,7 @@ mod tests {
                 workers: 2,
                 max_connections: 8,
                 shards: 2,
+                ..ServeOptions::default()
             },
         );
         let mut conn = connect_retry(&sock);
@@ -1408,6 +1480,8 @@ mod tests {
             "\"warm_fallbacks\":",
             "\"incremental_hits\":",
             "\"incremental_fallbacks\":",
+            "\"replayed_ops\":",
+            "\"dropped_tail_records\":",
             "\"named\":",
             "\"shards\":",
         ];
@@ -1428,19 +1502,35 @@ mod tests {
         let _ = std::fs::remove_file(&sock);
         let listener = UnixListener::bind(&sock).expect("bind");
         let template = Engine::new();
-        let runtime = ShardRuntime::new(&template, 2, queue_cap);
-        let policy = ResourcePolicy::default();
         let options = ServeOptions {
             workers: 1,
             max_connections: 8,
             shards: 2,
+            ..ServeOptions::default()
         };
+        let runtime = ShardRuntime::new(&template, &options, queue_cap).expect("shard runtime");
+        let policy = ResourcePolicy::default();
         let metrics = ServeMetrics::new();
         std::thread::scope(|s| {
             s.spawn(|| {
                 run_router(&runtime, &policy, &listener, &options, &metrics).expect("router failed")
             });
-            body(&runtime, &sock);
+            let result =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&runtime, &sock)));
+            if let Err(panic) = result {
+                // A failed body never reached its shutdown op; without
+                // one the scope join below waits on the accept loop
+                // forever and the captured assertion message is never
+                // shown — the failure presents as a silent hang. Release
+                // every brake, stop the router, then re-panic.
+                for shard in 0..runtime.holds.len() {
+                    runtime.hold(shard).release();
+                }
+                let mut conn = connect_retry(&sock);
+                let _ = conn.write_all(b"{\"op\":\"shutdown\"}\n");
+                let _ = try_read_line(&conn, Duration::from_secs(5));
+                std::panic::resume_unwind(panic);
+            }
         });
         let _ = std::fs::remove_file(&sock);
     }

@@ -19,6 +19,8 @@
 //! * [`io`] — SNAP-style text and compact binary edge-list formats.
 //! * [`rng`] — a tiny deterministic RNG so every generated graph is
 //!   reproducible across platforms.
+//! * [`wal`] — the byte codec for durable session ops ([`DeltaGraph`]
+//!   mutations), replayed by the engine's write-ahead log on startup.
 //!
 //! The density definitions of the paper live in [`density`].
 
@@ -37,6 +39,7 @@ pub mod io;
 pub mod rng;
 pub mod stats;
 pub mod stream;
+pub mod wal;
 
 pub use bitset::NodeSet;
 pub use csr::{CsrDirected, CsrUndirected};

@@ -30,7 +30,7 @@ const USAGE: &str =
        densest serve [--socket <path>] [--workers n] [--max-connections n] [--shards n] \
      [--shard-spill edges] [--threads n] [--memory-budget bytes] [--max-graphs n] \
      [--result-cache bytes] [--warm-threshold f] [--incremental-threshold f] \
-     [--compact-ratio f] [--quiet]\n\
+     [--compact-ratio f] [--data-dir <path>] [--fsync-every n] [--snapshot-every n] [--quiet]\n\
        densest client --socket <path> [--repeat n] [--parallel n] [--graph-per-conn] \
      [--binary] [--pipeline n]\n\
        densest --help";
@@ -141,6 +141,22 @@ mutable graph sessions (serve mode):
   --compact-ratio x base edges, default 1). The stats op reports
   per-graph version/delta_edges/compactions plus warm and incremental
   hit/fallback counters.
+
+durable sessions (serve mode):
+  --data-dir <path> makes named graphs survive restarts: every session
+  op (create/add/remove/compact) is appended to a checksummed
+  write-ahead log under <path> *before* the new version is published,
+  and a compacted snapshot is rotated in every --snapshot-every records
+  (default 256). On startup the server replays log-over-snapshot and
+  resumes at the exact version it stopped at — versions never regress,
+  so result-cache and warm-seed invariants hold across a crash. A torn
+  tail record (kill mid-append) fails its checksum and is dropped
+  whole, never replayed partially. --fsync-every n fsyncs the log after
+  every nth record (default 1 = every record; 0 = leave flushing to the
+  OS). Each shard persists under its own <path>/shard-<i> subdirectory,
+  so the shard count must be stable across restarts of the same data
+  dir. The stats op reports per-graph wal_bytes/snapshot_version/
+  last_fsync plus server-wide replayed_ops/dropped_tail_records.
 
 client mode:
   densest client forwards each stdin line to the server and prints each
@@ -484,7 +500,8 @@ fn fail(o: &Options, e: EngineError) -> ! {
         // exhaustive so a new error variant is a compile error here.
         e @ (EngineError::UnknownGraph { .. }
         | EngineError::GraphExists { .. }
-        | EngineError::StaleGraph { .. }) => {
+        | EngineError::StaleGraph { .. }
+        | EngineError::Persistence(_)) => {
             eprintln!("{e}");
             exit(2);
         }
@@ -620,6 +637,18 @@ fn run_serve(args: impl Iterator<Item = String>) {
             "--shard-spill" => {
                 shard_spill = Some(parse_budget("--shard-spill", &value("--shard-spill")));
             }
+            "--data-dir" => options.data_dir = Some(PathBuf::from(value("--data-dir"))),
+            "--fsync-every" => {
+                options.fsync_every = parse_value("--fsync-every", &value("--fsync-every"));
+            }
+            "--snapshot-every" => {
+                options.snapshot_every =
+                    parse_value("--snapshot-every", &value("--snapshot-every"));
+                if options.snapshot_every == 0 {
+                    eprintln!("--snapshot-every must be at least 1");
+                    exit(2);
+                }
+            }
             "--threads" => {
                 policy.threads = parse_value("--threads", &value("--threads"));
                 if policy.threads == 0 {
@@ -691,6 +720,46 @@ fn run_serve(args: impl Iterator<Item = String>) {
     if options.shards > 1 && socket.is_none() {
         eprintln!("--shards requires --socket (stdin mode is one connection)");
         exit(2);
+    }
+    // Durable sessions: single-engine modes (stdin, or socket with one
+    // shard) open the data dir here so the banner can report recovery;
+    // sharded servers open one `shard-<i>` subdirectory per shard
+    // inside `serve_unix`.
+    if let Some(dir) = &options.data_dir {
+        if options.shards <= 1 {
+            let recovery = engine
+                .catalog()
+                .open_data_dir(
+                    &dir.join("shard-0"),
+                    options.fsync_every,
+                    options.snapshot_every,
+                )
+                .unwrap_or_else(|e| {
+                    eprintln!("cannot open --data-dir {}: {e}", dir.display());
+                    exit(1);
+                });
+            if !quiet {
+                eprintln!(
+                    "durable sessions under {} (fsync every {}, snapshot every {}): recovered {} \
+                     graphs, replayed {} ops, dropped {} torn tails, resuming at version {}",
+                    dir.display(),
+                    options.fsync_every,
+                    options.snapshot_every,
+                    recovery.graphs,
+                    recovery.replayed_ops,
+                    recovery.dropped_tail_records,
+                    recovery.max_version,
+                );
+            }
+        } else if !quiet {
+            eprintln!(
+                "durable sessions under {} (fsync every {}, snapshot every {}, one subdir per \
+                 shard)",
+                dir.display(),
+                options.fsync_every,
+                options.snapshot_every,
+            );
+        }
     }
     let summary = match &socket {
         Some(path) => {
